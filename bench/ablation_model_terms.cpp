@@ -1,0 +1,28 @@
+// Ablation of the proposed model's distinguishing terms.
+//
+// The paper's §VIII insight attributes the accuracy advantage to "the
+// complex models of computation resource, encoding, and transmission, and
+// the relation between the computation resource of the XR device and edge
+// server". This bench removes each term and reports the latency error that
+// returns on the remote-inference sweep.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  auto cfg = xr::bench::paper_sweep();
+  cfg.frames_per_point = 150;
+  const auto rows = xr::testbed::run_ablation(cfg);
+
+  xr::trace::TablePrinter t({"model variant", "latency MAPE vs GT (%)"});
+  t.set_align(0, xr::trace::Align::kLeft);
+  for (const auto& row : rows)
+    t.add_row({xr::testbed::variant_name(row.variant),
+               xr::trace::fixed(row.latency_error_percent, 2)});
+  std::printf("%s", xr::trace::heading(
+                        "Ablation: removing the proposed model's terms "
+                        "(remote sweep)")
+                        .c_str());
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

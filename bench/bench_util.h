@@ -1,0 +1,49 @@
+// Shared helpers for the figure-regeneration bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "testbed/experiments.h"
+#include "trace/table.h"
+
+namespace xr::bench {
+
+/// Standard sweep used by the Fig. 4/5 benches: the paper's frame-size axis
+/// (300–700 pixel²) at CPU clocks 1/2/3 GHz.
+inline testbed::SweepConfig paper_sweep() {
+  testbed::SweepConfig cfg;
+  cfg.frame_sizes = {300, 400, 500, 600, 700};
+  cfg.cpu_clocks_ghz = {1.0, 2.0, 3.0};
+  cfg.frames_per_point = 150;
+  cfg.seed = 42;
+  return cfg;
+}
+
+inline void print_validation(const char* figure, const char* paper_error,
+                             const testbed::ValidationResult& result,
+                             const testbed::SweepConfig& cfg) {
+  std::printf("%s\n", result.series.render_table().c_str());
+  for (std::size_t i = 0; i < result.per_clock_error_percent.size(); ++i)
+    std::printf("mean error @ %.0f GHz : %.2f%%\n", cfg.cpu_clocks_ghz[i],
+                result.per_clock_error_percent[i]);
+  std::printf("%s overall mean error : %.2f%%   (paper reports %s)\n",
+              figure, result.mean_error_percent, paper_error);
+}
+
+inline void print_comparison(const char* figure,
+                             const testbed::ComparisonResult& result,
+                             double paper_gap_fact, double paper_gap_leaf) {
+  std::printf("%s\n", result.accuracy.render_table().c_str());
+  std::printf("mean normalized accuracy: Proposed %.2f%%  FACT %.2f%%  "
+              "LEAF %.2f%%\n",
+              result.mean_accuracy_proposed, result.mean_accuracy_fact,
+              result.mean_accuracy_leaf);
+  std::printf(
+      "%s: Proposed beats FACT by %.2f pts (paper: %.2f), LEAF by %.2f pts "
+      "(paper: %.2f)\n",
+      figure, result.gap_vs_fact(), paper_gap_fact, result.gap_vs_leaf(),
+      paper_gap_leaf);
+}
+
+}  // namespace xr::bench

@@ -1,0 +1,13 @@
+// Fig. 4(b): end-to-end latency validation, remote inference (no mobility).
+//
+// Paper-reported mean error: 3.23%.
+#include "bench_util.h"
+
+int main() {
+  const auto cfg = xr::bench::paper_sweep();
+  const auto result = xr::testbed::run_latency_validation(
+      xr::core::InferencePlacement::kRemote, cfg);
+  xr::bench::print_validation("Fig. 4(b) [remote latency]", "3.23%", result,
+                              cfg);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 4(c): end-to-end energy validation, local inference.
+//
+// Paper-reported mean error: 3.52%.
+#include "bench_util.h"
+
+int main() {
+  const auto cfg = xr::bench::paper_sweep();
+  const auto result = xr::testbed::run_energy_validation(
+      xr::core::InferencePlacement::kLocal, cfg);
+  xr::bench::print_validation("Fig. 4(c) [local energy]", "3.52%", result,
+                              cfg);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 4(d): end-to-end energy validation, remote inference.
+//
+// Paper-reported mean error: 5.38%.
+#include "bench_util.h"
+
+int main() {
+  const auto cfg = xr::bench::paper_sweep();
+  const auto result = xr::testbed::run_energy_validation(
+      xr::core::InferencePlacement::kRemote, cfg);
+  xr::bench::print_validation("Fig. 4(d) [remote energy]", "5.38%", result,
+                              cfg);
+  return 0;
+}

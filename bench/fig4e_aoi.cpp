@@ -1,0 +1,22 @@
+// Fig. 4(e): Age-of-Information validation.
+//
+// Three sensors generate information every 5 / 10 / 15 ms (200, 100, and
+// 66.7 Hz); the XR application requests one update every 5 ms. The AoI of
+// the 200 Hz sensor stays flat while the slower sensors fall further behind
+// every cycle — the growing staircases of the paper's figure.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  xr::testbed::AoiSweepConfig cfg;
+  const auto result = xr::testbed::run_aoi_validation(cfg);
+  std::printf("%s\n", result.series.render_table().c_str());
+  std::printf(
+      "Fig. 4(e) [AoI] mean model-vs-simulation error : %.2f%%\n"
+      "(the paper validates AoI against an emulated experiment; the flat "
+      "200 Hz curve and the\n growing 100 / 67 Hz staircases are the "
+      "reproduced qualitative result)\n",
+      result.mean_error_percent);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 5(a): normalized-accuracy comparison of end-to-end latency analysis
+// (remote inference) between the proposed framework and the FACT / LEAF
+// state-of-the-art baselines.
+//
+// FACT and LEAF are least-squares calibrated against ground truth on a
+// separate training grid first (see testbed/experiments.h); the residual
+// accuracy gap is structural. Paper: Proposed beats FACT by 17.59 pts and
+// LEAF by 7.49 pts.
+#include "bench_util.h"
+
+int main() {
+  const auto cfg = xr::bench::paper_sweep();
+  const auto result =
+      xr::testbed::run_model_comparison(xr::testbed::Metric::kLatency, cfg);
+  xr::bench::print_comparison("Fig. 5(a) [latency comparison]", result,
+                              17.59, 7.49);
+  return 0;
+}

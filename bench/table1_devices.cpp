@@ -1,0 +1,47 @@
+// Table I: the XR and edge devices of the testbed, plus the model parameters
+// each device implies (allocated resource at its maximum clocks, mean power,
+// and the §VII train/test split).
+#include <cstdio>
+
+#include "devices/compute.h"
+#include "devices/device.h"
+#include "devices/power.h"
+#include "trace/table.h"
+
+int main() {
+  using namespace xr;
+  const devices::ComputeAllocationModel alloc;
+  const devices::PowerModel power;
+
+  trace::TablePrinter t({"id", "model", "SoC", "CPU GHz", "GPU", "RAM GB",
+                         "mem GB/s", "OS", "role", "split", "c_client",
+                         "P_mean mW"});
+  t.set_align(0, trace::Align::kLeft);
+  t.set_align(1, trace::Align::kLeft);
+  t.set_align(2, trace::Align::kLeft);
+  t.set_align(7, trace::Align::kLeft);
+  t.set_align(8, trace::Align::kLeft);
+  t.set_align(9, trace::Align::kLeft);
+
+  for (const auto& d : devices::device_catalog()) {
+    const char* role = d.role == devices::DeviceRole::kXrClient ? "XR client"
+                       : d.role == devices::DeviceRole::kEdgeServer
+                           ? "edge server"
+                           : "ext. sensor";
+    const char* split =
+        d.split == devices::DatasetSplit::kTrain ? "train" : "test";
+    // Allocation / power at the device's max clocks with an even CPU/GPU
+    // task split.
+    const double c = alloc.evaluate(d.max_cpu_ghz, d.max_gpu_ghz, 0.5);
+    const double p = power.mean_power_mw(d.max_cpu_ghz, d.max_gpu_ghz, 0.5);
+    t.add_row({d.id, d.model_name, d.soc, trace::fixed(d.max_cpu_ghz, 2),
+               d.gpu_name, trace::fixed(d.ram_gb, 0),
+               trace::fixed(d.memory_bandwidth_gbps, 1), d.os, role, split,
+               trace::fixed(c, 1), trace::fixed(p, 0)});
+  }
+  std::printf("%s", trace::heading("Table I: testbed devices").c_str());
+  std::printf("%s", t.render().c_str());
+  std::printf("train devices: XR1, XR3, XR5, XR6; test devices: XR2, XR4, "
+              "XR7 (§VII split)\n");
+  return 0;
+}

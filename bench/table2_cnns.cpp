@@ -1,0 +1,33 @@
+// Table II: the CNN zoo, with the Eq. (12) complexity each model implies and
+// its effect on the Eq. (11) local-inference latency on a reference device.
+#include <cstdio>
+
+#include "devices/cnn.h"
+#include "devices/compute.h"
+#include "trace/table.h"
+
+int main() {
+  using namespace xr;
+  const devices::CnnComplexityModel complexity;
+  const devices::ComputeAllocationModel alloc;
+  // Reference operating point: 2 GHz CPU-only allocation, 300 px input.
+  const double c_client = alloc.evaluate(2.0, 0.7, 1.0);
+  const double s_f2 = 300.0;
+
+  trace::TablePrinter t({"CNN model", "depth", "size MB", "scale", "GPU",
+                         "C_CNN (Eq.12)", "L_loc term (ms)"});
+  t.set_align(0, trace::Align::kLeft);
+  for (const auto& cnn : devices::cnn_zoo()) {
+    const double c = complexity.evaluate(cnn);
+    const double latency = s_f2 / (c_client * c);
+    t.add_row({cnn.name, std::to_string(cnn.depth_layers),
+               trace::fixed(cnn.storage_mb, 1),
+               trace::fixed(cnn.depth_scale, 1), cnn.gpu_support ? "yes" : "no",
+               trace::fixed(c, 3), trace::fixed(latency, 2)});
+  }
+  std::printf("%s", trace::heading("Table II: CNN models").c_str());
+  std::printf("%s", t.render().c_str());
+  std::printf("C_CNN = 2.45 + 0.0025 d + 0.03 s + 0.0029 d_scale "
+              "(paper R^2 = 0.844)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Autonomous-driving scenario: AoI-driven sensor planning.
+//
+// An XR-equipped autonomous driving system (the paper's ADS example)
+// receives pedestrian locations from roadside units, traffic-signal state
+// from infrastructure, and map updates from neighbouring vehicles. The
+// example checks the freshness (RoI) of each feed against the application's
+// update requirement and computes the minimum generation frequency each
+// sensor would need — the paper's "sensors should follow the RoI" insight.
+//
+//   $ ./autonomous_driving
+#include <cstdio>
+
+#include "core/framework.h"
+#include "trace/table.h"
+
+int main() {
+  using namespace xr::core;
+
+  ScenarioConfig s = make_remote_scenario(/*frame_size=*/640.0,
+                                          /*cpu_ghz=*/2.5);
+  // The ADS consumes one environment update every 10 ms, five per frame.
+  s.aoi.request_period_ms = 10.0;
+  s.aoi.updates_per_frame = 5;
+  s.sensors = {
+      SensorConfig{"rsu-pedestrian", /*hz=*/200.0, /*distance=*/60.0},
+      SensorConfig{"traffic-signal", 50.0, 120.0},
+      SensorConfig{"vehicle-map", 20.0, 40.0},
+      SensorConfig{"lidar-unit", 100.0, 5.0},
+  };
+  s.updates_per_frame = 5;
+
+  const XrPerformanceModel model;
+  const PerformanceReport report = model.evaluate(s);
+
+  std::printf("ADS frame analysis: latency %.1f ms, energy %.1f mJ\n\n",
+              report.latency.total, report.energy.total);
+
+  xr::trace::TablePrinter t({"sensor", "rate Hz", "avg AoI ms", "RoI",
+                             "fresh", "required Hz"});
+  t.set_align(0, xr::trace::Align::kLeft);
+  const AoiModel& aoi = model.aoi_model();
+  for (std::size_t i = 0; i < s.sensors.size(); ++i) {
+    const auto& cfg = s.sensors[i];
+    const auto& rep = report.sensors[i];
+    const double required =
+        aoi.required_generation_hz(cfg.distance_m, s.buffer, s.aoi);
+    t.add_row({cfg.name, xr::trace::fixed(cfg.generation_hz, 0),
+               xr::trace::fixed(rep.average_aoi_ms, 2),
+               xr::trace::fixed(rep.roi, 3), rep.fresh ? "yes" : "NO",
+               xr::trace::fixed(required, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nsensors with RoI < 1 deliver stale data: raise their "
+              "generation rate to at least the 'required Hz' column.\n");
+  return 0;
+}

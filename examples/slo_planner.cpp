@@ -1,0 +1,61 @@
+// SLO-driven deployment planning.
+//
+// Combines the offload optimizer with the SLO analyzer: given a product's
+// targets (motion-to-photon budget, frame rate, battery life, sensor
+// freshness), search the deployment space for a configuration that meets
+// them, and show the latency/energy Pareto frontier the application can
+// choose from.
+//
+//   $ ./slo_planner
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/slo.h"
+#include "trace/table.h"
+
+int main() {
+  using namespace xr;
+
+  core::ScenarioConfig base = core::make_remote_scenario(500, 2.0);
+  base.network.throughput_mbps = 40.0;
+
+  core::SloTargets targets;
+  targets.motion_to_photon_ms = 450.0;
+  targets.min_fps = 2.0;
+  targets.battery_wh = 15.0;           // Quest-2-class battery
+  targets.min_battery_hours = 2.0;
+  targets.require_fresh_sensors = false;  // handled by sensor planning
+
+  // 1. Does the default deployment meet the targets?
+  std::printf("%s", trace::heading("Default deployment").c_str());
+  const auto default_report = core::assess_slo(base, targets);
+  std::printf("%s\n", default_report.to_string().c_str());
+
+  // 2. Search the deployment space.
+  const auto plan = core::plan_offload(base, {}, /*alpha=*/0.5);
+  std::printf("%s", trace::heading("Deployment search").c_str());
+  std::printf("candidates evaluated : %zu\n", plan.candidates_evaluated);
+  std::printf("best latency  : %s -> %.1f ms / %.1f mJ\n",
+              plan.best_latency.decision.to_string().c_str(),
+              plan.best_latency.latency_ms, plan.best_latency.energy_mj);
+  std::printf("best energy   : %s -> %.1f ms / %.1f mJ\n",
+              plan.best_energy.decision.to_string().c_str(),
+              plan.best_energy.latency_ms, plan.best_energy.energy_mj);
+  std::printf("best weighted : %s -> %.1f ms / %.1f mJ\n\n",
+              plan.best_weighted.decision.to_string().c_str(),
+              plan.best_weighted.latency_ms, plan.best_weighted.energy_mj);
+
+  trace::TablePrinter pareto({"Pareto point", "latency (ms)", "energy (mJ)"});
+  pareto.set_align(0, trace::Align::kLeft);
+  for (const auto& p : plan.pareto)
+    pareto.add_row({p.decision.to_string(), trace::fixed(p.latency_ms, 1),
+                    trace::fixed(p.energy_mj, 1)});
+  std::printf("%s\n", pareto.render().c_str());
+
+  // 3. Re-assess the chosen deployment against the SLOs.
+  const auto chosen = plan.best_weighted.decision.apply(base);
+  std::printf("%s", trace::heading("Chosen deployment vs SLOs").c_str());
+  const auto chosen_report = core::assess_slo(chosen, targets);
+  std::printf("%s", chosen_report.to_string().c_str());
+  return 0;
+}

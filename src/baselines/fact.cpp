@@ -1,0 +1,66 @@
+#include "baselines/fact.h"
+
+#include "core/pipeline.h"
+#include "wireless/propagation.h"
+
+namespace xr::baselines {
+
+FactModel::FactModel(FactConfig config) : config_(config) {}
+
+double FactModel::client_compute_ms(const core::ScenarioConfig& s) const {
+  // One aggregate computation term: cycles / frequency. FACT does not
+  // separate capture, conversion, rendering, or encoding, and has no memory
+  // or GPU model. Frame + scene work both charge the CPU clock directly.
+  const double gcycles =
+      config_.client_cycles_per_size * (s.frame.frame_size +
+                                        s.frame.scene_size);
+  const double seconds = gcycles / s.client.cpu_ghz;
+  const double capture_ms = 1000.0 / s.frame.fps;
+  return capture_ms + seconds * 1000.0;
+}
+
+double FactModel::edge_compute_ms(const core::ScenarioConfig& s) const {
+  if (s.inference.placement == core::InferencePlacement::kLocal) {
+    // Local inference charged at the same cycles/frequency abstraction.
+    const double gcycles =
+        config_.edge_cycles_per_size * s.frame.converted_size;
+    return gcycles / s.client.cpu_ghz * 1000.0;
+  }
+  const double gcycles = config_.edge_cycles_per_size * s.frame.frame_size;
+  return gcycles / config_.edge_cpu_ghz * 1000.0;
+}
+
+double FactModel::wireless_ms(const core::ScenarioConfig& s) const {
+  if (s.inference.placement == core::InferencePlacement::kLocal) return 0.0;
+  // FACT transmits the *raw* frame — it has no encoding model.
+  return wireless::transmission_time_ms(core::raw_frame_mb(s.frame),
+                                        s.network.throughput_mbps) +
+         wireless::propagation_delay_ms(s.network.edge_distance_m);
+}
+
+double FactModel::latency_ms(const core::ScenarioConfig& s) const {
+  core::validate(s);
+  double total = client_compute_ms(s) + edge_compute_ms(s);
+  if (s.inference.placement == core::InferencePlacement::kRemote)
+    total += wireless_ms(s) + config_.core_network_ms;
+  return total;
+}
+
+double FactModel::energy_mj(const core::ScenarioConfig& s) const {
+  core::validate(s);
+  // Device-level power constant over compute time plus radio power over
+  // transmit time; no base power, no thermal accounting, no per-segment
+  // allocation.
+  const double compute_ms =
+      client_compute_ms(s) +
+      (s.inference.placement == core::InferencePlacement::kLocal
+           ? edge_compute_ms(s)
+           : 0.0);
+  const double tx_ms = wireless_ms(s);
+  const double active_mw =
+      config_.device_active_mw +
+      config_.device_active_mw_per_ghz * s.client.cpu_ghz;
+  return (active_mw * compute_ms + config_.radio_tx_mw * tx_ms) / 1000.0;
+}
+
+}  // namespace xr::baselines

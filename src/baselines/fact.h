@@ -1,0 +1,66 @@
+// FACT baseline model — reimplementation of the analysis in Liu et al.,
+// "An edge network orchestrator for mobile augmented reality" (INFOCOM'18),
+// as characterized by the paper's §VIII.D:
+//
+//   "FACT proposes to include computation, core network, and wireless
+//    latency into the overall service latency model ... [it] presents the
+//    computation latency as a function of the computation complexity and
+//    available computation resources, which are formulated *without*
+//    considering different processing sources, data size, and the memory of
+//    the device."
+//
+// Concretely: computation latency = task cycles / CPU frequency (no GPU
+// split, no memory-bandwidth term, no CNN-complexity model, no per-segment
+// breakdown, no encoding regression — encode cost folds into the single
+// computation term), plus wireless transmission and a fixed core-network
+// latency. It also assumes a single server at a time (no service migration /
+// handoff term).
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace xr::baselines {
+
+/// FACT's calibration knobs: how many "cycles" one unit of the paper's
+/// frame-size axis costs, and the fixed core-network latency.
+struct FactConfig {
+  /// Client-side cycles per frame-size unit per pipeline pass (Gcycles).
+  double client_cycles_per_size = 0.009;
+  /// Edge-side cycles per frame-size unit for the detection task.
+  double edge_cycles_per_size = 0.011;
+  /// Edge CPU frequency (GHz) — FACT models the server as cycles/frequency.
+  double edge_cpu_ghz = 2.27;
+  /// Fixed core-network latency between AP and edge (ms).
+  double core_network_ms = 4.0;
+  /// Average active power FACT-style energy accounting charges (mW) — a
+  /// single device-level constant, not per-segment.
+  double device_active_mw = 1800.0;
+  /// Frequency slope of the active power (mW per GHz): FACT profiles the
+  /// device's power at its operating frequency, so the active draw is
+  /// affine in the clock.
+  double device_active_mw_per_ghz = 0.0;
+  double radio_tx_mw = 800.0;
+};
+
+/// FACT latency/energy estimates for the same scenarios the proposed model
+/// consumes, allowing like-for-like comparison (Fig. 5).
+class FactModel {
+ public:
+  explicit FactModel(FactConfig config = FactConfig{});
+
+  /// End-to-end service latency (ms).
+  [[nodiscard]] double latency_ms(const core::ScenarioConfig& s) const;
+  /// End-to-end device energy (mJ), following each latency component.
+  [[nodiscard]] double energy_mj(const core::ScenarioConfig& s) const;
+
+  [[nodiscard]] const FactConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double client_compute_ms(const core::ScenarioConfig& s) const;
+  [[nodiscard]] double edge_compute_ms(const core::ScenarioConfig& s) const;
+  [[nodiscard]] double wireless_ms(const core::ScenarioConfig& s) const;
+
+  FactConfig config_;
+};
+
+}  // namespace xr::baselines

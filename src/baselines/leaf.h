@@ -1,0 +1,77 @@
+// LEAF baseline model — reimplementation of Wang et al., "LEAF + AIO:
+// Edge-assisted energy-aware object detection for mobile augmented reality"
+// (IEEE TMC 2023), as characterized by the paper's §VIII.D:
+//
+//   "LEAF overcomes several limitations of FACT by breaking down the entire
+//    pipeline of an edge-AR application and considering each segment's
+//    latency separately. However, it still suffers from the simplicity in
+//    formulating the computation latency and energy as FACT does."
+//
+// Concretely: LEAF models the same per-segment pipeline as the proposed
+// framework (capture, conversion/encode, inference, rendering, wireless),
+// but each computation segment is cycles/frequency — no memory-bandwidth
+// term, no CPU/GPU allocation regression (Eq. 3), no CNN-complexity model
+// (Eq. 12), and a fixed per-frame encode cost instead of the Eq. (10)
+// regression. Its energy model assigns each segment a constant power state.
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace xr::baselines {
+
+/// LEAF's calibration knobs.
+struct LeafConfig {
+  /// Cycles per frame-size unit for capture-class segments (Gcycles).
+  double capture_cycles_per_size = 0.004;
+  /// Cycles per scene-size unit for volumetric processing.
+  double volumetric_cycles_per_size = 0.004;
+  /// Cycles per frame-size unit for conversion and rendering segments.
+  double stage_cycles_per_size = 0.004;
+  /// Fixed encode cost per frame (ms) — LEAF measures a constant.
+  double encode_fixed_ms = 45.0;
+  /// Inference cycles per converted-frame-size unit (local).
+  double local_inference_cycles_per_size = 0.010;
+  /// Edge inference cycles per frame-size unit and edge clock (GHz).
+  double edge_inference_cycles_per_size = 0.011;
+  double edge_cpu_ghz = 2.27;
+  /// Fixed buffer/queueing allowance per frame (ms) — LEAF has no queueing
+  /// model, only a measured constant.
+  double buffer_fixed_ms = 8.0;
+  /// Per-segment power states (mW).
+  double compute_mw = 2000.0;
+  /// Frequency slope of the compute power state (mW per GHz): LEAF is
+  /// energy-aware and profiles power per frequency configuration.
+  double compute_mw_per_ghz = 0.0;
+  double radio_tx_mw = 800.0;
+  double radio_rx_mw = 300.0;
+  double idle_mw = 150.0;
+};
+
+/// LEAF latency/energy estimates over the shared scenario type.
+class LeafModel {
+ public:
+  explicit LeafModel(LeafConfig config = LeafConfig{});
+
+  [[nodiscard]] double latency_ms(const core::ScenarioConfig& s) const;
+  [[nodiscard]] double energy_mj(const core::ScenarioConfig& s) const;
+
+  /// Per-segment latency values (for breakdown comparisons).
+  struct Breakdown {
+    double capture = 0;
+    double volumetric = 0;
+    double external = 0;
+    double conversion_or_encode = 0;
+    double inference = 0;
+    double rendering = 0;
+    double wireless = 0;
+    double total = 0;
+  };
+  [[nodiscard]] Breakdown breakdown(const core::ScenarioConfig& s) const;
+
+  [[nodiscard]] const LeafConfig& config() const noexcept { return config_; }
+
+ private:
+  LeafConfig config_;
+};
+
+}  // namespace xr::baselines

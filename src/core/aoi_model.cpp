@@ -1,0 +1,102 @@
+#include "core/aoi_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "queueing/mm1.h"
+#include "wireless/propagation.h"
+
+namespace xr::core {
+
+double AoiModel::buffer_sojourn_ms(const BufferConfig& b) const {
+  const queueing::MM1 q(b.external_arrival_per_ms, b.service_rate_per_ms);
+  return q.mean_time_in_system();
+}
+
+double AoiModel::aoi_ms(const SensorConfig& sensor, const BufferConfig& buffer,
+                        double request_period_ms, int cycle) const {
+  if (cycle < 1) throw std::invalid_argument("AoiModel: cycle is 1-based");
+  if (request_period_ms <= 0)
+    throw std::invalid_argument("AoiModel: request period must be > 0");
+  const double period = 1000.0 / sensor.generation_hz;
+  const double generation = double(cycle) * period;
+  const double requested = double(cycle - 1) * request_period_ms;
+  const double delay = wireless::propagation_delay_ms(sensor.distance_m) +
+                       buffer_sojourn_ms(buffer);
+  // Eq. (23), with the physical floor for sensors faster than the request
+  // rate: information can never be fresher than one generation interval, so
+  // a fast sensor settles at AoI = 1/f_t + delivery delay instead of the
+  // raw (negative) timing difference.
+  return std::max(generation - requested, period) + delay;
+}
+
+std::vector<AoiPoint> AoiModel::timeline(const SensorConfig& sensor,
+                                         const BufferConfig& buffer,
+                                         double request_period_ms,
+                                         int cycles) const {
+  if (cycles < 1)
+    throw std::invalid_argument("AoiModel::timeline: need >= 1 cycle");
+  std::vector<AoiPoint> points;
+  points.reserve(std::size_t(cycles));
+  for (int n = 1; n <= cycles; ++n) {
+    AoiPoint p;
+    p.cycle = n;
+    p.request_time_ms = double(n - 1) * request_period_ms;
+    p.generation_time_ms = double(n) * 1000.0 / sensor.generation_hz;
+    p.aoi_ms = aoi_ms(sensor, buffer, request_period_ms, n);
+    p.roi = request_period_ms / p.aoi_ms;
+    points.push_back(p);
+  }
+  return points;
+}
+
+double AoiModel::average_aoi_ms(const SensorConfig& sensor,
+                                const BufferConfig& buffer,
+                                const AoiConfig& aoi) const {
+  // Eq. (24): A^mq = (1/N) Σ_n t_mnq.
+  double sum = 0;
+  for (int n = 1; n <= aoi.updates_per_frame; ++n)
+    sum += aoi_ms(sensor, buffer, aoi.request_period_ms, n);
+  return sum / double(aoi.updates_per_frame);
+}
+
+double AoiModel::processed_frequency_hz(const SensorConfig& sensor,
+                                        const BufferConfig& buffer,
+                                        const AoiConfig& aoi) const {
+  return 1000.0 / average_aoi_ms(sensor, buffer, aoi);  // Eq. (25).
+}
+
+double AoiModel::roi(const SensorConfig& sensor, const BufferConfig& buffer,
+                     const AoiConfig& aoi) const {
+  const double f_req_hz = 1000.0 / aoi.request_period_ms;
+  return processed_frequency_hz(sensor, buffer, aoi) / f_req_hz;  // Eq. (26).
+}
+
+bool AoiModel::fresh(const SensorConfig& sensor, const BufferConfig& buffer,
+                     const AoiConfig& aoi) const {
+  return roi(sensor, buffer, aoi) >= 1.0;
+}
+
+double AoiModel::required_generation_hz(double distance_m,
+                                        const BufferConfig& buffer,
+                                        const AoiConfig& aoi) const {
+  SensorConfig probe;
+  probe.distance_m = distance_m;
+  // RoI is monotonically increasing in generation frequency; bisect.
+  double lo = 1.0, hi = 1.0e6;
+  probe.generation_hz = hi;
+  if (roi(probe, buffer, aoi) < 1.0)
+    throw std::runtime_error(
+        "AoiModel: delays alone exceed the freshness budget");
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    probe.generation_hz = mid;
+    if (roi(probe, buffer, aoi) >= 1.0)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace xr::core

@@ -1,0 +1,85 @@
+// The Age-of-Information (AoI) and Relevance-of-Information (RoI) analysis
+// model — §VI, Eqs. (22)–(26).
+//
+// Sensors generate information at their own frequency f_t^m; the XR device
+// requests one update every request period. The information answering the
+// n-th request is the sensor's n-th generation cycle, so the age observed at
+// the device is
+//
+//   t_mnq = T_mn + (d_m/c + T̄) − T^n_Req                         (Eq. 23)
+//
+// with T_mn = n / f_t^m (generation completion), T^n_Req = (n−1)·T_req
+// (request issue times starting at t = 0), propagation delay d_m/c, and the
+// M/M/1 input-buffer sojourn T̄ = 1/(µ−λ) (Eq. 22). A sensor slower than the
+// request rate falls further behind every cycle, producing the growing
+// staircase of Figs. 4(e)/(f); a sensor at (or above) the request rate keeps
+// a flat AoI floored at one generation interval plus the delivery delay.
+//
+// RoI (Eq. 26) is the ratio of the processed-information frequency
+// f̄ = 1/AoI (Eq. 25) to the required frequency f_req = N / L_tot = 1/T_req.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace xr::core {
+
+/// One AoI observation for update cycle n of a sensor.
+struct AoiPoint {
+  int cycle = 0;              ///< n (1-based).
+  double request_time_ms = 0; ///< T^n_Req = (n−1)·T_req.
+  double generation_time_ms = 0;  ///< T_mn = n/f_t.
+  double aoi_ms = 0;          ///< Eq. (23).
+  double roi = 0;             ///< instantaneous RoI = T_req / AoI.
+};
+
+/// The AoI/RoI analytical model.
+class AoiModel {
+ public:
+  AoiModel() = default;
+
+  /// Eq. (22): mean buffer sojourn T̄ for the external-information class.
+  [[nodiscard]] double buffer_sojourn_ms(const BufferConfig& b) const;
+
+  /// Eq. (23) for one sensor and one cycle (n is 1-based).
+  [[nodiscard]] double aoi_ms(const SensorConfig& sensor,
+                              const BufferConfig& buffer,
+                              double request_period_ms, int cycle) const;
+
+  /// Timeline of the first `cycles` updates (Figs. 4e/4f).
+  [[nodiscard]] std::vector<AoiPoint> timeline(const SensorConfig& sensor,
+                                               const BufferConfig& buffer,
+                                               double request_period_ms,
+                                               int cycles) const;
+
+  /// Eq. (24): average AoI over N update cycles of a frame.
+  [[nodiscard]] double average_aoi_ms(const SensorConfig& sensor,
+                                      const BufferConfig& buffer,
+                                      const AoiConfig& aoi) const;
+
+  /// Eq. (25): processed-information frequency f̄ = 1/A^mq, in Hz.
+  [[nodiscard]] double processed_frequency_hz(const SensorConfig& sensor,
+                                              const BufferConfig& buffer,
+                                              const AoiConfig& aoi) const;
+
+  /// Eq. (26): RoI = f̄ / f_req with f_req = 1/T_req. Information is fresh
+  /// when RoI >= 1.
+  [[nodiscard]] double roi(const SensorConfig& sensor,
+                           const BufferConfig& buffer,
+                           const AoiConfig& aoi) const;
+
+  /// Whether a sensor keeps information fresh for the application.
+  [[nodiscard]] bool fresh(const SensorConfig& sensor,
+                           const BufferConfig& buffer,
+                           const AoiConfig& aoi) const;
+
+  /// Minimum generation frequency (Hz) a sensor at the given distance needs
+  /// for RoI >= 1 under the configured request period — the paper's design
+  /// insight ("sensors should follow the RoI"). Found by bisection.
+  [[nodiscard]] double required_generation_hz(double distance_m,
+                                              const BufferConfig& buffer,
+                                              const AoiConfig& aoi) const;
+};
+
+}  // namespace xr::core

@@ -1,0 +1,73 @@
+#include "core/energy_model.h"
+
+namespace xr::core {
+
+double EnergyBreakdown::segment(Segment s) const noexcept {
+  switch (s) {
+    case Segment::kFrameGeneration: return frame_generation;
+    case Segment::kVolumetricData: return volumetric;
+    case Segment::kExternalSensors: return external_sensors;
+    case Segment::kRendering: return rendering;
+    case Segment::kFrameConversion: return frame_conversion;
+    case Segment::kEncoding: return encoding;
+    case Segment::kLocalInference: return local_inference;
+    case Segment::kRemoteInference: return remote_inference;
+    case Segment::kTransmission: return transmission;
+    case Segment::kHandoff: return handoff;
+    case Segment::kCooperation: return cooperation;
+  }
+  return 0;
+}
+
+EnergyModel::EnergyModel(devices::PowerModel power, RadioPowerConfig radio)
+    : power_(std::move(power)), radio_(radio) {}
+
+double EnergyModel::compute_power_mw(const ClientConfig& c) const {
+  return power_.mean_power_mw(c.cpu_ghz, c.gpu_ghz, c.omega_c);
+}
+
+namespace {
+/// mW · ms → mJ.
+double energy_mj(double power_mw, double duration_ms) {
+  return power_mw * duration_ms / 1000.0;
+}
+}  // namespace
+
+EnergyBreakdown EnergyModel::evaluate(const ScenarioConfig& s,
+                                      const LatencyBreakdown& lat) const {
+  EnergyBreakdown out;
+  const double p_compute = compute_power_mw(s.client);
+
+  // Compute-bound segments run the allocated CPU/GPU mix (Eq. 21).
+  out.frame_generation = energy_mj(p_compute, lat.frame_generation);
+  out.volumetric = energy_mj(p_compute, lat.volumetric);
+  out.rendering = energy_mj(p_compute, lat.rendering);
+  out.frame_conversion = energy_mj(p_compute, lat.frame_conversion);
+  out.encoding = energy_mj(p_compute, lat.encoding);
+  out.local_inference = energy_mj(p_compute, lat.local_inference);
+
+  // Communication segments run the radio.
+  out.external_sensors = energy_mj(radio_.rx_mw, lat.external_sensors);
+  out.transmission = energy_mj(radio_.tx_mw, lat.transmission);
+  out.handoff = energy_mj(radio_.tx_mw, lat.handoff);
+  out.cooperation = energy_mj(radio_.tx_mw, lat.cooperation);
+  out.cooperation_in_total = lat.cooperation_in_total;
+
+  // During remote inference the device merely awaits results.
+  out.remote_inference = energy_mj(radio_.idle_wait_mw, lat.remote_inference);
+
+  const double segment_sum =
+      out.frame_generation + out.volumetric + out.external_sensors +
+      out.rendering + out.frame_conversion + out.encoding +
+      out.local_inference + out.remote_inference + out.transmission +
+      out.handoff + (out.cooperation_in_total ? out.cooperation : 0.0);
+
+  // E_base accrues over the whole frame time; E_θ is the heat fraction of
+  // the electrical energy spent on the application segments.
+  out.base = power_.base_energy_mj(lat.total);
+  out.thermal = power_.thermal_energy_mj(segment_sum);
+  out.total = segment_sum + out.base + out.thermal;  // Eq. (19).
+  return out;
+}
+
+}  // namespace xr::core

@@ -1,0 +1,73 @@
+// The energy-consumption analysis model — §V, Eqs. (19)–(21).
+//
+// Energy mirrors the latency decomposition: each segment contributes
+// ∫P dt ≈ P_segment · L_segment (Eq. 20), with the segment power drawn from
+// the Eq. (21) regression for compute-bound segments and from radio power
+// states for communication segments. Two closing terms complete the balance:
+// E_base (OS background + leakage over the whole frame time) and E_θ (the
+// fraction of electrical energy converted to heat).
+#pragma once
+
+#include "core/latency_model.h"
+#include "core/pipeline.h"
+
+namespace xr::core {
+
+/// Per-segment energy decomposition, all in mJ.
+struct EnergyBreakdown {
+  double frame_generation = 0;
+  double volumetric = 0;
+  double external_sensors = 0;
+  double rendering = 0;
+  double frame_conversion = 0;
+  double encoding = 0;
+  double local_inference = 0;
+  double remote_inference = 0;   ///< XR device's draw while awaiting results.
+  double transmission = 0;
+  double handoff = 0;
+  double cooperation = 0;
+  bool cooperation_in_total = false;
+  double thermal = 0;            ///< E_θ.
+  double base = 0;               ///< E_base.
+  double total = 0;              ///< E_tot (Eq. 19).
+
+  [[nodiscard]] double segment(Segment s) const noexcept;
+};
+
+/// Radio and idle power states of the XR device (mW). Defaults follow
+/// published smartphone Wi-Fi measurements (active TX ≈ 700–900 mW, active
+/// RX ≈ 250–350 mW, idle-connected ≈ 100–200 mW).
+struct RadioPowerConfig {
+  double tx_mw = 800.0;
+  double rx_mw = 300.0;
+  double idle_wait_mw = 150.0;
+};
+
+/// The analytical energy model.
+class EnergyModel {
+ public:
+  explicit EnergyModel(devices::PowerModel power = devices::PowerModel{},
+                       RadioPowerConfig radio = RadioPowerConfig{});
+
+  /// Eq. (19)/(20): compose the energy breakdown from a scenario and its
+  /// latency breakdown (computed by the caller — typically the framework
+  /// facade evaluates latency once and reuses it here).
+  [[nodiscard]] EnergyBreakdown evaluate(const ScenarioConfig& s,
+                                         const LatencyBreakdown& lat) const;
+
+  /// Mean application power of the device allocation (Eq. 21), in mW.
+  [[nodiscard]] double compute_power_mw(const ClientConfig& c) const;
+
+  [[nodiscard]] const devices::PowerModel& power_model() const noexcept {
+    return power_;
+  }
+  [[nodiscard]] const RadioPowerConfig& radio() const noexcept {
+    return radio_;
+  }
+
+ private:
+  devices::PowerModel power_;
+  RadioPowerConfig radio_;
+};
+
+}  // namespace xr::core

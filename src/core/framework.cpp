@@ -1,0 +1,105 @@
+#include "core/framework.h"
+
+#include <sstream>
+
+#include "trace/table.h"
+
+namespace xr::core {
+
+XrPerformanceModel::XrPerformanceModel(LatencyModel latency,
+                                       EnergyModel energy, AoiModel aoi)
+    : latency_(std::move(latency)),
+      energy_(std::move(energy)),
+      aoi_(std::move(aoi)) {}
+
+PerformanceReport XrPerformanceModel::evaluate(
+    const ScenarioConfig& s) const {
+  PerformanceReport report;
+  report.latency = latency_.evaluate(s);
+  report.energy = energy_.evaluate(s, report.latency);
+  report.sensors.reserve(s.sensors.size());
+  for (const auto& sensor : s.sensors) {
+    SensorReport sr;
+    sr.name = sensor.name;
+    sr.average_aoi_ms = aoi_.average_aoi_ms(sensor, s.buffer, s.aoi);
+    sr.processed_hz = aoi_.processed_frequency_hz(sensor, s.buffer, s.aoi);
+    sr.roi = aoi_.roi(sensor, s.buffer, s.aoi);
+    sr.fresh = sr.roi >= 1.0;
+    report.sensors.push_back(std::move(sr));
+  }
+  return report;
+}
+
+std::string PerformanceReport::to_string() const {
+  std::ostringstream oss;
+  trace::TablePrinter seg({"segment", "latency (ms)", "energy (mJ)"});
+  seg.set_align(0, trace::Align::kLeft);
+  for (Segment s : all_segments()) {
+    const double l = latency.segment(s);
+    const double e = energy.segment(s);
+    if (l == 0 && e == 0) continue;
+    seg.add_row({segment_name(s), trace::fixed(l, 2), trace::fixed(e, 2)});
+  }
+  seg.add_rule();
+  seg.add_row({"buffer wait (within rendering)",
+               trace::fixed(latency.buffer_wait, 2), "-"});
+  seg.add_row({"base energy", "-", trace::fixed(energy.base, 2)});
+  seg.add_row({"thermal energy", "-", trace::fixed(energy.thermal, 2)});
+  seg.add_rule();
+  seg.add_row({"TOTAL", trace::fixed(latency.total, 2),
+               trace::fixed(energy.total, 2)});
+  oss << seg.render();
+
+  if (!sensors.empty()) {
+    trace::TablePrinter st(
+        {"sensor", "avg AoI (ms)", "processed (Hz)", "RoI", "fresh"});
+    st.set_align(0, trace::Align::kLeft);
+    for (const auto& s : sensors)
+      st.add_row({s.name, trace::fixed(s.average_aoi_ms, 2),
+                  trace::fixed(s.processed_hz, 2), trace::fixed(s.roi, 3),
+                  s.fresh ? "yes" : "no"});
+    oss << st.render();
+  }
+  return oss.str();
+}
+
+ScenarioConfig make_local_scenario(double frame_size, double cpu_ghz) {
+  ScenarioConfig s;
+  s.client.cpu_ghz = cpu_ghz;
+  s.client.gpu_ghz = 0.7;
+  s.client.omega_c = 1.0;  // the Fig. 4 sweeps vary the CPU clock.
+  s.client.memory_bandwidth_gbps = 44.0;
+  s.frame.fps = 30.0;
+  s.frame.frame_size = frame_size;
+  s.frame.scene_size = frame_size;
+  s.frame.converted_size = frame_size * 0.6;  // CNN input scaled down.
+  s.sensors = {SensorConfig{"rsu", 200.0, 20.0},
+               SensorConfig{"vehicle", 100.0, 35.0}};
+  s.updates_per_frame = 3;
+  s.buffer.service_rate_per_ms = 0.35;
+  s.buffer.frame_arrival_per_ms = 0.030;
+  s.buffer.volumetric_arrival_per_ms = 0.030;
+  s.buffer.external_arrival_per_ms = 0.200;
+  s.inference.placement = InferencePlacement::kLocal;
+  s.inference.local_cnn_name = "MobileNetv2_300_Float";
+  s.inference.omega_client = 1.0;
+  s.inference.edges.clear();
+  return s;
+}
+
+ScenarioConfig make_remote_scenario(double frame_size, double cpu_ghz) {
+  ScenarioConfig s = make_local_scenario(frame_size, cpu_ghz);
+  s.inference.placement = InferencePlacement::kRemote;
+  s.inference.omega_client = 0.0;
+  EdgeConfig edge;
+  edge.name = "jetson-agx";
+  edge.cnn_name = "YoloV3";
+  edge.omega_edge = 1.0;
+  s.inference.edges = {edge};
+  s.network.throughput_mbps = 40.0;
+  s.network.edge_distance_m = 50.0;
+  s.mobility.enabled = false;  // Fig. 4(b): no device mobility.
+  return s;
+}
+
+}  // namespace xr::core

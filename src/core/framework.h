@@ -1,0 +1,72 @@
+// XrPerformanceModel — the framework facade (§III).
+//
+// Composes the three analytical models (latency §IV, energy §V, AoI §VI)
+// into a single evaluation over a ScenarioConfig, producing a full
+// PerformanceReport: per-segment latency and energy plus per-sensor AoI/RoI.
+// This is the primary public entry point of the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aoi_model.h"
+#include "core/energy_model.h"
+#include "core/latency_model.h"
+#include "core/pipeline.h"
+
+namespace xr::core {
+
+/// AoI summary for one sensor.
+struct SensorReport {
+  std::string name;
+  double average_aoi_ms = 0;   ///< Eq. (24).
+  double processed_hz = 0;     ///< Eq. (25).
+  double roi = 0;              ///< Eq. (26).
+  bool fresh = false;          ///< RoI >= 1.
+};
+
+/// Complete per-frame performance analysis.
+struct PerformanceReport {
+  LatencyBreakdown latency;
+  EnergyBreakdown energy;
+  std::vector<SensorReport> sensors;
+
+  /// Render the report as human-readable tables.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The XR performance-analysis modeling framework.
+class XrPerformanceModel {
+ public:
+  XrPerformanceModel() = default;
+  XrPerformanceModel(LatencyModel latency, EnergyModel energy,
+                     AoiModel aoi = AoiModel{});
+
+  /// Evaluate latency, energy, and AoI for one scenario. Validates the
+  /// scenario and throws std::invalid_argument on inconsistent input.
+  [[nodiscard]] PerformanceReport evaluate(const ScenarioConfig& s) const;
+
+  /// Access the constituent models.
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] const EnergyModel& energy_model() const noexcept {
+    return energy_;
+  }
+  [[nodiscard]] const AoiModel& aoi_model() const noexcept { return aoi_; }
+
+ private:
+  LatencyModel latency_{};
+  EnergyModel energy_{};
+  AoiModel aoi_{};
+};
+
+/// Convenience scenario factories used by examples, tests, and benches.
+/// Local object-detection on a mid-range phone (Fig. 4a/4c operating point).
+[[nodiscard]] ScenarioConfig make_local_scenario(double frame_size = 500.0,
+                                                 double cpu_ghz = 2.0);
+/// Edge-offloaded object detection, no mobility (Fig. 4b/4d).
+[[nodiscard]] ScenarioConfig make_remote_scenario(double frame_size = 500.0,
+                                                  double cpu_ghz = 2.0);
+
+}  // namespace xr::core

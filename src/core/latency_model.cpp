@@ -1,0 +1,209 @@
+#include "core/latency_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "queueing/mm1.h"
+#include "wireless/propagation.h"
+
+namespace xr::core {
+
+double LatencyBreakdown::segment(Segment s) const noexcept {
+  switch (s) {
+    case Segment::kFrameGeneration: return frame_generation;
+    case Segment::kVolumetricData: return volumetric;
+    case Segment::kExternalSensors: return external_sensors;
+    case Segment::kRendering: return rendering;
+    case Segment::kFrameConversion: return frame_conversion;
+    case Segment::kEncoding: return encoding;
+    case Segment::kLocalInference: return local_inference;
+    case Segment::kRemoteInference: return remote_inference;
+    case Segment::kTransmission: return transmission;
+    case Segment::kHandoff: return handoff;
+    case Segment::kCooperation: return cooperation;
+  }
+  return 0;
+}
+
+LatencyModel::LatencyModel() : submodels_{} {}
+
+LatencyModel::LatencyModel(Submodels submodels)
+    : submodels_(std::move(submodels)) {}
+
+double LatencyModel::client_resource(const ClientConfig& c) const {
+  return submodels_.allocation.evaluate(c.cpu_ghz, c.gpu_ghz, c.omega_c);
+}
+
+double LatencyModel::edge_resource(const EdgeConfig& e,
+                                   const ClientConfig& c) const {
+  if (e.resource > 0) return e.resource;
+  return devices::kEdgeResourceRatio * client_resource(c);
+}
+
+double LatencyModel::frame_generation_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  return 1000.0 / s.frame.fps + s.frame.frame_size / c +
+         raw_frame_mb(s.frame) / s.client.memory_bandwidth_gbps;
+}
+
+double LatencyModel::volumetric_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  return s.frame.scene_size / c +
+         volumetric_mb(s.frame) / s.client.memory_bandwidth_gbps;
+}
+
+double LatencyModel::external_sensors_ms(const ScenarioConfig& s) const {
+  if (s.sensors.empty() || s.updates_per_frame == 0) return 0.0;
+  // Eq. (5): the slowest sensor bounds the segment; each of its N updates
+  // costs one generation interval plus the propagation delay (Eq. 6).
+  double worst = 0.0;
+  for (const auto& sensor : s.sensors) {
+    const double per_update =
+        1000.0 / sensor.generation_hz +
+        wireless::propagation_delay_ms(sensor.distance_m);
+    worst = std::max(worst, per_update * double(s.updates_per_frame));
+  }
+  return worst;
+}
+
+double LatencyModel::buffering_ms(const BufferConfig& b) const {
+  // Eq. (7): three data classes, each a stable M/M/1 with sojourn 1/(µ−λ).
+  const queueing::MM1 frame_q(b.frame_arrival_per_ms, b.service_rate_per_ms);
+  const queueing::MM1 vol_q(b.volumetric_arrival_per_ms,
+                            b.service_rate_per_ms);
+  const queueing::MM1 ext_q(b.external_arrival_per_ms, b.service_rate_per_ms);
+  return frame_q.mean_time_in_system() + vol_q.mean_time_in_system() +
+         ext_q.mean_time_in_system();
+}
+
+double LatencyModel::rendering_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  const double base =
+      s.frame.frame_size / c +
+      raw_frame_mb(s.frame) / s.client.memory_bandwidth_gbps +
+      buffering_ms(s.buffer);
+  // Result delivery to the renderer (Eq. 8's L_tr(loc)/L_tr(rem) terms):
+  // local results cross device memory; remote results arrive by wireless.
+  if (s.inference.placement == InferencePlacement::kLocal)
+    return base +
+           s.frame.inference_result_mb / s.client.memory_bandwidth_gbps;
+  const double d = s.network.edge_distance_m;
+  return base +
+         wireless::transmission_time_ms(s.frame.inference_result_mb,
+                                        s.network.throughput_mbps) +
+         wireless::propagation_delay_ms(d);
+}
+
+double LatencyModel::frame_conversion_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  return s.frame.frame_size / c +
+         raw_frame_mb(s.frame) / s.client.memory_bandwidth_gbps;
+}
+
+double LatencyModel::encoding_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  return submodels_.codec.encode_latency_ms(
+      s.frame.frame_size, s.codec, c, raw_frame_mb(s.frame),
+      s.client.memory_bandwidth_gbps);
+}
+
+double LatencyModel::local_inference_ms(const ScenarioConfig& s) const {
+  const double c = client_resource(s.client);
+  const auto& cnn = devices::cnn_by_name(s.inference.local_cnn_name);
+  const double complexity = submodels_.cnn.evaluate(cnn);
+  // Eq. (11), implemented exactly as printed (C_CNN in the denominator —
+  // see DESIGN.md "Faithfulness notes").
+  return s.inference.omega_client *
+         (s.frame.converted_size / (c * complexity) +
+          converted_mb(s.frame) / s.client.memory_bandwidth_gbps);
+}
+
+double LatencyModel::decode_ms(const ScenarioConfig& s,
+                               const EdgeConfig& e) const {
+  const double c = client_resource(s.client);
+  return submodels_.codec.decode_latency_ms(encoding_ms(s), c,
+                                            edge_resource(e, s.client));
+}
+
+double LatencyModel::encoded_payload_mb(const ScenarioConfig& s) const {
+  return submodels_.codec.encoded_size_mb(s.frame.frame_size, s.codec);
+}
+
+double LatencyModel::remote_inference_one_edge_ms(const ScenarioConfig& s,
+                                                  const EdgeConfig& e) const {
+  const double c_edge = edge_resource(e, s.client);
+  const auto& cnn = devices::cnn_by_name(e.cnn_name);
+  const double complexity = submodels_.cnn.evaluate(cnn);
+  const double s_f3 = s.inference.encoded_size > 0 ? s.inference.encoded_size
+                                                   : s.frame.frame_size;
+  // Eq. (13): ω_edge [ s_f3/(c_ε · C_CNN(rem)) + δ_f3/m_ε + L_dec ].
+  return e.omega_edge * (s_f3 / (c_edge * complexity) +
+                         encoded_payload_mb(s) / e.memory_bandwidth_gbps +
+                         decode_ms(s, e));
+}
+
+double LatencyModel::remote_inference_ms(const ScenarioConfig& s) const {
+  if (s.inference.edges.empty()) return 0.0;
+  // Eq. (15): parallel edges; the slowest share bounds the segment.
+  double worst = 0.0;
+  for (const auto& e : s.inference.edges)
+    worst = std::max(worst, remote_inference_one_edge_ms(s, e));
+  return worst;
+}
+
+double LatencyModel::transmission_ms(const ScenarioConfig& s) const {
+  // Eq. (16): uplink of the encoded frame plus propagation.
+  return wireless::transmission_time_ms(encoded_payload_mb(s),
+                                        s.network.throughput_mbps) +
+         wireless::propagation_delay_ms(s.network.edge_distance_m);
+}
+
+double LatencyModel::handoff_ms(const ScenarioConfig& s) const {
+  if (!s.mobility.enabled) return 0.0;
+  const wireless::HandoffModel model(
+      s.mobility.handoff, s.mobility.zone_radius_m,
+      s.mobility.step_length_per_frame_m, s.mobility.vertical_fraction);
+  return model.expected_latency_ms();
+}
+
+double LatencyModel::cooperation_ms(const ScenarioConfig& s) const {
+  if (!s.cooperation.active) return 0.0;
+  return wireless::transmission_time_ms(s.network.coop_payload_mb,
+                                        s.network.throughput_mbps) +
+         wireless::propagation_delay_ms(s.network.coop_distance_m);
+}
+
+LatencyBreakdown LatencyModel::evaluate(const ScenarioConfig& s) const {
+  validate(s);
+  LatencyBreakdown out;
+  const bool local = s.inference.placement == InferencePlacement::kLocal;
+
+  out.frame_generation = frame_generation_ms(s);
+  out.volumetric = volumetric_ms(s);
+  out.external_sensors = external_sensors_ms(s);
+  out.buffer_wait = buffering_ms(s.buffer);
+  out.rendering = rendering_ms(s);
+  out.cooperation = cooperation_ms(s);
+  out.cooperation_in_total =
+      s.cooperation.active && s.cooperation.include_in_total;
+
+  if (local) {
+    out.frame_conversion = frame_conversion_ms(s);
+    out.local_inference = local_inference_ms(s);
+  } else {
+    out.encoding = encoding_ms(s);
+    out.remote_inference = remote_inference_ms(s);
+    out.transmission = transmission_ms(s);
+    out.handoff = handoff_ms(s);
+  }
+
+  // Eq. (1).
+  out.total = out.frame_generation + out.volumetric + out.external_sensors +
+              out.rendering + out.frame_conversion + out.encoding +
+              out.local_inference + out.remote_inference + out.transmission +
+              out.handoff +
+              (out.cooperation_in_total ? out.cooperation : 0.0);
+  return out;
+}
+
+}  // namespace xr::core

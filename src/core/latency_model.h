@@ -1,0 +1,109 @@
+// The end-to-end latency analysis model — §IV, Eqs. (1)–(18).
+//
+// Every segment of the Fig. 1 pipeline has a named method implementing the
+// corresponding equation; evaluate() composes them per Eq. (1):
+//
+//   L_tot = L_fg + L_vol + L_ext + L_ren + ω_loc L_fc + ω̄_loc L_en
+//         + ω_loc L_loc + ω̄_loc L_rem + ω̄_loc L_tr + ω̄_loc L_HO + L_coop
+//
+// where ω_loc ∈ {0,1} selects local vs. remote inference. XR cooperation is
+// normally executed in parallel with rendering and excluded from the total
+// (§IV, "XR cooperation latency"); CooperationConfig::include_in_total
+// overrides that.
+#pragma once
+
+#include "core/pipeline.h"
+
+namespace xr::core {
+
+/// Per-segment latency decomposition, all in ms.
+struct LatencyBreakdown {
+  double frame_generation = 0;   ///< L_fg  (Eq. 2).
+  double volumetric = 0;         ///< L_vol (Eq. 4).
+  double external_sensors = 0;   ///< L_ext (Eq. 5).
+  double rendering = 0;          ///< L_renTotal (Eq. 8), incl. buffering.
+  double buffer_wait = 0;        ///< t_buff (Eq. 7), part of rendering.
+  double frame_conversion = 0;   ///< L_fc  (Eq. 9), local path.
+  double encoding = 0;           ///< L_en  (Eq. 10), remote path.
+  double local_inference = 0;    ///< L_loc (Eq. 11), local path.
+  double remote_inference = 0;   ///< L_rem (Eq. 13/15), remote path.
+  double transmission = 0;       ///< L_tr  (Eq. 16), remote path.
+  double handoff = 0;            ///< L_HO  (Eq. 17), remote path w/ mobility.
+  double cooperation = 0;        ///< L_coop (Eq. 18).
+  bool cooperation_in_total = false;
+  double total = 0;              ///< L_tot (Eq. 1).
+
+  /// Segment accessor for table printing; buffer_wait is folded into
+  /// rendering as in Eq. (8).
+  [[nodiscard]] double segment(Segment s) const noexcept;
+};
+
+/// The analytical latency model. Immutable; thread-safe for concurrent
+/// evaluate() calls.
+class LatencyModel {
+ public:
+  /// Submodels: compute allocation (Eq. 3), CNN complexity (Eq. 12), codec
+  /// (Eqs. 10/14). Defaults are the paper's printed coefficients.
+  struct Submodels {
+    devices::ComputeAllocationModel allocation{};
+    devices::CnnComplexityModel cnn{};
+    devices::CodecModel codec{};
+  };
+
+  LatencyModel();
+  explicit LatencyModel(Submodels submodels);
+
+  /// Full Eq. (1) evaluation. Validates the scenario first.
+  [[nodiscard]] LatencyBreakdown evaluate(const ScenarioConfig& s) const;
+
+  // --- Per-segment equations (all take the scenario for parameter access) --
+
+  /// Allocated client compute resource c_client (Eq. 3).
+  [[nodiscard]] double client_resource(const ClientConfig& c) const;
+  /// Allocated edge resource c_ε: explicit, or 11.76 · c_client (Eq. 14's
+  /// measured ratio) when the edge config leaves it negative.
+  [[nodiscard]] double edge_resource(const EdgeConfig& e,
+                                     const ClientConfig& c) const;
+
+  /// Eq. (2): L_fg = 1/n_fps + s_f1/c_client + δ_f1/m_client.
+  [[nodiscard]] double frame_generation_ms(const ScenarioConfig& s) const;
+  /// Eq. (4): L_vol = s_vol/c_client + δ_vol/m_client.
+  [[nodiscard]] double volumetric_ms(const ScenarioConfig& s) const;
+  /// Eqs. (5)+(6): L_ext = max_m Σ_n (1/f_t^m + d_mn/c).
+  [[nodiscard]] double external_sensors_ms(const ScenarioConfig& s) const;
+  /// Eq. (7): t_buff as the sum of three stable M/M/1 sojourn times.
+  [[nodiscard]] double buffering_ms(const BufferConfig& b) const;
+  /// Eq. (8): L_renTotal = s_f1/c + δ_f1/m + t_buff + result delivery.
+  [[nodiscard]] double rendering_ms(const ScenarioConfig& s) const;
+  /// Eq. (9): L_fc = s_f1/c + δ_f1/m.
+  [[nodiscard]] double frame_conversion_ms(const ScenarioConfig& s) const;
+  /// Eq. (10): encoding latency via the codec regression.
+  [[nodiscard]] double encoding_ms(const ScenarioConfig& s) const;
+  /// Eq. (11): L_loc = ω_client [ s_f2/(c·C_CNN(loc)) + δ_f2/m ].
+  [[nodiscard]] double local_inference_ms(const ScenarioConfig& s) const;
+  /// Eq. (13) for one edge; Eq. (15) max-composition over all edges.
+  [[nodiscard]] double remote_inference_ms(const ScenarioConfig& s) const;
+  [[nodiscard]] double remote_inference_one_edge_ms(const ScenarioConfig& s,
+                                                    const EdgeConfig& e) const;
+  /// Eq. (14): decode latency on the edge.
+  [[nodiscard]] double decode_ms(const ScenarioConfig& s,
+                                 const EdgeConfig& e) const;
+  /// Eq. (16): L_tr = δ_f3/r_w + d_ε/c.
+  [[nodiscard]] double transmission_ms(const ScenarioConfig& s) const;
+  /// Eq. (17): L_HO = l_HO · P(HO); zero when mobility is disabled.
+  [[nodiscard]] double handoff_ms(const ScenarioConfig& s) const;
+  /// Eq. (18): L_coop = δ_f4/r_w + d_coop/c; zero when cooperation inactive.
+  [[nodiscard]] double cooperation_ms(const ScenarioConfig& s) const;
+
+  /// Encoded payload δ_f3 in MB (codec output model).
+  [[nodiscard]] double encoded_payload_mb(const ScenarioConfig& s) const;
+
+  [[nodiscard]] const Submodels& submodels() const noexcept {
+    return submodels_;
+  }
+
+ private:
+  Submodels submodels_;
+};
+
+}  // namespace xr::core

@@ -1,0 +1,145 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace xr::core {
+
+ScenarioConfig OffloadDecision::apply(ScenarioConfig base) const {
+  base.client.omega_c = omega_c;
+  base.inference.placement = placement;
+  if (placement == InferencePlacement::kLocal) {
+    base.inference.local_cnn_name = local_cnn;
+    base.inference.omega_client = 1.0;
+    base.inference.edges.clear();
+  } else {
+    base.inference.omega_client = 0.0;
+    base.codec = codec;
+    EdgeConfig edge;
+    edge.cnn_name = edge_cnn;
+    edge.omega_edge = 1.0 / double(edge_count);
+    base.inference.edges.assign(std::size_t(edge_count), edge);
+    for (std::size_t e = 0; e < base.inference.edges.size(); ++e)
+      base.inference.edges[e].name = "edge-" + std::to_string(e);
+  }
+  return base;
+}
+
+std::string OffloadDecision::to_string() const {
+  std::ostringstream oss;
+  if (placement == InferencePlacement::kLocal) {
+    oss << "local(" << local_cnn << ", wc=" << omega_c << ")";
+  } else {
+    oss << "remote(" << edge_cnn << " x" << edge_count
+        << ", wc=" << omega_c << ", " << codec.bitrate_mbps << " Mbps)";
+  }
+  return oss.str();
+}
+
+double EvaluatedDecision::objective(double alpha, double latency_scale,
+                                    double energy_scale) const {
+  return alpha * latency_ms / latency_scale +
+         (1.0 - alpha) * energy_mj / energy_scale;
+}
+
+std::vector<double> balance_edge_split(
+    const std::vector<double>& edge_resources) {
+  if (edge_resources.empty())
+    throw std::invalid_argument("balance_edge_split: no edges");
+  double total = 0;
+  for (double r : edge_resources) {
+    if (r <= 0)
+      throw std::invalid_argument("balance_edge_split: resources > 0");
+    total += r;
+  }
+  std::vector<double> shares;
+  shares.reserve(edge_resources.size());
+  for (double r : edge_resources) shares.push_back(r / total);
+  return shares;
+}
+
+OffloadPlan plan_offload(const ScenarioConfig& base,
+                         const OffloadSearchSpace& space, double alpha,
+                         const XrPerformanceModel& model) {
+  if (alpha < 0 || alpha > 1)
+    throw std::invalid_argument("plan_offload: alpha in [0, 1]");
+  if (!space.include_local && !space.include_remote)
+    throw std::invalid_argument("plan_offload: empty placement set");
+  if (space.omega_c_grid.empty())
+    throw std::invalid_argument("plan_offload: empty omega_c grid");
+
+  std::vector<EvaluatedDecision> evaluated;
+  const auto consider = [&](const OffloadDecision& d) {
+    const auto scenario = d.apply(base);
+    const auto report = model.evaluate(scenario);
+    evaluated.push_back(
+        EvaluatedDecision{d, report.latency.total, report.energy.total});
+  };
+
+  for (double wc : space.omega_c_grid) {
+    if (space.include_local) {
+      for (const auto& cnn : space.local_cnns) {
+        OffloadDecision d;
+        d.placement = InferencePlacement::kLocal;
+        d.omega_c = wc;
+        d.local_cnn = cnn;
+        consider(d);
+      }
+    }
+    if (space.include_remote) {
+      for (const auto& cnn : space.edge_cnns)
+        for (int count : space.edge_counts)
+          for (double bitrate : space.codec_bitrates_mbps) {
+            OffloadDecision d;
+            d.placement = InferencePlacement::kRemote;
+            d.omega_c = wc;
+            d.edge_cnn = cnn;
+            d.edge_count = count;
+            d.codec = base.codec;
+            d.codec.bitrate_mbps = bitrate;
+            consider(d);
+          }
+    }
+  }
+  if (evaluated.empty())
+    throw std::invalid_argument("plan_offload: search space produced no "
+                                "candidates");
+
+  OffloadPlan plan;
+  plan.candidates_evaluated = evaluated.size();
+  plan.best_latency = *std::min_element(
+      evaluated.begin(), evaluated.end(),
+      [](const auto& a, const auto& b) { return a.latency_ms < b.latency_ms; });
+  plan.best_energy = *std::min_element(
+      evaluated.begin(), evaluated.end(),
+      [](const auto& a, const auto& b) { return a.energy_mj < b.energy_mj; });
+
+  const double l_scale = std::max(plan.best_latency.latency_ms, 1e-9);
+  const double e_scale = std::max(plan.best_energy.energy_mj, 1e-9);
+  plan.best_weighted = *std::min_element(
+      evaluated.begin(), evaluated.end(),
+      [&](const auto& a, const auto& b) {
+        return a.objective(alpha, l_scale, e_scale) <
+               b.objective(alpha, l_scale, e_scale);
+      });
+
+  // Pareto frontier: sort by latency, keep strictly improving energy.
+  std::sort(evaluated.begin(), evaluated.end(),
+            [](const auto& a, const auto& b) {
+              if (a.latency_ms != b.latency_ms)
+                return a.latency_ms < b.latency_ms;
+              return a.energy_mj < b.energy_mj;
+            });
+  double best_energy_so_far = std::numeric_limits<double>::infinity();
+  for (const auto& e : evaluated) {
+    if (e.energy_mj < best_energy_so_far) {
+      plan.pareto.push_back(e);
+      best_energy_so_far = e.energy_mj;
+    }
+  }
+  return plan;
+}
+
+}  // namespace xr::core

@@ -1,0 +1,84 @@
+// Offload-decision optimizer — operationalizing the ω terms of Eq. (1).
+//
+// The paper's framework exposes the deployment knobs an XR application
+// controls: inference placement ω_loc, the CPU/GPU allocation share ω_c, the
+// task split across edge servers ω_edge^e (Eq. 15), and the codec operating
+// point. The analytical models make those decisions cheap to search: this
+// module enumerates a configurable candidate grid and returns the
+// latency-optimal, energy-optimal, and weighted-objective-optimal
+// configurations, plus the Pareto frontier — the planning workflow the
+// paper's introduction motivates (replace testbed trial-and-error with
+// analysis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace xr::core {
+
+/// One candidate decision.
+struct OffloadDecision {
+  InferencePlacement placement = InferencePlacement::kLocal;
+  double omega_c = 1.0;        ///< CPU share of the device allocation.
+  std::string local_cnn = "MobileNetv2_300_Float";
+  std::string edge_cnn = "YoloV3";
+  int edge_count = 1;          ///< parallel edge servers (Eq. 15).
+  devices::H264Config codec;   ///< remote path only.
+
+  /// Apply this decision to a scenario (leaves everything else untouched).
+  [[nodiscard]] ScenarioConfig apply(ScenarioConfig base) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluated candidate.
+struct EvaluatedDecision {
+  OffloadDecision decision;
+  double latency_ms = 0;
+  double energy_mj = 0;
+
+  /// Weighted objective: alpha·latency + (1−alpha)·energy, both normalized
+  /// by the supplied scales.
+  [[nodiscard]] double objective(double alpha, double latency_scale,
+                                 double energy_scale) const;
+};
+
+/// Search space description.
+struct OffloadSearchSpace {
+  std::vector<double> omega_c_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<std::string> local_cnns = {"MobileNetv1_240_Quant",
+                                         "MobileNetv2_300_Float"};
+  std::vector<std::string> edge_cnns = {"YoloV3", "YoloV7"};
+  std::vector<int> edge_counts = {1, 2};
+  std::vector<double> codec_bitrates_mbps = {2.0, 4.0, 8.0};
+  bool include_local = true;
+  bool include_remote = true;
+};
+
+/// Result of a search.
+struct OffloadPlan {
+  EvaluatedDecision best_latency;
+  EvaluatedDecision best_energy;
+  EvaluatedDecision best_weighted;
+  /// Latency-ascending Pareto frontier (no candidate dominates another).
+  std::vector<EvaluatedDecision> pareto;
+  std::size_t candidates_evaluated = 0;
+};
+
+/// Grid-search the offload decision for a base scenario. `alpha` weights
+/// latency against energy in the combined objective (normalized by the
+/// best-found values of each metric). Throws std::invalid_argument for an
+/// empty search space or alpha outside [0, 1].
+[[nodiscard]] OffloadPlan plan_offload(const ScenarioConfig& base,
+                                       const OffloadSearchSpace& space = {},
+                                       double alpha = 0.5,
+                                       const XrPerformanceModel& model = {});
+
+/// Split ω_edge^e across `count` edge servers proportionally to their
+/// resources so the Eq. (15) max is minimized (load balancing). Resources
+/// must be positive; shares sum to 1.
+[[nodiscard]] std::vector<double> balance_edge_split(
+    const std::vector<double>& edge_resources);
+
+}  // namespace xr::core

@@ -1,0 +1,138 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "queueing/mm1.h"
+
+namespace xr::core {
+
+const char* segment_name(Segment s) noexcept {
+  switch (s) {
+    case Segment::kFrameGeneration: return "frame_generation";
+    case Segment::kVolumetricData: return "volumetric_data";
+    case Segment::kExternalSensors: return "external_sensors";
+    case Segment::kRendering: return "rendering";
+    case Segment::kFrameConversion: return "frame_conversion";
+    case Segment::kEncoding: return "encoding";
+    case Segment::kLocalInference: return "local_inference";
+    case Segment::kRemoteInference: return "remote_inference";
+    case Segment::kTransmission: return "transmission";
+    case Segment::kHandoff: return "handoff";
+    case Segment::kCooperation: return "cooperation";
+  }
+  return "unknown";
+}
+
+const std::vector<Segment>& all_segments() {
+  static const std::vector<Segment> segments = {
+      Segment::kFrameGeneration, Segment::kVolumetricData,
+      Segment::kExternalSensors, Segment::kRendering,
+      Segment::kFrameConversion, Segment::kEncoding,
+      Segment::kLocalInference,  Segment::kRemoteInference,
+      Segment::kTransmission,    Segment::kHandoff,
+      Segment::kCooperation,
+  };
+  return segments;
+}
+
+double raw_frame_mb(const FrameConfig& f) {
+  if (f.raw_frame_mb >= 0) return f.raw_frame_mb;
+  // YUV420: 1.5 bytes per pixel of an s x s frame.
+  return 1.5e-6 * f.frame_size * f.frame_size;
+}
+
+double volumetric_mb(const FrameConfig& f) {
+  if (f.volumetric_mb >= 0) return f.volumetric_mb;
+  // Point cloud + inertial data ≈ 2 bytes per pixel of the virtual scene.
+  return 2.0e-6 * f.scene_size * f.scene_size;
+}
+
+double converted_mb(const FrameConfig& f) {
+  if (f.converted_mb >= 0) return f.converted_mb;
+  // RGB888 tensor: 3 bytes per pixel of the converted frame.
+  return 3.0e-6 * f.converted_size * f.converted_size;
+}
+
+double total_task_share(const InferenceConfig& inference) {
+  double total = inference.omega_client;
+  for (const auto& e : inference.edges) total += e.omega_edge;
+  return total;
+}
+
+namespace {
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(std::string("ScenarioConfig: ") +
+                                       message);
+}
+}  // namespace
+
+void validate(const ScenarioConfig& s) {
+  require(s.client.cpu_ghz > 0, "client CPU clock must be > 0");
+  require(s.client.gpu_ghz > 0, "client GPU clock must be > 0");
+  require(s.client.omega_c >= 0 && s.client.omega_c <= 1,
+          "omega_c must be in [0, 1]");
+  require(s.client.memory_bandwidth_gbps > 0,
+          "memory bandwidth must be > 0");
+
+  require(s.frame.fps > 0, "fps must be > 0");
+  require(s.frame.frame_size > 0, "frame size must be > 0");
+  require(s.frame.scene_size > 0, "scene size must be > 0");
+  require(s.frame.converted_size > 0, "converted size must be > 0");
+  require(s.frame.inference_result_mb >= 0,
+          "result payload must be >= 0");
+
+  for (const auto& sensor : s.sensors) {
+    require(sensor.generation_hz > 0, "sensor frequency must be > 0");
+    require(sensor.distance_m >= 0, "sensor distance must be >= 0");
+  }
+  require(s.updates_per_frame >= 0, "updates per frame must be >= 0");
+  require(s.updates_per_frame == 0 || !s.sensors.empty(),
+          "updates per frame requires at least one sensor");
+
+  const auto& b = s.buffer;
+  require(b.service_rate_per_ms > 0, "buffer service rate must be > 0");
+  // The paper assumes a *stable* M/M/1 buffer (Eq. 7); enforce per class.
+  require(queueing::mm1_stable(b.frame_arrival_per_ms, b.service_rate_per_ms),
+          "frame buffer class unstable (lambda >= mu)");
+  require(queueing::mm1_stable(b.volumetric_arrival_per_ms,
+                               b.service_rate_per_ms),
+          "volumetric buffer class unstable (lambda >= mu)");
+  require(queueing::mm1_stable(b.external_arrival_per_ms,
+                               b.service_rate_per_ms),
+          "external buffer class unstable (lambda >= mu)");
+
+  require(s.network.throughput_mbps > 0, "throughput must be > 0");
+  require(s.network.edge_distance_m >= 0, "edge distance must be >= 0");
+  require(s.network.coop_distance_m >= 0, "coop distance must be >= 0");
+  require(s.network.coop_payload_mb >= 0, "coop payload must be >= 0");
+
+  const auto& inf = s.inference;
+  require(inf.omega_client >= 0 && inf.omega_client <= 1,
+          "omega_client must be in [0, 1]");
+  if (inf.placement == InferencePlacement::kRemote)
+    require(!inf.edges.empty(), "remote inference requires an edge server");
+  for (const auto& e : inf.edges) {
+    require(e.omega_edge >= 0 && e.omega_edge <= 1,
+            "omega_edge must be in [0, 1]");
+    require(e.memory_bandwidth_gbps > 0, "edge bandwidth must be > 0");
+    // Resolvable CNN name (throws out_of_range otherwise).
+    (void)devices::cnn_by_name(e.cnn_name);
+  }
+  (void)devices::cnn_by_name(inf.local_cnn_name);
+
+  if (s.mobility.enabled) {
+    require(s.mobility.zone_radius_m > 0, "zone radius must be > 0");
+    require(s.mobility.step_length_per_frame_m > 0,
+            "mobility step must be > 0");
+    require(s.mobility.step_length_per_frame_m < s.mobility.zone_radius_m,
+            "mobility step must be below the zone radius");
+    require(s.mobility.vertical_fraction >= 0 &&
+                s.mobility.vertical_fraction <= 1,
+            "vertical fraction must be in [0, 1]");
+  }
+
+  require(s.aoi.request_period_ms > 0, "AoI request period must be > 0");
+  require(s.aoi.updates_per_frame > 0, "AoI updates per frame must be > 0");
+}
+
+}  // namespace xr::core

@@ -1,0 +1,171 @@
+// XR application pipeline description (Fig. 1) and scenario configuration.
+//
+// The paper decomposes an object-detection XR application into segments:
+// frame generation, volumetric data generation, external sensor information
+// generation, frame conversion (local path), frame encoding (remote path),
+// local inference, remote inference, frame rendering, transmission, handoff,
+// and XR cooperation. ScenarioConfig captures every parameter those segment
+// models consume; the latency/energy/AoI models (Eqs. 1–26) are pure
+// functions of it.
+//
+// Unit conventions (see DESIGN.md): ms, mJ, mW, MB, GB/s, GHz, Mbps, m, Hz.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/cnn.h"
+#include "devices/codec.h"
+#include "devices/compute.h"
+#include "devices/power.h"
+#include "wireless/handoff.h"
+
+namespace xr::core {
+
+/// Pipeline segments of Fig. 1, in the order of Eq. (1).
+enum class Segment {
+  kFrameGeneration,
+  kVolumetricData,
+  kExternalSensors,
+  kRendering,
+  kFrameConversion,
+  kEncoding,
+  kLocalInference,
+  kRemoteInference,
+  kTransmission,
+  kHandoff,
+  kCooperation,
+};
+
+/// Display name of a segment ("frame_generation", ...).
+[[nodiscard]] const char* segment_name(Segment s) noexcept;
+/// All segments in Eq. (1) order.
+[[nodiscard]] const std::vector<Segment>& all_segments();
+
+/// Where a frame's inference runs — ω_loc in Eq. (1).
+enum class InferencePlacement { kLocal, kRemote };
+
+/// The XR client device's resource allocation.
+struct ClientConfig {
+  double cpu_ghz = 2.0;               ///< f_c.
+  double gpu_ghz = 0.7;               ///< f_g.
+  double omega_c = 1.0;               ///< CPU share of the allocation.
+  double memory_bandwidth_gbps = 44.0;  ///< m_client.
+};
+
+/// Frame geometry and rates.
+struct FrameConfig {
+  double fps = 30.0;            ///< n_fps.
+  double frame_size = 500.0;    ///< s_f1: the paper's "pixel²" axis value.
+  double scene_size = 500.0;    ///< s_vol: virtual scene size.
+  double converted_size = 300.0;  ///< s_f2: CNN input tensor dimension.
+  /// Data sizes in MB; negative values mean "derive from geometry" via the
+  /// raw_frame_mb()/volumetric_mb()/converted_mb() helpers below.
+  double raw_frame_mb = -1.0;     ///< δ_f1.
+  double volumetric_mb = -1.0;    ///< δ_vol.
+  double converted_mb = -1.0;     ///< δ_f2.
+  double inference_result_mb = 0.02;  ///< result payload to renderer.
+};
+
+/// Derived data sizes. YUV420 raw frames occupy 1.5 B/pixel; RGB converted
+/// tensors 3 B/pixel; volumetric point clouds ≈ 2 B/pixel of scene.
+[[nodiscard]] double raw_frame_mb(const FrameConfig& f);
+[[nodiscard]] double volumetric_mb(const FrameConfig& f);
+[[nodiscard]] double converted_mb(const FrameConfig& f);
+
+/// One external sensor or device (Eq. 5/6 and the AoI model).
+struct SensorConfig {
+  std::string name = "sensor";
+  double generation_hz = 100.0;  ///< f_t^m.
+  double distance_m = 20.0;      ///< d_m.
+};
+
+/// Input-buffer queueing (Eqs. 7, 22): three data classes share one buffer
+/// served at rate mu; each class arrives at its own Poisson rate.
+struct BufferConfig {
+  double service_rate_per_ms = 1.0;       ///< µ.
+  double frame_arrival_per_ms = 0.030;    ///< λ for captured frames (≈fps).
+  double volumetric_arrival_per_ms = 0.030;  ///< λ for volumetric data.
+  double external_arrival_per_ms = 0.200;    ///< λ for sensor packets.
+};
+
+/// Wireless connectivity to the edge and cooperative devices (Eq. 16/18).
+struct NetworkConfig {
+  double throughput_mbps = 40.0;  ///< r_w.
+  double edge_distance_m = 50.0;  ///< d_ε.
+  double coop_distance_m = 30.0;  ///< d_coop.
+  double coop_payload_mb = 0.25;  ///< δ_f4.
+};
+
+/// One edge server executing a share of the inference task (Eqs. 13–15).
+struct EdgeConfig {
+  std::string name = "edge";
+  /// Allocated resource c_ε. Negative means "derive from the client via the
+  /// paper's measured ratio c_ε = 11.76 c_client".
+  double resource = -1.0;
+  double memory_bandwidth_gbps = 136.5;  ///< m_ε (AGX Xavier class).
+  std::string cnn_name = "YoloV3";       ///< the large CNN on this server.
+  double omega_edge = 1.0;               ///< ω_edge^e: task share.
+};
+
+/// Inference placement and task split (ω terms of Eqs. 11, 13, 15).
+struct InferenceConfig {
+  InferencePlacement placement = InferencePlacement::kLocal;
+  std::string local_cnn_name = "MobileNetv2_300_Float";
+  double omega_client = 1.0;  ///< ω_client: split share kept on-device.
+  std::vector<EdgeConfig> edges = {EdgeConfig{}};
+  /// Encoded-frame "size" s_f3 fed to the edge CNN; negative derives from
+  /// the captured frame size.
+  double encoded_size = -1.0;
+};
+
+/// Device mobility / handoff (Eq. 17). Disabled by default (Fig. 4b's
+/// remote-inference evaluation has no mobility).
+struct MobilityConfig {
+  bool enabled = false;
+  double zone_radius_m = 120.0;
+  double step_length_per_frame_m = 1.0;
+  double vertical_fraction = 0.3;
+  wireless::HandoffLatencyConfig handoff;
+};
+
+/// XR cooperation (Eq. 18). Runs parallel to rendering by default, so it is
+/// excluded from the end-to-end totals unless include_in_total is set.
+struct CooperationConfig {
+  bool active = false;
+  bool include_in_total = false;
+};
+
+/// AoI requirements (Eqs. 22–26).
+struct AoiConfig {
+  double request_period_ms = 5.0;  ///< XR requests one update per period.
+  int updates_per_frame = 5;       ///< N.
+};
+
+/// The complete scenario consumed by the latency/energy/AoI models.
+struct ScenarioConfig {
+  ClientConfig client;
+  FrameConfig frame;
+  std::vector<SensorConfig> sensors = {SensorConfig{}};
+  BufferConfig buffer;
+  NetworkConfig network;
+  InferenceConfig inference;
+  devices::H264Config codec;
+  MobilityConfig mobility;
+  CooperationConfig cooperation;
+  AoiConfig aoi;
+
+  /// Number of sensor updates consumed per frame (N in Eq. 5).
+  int updates_per_frame = 3;
+};
+
+/// Validate a scenario's invariants (rates positive, shares in range, queue
+/// stability, ω_client + Σω_edge consistency). Throws std::invalid_argument
+/// with a descriptive message on the first violation.
+void validate(const ScenarioConfig& scenario);
+
+/// ω_task = ω_client + Σ_e ω_edge^e: the total inference task share.
+[[nodiscard]] double total_task_share(const InferenceConfig& inference);
+
+}  // namespace xr::core

@@ -1,0 +1,74 @@
+#include "core/slo.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/table.h"
+
+namespace xr::core {
+
+double achievable_fps(double latency_ms) {
+  if (latency_ms <= 0)
+    throw std::invalid_argument("achievable_fps: latency must be > 0");
+  return 1000.0 / latency_ms;
+}
+
+double battery_life_hours(double battery_wh, double energy_per_frame_mj,
+                          double fps) {
+  if (battery_wh <= 0 || energy_per_frame_mj <= 0 || fps <= 0)
+    throw std::invalid_argument("battery_life_hours: positive inputs");
+  // Wh -> J; mJ per frame at fps frames/s -> W.
+  const double joules = battery_wh * 3600.0;
+  const double watts = energy_per_frame_mj / 1000.0 * fps;
+  return joules / watts / 3600.0;
+}
+
+SloReport assess_slo(const ScenarioConfig& scenario, const SloTargets& t,
+                     const XrPerformanceModel& model) {
+  const PerformanceReport perf = model.evaluate(scenario);
+  SloReport report;
+
+  report.achievable_fps = achievable_fps(perf.latency.total);
+  // Frames consumed per second: the device cannot render faster than its
+  // pipeline latency allows, nor faster than the capture rate.
+  const double effective_fps =
+      std::min(report.achievable_fps, scenario.frame.fps);
+  report.battery_hours =
+      battery_life_hours(t.battery_wh, perf.energy.total, effective_fps);
+
+  report.checks.push_back(SloCheck{
+      "motion-to-photon (ms)", perf.latency.total, t.motion_to_photon_ms,
+      perf.latency.total <= t.motion_to_photon_ms});
+  report.checks.push_back(SloCheck{"frame rate (fps)",
+                                   report.achievable_fps, t.min_fps,
+                                   report.achievable_fps >= t.min_fps});
+  report.checks.push_back(SloCheck{"battery life (h)", report.battery_hours,
+                                   t.min_battery_hours,
+                                   report.battery_hours >=
+                                       t.min_battery_hours});
+  if (t.require_fresh_sensors) {
+    double min_roi = perf.sensors.empty() ? 1.0 : perf.sensors[0].roi;
+    for (const auto& s : perf.sensors) min_roi = std::min(min_roi, s.roi);
+    report.checks.push_back(
+        SloCheck{"sensor freshness (min RoI)", min_roi, 1.0, min_roi >= 1.0});
+  }
+
+  report.all_pass = std::all_of(report.checks.begin(), report.checks.end(),
+                                [](const SloCheck& c) { return c.pass; });
+  return report;
+}
+
+std::string SloReport::to_string() const {
+  trace::TablePrinter t({"SLO", "measured", "target", "verdict"});
+  t.set_align(0, trace::Align::kLeft);
+  for (const auto& c : checks)
+    t.add_row({c.name, trace::fixed(c.measured, 2), trace::fixed(c.target, 2),
+               c.pass ? "PASS" : "FAIL"});
+  std::ostringstream oss;
+  oss << t.render();
+  oss << (all_pass ? "all SLOs met\n" : "SLO VIOLATION\n");
+  return oss.str();
+}
+
+}  // namespace xr::core

@@ -1,0 +1,59 @@
+// Service-level-objective analysis on top of the performance models.
+//
+// Turns the per-frame numbers into the quantities an XR product team tracks:
+// whether the motion-to-photon budget holds, the achievable frame rate, the
+// battery life the energy model implies, and whether every sensor satisfies
+// the RoI freshness rule. This is the "assess the effectiveness of an XR
+// application" use the paper's abstract promises.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace xr::core {
+
+/// Targets the application must meet.
+struct SloTargets {
+  double motion_to_photon_ms = 100.0;  ///< end-to-end latency budget.
+  double min_fps = 10.0;               ///< sustained frame-rate floor.
+  double battery_wh = 15.0;            ///< device battery capacity.
+  double min_battery_hours = 2.0;      ///< required session length.
+  bool require_fresh_sensors = true;   ///< all RoI >= 1.
+};
+
+/// Verdict for one target.
+struct SloCheck {
+  std::string name;
+  double measured = 0;
+  double target = 0;
+  bool pass = false;
+};
+
+/// Full SLO assessment.
+struct SloReport {
+  std::vector<SloCheck> checks;
+  bool all_pass = false;
+  double achievable_fps = 0;   ///< 1000 / latency (pipeline un-pipelined).
+  double battery_hours = 0;    ///< battery / (energy-per-frame · fps).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Achievable frame rate implied by an end-to-end latency (sequential
+/// pipeline; a pipelined implementation can do better, this is the
+/// conservative bound). Latency must be positive.
+[[nodiscard]] double achievable_fps(double latency_ms);
+
+/// Battery life in hours for a per-frame energy at a frame rate.
+/// battery_wh > 0, energy > 0, fps > 0.
+[[nodiscard]] double battery_life_hours(double battery_wh,
+                                        double energy_per_frame_mj,
+                                        double fps);
+
+/// Assess a scenario against the targets.
+[[nodiscard]] SloReport assess_slo(const ScenarioConfig& scenario,
+                                   const SloTargets& targets,
+                                   const XrPerformanceModel& model = {});
+
+}  // namespace xr::core

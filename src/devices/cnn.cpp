@@ -1,0 +1,61 @@
+#include "devices/cnn.h"
+
+#include <stdexcept>
+
+namespace xr::devices {
+
+const std::vector<CnnSpec>& cnn_zoo() {
+  static const std::vector<CnnSpec> zoo = {
+      // name, depth, storage MB, depth-scale, gpu, quantized, edge-class
+      {"MobileNetv1_240_Float", 31, 16.9, 0.0, true, false, false},
+      {"MobileNetv1_240_Quant", 31, 4.3, 0.0, false, true, false},
+      {"MobileNetv2_300_Float", 99, 24.2, 0.0, true, false, false},
+      {"MobileNetv2_300_Quant", 112, 6.9, 0.0, false, true, false},
+      {"MobileNetv2_640_Float", 155, 12.3, 0.0, true, false, false},
+      {"MobileNetv2_640_Quant", 167, 4.5, 0.0, false, true, false},
+      {"EfficientNet_Float", 62, 18.6, 0.0, true, false, false},
+      {"EfficientNet_Quant", 65, 5.4, 0.0, false, true, false},
+      {"NasNet_Float", 663, 21.4, 0.0, true, false, false},
+      {"YoloV3", 106, 210.0, 0.0, true, false, true},
+      {"YoloV7", 0, 142.8, 1.5, true, false, true},
+  };
+  return zoo;
+}
+
+const CnnSpec& cnn_by_name(const std::string& name) {
+  for (const auto& c : cnn_zoo())
+    if (c.name == name) return c;
+  throw std::out_of_range("cnn_by_name: unknown CNN " + name);
+}
+
+CnnComplexityModel::CnnComplexityModel(CnnComplexityCoefficients coef)
+    : coef_(coef) {}
+
+double CnnComplexityModel::evaluate(double depth_layers, double storage_mb,
+                                    double depth_scale) const {
+  if (depth_layers < 0 || storage_mb < 0 || depth_scale < 0)
+    throw std::invalid_argument("CnnComplexityModel: negative attribute");
+  return coef_.intercept + coef_.per_layer * depth_layers +
+         coef_.per_mb * storage_mb + coef_.per_scale * depth_scale;
+}
+
+double CnnComplexityModel::evaluate(const CnnSpec& spec) const {
+  return evaluate(double(spec.depth_layers), spec.storage_mb,
+                  spec.depth_scale);
+}
+
+std::vector<math::Feature> CnnComplexityModel::regression_features() {
+  return {math::raw_feature("d_cnn", 0), math::raw_feature("s_cnn", 1),
+          math::raw_feature("d_scale", 2)};
+}
+
+CnnComplexityModel CnnComplexityModel::from_fitted(
+    const std::vector<double>& beta) {
+  if (beta.size() != 4)
+    throw std::invalid_argument(
+        "CnnComplexityModel::from_fitted: expected 4 coefficients");
+  return CnnComplexityModel(
+      CnnComplexityCoefficients{beta[0], beta[1], beta[2], beta[3]});
+}
+
+}  // namespace xr::devices

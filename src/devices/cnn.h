@@ -1,0 +1,76 @@
+// CNN model zoo (Table II) and the CNN-complexity model (Eq. 12).
+//
+// The paper quantifies a pre-trained CNN's contribution to inference latency
+// through a scalar complexity fitted by linear regression over the network's
+// depth (layers), storage size (MB), and depth-scaling factor:
+//
+//   C_CNN = 2.45 + 0.0025 d_CNN + 0.03 s_CNN + 0.0029 d_scale    (Eq. 12)
+//
+// with reported R² = 0.844. Note the printed Eqs. (11)/(13) use C_CNN in the
+// *denominator* of the inference-latency term; we reproduce the printed form
+// verbatim (see DESIGN.md, "Faithfulness notes").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/regression.h"
+
+namespace xr::devices {
+
+/// One row of Table II.
+struct CnnSpec {
+  std::string name;
+  int depth_layers = 0;       ///< d_CNN.
+  double storage_mb = 0;      ///< s_CNN.
+  double depth_scale = 0;     ///< d_scale (0 when the model has none).
+  bool gpu_support = true;
+  bool quantized = false;
+  /// True for the heavyweight models the paper deploys on the edge server
+  /// (YOLOv3 / YOLOv7).
+  bool edge_class = false;
+};
+
+/// The 11 CNN models of Table II.
+[[nodiscard]] const std::vector<CnnSpec>& cnn_zoo();
+
+/// Lookup by name; throws std::out_of_range if unknown.
+[[nodiscard]] const CnnSpec& cnn_by_name(const std::string& name);
+
+/// Coefficients of Eq. (12).
+struct CnnComplexityCoefficients {
+  double intercept = 2.45;
+  double per_layer = 0.0025;
+  double per_mb = 0.03;
+  double per_scale = 0.0029;
+};
+
+/// The CNN-complexity model (Eq. 12).
+class CnnComplexityModel {
+ public:
+  explicit CnnComplexityModel(
+      CnnComplexityCoefficients coef = CnnComplexityCoefficients{});
+
+  /// C_CNN for raw attributes. Throws std::invalid_argument on negative
+  /// inputs.
+  [[nodiscard]] double evaluate(double depth_layers, double storage_mb,
+                                double depth_scale) const;
+  /// C_CNN for a zoo entry.
+  [[nodiscard]] double evaluate(const CnnSpec& spec) const;
+
+  [[nodiscard]] const CnnComplexityCoefficients& coefficients()
+      const noexcept {
+    return coef_;
+  }
+
+  /// Feature set for refitting via xr::math::LinearModel; raw rows are
+  /// {depth, storage_mb, depth_scale} and the model has an intercept.
+  [[nodiscard]] static std::vector<math::Feature> regression_features();
+  [[nodiscard]] static CnnComplexityModel from_fitted(
+      const std::vector<double>& beta);
+
+ private:
+  CnnComplexityCoefficients coef_;
+};
+
+}  // namespace xr::devices

@@ -1,0 +1,86 @@
+#include "devices/codec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xr::devices {
+
+CodecModel::CodecModel(EncodingCoefficients coef, double decode_discount)
+    : coef_(coef), gamma_(decode_discount) {
+  if (decode_discount <= 0 || decode_discount > 1)
+    throw std::invalid_argument("CodecModel: discount in (0, 1]");
+}
+
+double CodecModel::encode_work(double frame_size,
+                               const H264Config& cfg) const {
+  if (frame_size <= 0)
+    throw std::invalid_argument("CodecModel: frame size must be > 0");
+  const double work =
+      coef_.intercept + coef_.per_i_interval * cfg.i_frame_interval +
+      coef_.per_b_interval * cfg.b_frame_interval +
+      coef_.per_bitrate * cfg.bitrate_mbps +
+      coef_.per_frame_size * frame_size + coef_.per_fps * cfg.fps +
+      coef_.per_quant * cfg.quantization;
+  return std::max(work, 1.0);
+}
+
+double CodecModel::encode_latency_ms(double frame_size, const H264Config& cfg,
+                                     double client_resource,
+                                     double data_size_mb,
+                                     double memory_bandwidth_gbps) const {
+  if (client_resource <= 0)
+    throw std::invalid_argument("CodecModel: resource must be > 0");
+  if (memory_bandwidth_gbps <= 0)
+    throw std::invalid_argument("CodecModel: bandwidth must be > 0");
+  if (data_size_mb < 0)
+    throw std::invalid_argument("CodecModel: negative data size");
+  return encode_work(frame_size, cfg) / client_resource +
+         data_size_mb / memory_bandwidth_gbps;
+}
+
+double CodecModel::decode_latency_ms(double encode_latency_ms,
+                                     double client_resource,
+                                     double edge_resource) const {
+  if (encode_latency_ms < 0)
+    throw std::invalid_argument("CodecModel: negative encode latency");
+  if (client_resource <= 0 || edge_resource <= 0)
+    throw std::invalid_argument("CodecModel: resources must be > 0");
+  return encode_latency_ms * client_resource * gamma_ / edge_resource;
+}
+
+double CodecModel::encoded_size_mb(double frame_size,
+                                   const H264Config& cfg) const {
+  if (frame_size <= 0)
+    throw std::invalid_argument("CodecModel: frame size must be > 0");
+  if (cfg.fps <= 0)
+    throw std::invalid_argument("CodecModel: fps must be > 0");
+  // Bitrate budget per frame (Mbit → MB) plus a small resolution-dependent
+  // floor: rate control cannot compress syntax overhead away.
+  const double rate_budget_mb = cfg.bitrate_mbps / cfg.fps / 8.0;
+  const double floor_mb = 4.0e-7 * frame_size * frame_size;
+  return rate_budget_mb + floor_mb;
+}
+
+std::vector<math::Feature> CodecModel::regression_features() {
+  return {math::raw_feature("n_i", 0),      math::raw_feature("n_b", 1),
+          math::raw_feature("n_bitrate", 2), math::raw_feature("s_f1", 3),
+          math::raw_feature("n_fps", 4),    math::raw_feature("n_quant", 5)};
+}
+
+CodecModel CodecModel::from_fitted(const std::vector<double>& beta,
+                                   double decode_discount) {
+  if (beta.size() != 7)
+    throw std::invalid_argument(
+        "CodecModel::from_fitted: expected 7 coefficients");
+  EncodingCoefficients c;
+  c.intercept = beta[0];
+  c.per_i_interval = beta[1];
+  c.per_b_interval = beta[2];
+  c.per_bitrate = beta[3];
+  c.per_frame_size = beta[4];
+  c.per_fps = beta[5];
+  c.per_quant = beta[6];
+  return CodecModel(c, decode_discount);
+}
+
+}  // namespace xr::devices

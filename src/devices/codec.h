@@ -1,0 +1,91 @@
+// H.264 encode/decode latency models — Eqs. (10) and (14).
+//
+// The paper models the H.264 frame-encoding latency by multiple linear
+// regression over the codec configuration (I-frame interval, B-frame
+// interval, bitrate, frame size, frame rate, quantization), divided by the
+// allocated compute resource, plus the buffer read term δ/m:
+//
+//   L_en = (−574.36 − 7.71 n_i + 142.61 n_b + 53.38 n_bitrate + 1.43 s_f1
+//           + 163.65 n_fps + 3.62 n_quant) / c_client + δ_f1/m_client  (Eq.10)
+//
+// with reported R² = 0.79. Decoding reconstructs frames in about one third
+// of the encode time on the same hardware ("discount rate" γ ≈ 1/3):
+//
+//   L_dec = L_en · c_client · γ / c_ε                              (Eq. 14)
+#pragma once
+
+#include "math/regression.h"
+
+namespace xr::devices {
+
+/// H.264 configuration, the regressors of Eq. (10).
+struct H264Config {
+  double i_frame_interval = 30;   ///< n_i: frames between I-frames.
+  double b_frame_interval = 2;    ///< n_b: consecutive B-frames.
+  double bitrate_mbps = 4;        ///< n_bitrate.
+  double fps = 30;                ///< n_fps.
+  double quantization = 28;       ///< n_quant (QP).
+};
+
+/// Coefficients of the Eq. (10) numerator polynomial.
+struct EncodingCoefficients {
+  double intercept = -574.36;
+  double per_i_interval = -7.71;
+  double per_b_interval = 142.61;
+  double per_bitrate = 53.38;
+  double per_frame_size = 1.43;
+  double per_fps = 163.65;
+  double per_quant = 3.62;
+};
+
+/// Encode/decode latency model.
+class CodecModel {
+ public:
+  explicit CodecModel(EncodingCoefficients coef = EncodingCoefficients{},
+                      double decode_discount = 1.0 / 3.0);
+
+  /// Numerator of Eq. (10) (compute work units) for a frame of size
+  /// `frame_size` (the paper's pixel² axis value) under `cfg`.
+  /// Floored at a small positive value: a regression extrapolated to tiny
+  /// frames can go negative, which is unphysical.
+  [[nodiscard]] double encode_work(double frame_size,
+                                   const H264Config& cfg) const;
+
+  /// Eq. (10): encode latency in ms given allocated resource and the buffer
+  /// read term δ_f1/m_client (pass data size in MB and bandwidth in GB/s).
+  [[nodiscard]] double encode_latency_ms(double frame_size,
+                                         const H264Config& cfg,
+                                         double client_resource,
+                                         double data_size_mb,
+                                         double memory_bandwidth_gbps) const;
+
+  /// Eq. (14): decode latency in ms on the edge from the encode latency on
+  /// the client.
+  [[nodiscard]] double decode_latency_ms(double encode_latency_ms,
+                                         double client_resource,
+                                         double edge_resource) const;
+
+  /// The paper's measured discount rate γ (decode/encode on equal hardware).
+  [[nodiscard]] double decode_discount() const noexcept { return gamma_; }
+  [[nodiscard]] const EncodingCoefficients& coefficients() const noexcept {
+    return coef_;
+  }
+
+  /// Compression: encoded output size (MB) for a frame under `cfg`. The
+  /// paper transmits δ_f3 (encoded data size); H.264 output is dominated by
+  /// bitrate/fps with a size-dependent floor.
+  [[nodiscard]] double encoded_size_mb(double frame_size,
+                                       const H264Config& cfg) const;
+
+  /// Feature set for refitting Eq. (10)'s numerator; raw rows are
+  /// {n_i, n_b, n_bitrate, s_f1, n_fps, n_quant}, with intercept.
+  [[nodiscard]] static std::vector<math::Feature> regression_features();
+  [[nodiscard]] static CodecModel from_fitted(const std::vector<double>& beta,
+                                              double decode_discount);
+
+ private:
+  EncodingCoefficients coef_;
+  double gamma_;
+};
+
+}  // namespace xr::devices

@@ -1,0 +1,86 @@
+#include "devices/compute.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xr::devices {
+
+AllocationCoefficients paper_allocation_coefficients() noexcept {
+  return AllocationCoefficients{};
+}
+
+ComputeAllocationModel::ComputeAllocationModel(AllocationCoefficients coef)
+    : coef_(coef) {}
+
+double ComputeAllocationModel::cpu_branch(double cpu_ghz) const {
+  if (cpu_ghz <= 0)
+    throw std::invalid_argument("ComputeAllocationModel: cpu clock > 0");
+  return coef_.cpu_intercept + coef_.cpu_quadratic * cpu_ghz * cpu_ghz +
+         coef_.cpu_linear * cpu_ghz;
+}
+
+double ComputeAllocationModel::gpu_branch(double gpu_ghz) const {
+  if (gpu_ghz <= 0)
+    throw std::invalid_argument("ComputeAllocationModel: gpu clock > 0");
+  return coef_.gpu_intercept + coef_.gpu_quadratic * gpu_ghz * gpu_ghz +
+         coef_.gpu_linear * gpu_ghz;
+}
+
+double ComputeAllocationModel::evaluate(double cpu_ghz, double gpu_ghz,
+                                        double omega_c) const {
+  if (omega_c < 0.0 || omega_c > 1.0)
+    throw std::invalid_argument(
+        "ComputeAllocationModel: omega_c must be in [0, 1]");
+  // A branch with zero weight is not evaluated, so a pure-CPU allocation
+  // does not require a valid GPU clock (and vice versa).
+  double value = 0.0;
+  if (omega_c > 0.0) value += omega_c * cpu_branch(cpu_ghz);
+  if (omega_c < 1.0) value += (1.0 - omega_c) * gpu_branch(gpu_ghz);
+  return std::max(value, min_resource());
+}
+
+std::vector<math::Feature> ComputeAllocationModel::regression_features() {
+  using math::Feature;
+  // Raw row: {f_c, f_g, omega_c}.
+  const auto fc = [](const std::vector<double>& x) { return x.at(0); };
+  const auto fg = [](const std::vector<double>& x) { return x.at(1); };
+  const auto wc = [](const std::vector<double>& x) { return x.at(2); };
+  return {
+      Feature{"wc", [wc](const std::vector<double>& x) { return wc(x); }},
+      Feature{"wc*fc^2",
+              [wc, fc](const std::vector<double>& x) {
+                return wc(x) * fc(x) * fc(x);
+              }},
+      Feature{"wc*fc",
+              [wc, fc](const std::vector<double>& x) {
+                return wc(x) * fc(x);
+              }},
+      Feature{"(1-wc)",
+              [wc](const std::vector<double>& x) { return 1.0 - wc(x); }},
+      Feature{"(1-wc)*fg^2",
+              [wc, fg](const std::vector<double>& x) {
+                return (1.0 - wc(x)) * fg(x) * fg(x);
+              }},
+      Feature{"(1-wc)*fg",
+              [wc, fg](const std::vector<double>& x) {
+                return (1.0 - wc(x)) * fg(x);
+              }},
+  };
+}
+
+ComputeAllocationModel ComputeAllocationModel::from_fitted(
+    const std::vector<double>& beta) {
+  if (beta.size() != 6)
+    throw std::invalid_argument(
+        "ComputeAllocationModel::from_fitted: expected 6 coefficients");
+  AllocationCoefficients c;
+  c.cpu_intercept = beta[0];
+  c.cpu_quadratic = beta[1];
+  c.cpu_linear = beta[2];
+  c.gpu_intercept = beta[3];
+  c.gpu_quadratic = beta[4];
+  c.gpu_linear = beta[5];
+  return ComputeAllocationModel(c);
+}
+
+}  // namespace xr::devices

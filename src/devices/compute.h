@@ -1,0 +1,96 @@
+// Computation-resource allocation model — Eq. (3).
+//
+// The paper finds that "available computation resources are a tuple of
+// processing speed, memory size, and allocated resources determined by the
+// application itself and the OS", and models the allocated resource c_client
+// by multiple linear regression over CPU/GPU clock frequencies and the CPU
+// utilization share ω_c:
+//
+//   c_client = ω_c (18.24 + 1.84 f_c² − 6.02 f_c)
+//            + (1 − ω_c)(193.67 + 400.96 f_g² − 558.29 f_g)     (Eq. 3)
+//
+// with reported R² = 0.87. The quadratics are only valid inside the fitted
+// clock range; `valid_range()` documents it and evaluate() clamps to a small
+// positive floor so downstream divisions stay finite.
+#pragma once
+
+#include "math/regression.h"
+
+namespace xr::devices {
+
+/// Allocated-resource tuple as the paper defines it: the effective resource
+/// scalar used in the latency equations plus the memory bandwidth that forms
+/// the second component of every segment latency (δ/m terms).
+struct ComputeResources {
+  double resource;             ///< c_client / c_ε (paper's internal unit).
+  double memory_bandwidth_gbps;  ///< m_client / m_ε in GB/s.
+};
+
+/// The per-branch quadratic coefficients of Eq. (3).
+struct AllocationCoefficients {
+  // CPU branch: a0 + a2 f_c² + a1 f_c.
+  double cpu_intercept = 18.24;
+  double cpu_quadratic = 1.84;
+  double cpu_linear = -6.02;
+  // GPU branch: b0 + b2 f_g² + b1 f_g.
+  double gpu_intercept = 193.67;
+  double gpu_quadratic = 400.96;
+  double gpu_linear = -558.29;
+};
+
+/// Eq. (3) with the paper's printed coefficients.
+[[nodiscard]] AllocationCoefficients paper_allocation_coefficients() noexcept;
+
+/// The compute-allocation model. Immutable after construction; refitting
+/// produces a new instance (see testbed/calibration).
+class ComputeAllocationModel {
+ public:
+  explicit ComputeAllocationModel(
+      AllocationCoefficients coef = paper_allocation_coefficients());
+
+  /// Eq. (3): allocated resource for CPU clock f_c (GHz), GPU clock f_g
+  /// (GHz), CPU utilization share omega_c in [0, 1]. Result floored at
+  /// `min_resource()` to keep downstream s/c divisions finite.
+  /// Throws std::invalid_argument for out-of-domain omega_c or non-positive
+  /// clocks.
+  [[nodiscard]] double evaluate(double cpu_ghz, double gpu_ghz,
+                                double omega_c) const;
+
+  /// CPU-only / GPU-only conveniences.
+  [[nodiscard]] double cpu_branch(double cpu_ghz) const;
+  [[nodiscard]] double gpu_branch(double gpu_ghz) const;
+
+  [[nodiscard]] const AllocationCoefficients& coefficients() const noexcept {
+    return coef_;
+  }
+
+  /// Clock range (GHz) inside which the quadratic fits are meaningful
+  /// (Table I devices span roughly 1.7–3.13 GHz CPU, 0.6–1.3 GHz GPU).
+  struct Range {
+    double cpu_lo = 0.5, cpu_hi = 3.2;
+    double gpu_lo = 0.4, gpu_hi = 1.5;
+  };
+  [[nodiscard]] static Range valid_range() noexcept { return {}; }
+
+  /// Floor applied to the evaluated resource.
+  [[nodiscard]] static double min_resource() noexcept { return 0.5; }
+
+  /// Feature set for refitting Eq. (3) via xr::math::LinearModel. Raw input
+  /// rows are {f_c, f_g, omega_c}; the regression has no intercept because
+  /// the two branches carry their own intercepts through the ω_c weights.
+  [[nodiscard]] static std::vector<math::Feature> regression_features();
+
+  /// Build a model from coefficients fitted with regression_features():
+  /// order {wc, wc*fc², wc*fc, (1-wc), (1-wc)*fg², (1-wc)*fg}.
+  [[nodiscard]] static ComputeAllocationModel from_fitted(
+      const std::vector<double>& beta);
+
+ private:
+  AllocationCoefficients coef_;
+};
+
+/// Paper relation derived from Eq. (14)'s experiments: the edge server's
+/// allocated resource relative to the XR device, c_ε = 11.76 c_client.
+inline constexpr double kEdgeResourceRatio = 11.76;
+
+}  // namespace xr::devices

@@ -1,0 +1,71 @@
+#include "devices/device.h"
+
+#include <stdexcept>
+
+namespace xr::devices {
+
+const std::vector<DeviceSpec>& device_catalog() {
+  static const std::vector<DeviceSpec> catalog = [] {
+    std::vector<DeviceSpec> d;
+    d.push_back(DeviceSpec{
+        "XR1", "Huawei Mate 40 Pro", "Kirin 9000 (5 nm)", 8, 3.13, 0.76,
+        "Mali G78", 8, 44.0, "Android 10", "a/b/g/n/ac/ax", "2020-10",
+        DeviceRole::kXrClient, DatasetSplit::kTrain, true});
+    d.push_back(DeviceSpec{
+        "XR2", "OnePlus 8 Pro", "Snapdragon 865 (7 nm)", 8, 2.84, 0.587,
+        "Adreno 650", 8, 44.0, "Android 10", "a/b/g/n/ac/ax", "2020-04",
+        DeviceRole::kXrClient, DatasetSplit::kTest, true});
+    d.push_back(DeviceSpec{
+        "XR3", "Motorola One Macro", "Helio P70 (12 nm)", 8, 2.0, 0.9,
+        "Mali G72", 4, 14.9, "Android 9", "b/g/n", "2019-10",
+        DeviceRole::kXrClient, DatasetSplit::kTrain, true});
+    d.push_back(DeviceSpec{
+        "XR4", "Xiaomi Redmi Note8", "Snapdragon 665 (11 nm)", 8, 2.0, 0.6,
+        "Adreno 610", 4, 14.9, "Android 10", "a/b/g/n/ac", "2020-08",
+        DeviceRole::kXrClient, DatasetSplit::kTest, true});
+    d.push_back(DeviceSpec{
+        "XR5", "Google Glass Enterprise Ed. 2", "Snapdragon XR1", 8, 2.52,
+        0.7, "Adreno 615", 3, 14.9, "Android 8.1", "a/g/b/n/ac", "2019-05",
+        DeviceRole::kXrClient, DatasetSplit::kTrain, true});
+    d.push_back(DeviceSpec{
+        "XR6", "Meta Quest 2", "Snapdragon XR2", 8, 2.84, 0.587,
+        "Adreno 650", 6, 44.0, "Oculus OS", "a/g/b/n/ac/ax", "2020-10",
+        DeviceRole::kXrClient, DatasetSplit::kTrain, true});
+    d.push_back(DeviceSpec{
+        "XR7", "Nvidia Jetson TX2", "Tegra (Denver2 + A57)", 6, 2.0, 1.3,
+        "256-core Pascal", 8, 59.7, "Ubuntu 18.04", "-", "2017-03",
+        DeviceRole::kExternalSensor, DatasetSplit::kTest, true});
+    d.push_back(DeviceSpec{
+        "EDGE", "Nvidia Jetson AGX Xavier", "Tegra (8x ARM v8.2)", 8, 2.27,
+        1.377, "512-core Volta (Tensor Cores)", 32, 136.5,
+        "Ubuntu 18.04 LTS aarch64", "-", "2018-10", DeviceRole::kEdgeServer,
+        DatasetSplit::kTest, true});
+    return d;
+  }();
+  return catalog;
+}
+
+const DeviceSpec& device_by_id(const std::string& id) {
+  for (const auto& d : device_catalog())
+    if (d.id == id) return d;
+  throw std::out_of_range("device_by_id: unknown device " + id);
+}
+
+std::vector<DeviceSpec> training_devices() {
+  std::vector<DeviceSpec> out;
+  for (const auto& d : device_catalog())
+    if (d.split == DatasetSplit::kTrain) out.push_back(d);
+  return out;
+}
+
+std::vector<DeviceSpec> test_devices() {
+  std::vector<DeviceSpec> out;
+  for (const auto& d : device_catalog())
+    if (d.split == DatasetSplit::kTest && d.role != DeviceRole::kEdgeServer)
+      out.push_back(d);
+  return out;
+}
+
+const DeviceSpec& edge_server() { return device_by_id("EDGE"); }
+
+}  // namespace xr::devices

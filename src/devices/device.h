@@ -1,0 +1,56 @@
+// Device catalog — Table I of the paper as data.
+//
+// Seven XR devices (phones, Google Glass, Quest 2, Jetson TX2) and the edge
+// servers (Jetson TX2 / AGX Xavier) with the hardware attributes the models
+// consume: CPU/GPU clocks, RAM size, memory bandwidth, OS, Wi-Fi standard,
+// and role. The regression training/testing split of §VII (train on XR1/3/5/6,
+// test on XR2/4/7) is encoded here too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xr::devices {
+
+/// Whether a device acts as the XR client, an external sensor platform, or
+/// an edge server in the testbed.
+enum class DeviceRole { kXrClient, kExternalSensor, kEdgeServer };
+
+/// Dataset split of §VII.
+enum class DatasetSplit { kTrain, kTest };
+
+/// One row of Table I plus the derived attributes the framework needs.
+struct DeviceSpec {
+  std::string id;            ///< "XR1" ... "XR7", "EDGE".
+  std::string model_name;    ///< e.g. "Huawei Mate 40 Pro".
+  std::string soc;           ///< e.g. "Kirin 9000 (5 nm)".
+  int cpu_cores = 0;
+  double max_cpu_ghz = 0;    ///< fastest core cluster clock.
+  double max_gpu_ghz = 0;    ///< approximate GPU clock.
+  std::string gpu_name;
+  double ram_gb = 0;
+  /// Peak memory bandwidth (GB/s) implied by the RAM technology: LPDDR4
+  /// ≈ 13–17, LPDDR4X ≈ 17–34, LPDDR5 ≈ 44–51.
+  double memory_bandwidth_gbps = 0;
+  std::string os;
+  std::string wifi;          ///< 802.11 amendment list.
+  std::string release_date;
+  DeviceRole role = DeviceRole::kXrClient;
+  DatasetSplit split = DatasetSplit::kTrain;
+  bool has_gpu_delegate = true;  ///< CNN GPU offload supported.
+};
+
+/// All Table I devices (7 XR devices + the AGX Xavier edge server).
+[[nodiscard]] const std::vector<DeviceSpec>& device_catalog();
+
+/// Lookup by id ("XR1".."XR7", "EDGE"). Throws std::out_of_range if unknown.
+[[nodiscard]] const DeviceSpec& device_by_id(const std::string& id);
+
+/// The §VII training devices (XR1, XR3, XR5, XR6).
+[[nodiscard]] std::vector<DeviceSpec> training_devices();
+/// The §VII held-out test devices (XR2, XR4, XR7).
+[[nodiscard]] std::vector<DeviceSpec> test_devices();
+/// The edge server spec (Jetson AGX Xavier).
+[[nodiscard]] const DeviceSpec& edge_server();
+
+}  // namespace xr::devices

@@ -1,0 +1,107 @@
+#include "devices/power.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xr::devices {
+
+PowerModel::PowerModel(PowerCoefficients coef, double base_power_mw,
+                       double thermal_fraction, double scale)
+    : coef_(coef), base_mw_(base_power_mw), theta_(thermal_fraction),
+      scale_(scale) {
+  if (base_power_mw < 0)
+    throw std::invalid_argument("PowerModel: negative base power");
+  if (thermal_fraction < 0 || thermal_fraction >= 1)
+    throw std::invalid_argument("PowerModel: thermal fraction in [0, 1)");
+  if (scale <= 0) throw std::invalid_argument("PowerModel: scale > 0");
+}
+
+double PowerModel::cpu_branch(double cpu_ghz) const {
+  if (cpu_ghz <= 0)
+    throw std::invalid_argument("PowerModel: cpu clock > 0");
+  return coef_.cpu_linear * cpu_ghz +
+         coef_.cpu_quadratic * cpu_ghz * cpu_ghz + coef_.cpu_intercept;
+}
+
+double PowerModel::gpu_branch(double gpu_ghz) const {
+  if (gpu_ghz <= 0)
+    throw std::invalid_argument("PowerModel: gpu clock > 0");
+  return coef_.gpu_linear * gpu_ghz +
+         coef_.gpu_quadratic * gpu_ghz * gpu_ghz + coef_.gpu_intercept;
+}
+
+double PowerModel::mean_power_mw(double cpu_ghz, double gpu_ghz,
+                                 double omega_c) const {
+  if (omega_c < 0 || omega_c > 1)
+    throw std::invalid_argument("PowerModel: omega_c in [0, 1]");
+  double p = 0.0;
+  if (omega_c > 0) p += omega_c * cpu_branch(cpu_ghz);
+  if (omega_c < 1) p += (1.0 - omega_c) * gpu_branch(gpu_ghz);
+  return std::max(p * scale_, 10.0);
+}
+
+double PowerModel::segment_energy_mj(double duration_ms, double cpu_ghz,
+                                     double gpu_ghz, double omega_c) const {
+  if (duration_ms < 0)
+    throw std::invalid_argument("PowerModel: negative duration");
+  // mW * ms = µJ; divide by 1000 for mJ.
+  return mean_power_mw(cpu_ghz, gpu_ghz, omega_c) * duration_ms / 1000.0;
+}
+
+double PowerModel::base_energy_mj(double duration_ms) const {
+  if (duration_ms < 0)
+    throw std::invalid_argument("PowerModel: negative duration");
+  return base_mw_ * duration_ms / 1000.0;
+}
+
+double PowerModel::thermal_energy_mj(double electrical_mj) const {
+  if (electrical_mj < 0)
+    throw std::invalid_argument("PowerModel: negative energy");
+  return theta_ * electrical_mj;
+}
+
+std::vector<math::Feature> PowerModel::regression_features() {
+  using math::Feature;
+  const auto fc = [](const std::vector<double>& x) { return x.at(0); };
+  const auto fg = [](const std::vector<double>& x) { return x.at(1); };
+  const auto wc = [](const std::vector<double>& x) { return x.at(2); };
+  return {
+      Feature{"wc*fc",
+              [wc, fc](const std::vector<double>& x) {
+                return wc(x) * fc(x);
+              }},
+      Feature{"wc*fc^2",
+              [wc, fc](const std::vector<double>& x) {
+                return wc(x) * fc(x) * fc(x);
+              }},
+      Feature{"wc", [wc](const std::vector<double>& x) { return wc(x); }},
+      Feature{"(1-wc)*fg",
+              [wc, fg](const std::vector<double>& x) {
+                return (1.0 - wc(x)) * fg(x);
+              }},
+      Feature{"(1-wc)*fg^2",
+              [wc, fg](const std::vector<double>& x) {
+                return (1.0 - wc(x)) * fg(x) * fg(x);
+              }},
+      Feature{"(1-wc)",
+              [wc](const std::vector<double>& x) { return 1.0 - wc(x); }},
+  };
+}
+
+PowerModel PowerModel::from_fitted(const std::vector<double>& beta,
+                                   double base_power_mw,
+                                   double thermal_fraction, double scale) {
+  if (beta.size() != 6)
+    throw std::invalid_argument(
+        "PowerModel::from_fitted: expected 6 coefficients");
+  PowerCoefficients c;
+  c.cpu_linear = beta[0];
+  c.cpu_quadratic = beta[1];
+  c.cpu_intercept = beta[2];
+  c.gpu_linear = beta[3];
+  c.gpu_quadratic = beta[4];
+  c.gpu_intercept = beta[5];
+  return PowerModel(c, base_power_mw, thermal_fraction, scale);
+}
+
+}  // namespace xr::devices

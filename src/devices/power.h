@@ -1,0 +1,82 @@
+// Power-consumption model — Eq. (21), base power, and heat dissipation.
+//
+// The paper models the mean power draw of an XR device during an application
+// as a regression over the allocated CPU/GPU resources:
+//
+//   P_mean = ω_c (18.85 f_c − 3.64 f_c² − 20.74)
+//          + (1 − ω_c)(187.48 f_g − 135.11 f_g² − 62.197)        (Eq. 21)
+//
+// with reported R² = 0.863 (units: internal power unit ≈ mW/100; we use mW
+// after a documented scale). Energy per segment is ∫P dt (Eq. 20); two extra
+// terms complete the balance: base energy E_base (OS background + leakage)
+// and thermal conversion E_θ (a fraction of total electrical energy
+// dissipated as heat).
+#pragma once
+
+#include "math/regression.h"
+
+namespace xr::devices {
+
+/// Per-branch coefficients of Eq. (21): c1 f − c2 f² − c0.
+struct PowerCoefficients {
+  double cpu_linear = 18.85;
+  double cpu_quadratic = -3.64;
+  double cpu_intercept = -20.74;
+  double gpu_linear = 187.48;
+  double gpu_quadratic = -135.11;
+  double gpu_intercept = -62.197;
+};
+
+/// Mean-power model with base power and heat-dissipation accounting.
+class PowerModel {
+ public:
+  /// base_power_mw: P_base, the always-on draw from OS background activity
+  /// and leakage current. thermal_fraction: share of total electrical energy
+  /// converted to heat (E_θ), in [0, 1). scale: multiplier converting the
+  /// regression's internal unit to mW (default 100).
+  explicit PowerModel(PowerCoefficients coef = PowerCoefficients{},
+                      double base_power_mw = 350.0,
+                      double thermal_fraction = 0.06, double scale = 100.0);
+
+  /// Eq. (21): mean application power (mW) for clocks (GHz) and CPU share
+  /// omega_c in [0, 1]. Floored at a small positive value (regressions
+  /// extrapolate negative below ~1 GHz CPU-only).
+  [[nodiscard]] double mean_power_mw(double cpu_ghz, double gpu_ghz,
+                                     double omega_c) const;
+
+  [[nodiscard]] double cpu_branch(double cpu_ghz) const;
+  [[nodiscard]] double gpu_branch(double gpu_ghz) const;
+
+  /// Energy (mJ) of a segment of `duration_ms` at the mean power for the
+  /// given allocation — one term of Eq. (20).
+  [[nodiscard]] double segment_energy_mj(double duration_ms, double cpu_ghz,
+                                         double gpu_ghz, double omega_c) const;
+
+  /// E_base over a window: base power integrated over the duration.
+  [[nodiscard]] double base_energy_mj(double duration_ms) const;
+
+  /// E_θ: thermal energy for a given total electrical energy.
+  [[nodiscard]] double thermal_energy_mj(double electrical_mj) const;
+
+  [[nodiscard]] double base_power_mw() const noexcept { return base_mw_; }
+  [[nodiscard]] double thermal_fraction() const noexcept { return theta_; }
+  [[nodiscard]] const PowerCoefficients& coefficients() const noexcept {
+    return coef_;
+  }
+
+  /// Feature set for refitting Eq. (21); raw rows {f_c, f_g, omega_c},
+  /// no intercept (branch intercepts are carried by the ω features).
+  [[nodiscard]] static std::vector<math::Feature> regression_features();
+  [[nodiscard]] static PowerModel from_fitted(const std::vector<double>& beta,
+                                              double base_power_mw,
+                                              double thermal_fraction,
+                                              double scale = 100.0);
+
+ private:
+  PowerCoefficients coef_;
+  double base_mw_;
+  double theta_;
+  double scale_;
+};
+
+}  // namespace xr::devices

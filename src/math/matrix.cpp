@@ -1,0 +1,212 @@
+#include "math/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xr::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::column(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double k) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v *= k;
+  return out;
+}
+
+std::vector<double> Matrix::to_vector() const {
+  if (cols_ != 1 && rows_ != 1)
+    throw std::logic_error("Matrix::to_vector: not a vector");
+  return data_;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m)
+    throw std::invalid_argument("solve_least_squares: b length mismatch");
+  if (m < n)
+    throw std::invalid_argument("solve_least_squares: underdetermined");
+
+  // Householder QR applied in-place to a working copy of [A | b].
+  Matrix r = a;
+  std::vector<double> qtb = b;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k.
+    double norm = 0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12)
+      throw std::runtime_error("solve_least_squares: rank-deficient matrix");
+    if (r(k, k) > 0) norm = -norm;
+
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - norm;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0;
+    for (double x : v) vtv += x * x;
+    if (vtv < 1e-300)
+      throw std::runtime_error("solve_least_squares: degenerate reflector");
+
+    // Apply H = I - 2 v vᵀ / (vᵀv) to the remaining columns and to b.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double dot = 0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double f = 2.0 * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= f * v[i - k];
+  }
+
+  // Back-substitute R x = Qᵀb (top n rows).
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= r(ii, j) * x[j];
+    if (std::abs(r(ii, ii)) < 1e-12)
+      throw std::runtime_error("solve_least_squares: singular R");
+    x[ii] = sum / r(ii, ii);
+  }
+  return x;
+}
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0)
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  const Matrix l = cholesky(a);
+  const std::size_t n = a.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_spd: length mismatch");
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back solve Lᵀ x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Matrix invert_spd(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const auto col = solve_spd(a, e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace xr::math

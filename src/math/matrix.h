@@ -1,0 +1,73 @@
+// Small dense matrix type with the factorizations the regression code needs.
+//
+// This is not a general linear-algebra library: it provides exactly what the
+// multiple-linear-regression fitting in this framework requires — dense
+// storage, products, transpose, Householder QR least-squares, and Cholesky
+// for (XᵀX)⁻¹ when coefficient standard errors are needed.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace xr::math {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Column vector from values.
+  [[nodiscard]] static Matrix column(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double k) const;
+
+  /// Flatten a single-column (or single-row) matrix to a std::vector.
+  [[nodiscard]] std::vector<double> to_vector() const;
+
+  /// Max absolute element (infinity norm of the flattened matrix).
+  [[nodiscard]] double max_abs() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve the least-squares problem min ||A x − b||₂ via Householder QR.
+/// A is m x n with m >= n and full column rank; b has length m.
+/// Throws std::invalid_argument on shape mismatch and std::runtime_error if
+/// A is rank-deficient (within a tolerance).
+[[nodiscard]] std::vector<double> solve_least_squares(
+    const Matrix& a, const std::vector<double>& b);
+
+/// Cholesky factorization of a symmetric positive-definite matrix: returns
+/// lower-triangular L with A = L Lᵀ. Throws std::runtime_error if A is not
+/// positive definite.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b for SPD A using its Cholesky factor.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a,
+                                            const std::vector<double>& b);
+
+/// Inverse of an SPD matrix via Cholesky (used for coefficient covariance).
+[[nodiscard]] Matrix invert_spd(const Matrix& a);
+
+}  // namespace xr::math

@@ -1,0 +1,48 @@
+#include "math/polynomial.h"
+
+#include <stdexcept>
+
+#include "math/matrix.h"
+
+namespace xr::math {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coef_(std::move(coefficients)) {
+  if (coef_.empty())
+    throw std::invalid_argument("Polynomial: need >= 1 coefficient");
+}
+
+double Polynomial::operator()(double x) const noexcept {
+  double acc = 0;
+  for (std::size_t i = coef_.size(); i-- > 0;) acc = acc * x + coef_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coef_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coef_.size() - 1);
+  for (std::size_t i = 1; i < coef_.size(); ++i)
+    d[i - 1] = coef_[i] * double(i);
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::fit(const std::vector<double>& x,
+                           const std::vector<double>& y, std::size_t degree) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("Polynomial::fit: length mismatch");
+  const std::size_t p = degree + 1;
+  if (x.size() <= p)
+    throw std::invalid_argument("Polynomial::fit: need more points than "
+                                "coefficients");
+  Matrix design(x.size(), p);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double pow = 1.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      design(i, j) = pow;
+      pow *= x[i];
+    }
+  }
+  return Polynomial(solve_least_squares(design, y));
+}
+
+}  // namespace xr::math

@@ -1,0 +1,39 @@
+// 1-D polynomial utilities: evaluation (Horner) and least-squares polyfit.
+//
+// Used for quick curve fits in the calibration tooling and for generating
+// smooth hidden "device efficiency" curves in the synthetic testbed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xr::math {
+
+/// Polynomial with coefficients in ascending power order:
+/// p(x) = c[0] + c[1] x + c[2] x² + ...
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coefficients);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coef_;
+  }
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return coef_.empty() ? 0 : coef_.size() - 1;
+  }
+  /// Derivative polynomial.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// Least-squares fit of a degree-`degree` polynomial to (x, y) points.
+  /// Requires more points than coefficients.
+  [[nodiscard]] static Polynomial fit(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      std::size_t degree);
+
+ private:
+  std::vector<double> coef_;
+};
+
+}  // namespace xr::math

@@ -1,0 +1,163 @@
+#include "math/regression.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xr::math {
+
+LinearModel::LinearModel(std::vector<Feature> features, bool include_intercept)
+    : features_(std::move(features)), intercept_(include_intercept) {
+  if (features_.empty() && !intercept_)
+    throw std::invalid_argument("LinearModel: no parameters");
+}
+
+LinearModel::LinearModel(std::vector<Feature> features,
+                         std::vector<double> coefficients,
+                         bool include_intercept)
+    : LinearModel(std::move(features), include_intercept) {
+  if (coefficients.size() != parameter_count())
+    throw std::invalid_argument(
+        "LinearModel: coefficient count does not match feature count");
+  coef_ = std::move(coefficients);
+}
+
+std::vector<double> LinearModel::design_row(
+    const std::vector<double>& x) const {
+  std::vector<double> row;
+  row.reserve(parameter_count());
+  if (intercept_) row.push_back(1.0);
+  for (const auto& f : features_) row.push_back(f.eval(x));
+  return row;
+}
+
+FitSummary LinearModel::fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("LinearModel::fit: X/y length mismatch");
+  const std::size_t n = x.size();
+  const std::size_t p = parameter_count();
+  if (n <= p)
+    throw std::invalid_argument("LinearModel::fit: need more samples than "
+                                "parameters");
+
+  Matrix design(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = design_row(x[i]);
+    for (std::size_t j = 0; j < p; ++j) design(i, j) = row[j];
+  }
+  coef_ = solve_least_squares(design, y);
+
+  // Residual and total sums of squares.
+  double y_mean = 0;
+  for (double v : y) y_mean += v;
+  y_mean /= double(n);
+  double rss = 0, tss = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = 0;
+    for (std::size_t j = 0; j < p; ++j) pred += design(i, j) * coef_[j];
+    const double r = y[i] - pred;
+    rss += r * r;
+    const double d = y[i] - y_mean;
+    tss += d * d;
+  }
+
+  FitSummary s;
+  s.n_samples = n;
+  s.n_params = p;
+  s.r_squared = tss > 0 ? 1.0 - rss / tss : 1.0;
+  s.adjusted_r_squared =
+      1.0 - (1.0 - s.r_squared) * double(n - 1) / double(n - p);
+  const double sigma2 = rss / double(n - p);
+  s.residual_std_error = std::sqrt(sigma2);
+
+  // Coefficient covariance = sigma² (XᵀX)⁻¹.
+  const Matrix xtx = design.transpose() * design;
+  const Matrix cov = invert_spd(xtx).scaled(sigma2);
+  s.coef_std_errors.resize(p);
+  s.coef_ci95_halfwidth.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    s.coef_std_errors[j] = std::sqrt(std::max(cov(j, j), 0.0));
+    s.coef_ci95_halfwidth[j] = 1.96 * s.coef_std_errors[j];
+  }
+  return s;
+}
+
+double LinearModel::predict(const std::vector<double>& x) const {
+  if (!fitted())
+    throw std::logic_error("LinearModel::predict: model has no coefficients");
+  const auto row = design_row(x);
+  double out = 0;
+  for (std::size_t j = 0; j < row.size(); ++j) out += row[j] * coef_[j];
+  return out;
+}
+
+std::vector<double> LinearModel::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+double LinearModel::score(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) const {
+  if (x.size() != y.size())
+    throw std::invalid_argument("LinearModel::score: X/y length mismatch");
+  if (y.empty()) throw std::invalid_argument("LinearModel::score: empty data");
+  double y_mean = 0;
+  for (double v : y) y_mean += v;
+  y_mean /= double(y.size());
+  double rss = 0, tss = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - predict(x[i]);
+    rss += r * r;
+    const double d = y[i] - y_mean;
+    tss += d * d;
+  }
+  return tss > 0 ? 1.0 - rss / tss : 1.0;
+}
+
+std::string LinearModel::equation_string(int precision) const {
+  if (!fitted()) return "<unfitted>";
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << "y = ";
+  std::size_t j = 0;
+  bool first = true;
+  if (intercept_) {
+    oss << coef_[0];
+    ++j;
+    first = false;
+  }
+  for (const auto& f : features_) {
+    const double c = coef_[j++];
+    if (first) {
+      oss << c << "*" << f.name;
+      first = false;
+    } else {
+      oss << (c < 0 ? " - " : " + ") << std::abs(c) << "*" << f.name;
+    }
+  }
+  return oss.str();
+}
+
+Feature raw_feature(std::string name, std::size_t index) {
+  return {std::move(name),
+          [index](const std::vector<double>& x) { return x.at(index); }};
+}
+
+Feature squared_feature(std::string name, std::size_t index) {
+  return {std::move(name), [index](const std::vector<double>& x) {
+            const double v = x.at(index);
+            return v * v;
+          }};
+}
+
+Feature product_feature(std::string name, std::size_t i, std::size_t j) {
+  return {std::move(name), [i, j](const std::vector<double>& x) {
+            return x.at(i) * x.at(j);
+          }};
+}
+
+}  // namespace xr::math

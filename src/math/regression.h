@@ -1,0 +1,97 @@
+// Multiple linear regression with the diagnostics the paper reports.
+//
+// The framework's regression-backed equations (Eqs. 3, 10, 12, 21) are all
+// ordinary least-squares fits; the paper reports their R² and fits them at a
+// 95% confidence boundary. LinearModel reproduces that workflow: fit via QR,
+// report R² / adjusted R², coefficient standard errors and 95% confidence
+// intervals, and predict on held-out data.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace xr::math {
+
+/// A named feature: maps a raw input row to one regressor value.
+/// Example: {"fc^2", [](const auto& x){ return x[0]*x[0]; }}.
+struct Feature {
+  std::string name;
+  std::function<double(const std::vector<double>&)> eval;
+};
+
+/// Result diagnostics of an OLS fit.
+struct FitSummary {
+  std::size_t n_samples = 0;
+  std::size_t n_params = 0;
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  double residual_std_error = 0.0;  ///< sqrt(RSS / (n - p))
+  std::vector<double> coef_std_errors;
+  /// Half-width of the 95% confidence interval per coefficient
+  /// (1.96 * std error; large-sample normal approximation).
+  std::vector<double> coef_ci95_halfwidth;
+};
+
+/// Ordinary least-squares linear model over a configurable feature map.
+///
+/// A model is constructed either from known coefficients (the paper's printed
+/// equations) or by fitting to data (reproducing §VII). The feature list
+/// always implicitly includes an intercept as the first coefficient unless
+/// `include_intercept` is false.
+class LinearModel {
+ public:
+  LinearModel(std::vector<Feature> features, bool include_intercept = true);
+
+  /// Construct with pre-set coefficients (paper-printed form). The number of
+  /// coefficients must equal features().size() + (intercept ? 1 : 0).
+  LinearModel(std::vector<Feature> features, std::vector<double> coefficients,
+              bool include_intercept = true);
+
+  /// Fit to raw input rows X (each row is the raw input vector passed to the
+  /// features) and targets y. Returns diagnostics. Throws on shape errors or
+  /// rank deficiency.
+  FitSummary fit(const std::vector<std::vector<double>>& x,
+                 const std::vector<double>& y);
+
+  /// Predict a single raw input row.
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+  /// Predict many rows.
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// R² evaluated on an arbitrary dataset (e.g. the held-out test split).
+  [[nodiscard]] double score(const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y) const;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coef_;
+  }
+  [[nodiscard]] bool fitted() const noexcept { return !coef_.empty(); }
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return features_.size() + (intercept_ ? 1u : 0u);
+  }
+  [[nodiscard]] const std::vector<Feature>& features() const noexcept {
+    return features_;
+  }
+  /// Human-readable equation string, e.g. "y = 18.24 + 1.84*fc^2 - 6.02*fc".
+  [[nodiscard]] std::string equation_string(int precision = 4) const;
+
+ private:
+  [[nodiscard]] std::vector<double> design_row(
+      const std::vector<double>& x) const;
+
+  std::vector<Feature> features_;
+  bool intercept_;
+  std::vector<double> coef_;
+};
+
+/// Helpers to build common feature sets.
+[[nodiscard]] Feature raw_feature(std::string name, std::size_t index);
+[[nodiscard]] Feature squared_feature(std::string name, std::size_t index);
+[[nodiscard]] Feature product_feature(std::string name, std::size_t i,
+                                      std::size_t j);
+
+}  // namespace xr::math

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation and distributions.
+//
+// The framework's experiments must be exactly reproducible across runs and
+// platforms, so we ship our own xoshiro256** generator (public-domain
+// algorithm by Blackman & Vigna) seeded via SplitMix64, plus the handful of
+// distributions the simulators need. std::*_distribution is deliberately
+// avoided: its output is implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace xr::math {
+
+/// SplitMix64 step — used for seeding and cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit hash of a string (FNV-1a), for deriving named RNG streams.
+[[nodiscard]] std::uint64_t hash64(std::string_view s) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xD1CEB01DULL) noexcept;
+
+  /// Uniform 64-bit integer.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state simple).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Lognormal with the given parameters of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with rate lambda (> 0). Mean = 1/lambda.
+  [[nodiscard]] double exponential(double lambda) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Derive an independent child generator for the named stream. The same
+  /// (seed, name) pair always produces the same child, regardless of how many
+  /// draws were made from the parent.
+  [[nodiscard]] Rng stream(std::string_view name) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  std::uint64_t seed_;
+};
+
+}  // namespace xr::math

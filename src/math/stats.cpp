@@ -1,0 +1,127 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xr::math {
+
+namespace {
+void require_nonempty(const std::vector<double>& v, const char* who) {
+  if (v.empty()) throw std::invalid_argument(std::string(who) + ": empty");
+}
+void require_same_size(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* who) {
+  if (a.size() != b.size())
+    throw std::invalid_argument(std::string(who) + ": length mismatch");
+  require_nonempty(a, who);
+}
+}  // namespace
+
+double mean(const std::vector<double>& v) {
+  require_nonempty(v, "mean");
+  double s = 0;
+  for (double x : v) s += x;
+  return s / double(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  const double m = mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / double(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double percentile(std::vector<double> v, double p) {
+  require_nonempty(v, "percentile");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * double(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - double(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double min_of(const std::vector<double>& v) {
+  require_nonempty(v, "min_of");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  require_nonempty(v, "max_of");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  require_same_size(a, b, "pearson");
+  const double ma = mean(a), mb = mean(b);
+  double num = 0, da = 0, db = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0 || db <= 0)
+    throw std::invalid_argument("pearson: degenerate variance");
+  return num / std::sqrt(da * db);
+}
+
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  require_same_size(truth, predicted, "mape");
+  double s = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0)
+      throw std::invalid_argument("mape: ground truth contains zero");
+    s += std::abs((predicted[i] - truth[i]) / truth[i]);
+  }
+  return 100.0 * s / double(truth.size());
+}
+
+double rmse(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  require_same_size(truth, predicted, "rmse");
+  double s = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / double(truth.size()));
+}
+
+double mae(const std::vector<double>& truth,
+           const std::vector<double>& predicted) {
+  require_same_size(truth, predicted, "mae");
+  double s = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    s += std::abs(predicted[i] - truth[i]);
+  return s / double(truth.size());
+}
+
+double normalized_accuracy(const std::vector<double>& truth,
+                           const std::vector<double>& predicted) {
+  return std::max(0.0, 100.0 - mape(truth, predicted));
+}
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& predicted) {
+  require_same_size(truth, predicted, "r_squared");
+  const double m = mean(truth);
+  double rss = 0, tss = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    rss += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    tss += (truth[i] - m) * (truth[i] - m);
+  }
+  if (tss <= 0) throw std::invalid_argument("r_squared: degenerate truth");
+  return 1.0 - rss / tss;
+}
+
+}  // namespace xr::math

@@ -1,0 +1,51 @@
+// Descriptive statistics and model-error metrics.
+//
+// The paper reports model quality as "mean error" percentages (MAPE against
+// ground truth) and Fig. 5 as "normalized accuracy"; these helpers implement
+// those exact definitions plus the usual supporting metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xr::math {
+
+[[nodiscard]] double mean(const std::vector<double>& v);
+/// Sample variance (n-1). Requires at least two elements.
+[[nodiscard]] double variance(const std::vector<double>& v);
+[[nodiscard]] double stddev(const std::vector<double>& v);
+[[nodiscard]] double median(std::vector<double> v);
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> v, double p);
+[[nodiscard]] double min_of(const std::vector<double>& v);
+[[nodiscard]] double max_of(const std::vector<double>& v);
+
+/// Pearson correlation coefficient. Requires equal non-empty lengths and
+/// non-degenerate variance.
+[[nodiscard]] double pearson(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Mean absolute percentage error of predictions vs. ground truth, in
+/// percent. This is the paper's "mean error". Ground-truth zeros are
+/// rejected (std::invalid_argument).
+[[nodiscard]] double mape(const std::vector<double>& truth,
+                          const std::vector<double>& predicted);
+
+/// Root-mean-square error.
+[[nodiscard]] double rmse(const std::vector<double>& truth,
+                          const std::vector<double>& predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(const std::vector<double>& truth,
+                         const std::vector<double>& predicted);
+
+/// The paper's Fig. 5 metric: accuracy normalized so ground truth = 100%.
+/// Defined as 100 − MAPE(truth, predicted), floored at 0.
+[[nodiscard]] double normalized_accuracy(const std::vector<double>& truth,
+                                         const std::vector<double>& predicted);
+
+/// Coefficient of determination R² of predictions vs. truth.
+[[nodiscard]] double r_squared(const std::vector<double>& truth,
+                               const std::vector<double>& predicted);
+
+}  // namespace xr::math

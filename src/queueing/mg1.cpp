@@ -1,0 +1,45 @@
+#include "queueing/mg1.h"
+
+#include <stdexcept>
+
+namespace xr::queueing {
+
+MG1::MG1(double lambda, double mean_service, double service_scv)
+    : lambda_(lambda), es_(mean_service), scv_(service_scv) {
+  if (lambda <= 0 || mean_service <= 0)
+    throw std::invalid_argument("MG1: rates must be positive");
+  if (service_scv < 0)
+    throw std::invalid_argument("MG1: SCV must be non-negative");
+  if (lambda * mean_service >= 1.0)
+    throw std::invalid_argument("MG1: unstable (rho >= 1)");
+}
+
+MG1 MG1::md1(double lambda, double deterministic_service) {
+  return MG1(lambda, deterministic_service, 0.0);
+}
+
+MG1 MG1::mm1(double lambda, double mu) {
+  if (mu <= 0) throw std::invalid_argument("MG1::mm1: mu must be positive");
+  return MG1(lambda, 1.0 / mu, 1.0);
+}
+
+double MG1::utilization() const noexcept { return lambda_ * es_; }
+
+double MG1::mean_waiting_time() const noexcept {
+  const double rho = utilization();
+  return rho * es_ * (1.0 + scv_) / (2.0 * (1.0 - rho));
+}
+
+double MG1::mean_time_in_system() const noexcept {
+  return mean_waiting_time() + es_;
+}
+
+double MG1::mean_number_in_queue() const noexcept {
+  return lambda_ * mean_waiting_time();
+}
+
+double MG1::mean_number_in_system() const noexcept {
+  return lambda_ * mean_time_in_system();
+}
+
+}  // namespace xr::queueing

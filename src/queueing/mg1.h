@@ -1,0 +1,36 @@
+// M/G/1 queueing via the Pollaczek–Khinchine formula.
+//
+// The ground-truth simulator's encoder stage has non-exponential (jittered
+// deterministic) service times; the M/G/1 model bounds the buffering error an
+// M/M/1 assumption introduces and is exercised by the ablation benches.
+#pragma once
+
+namespace xr::queueing {
+
+/// A stable M/G/1 queue described by its arrival rate and the first two
+/// moments of the service-time distribution.
+class MG1 {
+ public:
+  /// mean_service: E[S]; service_scv: squared coefficient of variation
+  /// Var[S]/E[S]². Throws std::invalid_argument unless lambda*E[S] < 1.
+  MG1(double lambda, double mean_service, double service_scv);
+
+  /// Convenience factories.
+  [[nodiscard]] static MG1 md1(double lambda, double deterministic_service);
+  [[nodiscard]] static MG1 mm1(double lambda, double mu);
+
+  [[nodiscard]] double utilization() const noexcept;
+  /// Pollaczek–Khinchine mean waiting time:
+  ///   Wq = rho E[S] (1 + C²) / (2 (1 − rho)).
+  [[nodiscard]] double mean_waiting_time() const noexcept;
+  [[nodiscard]] double mean_time_in_system() const noexcept;
+  [[nodiscard]] double mean_number_in_queue() const noexcept;
+  [[nodiscard]] double mean_number_in_system() const noexcept;
+
+ private:
+  double lambda_;
+  double es_;
+  double scv_;
+};
+
+}  // namespace xr::queueing

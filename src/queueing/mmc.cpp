@@ -1,0 +1,57 @@
+#include "queueing/mmc.h"
+
+#include <stdexcept>
+
+namespace xr::queueing {
+
+double erlang_b(double offered_load, unsigned servers) {
+  if (offered_load < 0)
+    throw std::invalid_argument("erlang_b: offered load must be >= 0");
+  // B(0, a) = 1; B(c, a) = a B(c-1, a) / (c + a B(c-1, a)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= servers; ++k)
+    b = offered_load * b / (double(k) + offered_load * b);
+  return b;
+}
+
+double erlang_c(double offered_load, unsigned servers) {
+  if (servers == 0) throw std::invalid_argument("erlang_c: need >= 1 server");
+  if (offered_load >= double(servers))
+    throw std::invalid_argument("erlang_c: unstable (a >= c)");
+  const double b = erlang_b(offered_load, servers);
+  const double rho = offered_load / double(servers);
+  return b / (1.0 - rho + rho * b);
+}
+
+MMc::MMc(double lambda, double mu, unsigned servers)
+    : lambda_(lambda), mu_(mu), c_(servers) {
+  if (servers == 0) throw std::invalid_argument("MMc: need >= 1 server");
+  if (lambda <= 0 || mu <= 0)
+    throw std::invalid_argument("MMc: rates must be positive");
+  if (lambda >= double(servers) * mu)
+    throw std::invalid_argument("MMc: unstable (lambda >= c mu)");
+}
+
+double MMc::utilization() const noexcept {
+  return lambda_ / (double(c_) * mu_);
+}
+
+double MMc::probability_wait() const { return erlang_c(lambda_ / mu_, c_); }
+
+double MMc::mean_waiting_time() const {
+  return probability_wait() / (double(c_) * mu_ - lambda_);
+}
+
+double MMc::mean_time_in_system() const {
+  return mean_waiting_time() + 1.0 / mu_;
+}
+
+double MMc::mean_number_in_queue() const {
+  return lambda_ * mean_waiting_time();
+}
+
+double MMc::mean_number_in_system() const {
+  return lambda_ * mean_time_in_system();
+}
+
+}  // namespace xr::queueing

@@ -1,0 +1,47 @@
+// M/M/c queueing: Erlang-B, Erlang-C, and the standard waiting metrics.
+//
+// Multi-server queues model the multi-edge-server deployments of Eq. (15):
+// when an XR application splits inference across several edge servers the
+// per-server buffers behave as an M/M/c pool under symmetric load, which the
+// capacity-planning example uses.
+#pragma once
+
+namespace xr::queueing {
+
+/// Erlang-B blocking probability for c servers offered load a = lambda/mu.
+/// Computed with the numerically stable recurrence.
+[[nodiscard]] double erlang_b(double offered_load, unsigned servers);
+
+/// Erlang-C probability that an arrival must wait (M/M/c, lambda < c mu).
+[[nodiscard]] double erlang_c(double offered_load, unsigned servers);
+
+/// A stable M/M/c queue (lambda < c * mu).
+class MMc {
+ public:
+  /// Throws std::invalid_argument unless servers >= 1 and lambda < c mu.
+  MMc(double lambda, double mu, unsigned servers);
+
+  [[nodiscard]] double arrival_rate() const noexcept { return lambda_; }
+  [[nodiscard]] double service_rate() const noexcept { return mu_; }
+  [[nodiscard]] unsigned servers() const noexcept { return c_; }
+
+  /// Per-server utilization rho = lambda / (c mu).
+  [[nodiscard]] double utilization() const noexcept;
+  /// Probability an arriving job waits (Erlang C).
+  [[nodiscard]] double probability_wait() const;
+  /// Mean waiting time in queue.
+  [[nodiscard]] double mean_waiting_time() const;
+  /// Mean time in system (wait + service).
+  [[nodiscard]] double mean_time_in_system() const;
+  /// Mean number in queue.
+  [[nodiscard]] double mean_number_in_queue() const;
+  /// Mean number in system.
+  [[nodiscard]] double mean_number_in_system() const;
+
+ private:
+  double lambda_;
+  double mu_;
+  unsigned c_;
+};
+
+}  // namespace xr::queueing

@@ -1,0 +1,138 @@
+#include "queueing/priority.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace xr::queueing {
+
+PriorityMM1::PriorityMM1(std::vector<PriorityClass> classes, double mu)
+    : classes_(std::move(classes)), mu_(mu) {
+  if (classes_.empty())
+    throw std::invalid_argument("PriorityMM1: need >= 1 class");
+  if (mu <= 0) throw std::invalid_argument("PriorityMM1: mu must be > 0");
+  double total = 0;
+  for (const auto& c : classes_) {
+    if (c.lambda <= 0)
+      throw std::invalid_argument("PriorityMM1: lambdas must be > 0");
+    total += c.lambda;
+  }
+  if (total >= mu)
+    throw std::invalid_argument("PriorityMM1: unstable (sum lambda >= mu)");
+}
+
+double PriorityMM1::total_utilization() const noexcept {
+  double total = 0;
+  for (const auto& c : classes_) total += c.lambda;
+  return total / mu_;
+}
+
+double PriorityMM1::mean_waiting_time(std::size_t k) const {
+  if (k >= classes_.size())
+    throw std::out_of_range("PriorityMM1: class index");
+  // Mean residual service seen by an arrival (PASTA): with exponential
+  // service, R = rho * E[S] = rho / mu.
+  const double residual = total_utilization() / mu_;
+  double sigma_above = 0;  // utilization of classes strictly above k
+  for (std::size_t i = 0; i < k; ++i)
+    sigma_above += classes_[i].lambda / mu_;
+  const double sigma_incl = sigma_above + classes_[k].lambda / mu_;
+  return residual / ((1.0 - sigma_above) * (1.0 - sigma_incl));
+}
+
+double PriorityMM1::mean_time_in_system(std::size_t k) const {
+  return mean_waiting_time(k) + 1.0 / mu_;
+}
+
+double PriorityMM1::mean_number_in_system(std::size_t k) const {
+  if (k >= classes_.size())
+    throw std::out_of_range("PriorityMM1: class index");
+  return classes_[k].lambda * mean_time_in_system(k);
+}
+
+double PriorityMM1::aggregate_mean_waiting_time() const {
+  double lambda_total = 0;
+  for (const auto& c : classes_) lambda_total += c.lambda;
+  double acc = 0;
+  for (std::size_t k = 0; k < classes_.size(); ++k)
+    acc += classes_[k].lambda / lambda_total * mean_waiting_time(k);
+  return acc;
+}
+
+PrioritySimResult simulate_priority_mm1(
+    const std::vector<PriorityClass>& classes, double mu, std::size_t jobs,
+    math::Rng& rng) {
+  if (classes.empty())
+    throw std::invalid_argument("simulate_priority_mm1: no classes");
+  if (jobs == 0)
+    throw std::invalid_argument("simulate_priority_mm1: zero jobs");
+
+  struct Arrival {
+    double time;
+    std::size_t cls;
+    bool operator>(const Arrival& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return cls > o.cls;
+    }
+  };
+
+  // Pre-generate the merged Poisson arrival stream.
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    if (classes[c].lambda <= 0)
+      throw std::invalid_argument("simulate_priority_mm1: lambda > 0");
+    double t = 0;
+    // Enough arrivals per class to cover `jobs` served in total.
+    for (std::size_t i = 0; i < jobs; ++i) {
+      t += rng.exponential(classes[c].lambda);
+      arrivals.push(Arrival{t, c});
+    }
+  }
+
+  // Head-of-line priority queue: one waiting FIFO per class.
+  std::vector<std::queue<double>> waiting(classes.size());
+  PrioritySimResult result;
+  result.mean_wait_per_class.assign(classes.size(), 0.0);
+  result.served_per_class.assign(classes.size(), 0);
+
+  double server_free_at = 0;
+  std::size_t served = 0;
+  while (served < jobs) {
+    // Admit every arrival that lands while the server is busy: they queue
+    // and compete by priority when the server frees up.
+    while (!arrivals.empty() && arrivals.top().time <= server_free_at) {
+      const Arrival a = arrivals.top();
+      arrivals.pop();
+      waiting[a.cls].push(a.time);
+    }
+    // Serve the highest-priority waiting job, if any.
+    const auto next_class = [&]() -> std::size_t {
+      for (std::size_t c = 0; c < waiting.size(); ++c)
+        if (!waiting[c].empty()) return c;
+      return waiting.size();
+    }();
+    if (next_class == waiting.size()) {
+      // Idle: jump the clock to the next arrival and admit it.
+      if (arrivals.empty()) break;
+      const Arrival a = arrivals.top();
+      arrivals.pop();
+      server_free_at = std::max(server_free_at, a.time);
+      waiting[a.cls].push(a.time);
+      continue;
+    }
+    const double arrival_time = waiting[next_class].front();
+    waiting[next_class].pop();
+    const double start = std::max(server_free_at, arrival_time);
+    result.mean_wait_per_class[next_class] += start - arrival_time;
+    ++result.served_per_class[next_class];
+    server_free_at = start + rng.exponential(mu);
+    ++served;
+  }
+  for (std::size_t c = 0; c < classes.size(); ++c)
+    if (result.served_per_class[c] > 0)
+      result.mean_wait_per_class[c] /= double(result.served_per_class[c]);
+  return result;
+}
+
+}  // namespace xr::queueing

@@ -1,0 +1,68 @@
+// Non-preemptive priority M/M/1 — a refinement of the paper's input buffer.
+//
+// The paper models the XR input buffer as three independent M/M/1 classes
+// (captured frames, volumetric data, external sensor packets) sharing a
+// service rate (Eq. 7). A real input buffer serves one packet at a time, and
+// giving time-critical sensor packets priority is the obvious deployment
+// knob. This module provides the classic non-preemptive head-of-line
+// priority M/M/1 results (Cobham's formulas) so the framework can quantify
+// that design choice, plus an event-accurate simulator to validate them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace xr::queueing {
+
+/// One priority class: Poisson arrivals at `lambda`, exponential service at
+/// the shared rate mu. Index 0 is the highest priority.
+struct PriorityClass {
+  double lambda = 0;
+};
+
+/// Non-preemptive priority M/M/1 with a shared exponential service rate.
+class PriorityMM1 {
+ public:
+  /// Throws std::invalid_argument unless every rate is positive and the
+  /// total utilization Σλ/µ is below 1.
+  PriorityMM1(std::vector<PriorityClass> classes, double mu);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] double service_rate() const noexcept { return mu_; }
+  /// Total utilization ρ = Σ λ_k / µ.
+  [[nodiscard]] double total_utilization() const noexcept;
+
+  /// Cobham's mean waiting time of class k (0 = highest priority):
+  ///   W_k = R / ((1 − σ_{k-1})(1 − σ_k)),
+  /// with R = ρ/µ the mean residual service and σ_k = Σ_{i<=k} λ_i/µ.
+  [[nodiscard]] double mean_waiting_time(std::size_t k) const;
+  /// Mean time in system of class k (wait + service).
+  [[nodiscard]] double mean_time_in_system(std::size_t k) const;
+  /// Mean number of class-k jobs in the system (Little).
+  [[nodiscard]] double mean_number_in_system(std::size_t k) const;
+
+  /// Aggregate mean waiting time across classes (λ-weighted) — must equal
+  /// the FCFS M/M/1 value by the conservation law, which the tests verify.
+  [[nodiscard]] double aggregate_mean_waiting_time() const;
+
+ private:
+  std::vector<PriorityClass> classes_;
+  double mu_;
+};
+
+/// Empirical per-class waits from an event-accurate non-preemptive priority
+/// simulation, for cross-validation of the closed forms.
+struct PrioritySimResult {
+  std::vector<double> mean_wait_per_class;
+  std::vector<std::size_t> served_per_class;
+};
+
+[[nodiscard]] PrioritySimResult simulate_priority_mm1(
+    const std::vector<PriorityClass>& classes, double mu, std::size_t jobs,
+    math::Rng& rng);
+
+}  // namespace xr::queueing

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xr::sim {
+
+Simulator::Simulator(std::uint64_t seed) noexcept : root_rng_(seed) {}
+
+EventId Simulator::schedule_at(double at, Action action) {
+  if (!std::isfinite(at) || at < now_)
+    throw std::invalid_argument(
+        "Simulator::schedule_at: time in the past or not finite");
+  if (!action)
+    throw std::invalid_argument("Simulator::schedule_at: empty action");
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{at, next_sequence_++, id,
+                        std::make_shared<Action>(std::move(action))});
+  return id;
+}
+
+EventId Simulator::schedule_in(double delay, Action action) {
+  if (!(delay >= 0))
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_every(double period, Action action, double phase) {
+  if (!(period > 0))
+    throw std::invalid_argument(
+        "Simulator::schedule_every: period must be > 0");
+  if (!(phase >= 0))
+    throw std::invalid_argument("Simulator::schedule_every: negative phase");
+  const EventId id = schedule_at(now_ + phase, std::move(action));
+  periodic_.emplace(id, period);
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  periodic_.erase(id);
+  auto [_, inserted] = cancelled_.insert(id);
+  return inserted;
+}
+
+bool Simulator::dispatch(const Scheduled& ev) {
+  now_ = ev.time;
+  if (cancelled_.contains(ev.id)) return false;
+  ++executed_;
+  (*ev.action)(*this);
+  // Re-arm a periodic train unless the action cancelled itself.
+  const auto it = periodic_.find(ev.id);
+  if (it != periodic_.end() && !cancelled_.contains(ev.id))
+    queue_.push(Scheduled{now_ + it->second, next_sequence_++, ev.id,
+                          ev.action});
+  return true;
+}
+
+std::size_t Simulator::run_until(double until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    const Scheduled ev = queue_.top();
+    queue_.pop();
+    if (dispatch(ev)) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulator::run() {
+  if (!periodic_.empty())
+    throw std::logic_error(
+        "Simulator::run: periodic events active; use run_until");
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Scheduled ev = queue_.top();
+    queue_.pop();
+    if (dispatch(ev)) ++n;
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Scheduled ev = queue_.top();
+    queue_.pop();
+    if (dispatch(ev)) return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::pending_events() const noexcept {
+  // Cancelled events still sit in the heap; this is an upper bound.
+  return queue_.size();
+}
+
+math::Rng Simulator::rng_stream(std::string_view name) const noexcept {
+  return root_rng_.stream(name);
+}
+
+}  // namespace xr::sim

@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// A minimal but complete DES kernel: a monotonically advancing clock, a
+// priority queue of scheduled events (stable FIFO order among simultaneous
+// events), cancellation handles, periodic processes, and named deterministic
+// RNG streams. The ground-truth XR testbed (src/xrsim) is built on it.
+//
+// Time is in milliseconds, matching the rest of the framework.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace xr::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+/// The simulation kernel.
+class Simulator {
+ public:
+  using Action = std::function<void(Simulator&)>;
+
+  explicit Simulator(std::uint64_t seed = 0xC0FFEE) noexcept;
+
+  /// Current simulation time in ms.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `action` to run at absolute time `at` (must be >= now()).
+  /// Returns a handle usable with cancel(). Throws std::invalid_argument if
+  /// `at` is in the past or not finite.
+  EventId schedule_at(double at, Action action);
+
+  /// Schedule after a non-negative delay from now.
+  EventId schedule_in(double delay, Action action);
+
+  /// Schedule a periodic process: first fires at now()+phase, then every
+  /// `period`. Cancelling the returned id stops the whole train.
+  /// Period must be > 0.
+  EventId schedule_every(double period, Action action, double phase = 0.0);
+
+  /// Cancel a pending (or periodic) event. Returns false if already fired
+  /// and not periodic, or unknown.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or the clock passes `until` (ms).
+  /// Events scheduled exactly at `until` still execute, and the clock is
+  /// advanced to `until` even if the queue drains early. Returns the number
+  /// of events executed.
+  std::size_t run_until(double until);
+
+  /// Run until the queue drains completely. Periodic events would run
+  /// forever, so this throws std::logic_error if any periodic train is
+  /// still active.
+  std::size_t run();
+
+  /// Execute exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+  [[nodiscard]] std::size_t executed_events() const noexcept {
+    return executed_;
+  }
+
+  /// Deterministic named RNG stream: the same (seed, name) always yields the
+  /// same sequence, independent of scheduling order.
+  [[nodiscard]] math::Rng rng_stream(std::string_view name) const noexcept;
+
+ private:
+  struct Scheduled {
+    double time;
+    std::uint64_t sequence;  // tie-break: FIFO among equal times
+    EventId id;
+    std::shared_ptr<Action> action;
+    bool operator>(const Scheduled& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  /// Runs one popped event; re-arms periodic trains. Returns true if the
+  /// action actually executed (not cancelled).
+  bool dispatch(const Scheduled& ev);
+
+  double now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+  math::Rng root_rng_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>,
+                      std::greater<Scheduled>>
+      queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, double> periodic_;  // id -> period
+};
+
+}  // namespace xr::sim

@@ -1,0 +1,73 @@
+#include "testbed/calibration.h"
+
+#include "devices/cnn.h"
+#include "devices/codec.h"
+#include "devices/compute.h"
+#include "devices/power.h"
+#include "trace/table.h"
+
+namespace xr::testbed {
+
+namespace {
+CalibrationResult run_fit(std::string name, double paper_r2,
+                          std::vector<math::Feature> features,
+                          bool intercept, const RegressionDataset& data) {
+  math::LinearModel model(std::move(features), intercept);
+  CalibrationResult result;
+  result.model_name = std::move(name);
+  result.paper_r2 = paper_r2;
+  result.train = model.fit(data.x_train, data.y_train);
+  result.n_test = data.test_size();
+  result.test_r2 = model.score(data.x_test, data.y_test);
+  result.coefficients = model.coefficients();
+  result.equation = model.equation_string();
+  return result;
+}
+}  // namespace
+
+CalibrationResult calibrate_allocation(const RegressionDataset& data) {
+  return run_fit("allocation (Eq. 3)", 0.87,
+                 devices::ComputeAllocationModel::regression_features(),
+                 /*intercept=*/false, data);
+}
+
+CalibrationResult calibrate_encoding(const RegressionDataset& data) {
+  return run_fit("encoding (Eq. 10)", 0.79,
+                 devices::CodecModel::regression_features(),
+                 /*intercept=*/true, data);
+}
+
+CalibrationResult calibrate_cnn(const RegressionDataset& data) {
+  return run_fit("CNN complexity (Eq. 12)", 0.844,
+                 devices::CnnComplexityModel::regression_features(),
+                 /*intercept=*/true, data);
+}
+
+CalibrationResult calibrate_power(const RegressionDataset& data) {
+  return run_fit("power (Eq. 21)", 0.863,
+                 devices::PowerModel::regression_features(),
+                 /*intercept=*/false, data);
+}
+
+std::vector<CalibrationResult> calibrate_all(const TestbedDatasets& d) {
+  return {calibrate_allocation(d.allocation), calibrate_encoding(d.encoding),
+          calibrate_cnn(d.cnn), calibrate_power(d.power)};
+}
+
+std::string render_calibration_table(
+    const std::vector<CalibrationResult>& results) {
+  trace::TablePrinter t({"model", "n train", "n test", "R2 train", "R2 test",
+                         "adj R2", "paper R2"});
+  t.set_align(0, trace::Align::kLeft);
+  for (const auto& r : results) {
+    t.add_row({r.model_name, std::to_string(r.train.n_samples),
+               std::to_string(r.n_test),
+               trace::fixed(r.train.r_squared, 3),
+               trace::fixed(r.test_r2, 3),
+               trace::fixed(r.train.adjusted_r_squared, 3),
+               trace::fixed(r.paper_r2, 3)});
+  }
+  return t.render();
+}
+
+}  // namespace xr::testbed

@@ -1,0 +1,50 @@
+// Regression calibration — reproduces the §VII training/evaluation workflow.
+//
+// Fits each of the paper's four regression models on the synthetic training
+// split (devices XR1/XR3/XR5/XR6) and scores it on the held-out device split
+// (XR2/XR4/XR7), reporting train/test R² next to the paper's printed values
+// (0.87 allocation, 0.79 encoding, 0.844 CNN complexity, 0.863 power).
+// The fitted coefficients can be injected back into the analytical models
+// via the from_fitted() factories.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/regression.h"
+#include "testbed/dataset.h"
+
+namespace xr::testbed {
+
+/// Outcome of fitting one regression model.
+struct CalibrationResult {
+  std::string model_name;
+  double paper_r2 = 0;       ///< the R² the paper reports for this model.
+  math::FitSummary train;    ///< our fit diagnostics on the training split.
+  std::size_t n_test = 0;    ///< held-out sample count.
+  double test_r2 = 0;        ///< our R² on the held-out device split.
+  std::vector<double> coefficients;
+  std::string equation;      ///< human-readable fitted equation.
+};
+
+/// Fit Eq. (3) — compute allocation. Paper R² = 0.87.
+[[nodiscard]] CalibrationResult calibrate_allocation(
+    const RegressionDataset& data);
+/// Fit Eq. (10)'s numerator — encoding work. Paper R² = 0.79.
+[[nodiscard]] CalibrationResult calibrate_encoding(
+    const RegressionDataset& data);
+/// Fit Eq. (12) — CNN complexity. Paper R² = 0.844.
+[[nodiscard]] CalibrationResult calibrate_cnn(const RegressionDataset& data);
+/// Fit Eq. (21) — mean power. Paper R² = 0.863.
+[[nodiscard]] CalibrationResult calibrate_power(const RegressionDataset& data);
+
+/// All four, in the order above.
+[[nodiscard]] std::vector<CalibrationResult> calibrate_all(
+    const TestbedDatasets& datasets);
+
+/// Render calibration results as an aligned table (the "Table III" the
+/// paper reports inline in §VII).
+[[nodiscard]] std::string render_calibration_table(
+    const std::vector<CalibrationResult>& results);
+
+}  // namespace xr::testbed

@@ -1,0 +1,208 @@
+#include "testbed/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "devices/cnn.h"
+#include "devices/codec.h"
+#include "devices/compute.h"
+#include "devices/power.h"
+#include "math/rng.h"
+
+namespace xr::testbed {
+
+std::size_t TestbedDatasets::total_train() const noexcept {
+  return allocation.train_size() + encoding.train_size() + cnn.train_size() +
+         power.train_size();
+}
+
+std::size_t TestbedDatasets::total_test() const noexcept {
+  return allocation.test_size() + encoding.test_size() + cnn.test_size() +
+         power.test_size();
+}
+
+namespace hidden {
+
+double allocation_true(double fc, double fg, double wc, double device_bias,
+                       double noise) {
+  // The device's real allocation curve: the paper's quadratic trend plus a
+  // DVFS-governor ripple, a CPU/GPU contention interaction, and a
+  // device-specific offset — structure the Eq. (3) form cannot capture.
+  const devices::ComputeAllocationModel paper;
+  double value = 0.0;
+  if (wc > 0)
+    value += wc * (paper.cpu_branch(fc) * (1.0 + 0.05 * std::sin(2.6 * fc)) +
+                   device_bias);
+  if (wc < 1)
+    value += (1.0 - wc) *
+             (paper.gpu_branch(fg) * (1.0 + 0.06 * std::sin(4.0 * fg)) +
+              2.5 * device_bias);
+  value -= 1.5 * wc * (1.0 - wc) * fc * fg;  // shared-memory contention
+  return value + noise;
+}
+
+double encoding_true(double ni, double nb, double bitrate, double sf1,
+                     double fps, double quant, double device_bias,
+                     double noise) {
+  const devices::CodecModel paper;
+  devices::H264Config cfg;
+  cfg.i_frame_interval = ni;
+  cfg.b_frame_interval = nb;
+  cfg.bitrate_mbps = bitrate;
+  cfg.fps = fps;
+  cfg.quantization = quant;
+  double work = paper.encode_work(sf1, cfg);
+  // Real encoders have motion-estimation interactions the linear form
+  // misses: B-frame cost scales with bitrate, and fps pressure interacts
+  // with resolution.
+  work += 9.0 * nb * bitrate;
+  work += 0.004 * sf1 * fps;
+  work -= 0.35 * quant * nb;
+  work *= 1.0 + 0.04 * std::sin(0.011 * sf1);
+  return work + 40.0 * device_bias + noise;
+}
+
+double cnn_true(double depth, double storage, double scale, double noise) {
+  const devices::CnnComplexityModel paper;
+  double c = paper.evaluate(depth, storage, scale);
+  // Depth saturates (deep nets pipeline well) and tiny quantized models pay
+  // fixed dispatch overhead — both invisible to the linear form.
+  c -= 6.0e-7 * depth * depth;
+  c += 0.9 * std::exp(-storage / 4.0);
+  return c + noise;
+}
+
+double power_true(double fc, double fg, double wc, double device_bias,
+                  double noise) {
+  const devices::PowerModel paper;
+  double p = 0.0;
+  if (wc > 0)
+    p += wc * (paper.cpu_branch(fc) + 0.35 * std::sin(3.0 * fc));
+  if (wc < 1)
+    p += (1.0 - wc) * (paper.gpu_branch(fg) + 0.3 * std::sin(5.0 * fg));
+  // Leakage grows super-quadratically at the top of the voltage curve.
+  p += 0.12 * std::max(fc - 2.4, 0.0) * wc;
+  return p + 0.4 * device_bias + noise;
+}
+
+}  // namespace hidden
+
+namespace {
+
+/// Stable per-device bias derived from the device id.
+double device_bias(const devices::DeviceSpec& d) {
+  const auto h = math::hash64(d.id);
+  // Map to [-1, 1].
+  return (double(h % 2000) / 1000.0) - 1.0;
+}
+
+/// Fill one split of a dataset by cycling over the given devices.
+template <typename RowFn, typename TruthFn>
+void fill(std::vector<std::vector<double>>& xs, std::vector<double>& ys,
+          std::size_t count, const std::vector<devices::DeviceSpec>& devs,
+          math::Rng& rng, RowFn&& row_fn, TruthFn&& truth_fn) {
+  if (devs.empty()) throw std::logic_error("dataset: no devices");
+  xs.reserve(xs.size() + count);
+  ys.reserve(ys.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& dev = devs[i % devs.size()];
+    auto row = row_fn(dev, rng);
+    ys.push_back(truth_fn(dev, row, rng));
+    xs.push_back(std::move(row));
+  }
+}
+
+std::vector<double> allocation_row(const devices::DeviceSpec& d,
+                                   math::Rng& rng) {
+  const double fc = rng.uniform(0.8, d.max_cpu_ghz);
+  const double fg = rng.uniform(0.4, std::max(d.max_gpu_ghz, 0.5));
+  const double wc = rng.uniform(0.0, 1.0);
+  return {fc, fg, wc};
+}
+
+std::vector<double> encoding_row(const devices::DeviceSpec&, math::Rng& rng) {
+  const double ni = double(rng.uniform_int(10, 60));
+  const double nb = double(rng.uniform_int(0, 4));
+  const double bitrate = rng.uniform(1.0, 10.0);
+  const double sf1 = rng.uniform(240.0, 720.0);
+  const double fps = double(rng.uniform_int(15, 60));
+  const double quant = double(rng.uniform_int(18, 40));
+  return {ni, nb, bitrate, sf1, fps, quant};
+}
+
+std::vector<double> cnn_row(const devices::DeviceSpec&, math::Rng& rng) {
+  // Sample around the Table II zoo with augmentation jitter, as the paper's
+  // "vast dataset of different CNN models" would.
+  const auto& zoo = devices::cnn_zoo();
+  const auto& base =
+      zoo[std::size_t(rng.uniform_int(0, std::int64_t(zoo.size()) - 1))];
+  const double depth =
+      std::max(1.0, double(base.depth_layers) * rng.uniform(0.8, 1.2));
+  const double storage =
+      std::max(0.5, base.storage_mb * rng.uniform(0.8, 1.2));
+  const double scale = base.depth_scale > 0
+                           ? base.depth_scale * rng.uniform(0.8, 1.2)
+                           : 0.0;
+  return {depth, storage, scale};
+}
+
+}  // namespace
+
+TestbedDatasets generate_datasets(std::uint64_t seed,
+                                  const DatasetSizes& sizes) {
+  TestbedDatasets out;
+  const auto train_devs = devices::training_devices();
+  const auto test_devs = devices::test_devices();
+  math::Rng root(seed);
+
+  {
+    math::Rng rng = root.stream("allocation");
+    const auto truth = [](const devices::DeviceSpec& d,
+                          const std::vector<double>& r, math::Rng& g) {
+      return hidden::allocation_true(r[0], r[1], r[2], device_bias(d),
+                                     g.normal(0.0, 2.2));
+    };
+    fill(out.allocation.x_train, out.allocation.y_train,
+         sizes.allocation_train, train_devs, rng, allocation_row, truth);
+    fill(out.allocation.x_test, out.allocation.y_test, sizes.allocation_test,
+         test_devs, rng, allocation_row, truth);
+  }
+  {
+    math::Rng rng = root.stream("encoding");
+    const auto truth = [](const devices::DeviceSpec& d,
+                          const std::vector<double>& r, math::Rng& g) {
+      return hidden::encoding_true(r[0], r[1], r[2], r[3], r[4], r[5],
+                                   device_bias(d), g.normal(0.0, 1250.0));
+    };
+    fill(out.encoding.x_train, out.encoding.y_train, sizes.encoding_train,
+         train_devs, rng, encoding_row, truth);
+    fill(out.encoding.x_test, out.encoding.y_test, sizes.encoding_test,
+         test_devs, rng, encoding_row, truth);
+  }
+  {
+    math::Rng rng = root.stream("cnn");
+    const auto truth = [](const devices::DeviceSpec&,
+                          const std::vector<double>& r, math::Rng& g) {
+      return hidden::cnn_true(r[0], r[1], r[2], g.normal(0.0, 0.75));
+    };
+    fill(out.cnn.x_train, out.cnn.y_train, sizes.cnn_train, train_devs, rng,
+         cnn_row, truth);
+    fill(out.cnn.x_test, out.cnn.y_test, sizes.cnn_test, test_devs, rng,
+         cnn_row, truth);
+  }
+  {
+    math::Rng rng = root.stream("power");
+    const auto truth = [](const devices::DeviceSpec& d,
+                          const std::vector<double>& r, math::Rng& g) {
+      return hidden::power_true(r[0], r[1], r[2], device_bias(d),
+                                g.normal(0.0, 1.0));
+    };
+    fill(out.power.x_train, out.power.y_train, sizes.power_train, train_devs,
+         rng, allocation_row, truth);
+    fill(out.power.x_test, out.power.y_test, sizes.power_test, test_devs,
+         rng, allocation_row, truth);
+  }
+  return out;
+}
+
+}  // namespace xr::testbed

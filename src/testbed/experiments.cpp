@@ -1,0 +1,458 @@
+#include "testbed/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/regression.h"
+#include "math/stats.h"
+#include "trace/table.h"
+#include "wireless/propagation.h"
+#include "xrsim/sensors.h"
+
+namespace xr::testbed {
+
+namespace {
+
+core::ScenarioConfig sweep_scenario(core::InferencePlacement placement,
+                                    double frame_size, double cpu_ghz) {
+  return placement == core::InferencePlacement::kLocal
+             ? core::make_local_scenario(frame_size, cpu_ghz)
+             : core::make_remote_scenario(frame_size, cpu_ghz);
+}
+
+std::string clock_label(const char* prefix, double ghz) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s (%.0f GHz)", prefix, ghz);
+  return buf;
+}
+
+xrsim::GroundTruthConfig gt_config(const SweepConfig& cfg,
+                                   std::uint64_t seed_offset = 0) {
+  xrsim::GroundTruthConfig g;
+  g.frames = cfg.frames_per_point;
+  g.seed = cfg.seed + seed_offset;
+  return g;
+}
+
+ValidationResult run_validation(Metric metric,
+                                core::InferencePlacement placement,
+                                const SweepConfig& cfg) {
+  const bool latency = metric == Metric::kLatency;
+  const bool local = placement == core::InferencePlacement::kLocal;
+  ValidationResult out;
+  out.series = trace::SeriesSet(
+      std::string(latency ? "End-to-end latency, " : "End-to-end energy, ") +
+          (local ? "local inference" : "remote inference"),
+      "frame size (pixel^2)", latency ? "latency (ms)" : "energy (mJ)");
+
+  const core::XrPerformanceModel model;
+  std::vector<double> gt_all, model_all;
+  for (double ghz : cfg.cpu_clocks_ghz) {
+    auto& gt_series = out.series.series(clock_label("GT", ghz));
+    auto& mod_series = out.series.series(clock_label("Proposed", ghz));
+    std::vector<double> gt_clock, model_clock;
+    for (double size : cfg.frame_sizes) {
+      const auto scenario = sweep_scenario(placement, size, ghz);
+      const xrsim::GroundTruthSimulator sim(gt_config(cfg));
+      const auto gt = sim.run(scenario);
+      const auto report = model.evaluate(scenario);
+      const double gt_value =
+          latency ? gt.mean_latency_ms() : gt.mean_energy_mj();
+      const double model_value =
+          latency ? report.latency.total : report.energy.total;
+      gt_series.add(size, gt_value);
+      mod_series.add(size, model_value);
+      gt_clock.push_back(gt_value);
+      model_clock.push_back(model_value);
+    }
+    out.per_clock_error_percent.push_back(math::mape(gt_clock, model_clock));
+    gt_all.insert(gt_all.end(), gt_clock.begin(), gt_clock.end());
+    model_all.insert(model_all.end(), model_clock.begin(), model_clock.end());
+  }
+  out.mean_error_percent = math::mape(gt_all, model_all);
+  return out;
+}
+
+}  // namespace
+
+ValidationResult run_latency_validation(core::InferencePlacement placement,
+                                        const SweepConfig& cfg) {
+  return run_validation(Metric::kLatency, placement, cfg);
+}
+
+ValidationResult run_energy_validation(core::InferencePlacement placement,
+                                       const SweepConfig& cfg) {
+  return run_validation(Metric::kEnergy, placement, cfg);
+}
+
+AoiValidationResult run_aoi_validation(const AoiSweepConfig& cfg) {
+  AoiValidationResult out;
+  out.series = trace::SeriesSet("Age-of-Information validation",
+                                "time (ms)", "AoI (ms)");
+  const core::AoiModel model;
+  core::BufferConfig buffer;  // defaults: stable external class.
+  std::vector<double> gt_all, model_all;
+
+  for (double rate : cfg.sensor_rates_hz) {
+    core::SensorConfig sensor;
+    sensor.generation_hz = rate;
+    sensor.distance_m = 20.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f Hz", rate);
+
+    const auto analytic =
+        model.timeline(sensor, buffer, cfg.request_period_ms, cfg.cycles);
+    xrsim::SensorSimConfig sim_cfg;
+    sim_cfg.seed = cfg.seed;
+    const auto observed = xrsim::simulate_sensor_aoi(
+        sensor, buffer, cfg.request_period_ms, cfg.cycles, sim_cfg);
+
+    auto& gt_series = out.series.series(std::string("GT (") + label + ")");
+    auto& mod_series =
+        out.series.series(std::string("Proposed (") + label + ")");
+    for (int i = 0; i < cfg.cycles; ++i) {
+      const double t = analytic[std::size_t(i)].request_time_ms;
+      gt_series.add(t, observed[std::size_t(i)].aoi_ms);
+      mod_series.add(t, analytic[std::size_t(i)].aoi_ms);
+      gt_all.push_back(observed[std::size_t(i)].aoi_ms);
+      model_all.push_back(analytic[std::size_t(i)].aoi_ms);
+    }
+  }
+  out.mean_error_percent = math::mape(gt_all, model_all);
+  return out;
+}
+
+RoiStaircaseResult run_roi_staircase(double sensor_rate_hz,
+                                     double request_period_ms, int cycles) {
+  RoiStaircaseResult out;
+  out.sensor_rate_hz = sensor_rate_hz;
+  out.request_period_ms = request_period_ms;
+  core::SensorConfig sensor;
+  sensor.generation_hz = sensor_rate_hz;
+  sensor.distance_m = 0.0;  // the paper's Fig. 4(f) shows pure timing.
+  core::BufferConfig buffer;
+  buffer.external_arrival_per_ms = 1e-9;  // negligible buffer wait
+  buffer.service_rate_per_ms = 1e9;
+  const core::AoiModel model;
+  out.points = model.timeline(sensor, buffer, request_period_ms, cycles);
+  return out;
+}
+
+namespace {
+
+/// Ground-truth measurements over the calibration grid.
+struct GridPoint {
+  core::ScenarioConfig scenario;
+  double gt_latency_ms = 0;
+  double gt_energy_mj = 0;
+};
+
+std::vector<GridPoint> measure_grid(const SweepConfig& cfg,
+                                    std::uint64_t seed_offset) {
+  std::vector<GridPoint> grid;
+  for (double ghz : cfg.cpu_clocks_ghz)
+    for (double size : cfg.frame_sizes) {
+      GridPoint p;
+      p.scenario =
+          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
+      const xrsim::GroundTruthSimulator sim(gt_config(cfg, seed_offset));
+      const auto gt = sim.run(p.scenario);
+      p.gt_latency_ms = gt.mean_latency_ms();
+      p.gt_energy_mj = gt.mean_energy_mj();
+      grid.push_back(std::move(p));
+    }
+  return grid;
+}
+
+}  // namespace
+
+CalibratedBaselines calibrate_baselines(const SweepConfig& cfg) {
+  // The calibration grid always spans several clocks so the baselines' freq-
+  // dependent and freq-independent features stay linearly independent, no
+  // matter what the evaluation sweep looks like.
+  SweepConfig cal_cfg = cfg;
+  cal_cfg.cpu_clocks_ghz = {1.0, 1.5, 2.0, 2.5, 3.0};
+  const auto grid = measure_grid(cal_cfg, /*seed_offset=*/1000);
+  CalibratedBaselines out;
+  out.calibration_points = grid.size();
+
+  // ---------------- FACT latency: fit {a, b} ----------------------------
+  // L = capture + a (s_f+s_v)/f_c · 1e3 + b s_f/f_edge · 1e3 + tx + prop
+  //     + core_net, with everything but a, b fixed and physical.
+  {
+    baselines::FactConfig fc;  // defaults give the fixed structure
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (const auto& p : grid) {
+      const auto& s = p.scenario;
+      const double capture = 1000.0 / s.frame.fps;
+      const double tx = wireless::transmission_time_ms(
+                            core::raw_frame_mb(s.frame),
+                            s.network.throughput_mbps) +
+                        wireless::propagation_delay_ms(
+                            s.network.edge_distance_m);
+      const double f1 = (s.frame.frame_size + s.frame.scene_size) /
+                        s.client.cpu_ghz * 1000.0;
+      const double f2 = s.frame.frame_size / fc.edge_cpu_ghz * 1000.0;
+      x.push_back({f1, f2});
+      y.push_back(p.gt_latency_ms - capture - tx - fc.core_network_ms);
+    }
+    math::LinearModel fit({math::raw_feature("f1", 0),
+                           math::raw_feature("f2", 1)},
+                          /*intercept=*/false);
+    fit.fit(x, y);
+    fc.client_cycles_per_size = std::max(fit.coefficients()[0], 1e-6);
+    fc.edge_cycles_per_size = std::max(fit.coefficients()[1], 1e-6);
+
+    // FACT energy: fit {device_active_mw, radio_tx_mw}.
+    const baselines::FactModel probe(fc);
+    std::vector<std::vector<double>> xe;
+    std::vector<double> ye;
+    for (const auto& p : grid) {
+      const auto& s = p.scenario;
+      const double capture = 1000.0 / s.frame.fps;
+      const double compute_ms =
+          capture + fc.client_cycles_per_size *
+                        (s.frame.frame_size + s.frame.scene_size) /
+                        s.client.cpu_ghz * 1000.0;
+      const double tx_ms = wireless::transmission_time_ms(
+                               core::raw_frame_mb(s.frame),
+                               s.network.throughput_mbps) +
+                           wireless::propagation_delay_ms(
+                               s.network.edge_distance_m);
+      xe.push_back({compute_ms / 1000.0,
+                    compute_ms / 1000.0 * s.client.cpu_ghz, tx_ms / 1000.0});
+      ye.push_back(p.gt_energy_mj);
+    }
+    math::LinearModel efit({math::raw_feature("compute_s", 0),
+                            math::raw_feature("compute_s*fc", 1),
+                            math::raw_feature("tx_s", 2)},
+                           /*intercept=*/false);
+    efit.fit(xe, ye);
+    fc.device_active_mw = efit.coefficients()[0];
+    fc.device_active_mw_per_ghz = efit.coefficients()[1];
+    fc.radio_tx_mw = std::max(efit.coefficients()[2], 1.0);
+    out.fact = baselines::FactModel(fc);
+  }
+
+  // ---------------- LEAF latency: fit {K_cycles, b_edge, C_fixed} -------
+  // With s_v = s_f on this workload the capture/volumetric/render cycle
+  // coefficients are collinear; LEAF effectively fits one client-cycles
+  // slope, one edge slope, and one fixed cost (its measured encode+buffer
+  // constants).
+  {
+    baselines::LeafConfig lc;
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    const devices::CodecModel codec;
+    for (const auto& p : grid) {
+      const auto& s = p.scenario;
+      const double capture = 1000.0 / s.frame.fps;
+      double ext = 0;
+      for (const auto& sensor : s.sensors)
+        ext = std::max(ext, 1000.0 / sensor.generation_hz);
+      const double wireless_ms =
+          wireless::transmission_time_ms(
+              codec.encoded_size_mb(s.frame.frame_size, s.codec),
+              s.network.throughput_mbps) +
+          wireless::propagation_delay_ms(s.network.edge_distance_m);
+      const double g1 = s.frame.frame_size / s.client.cpu_ghz * 1000.0;
+      const double g2 = s.frame.frame_size / lc.edge_cpu_ghz * 1000.0;
+      x.push_back({g1, g2});
+      y.push_back(p.gt_latency_ms - capture - ext - wireless_ms);
+    }
+    math::LinearModel fit({math::raw_feature("g1", 0),
+                           math::raw_feature("g2", 1)},
+                          /*intercept=*/true);
+    fit.fit(x, y);
+    const double fixed = std::max(fit.coefficients()[0], 0.0);
+    const double k_client = std::max(fit.coefficients()[1], 1e-6);
+    const double b_edge = std::max(fit.coefficients()[2], 1e-6);
+    // Distribute: capture/volumetric/render split the client slope; the
+    // fixed cost is LEAF's measured encode + buffer constants.
+    lc.capture_cycles_per_size = k_client / 3.0;
+    lc.volumetric_cycles_per_size = k_client / 3.0;
+    lc.stage_cycles_per_size = k_client / 3.0;
+    lc.edge_inference_cycles_per_size = b_edge;
+    lc.encode_fixed_ms = 0.85 * fixed;
+    lc.buffer_fixed_ms = 0.15 * fixed;
+
+    // LEAF energy: fit {compute_mw, radio_tx_mw} with rx/idle at defaults.
+    baselines::LeafModel probe(lc);
+    std::vector<std::vector<double>> xe;
+    std::vector<double> ye;
+    for (const auto& p : grid) {
+      const auto b = probe.breakdown(p.scenario);
+      const double compute_ms = b.capture + b.volumetric +
+                                b.conversion_or_encode + b.rendering;
+      const double known = (lc.radio_rx_mw * b.external +
+                            lc.idle_mw * b.inference) /
+                           1000.0;
+      xe.push_back({compute_ms / 1000.0,
+                    compute_ms / 1000.0 * p.scenario.client.cpu_ghz,
+                    b.wireless / 1000.0});
+      ye.push_back(p.gt_energy_mj - known);
+    }
+    math::LinearModel efit({math::raw_feature("compute_s", 0),
+                            math::raw_feature("compute_s*fc", 1),
+                            math::raw_feature("tx_s", 2)},
+                           /*intercept=*/false);
+    efit.fit(xe, ye);
+    lc.compute_mw = efit.coefficients()[0];
+    lc.compute_mw_per_ghz = efit.coefficients()[1];
+    lc.radio_tx_mw = std::max(efit.coefficients()[2], 1.0);
+    out.leaf = baselines::LeafModel(lc);
+  }
+  return out;
+}
+
+ComparisonResult run_model_comparison(Metric metric, const SweepConfig& cfg) {
+  const auto baselines_fitted = calibrate_baselines(cfg);
+  const bool latency = metric == Metric::kLatency;
+
+  ComparisonResult out;
+  out.accuracy = trace::SeriesSet(
+      std::string("Normalized accuracy, ") +
+          (latency ? "end-to-end latency" : "end-to-end energy") +
+          " (remote inference)",
+      "frame size (pixel^2)", "normalized accuracy (%)");
+
+  const core::XrPerformanceModel model;
+  auto& gt_series = out.accuracy.series("GT");
+  auto& prop_series = out.accuracy.series("Proposed");
+  auto& fact_series = out.accuracy.series("FACT");
+  auto& leaf_series = out.accuracy.series("LEAF");
+
+  std::vector<double> acc_p, acc_f, acc_l;
+  for (double size : cfg.frame_sizes) {
+    double err_p = 0, err_f = 0, err_l = 0;
+    for (double ghz : cfg.cpu_clocks_ghz) {
+      const auto scenario =
+          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
+      // Evaluation GT uses a different seed than the calibration grid.
+      const xrsim::GroundTruthSimulator sim(gt_config(cfg, /*offset=*/0));
+      const auto gt = sim.run(scenario);
+      const double truth =
+          latency ? gt.mean_latency_ms() : gt.mean_energy_mj();
+      const auto report = model.evaluate(scenario);
+      const double prop =
+          latency ? report.latency.total : report.energy.total;
+      const double fact = latency
+                              ? baselines_fitted.fact.latency_ms(scenario)
+                              : baselines_fitted.fact.energy_mj(scenario);
+      const double leaf = latency
+                              ? baselines_fitted.leaf.latency_ms(scenario)
+                              : baselines_fitted.leaf.energy_mj(scenario);
+      err_p += std::abs(prop - truth) / truth;
+      err_f += std::abs(fact - truth) / truth;
+      err_l += std::abs(leaf - truth) / truth;
+    }
+    const double n = double(cfg.cpu_clocks_ghz.size());
+    const double a_p = std::max(0.0, 100.0 - 100.0 * err_p / n);
+    const double a_f = std::max(0.0, 100.0 - 100.0 * err_f / n);
+    const double a_l = std::max(0.0, 100.0 - 100.0 * err_l / n);
+    gt_series.add(size, 100.0);
+    prop_series.add(size, a_p);
+    fact_series.add(size, a_f);
+    leaf_series.add(size, a_l);
+    acc_p.push_back(a_p);
+    acc_f.push_back(a_f);
+    acc_l.push_back(a_l);
+  }
+  out.mean_accuracy_proposed = math::mean(acc_p);
+  out.mean_accuracy_fact = math::mean(acc_f);
+  out.mean_accuracy_leaf = math::mean(acc_l);
+  return out;
+}
+
+const char* variant_name(ModelVariant v) noexcept {
+  switch (v) {
+    case ModelVariant::kFull: return "full model";
+    case ModelVariant::kNoMemoryTerms: return "no memory terms";
+    case ModelVariant::kNoAllocationModel: return "no allocation model";
+    case ModelVariant::kNoCnnComplexity: return "no CNN complexity";
+    case ModelVariant::kFixedEncodeCost: return "fixed encode cost";
+  }
+  return "unknown";
+}
+
+double variant_latency_ms(ModelVariant v, const core::ScenarioConfig& s) {
+  switch (v) {
+    case ModelVariant::kFull: {
+      return core::LatencyModel().evaluate(s).total;
+    }
+    case ModelVariant::kNoMemoryTerms: {
+      // Infinite memory bandwidth zeroes every δ/m term.
+      core::ScenarioConfig t = s;
+      t.client.memory_bandwidth_gbps = 1e12;
+      for (auto& e : t.inference.edges) e.memory_bandwidth_gbps = 1e12;
+      return core::LatencyModel().evaluate(t).total;
+    }
+    case ModelVariant::kNoAllocationModel: {
+      // Cycles-style resource: c = κ f_c, with κ matched to the Eq. (3)
+      // value at the 2 GHz center so the variant is calibrated, not broken.
+      const devices::ComputeAllocationModel paper;
+      const double kappa =
+          paper.evaluate(2.0, s.client.gpu_ghz,
+                         s.client.omega_c > 0 ? s.client.omega_c : 1.0) /
+          2.0;
+      devices::AllocationCoefficients flat{};
+      flat.cpu_intercept = 0;
+      flat.cpu_quadratic = 0;
+      flat.cpu_linear = kappa;
+      flat.gpu_intercept = 0;
+      flat.gpu_quadratic = 0;
+      flat.gpu_linear = kappa;
+      core::LatencyModel::Submodels sub;
+      sub.allocation = devices::ComputeAllocationModel(flat);
+      return core::LatencyModel(std::move(sub)).evaluate(s).total;
+    }
+    case ModelVariant::kNoCnnComplexity: {
+      core::LatencyModel::Submodels sub;
+      sub.cnn = devices::CnnComplexityModel(
+          devices::CnnComplexityCoefficients{1.0, 0.0, 0.0, 0.0});
+      return core::LatencyModel(std::move(sub)).evaluate(s).total;
+    }
+    case ModelVariant::kFixedEncodeCost: {
+      const core::LatencyModel model;
+      const auto full = model.evaluate(s);
+      if (s.inference.placement == core::InferencePlacement::kLocal)
+        return full.total;
+      // Replace Eq. (10) with the constant measured at the sweep center.
+      const auto center = core::make_remote_scenario(500.0, 2.0);
+      const double fixed_encode = model.encoding_ms(center);
+      return full.total - full.encoding + fixed_encode;
+    }
+  }
+  throw std::logic_error("variant_latency_ms: unknown variant");
+}
+
+std::vector<AblationRow> run_ablation(const SweepConfig& cfg) {
+  // GT over the remote sweep.
+  std::vector<core::ScenarioConfig> scenarios;
+  std::vector<double> truth;
+  for (double ghz : cfg.cpu_clocks_ghz)
+    for (double size : cfg.frame_sizes) {
+      auto scenario =
+          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
+      const xrsim::GroundTruthSimulator sim(gt_config(cfg));
+      truth.push_back(sim.run(scenario).mean_latency_ms());
+      scenarios.push_back(std::move(scenario));
+    }
+
+  std::vector<AblationRow> rows;
+  for (ModelVariant v :
+       {ModelVariant::kFull, ModelVariant::kNoMemoryTerms,
+        ModelVariant::kNoAllocationModel, ModelVariant::kNoCnnComplexity,
+        ModelVariant::kFixedEncodeCost}) {
+    std::vector<double> predicted;
+    predicted.reserve(scenarios.size());
+    for (const auto& s : scenarios)
+      predicted.push_back(variant_latency_ms(v, s));
+    rows.push_back(AblationRow{v, math::mape(truth, predicted)});
+  }
+  return rows;
+}
+
+}  // namespace xr::testbed

@@ -1,0 +1,171 @@
+#include "trace/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xr::trace {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::string> csv_split(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // ignore CR in CRLF input
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(&out), width_(header.size()) {
+  if (width_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(header[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (fields.size() != width_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_double(v));
+  write_row(fields);
+}
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("CsvTable: no columns");
+}
+
+void CsvTable::add_row(const std::vector<double>& values) {
+  if (values.size() != columns_.size())
+    throw std::invalid_argument("CsvTable: row width mismatch");
+  data_.push_back(values);
+}
+
+std::optional<std::size_t> CsvTable::column_index(
+    std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == name) return i;
+  return std::nullopt;
+}
+
+std::vector<double> CsvTable::column(std::string_view name) const {
+  const auto idx = column_index(name);
+  if (!idx) throw std::out_of_range("CsvTable: unknown column " +
+                                    std::string{name});
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const auto& row : data_) out.push_back(row[*idx]);
+  return out;
+}
+
+std::string CsvTable::to_csv() const {
+  std::ostringstream oss;
+  {
+    CsvWriter w(oss, columns_);
+    for (const auto& row : data_) w.write_row(row);
+  }
+  return oss.str();
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  f << to_csv();
+  if (!f) throw std::runtime_error("CsvTable: write failed for " + path);
+}
+
+CsvTable CsvTable::parse(std::string_view text) {
+  std::istringstream iss{std::string{text}};
+  std::string line;
+  if (!std::getline(iss, line))
+    throw std::invalid_argument("CsvTable::parse: empty input");
+  CsvTable table(csv_split(line));
+  while (std::getline(iss, line)) {
+    if (line.empty()) continue;
+    const auto fields = csv_split(line);
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      double v = 0;
+      const auto* first = f.data();
+      const auto* last = f.data() + f.size();
+      const auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec != std::errc{} || ptr != last)
+        throw std::invalid_argument("CsvTable::parse: non-numeric field '" +
+                                    f + "'");
+      row.push_back(v);
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("CsvTable: cannot open " + path);
+  std::ostringstream oss;
+  oss << f.rdbuf();
+  return parse(oss.str());
+}
+
+}  // namespace xr::trace

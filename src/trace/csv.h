@@ -1,0 +1,87 @@
+// CSV reading and writing for experiment outputs.
+//
+// A CsvWriter streams rows to a file (or any std::ostream); a CsvTable is an
+// in-memory column-labelled table that can be written out or parsed back.
+// Fields containing separators, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xr::trace {
+
+/// Escape a single CSV field (quote if it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Split one CSV line into fields, honouring RFC 4180 quoting.
+[[nodiscard]] std::vector<std::string> csv_split(std::string_view line);
+
+/// Streaming CSV writer. The header is written on construction.
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Append one row of string fields. Throws std::invalid_argument if the
+  /// field count does not match the header width.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Append one row of numeric fields (formatted with max precision that
+  /// round-trips a double).
+  void write_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t columns() const noexcept { return width_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// In-memory table with named columns of doubles plus an optional string
+/// label column. Used by the benchmark harnesses to accumulate figure series
+/// before printing / saving.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& column_names() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const {
+    return data_.at(i);
+  }
+  /// Extract one column by name. Throws std::out_of_range if unknown.
+  [[nodiscard]] std::vector<double> column(std::string_view name) const;
+  /// Index of a column by name, if present.
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      std::string_view name) const noexcept;
+
+  /// Serialize the whole table as CSV text.
+  [[nodiscard]] std::string to_csv() const;
+  /// Write CSV text to a file. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Parse a CSV string (first line = header) into a table. All body fields
+  /// must parse as double. Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static CsvTable parse(std::string_view text);
+  /// Load and parse a CSV file.
+  [[nodiscard]] static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> data_;
+};
+
+/// Format a double with enough digits to round-trip.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace xr::trace

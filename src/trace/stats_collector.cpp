@@ -1,0 +1,103 @@
+#include "trace/stats_collector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xr::trace {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(total);
+  mean_ += delta * double(other.n_) / double(total);
+  n_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need >= 1 bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * double(bins_.size()));
+  if (idx >= bins_.size()) idx = bins_.size() - 1;  // guard fp edge
+  ++bins_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + (hi_ - lo_) * double(i) / double(bins_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return lo_ + (hi_ - lo_) * double(i + 1) / double(bins_.size());
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return lo_;
+  const double target = q * double(in_range);
+  double cum = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += double(bins_[i]);
+    if (cum >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+  return bin_hi(bins_.size() - 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto len =
+        static_cast<std::size_t>(double(bins_[i]) / double(peak) *
+                                 double(bar_width));
+    oss << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << bins_[i] << " "
+        << std::string(std::max<std::size_t>(len, 1), '#') << '\n';
+  }
+  if (underflow_) oss << "underflow: " << underflow_ << '\n';
+  if (overflow_) oss << "overflow: " << overflow_ << '\n';
+  return oss.str();
+}
+
+}  // namespace xr::trace

@@ -1,0 +1,92 @@
+#include "trace/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace xr::trace {
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string heading(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return bar + "\n= " + title + " =\n" + bar + "\n";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header, Align default_align)
+    : header_(std::move(header)),
+      align_(header_.size(), default_align) {
+  if (header_.empty())
+    throw std::invalid_argument("TablePrinter: empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TablePrinter::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(fixed(v, precision));
+  add_row(std::move(out));
+}
+
+void TablePrinter::add_rule() { pending_rule_ = true; }
+
+void TablePrinter::set_align(std::size_t column, Align align) {
+  align_.at(column) = align;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      widths[i] = std::max(widths[i], row.cells[i].size());
+
+  const auto pad = [&](const std::string& s, std::size_t i) {
+    std::string out;
+    const std::size_t fill = widths[i] - s.size();
+    if (align_[i] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (align_[i] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  const auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  }();
+
+  std::ostringstream oss;
+  oss << rule;
+  oss << '|';
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    oss << ' ' << pad(header_[i], i) << " |";
+  oss << '\n' << rule;
+  for (const auto& row : rows_) {
+    if (row.rule_before) oss << rule;
+    oss << '|';
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      oss << ' ' << pad(row.cells[i], i) << " |";
+    oss << '\n';
+  }
+  oss << rule;
+  return oss.str();
+}
+
+}  // namespace xr::trace

@@ -1,0 +1,55 @@
+// Aligned console-table rendering for benchmark harness output.
+//
+// The benchmark binaries regenerate the paper's tables and figures as text;
+// TablePrinter produces the aligned, boxed layout they print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xr::trace {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Renders rows of strings as an aligned ASCII table with a header rule.
+///
+/// Usage:
+///   TablePrinter t({"frame size", "GT (ms)", "model (ms)"});
+///   t.add_row({"300", "412.1", "409.8"});
+///   std::cout << t.render();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        Align default_align = Align::kRight);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 2);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  /// Set per-column alignment (defaults to the constructor's alignment).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Format a double with fixed precision (e.g. for table cells).
+[[nodiscard]] std::string fixed(double v, int precision = 2);
+
+/// Render a one-line "key: value" style section heading used by benches.
+[[nodiscard]] std::string heading(const std::string& title);
+
+}  // namespace xr::trace

@@ -1,0 +1,42 @@
+#include "wireless/handoff.h"
+
+#include <stdexcept>
+
+namespace xr::wireless {
+
+HandoffModel::HandoffModel(HandoffLatencyConfig config, double zone_radius_m,
+                           double step_length_m, double vertical_fraction)
+    : config_(config),
+      zone_radius_m_(zone_radius_m),
+      step_length_m_(step_length_m),
+      vertical_fraction_(vertical_fraction) {
+  if (zone_radius_m <= 0 || step_length_m <= 0)
+    throw std::invalid_argument("HandoffModel: positive geometry required");
+  if (step_length_m >= zone_radius_m)
+    throw std::invalid_argument("HandoffModel: step must be < zone radius");
+  if (vertical_fraction < 0 || vertical_fraction > 1)
+    throw std::invalid_argument("HandoffModel: vertical fraction in [0,1]");
+}
+
+double HandoffModel::event_latency_ms(HandoffKind kind) const noexcept {
+  const double horizontal = config_.l2_scan_ms + config_.l2_auth_assoc_ms +
+                            config_.l3_registration_ms +
+                            config_.service_migration_ms;
+  if (kind == HandoffKind::kHorizontal) return horizontal;
+  return horizontal + config_.interface_activation_ms +
+         config_.vertical_auth_ms + config_.vertical_l3_ms;
+}
+
+double HandoffModel::handoff_probability() const {
+  return random_walk_crossing_probability(step_length_m_, zone_radius_m_);
+}
+
+double HandoffModel::expected_latency_ms() const {
+  const double l_ho =
+      (1.0 - vertical_fraction_) *
+          event_latency_ms(HandoffKind::kHorizontal) +
+      vertical_fraction_ * event_latency_ms(HandoffKind::kVertical);
+  return l_ho * handoff_probability();
+}
+
+}  // namespace xr::wireless

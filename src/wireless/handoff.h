@@ -1,0 +1,71 @@
+// Handoff (service-migration) latency model — Eq. (17).
+//
+// The paper considers an XR device leaving one wireless coverage zone for
+// another, with horizontal handoffs (same access technology / sub-network)
+// and vertical handoffs (different technology, e.g. Wi-Fi → cellular),
+// following the latency breakdowns of [50] (802.11 mobile-IP fast handoff)
+// and [51] (vertical WLAN/UMTS handoff). The average per-frame handoff
+// latency is L_HO = l_HO * P(HO).
+#pragma once
+
+#include "wireless/mobility.h"
+
+namespace xr::wireless {
+
+/// Kind of handoff an exit from the current zone triggers.
+enum class HandoffKind { kHorizontal, kVertical };
+
+/// Component latencies of a single handoff event, in ms. Defaults follow the
+/// 802.11 / mobile-IP measurements in [50] and the vertical-handoff analysis
+/// in [51]: L2 scanning dominates horizontal HO; authentication and L3
+/// re-registration dominate vertical HO.
+struct HandoffLatencyConfig {
+  // Horizontal (intra-technology) components.
+  double l2_scan_ms = 50.0;         ///< 802.11 channel probe/scan.
+  double l2_auth_assoc_ms = 8.0;    ///< authentication + reassociation.
+  double l3_registration_ms = 12.0; ///< mobile-IP binding update (same
+                                    ///< subnet: often skipped; kept small).
+  // Additional vertical (inter-technology) components.
+  double interface_activation_ms = 120.0;  ///< power up target radio.
+  double vertical_auth_ms = 180.0;         ///< AAA across networks.
+  double vertical_l3_ms = 250.0;           ///< cross-network registration.
+  /// Edge service-migration cost added when the serving edge changes.
+  double service_migration_ms = 0.0;
+};
+
+/// Handoff model combining the per-event latency with the random-walk
+/// crossing probability.
+class HandoffModel {
+ public:
+  /// zone_radius_m: coverage radius; step_length_m: device movement per
+  /// frame-processing interval; vertical_fraction: probability that a zone
+  /// exit crosses technologies (0 = all horizontal, 1 = all vertical).
+  HandoffModel(HandoffLatencyConfig config, double zone_radius_m,
+               double step_length_m, double vertical_fraction);
+
+  /// Latency of one handoff event of the given kind, l_HO, in ms.
+  [[nodiscard]] double event_latency_ms(HandoffKind kind) const noexcept;
+
+  /// Probability that a handoff occurs during one frame's processing time
+  /// (random-walk crossing probability).
+  [[nodiscard]] double handoff_probability() const;
+
+  /// Eq. (17): expected handoff latency charged to one frame, in ms.
+  /// Averages horizontal/vertical event latencies by vertical_fraction.
+  [[nodiscard]] double expected_latency_ms() const;
+
+  [[nodiscard]] const HandoffLatencyConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] double vertical_fraction() const noexcept {
+    return vertical_fraction_;
+  }
+
+ private:
+  HandoffLatencyConfig config_;
+  double zone_radius_m_;
+  double step_length_m_;
+  double vertical_fraction_;
+};
+
+}  // namespace xr::wireless

@@ -1,0 +1,50 @@
+#include "wireless/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xr::wireless {
+
+LinkModel::LinkModel(double throughput_mbps)
+    : fixed_throughput_mbps_(throughput_mbps) {
+  if (throughput_mbps <= 0)
+    throw std::invalid_argument("LinkModel: throughput must be > 0");
+}
+
+LinkModel::LinkModel(ChannelConfig channel) : channel_(channel) {
+  if (channel.bandwidth_mhz <= 0 || channel.carrier_frequency_hz <= 0)
+    throw std::invalid_argument("LinkModel: invalid channel config");
+  if (channel.efficiency <= 0 || channel.efficiency > 1)
+    throw std::invalid_argument("LinkModel: efficiency in (0, 1]");
+}
+
+double LinkModel::throughput_mbps(double distance_m, math::Rng* rng) const {
+  if (!channel_) return fixed_throughput_mbps_;
+  const auto& ch = *channel_;
+  const double d = std::max(distance_m, ch.reference_distance_m);
+  const double ref_loss =
+      free_space_path_loss_db(ch.reference_distance_m,
+                              ch.carrier_frequency_hz);
+  const double pl = log_distance_path_loss_db(
+      d, ch.reference_distance_m, ref_loss, ch.path_loss_exponent);
+  double shadow = 0.0;
+  double fading = 1.0;
+  if (rng != nullptr) {
+    if (ch.shadowing_sigma_db > 0) shadow = shadowing_db(ch.shadowing_sigma_db, *rng);
+    if (ch.rician_k_factor >= 0) fading = rician_power_gain(ch.rician_k_factor, *rng);
+  }
+  const double snr = received_snr_linear(ch.tx_power_dbm, pl, shadow, fading,
+                                         ch.noise_floor_dbm);
+  return std::max(ch.efficiency * shannon_capacity_mbps(ch.bandwidth_mhz, snr),
+                  1e-3);
+}
+
+double LinkModel::transmission_latency_ms(double payload_mb, double distance_m,
+                                          math::Rng* rng) const {
+  if (payload_mb < 0)
+    throw std::invalid_argument("transmission_latency_ms: negative payload");
+  return transmission_time_ms(payload_mb, throughput_mbps(distance_m, rng)) +
+         propagation_delay_ms(distance_m);
+}
+
+}  // namespace xr::wireless

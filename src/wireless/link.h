@@ -1,0 +1,65 @@
+// Wireless link model: Eq. (16) transmission latency and optional channel
+// impairments.
+//
+// The paper's transmission latency is L_tr = δ_f3 / r_w + d_ε / c, with r_w
+// the available throughput (Mbps) and d_ε the device↔edge distance. The base
+// model ignores path loss ("can be added ... based on system requirements");
+// LinkModel supports both the bare form and a channel-derived throughput.
+#pragma once
+
+#include <optional>
+
+#include "math/rng.h"
+#include "wireless/pathloss.h"
+#include "wireless/propagation.h"
+
+namespace xr::wireless {
+
+/// Optional channel impairment description used to derive throughput from
+/// physical parameters instead of a fixed configured rate.
+struct ChannelConfig {
+  double carrier_frequency_hz = 5.0e9;  ///< 5 GHz Wi-Fi by default.
+  double bandwidth_mhz = 80.0;
+  double tx_power_dbm = 20.0;
+  double noise_floor_dbm = -90.0;
+  double shadowing_sigma_db = 0.0;   ///< 0 disables shadowing.
+  double rician_k_factor = -1.0;     ///< <0 disables fading; 0 = Rayleigh.
+  double path_loss_exponent = 2.0;   ///< log-distance exponent.
+  double reference_distance_m = 1.0;
+  /// Fraction of Shannon capacity achievable by the MAC/PHY stack (TCP over
+  /// Wi-Fi typically reaches 50–65% of the PHY rate).
+  double efficiency = 0.6;
+};
+
+/// A point-to-point wireless link between the XR device and a peer
+/// (edge server, sensor, or cooperative device).
+class LinkModel {
+ public:
+  /// Fixed-throughput link (the paper's base model): r_w in Mbps.
+  explicit LinkModel(double throughput_mbps);
+
+  /// Channel-derived link: throughput computed per-call from the channel
+  /// config and distance (deterministic unless shadowing/fading enabled).
+  explicit LinkModel(ChannelConfig channel);
+
+  /// Eq. (16): L_tr = payload/r_w + d/c, in ms. payload in MB, distance in m.
+  /// For a channel-derived link, `rng` supplies shadowing/fading draws; pass
+  /// nullptr for the deterministic mean channel.
+  [[nodiscard]] double transmission_latency_ms(double payload_mb,
+                                               double distance_m,
+                                               math::Rng* rng = nullptr) const;
+
+  /// Throughput in Mbps at the given distance (fixed value or derived).
+  [[nodiscard]] double throughput_mbps(double distance_m,
+                                       math::Rng* rng = nullptr) const;
+
+  [[nodiscard]] bool channel_derived() const noexcept {
+    return channel_.has_value();
+  }
+
+ private:
+  double fixed_throughput_mbps_ = 0;
+  std::optional<ChannelConfig> channel_;
+};
+
+}  // namespace xr::wireless

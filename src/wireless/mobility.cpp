@@ -1,0 +1,89 @@
+#include "wireless/mobility.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace xr::wireless {
+
+double distance(const Vec2& a, const Vec2& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+RandomWalk::RandomWalk(Vec2 start, double step_length, math::Rng rng)
+    : pos_(start), step_(step_length), rng_(rng) {
+  if (step_length <= 0)
+    throw std::invalid_argument("RandomWalk: step length must be > 0");
+}
+
+Vec2 RandomWalk::step() {
+  const double theta = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  pos_.x += step_ * std::cos(theta);
+  pos_.y += step_ * std::sin(theta);
+  return pos_;
+}
+
+bool CoverageZone::contains(const Vec2& p) const noexcept {
+  return distance(center, p) <= radius_m;
+}
+
+double random_walk_crossing_probability(double step_length_m,
+                                        double zone_radius_m) {
+  if (step_length_m <= 0 || zone_radius_m <= 0)
+    throw std::invalid_argument(
+        "random_walk_crossing_probability: positive args");
+  if (step_length_m >= zone_radius_m)
+    throw std::invalid_argument(
+        "random_walk_crossing_probability: step must be < radius");
+  return 2.0 * step_length_m / (std::numbers::pi * zone_radius_m);
+}
+
+namespace {
+Vec2 uniform_in_disk(double radius, math::Rng& rng) {
+  // Inverse-CDF sampling: r = R sqrt(u) gives uniform area density.
+  const double r = radius * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return Vec2{r * std::cos(theta), r * std::sin(theta)};
+}
+}  // namespace
+
+double estimate_crossing_probability(double step_length_m,
+                                     double zone_radius_m, std::size_t trials,
+                                     math::Rng& rng) {
+  if (trials == 0)
+    throw std::invalid_argument("estimate_crossing_probability: 0 trials");
+  const CoverageZone zone{Vec2{0, 0}, zone_radius_m, false};
+  std::size_t exits = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Vec2 p = uniform_in_disk(zone_radius_m, rng);
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    p.x += step_length_m * std::cos(theta);
+    p.y += step_length_m * std::sin(theta);
+    if (!zone.contains(p)) ++exits;
+  }
+  return double(exits) / double(trials);
+}
+
+double simulate_handoff_rate(double step_length_m, double zone_radius_m,
+                             std::size_t steps, math::Rng& rng) {
+  if (steps == 0)
+    throw std::invalid_argument("simulate_handoff_rate: 0 steps");
+  const CoverageZone zone{Vec2{0, 0}, zone_radius_m, false};
+  RandomWalk walk(Vec2{0, 0}, step_length_m, rng.stream("walk"));
+  std::size_t handoffs = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Vec2 next = walk.step();
+    if (!zone.contains(next)) {
+      ++handoffs;
+      // Re-enter: model the neighbouring zone as a fresh zone by reflecting
+      // the walker back to a uniformly random interior point.
+      const Vec2 fresh = uniform_in_disk(zone_radius_m * 0.9, rng);
+      walk = RandomWalk(fresh, step_length_m, rng.stream("walk-reset"));
+    }
+  }
+  return double(handoffs) / double(steps);
+}
+
+}  // namespace xr::wireless

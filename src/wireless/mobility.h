@@ -1,0 +1,79 @@
+// Random-walk mobility over wireless coverage zones.
+//
+// The paper models XR-device mobility with the Random Walk model and derives
+// the probability P(HO) that the device crosses from one wireless coverage
+// zone into another during a frame's processing time (Eq. 17 uses
+// L_HO = l_HO * P(HO)). This module provides the 2-D random walk, a circular
+// coverage-zone geometry, the analytic boundary-crossing probability, and a
+// Monte-Carlo estimator used to validate it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace xr::wireless {
+
+/// 2-D position in meters.
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+};
+
+[[nodiscard]] double distance(const Vec2& a, const Vec2& b) noexcept;
+
+/// Classic random-walk (a.k.a. random-direction) mobility: at each step the
+/// node picks a uniformly random heading and advances `step_length` meters.
+class RandomWalk {
+ public:
+  /// step_length: distance per step (m); must be > 0.
+  RandomWalk(Vec2 start, double step_length, math::Rng rng);
+
+  /// Advance one step and return the new position.
+  Vec2 step();
+  [[nodiscard]] const Vec2& position() const noexcept { return pos_; }
+  [[nodiscard]] double step_length() const noexcept { return step_; }
+
+ private:
+  Vec2 pos_;
+  double step_;
+  math::Rng rng_;
+};
+
+/// A circular wireless coverage zone (access point / base station cell).
+struct CoverageZone {
+  Vec2 center;
+  double radius_m = 0;
+  /// True when the neighbouring zone uses a different access technology, so
+  /// leaving this zone triggers a *vertical* handoff.
+  bool vertical_neighbor = false;
+
+  [[nodiscard]] bool contains(const Vec2& p) const noexcept;
+};
+
+/// Analytic per-step boundary-crossing probability for a random walk that is
+/// uniformly positioned inside a disk of radius R and moves `step` meters in
+/// a uniform direction:
+///   P(HO) ≈ 2 * step / (pi * R)    for step << R
+/// (the exact expression integrates the chord geometry; we use the standard
+/// first-order result from the location-management literature [49]).
+/// Requires 0 < step < R.
+[[nodiscard]] double random_walk_crossing_probability(double step_length_m,
+                                                      double zone_radius_m);
+
+/// Monte-Carlo estimate of the same probability: place the node uniformly in
+/// the disk, take one random-direction step, count exits. Used in tests to
+/// validate the analytic form.
+[[nodiscard]] double estimate_crossing_probability(double step_length_m,
+                                                   double zone_radius_m,
+                                                   std::size_t trials,
+                                                   math::Rng& rng);
+
+/// Fraction of steps of a long random walk confined to a disk (reflected at
+/// the boundary) that would have exited — an empirical handoff rate.
+[[nodiscard]] double simulate_handoff_rate(double step_length_m,
+                                           double zone_radius_m,
+                                           std::size_t steps, math::Rng& rng);
+
+}  // namespace xr::wireless

@@ -1,0 +1,80 @@
+#include "wireless/pathloss.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace xr::wireless {
+
+double free_space_path_loss_db(double distance_m, double frequency_hz) {
+  if (distance_m <= 0 || frequency_hz <= 0)
+    throw std::invalid_argument("free_space_path_loss_db: positive args");
+  return 20.0 * std::log10(distance_m) + 20.0 * std::log10(frequency_hz) -
+         147.55221677811662;  // 20 log10(4 pi / c)
+}
+
+double log_distance_path_loss_db(double distance_m,
+                                 double reference_distance_m,
+                                 double reference_loss_db, double exponent) {
+  if (reference_distance_m <= 0 || distance_m < reference_distance_m)
+    throw std::invalid_argument(
+        "log_distance_path_loss_db: need d >= d0 > 0");
+  if (exponent <= 0)
+    throw std::invalid_argument("log_distance_path_loss_db: exponent > 0");
+  return reference_loss_db +
+         10.0 * exponent * std::log10(distance_m / reference_distance_m);
+}
+
+double two_ray_path_loss_db(double distance_m, double tx_height_m,
+                            double rx_height_m) {
+  if (distance_m <= 0 || tx_height_m <= 0 || rx_height_m <= 0)
+    throw std::invalid_argument("two_ray_path_loss_db: positive args");
+  return 40.0 * std::log10(distance_m) -
+         20.0 * std::log10(tx_height_m * rx_height_m);
+}
+
+double shadowing_db(double sigma_db, math::Rng& rng) {
+  if (sigma_db < 0)
+    throw std::invalid_argument("shadowing_db: sigma must be >= 0");
+  return rng.normal(0.0, sigma_db);
+}
+
+double rayleigh_power_gain(math::Rng& rng) { return rng.exponential(1.0); }
+
+double rician_power_gain(double k_factor, math::Rng& rng) {
+  if (k_factor < 0)
+    throw std::invalid_argument("rician_power_gain: K must be >= 0");
+  // Complex Gaussian with LOS component: mean power normalized to 1.
+  const double sigma = std::sqrt(1.0 / (2.0 * (k_factor + 1.0)));
+  const double los = std::sqrt(k_factor / (k_factor + 1.0));
+  const double re = los + sigma * rng.normal();
+  const double im = sigma * rng.normal();
+  return re * re + im * im;
+}
+
+double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  if (linear <= 0)
+    throw std::invalid_argument("linear_to_db: positive values only");
+  return 10.0 * std::log10(linear);
+}
+
+double shannon_capacity_mbps(double bandwidth_mhz, double snr_linear) {
+  if (bandwidth_mhz <= 0)
+    throw std::invalid_argument("shannon_capacity_mbps: bandwidth > 0");
+  if (snr_linear < 0)
+    throw std::invalid_argument("shannon_capacity_mbps: SNR >= 0");
+  return bandwidth_mhz * std::log2(1.0 + snr_linear);
+}
+
+double received_snr_linear(double tx_power_dbm, double path_loss_db,
+                           double shadow_db, double fading_gain_linear,
+                           double noise_floor_dbm) {
+  if (fading_gain_linear < 0)
+    throw std::invalid_argument("received_snr_linear: fading gain >= 0");
+  const double rx_dbm = tx_power_dbm - path_loss_db - shadow_db;
+  return db_to_linear(rx_dbm - noise_floor_dbm) * fading_gain_linear;
+}
+
+}  // namespace xr::wireless

@@ -1,0 +1,21 @@
+#include "wireless/propagation.h"
+
+#include <stdexcept>
+
+namespace xr::wireless {
+
+double propagation_delay_ms(double distance_m) {
+  if (distance_m < 0)
+    throw std::invalid_argument("propagation_delay_ms: negative distance");
+  return distance_m / kSpeedOfLightMps * 1000.0;
+}
+
+double transmission_time_ms(double payload_mb, double throughput_mbps) {
+  if (payload_mb < 0)
+    throw std::invalid_argument("transmission_time_ms: negative payload");
+  if (throughput_mbps <= 0)
+    throw std::invalid_argument("transmission_time_ms: rate must be > 0");
+  return payload_mb * 8.0 / throughput_mbps * 1000.0;
+}
+
+}  // namespace xr::wireless

@@ -1,0 +1,23 @@
+// Physical propagation constants and delay.
+//
+// The paper's latency terms d/c (Eqs. 6, 16, 18, 23) use straight-line
+// propagation at the speed of light; this module centralizes that constant
+// and the unit conversions the framework uses (ms everywhere).
+#pragma once
+
+namespace xr::wireless {
+
+/// Speed of light in vacuum, m/s.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
+/// One-way propagation delay in milliseconds over `distance_m` meters.
+/// Throws std::invalid_argument for negative distances.
+[[nodiscard]] double propagation_delay_ms(double distance_m);
+
+/// Convert a payload size in megabytes to transmission milliseconds over a
+/// throughput in Mbit/s: (MB * 8) / Mbps * 1000. Throws on non-positive rate
+/// or negative size.
+[[nodiscard]] double transmission_time_ms(double payload_mb,
+                                          double throughput_mbps);
+
+}  // namespace xr::wireless

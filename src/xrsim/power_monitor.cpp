@@ -1,0 +1,73 @@
+#include "xrsim/power_monitor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xr::xrsim {
+
+PowerMonitor::PowerMonitor(PowerMonitorConfig config) : config_(config) {
+  if (config.sampling_interval_ms <= 0)
+    throw std::invalid_argument("PowerMonitor: sampling interval > 0");
+  if (config.noise_sigma_mw < 0 || config.quantization_mw < 0)
+    throw std::invalid_argument("PowerMonitor: negative noise config");
+}
+
+double PowerMonitor::power_at(const std::vector<PowerInterval>& profile,
+                              double t_ms) const noexcept {
+  double acc = 0;
+  for (const auto& seg : profile) {
+    if (t_ms < acc + seg.duration_ms) return seg.power_mw;
+    acc += seg.duration_ms;
+  }
+  return 0.0;  // monitor reads zero after the profile ends
+}
+
+double PowerMonitor::exact_energy_mj(
+    const std::vector<PowerInterval>& profile) {
+  double mj = 0;
+  for (const auto& seg : profile) {
+    if (seg.duration_ms < 0 || seg.power_mw < 0)
+      throw std::invalid_argument("PowerMonitor: negative profile entry");
+    mj += seg.power_mw * seg.duration_ms / 1000.0;
+  }
+  return mj;
+}
+
+std::vector<double> PowerMonitor::sample_trace(
+    const std::vector<PowerInterval>& profile, math::Rng& rng) const {
+  double total_ms = 0;
+  for (const auto& seg : profile) {
+    if (seg.duration_ms < 0 || seg.power_mw < 0)
+      throw std::invalid_argument("PowerMonitor: negative profile entry");
+    total_ms += seg.duration_ms;
+  }
+  std::vector<double> samples;
+  const auto n = static_cast<std::size_t>(
+                     std::floor(total_ms / config_.sampling_interval_ms)) +
+                 1;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = double(i) * config_.sampling_interval_ms;
+    double p = power_at(profile, t);
+    if (config_.noise_sigma_mw > 0)
+      p += rng.normal(0.0, config_.noise_sigma_mw);
+    if (config_.quantization_mw > 0)
+      p = std::round(p / config_.quantization_mw) * config_.quantization_mw;
+    samples.push_back(std::max(p, 0.0));
+  }
+  return samples;
+}
+
+double PowerMonitor::measure_energy_mj(
+    const std::vector<PowerInterval>& profile, math::Rng& rng) const {
+  const auto samples = sample_trace(profile, rng);
+  if (samples.size() < 2) return exact_energy_mj(profile);
+  // Trapezoidal integration over the sampling grid.
+  double mj = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    mj += 0.5 * (samples[i - 1] + samples[i]) *
+          config_.sampling_interval_ms / 1000.0;
+  return mj;
+}
+
+}  // namespace xr::xrsim

@@ -1,0 +1,100 @@
+#include "baselines/fact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace xr::baselines {
+namespace {
+
+TEST(Fact, RemoteIncludesWirelessAndCoreNetwork) {
+  const FactModel m;
+  const auto remote = core::make_remote_scenario(500, 2.0);
+  const auto local = core::make_local_scenario(500, 2.0);
+  // The remote path must carry the raw-frame transmission; the local path
+  // has no wireless terms at all in FACT.
+  EXPECT_GT(m.latency_ms(remote), 0);
+  EXPECT_GT(m.latency_ms(local), 0);
+}
+
+TEST(Fact, LatencyScalesInverselyWithClientClock) {
+  // FACT's defining simplification: computation = cycles / frequency.
+  const FactModel m;
+  const double at1 = m.latency_ms(core::make_local_scenario(500, 1.0));
+  const double at2 = m.latency_ms(core::make_local_scenario(500, 2.0));
+  EXPECT_GT(at1, at2);
+}
+
+TEST(Fact, LatencyLinearInFrameSize) {
+  const FactModel m;
+  const double a = m.latency_ms(core::make_remote_scenario(300, 2.0));
+  const double b = m.latency_ms(core::make_remote_scenario(500, 2.0));
+  const double c = m.latency_ms(core::make_remote_scenario(700, 2.0));
+  // Not exactly linear (raw-frame payload is quadratic in size), but
+  // strictly increasing.
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Fact, NoMemoryBandwidthSensitivity) {
+  // The paper's critique: FACT ignores the memory of the device.
+  const FactModel m;
+  auto s = core::make_remote_scenario(500, 2.0);
+  const double before = m.latency_ms(s);
+  s.client.memory_bandwidth_gbps *= 10;
+  EXPECT_DOUBLE_EQ(m.latency_ms(s), before);
+}
+
+TEST(Fact, NoCnnSensitivity) {
+  // FACT has no CNN-complexity model either.
+  const FactModel m;
+  auto s = core::make_remote_scenario(500, 2.0);
+  const double before = m.latency_ms(s);
+  s.inference.edges[0].cnn_name = "YoloV7";
+  EXPECT_DOUBLE_EQ(m.latency_ms(s), before);
+}
+
+TEST(Fact, EnergyFollowsLatencyComponents) {
+  FactConfig cfg;
+  cfg.device_active_mw = 1000.0;
+  cfg.device_active_mw_per_ghz = 0.0;
+  cfg.radio_tx_mw = 500.0;
+  const FactModel m(cfg);
+  const auto local = core::make_local_scenario(500, 2.0);
+  // Local: all energy is compute at the device-level constant.
+  EXPECT_GT(m.energy_mj(local), 0);
+  const auto remote = core::make_remote_scenario(500, 2.0);
+  EXPECT_GT(m.energy_mj(remote), 0);
+}
+
+TEST(Fact, AffinePowerRaisesEnergyWithClock) {
+  FactConfig cfg;
+  cfg.device_active_mw = 500.0;
+  cfg.device_active_mw_per_ghz = 400.0;
+  const FactModel m(cfg);
+  // Higher clock: less compute time but higher power; with a strong slope
+  // the power term dominates the energy of the fixed capture interval.
+  auto s1 = core::make_local_scenario(500, 1.0);
+  auto s3 = core::make_local_scenario(500, 3.0);
+  const FactModel flat(FactConfig{});
+  // At least verify the slope changes the prediction.
+  EXPECT_NE(m.energy_mj(s1), flat.energy_mj(s1));
+}
+
+TEST(Fact, ValidatesScenario) {
+  const FactModel m;
+  auto s = core::make_remote_scenario();
+  s.frame.fps = 0;
+  EXPECT_THROW((void)m.latency_ms(s), std::invalid_argument);
+  EXPECT_THROW((void)m.energy_mj(s), std::invalid_argument);
+}
+
+TEST(Fact, ConfigAccessible) {
+  FactConfig cfg;
+  cfg.core_network_ms = 7.5;
+  const FactModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.config().core_network_ms, 7.5);
+}
+
+}  // namespace
+}  // namespace xr::baselines

@@ -1,0 +1,170 @@
+#include "core/aoi_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::core {
+namespace {
+
+/// Idealized buffer: negligible queueing so the Fig. 4(f) timing is pure.
+BufferConfig ideal_buffer() {
+  BufferConfig b;
+  b.external_arrival_per_ms = 1e-9;
+  b.service_rate_per_ms = 1e9;
+  return b;
+}
+
+SensorConfig sensor_at(double hz, double distance = 0.0) {
+  SensorConfig s;
+  s.generation_hz = hz;
+  s.distance_m = distance;
+  return s;
+}
+
+TEST(AoiModel, Fig4fPaperAnnotations) {
+  // 100 Hz sensor, 5 ms request period: AoI = 10, 15, 20 ms and
+  // RoI = 0.5, 0.33, 0.25 at cycles 1-3 — the paper's printed values.
+  const AoiModel m;
+  const auto pts = m.timeline(sensor_at(100.0), ideal_buffer(), 5.0, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_NEAR(pts[0].aoi_ms, 10.0, 1e-6);
+  EXPECT_NEAR(pts[1].aoi_ms, 15.0, 1e-6);
+  EXPECT_NEAR(pts[2].aoi_ms, 20.0, 1e-6);
+  EXPECT_NEAR(pts[0].roi, 0.5, 1e-6);
+  EXPECT_NEAR(pts[1].roi, 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(pts[2].roi, 0.25, 1e-6);
+}
+
+TEST(AoiModel, MatchedRateSensorKeepsFlatAoi) {
+  // Fig. 4(e): the 200 Hz sensor against a 5 ms request period stays flat.
+  const AoiModel m;
+  const auto pts = m.timeline(sensor_at(200.0), ideal_buffer(), 5.0, 10);
+  for (const auto& p : pts) EXPECT_NEAR(p.aoi_ms, 5.0, 1e-6);
+}
+
+TEST(AoiModel, SlowerSensorFallsBehindLinearly) {
+  // 66.67 Hz sensor: each 5 ms cycle adds 10 ms of staleness.
+  const AoiModel m;
+  const auto pts =
+      m.timeline(sensor_at(200.0 / 3.0), ideal_buffer(), 5.0, 5);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_NEAR(pts[i].aoi_ms - pts[i - 1].aoi_ms, 10.0, 1e-6);
+}
+
+TEST(AoiModel, Eq23IncludesPropagationAndBufferDelay) {
+  const AoiModel m;
+  BufferConfig b;
+  b.external_arrival_per_ms = 0.2;
+  b.service_rate_per_ms = 0.35;  // T̄ = 1/0.15 ms
+  const double t_bar = 1.0 / 0.15;
+  // 300 km away: 1 ms propagation.
+  const double aoi =
+      m.aoi_ms(sensor_at(100.0, 299792.458e3 / 1000.0), b, 5.0, 1);
+  EXPECT_NEAR(aoi, 10.0 + 1.0 + t_bar, 1e-6);
+}
+
+TEST(AoiModel, BufferSojournMatchesEq22) {
+  const AoiModel m;
+  BufferConfig b;
+  b.external_arrival_per_ms = 0.2;
+  b.service_rate_per_ms = 0.35;
+  EXPECT_NEAR(m.buffer_sojourn_ms(b), 1.0 / 0.15, 1e-9);
+}
+
+TEST(AoiModel, Eq24AverageOverCycles) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 5.0;
+  cfg.updates_per_frame = 3;
+  // 100 Hz: cycles give 10, 15, 20 -> mean 15.
+  EXPECT_NEAR(m.average_aoi_ms(sensor_at(100.0), ideal_buffer(), cfg), 15.0,
+              1e-6);
+}
+
+TEST(AoiModel, Eq25And26ProcessedFrequencyAndRoi) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 5.0;
+  cfg.updates_per_frame = 3;
+  const auto sensor = sensor_at(100.0);
+  const double avg = m.average_aoi_ms(sensor, ideal_buffer(), cfg);
+  EXPECT_NEAR(m.processed_frequency_hz(sensor, ideal_buffer(), cfg),
+              1000.0 / avg, 1e-9);
+  EXPECT_NEAR(m.roi(sensor, ideal_buffer(), cfg),
+              (1000.0 / avg) / (1000.0 / 5.0), 1e-9);
+}
+
+TEST(AoiModel, FreshnessThreshold) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 10.0;
+  cfg.updates_per_frame = 3;
+  // A sensor far faster than the request rate stays fresh.
+  EXPECT_TRUE(m.fresh(sensor_at(1000.0), ideal_buffer(), cfg));
+  // A sensor at half the request rate cannot be fresh.
+  EXPECT_FALSE(m.fresh(sensor_at(50.0), ideal_buffer(), cfg));
+}
+
+TEST(AoiModel, RoiMonotoneInGenerationFrequency) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 5.0;
+  cfg.updates_per_frame = 5;
+  double prev = 0;
+  for (double hz : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    const double r = m.roi(sensor_at(hz), ideal_buffer(), cfg);
+    EXPECT_GT(r, prev) << hz;
+    prev = r;
+  }
+}
+
+TEST(AoiModel, RequiredGenerationHzAchievesFreshness) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 5.0;
+  cfg.updates_per_frame = 5;
+  const double needed = m.required_generation_hz(10.0, ideal_buffer(), cfg);
+  EXPECT_GT(needed, 0);
+  // At the boundary frequency RoI is (numerically) 1.
+  EXPECT_NEAR(m.roi(sensor_at(needed, 10.0), ideal_buffer(), cfg), 1.0,
+              1e-3);
+  // Slightly below it, not fresh.
+  EXPECT_FALSE(
+      m.fresh(sensor_at(needed * 0.98, 10.0), ideal_buffer(), cfg));
+}
+
+TEST(AoiModel, RequiredGenerationImpossibleWhenDelaysDominate) {
+  const AoiModel m;
+  AoiConfig cfg;
+  cfg.request_period_ms = 5.0;
+  cfg.updates_per_frame = 5;
+  BufferConfig slow;
+  slow.external_arrival_per_ms = 0.1;
+  slow.service_rate_per_ms = 0.2;  // 10 ms sojourn > request period
+  EXPECT_THROW((void)m.required_generation_hz(0.0, slow, cfg),
+               std::runtime_error);
+}
+
+TEST(AoiModel, InputValidation) {
+  const AoiModel m;
+  EXPECT_THROW((void)m.aoi_ms(sensor_at(100), ideal_buffer(), 5.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.aoi_ms(sensor_at(100), ideal_buffer(), 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.timeline(sensor_at(100), ideal_buffer(), 5.0, 0),
+               std::invalid_argument);
+}
+
+TEST(AoiModel, TimelineMetadataConsistent) {
+  const AoiModel m;
+  const auto pts = m.timeline(sensor_at(100.0), ideal_buffer(), 5.0, 4);
+  for (int n = 1; n <= 4; ++n) {
+    const auto& p = pts[std::size_t(n - 1)];
+    EXPECT_EQ(p.cycle, n);
+    EXPECT_NEAR(p.request_time_ms, 5.0 * (n - 1), 1e-12);
+    EXPECT_NEAR(p.generation_time_ms, 10.0 * n, 1e-9);
+    EXPECT_NEAR(p.roi, 5.0 / p.aoi_ms, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace xr::core

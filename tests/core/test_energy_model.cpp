@@ -1,0 +1,129 @@
+#include "core/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace xr::core {
+namespace {
+
+struct Models {
+  LatencyModel latency;
+  EnergyModel energy;
+};
+
+const Models& models() {
+  static const Models m;
+  return m;
+}
+
+TEST(EnergyModel, ComputeSegmentsChargeEq21Power) {
+  const auto s = make_local_scenario(500, 2.0);
+  const auto lat = models().latency.evaluate(s);
+  const auto e = models().energy.evaluate(s, lat);
+  const double p = models().energy.compute_power_mw(s.client);
+  EXPECT_NEAR(e.frame_generation, p * lat.frame_generation / 1000.0, 1e-9);
+  EXPECT_NEAR(e.volumetric, p * lat.volumetric / 1000.0, 1e-9);
+  EXPECT_NEAR(e.rendering, p * lat.rendering / 1000.0, 1e-9);
+  EXPECT_NEAR(e.local_inference, p * lat.local_inference / 1000.0, 1e-9);
+}
+
+TEST(EnergyModel, RadioSegmentsChargeRadioPower) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const auto lat = models().latency.evaluate(s);
+  const auto e = models().energy.evaluate(s, lat);
+  const auto& radio = models().energy.radio();
+  EXPECT_NEAR(e.transmission, radio.tx_mw * lat.transmission / 1000.0, 1e-9);
+  EXPECT_NEAR(e.external_sensors,
+              radio.rx_mw * lat.external_sensors / 1000.0, 1e-9);
+  // Remote inference is an idle wait for the XR device.
+  EXPECT_NEAR(e.remote_inference,
+              radio.idle_wait_mw * lat.remote_inference / 1000.0, 1e-9);
+}
+
+TEST(EnergyModel, Eq19TotalComposition) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const auto lat = models().latency.evaluate(s);
+  const auto e = models().energy.evaluate(s, lat);
+  const double segments = e.frame_generation + e.volumetric +
+                          e.external_sensors + e.rendering +
+                          e.frame_conversion + e.encoding +
+                          e.local_inference + e.remote_inference +
+                          e.transmission + e.handoff;
+  EXPECT_NEAR(e.total, segments + e.base + e.thermal, 1e-9);
+}
+
+TEST(EnergyModel, BaseEnergyAccruesOverFrameTime) {
+  const auto s = make_local_scenario();
+  const auto lat = models().latency.evaluate(s);
+  const auto e = models().energy.evaluate(s, lat);
+  const double base_mw = models().energy.power_model().base_power_mw();
+  EXPECT_NEAR(e.base, base_mw * lat.total / 1000.0, 1e-9);
+}
+
+TEST(EnergyModel, ThermalIsFractionOfSegmentSum) {
+  const auto s = make_local_scenario();
+  const auto lat = models().latency.evaluate(s);
+  const auto e = models().energy.evaluate(s, lat);
+  const double theta = models().energy.power_model().thermal_fraction();
+  const double segments = e.total - e.base - e.thermal;
+  EXPECT_NEAR(e.thermal, theta * segments, 1e-9);
+}
+
+TEST(EnergyModel, CooperationFollowsLatencyInclusionFlag) {
+  auto s = make_remote_scenario();
+  s.cooperation.active = true;
+  const auto lat_par = models().latency.evaluate(s);
+  const auto e_par = models().energy.evaluate(s, lat_par);
+  EXPECT_GT(e_par.cooperation, 0);
+  s.cooperation.include_in_total = true;
+  const auto lat_ser = models().latency.evaluate(s);
+  const auto e_ser = models().energy.evaluate(s, lat_ser);
+  EXPECT_GT(e_ser.total, e_par.total);
+}
+
+TEST(EnergyModel, LocalPathHasNoRadioTxEnergy) {
+  const auto s = make_local_scenario();
+  const auto e = models().energy.evaluate(s, models().latency.evaluate(s));
+  EXPECT_DOUBLE_EQ(e.transmission, 0);
+  EXPECT_DOUBLE_EQ(e.remote_inference, 0);
+  EXPECT_DOUBLE_EQ(e.handoff, 0);
+}
+
+TEST(EnergyModel, SegmentAccessorMatchesFields) {
+  const auto s = make_remote_scenario();
+  const auto e = models().energy.evaluate(s, models().latency.evaluate(s));
+  EXPECT_DOUBLE_EQ(e.segment(Segment::kEncoding), e.encoding);
+  EXPECT_DOUBLE_EQ(e.segment(Segment::kTransmission), e.transmission);
+  EXPECT_DOUBLE_EQ(e.segment(Segment::kExternalSensors),
+                   e.external_sensors);
+}
+
+TEST(EnergyModel, AllComponentsNonNegativeAcrossSweep) {
+  for (double ghz : {1.0, 2.0, 3.0})
+    for (double size : {300.0, 500.0, 700.0})
+      for (bool local : {true, false}) {
+        const auto s = local ? make_local_scenario(size, ghz)
+                             : make_remote_scenario(size, ghz);
+        const auto e =
+            models().energy.evaluate(s, models().latency.evaluate(s));
+        for (Segment seg : all_segments())
+          EXPECT_GE(e.segment(seg), 0.0)
+              << segment_name(seg) << " ghz=" << ghz << " size=" << size;
+        EXPECT_GT(e.total, 0.0);
+        EXPECT_GE(e.thermal, 0.0);
+        EXPECT_GT(e.base, 0.0);
+      }
+}
+
+TEST(EnergyModel, HigherClockDrawsMorePowerInRange) {
+  ClientConfig low;
+  low.cpu_ghz = 1.8;
+  ClientConfig high;
+  high.cpu_ghz = 2.6;
+  EXPECT_GT(models().energy.compute_power_mw(high),
+            models().energy.compute_power_mw(low));
+}
+
+}  // namespace
+}  // namespace xr::core

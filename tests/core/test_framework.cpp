@@ -1,0 +1,96 @@
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::core {
+namespace {
+
+TEST(Framework, ReportIsInternallyConsistent) {
+  const XrPerformanceModel model;
+  const auto s = make_remote_scenario(500, 2.0);
+  const auto report = model.evaluate(s);
+  // The facade must produce the same numbers as the constituent models.
+  EXPECT_NEAR(report.latency.total, model.latency_model().evaluate(s).total,
+              1e-12);
+  const auto energy =
+      model.energy_model().evaluate(s, model.latency_model().evaluate(s));
+  EXPECT_NEAR(report.energy.total, energy.total, 1e-12);
+}
+
+TEST(Framework, OneSensorReportPerSensor) {
+  const XrPerformanceModel model;
+  auto s = make_local_scenario();
+  s.sensors = {SensorConfig{"a", 200, 10}, SensorConfig{"b", 100, 20},
+               SensorConfig{"c", 50, 30}};
+  const auto report = model.evaluate(s);
+  ASSERT_EQ(report.sensors.size(), 3u);
+  EXPECT_EQ(report.sensors[0].name, "a");
+  EXPECT_EQ(report.sensors[2].name, "c");
+  // Faster sensors have lower AoI and higher RoI.
+  EXPECT_LT(report.sensors[0].average_aoi_ms,
+            report.sensors[2].average_aoi_ms);
+  EXPECT_GT(report.sensors[0].roi, report.sensors[2].roi);
+}
+
+TEST(Framework, SensorReportMatchesAoiModel) {
+  const XrPerformanceModel model;
+  const auto s = make_local_scenario();
+  const auto report = model.evaluate(s);
+  const auto& aoi = model.aoi_model();
+  for (std::size_t i = 0; i < s.sensors.size(); ++i) {
+    EXPECT_NEAR(report.sensors[i].average_aoi_ms,
+                aoi.average_aoi_ms(s.sensors[i], s.buffer, s.aoi), 1e-12);
+    EXPECT_NEAR(report.sensors[i].roi,
+                aoi.roi(s.sensors[i], s.buffer, s.aoi), 1e-12);
+    EXPECT_EQ(report.sensors[i].fresh, report.sensors[i].roi >= 1.0);
+  }
+}
+
+TEST(Framework, ToStringMentionsSegmentsAndTotals) {
+  const XrPerformanceModel model;
+  const auto report = model.evaluate(make_remote_scenario());
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("frame_generation"), std::string::npos);
+  EXPECT_NE(text.find("encoding"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+  EXPECT_NE(text.find("RoI"), std::string::npos);
+  EXPECT_NE(text.find("base energy"), std::string::npos);
+  // Local-only segments are suppressed on the remote path.
+  EXPECT_EQ(text.find("local_inference"), std::string::npos);
+}
+
+TEST(Framework, FactoryFrameSizeAndClockApplied) {
+  const auto s = make_local_scenario(640.0, 2.5);
+  EXPECT_DOUBLE_EQ(s.frame.frame_size, 640.0);
+  EXPECT_DOUBLE_EQ(s.client.cpu_ghz, 2.5);
+  EXPECT_DOUBLE_EQ(s.frame.scene_size, 640.0);
+}
+
+TEST(Framework, RemoteUsesYoloClassEdgeCnn) {
+  const auto s = make_remote_scenario();
+  ASSERT_EQ(s.inference.edges.size(), 1u);
+  EXPECT_EQ(s.inference.edges[0].cnn_name, "YoloV3");
+  EXPECT_DOUBLE_EQ(s.inference.omega_client, 0.0);
+}
+
+TEST(Framework, InvalidScenarioRejected) {
+  const XrPerformanceModel model;
+  auto s = make_local_scenario();
+  s.client.omega_c = -1;
+  EXPECT_THROW((void)model.evaluate(s), std::invalid_argument);
+}
+
+TEST(Framework, LatencyEnergyBothPositive) {
+  const XrPerformanceModel model;
+  for (double ghz : {1.0, 2.0, 3.0}) {
+    const auto local = model.evaluate(make_local_scenario(500, ghz));
+    const auto remote = model.evaluate(make_remote_scenario(500, ghz));
+    EXPECT_GT(local.latency.total, 0);
+    EXPECT_GT(local.energy.total, 0);
+    EXPECT_GT(remote.latency.total, 0);
+    EXPECT_GT(remote.energy.total, 0);
+  }
+}
+
+}  // namespace
+}  // namespace xr::core

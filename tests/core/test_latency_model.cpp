@@ -1,0 +1,282 @@
+#include "core/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "queueing/mm1.h"
+#include "wireless/propagation.h"
+
+namespace xr::core {
+namespace {
+
+const LatencyModel& model() {
+  static const LatencyModel m;
+  return m;
+}
+
+TEST(LatencyModel, FrameGenerationEq2) {
+  // L_fg = 1/n_fps + s_f1/c + δ_f1/m.
+  const auto s = make_local_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  const double expected = 1000.0 / 30.0 + 500.0 / c +
+                          raw_frame_mb(s.frame) / 44.0;
+  EXPECT_NEAR(model().frame_generation_ms(s), expected, 1e-9);
+}
+
+TEST(LatencyModel, ClientResourceMatchesEq3) {
+  const auto s = make_local_scenario(500, 2.0);
+  // omega_c = 1 in the factory -> pure CPU branch of Eq. (3).
+  EXPECT_NEAR(model().client_resource(s.client),
+              18.24 + 1.84 * 4 - 6.02 * 2, 1e-9);
+}
+
+TEST(LatencyModel, VolumetricEq4) {
+  const auto s = make_local_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  EXPECT_NEAR(model().volumetric_ms(s),
+              s.frame.scene_size / c + volumetric_mb(s.frame) / 44.0, 1e-9);
+}
+
+TEST(LatencyModel, ExternalSensorsEq5TakesSlowestSensor) {
+  auto s = make_local_scenario();
+  s.sensors = {SensorConfig{"fast", 200.0, 10.0},
+               SensorConfig{"slow", 50.0, 10.0}};
+  s.updates_per_frame = 4;
+  // Slowest: 4 updates x (20 ms + prop).
+  const double per = 1000.0 / 50.0 + wireless::propagation_delay_ms(10.0);
+  EXPECT_NEAR(model().external_sensors_ms(s), 4 * per, 1e-9);
+}
+
+TEST(LatencyModel, ExternalSensorsZeroWithoutUpdates) {
+  auto s = make_local_scenario();
+  s.updates_per_frame = 0;
+  EXPECT_DOUBLE_EQ(model().external_sensors_ms(s), 0.0);
+}
+
+TEST(LatencyModel, BufferingEq7SumsThreeClasses) {
+  BufferConfig b;
+  b.service_rate_per_ms = 0.35;
+  b.frame_arrival_per_ms = 0.03;
+  b.volumetric_arrival_per_ms = 0.03;
+  b.external_arrival_per_ms = 0.2;
+  const double expected = 1.0 / (0.35 - 0.03) + 1.0 / (0.35 - 0.03) +
+                          1.0 / (0.35 - 0.2);
+  EXPECT_NEAR(model().buffering_ms(b), expected, 1e-9);
+}
+
+TEST(LatencyModel, RenderingEq8LocalUsesMemoryDelivery) {
+  const auto s = make_local_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  const double expected = 500.0 / c + raw_frame_mb(s.frame) / 44.0 +
+                          model().buffering_ms(s.buffer) +
+                          s.frame.inference_result_mb / 44.0;
+  EXPECT_NEAR(model().rendering_ms(s), expected, 1e-9);
+}
+
+TEST(LatencyModel, RenderingEq8RemoteUsesWirelessDelivery) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  const double expected =
+      500.0 / c + raw_frame_mb(s.frame) / 44.0 +
+      model().buffering_ms(s.buffer) +
+      wireless::transmission_time_ms(s.frame.inference_result_mb, 40.0) +
+      wireless::propagation_delay_ms(50.0);
+  EXPECT_NEAR(model().rendering_ms(s), expected, 1e-9);
+}
+
+TEST(LatencyModel, FrameConversionEq9) {
+  const auto s = make_local_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  EXPECT_NEAR(model().frame_conversion_ms(s),
+              500.0 / c + raw_frame_mb(s.frame) / 44.0, 1e-9);
+}
+
+TEST(LatencyModel, EncodingEq10) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  const double work = -574.36 - 7.71 * 30 + 142.61 * 2 + 53.38 * 4 +
+                      1.43 * 500 + 163.65 * 30 + 3.62 * 28;
+  EXPECT_NEAR(model().encoding_ms(s), work / c + raw_frame_mb(s.frame) / 44.0,
+              1e-9);
+}
+
+TEST(LatencyModel, LocalInferenceEq11) {
+  auto s = make_local_scenario(500, 2.0);
+  s.inference.local_cnn_name = "MobileNetv2_300_Float";
+  const double c = model().client_resource(s.client);
+  // C_CNN = 2.45 + 0.0025*99 + 0.03*24.2 (Eq. 12), used as the printed
+  // denominator of Eq. (11).
+  const double complexity = 2.45 + 0.0025 * 99 + 0.03 * 24.2;
+  const double expected = s.frame.converted_size / (c * complexity) +
+                          converted_mb(s.frame) / 44.0;
+  EXPECT_NEAR(model().local_inference_ms(s), expected, 1e-9);
+}
+
+TEST(LatencyModel, LocalInferenceScalesWithSplitShare) {
+  auto s = make_local_scenario();
+  const double full = model().local_inference_ms(s);
+  s.inference.omega_client = 0.5;
+  EXPECT_NEAR(model().local_inference_ms(s), 0.5 * full, 1e-12);
+}
+
+TEST(LatencyModel, EdgeResourceDefaultsToPaperRatio) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  EXPECT_NEAR(model().edge_resource(s.inference.edges[0], s.client),
+              11.76 * c, 1e-9);
+  EdgeConfig explicit_edge;
+  explicit_edge.resource = 222.0;
+  EXPECT_DOUBLE_EQ(model().edge_resource(explicit_edge, s.client), 222.0);
+}
+
+TEST(LatencyModel, DecodeEq14) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const double c = model().client_resource(s.client);
+  const double c_edge = 11.76 * c;
+  EXPECT_NEAR(model().decode_ms(s, s.inference.edges[0]),
+              model().encoding_ms(s) * c * (1.0 / 3.0) / c_edge, 1e-9);
+}
+
+TEST(LatencyModel, RemoteInferenceEq13Composition) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const auto& edge = s.inference.edges[0];
+  const double c_edge = model().edge_resource(edge, s.client);
+  const double complexity = 2.45 + 0.0025 * 106 + 0.03 * 210;  // YOLOv3
+  const double expected =
+      1.0 * (500.0 / (c_edge * complexity) +
+             model().encoded_payload_mb(s) / edge.memory_bandwidth_gbps +
+             model().decode_ms(s, edge));
+  EXPECT_NEAR(model().remote_inference_one_edge_ms(s, edge), expected, 1e-9);
+  EXPECT_NEAR(model().remote_inference_ms(s), expected, 1e-9);
+}
+
+TEST(LatencyModel, MultiEdgeEq15TakesSlowestShare) {
+  auto s = make_remote_scenario(500, 2.0);
+  EdgeConfig fast = s.inference.edges[0];
+  fast.omega_edge = 0.3;
+  EdgeConfig slow = s.inference.edges[0];
+  slow.omega_edge = 0.7;
+  slow.resource = 40.0;  // much weaker server
+  s.inference.edges = {fast, slow};
+  const double expected =
+      std::max(model().remote_inference_one_edge_ms(s, fast),
+               model().remote_inference_one_edge_ms(s, slow));
+  EXPECT_NEAR(model().remote_inference_ms(s), expected, 1e-12);
+  EXPECT_NEAR(model().remote_inference_ms(s),
+              model().remote_inference_one_edge_ms(s, slow), 1e-12);
+}
+
+TEST(LatencyModel, TransmissionEq16) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const double expected =
+      wireless::transmission_time_ms(model().encoded_payload_mb(s), 40.0) +
+      wireless::propagation_delay_ms(50.0);
+  EXPECT_NEAR(model().transmission_ms(s), expected, 1e-12);
+}
+
+TEST(LatencyModel, HandoffEq17ZeroWhenDisabled) {
+  const auto s = make_remote_scenario();
+  EXPECT_DOUBLE_EQ(model().handoff_ms(s), 0.0);
+}
+
+TEST(LatencyModel, HandoffEq17PositiveWithMobility) {
+  auto s = make_remote_scenario();
+  s.mobility.enabled = true;
+  const double ho = model().handoff_ms(s);
+  EXPECT_GT(ho, 0.0);
+  // Faster movement raises the expected cost.
+  s.mobility.step_length_per_frame_m *= 4;
+  EXPECT_GT(model().handoff_ms(s), ho);
+}
+
+TEST(LatencyModel, CooperationEq18) {
+  auto s = make_remote_scenario();
+  EXPECT_DOUBLE_EQ(model().cooperation_ms(s), 0.0);  // inactive by default
+  s.cooperation.active = true;
+  const double expected =
+      wireless::transmission_time_ms(s.network.coop_payload_mb, 40.0) +
+      wireless::propagation_delay_ms(s.network.coop_distance_m);
+  EXPECT_NEAR(model().cooperation_ms(s), expected, 1e-12);
+}
+
+TEST(LatencyModel, Eq1LocalComposition) {
+  const auto s = make_local_scenario(500, 2.0);
+  const auto b = model().evaluate(s);
+  // Local path: remote-only segments are zero.
+  EXPECT_DOUBLE_EQ(b.encoding, 0);
+  EXPECT_DOUBLE_EQ(b.remote_inference, 0);
+  EXPECT_DOUBLE_EQ(b.transmission, 0);
+  EXPECT_DOUBLE_EQ(b.handoff, 0);
+  EXPECT_NEAR(b.total,
+              b.frame_generation + b.volumetric + b.external_sensors +
+                  b.rendering + b.frame_conversion + b.local_inference,
+              1e-9);
+}
+
+TEST(LatencyModel, Eq1RemoteComposition) {
+  const auto s = make_remote_scenario(500, 2.0);
+  const auto b = model().evaluate(s);
+  EXPECT_DOUBLE_EQ(b.frame_conversion, 0);
+  EXPECT_DOUBLE_EQ(b.local_inference, 0);
+  EXPECT_GT(b.encoding, 0);
+  EXPECT_GT(b.transmission, 0);
+  EXPECT_NEAR(b.total,
+              b.frame_generation + b.volumetric + b.external_sensors +
+                  b.rendering + b.encoding + b.remote_inference +
+                  b.transmission + b.handoff,
+              1e-9);
+}
+
+TEST(LatencyModel, CooperationExcludedFromTotalByDefault) {
+  auto s = make_remote_scenario();
+  s.cooperation.active = true;
+  const auto parallel = model().evaluate(s);
+  EXPECT_GT(parallel.cooperation, 0);
+  EXPECT_FALSE(parallel.cooperation_in_total);
+  s.cooperation.include_in_total = true;
+  const auto serial = model().evaluate(s);
+  EXPECT_NEAR(serial.total, parallel.total + parallel.cooperation, 1e-9);
+}
+
+TEST(LatencyModel, SegmentAccessorMatchesFields) {
+  const auto b = model().evaluate(make_remote_scenario());
+  EXPECT_DOUBLE_EQ(b.segment(Segment::kEncoding), b.encoding);
+  EXPECT_DOUBLE_EQ(b.segment(Segment::kRendering), b.rendering);
+  EXPECT_DOUBLE_EQ(b.segment(Segment::kTransmission), b.transmission);
+}
+
+class LatencyMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyMonotonicity, TotalGrowsWithFrameSize) {
+  const double ghz = GetParam();
+  double prev_local = 0, prev_remote = 0;
+  for (double size : {300.0, 400.0, 500.0, 600.0, 700.0}) {
+    const double local = model().evaluate(make_local_scenario(size, ghz)).total;
+    const double remote =
+        model().evaluate(make_remote_scenario(size, ghz)).total;
+    EXPECT_GT(local, prev_local) << "size " << size;
+    EXPECT_GT(remote, prev_remote) << "size " << size;
+    prev_local = local;
+    prev_remote = remote;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClockSweep, LatencyMonotonicity,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.0));
+
+TEST(LatencyModel, FasterNetworkNeverHurtsRemote) {
+  auto s = make_remote_scenario();
+  s.network.throughput_mbps = 10;
+  const double slow = model().evaluate(s).total;
+  s.network.throughput_mbps = 80;
+  EXPECT_LT(model().evaluate(s).total, slow);
+}
+
+TEST(LatencyModel, EvaluateValidates) {
+  ScenarioConfig s = make_remote_scenario();
+  s.frame.fps = 0;
+  EXPECT_THROW((void)model().evaluate(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::core

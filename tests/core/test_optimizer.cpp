@@ -1,0 +1,156 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::core {
+namespace {
+
+ScenarioConfig base_scenario() { return make_remote_scenario(500, 2.0); }
+
+TEST(Optimizer, DecisionApplyLocal) {
+  OffloadDecision d;
+  d.placement = InferencePlacement::kLocal;
+  d.omega_c = 0.75;
+  d.local_cnn = "MobileNetv1_240_Quant";
+  const auto s = d.apply(base_scenario());
+  EXPECT_EQ(s.inference.placement, InferencePlacement::kLocal);
+  EXPECT_TRUE(s.inference.edges.empty());
+  EXPECT_EQ(s.inference.local_cnn_name, "MobileNetv1_240_Quant");
+  EXPECT_DOUBLE_EQ(s.client.omega_c, 0.75);
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(Optimizer, DecisionApplyRemoteSplitsEdges) {
+  OffloadDecision d;
+  d.placement = InferencePlacement::kRemote;
+  d.edge_cnn = "YoloV7";
+  d.edge_count = 3;
+  d.codec.bitrate_mbps = 8.0;
+  const auto s = d.apply(base_scenario());
+  ASSERT_EQ(s.inference.edges.size(), 3u);
+  for (const auto& e : s.inference.edges) {
+    EXPECT_EQ(e.cnn_name, "YoloV7");
+    EXPECT_NEAR(e.omega_edge, 1.0 / 3.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(s.codec.bitrate_mbps, 8.0);
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(Optimizer, DecisionToStringDistinguishesPlacement) {
+  OffloadDecision local;
+  local.placement = InferencePlacement::kLocal;
+  OffloadDecision remote;
+  remote.placement = InferencePlacement::kRemote;
+  EXPECT_NE(local.to_string().find("local"), std::string::npos);
+  EXPECT_NE(remote.to_string().find("remote"), std::string::npos);
+}
+
+TEST(Optimizer, PlanFindsOptimaOverGrid) {
+  const auto plan = plan_offload(base_scenario());
+  EXPECT_GT(plan.candidates_evaluated, 10u);
+  EXPECT_GT(plan.best_latency.latency_ms, 0);
+  // By definition of the optima:
+  EXPECT_LE(plan.best_latency.latency_ms, plan.best_energy.latency_ms);
+  EXPECT_LE(plan.best_energy.energy_mj, plan.best_latency.energy_mj);
+}
+
+TEST(Optimizer, WeightedObjectiveInterpolates) {
+  const auto pure_latency = plan_offload(base_scenario(), {}, 1.0);
+  const auto pure_energy = plan_offload(base_scenario(), {}, 0.0);
+  EXPECT_NEAR(pure_latency.best_weighted.latency_ms,
+              pure_latency.best_latency.latency_ms, 1e-9);
+  EXPECT_NEAR(pure_energy.best_weighted.energy_mj,
+              pure_energy.best_energy.energy_mj, 1e-9);
+}
+
+TEST(Optimizer, ParetoFrontierIsNonDominated) {
+  const auto plan = plan_offload(base_scenario());
+  ASSERT_GE(plan.pareto.size(), 1u);
+  for (std::size_t i = 1; i < plan.pareto.size(); ++i) {
+    // Latency ascending, energy strictly descending along the frontier.
+    EXPECT_GE(plan.pareto[i].latency_ms, plan.pareto[i - 1].latency_ms);
+    EXPECT_LT(plan.pareto[i].energy_mj, plan.pareto[i - 1].energy_mj);
+  }
+  // Endpoints are the single-metric optima.
+  EXPECT_NEAR(plan.pareto.front().latency_ms,
+              plan.best_latency.latency_ms, 1e-9);
+  EXPECT_NEAR(plan.pareto.back().energy_mj, plan.best_energy.energy_mj,
+              1e-9);
+}
+
+TEST(Optimizer, RestrictedSearchSpaces) {
+  OffloadSearchSpace local_only;
+  local_only.include_remote = false;
+  const auto plan = plan_offload(base_scenario(), local_only);
+  EXPECT_EQ(plan.best_latency.decision.placement,
+            InferencePlacement::kLocal);
+
+  OffloadSearchSpace remote_only;
+  remote_only.include_local = false;
+  const auto plan2 = plan_offload(base_scenario(), remote_only);
+  EXPECT_EQ(plan2.best_energy.decision.placement,
+            InferencePlacement::kRemote);
+}
+
+TEST(Optimizer, SlowNetworkPushesDecisionLocal) {
+  auto s = base_scenario();
+  s.network.throughput_mbps = 2.0;  // terrible uplink
+  const auto plan = plan_offload(s);
+  EXPECT_EQ(plan.best_latency.decision.placement,
+            InferencePlacement::kLocal);
+}
+
+TEST(Optimizer, Validation) {
+  EXPECT_THROW((void)plan_offload(base_scenario(), {}, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_offload(base_scenario(), {}, 1.1),
+               std::invalid_argument);
+  OffloadSearchSpace empty;
+  empty.include_local = false;
+  empty.include_remote = false;
+  EXPECT_THROW((void)plan_offload(base_scenario(), empty),
+               std::invalid_argument);
+  OffloadSearchSpace no_grid;
+  no_grid.omega_c_grid.clear();
+  EXPECT_THROW((void)plan_offload(base_scenario(), no_grid),
+               std::invalid_argument);
+}
+
+TEST(BalanceEdgeSplit, ProportionalToResources) {
+  const auto shares = balance_edge_split({100.0, 50.0, 50.0});
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_NEAR(shares[0], 0.5, 1e-12);
+  EXPECT_NEAR(shares[1], 0.25, 1e-12);
+  double total = 0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BalanceEdgeSplit, BalancedSplitMinimizesEq15) {
+  // Assigning shares proportional to resources makes the per-edge terms
+  // equal, which minimizes the Eq. (15) max for resource-bound servers.
+  auto s = base_scenario();
+  EdgeConfig strong = s.inference.edges[0];
+  strong.resource = 200.0;
+  EdgeConfig weak = s.inference.edges[0];
+  weak.resource = 100.0;
+  const auto shares = balance_edge_split({200.0, 100.0});
+  strong.omega_edge = shares[0];
+  weak.omega_edge = shares[1];
+  s.inference.edges = {strong, weak};
+  const LatencyModel model;
+  const double balanced = model.remote_inference_ms(s);
+
+  // Any lopsided split is worse.
+  s.inference.edges[0].omega_edge = 0.33;
+  s.inference.edges[1].omega_edge = 0.67;
+  EXPECT_GT(model.remote_inference_ms(s), balanced);
+}
+
+TEST(BalanceEdgeSplit, Validation) {
+  EXPECT_THROW((void)balance_edge_split({}), std::invalid_argument);
+  EXPECT_THROW((void)balance_edge_split({1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::core

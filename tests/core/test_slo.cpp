@@ -1,0 +1,98 @@
+#include "core/slo.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::core {
+namespace {
+
+TEST(Slo, AchievableFps) {
+  EXPECT_NEAR(achievable_fps(100.0), 10.0, 1e-12);
+  EXPECT_NEAR(achievable_fps(16.67), 60.0, 0.05);
+  EXPECT_THROW((void)achievable_fps(0), std::invalid_argument);
+}
+
+TEST(Slo, BatteryLifeHandComputed) {
+  // 15 Wh = 54 kJ; 200 mJ/frame at 30 fps = 6 W -> 9000 s = 2.5 h.
+  EXPECT_NEAR(battery_life_hours(15.0, 200.0, 30.0), 2.5, 1e-9);
+  EXPECT_THROW((void)battery_life_hours(0, 200, 30), std::invalid_argument);
+  EXPECT_THROW((void)battery_life_hours(15, 0, 30), std::invalid_argument);
+  EXPECT_THROW((void)battery_life_hours(15, 200, 0), std::invalid_argument);
+}
+
+TEST(Slo, AssessProducesAllChecks) {
+  const auto report = assess_slo(make_remote_scenario(500, 2.0), SloTargets{});
+  ASSERT_EQ(report.checks.size(), 4u);  // latency, fps, battery, freshness
+  EXPECT_GT(report.achievable_fps, 0);
+  EXPECT_GT(report.battery_hours, 0);
+}
+
+TEST(Slo, FreshnessCheckOptional) {
+  SloTargets t;
+  t.require_fresh_sensors = false;
+  const auto report = assess_slo(make_remote_scenario(500, 2.0), t);
+  EXPECT_EQ(report.checks.size(), 3u);
+}
+
+TEST(Slo, GenerousTargetsPassStrictTargetsFail) {
+  const auto scenario = make_local_scenario(500, 2.0);
+  SloTargets generous;
+  generous.motion_to_photon_ms = 10000.0;
+  generous.min_fps = 0.1;
+  generous.min_battery_hours = 0.001;
+  generous.require_fresh_sensors = false;
+  EXPECT_TRUE(assess_slo(scenario, generous).all_pass);
+
+  SloTargets strict;
+  strict.motion_to_photon_ms = 1.0;  // impossible
+  const auto report = assess_slo(scenario, strict);
+  EXPECT_FALSE(report.all_pass);
+  EXPECT_FALSE(report.checks[0].pass);
+}
+
+TEST(Slo, MeasuredValuesConsistentWithModel) {
+  const XrPerformanceModel model;
+  const auto scenario = make_remote_scenario(400, 2.0);
+  const auto perf = model.evaluate(scenario);
+  const auto report = assess_slo(scenario, SloTargets{}, model);
+  EXPECT_NEAR(report.checks[0].measured, perf.latency.total, 1e-9);
+  EXPECT_NEAR(report.achievable_fps, 1000.0 / perf.latency.total, 1e-9);
+}
+
+TEST(Slo, BatteryUsesEffectiveFps) {
+  // When the pipeline is slower than the capture rate, the battery drains
+  // at the pipeline rate, not the nominal capture fps.
+  const auto scenario = make_remote_scenario(700, 1.0);  // slow pipeline
+  const XrPerformanceModel model;
+  const auto perf = model.evaluate(scenario);
+  const double pipeline_fps = 1000.0 / perf.latency.total;
+  ASSERT_LT(pipeline_fps, scenario.frame.fps);
+  const SloTargets t;
+  const auto report = assess_slo(scenario, t);
+  EXPECT_NEAR(report.battery_hours,
+              battery_life_hours(t.battery_wh, perf.energy.total,
+                                 pipeline_fps),
+              1e-9);
+}
+
+TEST(Slo, ToStringRendersVerdicts) {
+  const auto report =
+      assess_slo(make_local_scenario(500, 2.0), SloTargets{});
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("motion-to-photon"), std::string::npos);
+  EXPECT_NE(text.find("battery"), std::string::npos);
+  EXPECT_TRUE(text.find("PASS") != std::string::npos ||
+              text.find("FAIL") != std::string::npos);
+}
+
+TEST(Slo, StaleSensorFailsFreshnessSlo) {
+  auto scenario = make_local_scenario(500, 2.0);
+  scenario.sensors = {SensorConfig{"slow", 20.0, 50.0}};  // 20 Hz vs 5 ms
+  const auto report = assess_slo(scenario, SloTargets{});
+  const auto& freshness = report.checks.back();
+  EXPECT_FALSE(freshness.pass);
+  EXPECT_LT(freshness.measured, 1.0);
+  EXPECT_FALSE(report.all_pass);
+}
+
+}  // namespace
+}  // namespace xr::core

@@ -1,0 +1,104 @@
+#include "devices/cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "math/regression.h"
+#include "math/rng.h"
+
+namespace xr::devices {
+namespace {
+
+TEST(CnnZoo, HasElevenTableTwoModels) {
+  EXPECT_EQ(cnn_zoo().size(), 11u);
+}
+
+TEST(CnnZoo, SpotCheckTableTwoRows) {
+  const auto& mn1 = cnn_by_name("MobileNetv1_240_Float");
+  EXPECT_EQ(mn1.depth_layers, 31);
+  EXPECT_DOUBLE_EQ(mn1.storage_mb, 16.9);
+  EXPECT_TRUE(mn1.gpu_support);
+
+  const auto& nas = cnn_by_name("NasNet_Float");
+  EXPECT_EQ(nas.depth_layers, 663);
+
+  const auto& y3 = cnn_by_name("YoloV3");
+  EXPECT_EQ(y3.depth_layers, 106);
+  EXPECT_DOUBLE_EQ(y3.storage_mb, 210.0);
+  EXPECT_TRUE(y3.edge_class);
+
+  const auto& y7 = cnn_by_name("YoloV7");
+  EXPECT_DOUBLE_EQ(y7.depth_scale, 1.5);
+  EXPECT_DOUBLE_EQ(y7.storage_mb, 142.8);
+}
+
+TEST(CnnZoo, QuantizedVariantsAreSmaller) {
+  EXPECT_LT(cnn_by_name("MobileNetv1_240_Quant").storage_mb,
+            cnn_by_name("MobileNetv1_240_Float").storage_mb);
+  EXPECT_LT(cnn_by_name("EfficientNet_Quant").storage_mb,
+            cnn_by_name("EfficientNet_Float").storage_mb);
+}
+
+TEST(CnnZoo, UnknownNameThrows) {
+  EXPECT_THROW((void)cnn_by_name("ResNet-50"), std::out_of_range);
+}
+
+TEST(CnnComplexity, PaperEquationValues) {
+  // Eq. (12): C = 2.45 + 0.0025 d + 0.03 s + 0.0029 d_scale.
+  const CnnComplexityModel m;
+  EXPECT_NEAR(m.evaluate(0, 0, 0), 2.45, 1e-12);
+  EXPECT_NEAR(m.evaluate(100, 10, 0), 2.45 + 0.25 + 0.3, 1e-12);
+  EXPECT_NEAR(m.evaluate(106, 210, 0), 2.45 + 0.265 + 6.3, 1e-12);
+}
+
+TEST(CnnComplexity, EvaluateSpecMatchesRawAttributes) {
+  const CnnComplexityModel m;
+  const auto& spec = cnn_by_name("MobileNetv2_300_Float");
+  EXPECT_DOUBLE_EQ(m.evaluate(spec),
+                   m.evaluate(spec.depth_layers, spec.storage_mb,
+                              spec.depth_scale));
+}
+
+TEST(CnnComplexity, MonotoneInEachAttribute) {
+  const CnnComplexityModel m;
+  EXPECT_GT(m.evaluate(200, 10, 0), m.evaluate(100, 10, 0));
+  EXPECT_GT(m.evaluate(100, 20, 0), m.evaluate(100, 10, 0));
+  EXPECT_GT(m.evaluate(100, 10, 2), m.evaluate(100, 10, 0));
+}
+
+TEST(CnnComplexity, NegativeAttributesThrow) {
+  const CnnComplexityModel m;
+  EXPECT_THROW((void)m.evaluate(-1, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.evaluate(0, -1, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.evaluate(0, 0, -1), std::invalid_argument);
+}
+
+TEST(CnnComplexity, FromFittedRecoversEquation) {
+  // Fit on noiseless Eq. (12) samples: coefficients must come back.
+  const CnnComplexityModel paper;
+  math::Rng rng(41);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.uniform(10, 700);
+    const double s = rng.uniform(1, 250);
+    const double sc = rng.uniform(0, 2);
+    x.push_back({d, s, sc});
+    y.push_back(paper.evaluate(d, s, sc));
+  }
+  math::LinearModel fit(CnnComplexityModel::regression_features());
+  fit.fit(x, y);
+  const auto rebuilt = CnnComplexityModel::from_fitted(fit.coefficients());
+  EXPECT_NEAR(rebuilt.coefficients().intercept, 2.45, 1e-8);
+  EXPECT_NEAR(rebuilt.coefficients().per_layer, 0.0025, 1e-10);
+  EXPECT_NEAR(rebuilt.coefficients().per_mb, 0.03, 1e-9);
+  EXPECT_THROW((void)CnnComplexityModel::from_fitted({1, 2}),
+               std::invalid_argument);
+}
+
+TEST(CnnComplexity, EveryZooModelHasPositiveComplexity) {
+  const CnnComplexityModel m;
+  for (const auto& cnn : cnn_zoo()) EXPECT_GT(m.evaluate(cnn), 0) << cnn.name;
+}
+
+}  // namespace
+}  // namespace xr::devices

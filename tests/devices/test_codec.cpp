@@ -1,0 +1,127 @@
+#include "devices/codec.h"
+
+#include "devices/compute.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::devices {
+namespace {
+
+H264Config paper_config() {
+  // The Fig. 4 operating point used throughout the framework.
+  return H264Config{};  // n_i=30, n_b=2, 4 Mbps, 30 fps, QP 28
+}
+
+TEST(Codec, EncodeWorkMatchesEq10Numerator) {
+  const CodecModel m;
+  const auto cfg = paper_config();
+  // −574.36 − 7.71·30 + 142.61·2 + 53.38·4 + 1.43·500 + 163.65·30 + 3.62·28
+  const double expected = -574.36 - 7.71 * 30 + 142.61 * 2 + 53.38 * 4 +
+                          1.43 * 500 + 163.65 * 30 + 3.62 * 28;
+  EXPECT_NEAR(m.encode_work(500, cfg), expected, 1e-9);
+}
+
+TEST(Codec, EncodeWorkFlooredPositive) {
+  const CodecModel m;
+  H264Config tiny;
+  tiny.i_frame_interval = 60;
+  tiny.b_frame_interval = 0;
+  tiny.bitrate_mbps = 1;
+  tiny.fps = 1;  // drives the regression negative
+  tiny.quantization = 18;
+  EXPECT_GE(m.encode_work(240, tiny), 1.0);
+}
+
+TEST(Codec, EncodeLatencyAddsMemoryTerm) {
+  const CodecModel m;
+  const auto cfg = paper_config();
+  const double c = 13.56;
+  const double lat =
+      m.encode_latency_ms(500, cfg, c, /*data_mb=*/0.375, /*bw=*/44.0);
+  EXPECT_NEAR(lat, m.encode_work(500, cfg) / c + 0.375 / 44.0, 1e-9);
+}
+
+TEST(Codec, EncodeLatencyValidation) {
+  const CodecModel m;
+  const auto cfg = paper_config();
+  EXPECT_THROW((void)m.encode_latency_ms(500, cfg, 0, 1, 44),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.encode_latency_ms(500, cfg, 10, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.encode_latency_ms(500, cfg, 10, -1, 44),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.encode_work(0, cfg), std::invalid_argument);
+}
+
+TEST(Codec, DecodeDiscountEq14) {
+  // L_dec = L_en · c_client · γ / c_ε with γ = 1/3 by default.
+  const CodecModel m;
+  const double l_en = 300.0, c_client = 13.56;
+  const double c_edge = kEdgeResourceRatio * c_client;
+  EXPECT_NEAR(m.decode_latency_ms(l_en, c_client, c_edge),
+              l_en / (3.0 * kEdgeResourceRatio), 1e-9);
+  EXPECT_NEAR(m.decode_discount(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Codec, DecodeOnSameHardwareIsOneThird) {
+  // "the decoding delay is found to be around one-third of the encoding
+  // delay if conducted on the same device."
+  const CodecModel m;
+  EXPECT_NEAR(m.decode_latency_ms(300.0, 10.0, 10.0), 100.0, 1e-9);
+}
+
+TEST(Codec, DecodeValidation) {
+  const CodecModel m;
+  EXPECT_THROW((void)m.decode_latency_ms(-1, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)m.decode_latency_ms(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)m.decode_latency_ms(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(CodecModel(EncodingCoefficients{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(CodecModel(EncodingCoefficients{}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Codec, EncodedSizeScalesWithBitrateAndResolution) {
+  const CodecModel m;
+  auto cfg = paper_config();
+  const double base = m.encoded_size_mb(500, cfg);
+  cfg.bitrate_mbps = 8;
+  EXPECT_GT(m.encoded_size_mb(500, cfg), base);
+  cfg.bitrate_mbps = 4;
+  EXPECT_GT(m.encoded_size_mb(700, cfg), base);
+  EXPECT_GT(base, 0);
+}
+
+TEST(Codec, EncodedSmallerThanRaw) {
+  // Compression must beat the YUV420 raw frame at sane configurations.
+  const CodecModel m;
+  const auto cfg = paper_config();
+  for (double s : {300.0, 500.0, 700.0}) {
+    const double raw_mb = 1.5e-6 * s * s;
+    EXPECT_LT(m.encoded_size_mb(s, cfg), raw_mb) << s;
+  }
+}
+
+TEST(Codec, EncodeWorkIncreasesWithFrameSizeAndFps) {
+  const CodecModel m;
+  auto cfg = paper_config();
+  EXPECT_GT(m.encode_work(700, cfg), m.encode_work(300, cfg));
+  auto fast = cfg;
+  fast.fps = 60;
+  EXPECT_GT(m.encode_work(500, fast), m.encode_work(500, cfg));
+}
+
+TEST(Codec, FromFittedRoundTrip) {
+  const std::vector<double> beta{-574.36, -7.71, 142.61, 53.38,
+                                 1.43,    163.65, 3.62};
+  const auto rebuilt = CodecModel::from_fitted(beta, 1.0 / 3.0);
+  const CodecModel original;
+  const auto cfg = paper_config();
+  EXPECT_NEAR(rebuilt.encode_work(500, cfg), original.encode_work(500, cfg),
+              1e-9);
+  EXPECT_THROW((void)CodecModel::from_fitted({1, 2, 3}, 0.3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::devices

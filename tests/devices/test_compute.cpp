@@ -1,0 +1,108 @@
+#include "devices/compute.h"
+
+#include <gtest/gtest.h>
+
+#include "math/regression.h"
+#include "math/rng.h"
+
+namespace xr::devices {
+namespace {
+
+TEST(ComputeAllocation, PaperCpuBranchValues) {
+  // Eq. (3) CPU branch: 18.24 + 1.84 f² − 6.02 f.
+  const ComputeAllocationModel m;
+  EXPECT_NEAR(m.cpu_branch(1.0), 18.24 + 1.84 - 6.02, 1e-12);
+  EXPECT_NEAR(m.cpu_branch(2.0), 18.24 + 7.36 - 12.04, 1e-12);
+  EXPECT_NEAR(m.cpu_branch(3.0), 18.24 + 16.56 - 18.06, 1e-12);
+}
+
+TEST(ComputeAllocation, PaperGpuBranchValues) {
+  const ComputeAllocationModel m;
+  EXPECT_NEAR(m.gpu_branch(1.0), 193.67 + 400.96 - 558.29, 1e-9);
+  EXPECT_NEAR(m.gpu_branch(1.3), 193.67 + 400.96 * 1.69 - 558.29 * 1.3,
+              1e-9);
+}
+
+TEST(ComputeAllocation, MixesBranchesByOmega) {
+  const ComputeAllocationModel m;
+  const double pure_cpu = m.evaluate(2.0, 1.3, 1.0);
+  const double pure_gpu = m.evaluate(2.0, 1.3, 0.0);
+  const double mixed = m.evaluate(2.0, 1.3, 0.5);
+  EXPECT_NEAR(mixed, 0.5 * pure_cpu + 0.5 * pure_gpu, 1e-9);
+}
+
+TEST(ComputeAllocation, PureBranchIgnoresOtherClock) {
+  // omega_c = 1 must not evaluate the GPU branch (and vice versa), so a
+  // degenerate other-clock is fine as long as it is positive.
+  const ComputeAllocationModel m;
+  EXPECT_NEAR(m.evaluate(2.0, 0.001, 1.0), m.cpu_branch(2.0), 1e-9);
+  EXPECT_NEAR(m.evaluate(0.001, 1.0, 0.0), m.gpu_branch(1.0), 1e-9);
+}
+
+TEST(ComputeAllocation, FloorsAtMinResource) {
+  // The GPU quadratic dips near zero around f_g ≈ 0.8; the floor keeps the
+  // resource positive.
+  const ComputeAllocationModel m;
+  EXPECT_GE(m.evaluate(2.0, 0.8, 0.0), ComputeAllocationModel::min_resource());
+}
+
+TEST(ComputeAllocation, DomainValidation) {
+  const ComputeAllocationModel m;
+  EXPECT_THROW((void)m.evaluate(2.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)m.evaluate(2.0, 1.0, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)m.cpu_branch(0.0), std::invalid_argument);
+  EXPECT_THROW((void)m.gpu_branch(-1.0), std::invalid_argument);
+  // With mixed omega both clocks must be valid.
+  EXPECT_THROW((void)m.evaluate(0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(ComputeAllocation, FromFittedRoundTrip) {
+  const auto paper = paper_allocation_coefficients();
+  const std::vector<double> beta{
+      paper.cpu_intercept, paper.cpu_quadratic, paper.cpu_linear,
+      paper.gpu_intercept, paper.gpu_quadratic, paper.gpu_linear};
+  const auto rebuilt = ComputeAllocationModel::from_fitted(beta);
+  const ComputeAllocationModel original;
+  EXPECT_NEAR(rebuilt.evaluate(2.5, 1.1, 0.7),
+              original.evaluate(2.5, 1.1, 0.7), 1e-12);
+  EXPECT_THROW((void)ComputeAllocationModel::from_fitted({1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(ComputeAllocation, RegressionFeaturesRecoverEquation) {
+  // Generate noiseless data from the paper's Eq. (3) and refit: the fitted
+  // model must reproduce the paper coefficients.
+  const ComputeAllocationModel paper;
+  math::Rng rng(31);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double fc = rng.uniform(1.0, 3.0);
+    const double fg = rng.uniform(0.5, 1.4);
+    const double wc = rng.uniform(0.0, 1.0);
+    x.push_back({fc, fg, wc});
+    y.push_back(wc * paper.cpu_branch(fc) +
+                (1 - wc) * paper.gpu_branch(fg));
+  }
+  math::LinearModel fit(ComputeAllocationModel::regression_features(),
+                        /*intercept=*/false);
+  const auto summary = fit.fit(x, y);
+  EXPECT_NEAR(summary.r_squared, 1.0, 1e-9);
+  const auto rebuilt = ComputeAllocationModel::from_fitted(
+      fit.coefficients());
+  EXPECT_NEAR(rebuilt.coefficients().cpu_intercept, 18.24, 1e-6);
+  EXPECT_NEAR(rebuilt.coefficients().gpu_quadratic, 400.96, 1e-5);
+}
+
+TEST(ComputeAllocation, EdgeRatioConstant) {
+  EXPECT_NEAR(kEdgeResourceRatio, 11.76, 1e-12);
+}
+
+TEST(ComputeAllocation, ValidRangeCoversTableOne) {
+  const auto r = ComputeAllocationModel::valid_range();
+  EXPECT_LE(r.cpu_lo, 1.7);
+  EXPECT_GE(r.cpu_hi, 3.13);
+}
+
+}  // namespace
+}  // namespace xr::devices

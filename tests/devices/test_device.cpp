@@ -1,0 +1,77 @@
+#include "devices/device.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::devices {
+namespace {
+
+TEST(DeviceCatalog, HasAllTableOneEntries) {
+  const auto& catalog = device_catalog();
+  EXPECT_EQ(catalog.size(), 8u);  // XR1..XR7 + edge server
+  for (const char* id : {"XR1", "XR2", "XR3", "XR4", "XR5", "XR6", "XR7",
+                         "EDGE"})
+    EXPECT_NO_THROW((void)device_by_id(id)) << id;
+}
+
+TEST(DeviceCatalog, UnknownIdThrows) {
+  EXPECT_THROW((void)device_by_id("XR99"), std::out_of_range);
+}
+
+TEST(DeviceCatalog, PaperSplit) {
+  // §VII: train on XR1/XR3/XR5/XR6, test on XR2/XR4/XR7.
+  const auto train = training_devices();
+  ASSERT_EQ(train.size(), 4u);
+  EXPECT_EQ(train[0].id, "XR1");
+  EXPECT_EQ(train[1].id, "XR3");
+  EXPECT_EQ(train[2].id, "XR5");
+  EXPECT_EQ(train[3].id, "XR6");
+  const auto test = test_devices();
+  ASSERT_EQ(test.size(), 3u);
+  EXPECT_EQ(test[0].id, "XR2");
+  EXPECT_EQ(test[1].id, "XR4");
+  EXPECT_EQ(test[2].id, "XR7");
+}
+
+TEST(DeviceCatalog, TableOneSpecsSpotChecks) {
+  const auto& mate = device_by_id("XR1");
+  EXPECT_EQ(mate.model_name, "Huawei Mate 40 Pro");
+  EXPECT_DOUBLE_EQ(mate.max_cpu_ghz, 3.13);
+  EXPECT_DOUBLE_EQ(mate.ram_gb, 8);
+  const auto& quest = device_by_id("XR6");
+  EXPECT_EQ(quest.model_name, "Meta Quest 2");
+  EXPECT_EQ(quest.os, "Oculus OS");
+  const auto& glass = device_by_id("XR5");
+  EXPECT_DOUBLE_EQ(glass.ram_gb, 3);
+}
+
+TEST(DeviceCatalog, EdgeServerProperties) {
+  const auto& edge = edge_server();
+  EXPECT_EQ(edge.id, "EDGE");
+  EXPECT_EQ(edge.role, DeviceRole::kEdgeServer);
+  EXPECT_DOUBLE_EQ(edge.ram_gb, 32);
+  EXPECT_GT(edge.memory_bandwidth_gbps,
+            device_by_id("XR1").memory_bandwidth_gbps);
+}
+
+TEST(DeviceCatalog, AllSpecsPhysicallyPlausible) {
+  for (const auto& d : device_catalog()) {
+    EXPECT_GT(d.cpu_cores, 0) << d.id;
+    EXPECT_GT(d.max_cpu_ghz, 0.5) << d.id;
+    EXPECT_LT(d.max_cpu_ghz, 4.0) << d.id;
+    EXPECT_GT(d.max_gpu_ghz, 0.1) << d.id;
+    EXPECT_GT(d.ram_gb, 0) << d.id;
+    EXPECT_GT(d.memory_bandwidth_gbps, 5.0) << d.id;
+    EXPECT_FALSE(d.model_name.empty()) << d.id;
+  }
+}
+
+TEST(DeviceCatalog, Lpddr5DevicesHaveHigherBandwidth) {
+  // XR1/XR2/XR6 carry LPDDR5 (~44 GB/s); XR3/XR4/XR5 LPDDR4X-class.
+  EXPECT_GT(device_by_id("XR1").memory_bandwidth_gbps,
+            device_by_id("XR3").memory_bandwidth_gbps);
+  EXPECT_GT(device_by_id("XR6").memory_bandwidth_gbps,
+            device_by_id("XR4").memory_bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace xr::devices

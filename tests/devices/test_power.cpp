@@ -1,0 +1,102 @@
+#include "devices/power.h"
+
+#include <gtest/gtest.h>
+
+#include "math/regression.h"
+#include "math/rng.h"
+
+namespace xr::devices {
+namespace {
+
+TEST(Power, PaperBranchValues) {
+  // Eq. (21): CPU branch 18.85 f − 3.64 f² − 20.74.
+  const PowerModel m;
+  EXPECT_NEAR(m.cpu_branch(2.0), 18.85 * 2 - 3.64 * 4 - 20.74, 1e-12);
+  EXPECT_NEAR(m.gpu_branch(0.7),
+              187.48 * 0.7 - 135.11 * 0.49 - 62.197, 1e-9);
+}
+
+TEST(Power, MeanPowerMixesAndScales) {
+  const PowerModel m;  // scale = 100
+  const double expected =
+      (0.5 * m.cpu_branch(2.0) + 0.5 * m.gpu_branch(0.7)) * 100.0;
+  EXPECT_NEAR(m.mean_power_mw(2.0, 0.7, 0.5), expected, 1e-9);
+}
+
+TEST(Power, FloorsAtMinimumDraw) {
+  // The CPU branch is negative below ~1.37 GHz; power must stay positive.
+  const PowerModel m;
+  EXPECT_GE(m.mean_power_mw(1.0, 0.7, 1.0), 10.0);
+}
+
+TEST(Power, DomainValidation) {
+  const PowerModel m;
+  EXPECT_THROW((void)m.mean_power_mw(2, 0.7, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)m.mean_power_mw(2, 0.7, 1.1), std::invalid_argument);
+  EXPECT_THROW((void)m.cpu_branch(0), std::invalid_argument);
+  EXPECT_THROW((void)m.gpu_branch(0), std::invalid_argument);
+}
+
+TEST(Power, ConstructionValidation) {
+  EXPECT_THROW(PowerModel(PowerCoefficients{}, -1.0, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW(PowerModel(PowerCoefficients{}, 100.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(PowerModel(PowerCoefficients{}, 100.0, 0.05, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Power, SegmentEnergyIsPowerTimesTime) {
+  const PowerModel m;
+  const double p = m.mean_power_mw(2.0, 0.7, 1.0);
+  EXPECT_NEAR(m.segment_energy_mj(250.0, 2.0, 0.7, 1.0), p * 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(m.segment_energy_mj(0, 2, 0.7, 1), 0);
+  EXPECT_THROW((void)m.segment_energy_mj(-1, 2, 0.7, 1),
+               std::invalid_argument);
+}
+
+TEST(Power, BaseEnergyAccrual) {
+  const PowerModel m(PowerCoefficients{}, /*base=*/400.0, 0.06);
+  EXPECT_NEAR(m.base_energy_mj(1000.0), 400.0, 1e-12);
+  EXPECT_THROW((void)m.base_energy_mj(-1), std::invalid_argument);
+}
+
+TEST(Power, ThermalFraction) {
+  const PowerModel m(PowerCoefficients{}, 350.0, /*theta=*/0.06);
+  EXPECT_NEAR(m.thermal_energy_mj(100.0), 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.thermal_energy_mj(0), 0);
+  EXPECT_THROW((void)m.thermal_energy_mj(-1), std::invalid_argument);
+}
+
+TEST(Power, FromFittedRecoversEquation) {
+  const PowerModel paper;
+  math::Rng rng(51);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double fc = rng.uniform(1.5, 3.0);
+    const double fg = rng.uniform(0.5, 0.9);
+    const double wc = rng.uniform(0.0, 1.0);
+    x.push_back({fc, fg, wc});
+    y.push_back(wc * paper.cpu_branch(fc) + (1 - wc) * paper.gpu_branch(fg));
+  }
+  math::LinearModel fit(PowerModel::regression_features(),
+                        /*intercept=*/false);
+  const auto summary = fit.fit(x, y);
+  EXPECT_NEAR(summary.r_squared, 1.0, 1e-9);
+  const auto rebuilt =
+      PowerModel::from_fitted(fit.coefficients(), 350.0, 0.06);
+  EXPECT_NEAR(rebuilt.coefficients().cpu_linear, 18.85, 1e-6);
+  EXPECT_NEAR(rebuilt.coefficients().gpu_quadratic, -135.11, 1e-5);
+  EXPECT_THROW((void)PowerModel::from_fitted({1.0}, 350.0, 0.06),
+               std::invalid_argument);
+}
+
+TEST(Power, HigherClockDrawsMoreInFittedRange) {
+  const PowerModel m;
+  // Within the sensible CPU range the branch increases up to ~2.6 GHz.
+  EXPECT_GT(m.mean_power_mw(2.5, 0.7, 1.0), m.mean_power_mw(1.8, 0.7, 1.0));
+}
+
+}  // namespace
+}  // namespace xr::devices

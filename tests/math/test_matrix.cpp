@@ -1,0 +1,165 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::math {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW(Matrix({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix i = Matrix::identity(3);
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix p = m * i;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(p(r, c), m(r, c));
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  const Matrix tt = t.transpose();
+  EXPECT_DOUBLE_EQ(tt(1, 2), 6);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(1, 1), 3);
+  const Matrix k = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(k(1, 0), 6);
+  EXPECT_THROW((void)(a + Matrix(1, 1)), std::invalid_argument);
+}
+
+TEST(Matrix, ColumnVectorHelpers) {
+  const Matrix c = Matrix::column({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  const auto v = c.to_vector();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3);
+  EXPECT_THROW((void)Matrix(2, 2).to_vector(), std::logic_error);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m{{-7, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7);
+}
+
+TEST(LeastSquares, ExactSolutionSquareSystem) {
+  // x + y = 3; x - y = 1 -> x = 2, y = 1.
+  Matrix a{{1, 1}, {1, -1}};
+  const auto x = solve_least_squares(a, {3, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2, 1e-12);
+  EXPECT_NEAR(x[1], 1, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedProjection) {
+  // Fit y = c over observations {1, 2, 3}: least squares gives mean 2.
+  Matrix a{{1}, {1}, {1}};
+  const auto x = solve_least_squares(a, {1, 2, 3});
+  EXPECT_NEAR(x[0], 2, 1e-12);
+}
+
+TEST(LeastSquares, RecoverLineCoefficients) {
+  // y = 3 + 2t sampled exactly.
+  const std::vector<double> ts{0, 1, 2, 3, 4};
+  Matrix a(ts.size(), 2);
+  std::vector<double> y(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    a(i, 0) = 1;
+    a(i, 1) = ts[i];
+    y[i] = 3 + 2 * ts[i];
+  }
+  const auto x = solve_least_squares(a, y);
+  EXPECT_NEAR(x[0], 3, 1e-10);
+  EXPECT_NEAR(x[1], 2, 1e-10);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  // Two identical columns.
+  Matrix a{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_THROW((void)solve_least_squares(a, {1, 2, 3}), std::runtime_error);
+}
+
+TEST(LeastSquares, ShapeErrors) {
+  Matrix a(3, 2);
+  EXPECT_THROW((void)solve_least_squares(a, {1, 2}), std::invalid_argument);
+  Matrix wide(2, 3);
+  EXPECT_THROW((void)solve_least_squares(wide, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Cholesky, FactorizesSpd) {
+  Matrix a{{4, 2}, {2, 3}};
+  const Matrix l = cholesky(a);
+  // Reconstruct L L^T.
+  const Matrix r = l * l.transpose();
+  EXPECT_NEAR(r(0, 0), 4, 1e-12);
+  EXPECT_NEAR(r(0, 1), 2, 1e-12);
+  EXPECT_NEAR(r(1, 1), 3, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW((void)cholesky(a), std::runtime_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW((void)cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SolveSpd, MatchesDirectSolution) {
+  Matrix a{{4, 2}, {2, 3}};
+  const auto x = solve_spd(a, {10, 8});
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 10, 1e-12);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 8, 1e-12);
+}
+
+TEST(InvertSpd, ProducesInverse) {
+  Matrix a{{4, 2}, {2, 3}};
+  const Matrix inv = invert_spd(a);
+  const Matrix p = a * inv;
+  EXPECT_NEAR(p(0, 0), 1, 1e-12);
+  EXPECT_NEAR(p(0, 1), 0, 1e-12);
+  EXPECT_NEAR(p(1, 0), 0, 1e-12);
+  EXPECT_NEAR(p(1, 1), 1, 1e-12);
+}
+
+}  // namespace
+}  // namespace xr::math

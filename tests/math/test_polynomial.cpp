@@ -1,0 +1,61 @@
+#include "math/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::math {
+namespace {
+
+TEST(Polynomial, HornerEvaluation) {
+  // p(x) = 1 + 2x + 3x^2.
+  Polynomial p({1, 2, 3});
+  EXPECT_DOUBLE_EQ(p(0), 1);
+  EXPECT_DOUBLE_EQ(p(1), 6);
+  EXPECT_DOUBLE_EQ(p(2), 17);
+  EXPECT_DOUBLE_EQ(p(-1), 2);
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, EmptyCoefficientsThrow) {
+  EXPECT_THROW(Polynomial(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Polynomial, Derivative) {
+  Polynomial p({1, 2, 3});  // p' = 2 + 6x
+  const auto d = p.derivative();
+  EXPECT_DOUBLE_EQ(d(0), 2);
+  EXPECT_DOUBLE_EQ(d(1), 8);
+  // Constant derivative is zero.
+  const auto z = Polynomial({5}).derivative();
+  EXPECT_DOUBLE_EQ(z(3), 0);
+}
+
+TEST(Polynomial, FitRecoversExactPolynomial) {
+  std::vector<double> x, y;
+  for (double v = -2; v <= 2; v += 0.25) {
+    x.push_back(v);
+    y.push_back(4 - v + 0.5 * v * v);
+  }
+  const auto p = Polynomial::fit(x, y, 2);
+  EXPECT_NEAR(p.coefficients()[0], 4, 1e-9);
+  EXPECT_NEAR(p.coefficients()[1], -1, 1e-9);
+  EXPECT_NEAR(p.coefficients()[2], 0.5, 1e-9);
+}
+
+TEST(Polynomial, FitUnderdeterminedThrows) {
+  EXPECT_THROW((void)Polynomial::fit({1, 2}, {1, 2}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)Polynomial::fit({1, 2, 3}, {1, 2}, 1),
+               std::invalid_argument);
+}
+
+TEST(Polynomial, FitIsLeastSquares) {
+  // Fit a line to symmetric noise around y = x: slope 1, intercept 0.
+  const std::vector<double> x{0, 0, 1, 1, 2, 2};
+  const std::vector<double> y{-1, 1, 0, 2, 1, 3};
+  const auto p = Polynomial::fit(x, y, 1);
+  EXPECT_NEAR(p.coefficients()[0], 0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[1], 1, 1e-9);
+}
+
+}  // namespace
+}  // namespace xr::math

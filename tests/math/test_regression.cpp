@@ -1,0 +1,144 @@
+#include "math/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace xr::math {
+namespace {
+
+std::vector<Feature> two_features() {
+  return {raw_feature("a", 0), raw_feature("b", 1)};
+}
+
+TEST(LinearModel, RecoversExactCoefficients) {
+  // y = 1.5 + 2a - 3b, noiseless.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double a = 0; a < 4; ++a)
+    for (double b = 0; b < 4; ++b) {
+      x.push_back({a, b});
+      y.push_back(1.5 + 2 * a - 3 * b);
+    }
+  LinearModel model(two_features());
+  const auto fit = model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 1.5, 1e-10);
+  EXPECT_NEAR(model.coefficients()[1], 2.0, 1e-10);
+  EXPECT_NEAR(model.coefficients()[2], -3.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_std_error, 0.0, 1e-8);
+}
+
+TEST(LinearModel, NoisyFitDiagnostics) {
+  Rng rng(21);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10);
+    x.push_back({a, b});
+    y.push_back(5 + 0.8 * a - 1.2 * b + rng.normal(0, 0.5));
+  }
+  LinearModel model(two_features());
+  const auto fit = model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[1], 0.8, 0.02);
+  EXPECT_NEAR(fit.residual_std_error, 0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+  // Coefficient CIs should bracket the true values.
+  EXPECT_LT(std::abs(model.coefficients()[2] + 1.2),
+            3 * fit.coef_ci95_halfwidth[2] + 0.05);
+  EXPECT_EQ(fit.coef_std_errors.size(), 3u);
+}
+
+TEST(LinearModel, AdjustedR2BelowR2) {
+  Rng rng(22);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 1);
+    x.push_back({a, rng.uniform(0, 1)});
+    y.push_back(a + rng.normal(0, 0.3));
+  }
+  LinearModel model(two_features());
+  const auto fit = model.fit(x, y);
+  EXPECT_LT(fit.adjusted_r_squared, fit.r_squared);
+}
+
+TEST(LinearModel, PredictWithPresetCoefficients) {
+  LinearModel model(two_features(), {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(model.predict({10, 100}), 1 + 20 + 300);
+}
+
+TEST(LinearModel, PresetCoefficientCountChecked) {
+  EXPECT_THROW(LinearModel(two_features(), {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearModel, NoInterceptVariant) {
+  LinearModel model({raw_feature("a", 0)}, /*include_intercept=*/false);
+  std::vector<std::vector<double>> x{{1}, {2}, {3}};
+  std::vector<double> y{2, 4, 6};
+  model.fit(x, y);
+  ASSERT_EQ(model.coefficients().size(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-10);
+}
+
+TEST(LinearModel, PredictBeforeFitThrows) {
+  LinearModel model(two_features());
+  EXPECT_FALSE(model.fitted());
+  EXPECT_THROW((void)model.predict({1, 2}), std::logic_error);
+}
+
+TEST(LinearModel, FitShapeErrors) {
+  LinearModel model(two_features());
+  EXPECT_THROW(model.fit({{1, 2}}, {1, 2}), std::invalid_argument);
+  // Not enough samples for 3 parameters.
+  EXPECT_THROW(model.fit({{1, 2}, {3, 4}}, {1, 2}), std::invalid_argument);
+}
+
+TEST(LinearModel, ScoreOnHeldOutData) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double a = 0; a < 10; ++a) {
+    x.push_back({a, 0});
+    y.push_back(2 * a);
+  }
+  LinearModel model(two_features());
+  // b column is constant zero -> rank deficient with intercept; use one
+  // feature instead.
+  LinearModel simple({raw_feature("a", 0)});
+  simple.fit(x, y);
+  EXPECT_NEAR(simple.score(x, y), 1.0, 1e-12);
+}
+
+TEST(LinearModel, EquationStringMentionsFeatures) {
+  LinearModel model({raw_feature("fc", 0)}, {1.25, -2.5});
+  const auto eq = model.equation_string();
+  EXPECT_NE(eq.find("fc"), std::string::npos);
+  EXPECT_NE(eq.find("1.25"), std::string::npos);
+  EXPECT_NE(eq.find("- 2.5"), std::string::npos);
+  EXPECT_EQ(LinearModel(two_features()).equation_string(), "<unfitted>");
+}
+
+TEST(FeatureHelpers, EvaluateCorrectly) {
+  const std::vector<double> row{2, 3};
+  EXPECT_DOUBLE_EQ(raw_feature("a", 1).eval(row), 3);
+  EXPECT_DOUBLE_EQ(squared_feature("a2", 0).eval(row), 4);
+  EXPECT_DOUBLE_EQ(product_feature("ab", 0, 1).eval(row), 6);
+}
+
+TEST(LinearModel, QuadraticFeatureRecovery) {
+  // y = 2 + x^2 via squared feature.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double v = -3; v <= 3; v += 0.5) {
+    x.push_back({v});
+    y.push_back(2 + v * v);
+  }
+  LinearModel model({squared_feature("x2", 0)});
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-10);
+  EXPECT_NEAR(model.coefficients()[1], 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace xr::math

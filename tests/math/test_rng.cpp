@@ -1,0 +1,164 @@
+#include "math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xr::math {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(10);
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(0.1), 0.0);
+}
+
+TEST(Rng, LognormalMean) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  Rng rng(15);
+  const double sigma = 0.3;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng(16);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += double(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 80.0, 200.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(17);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(18);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, StreamsAreIndependentOfParentDraws) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.next_u64();  // advance parent a
+  Rng sa = a.stream("x");
+  Rng sb = b.stream("x");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+TEST(Rng, DifferentStreamNamesDiffer) {
+  Rng root(42);
+  Rng a = root.stream("alpha");
+  Rng b = root.stream("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Hash64, StableAndDistinct) {
+  EXPECT_EQ(hash64("abc"), hash64("abc"));
+  EXPECT_NE(hash64("abc"), hash64("abd"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 1;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace xr::math

@@ -1,0 +1,93 @@
+#include "math/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace xr::math {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)variance({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)min_of({}), std::invalid_argument);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15);
+  EXPECT_THROW((void)percentile(v, -1), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3, -1, 4};
+  EXPECT_DOUBLE_EQ(min_of(v), -1);
+  EXPECT_DOUBLE_EQ(max_of(v), 4);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateThrows) {
+  EXPECT_THROW((void)pearson({1, 1, 1}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW((void)pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Stats, MapeMatchesHandComputed) {
+  const std::vector<double> truth{100, 200};
+  const std::vector<double> pred{110, 190};  // 10% and 5%
+  EXPECT_NEAR(mape(truth, pred), 7.5, 1e-12);
+}
+
+TEST(Stats, MapeRejectsZeroTruth) {
+  EXPECT_THROW((void)mape({0, 1}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Stats, RmseAndMae) {
+  const std::vector<double> truth{1, 2, 3};
+  const std::vector<double> pred{2, 2, 5};
+  EXPECT_NEAR(rmse(truth, pred), std::sqrt((1.0 + 0.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_NEAR(mae(truth, pred), 1.0, 1e-12);
+}
+
+TEST(Stats, NormalizedAccuracyDefinition) {
+  const std::vector<double> truth{100};
+  EXPECT_NEAR(normalized_accuracy(truth, {97}), 97.0, 1e-12);
+  // Floored at zero for terrible models.
+  EXPECT_DOUBLE_EQ(normalized_accuracy(truth, {500}), 0.0);
+  // Perfect model is 100%.
+  EXPECT_DOUBLE_EQ(normalized_accuracy(truth, {100}), 100.0);
+}
+
+TEST(Stats, RSquaredPerfectAndPoor) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  EXPECT_NEAR(r_squared(truth, truth), 1.0, 1e-12);
+  // Predicting the mean gives R^2 = 0.
+  const std::vector<double> mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(truth, mean_pred), 0.0, 1e-12);
+  EXPECT_THROW((void)r_squared({1, 1}, {1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::math

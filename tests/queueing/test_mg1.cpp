@@ -1,0 +1,60 @@
+#include "queueing/mg1.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mm1.h"
+
+namespace xr::queueing {
+namespace {
+
+TEST(MG1, ExponentialServiceMatchesMm1) {
+  const MG1 pk = MG1::mm1(1.0, 2.0);
+  const MM1 ref(1.0, 2.0);
+  EXPECT_NEAR(pk.mean_waiting_time(), ref.mean_waiting_time(), 1e-12);
+  EXPECT_NEAR(pk.mean_time_in_system(), ref.mean_time_in_system(), 1e-12);
+}
+
+TEST(MG1, DeterministicServiceHalvesWaiting) {
+  // Classic P-K result: M/D/1 waits exactly half of M/M/1.
+  const MG1 md1 = MG1::md1(1.0, 0.5);
+  const MG1 mm1 = MG1::mm1(1.0, 2.0);
+  EXPECT_NEAR(md1.mean_waiting_time(), 0.5 * mm1.mean_waiting_time(), 1e-12);
+}
+
+TEST(MG1, WaitGrowsWithVariability) {
+  const double lambda = 1.0, es = 0.5;
+  double prev = -1;
+  for (double scv : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const MG1 q(lambda, es, scv);
+    EXPECT_GT(q.mean_waiting_time(), prev);
+    prev = q.mean_waiting_time();
+  }
+}
+
+TEST(MG1, ConstructionValidation) {
+  EXPECT_THROW(MG1(1.0, 1.0, 1.0), std::invalid_argument);   // rho = 1
+  EXPECT_THROW(MG1(0.0, 0.5, 1.0), std::invalid_argument);   // no arrivals
+  EXPECT_THROW(MG1(1.0, -0.5, 1.0), std::invalid_argument);  // bad service
+  EXPECT_THROW(MG1(1.0, 0.5, -1.0), std::invalid_argument);  // bad SCV
+  EXPECT_THROW(MG1::mm1(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MG1, LittlesLawHolds) {
+  const MG1 q(0.8, 1.0, 0.7);
+  EXPECT_NEAR(q.mean_number_in_queue(), 0.8 * q.mean_waiting_time(), 1e-12);
+  EXPECT_NEAR(q.mean_number_in_system(), 0.8 * q.mean_time_in_system(),
+              1e-12);
+}
+
+TEST(MG1, UtilizationDefinition) {
+  const MG1 q(0.5, 1.2, 0.3);
+  EXPECT_NEAR(q.utilization(), 0.6, 1e-12);
+}
+
+TEST(MG1, SojournIsWaitPlusService) {
+  const MG1 q(0.4, 1.5, 2.0);
+  EXPECT_NEAR(q.mean_time_in_system(), q.mean_waiting_time() + 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace xr::queueing

@@ -1,0 +1,86 @@
+#include "queueing/mmc.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mm1.h"
+
+namespace xr::queueing {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // B(1, a) = a / (1 + a).
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 1), 2.0 / 3.0, 1e-12);
+  // B(0 servers) = 1 (all blocked).
+  EXPECT_NEAR(erlang_b(1.0, 0), 1.0, 1e-12);
+}
+
+TEST(ErlangB, DecreasesWithServers) {
+  for (unsigned c = 1; c < 10; ++c)
+    EXPECT_GT(erlang_b(5.0, c), erlang_b(5.0, c + 1));
+}
+
+TEST(ErlangB, RejectsNegativeLoad) {
+  EXPECT_THROW((void)erlang_b(-1, 2), std::invalid_argument);
+}
+
+TEST(ErlangC, BoundsAndMonotonicity) {
+  const double c2 = erlang_c(1.0, 2);
+  EXPECT_GT(c2, 0.0);
+  EXPECT_LT(c2, 1.0);
+  EXPECT_GT(erlang_c(1.5, 2), c2);  // more load, more waiting
+  EXPECT_LT(erlang_c(1.0, 3), c2);  // more servers, less waiting
+}
+
+TEST(ErlangC, RejectsUnstable) {
+  EXPECT_THROW((void)erlang_c(2.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)erlang_c(1.0, 0), std::invalid_argument);
+}
+
+TEST(MMc, SingleServerMatchesMm1) {
+  const MMc multi(1.0, 2.0, 1);
+  const MM1 single(1.0, 2.0);
+  EXPECT_NEAR(multi.mean_waiting_time(), single.mean_waiting_time(), 1e-10);
+  EXPECT_NEAR(multi.mean_time_in_system(), single.mean_time_in_system(),
+              1e-10);
+  EXPECT_NEAR(multi.probability_wait(), single.utilization(), 1e-10);
+}
+
+TEST(MMc, ConstructionValidation) {
+  EXPECT_THROW(MMc(2, 1, 2), std::invalid_argument);   // unstable
+  EXPECT_THROW(MMc(1, 1, 0), std::invalid_argument);   // no servers
+  EXPECT_THROW(MMc(-1, 1, 2), std::invalid_argument);  // bad rate
+  EXPECT_NO_THROW(MMc(1.9, 1, 2));
+}
+
+TEST(MMc, MoreServersReduceWait) {
+  const MMc two(3.0, 2.0, 2);
+  const MMc four(3.0, 2.0, 4);
+  EXPECT_GT(two.mean_waiting_time(), four.mean_waiting_time());
+}
+
+TEST(MMc, LittlesLawHolds) {
+  const MMc q(3.0, 2.0, 2);
+  EXPECT_NEAR(q.mean_number_in_queue(), 3.0 * q.mean_waiting_time(), 1e-10);
+  EXPECT_NEAR(q.mean_number_in_system(), 3.0 * q.mean_time_in_system(),
+              1e-10);
+}
+
+TEST(MMc, UtilizationDefinition) {
+  const MMc q(3.0, 2.0, 4);
+  EXPECT_NEAR(q.utilization(), 3.0 / 8.0, 1e-12);
+}
+
+class MMcPoolSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MMcPoolSweep, SojournAboveServiceTime) {
+  const unsigned servers = GetParam();
+  const MMc q(double(servers) * 0.7, 1.0, servers);
+  EXPECT_GT(q.mean_time_in_system(), 1.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgePoolSizes, MMcPoolSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace xr::queueing

@@ -1,0 +1,119 @@
+#include "queueing/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mm1.h"
+
+namespace xr::queueing {
+namespace {
+
+std::vector<PriorityClass> xr_buffer_classes() {
+  // The paper's three buffer classes, sensors prioritized: external
+  // packets, captured frames, volumetric data (rates per ms).
+  return {{0.20}, {0.03}, {0.03}};
+}
+
+TEST(PriorityMM1, ConstructionValidation) {
+  EXPECT_THROW(PriorityMM1({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PriorityMM1({{0.5}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PriorityMM1({{0.0}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PriorityMM1({{0.6}, {0.6}}, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(PriorityMM1(xr_buffer_classes(), 0.35));
+}
+
+TEST(PriorityMM1, SingleClassMatchesFcfsMm1) {
+  const PriorityMM1 prio({{0.2}}, 0.35);
+  const MM1 fcfs(0.2, 0.35);
+  EXPECT_NEAR(prio.mean_waiting_time(0), fcfs.mean_waiting_time(), 1e-12);
+  EXPECT_NEAR(prio.mean_time_in_system(0), fcfs.mean_time_in_system(),
+              1e-12);
+}
+
+TEST(PriorityMM1, HigherPriorityWaitsLess) {
+  const PriorityMM1 q(xr_buffer_classes(), 0.35);
+  EXPECT_LT(q.mean_waiting_time(0), q.mean_waiting_time(1));
+  EXPECT_LT(q.mean_waiting_time(1), q.mean_waiting_time(2));
+}
+
+TEST(PriorityMM1, ConservationLawHolds) {
+  // The λ-weighted mean wait equals the FCFS M/M/1 wait at the aggregate
+  // arrival rate (work conservation with exponential service).
+  const auto classes = xr_buffer_classes();
+  const double mu = 0.35;
+  const PriorityMM1 prio(classes, mu);
+  double lambda_total = 0;
+  for (const auto& c : classes) lambda_total += c.lambda;
+  const MM1 fcfs(lambda_total, mu);
+  EXPECT_NEAR(prio.aggregate_mean_waiting_time(), fcfs.mean_waiting_time(),
+              1e-9);
+}
+
+TEST(PriorityMM1, CobhamFormulaHandComputed) {
+  // Two classes, λ = {1, 1}, µ = 4: ρ = 0.5, R = ρ/µ = 0.125.
+  // W_0 = R / (1 · (1−0.25)) = 1/6; W_1 = R / (0.75 · 0.5) = 1/3.
+  const PriorityMM1 q({{1.0}, {1.0}}, 4.0);
+  EXPECT_NEAR(q.mean_waiting_time(0), 0.125 / 0.75, 1e-12);
+  EXPECT_NEAR(q.mean_waiting_time(1), 0.125 / (0.75 * 0.5), 1e-12);
+}
+
+TEST(PriorityMM1, LittlesLawPerClass) {
+  const PriorityMM1 q(xr_buffer_classes(), 0.35);
+  for (std::size_t k = 0; k < q.num_classes(); ++k)
+    EXPECT_NEAR(q.mean_number_in_system(k),
+                xr_buffer_classes()[k].lambda * q.mean_time_in_system(k),
+                1e-12);
+}
+
+TEST(PriorityMM1, ClassIndexBoundsChecked) {
+  const PriorityMM1 q({{0.1}}, 1.0);
+  EXPECT_THROW((void)q.mean_waiting_time(1), std::out_of_range);
+  EXPECT_THROW((void)q.mean_number_in_system(5), std::out_of_range);
+}
+
+TEST(PrioritySim, MatchesCobhamWithinTolerance) {
+  const auto classes = xr_buffer_classes();
+  const double mu = 0.35;
+  math::Rng rng(2024);
+  const auto sim = simulate_priority_mm1(classes, mu, 250000, rng);
+  const PriorityMM1 theory(classes, mu);
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    ASSERT_GT(sim.served_per_class[k], 100u);
+    EXPECT_NEAR(sim.mean_wait_per_class[k], theory.mean_waiting_time(k),
+                0.10 * theory.mean_waiting_time(k) + 0.05)
+        << "class " << k;
+  }
+}
+
+TEST(PrioritySim, PriorityOrderingEmpirically) {
+  math::Rng rng(7);
+  const auto sim =
+      simulate_priority_mm1({{0.15}, {0.15}}, 0.4, 120000, rng);
+  EXPECT_LT(sim.mean_wait_per_class[0], sim.mean_wait_per_class[1]);
+}
+
+TEST(PrioritySim, Validation) {
+  math::Rng rng(1);
+  EXPECT_THROW((void)simulate_priority_mm1({}, 1.0, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_priority_mm1({{0.1}}, 1.0, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_priority_mm1({{0.0}}, 1.0, 10, rng),
+               std::invalid_argument);
+}
+
+TEST(PrioritySim, PrioritizingSensorsCutsTheirAoIDelay) {
+  // The design question the module answers: giving the external-information
+  // class head-of-line priority cuts its buffer delay well below the shared
+  // FCFS value, improving the Eq. (23) AoI term.
+  const double mu = 0.35;
+  const auto classes = xr_buffer_classes();  // sensors first
+  const PriorityMM1 prio(classes, mu);
+  double lambda_total = 0;
+  for (const auto& c : classes) lambda_total += c.lambda;
+  const MM1 fcfs(lambda_total, mu);
+  EXPECT_LT(prio.mean_time_in_system(0),
+            0.75 * fcfs.mean_time_in_system());
+}
+
+}  // namespace
+}  // namespace xr::queueing

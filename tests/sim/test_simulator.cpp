@@ -1,0 +1,200 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xr::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator des;
+  EXPECT_DOUBLE_EQ(des.now(), 0);
+  EXPECT_EQ(des.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator des;
+  std::vector<int> order;
+  des.schedule_at(5.0, [&](Simulator&) { order.push_back(2); });
+  des.schedule_at(1.0, [&](Simulator&) { order.push_back(1); });
+  des.schedule_at(9.0, [&](Simulator&) { order.push_back(3); });
+  des.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(des.now(), 9.0);
+}
+
+TEST(Simulator, FifoAmongSimultaneousEvents) {
+  Simulator des;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    des.schedule_at(3.0, [&order, i](Simulator&) { order.push_back(i); });
+  des.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringDispatch) {
+  Simulator des;
+  double seen = -1;
+  des.schedule_at(4.5, [&](Simulator& s) { seen = s.now(); });
+  des.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(Simulator, ScheduleInPastThrows) {
+  Simulator des;
+  des.schedule_at(10.0, [](Simulator&) {});
+  des.run();
+  EXPECT_THROW(des.schedule_at(5.0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(des.schedule_in(-1.0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(des.schedule_at(std::nan(""), [](Simulator&) {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, EmptyActionThrows) {
+  Simulator des;
+  EXPECT_THROW(des.schedule_at(1.0, Simulator::Action{}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator des;
+  bool ran = false;
+  const EventId id = des.schedule_at(1.0, [&](Simulator&) { ran = true; });
+  EXPECT_TRUE(des.cancel(id));
+  des.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(des.executed_events(), 0u);
+}
+
+TEST(Simulator, CancelUnknownReturnsFalse) {
+  Simulator des;
+  EXPECT_FALSE(des.cancel(0));
+  EXPECT_FALSE(des.cancel(999));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator des;
+  std::vector<double> times;
+  des.schedule_at(1.0, [&](Simulator& s) {
+    times.push_back(s.now());
+    s.schedule_in(2.0, [&](Simulator& s2) { times.push_back(s2.now()); });
+  });
+  des.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator des;
+  int count = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    des.schedule_at(t, [&](Simulator&) { ++count; });
+  const auto n = des.run_until(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(des.now(), 2.5);
+  // Events exactly at the boundary still run.
+  des.run_until(3.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesEvenWhenEmpty) {
+  Simulator des;
+  des.run_until(42.0);
+  EXPECT_DOUBLE_EQ(des.now(), 42.0);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator des;
+  std::vector<double> fire_times;
+  des.schedule_every(10.0, [&](Simulator& s) {
+    fire_times.push_back(s.now());
+  });
+  des.run_until(35.0);
+  ASSERT_EQ(fire_times.size(), 4u);  // t = 0, 10, 20, 30
+  EXPECT_DOUBLE_EQ(fire_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(fire_times[3], 30.0);
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+  Simulator des;
+  std::vector<double> fire_times;
+  des.schedule_every(10.0, [&](Simulator& s) {
+    fire_times.push_back(s.now());
+  }, /*phase=*/5.0);
+  des.run_until(26.0);
+  ASSERT_EQ(fire_times.size(), 3u);  // 5, 15, 25
+  EXPECT_DOUBLE_EQ(fire_times[0], 5.0);
+}
+
+TEST(Simulator, PeriodicCancelStopsTrain) {
+  Simulator des;
+  int count = 0;
+  const EventId id =
+      des.schedule_every(1.0, [&](Simulator&) { ++count; });
+  des.run_until(4.5);
+  EXPECT_EQ(count, 5);  // 0..4
+  des.cancel(id);
+  des.run_until(10.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicSelfCancelFromAction) {
+  Simulator des;
+  int count = 0;
+  EventId id = 0;
+  id = des.schedule_every(1.0, [&](Simulator& s) {
+    if (++count == 3) s.cancel(id);
+  });
+  des.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicValidation) {
+  Simulator des;
+  EXPECT_THROW(des.schedule_every(0, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(des.schedule_every(1, [](Simulator&) {}, -1),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RunRejectsActivePeriodic) {
+  Simulator des;
+  des.schedule_every(1.0, [](Simulator&) {});
+  EXPECT_THROW((void)des.run(), std::logic_error);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator des;
+  int count = 0;
+  des.schedule_at(1, [&](Simulator&) { ++count; });
+  des.schedule_at(2, [&](Simulator&) { ++count; });
+  EXPECT_TRUE(des.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(des.step());
+  EXPECT_FALSE(des.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RngStreamsDeterministic) {
+  Simulator a(7), b(7);
+  auto ra = a.rng_stream("x");
+  auto rb = b.rng_stream("x");
+  EXPECT_EQ(ra.next_u64(), rb.next_u64());
+  auto rc = a.rng_stream("y");
+  EXPECT_NE(a.rng_stream("x").next_u64(), rc.next_u64());
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator des;
+  for (int i = 0; i < 5; ++i) des.schedule_at(double(i), [](Simulator&) {});
+  des.run();
+  EXPECT_EQ(des.executed_events(), 5u);
+}
+
+}  // namespace
+}  // namespace xr::sim

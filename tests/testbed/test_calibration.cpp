@@ -1,0 +1,114 @@
+#include "testbed/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::testbed {
+namespace {
+
+/// Shared fixture: generate one medium-size dataset for all fits.
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSizes sizes;
+    sizes.allocation_train = 6000;
+    sizes.allocation_test = 1800;
+    sizes.encoding_train = 6000;
+    sizes.encoding_test = 1800;
+    sizes.power_train = 5000;
+    sizes.power_test = 1500;
+    sizes.cnn_train = 1600;
+    sizes.cnn_test = 480;
+    datasets_ = new TestbedDatasets(generate_datasets(2024, sizes));
+  }
+  static void TearDownTestSuite() {
+    delete datasets_;
+    datasets_ = nullptr;
+  }
+  static const TestbedDatasets& datasets() { return *datasets_; }
+
+ private:
+  static const TestbedDatasets* datasets_;
+};
+
+const TestbedDatasets* CalibrationTest::datasets_ = nullptr;
+
+TEST_F(CalibrationTest, AllocationFitQuality) {
+  const auto r = calibrate_allocation(datasets().allocation);
+  // The paper reports R² = 0.87; the synthetic testbed reproduces the
+  // same "good but imperfect linear fit" regime.
+  EXPECT_GT(r.train.r_squared, 0.75);
+  EXPECT_LT(r.train.r_squared, 0.995);
+  EXPECT_GT(r.test_r2, 0.70);  // generalizes across devices
+  EXPECT_EQ(r.coefficients.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.paper_r2, 0.87);
+}
+
+TEST_F(CalibrationTest, AllocationRecoversBranchStructure) {
+  const auto r = calibrate_allocation(datasets().allocation);
+  // Coefficient order: wc, wc*fc², wc*fc, (1-wc), (1-wc)*fg², (1-wc)*fg.
+  // The GPU branch's big intercept/quadratic signs must survive the fit.
+  EXPECT_GT(r.coefficients[3], 50.0);   // gpu intercept ~193
+  EXPECT_GT(r.coefficients[4], 100.0);  // gpu quadratic ~401
+  EXPECT_LT(r.coefficients[5], -100.0); // gpu linear ~-558
+}
+
+TEST_F(CalibrationTest, EncodingFitQuality) {
+  const auto r = calibrate_encoding(datasets().encoding);
+  EXPECT_GT(r.train.r_squared, 0.70);
+  EXPECT_GT(r.test_r2, 0.65);
+  EXPECT_EQ(r.coefficients.size(), 7u);
+  // fps dominates the encode-work regression (paper coefficient 163.65).
+  EXPECT_GT(r.coefficients[5], 50.0);
+  EXPECT_DOUBLE_EQ(r.paper_r2, 0.79);
+}
+
+TEST_F(CalibrationTest, CnnFitQuality) {
+  const auto r = calibrate_cnn(datasets().cnn);
+  EXPECT_GT(r.train.r_squared, 0.70);
+  EXPECT_GT(r.test_r2, 0.65);
+  EXPECT_EQ(r.coefficients.size(), 4u);
+  // Storage size carries positive weight (paper: 0.03/MB).
+  EXPECT_GT(r.coefficients[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.paper_r2, 0.844);
+}
+
+TEST_F(CalibrationTest, PowerFitQuality) {
+  const auto r = calibrate_power(datasets().power);
+  EXPECT_GT(r.train.r_squared, 0.75);
+  EXPECT_GT(r.test_r2, 0.70);
+  EXPECT_EQ(r.coefficients.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.paper_r2, 0.863);
+}
+
+TEST_F(CalibrationTest, CalibrateAllReturnsFourModels) {
+  const auto all = calibrate_all(datasets());
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_NE(all[0].model_name.find("allocation"), std::string::npos);
+  EXPECT_NE(all[1].model_name.find("encoding"), std::string::npos);
+  EXPECT_NE(all[2].model_name.find("CNN"), std::string::npos);
+  EXPECT_NE(all[3].model_name.find("power"), std::string::npos);
+}
+
+TEST_F(CalibrationTest, RenderTableContainsAllModels) {
+  const auto all = calibrate_all(datasets());
+  const auto table = render_calibration_table(all);
+  EXPECT_NE(table.find("allocation"), std::string::npos);
+  EXPECT_NE(table.find("paper R2"), std::string::npos);
+  EXPECT_NE(table.find("0.870"), std::string::npos);
+  EXPECT_NE(table.find("0.844"), std::string::npos);
+}
+
+TEST_F(CalibrationTest, EquationStringsPopulated) {
+  const auto r = calibrate_cnn(datasets().cnn);
+  EXPECT_NE(r.equation.find("d_cnn"), std::string::npos);
+  EXPECT_NE(r.equation.find("s_cnn"), std::string::npos);
+}
+
+TEST_F(CalibrationTest, SampleCountsRecorded) {
+  const auto r = calibrate_allocation(datasets().allocation);
+  EXPECT_EQ(r.train.n_samples, 6000u);
+  EXPECT_EQ(r.n_test, 1800u);
+}
+
+}  // namespace
+}  // namespace xr::testbed

@@ -1,0 +1,127 @@
+#include "testbed/dataset.h"
+
+#include "devices/cnn.h"
+#include "devices/compute.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::testbed {
+namespace {
+
+DatasetSizes tiny_sizes() {
+  DatasetSizes s;
+  s.allocation_train = 400;
+  s.allocation_test = 120;
+  s.encoding_train = 400;
+  s.encoding_test = 120;
+  s.power_train = 300;
+  s.power_test = 90;
+  s.cnn_train = 200;
+  s.cnn_test = 60;
+  return s;
+}
+
+TEST(Dataset, DefaultSizesMatchPaperTotals) {
+  // §VII: 119,465 training and 36,083 test samples.
+  const DatasetSizes sizes;
+  EXPECT_EQ(sizes.allocation_train + sizes.encoding_train +
+                sizes.power_train + sizes.cnn_train,
+            119'465u);
+  EXPECT_EQ(sizes.allocation_test + sizes.encoding_test + sizes.power_test +
+                sizes.cnn_test,
+            36'083u);
+}
+
+TEST(Dataset, GeneratedCountsMatchRequest) {
+  const auto d = generate_datasets(1, tiny_sizes());
+  EXPECT_EQ(d.allocation.train_size(), 400u);
+  EXPECT_EQ(d.allocation.test_size(), 120u);
+  EXPECT_EQ(d.cnn.train_size(), 200u);
+  EXPECT_EQ(d.total_train(), 400u + 400u + 300u + 200u);
+  EXPECT_EQ(d.total_test(), 120u + 120u + 90u + 60u);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const auto a = generate_datasets(5, tiny_sizes());
+  const auto b = generate_datasets(5, tiny_sizes());
+  ASSERT_EQ(a.power.y_train.size(), b.power.y_train.size());
+  for (std::size_t i = 0; i < a.power.y_train.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.power.y_train[i], b.power.y_train[i]);
+  const auto c = generate_datasets(6, tiny_sizes());
+  EXPECT_NE(a.power.y_train[0], c.power.y_train[0]);
+}
+
+TEST(Dataset, RowShapes) {
+  const auto d = generate_datasets(2, tiny_sizes());
+  EXPECT_EQ(d.allocation.x_train[0].size(), 3u);  // {fc, fg, wc}
+  EXPECT_EQ(d.encoding.x_train[0].size(), 6u);
+  EXPECT_EQ(d.cnn.x_train[0].size(), 3u);
+  EXPECT_EQ(d.power.x_train[0].size(), 3u);
+}
+
+TEST(Dataset, InputsInsidePhysicalDomains) {
+  const auto d = generate_datasets(3, tiny_sizes());
+  for (const auto& row : d.allocation.x_train) {
+    EXPECT_GT(row[0], 0.5);   // fc
+    EXPECT_LT(row[0], 3.2);
+    EXPECT_GT(row[1], 0.2);   // fg
+    EXPECT_GE(row[2], 0.0);   // wc
+    EXPECT_LE(row[2], 1.0);
+  }
+  for (const auto& row : d.encoding.x_train) {
+    EXPECT_GE(row[0], 10);    // n_i
+    EXPECT_LE(row[1], 4);     // n_b
+    EXPECT_GE(row[3], 240);   // s_f1
+    EXPECT_LE(row[3], 720);
+    EXPECT_GE(row[5], 18);    // QP
+    EXPECT_LE(row[5], 40);
+  }
+}
+
+TEST(Dataset, HiddenAllocationFollowsPaperTrend) {
+  // Without noise the hidden truth should stay within ~20% of the Eq. (3)
+  // quadratic inside the fitted range — it is a perturbation, not a
+  // different law.
+  const devices::ComputeAllocationModel paper;
+  for (double fc : {1.5, 2.0, 2.5, 3.0}) {
+    const double truth = hidden::allocation_true(fc, 1.0, 1.0, 0.0, 0.0);
+    EXPECT_NEAR(truth, paper.cpu_branch(fc),
+                0.2 * paper.cpu_branch(fc) + 1.0)
+        << fc;
+  }
+}
+
+TEST(Dataset, HiddenEncodingKeepsDominantSlope) {
+  const double low = hidden::encoding_true(30, 2, 4, 300, 30, 28, 0, 0);
+  const double high = hidden::encoding_true(30, 2, 4, 700, 30, 28, 0, 0);
+  EXPECT_GT(high, low);  // frame size still raises encode work
+}
+
+TEST(Dataset, HiddenCnnSaturatesAtDepth) {
+  // The quadratic correction reduces complexity growth at extreme depth
+  // relative to the pure linear law.
+  const devices::CnnComplexityModel paper;
+  const double deep_truth = hidden::cnn_true(663, 21.4, 0, 0);
+  EXPECT_LT(deep_truth, paper.evaluate(663, 21.4, 0) + 1.0);
+  EXPECT_GT(deep_truth, 0);
+}
+
+TEST(Dataset, HiddenPowerPositiveInFittedRange) {
+  for (double fc : {1.8, 2.2, 2.8})
+    EXPECT_GT(hidden::power_true(fc, 0.7, 1.0, 0.0, 0.0), 0.0) << fc;
+}
+
+TEST(Dataset, TrainTestComeFromDifferentDevices) {
+  // Device bias enters the targets, so train and test distributions must
+  // differ measurably (the cross-device generalization challenge of §VII).
+  const auto d = generate_datasets(11, tiny_sizes());
+  double train_mean = 0, test_mean = 0;
+  for (double y : d.allocation.y_train) train_mean += y;
+  for (double y : d.allocation.y_test) test_mean += y;
+  train_mean /= double(d.allocation.train_size());
+  test_mean /= double(d.allocation.test_size());
+  EXPECT_NE(train_mean, test_mean);
+}
+
+}  // namespace
+}  // namespace xr::testbed

@@ -1,0 +1,165 @@
+#include "testbed/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::testbed {
+namespace {
+
+/// Reduced sweep so the experiment tests stay fast.
+SweepConfig fast_sweep() {
+  SweepConfig cfg;
+  cfg.frame_sizes = {300, 500, 700};
+  cfg.cpu_clocks_ghz = {1.0, 2.0, 3.0};
+  cfg.frames_per_point = 60;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Experiments, LatencyValidationAccuracy) {
+  // Fig. 4(a)/(b): the paper reports 2.74% / 3.23% mean error; accept the
+  // same regime (well under 10%) from the simulated testbed.
+  for (auto placement : {core::InferencePlacement::kLocal,
+                         core::InferencePlacement::kRemote}) {
+    const auto r = run_latency_validation(placement, fast_sweep());
+    EXPECT_LT(r.mean_error_percent, 10.0);
+    EXPECT_GT(r.mean_error_percent, 0.0);
+    EXPECT_EQ(r.per_clock_error_percent.size(), 3u);
+  }
+}
+
+TEST(Experiments, EnergyValidationAccuracy) {
+  for (auto placement : {core::InferencePlacement::kLocal,
+                         core::InferencePlacement::kRemote}) {
+    const auto r = run_energy_validation(placement, fast_sweep());
+    EXPECT_LT(r.mean_error_percent, 12.0);
+  }
+}
+
+TEST(Experiments, ValidationSeriesShape) {
+  const auto r =
+      run_latency_validation(core::InferencePlacement::kLocal, fast_sweep());
+  // One GT + one Proposed series per clock.
+  EXPECT_EQ(r.series.all().size(), 6u);
+  EXPECT_NE(r.series.find("GT (2 GHz)"), nullptr);
+  EXPECT_NE(r.series.find("Proposed (2 GHz)"), nullptr);
+  EXPECT_EQ(r.series.find("GT (2 GHz)")->size(), 3u);
+  // Latency grows with frame size in both GT and model.
+  const auto* gt = r.series.find("GT (2 GHz)");
+  EXPECT_LT(gt->y.front(), gt->y.back());
+}
+
+TEST(Experiments, AoiValidation) {
+  AoiSweepConfig cfg;
+  cfg.cycles = 10;
+  const auto r = run_aoi_validation(cfg);
+  EXPECT_EQ(r.series.all().size(), 6u);  // GT + Proposed per rate
+  EXPECT_LT(r.mean_error_percent, 20.0);
+  // The slow sensor's curve grows; the matched sensor's stays flat.
+  const auto* slow = r.series.find("Proposed (67 Hz)");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_GT(slow->y.back(), slow->y.front());
+  const auto* fast = r.series.find("Proposed (200 Hz)");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_NEAR(fast->y.back(), fast->y.front(), 1e-6);
+}
+
+TEST(Experiments, RoiStaircasePaperValues) {
+  const auto r = run_roi_staircase(100.0, 5.0, 3);
+  ASSERT_EQ(r.points.size(), 3u);
+  EXPECT_NEAR(r.points[0].aoi_ms, 10.0, 1e-5);
+  EXPECT_NEAR(r.points[1].aoi_ms, 15.0, 1e-5);
+  EXPECT_NEAR(r.points[2].aoi_ms, 20.0, 1e-5);
+  EXPECT_NEAR(r.points[0].roi, 0.5, 1e-5);
+  EXPECT_NEAR(r.points[2].roi, 0.25, 1e-5);
+}
+
+TEST(Experiments, CalibratedBaselinesReasonable) {
+  SweepConfig cfg = fast_sweep();
+  cfg.frames_per_point = 40;
+  const auto cal = calibrate_baselines(cfg);
+  EXPECT_GT(cal.calibration_points, 0u);
+  // Fitted cycle constants must be positive and small (Gcycles per unit).
+  EXPECT_GT(cal.fact.config().client_cycles_per_size, 0.0);
+  EXPECT_LT(cal.fact.config().client_cycles_per_size, 1.0);
+  EXPECT_GT(cal.leaf.config().encode_fixed_ms, 0.0);
+  // Calibrated models predict in the right ballpark at the center point.
+  const auto center = core::make_remote_scenario(500, 2.0);
+  const double fact = cal.fact.latency_ms(center);
+  const double leaf = cal.leaf.latency_ms(center);
+  EXPECT_GT(fact, 100.0);
+  EXPECT_LT(fact, 3000.0);
+  EXPECT_GT(leaf, 100.0);
+  EXPECT_LT(leaf, 3000.0);
+}
+
+TEST(Experiments, ComparisonReproducesPaperOrdering) {
+  // Fig. 5: Proposed > LEAF > FACT in normalized accuracy.
+  SweepConfig cfg = fast_sweep();
+  cfg.frames_per_point = 60;
+  const auto lat = run_model_comparison(Metric::kLatency, cfg);
+  EXPECT_GT(lat.mean_accuracy_proposed, lat.mean_accuracy_leaf);
+  EXPECT_GT(lat.mean_accuracy_leaf, lat.mean_accuracy_fact);
+  EXPECT_GT(lat.mean_accuracy_proposed, 90.0);
+  EXPECT_GT(lat.gap_vs_fact(), lat.gap_vs_leaf());
+
+  const auto ene = run_model_comparison(Metric::kEnergy, cfg);
+  EXPECT_GT(ene.mean_accuracy_proposed, ene.mean_accuracy_leaf);
+  EXPECT_GT(ene.mean_accuracy_proposed, ene.mean_accuracy_fact);
+}
+
+TEST(Experiments, ComparisonSeriesShape) {
+  SweepConfig cfg = fast_sweep();
+  cfg.frames_per_point = 40;
+  const auto r = run_model_comparison(Metric::kLatency, cfg);
+  EXPECT_EQ(r.accuracy.all().size(), 4u);  // GT, Proposed, FACT, LEAF
+  const auto* gt = r.accuracy.find("GT");
+  ASSERT_NE(gt, nullptr);
+  for (double y : gt->y) EXPECT_DOUBLE_EQ(y, 100.0);
+}
+
+TEST(Experiments, AblationFullModelWins) {
+  SweepConfig cfg = fast_sweep();
+  cfg.frames_per_point = 40;
+  const auto rows = run_ablation(cfg);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].variant, ModelVariant::kFull);
+  // Heavyweight terms (allocation model, encode regression) must hurt
+  // clearly when removed; the small memory term is allowed a little noise.
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i].latency_error_percent,
+              rows[0].latency_error_percent - 0.5)
+        << variant_name(rows[i].variant);
+  const auto error_of = [&](ModelVariant v) {
+    for (const auto& row : rows)
+      if (row.variant == v) return row.latency_error_percent;
+    ADD_FAILURE() << "variant missing";
+    return 0.0;
+  };
+  EXPECT_GT(error_of(ModelVariant::kNoAllocationModel),
+            2.0 * rows[0].latency_error_percent);
+  EXPECT_GT(error_of(ModelVariant::kFixedEncodeCost),
+            rows[0].latency_error_percent);
+}
+
+TEST(Experiments, VariantsChangePredictions) {
+  const auto s = core::make_remote_scenario(500, 2.0);
+  const double full = variant_latency_ms(ModelVariant::kFull, s);
+  EXPECT_NE(variant_latency_ms(ModelVariant::kNoMemoryTerms, s), full);
+  EXPECT_NE(variant_latency_ms(ModelVariant::kNoCnnComplexity, s), full);
+  // Fixed encode at the center scenario equals the full model there.
+  EXPECT_NEAR(variant_latency_ms(ModelVariant::kFixedEncodeCost, s), full,
+              1e-9);
+  const auto off_center = core::make_remote_scenario(700, 1.0);
+  EXPECT_NE(variant_latency_ms(ModelVariant::kFixedEncodeCost, off_center),
+            variant_latency_ms(ModelVariant::kFull, off_center));
+}
+
+TEST(Experiments, VariantNamesDistinct) {
+  EXPECT_STRNE(variant_name(ModelVariant::kFull),
+               variant_name(ModelVariant::kNoMemoryTerms));
+  EXPECT_STRNE(variant_name(ModelVariant::kNoAllocationModel),
+               variant_name(ModelVariant::kFixedEncodeCost));
+}
+
+}  // namespace
+}  // namespace xr::testbed

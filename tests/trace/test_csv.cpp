@@ -1,0 +1,140 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace xr::trace {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("123.5"), "123.5");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvSplit, SimpleFields) {
+  const auto fields = csv_split("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvSplit, QuotedFieldWithComma) {
+  const auto fields = csv_split("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvSplit, EscapedQuote) {
+  const auto fields = csv_split("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto fields = csv_split("a,,b,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvSplit, CarriageReturnIgnored) {
+  const auto fields = csv_split("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvSplit, RoundTripsEscape) {
+  const std::string nasty = "x,\"y\"\nz";
+  const auto fields = csv_split(csv_escape(nasty));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], nasty);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss, {"a", "b"});
+  w.write_row(std::vector<std::string>{"1", "2"});
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  std::ostringstream oss;
+  CsvWriter w(oss, {"a", "b"});
+  EXPECT_THROW(w.write_row(std::vector<std::string>{"only one"}),
+               std::invalid_argument);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  std::ostringstream oss;
+  EXPECT_THROW(CsvWriter(oss, {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, NumericRowsRoundTrip) {
+  std::ostringstream oss;
+  CsvWriter w(oss, {"v"});
+  w.write_row(std::vector<double>{0.1 + 0.2});
+  const auto parsed = CsvTable::parse(oss.str());
+  EXPECT_DOUBLE_EQ(parsed.row(0)[0], 0.1 + 0.2);
+}
+
+TEST(CsvTable, ColumnAccess) {
+  CsvTable t({"x", "y"});
+  t.add_row({1, 10});
+  t.add_row({2, 20});
+  EXPECT_EQ(t.rows(), 2u);
+  const auto y = t.column("y");
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[1], 20);
+  EXPECT_FALSE(t.column_index("nope").has_value());
+  EXPECT_THROW((void)t.column("nope"), std::out_of_range);
+}
+
+TEST(CsvTable, ParseRejectsNonNumeric) {
+  EXPECT_THROW(CsvTable::parse("a,b\n1,two\n"), std::invalid_argument);
+}
+
+TEST(CsvTable, ParseRejectsEmpty) {
+  EXPECT_THROW(CsvTable::parse(""), std::invalid_argument);
+}
+
+TEST(CsvTable, ToCsvParseRoundTrip) {
+  CsvTable t({"x", "y"});
+  t.add_row({1.5, -2.25});
+  t.add_row({3.125, 4});
+  const auto round = CsvTable::parse(t.to_csv());
+  ASSERT_EQ(round.rows(), 2u);
+  EXPECT_DOUBLE_EQ(round.row(0)[1], -2.25);
+  EXPECT_DOUBLE_EQ(round.row(1)[0], 3.125);
+}
+
+TEST(CsvTable, SaveAndLoad) {
+  CsvTable t({"v"});
+  t.add_row({42.5});
+  const std::string path = ::testing::TempDir() + "xr_csv_test.csv";
+  t.save(path);
+  const auto loaded = CsvTable::load(path);
+  ASSERT_EQ(loaded.rows(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.row(0)[0], 42.5);
+}
+
+TEST(CsvTable, RejectsRowWidthMismatch) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::trace

@@ -1,0 +1,107 @@
+#include "trace/stats_collector.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace xr::trace {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  math::Rng rng(11);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5);
+}
+
+TEST(Histogram, BinsAndCounts) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0, 1, 4);
+  h.add(-1);
+  h.add(2);
+  h.add(1.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8);
+  EXPECT_THROW((void)h.bin_lo(5), std::out_of_range);
+}
+
+TEST(Histogram, QuantileApproximatesNormal) {
+  Histogram h(-5, 5, 200);
+  math::Rng rng(3);
+  for (int i = 0; i < 50000; ++i) h.add(rng.normal());
+  EXPECT_NEAR(h.quantile(0.5), 0.0, 0.1);
+  EXPECT_NEAR(h.quantile(0.975), 1.96, 0.15);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1, 1, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Histogram, InvalidQuantile) {
+  Histogram h(0, 1, 2);
+  EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  Histogram h(0, 2, 2);
+  h.add(0.5);
+  const auto out = h.render();
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xr::trace

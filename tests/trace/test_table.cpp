@@ -1,0 +1,79 @@
+#include "trace/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::trace {
+namespace {
+
+TEST(Fixed, FormatsPrecision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Heading, ContainsTitle) {
+  const auto h = heading("Fig. 4");
+  EXPECT_NE(h.find("Fig. 4"), std::string::npos);
+  EXPECT_NE(h.find("="), std::string::npos);
+}
+
+TEST(TablePrinter, RendersHeaderAndCells) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"latency", "12.5"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"h", "value"});
+  t.add_row({"x", "1"});
+  const auto out = t.render();
+  // Right-aligned single char under a 5-wide header leaves leading spaces.
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TablePrinter, LeftAlignment) {
+  TablePrinter t({"head", "b"}, Align::kLeft);
+  t.add_row({"x", "y"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| x    |"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowsUsePrecision) {
+  TablePrinter t({"v"});
+  t.add_numeric_row(std::vector<double>{1.23456}, 3);
+  EXPECT_NE(t.render().find("1.235"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWidthMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RuleInsertsSeparator) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const auto out = t.render();
+  // Header rule + top + bottom + mid-rule = 4 horizontal rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1))
+    ++rules;
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TablePrinter, SetAlignOutOfRangeThrows) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.set_align(5, Align::kLeft), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace xr::trace

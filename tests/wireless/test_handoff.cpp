@@ -1,0 +1,86 @@
+#include "wireless/handoff.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::wireless {
+namespace {
+
+HandoffLatencyConfig default_config() { return HandoffLatencyConfig{}; }
+
+TEST(HandoffModel, EventLatencyComposition) {
+  const HandoffModel m(default_config(), 100.0, 1.0, 0.5);
+  const auto& c = m.config();
+  const double horizontal = c.l2_scan_ms + c.l2_auth_assoc_ms +
+                            c.l3_registration_ms + c.service_migration_ms;
+  EXPECT_DOUBLE_EQ(m.event_latency_ms(HandoffKind::kHorizontal), horizontal);
+  EXPECT_DOUBLE_EQ(m.event_latency_ms(HandoffKind::kVertical),
+                   horizontal + c.interface_activation_ms +
+                       c.vertical_auth_ms + c.vertical_l3_ms);
+}
+
+TEST(HandoffModel, VerticalCostsMore) {
+  const HandoffModel m(default_config(), 100.0, 1.0, 0.5);
+  EXPECT_GT(m.event_latency_ms(HandoffKind::kVertical),
+            m.event_latency_ms(HandoffKind::kHorizontal));
+}
+
+TEST(HandoffModel, Eq17ExpectedLatency) {
+  // L_HO = l_HO * P(HO), with l_HO the vertical-fraction mixture.
+  const HandoffModel m(default_config(), 100.0, 1.0, 0.25);
+  const double l_ho =
+      0.75 * m.event_latency_ms(HandoffKind::kHorizontal) +
+      0.25 * m.event_latency_ms(HandoffKind::kVertical);
+  EXPECT_NEAR(m.expected_latency_ms(), l_ho * m.handoff_probability(),
+              1e-12);
+}
+
+TEST(HandoffModel, PureHorizontalAndPureVertical) {
+  const HandoffModel h(default_config(), 100.0, 1.0, 0.0);
+  EXPECT_NEAR(h.expected_latency_ms(),
+              h.event_latency_ms(HandoffKind::kHorizontal) *
+                  h.handoff_probability(),
+              1e-12);
+  const HandoffModel v(default_config(), 100.0, 1.0, 1.0);
+  EXPECT_NEAR(v.expected_latency_ms(),
+              v.event_latency_ms(HandoffKind::kVertical) *
+                  v.handoff_probability(),
+              1e-12);
+}
+
+TEST(HandoffModel, FasterMovementIncreasesCost) {
+  const HandoffModel slow(default_config(), 100.0, 0.5, 0.3);
+  const HandoffModel fast(default_config(), 100.0, 4.0, 0.3);
+  EXPECT_GT(fast.expected_latency_ms(), slow.expected_latency_ms());
+}
+
+TEST(HandoffModel, LargerCellsDecreaseCost) {
+  const HandoffModel small(default_config(), 50.0, 1.0, 0.3);
+  const HandoffModel large(default_config(), 300.0, 1.0, 0.3);
+  EXPECT_LT(large.expected_latency_ms(), small.expected_latency_ms());
+}
+
+TEST(HandoffModel, ServiceMigrationAddsToBothKinds) {
+  HandoffLatencyConfig cfg;
+  cfg.service_migration_ms = 100.0;
+  const HandoffModel with(cfg, 100.0, 1.0, 0.0);
+  const HandoffModel without(default_config(), 100.0, 1.0, 0.0);
+  EXPECT_NEAR(with.event_latency_ms(HandoffKind::kHorizontal) -
+                  without.event_latency_ms(HandoffKind::kHorizontal),
+              100.0, 1e-12);
+}
+
+TEST(HandoffModel, ConstructionValidation) {
+  EXPECT_THROW(HandoffModel(default_config(), 0, 1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(HandoffModel(default_config(), 100, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(HandoffModel(default_config(), 100, 100, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(HandoffModel(default_config(), 100, 1, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(HandoffModel(default_config(), 100, 1, -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::wireless

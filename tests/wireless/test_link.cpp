@@ -1,0 +1,90 @@
+#include "wireless/link.h"
+
+#include <gtest/gtest.h>
+
+#include "wireless/propagation.h"
+
+namespace xr::wireless {
+namespace {
+
+TEST(LinkModel, FixedThroughputMatchesEq16) {
+  const LinkModel link(40.0);
+  // Eq. (16): δ/r_w + d/c.
+  const double expected =
+      transmission_time_ms(0.5, 40.0) + propagation_delay_ms(50.0);
+  EXPECT_NEAR(link.transmission_latency_ms(0.5, 50.0), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(link.throughput_mbps(10.0), 40.0);
+  EXPECT_FALSE(link.channel_derived());
+}
+
+TEST(LinkModel, FixedThroughputValidation) {
+  EXPECT_THROW(LinkModel(0.0), std::invalid_argument);
+  EXPECT_THROW(LinkModel(-5.0), std::invalid_argument);
+  const LinkModel link(10.0);
+  EXPECT_THROW((void)link.transmission_latency_ms(-1, 10),
+               std::invalid_argument);
+}
+
+TEST(LinkModel, ChannelDerivedThroughputDecreasesWithDistance) {
+  ChannelConfig ch;  // deterministic: no shadowing/fading
+  const LinkModel link(ch);
+  EXPECT_TRUE(link.channel_derived());
+  const double near = link.throughput_mbps(5.0);
+  const double mid = link.throughput_mbps(50.0);
+  const double far = link.throughput_mbps(200.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(LinkModel, ChannelConfigValidation) {
+  ChannelConfig bad;
+  bad.bandwidth_mhz = 0;
+  EXPECT_THROW(LinkModel{bad}, std::invalid_argument);
+  ChannelConfig bad2;
+  bad2.efficiency = 0;
+  EXPECT_THROW(LinkModel{bad2}, std::invalid_argument);
+  ChannelConfig bad3;
+  bad3.efficiency = 1.5;
+  EXPECT_THROW(LinkModel{bad3}, std::invalid_argument);
+}
+
+TEST(LinkModel, DeterministicWithoutRng) {
+  ChannelConfig ch;
+  ch.shadowing_sigma_db = 6.0;  // enabled but no RNG passed
+  const LinkModel link(ch);
+  EXPECT_DOUBLE_EQ(link.throughput_mbps(30), link.throughput_mbps(30));
+}
+
+TEST(LinkModel, ShadowingVariesThroughput) {
+  ChannelConfig ch;
+  ch.shadowing_sigma_db = 8.0;
+  const LinkModel link(ch);
+  math::Rng rng(9);
+  const double a = link.throughput_mbps(30, &rng);
+  const double b = link.throughput_mbps(30, &rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(LinkModel, FadingMeanCloseToDeterministic) {
+  ChannelConfig ch;
+  ch.rician_k_factor = 10.0;  // mild fading
+  const LinkModel link(ch);
+  math::Rng rng(10);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += link.throughput_mbps(30, &rng);
+  const double deterministic = link.throughput_mbps(30);
+  // log2(1 + SNR·g) with E[g]=1 is concave, so the mean sits slightly
+  // below the deterministic value but within a few percent for K = 10.
+  EXPECT_NEAR(sum / n, deterministic, 0.05 * deterministic);
+}
+
+TEST(LinkModel, PropagationDominatesAtZeroPayload) {
+  const LinkModel link(40.0);
+  EXPECT_NEAR(link.transmission_latency_ms(0.0, 300.0),
+              propagation_delay_ms(300.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace xr::wireless

@@ -1,0 +1,98 @@
+#include "wireless/mobility.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace xr::wireless {
+namespace {
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RandomWalk, StepLengthPreserved) {
+  RandomWalk walk({0, 0}, 2.5, math::Rng(3));
+  Vec2 prev = walk.position();
+  for (int i = 0; i < 100; ++i) {
+    const Vec2 next = walk.step();
+    EXPECT_NEAR(distance(prev, next), 2.5, 1e-9);
+    prev = next;
+  }
+}
+
+TEST(RandomWalk, Validation) {
+  EXPECT_THROW(RandomWalk({0, 0}, 0, math::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomWalk({0, 0}, -1, math::Rng(1)), std::invalid_argument);
+}
+
+TEST(RandomWalk, DiffusesAwayFromOrigin) {
+  // After n steps of length L the RMS displacement is L sqrt(n).
+  const int walkers = 2000, steps = 100;
+  double sum2 = 0;
+  for (int w = 0; w < walkers; ++w) {
+    RandomWalk walk({0, 0}, 1.0, math::Rng(std::uint64_t(w) + 1));
+    for (int i = 0; i < steps; ++i) walk.step();
+    const double d = distance({0, 0}, walk.position());
+    sum2 += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / walkers), 10.0, 0.5);
+}
+
+TEST(CoverageZone, Containment) {
+  const CoverageZone zone{{0, 0}, 10.0, false};
+  EXPECT_TRUE(zone.contains({0, 0}));
+  EXPECT_TRUE(zone.contains({10, 0}));  // boundary inclusive
+  EXPECT_FALSE(zone.contains({10.01, 0}));
+}
+
+TEST(CrossingProbability, AnalyticValues) {
+  // P = 2 step / (pi R).
+  EXPECT_NEAR(random_walk_crossing_probability(1.0, 100.0),
+              2.0 / (100.0 * 3.14159265358979), 1e-9);
+  // Linear in step, inverse in radius.
+  EXPECT_NEAR(random_walk_crossing_probability(2.0, 100.0),
+              2 * random_walk_crossing_probability(1.0, 100.0), 1e-12);
+}
+
+TEST(CrossingProbability, Validation) {
+  EXPECT_THROW((void)random_walk_crossing_probability(0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_walk_crossing_probability(10, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_walk_crossing_probability(1, -1),
+               std::invalid_argument);
+}
+
+class CrossingMonteCarlo : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossingMonteCarlo, AnalyticMatchesSimulation) {
+  // The first-order analytic form is accurate for step << R.
+  const double step = GetParam();
+  math::Rng rng(1234);
+  const double analytic = random_walk_crossing_probability(step, 100.0);
+  const double estimated =
+      estimate_crossing_probability(step, 100.0, 400000, rng);
+  EXPECT_NEAR(estimated, analytic, 0.15 * analytic + 0.0005);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, CrossingMonteCarlo,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0));
+
+TEST(CrossingEstimate, Validation) {
+  math::Rng rng(1);
+  EXPECT_THROW((void)estimate_crossing_probability(1, 10, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(HandoffRate, GrowsWithSpeed) {
+  math::Rng rng(55);
+  const double slow = simulate_handoff_rate(0.5, 100.0, 200000, rng);
+  const double fast = simulate_handoff_rate(4.0, 100.0, 200000, rng);
+  EXPECT_GT(fast, slow);
+  EXPECT_THROW((void)simulate_handoff_rate(1, 10, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::wireless

@@ -1,0 +1,123 @@
+#include "wireless/pathloss.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace xr::wireless {
+namespace {
+
+TEST(Fspl, KnownValue) {
+  // FSPL at 1 m, 2.4 GHz ≈ 40.05 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, 2.4e9), 40.05, 0.05);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(free_space_path_loss_db(10.0, 2.4e9) -
+                  free_space_path_loss_db(1.0, 2.4e9),
+              20.0, 1e-9);
+}
+
+TEST(Fspl, Validation) {
+  EXPECT_THROW((void)free_space_path_loss_db(0, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)free_space_path_loss_db(1, 0), std::invalid_argument);
+}
+
+TEST(LogDistance, ExponentControlsSlope) {
+  const double d0 = 1.0, pl0 = 40.0;
+  EXPECT_NEAR(log_distance_path_loss_db(10, d0, pl0, 2.0), 60.0, 1e-9);
+  EXPECT_NEAR(log_distance_path_loss_db(10, d0, pl0, 3.5), 75.0, 1e-9);
+  EXPECT_NEAR(log_distance_path_loss_db(1, d0, pl0, 2.0), 40.0, 1e-9);
+}
+
+TEST(LogDistance, Validation) {
+  EXPECT_THROW((void)log_distance_path_loss_db(0.5, 1, 40, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)log_distance_path_loss_db(10, 1, 40, 0),
+               std::invalid_argument);
+}
+
+TEST(TwoRay, FortyDbPerDecade) {
+  const double a = two_ray_path_loss_db(100, 10, 2);
+  const double b = two_ray_path_loss_db(1000, 10, 2);
+  EXPECT_NEAR(b - a, 40.0, 1e-9);
+  EXPECT_THROW((void)two_ray_path_loss_db(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Shadowing, ZeroSigmaIsDeterministic) {
+  math::Rng rng(1);
+  EXPECT_DOUBLE_EQ(shadowing_db(0.0, rng), 0.0);
+  EXPECT_THROW((void)shadowing_db(-1.0, rng), std::invalid_argument);
+}
+
+TEST(Shadowing, MatchesSigma) {
+  math::Rng rng(2);
+  double sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double s = shadowing_db(8.0, rng);
+    sum2 += s * s;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), 8.0, 0.2);
+}
+
+TEST(Fading, RayleighMeanPowerIsOne) {
+  math::Rng rng(3);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rayleigh_power_gain(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Fading, RicianMeanPowerIsOne) {
+  math::Rng rng(4);
+  for (double k : {0.0, 1.0, 5.0, 20.0}) {
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rician_power_gain(k, rng);
+    EXPECT_NEAR(sum / n, 1.0, 0.03) << "K = " << k;
+  }
+  EXPECT_THROW((void)rician_power_gain(-1, rng), std::invalid_argument);
+}
+
+TEST(Fading, HigherKMeansLessVariance) {
+  math::Rng rng(5);
+  auto variance = [&](double k) {
+    double sum = 0, sum2 = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      const double g = rician_power_gain(k, rng);
+      sum += g;
+      sum2 += g * g;
+    }
+    const double m = sum / n;
+    return sum2 / n - m * m;
+  };
+  EXPECT_GT(variance(0.0), variance(10.0));
+}
+
+TEST(DbConversions, RoundTrip) {
+  EXPECT_NEAR(db_to_linear(3.0103), 2.0, 1e-4);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(linear_to_db(db_to_linear(-7.5)), -7.5, 1e-12);
+  EXPECT_THROW((void)linear_to_db(0), std::invalid_argument);
+}
+
+TEST(Shannon, CapacityFormula) {
+  // 20 MHz at SNR 1 -> 20 Mbps; SNR 3 -> 40 Mbps.
+  EXPECT_NEAR(shannon_capacity_mbps(20, 1.0), 20.0, 1e-12);
+  EXPECT_NEAR(shannon_capacity_mbps(20, 3.0), 40.0, 1e-12);
+  EXPECT_DOUBLE_EQ(shannon_capacity_mbps(20, 0.0), 0.0);
+  EXPECT_THROW((void)shannon_capacity_mbps(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)shannon_capacity_mbps(20, -1), std::invalid_argument);
+}
+
+TEST(ReceivedSnr, BudgetArithmetic) {
+  // 20 dBm tx, 80 dB loss, no shadowing/fading, -90 dBm noise -> 30 dB SNR.
+  const double snr = received_snr_linear(20, 80, 0, 1.0, -90);
+  EXPECT_NEAR(linear_to_db(snr), 30.0, 1e-9);
+  // Fading gain scales linearly.
+  EXPECT_NEAR(received_snr_linear(20, 80, 0, 0.5, -90), snr * 0.5, 1e-9);
+  EXPECT_THROW((void)received_snr_linear(20, 80, 0, -1, -90),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::wireless

@@ -1,0 +1,41 @@
+#include "wireless/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace xr::wireless {
+namespace {
+
+TEST(Propagation, SpeedOfLightDelay) {
+  // 299792.458 km in one second -> ~0.3336 µs per 100 m.
+  EXPECT_NEAR(propagation_delay_ms(kSpeedOfLightMps / 1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(propagation_delay_ms(100.0), 100.0 / kSpeedOfLightMps * 1000.0,
+              1e-15);
+  EXPECT_DOUBLE_EQ(propagation_delay_ms(0), 0);
+}
+
+TEST(Propagation, NegativeDistanceThrows) {
+  EXPECT_THROW((void)propagation_delay_ms(-1), std::invalid_argument);
+}
+
+TEST(Transmission, HandComputedTime) {
+  // 1 MB over 8 Mbps: 8 Mbit / 8 Mbps = 1 s = 1000 ms.
+  EXPECT_NEAR(transmission_time_ms(1.0, 8.0), 1000.0, 1e-12);
+  // 0.117 MB over 40 Mbps (the Fig. 4b operating point) ≈ 23.4 ms.
+  EXPECT_NEAR(transmission_time_ms(0.117, 40.0), 23.4, 1e-9);
+  EXPECT_DOUBLE_EQ(transmission_time_ms(0, 10), 0);
+}
+
+TEST(Transmission, Validation) {
+  EXPECT_THROW((void)transmission_time_ms(-1, 10), std::invalid_argument);
+  EXPECT_THROW((void)transmission_time_ms(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)transmission_time_ms(1, -5), std::invalid_argument);
+}
+
+TEST(Transmission, LinearInPayloadInverseInRate) {
+  const double base = transmission_time_ms(2, 20);
+  EXPECT_NEAR(transmission_time_ms(4, 20), 2 * base, 1e-12);
+  EXPECT_NEAR(transmission_time_ms(2, 40), 0.5 * base, 1e-12);
+}
+
+}  // namespace
+}  // namespace xr::wireless

@@ -1,0 +1,145 @@
+#include "xrsim/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace xr::xrsim {
+namespace {
+
+GroundTruthConfig small_run(std::size_t frames = 64) {
+  GroundTruthConfig cfg;
+  cfg.frames = frames;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(GroundTruth, ProducesRequestedFrameCount) {
+  const GroundTruthSimulator sim(small_run(50));
+  const auto result = sim.run(core::make_local_scenario());
+  EXPECT_EQ(result.frames.size(), 50u);
+  EXPECT_EQ(result.latency.count(), 50u);
+  EXPECT_EQ(result.energy.count(), 50u);
+}
+
+TEST(GroundTruth, DeterministicForSeed) {
+  const GroundTruthSimulator sim(small_run());
+  const auto a = sim.run(core::make_remote_scenario());
+  const auto b = sim.run(core::make_remote_scenario());
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.frames[i].total_latency_ms,
+                     b.frames[i].total_latency_ms);
+    EXPECT_DOUBLE_EQ(a.frames[i].energy_mj, b.frames[i].energy_mj);
+  }
+}
+
+TEST(GroundTruth, DifferentSeedsDiffer) {
+  GroundTruthConfig c1 = small_run();
+  GroundTruthConfig c2 = small_run();
+  c2.seed = 8;
+  const auto a = GroundTruthSimulator(c1).run(core::make_local_scenario());
+  const auto b = GroundTruthSimulator(c2).run(core::make_local_scenario());
+  EXPECT_NE(a.mean_latency_ms(), b.mean_latency_ms());
+}
+
+TEST(GroundTruth, PerFrameSegmentsSumToTotal) {
+  const GroundTruthSimulator sim(small_run());
+  const auto result = sim.run(core::make_remote_scenario());
+  for (const auto& f : result.frames) {
+    const double sum = f.frame_generation_ms + f.volumetric_ms +
+                       f.external_ms + f.rendering_ms +
+                       f.conversion_or_encode_ms + f.inference_ms +
+                       f.transmission_ms + f.handoff_ms;
+    EXPECT_NEAR(f.total_latency_ms, sum, 1e-9);
+    EXPECT_GT(f.energy_mj, 0);
+  }
+}
+
+TEST(GroundTruth, AnalyticalModelTracksSimulation) {
+  // The paper's central validation: the analytical framework predicts the
+  // testbed's measurements within a few percent. Same acceptance here
+  // against the simulated testbed (which contains effects the model does
+  // not know about).
+  const core::XrPerformanceModel model;
+  GroundTruthConfig cfg;
+  cfg.frames = 300;
+  const GroundTruthSimulator sim(cfg);
+  for (bool local : {true, false}) {
+    const auto s = local ? core::make_local_scenario(500, 2.0)
+                         : core::make_remote_scenario(500, 2.0);
+    const auto gt = sim.run(s);
+    const auto report = model.evaluate(s);
+    EXPECT_NEAR(report.latency.total, gt.mean_latency_ms(),
+                0.10 * gt.mean_latency_ms())
+        << (local ? "local" : "remote");
+    EXPECT_NEAR(report.energy.total, gt.mean_energy_mj(),
+                0.12 * gt.mean_energy_mj())
+        << (local ? "local" : "remote");
+  }
+}
+
+TEST(GroundTruth, HiddenInflationBounded) {
+  const GroundTruthSimulator sim(small_run());
+  for (double size : {300.0, 500.0, 700.0})
+    for (double ghz : {1.0, 2.0, 3.0}) {
+      const double eta = sim.hidden_compute_inflation(size, ghz);
+      EXPECT_GT(eta, 0.85);
+      EXPECT_LT(eta, 1.15);
+    }
+  EXPECT_GT(sim.hidden_power_inflation(3.0),
+            sim.hidden_power_inflation(1.0));
+}
+
+TEST(GroundTruth, CachePressureRaisesLargeFrameCost) {
+  const GroundTruthSimulator sim(small_run());
+  EXPECT_GT(sim.hidden_compute_inflation(700, 2.0),
+            sim.hidden_compute_inflation(300, 2.0));
+}
+
+TEST(GroundTruth, LocalPathHasNoTransmission) {
+  const GroundTruthSimulator sim(small_run());
+  const auto result = sim.run(core::make_local_scenario());
+  for (const auto& f : result.frames) {
+    EXPECT_DOUBLE_EQ(f.transmission_ms, 0);
+    EXPECT_DOUBLE_EQ(f.handoff_ms, 0);
+  }
+}
+
+TEST(GroundTruth, MobilityProducesOccasionalHandoffs) {
+  auto s = core::make_remote_scenario();
+  s.mobility.enabled = true;
+  s.mobility.step_length_per_frame_m = 8.0;  // fast walker: P(HO) ≈ 4%
+  GroundTruthConfig cfg;
+  cfg.frames = 2000;
+  const auto result = GroundTruthSimulator(cfg).run(s);
+  std::size_t events = 0;
+  for (const auto& f : result.frames) events += (f.handoff_ms > 0);
+  EXPECT_GT(events, 20u);
+  EXPECT_LT(events, 400u);
+}
+
+TEST(GroundTruth, NoMobilityNoHandoffs) {
+  const auto result =
+      GroundTruthSimulator(small_run()).run(core::make_remote_scenario());
+  for (const auto& f : result.frames) EXPECT_DOUBLE_EQ(f.handoff_ms, 0);
+}
+
+TEST(GroundTruth, LatencyGrowsWithFrameSize) {
+  const GroundTruthSimulator sim(small_run(128));
+  const double small_frames =
+      sim.run(core::make_remote_scenario(300, 2.0)).mean_latency_ms();
+  const double large_frames =
+      sim.run(core::make_remote_scenario(700, 2.0)).mean_latency_ms();
+  EXPECT_GT(large_frames, small_frames);
+}
+
+TEST(GroundTruth, ValidatesScenario) {
+  const GroundTruthSimulator sim(small_run());
+  auto s = core::make_local_scenario();
+  s.client.cpu_ghz = 0;
+  EXPECT_THROW((void)sim.run(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::xrsim

@@ -1,0 +1,117 @@
+#include "xrsim/power_monitor.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace xr::xrsim {
+namespace {
+
+PowerMonitorConfig noiseless() {
+  PowerMonitorConfig cfg;
+  cfg.noise_sigma_mw = 0;
+  cfg.quantization_mw = 0;
+  return cfg;
+}
+
+TEST(PowerMonitor, ExactEnergyOfProfile) {
+  // 100 ms at 1000 mW = 100 mJ; plus 50 ms at 500 mW = 25 mJ.
+  const std::vector<PowerInterval> profile{{100, 1000}, {50, 500}};
+  EXPECT_NEAR(PowerMonitor::exact_energy_mj(profile), 125.0, 1e-12);
+}
+
+TEST(PowerMonitor, ExactEnergyRejectsNegative) {
+  EXPECT_THROW(
+      (void)PowerMonitor::exact_energy_mj({{-1, 100}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)PowerMonitor::exact_energy_mj({{1, -100}}),
+      std::invalid_argument);
+}
+
+TEST(PowerMonitor, NoiselessMeasurementCloseToExact) {
+  const PowerMonitor monitor(noiseless());
+  math::Rng rng(1);
+  const std::vector<PowerInterval> profile{{100, 1000}, {200, 300}};
+  const double exact = PowerMonitor::exact_energy_mj(profile);
+  const double measured = monitor.measure_energy_mj(profile, rng);
+  // Trapezoidal sampling at 0.2 ms resolves a 300 ms profile to ~0.1%.
+  EXPECT_NEAR(measured, exact, 0.005 * exact);
+}
+
+TEST(PowerMonitor, MonsoonSamplingRate) {
+  const PowerMonitor monitor;
+  EXPECT_DOUBLE_EQ(monitor.config().sampling_interval_ms, 0.2);
+  math::Rng rng(2);
+  // 10 ms profile: floor(10 / 0.2) + 1 = 51 samples.
+  const auto trace = monitor.sample_trace({{10, 500}}, rng);
+  EXPECT_EQ(trace.size(), 51u);
+}
+
+TEST(PowerMonitor, NoisyMeasurementUnbiased) {
+  PowerMonitorConfig cfg;
+  cfg.noise_sigma_mw = 20;
+  cfg.quantization_mw = 0.5;
+  const PowerMonitor monitor(cfg);
+  math::Rng rng(3);
+  const std::vector<PowerInterval> profile{{200, 800}};
+  double sum = 0;
+  const int runs = 200;
+  for (int i = 0; i < runs; ++i)
+    sum += monitor.measure_energy_mj(profile, rng);
+  const double exact = PowerMonitor::exact_energy_mj(profile);
+  EXPECT_NEAR(sum / runs, exact, 0.01 * exact);
+}
+
+TEST(PowerMonitor, QuantizationSnapsToStep) {
+  PowerMonitorConfig cfg;
+  cfg.noise_sigma_mw = 0;
+  cfg.quantization_mw = 10.0;
+  const PowerMonitor monitor(cfg);
+  math::Rng rng(4);
+  const auto trace = monitor.sample_trace({{5, 333}}, rng);
+  for (double v : trace) {
+    EXPECT_NEAR(std::fmod(v, 10.0), 0.0, 1e-9);
+  }
+}
+
+TEST(PowerMonitor, AliasesSpikesShorterThanSamplingInterval) {
+  // A 0.05 ms 5 W spike between samples can be missed entirely — the
+  // physical failure mode of discrete sampling.
+  const PowerMonitor monitor(noiseless());
+  math::Rng rng(5);
+  const std::vector<PowerInterval> profile{
+      {0.1, 100}, {0.05, 5000}, {9.85, 100}};
+  const double exact = PowerMonitor::exact_energy_mj(profile);
+  const double measured = monitor.measure_energy_mj(profile, rng);
+  // The spike contributes 0.25 mJ of 1.0 mJ total; sampled measurement
+  // deviates from exact by a noticeable fraction.
+  EXPECT_NE(measured, exact);
+}
+
+TEST(PowerMonitor, NegativeSamplesClampedToZero) {
+  PowerMonitorConfig cfg;
+  cfg.noise_sigma_mw = 500.0;  // extreme noise vs a 10 mW signal
+  cfg.quantization_mw = 0;
+  const PowerMonitor monitor(cfg);
+  math::Rng rng(6);
+  const auto trace = monitor.sample_trace({{20, 10}}, rng);
+  for (double v : trace) EXPECT_GE(v, 0.0);
+}
+
+TEST(PowerMonitor, ConfigValidation) {
+  PowerMonitorConfig bad;
+  bad.sampling_interval_ms = 0;
+  EXPECT_THROW(PowerMonitor{bad}, std::invalid_argument);
+  PowerMonitorConfig bad2;
+  bad2.noise_sigma_mw = -1;
+  EXPECT_THROW(PowerMonitor{bad2}, std::invalid_argument);
+}
+
+TEST(PowerMonitor, EmptyProfileMeasuresZero) {
+  const PowerMonitor monitor(noiseless());
+  math::Rng rng(7);
+  EXPECT_DOUBLE_EQ(monitor.measure_energy_mj({}, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace xr::xrsim
