@@ -24,5 +24,5 @@ int main() {
                         "(remote sweep)")
                         .c_str());
   std::printf("%s", t.render().c_str());
-  return 0;
+  return xr::bench::emit_runtime_json("ablation_model_terms");
 }

@@ -4,30 +4,34 @@
 // parallel edge servers, with the slowest share bounding the segment. This
 // bench sweeps the server count with even splits (homogeneous servers) and
 // then contrasts balanced vs. lopsided splits on heterogeneous servers —
-// quantifying the design rule behind xr::core::balance_edge_split.
+// quantifying the design rule behind xr::core::balance_edge_split. Both
+// sweeps are expressed as runtime::SweepSpec axes and evaluated through the
+// batch runtime.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/optimizer.h"
-#include "trace/table.h"
 
 int main() {
   using namespace xr;
-  const core::XrPerformanceModel model;
+  const runtime::BatchEvaluator engine;
 
   std::printf("%s", trace::heading("Eq. (15): remote inference vs. edge "
                                    "server count (even split)")
                         .c_str());
+  const std::vector<int> counts = {1, 2, 3, 4, 6, 8};
+  const auto scale_grid =
+      runtime::SweepSpec(core::make_remote_scenario(500, 2.0))
+          .edge_counts(counts)
+          .build();
+  const auto scale_run = engine.run(scale_grid);
+
   trace::TablePrinter scale({"edge servers", "remote inf. (ms)",
                              "e2e latency (ms)", "speedup vs 1"});
-  double single = 0;
-  for (int count : {1, 2, 3, 4, 6, 8}) {
-    core::OffloadDecision d;
-    d.placement = core::InferencePlacement::kRemote;
-    d.edge_count = count;
-    const auto s = d.apply(core::make_remote_scenario(500, 2.0));
-    const auto report = model.evaluate(s);
-    if (count == 1) single = report.latency.remote_inference;
-    scale.add_row({std::to_string(count),
+  const double single = scale_run.reports[0].latency.remote_inference;
+  for (std::size_t i = 0; i < scale_grid.size(); ++i) {
+    const auto& report = scale_run.reports[i];
+    scale.add_row({std::to_string(counts[i]),
                    trace::fixed(report.latency.remote_inference, 2),
                    trace::fixed(report.latency.total, 2),
                    trace::fixed(single / report.latency.remote_inference,
@@ -40,25 +44,42 @@ int main() {
   std::printf("%s", trace::heading("Split balancing on heterogeneous "
                                    "servers (strong=200, weak=100)")
                         .c_str());
-  trace::TablePrinter bal({"split strong/weak", "remote inf. (ms)"});
   auto hetero = core::make_remote_scenario(500, 2.0);
   core::EdgeConfig strong = hetero.inference.edges[0];
   strong.resource = 200.0;
   core::EdgeConfig weak = strong;
   weak.resource = 100.0;
+  hetero.inference.edges = {strong, weak};
   const auto balanced = core::balance_edge_split({200.0, 100.0});
-  const core::LatencyModel& lat = model.latency_model();
-  for (double share : {0.50, balanced[0], 0.80}) {
-    strong.omega_edge = share;
-    weak.omega_edge = 1.0 - share;
-    hetero.inference.edges = {strong, weak};
+
+  // The strong server's share is a sweep axis; the weak server takes the
+  // remainder.
+  const std::vector<double> shares = {0.50, balanced[0], 0.80};
+  const auto split_grid =
+      runtime::SweepSpec(hetero)
+          .axis<double>("strong_share", shares,
+                        [](core::ScenarioConfig& s, const double& share) {
+                          s.inference.edges[0].omega_edge = share;
+                          s.inference.edges[1].omega_edge = 1.0 - share;
+                        })
+          .build();
+  const core::LatencyModel& lat = engine.model().latency_model();
+  const auto split_ms = engine.map(
+      split_grid, [&lat](const core::ScenarioConfig& s) {
+        return lat.remote_inference_ms(s);
+      });
+
+  trace::TablePrinter bal({"split strong/weak", "remote inf. (ms)"});
+  for (std::size_t i = 0; i < shares.size(); ++i) {
     char label[32];
-    std::snprintf(label, sizeof label, "%.2f / %.2f", share, 1.0 - share);
-    bal.add_row({label, trace::fixed(lat.remote_inference_ms(hetero), 2)});
+    std::snprintf(label, sizeof label, "%.2f / %.2f", shares[i],
+                  1.0 - shares[i]);
+    bal.add_row({label, trace::fixed(split_ms[i], 2)});
   }
   std::printf("%s", bal.render().c_str());
   std::printf("resource-proportional split (%.2f/%.2f) minimizes the "
               "Eq. (15) max\n",
               balanced[0], balanced[1]);
-  return 0;
+
+  return xr::bench::emit_runtime_json("ablation_multi_edge");
 }

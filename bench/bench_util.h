@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "runtime/batch_evaluator.h"
+#include "runtime/sweep.h"
 #include "testbed/experiments.h"
 #include "trace/table.h"
 
@@ -44,6 +46,91 @@ inline void print_comparison(const char* figure,
       "(paper: %.2f)\n",
       figure, result.gap_vs_fact(), paper_gap_fact, result.gap_vs_leaf(),
       paper_gap_leaf);
+}
+
+/// A deployment-space grid large enough to time the batch runtime: 2550
+/// candidates over frame size × CPU clock × ω_c × codec bitrate × edge
+/// count around the paper's remote operating point.
+inline runtime::ScenarioGrid runtime_benchmark_grid() {
+  std::vector<double> sizes;
+  for (double s = 300; s <= 700; s += 25) sizes.push_back(s);
+  return runtime::SweepSpec(xr::core::make_remote_scenario(500.0, 2.0))
+      .frame_sizes(sizes)
+      .cpu_clocks_ghz({1.0, 1.5, 2.0, 2.5, 3.0})
+      .omega_c({0.0, 0.25, 0.5, 0.75, 1.0})
+      .codec_bitrates_mbps({2.0, 4.0, 8.0})
+      .edge_counts({1, 2})
+      .build();
+}
+
+/// Bitwise comparison of two reports: totals, every Eq. (1) segment of both
+/// breakdowns, and the per-sensor AoI numbers.
+inline bool reports_identical(const core::PerformanceReport& a,
+                              const core::PerformanceReport& b) {
+  if (a.latency.total != b.latency.total ||
+      a.energy.total != b.energy.total ||
+      a.latency.buffer_wait != b.latency.buffer_wait ||
+      a.energy.base != b.energy.base || a.energy.thermal != b.energy.thermal)
+    return false;
+  for (core::Segment s : core::all_segments())
+    if (a.latency.segment(s) != b.latency.segment(s) ||
+        a.energy.segment(s) != b.energy.segment(s))
+      return false;
+  if (a.sensors.size() != b.sensors.size()) return false;
+  for (std::size_t m = 0; m < a.sensors.size(); ++m)
+    if (a.sensors[m].average_aoi_ms != b.sensors[m].average_aoi_ms ||
+        a.sensors[m].roi != b.sensors[m].roi)
+      return false;
+  return true;
+}
+
+/// Time the reference deployment grid through runtime::BatchEvaluator with
+/// one thread (the strict serial loop) and with the hardware-sized pool,
+/// check the two result sets are bitwise identical, and record the
+/// measurement as machine-readable BENCH_<name>.json (also echoed to stdout
+/// as one line, prefixed "BENCH_JSON ", for log scrapers). Returns the
+/// process exit code: 0, or 1 when the parallel path diverged from the
+/// serial loop — benches return this from main() so a determinism
+/// regression fails the run, not just the JSON.
+[[nodiscard]] inline int emit_runtime_json(const char* name) {
+  const auto grid = runtime_benchmark_grid();
+  const runtime::BatchEvaluator serial({}, runtime::BatchOptions{1});
+  const runtime::BatchEvaluator parallel({}, runtime::BatchOptions{0});
+  const auto serial_run = serial.run(grid);
+  const auto parallel_run = parallel.run(grid);
+
+  bool identical = serial_run.reports.size() == parallel_run.reports.size();
+  for (std::size_t i = 0; identical && i < serial_run.reports.size(); ++i)
+    identical =
+        reports_identical(serial_run.reports[i], parallel_run.reports[i]);
+
+  const double speedup =
+      parallel_run.stats.wall_ms > 0
+          ? serial_run.stats.wall_ms / parallel_run.stats.wall_ms
+          : 0.0;
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"%s\",\"grid_candidates\":%zu,\"threads\":%zu,"
+      "\"serial_wall_ms\":%.3f,\"parallel_wall_ms\":%.3f,"
+      "\"speedup\":%.3f,\"serial_candidates_per_sec\":%.0f,"
+      "\"parallel_candidates_per_sec\":%.0f,\"identical\":%s}",
+      name, grid.size(), parallel_run.stats.threads,
+      serial_run.stats.wall_ms, parallel_run.stats.wall_ms, speedup,
+      serial_run.stats.candidates_per_sec,
+      parallel_run.stats.candidates_per_sec, identical ? "true" : "false");
+
+  const std::string path = std::string("BENCH_") + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  std::printf("BENCH_JSON %s\n", json);
+  if (!identical)
+    std::fprintf(stderr,
+                 "%s: parallel batch diverged from serial loop (see %s)\n",
+                 name, path.c_str());
+  return identical ? 0 : 1;
 }
 
 }  // namespace xr::bench

@@ -11,5 +11,5 @@ int main() {
       xr::core::InferencePlacement::kLocal, cfg);
   xr::bench::print_validation("Fig. 4(a) [local latency]", "2.74%", result,
                               cfg);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4a_local_latency");
 }

@@ -9,5 +9,5 @@ int main() {
       xr::core::InferencePlacement::kRemote, cfg);
   xr::bench::print_validation("Fig. 4(b) [remote latency]", "3.23%", result,
                               cfg);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4b_remote_latency");
 }

@@ -9,5 +9,5 @@ int main() {
       xr::core::InferencePlacement::kLocal, cfg);
   xr::bench::print_validation("Fig. 4(c) [local energy]", "3.52%", result,
                               cfg);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4c_local_energy");
 }

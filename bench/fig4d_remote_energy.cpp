@@ -9,5 +9,5 @@ int main() {
       xr::core::InferencePlacement::kRemote, cfg);
   xr::bench::print_validation("Fig. 4(d) [remote energy]", "5.38%", result,
                               cfg);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4d_remote_energy");
 }

@@ -18,5 +18,5 @@ int main() {
       "200 Hz curve and the\n growing 100 / 67 Hz staircases are the "
       "reproduced qualitative result)\n",
       result.mean_error_percent);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4e_aoi");
 }

@@ -41,5 +41,5 @@ int main() {
       xr::core::AoiModel{}.required_generation_hz(0.0, ideal, aoi);
   std::printf("minimum generation frequency for RoI >= 1 : %.1f Hz\n",
               f_needed);
-  return 0;
+  return xr::bench::emit_runtime_json("fig4f_roi");
 }

@@ -14,5 +14,5 @@ int main() {
       xr::testbed::run_model_comparison(xr::testbed::Metric::kLatency, cfg);
   xr::bench::print_comparison("Fig. 5(a) [latency comparison]", result,
                               17.59, 7.49);
-  return 0;
+  return xr::bench::emit_runtime_json("fig5a_latency_comparison");
 }

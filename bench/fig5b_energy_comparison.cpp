@@ -10,5 +10,5 @@ int main() {
       xr::testbed::run_model_comparison(xr::testbed::Metric::kEnergy, cfg);
   xr::bench::print_comparison("Fig. 5(b) [energy comparison]", result, 15.30,
                               8.71);
-  return 0;
+  return xr::bench::emit_runtime_json("fig5b_energy_comparison");
 }

@@ -4,35 +4,50 @@
 // point, whether local (ω_loc = 1) or remote (ω_loc = 0) inference minimizes
 // end-to-end latency — the decision the ω_loc term of Eq. (1) encodes. This
 // is the planning workflow the paper motivates: answering deployment
-// questions analytically instead of re-measuring a testbed.
+// questions analytically instead of re-measuring a testbed. Both placement
+// sweeps are declared as SweepSpec grids and evaluated in one batch each.
 //
 //   $ ./offload_planner
 #include <cstdio>
 #include <vector>
 
 #include "core/framework.h"
+#include "runtime/batch_evaluator.h"
+#include "runtime/sweep.h"
 #include "trace/table.h"
 
 int main() {
-  using namespace xr::core;
-  const XrPerformanceModel model;
+  using namespace xr;
+  using core::InferencePlacement;
 
   const std::vector<double> throughputs = {5, 10, 20, 40, 80};   // Mbps
   const std::vector<double> sizes = {300, 400, 500, 600, 700};
 
+  // Local latency is throughput-independent: one size axis. Remote needs
+  // the full throughput (outer) x size (inner) grid.
+  const runtime::BatchEvaluator engine;
+  const auto local_run =
+      engine.run(runtime::SweepSpec(core::make_local_scenario(500, 2.0))
+                     .frame_sizes(sizes)
+                     .build());
+  const auto remote_grid =
+      runtime::SweepSpec(core::make_remote_scenario(500, 2.0))
+          .network_throughputs_mbps(throughputs)
+          .frame_sizes(sizes)
+          .build();
+  const auto remote_run = engine.run(remote_grid);
+
   std::vector<std::string> header{"throughput \\ size"};
   for (double s : sizes) header.push_back(xr::trace::fixed(s, 0));
   xr::trace::TablePrinter t(std::move(header));
-  t.set_align(0, xr::trace::Align::kLeft);
+  t.set_align(0, trace::Align::kLeft);
 
+  std::size_t i = 0;
   for (double mbps : throughputs) {
-    std::vector<std::string> row{xr::trace::fixed(mbps, 0) + " Mbps"};
-    for (double size : sizes) {
-      ScenarioConfig local = make_local_scenario(size, 2.0);
-      ScenarioConfig remote = make_remote_scenario(size, 2.0);
-      remote.network.throughput_mbps = mbps;
-      const double l_local = model.evaluate(local).latency.total;
-      const double l_remote = model.evaluate(remote).latency.total;
+    std::vector<std::string> row{trace::fixed(mbps, 0) + " Mbps"};
+    for (std::size_t k = 0; k < sizes.size(); ++k, ++i) {
+      const double l_local = local_run.latency_ms(k);
+      const double l_remote = remote_run.latency_ms(i);
       char cell[64];
       std::snprintf(cell, sizeof cell, "%s (%+.0f ms)",
                     l_local <= l_remote ? "local" : "REMOTE",
@@ -42,17 +57,18 @@ int main() {
     t.add_row(std::move(row));
   }
   std::printf("%s",
-              xr::trace::heading("Offload decision map: winner "
-                                 "(remote minus local latency)")
+              trace::heading("Offload decision map: winner "
+                             "(remote minus local latency)")
                   .c_str());
   std::printf("%s", t.render().c_str());
 
   // Energy view at one size.
   std::printf("\nenergy at 500 px: ");
-  ScenarioConfig local = make_local_scenario(500, 2.0);
-  ScenarioConfig remote = make_remote_scenario(500, 2.0);
-  const double e_local = model.evaluate(local).energy.total;
-  const double e_remote = model.evaluate(remote).energy.total;
+  const core::XrPerformanceModel& model = engine.model();
+  const double e_local =
+      model.evaluate(core::make_local_scenario(500, 2.0)).energy.total;
+  const double e_remote =
+      model.evaluate(core::make_remote_scenario(500, 2.0)).energy.total;
   std::printf("local %.1f mJ vs remote %.1f mJ -> %s saves energy\n",
               e_local, e_remote, e_local < e_remote ? "local" : "remote");
   return 0;

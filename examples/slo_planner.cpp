@@ -37,19 +37,19 @@ int main() {
   std::printf("candidates evaluated : %zu\n", plan.candidates_evaluated);
   std::printf("best latency  : %s -> %.1f ms / %.1f mJ\n",
               plan.best_latency.decision.to_string().c_str(),
-              plan.best_latency.latency_ms, plan.best_latency.energy_mj);
+              plan.best_latency.latency_ms(), plan.best_latency.energy_mj());
   std::printf("best energy   : %s -> %.1f ms / %.1f mJ\n",
               plan.best_energy.decision.to_string().c_str(),
-              plan.best_energy.latency_ms, plan.best_energy.energy_mj);
+              plan.best_energy.latency_ms(), plan.best_energy.energy_mj());
   std::printf("best weighted : %s -> %.1f ms / %.1f mJ\n\n",
               plan.best_weighted.decision.to_string().c_str(),
-              plan.best_weighted.latency_ms, plan.best_weighted.energy_mj);
+              plan.best_weighted.latency_ms(), plan.best_weighted.energy_mj());
 
   trace::TablePrinter pareto({"Pareto point", "latency (ms)", "energy (mJ)"});
   pareto.set_align(0, trace::Align::kLeft);
   for (const auto& p : plan.pareto)
-    pareto.add_row({p.decision.to_string(), trace::fixed(p.latency_ms, 1),
-                    trace::fixed(p.energy_mj, 1)});
+    pareto.add_row({p.decision.to_string(), trace::fixed(p.latency_ms(), 1),
+                    trace::fixed(p.energy_mj(), 1)});
   std::printf("%s\n", pareto.render().c_str());
 
   // 3. Re-assess the chosen deployment against the SLOs.

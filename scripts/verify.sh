@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build+tests, a warnings-clean (-Werror) library
+# build, and the batch-runtime determinism demo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure, build, ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== warnings-clean library build (-Wall -Wextra -Werror) =="
+cmake -B build-werror -S . -DXR_WERROR=ON -DXR_BUILD_TESTS=OFF \
+      -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF
+cmake --build build-werror -j
+
+echo "== batch runtime: serial vs parallel determinism =="
+./build/batch_sweep > /dev/null
+(cd build && ./fig4f_roi > /dev/null && cat BENCH_fig4f_roi.json)
+
+echo "verify.sh: OK"

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/batch_evaluator.h"
+#include "runtime/sweep.h"
+
 namespace xr::core {
 
 ScenarioConfig OffloadDecision::apply(ScenarioConfig base) const {
@@ -40,8 +43,8 @@ std::string OffloadDecision::to_string() const {
 
 double EvaluatedDecision::objective(double alpha, double latency_scale,
                                     double energy_scale) const {
-  return alpha * latency_ms / latency_scale +
-         (1.0 - alpha) * energy_mj / energy_scale;
+  return alpha * latency_ms() / latency_scale +
+         (1.0 - alpha) * energy_mj() / energy_scale;
 }
 
 std::vector<double> balance_edge_split(
@@ -60,6 +63,76 @@ std::vector<double> balance_edge_split(
   return shares;
 }
 
+namespace {
+
+/// One placement family of the search space evaluated as a batch: the grid,
+/// its batch result, and the decision each grid coordinate encodes.
+struct EvaluatedGrid {
+  runtime::ScenarioGrid grid;
+  runtime::BatchResult batch;
+  std::function<OffloadDecision(const std::vector<std::size_t>&)>
+      decision_from_coords;
+
+  [[nodiscard]] EvaluatedDecision candidate(std::size_t i) const {
+    return EvaluatedDecision{decision_from_coords(grid.coords(i)),
+                             batch.reports[i]};
+  }
+};
+
+/// The local half of the search space: ω_c × on-device CNN.
+std::optional<EvaluatedGrid> evaluate_local(
+    const ScenarioConfig& base, const OffloadSearchSpace& space,
+    const runtime::BatchEvaluator& evaluator) {
+  if (!space.include_local || space.local_cnns.empty()) return std::nullopt;
+  OffloadDecision seed;
+  seed.placement = InferencePlacement::kLocal;
+  auto grid = runtime::SweepSpec(seed.apply(base))
+                  .omega_c(space.omega_c_grid)
+                  .local_cnns(space.local_cnns)
+                  .build();
+  auto batch = evaluator.run(grid);
+  const auto decision = [&space](const std::vector<std::size_t>& c) {
+    OffloadDecision d;
+    d.placement = InferencePlacement::kLocal;
+    d.omega_c = space.omega_c_grid[c[0]];
+    d.local_cnn = space.local_cnns[c[1]];
+    return d;
+  };
+  return EvaluatedGrid{std::move(grid), std::move(batch), decision};
+}
+
+/// The remote half: ω_c × edge CNN × edge count × codec bitrate.
+std::optional<EvaluatedGrid> evaluate_remote(
+    const ScenarioConfig& base, const OffloadSearchSpace& space,
+    const runtime::BatchEvaluator& evaluator) {
+  if (!space.include_remote || space.edge_cnns.empty() ||
+      space.edge_counts.empty() || space.codec_bitrates_mbps.empty())
+    return std::nullopt;
+  OffloadDecision seed;
+  seed.placement = InferencePlacement::kRemote;
+  seed.codec = base.codec;
+  auto grid = runtime::SweepSpec(seed.apply(base))
+                  .omega_c(space.omega_c_grid)
+                  .edge_cnns(space.edge_cnns)
+                  .edge_counts(space.edge_counts)
+                  .codec_bitrates_mbps(space.codec_bitrates_mbps)
+                  .build();
+  auto batch = evaluator.run(grid);
+  const auto decision = [&space, &base](const std::vector<std::size_t>& c) {
+    OffloadDecision d;
+    d.placement = InferencePlacement::kRemote;
+    d.omega_c = space.omega_c_grid[c[0]];
+    d.edge_cnn = space.edge_cnns[c[1]];
+    d.edge_count = space.edge_counts[c[2]];
+    d.codec = base.codec;
+    d.codec.bitrate_mbps = space.codec_bitrates_mbps[c[3]];
+    return d;
+  };
+  return EvaluatedGrid{std::move(grid), std::move(batch), decision};
+}
+
+}  // namespace
+
 OffloadPlan plan_offload(const ScenarioConfig& base,
                          const OffloadSearchSpace& space, double alpha,
                          const XrPerformanceModel& model) {
@@ -70,75 +143,57 @@ OffloadPlan plan_offload(const ScenarioConfig& base,
   if (space.omega_c_grid.empty())
     throw std::invalid_argument("plan_offload: empty omega_c grid");
 
-  std::vector<EvaluatedDecision> evaluated;
-  const auto consider = [&](const OffloadDecision& d) {
-    const auto scenario = d.apply(base);
-    const auto report = model.evaluate(scenario);
-    evaluated.push_back(
-        EvaluatedDecision{d, report.latency.total, report.energy.total});
-  };
-
-  for (double wc : space.omega_c_grid) {
-    if (space.include_local) {
-      for (const auto& cnn : space.local_cnns) {
-        OffloadDecision d;
-        d.placement = InferencePlacement::kLocal;
-        d.omega_c = wc;
-        d.local_cnn = cnn;
-        consider(d);
-      }
-    }
-    if (space.include_remote) {
-      for (const auto& cnn : space.edge_cnns)
-        for (int count : space.edge_counts)
-          for (double bitrate : space.codec_bitrates_mbps) {
-            OffloadDecision d;
-            d.placement = InferencePlacement::kRemote;
-            d.omega_c = wc;
-            d.edge_cnn = cnn;
-            d.edge_count = count;
-            d.codec = base.codec;
-            d.codec.bitrate_mbps = bitrate;
-            consider(d);
-          }
-    }
-  }
-  if (evaluated.empty())
+  const runtime::BatchEvaluator evaluator(model);
+  std::vector<EvaluatedGrid> halves;
+  if (auto local = evaluate_local(base, space, evaluator))
+    halves.push_back(std::move(*local));
+  if (auto remote = evaluate_remote(base, space, evaluator))
+    halves.push_back(std::move(*remote));
+  if (halves.empty())
     throw std::invalid_argument("plan_offload: search space produced no "
                                 "candidates");
 
+  // The plan is a thin reduction over the batch results.
   OffloadPlan plan;
-  plan.candidates_evaluated = evaluated.size();
-  plan.best_latency = *std::min_element(
-      evaluated.begin(), evaluated.end(),
-      [](const auto& a, const auto& b) { return a.latency_ms < b.latency_ms; });
-  plan.best_energy = *std::min_element(
-      evaluated.begin(), evaluated.end(),
-      [](const auto& a, const auto& b) { return a.energy_mj < b.energy_mj; });
+  std::vector<EvaluatedDecision> frontier_pool;
+  bool first = true;
+  for (const auto& half : halves) {
+    plan.candidates_evaluated += half.grid.size();
+    const auto best_l = half.candidate(half.batch.best_latency_index);
+    const auto best_e = half.candidate(half.batch.best_energy_index);
+    if (first || best_l.latency_ms() < plan.best_latency.latency_ms())
+      plan.best_latency = best_l;
+    if (first || best_e.energy_mj() < plan.best_energy.energy_mj())
+      plan.best_energy = best_e;
+    // Merging per-half frontiers is lossless: the union's frontier is a
+    // subset of the union of the halves' frontiers.
+    for (std::size_t i : half.batch.pareto_indices)
+      frontier_pool.push_back(half.candidate(i));
+    first = false;
+  }
+  std::sort(frontier_pool.begin(), frontier_pool.end(),
+            [](const auto& a, const auto& b) {
+              if (a.latency_ms() != b.latency_ms())
+                return a.latency_ms() < b.latency_ms();
+              return a.energy_mj() < b.energy_mj();
+            });
+  double best_energy_so_far = std::numeric_limits<double>::infinity();
+  for (const auto& e : frontier_pool) {
+    if (e.energy_mj() < best_energy_so_far) {
+      plan.pareto.push_back(e);
+      best_energy_so_far = e.energy_mj();
+    }
+  }
 
-  const double l_scale = std::max(plan.best_latency.latency_ms, 1e-9);
-  const double e_scale = std::max(plan.best_energy.energy_mj, 1e-9);
+  // The weighted optimum lies on the Pareto frontier: the objective is
+  // non-decreasing in both metrics, so a dominated candidate never wins.
+  const double l_scale = std::max(plan.best_latency.latency_ms(), 1e-9);
+  const double e_scale = std::max(plan.best_energy.energy_mj(), 1e-9);
   plan.best_weighted = *std::min_element(
-      evaluated.begin(), evaluated.end(),
-      [&](const auto& a, const auto& b) {
+      plan.pareto.begin(), plan.pareto.end(), [&](const auto& a, const auto& b) {
         return a.objective(alpha, l_scale, e_scale) <
                b.objective(alpha, l_scale, e_scale);
       });
-
-  // Pareto frontier: sort by latency, keep strictly improving energy.
-  std::sort(evaluated.begin(), evaluated.end(),
-            [](const auto& a, const auto& b) {
-              if (a.latency_ms != b.latency_ms)
-                return a.latency_ms < b.latency_ms;
-              return a.energy_mj < b.energy_mj;
-            });
-  double best_energy_so_far = std::numeric_limits<double>::infinity();
-  for (const auto& e : evaluated) {
-    if (e.energy_mj < best_energy_so_far) {
-      plan.pareto.push_back(e);
-      best_energy_so_far = e.energy_mj;
-    }
-  }
   return plan;
 }
 

@@ -32,11 +32,19 @@ struct OffloadDecision {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Evaluated candidate.
+/// Evaluated candidate: the decision plus the full performance analysis of
+/// the scenario it produces (latency, energy, and per-sensor AoI/RoI), so
+/// downstream planning can inspect any metric without re-evaluating.
 struct EvaluatedDecision {
   OffloadDecision decision;
-  double latency_ms = 0;
-  double energy_mj = 0;
+  PerformanceReport report;
+
+  [[nodiscard]] double latency_ms() const noexcept {
+    return report.latency.total;
+  }
+  [[nodiscard]] double energy_mj() const noexcept {
+    return report.energy.total;
+  }
 
   /// Weighted objective: alpha·latency + (1−alpha)·energy, both normalized
   /// by the supplied scales.
@@ -70,6 +78,10 @@ struct OffloadPlan {
 /// latency against energy in the combined objective (normalized by the
 /// best-found values of each metric). Throws std::invalid_argument for an
 /// empty search space or alpha outside [0, 1].
+///
+/// The candidate grid is expressed as runtime::SweepSpec axes and evaluated
+/// through runtime::BatchEvaluator (parallel across cores, deterministic
+/// results); this function is a thin reduction over that batch run.
 [[nodiscard]] OffloadPlan plan_offload(const ScenarioConfig& base,
                                        const OffloadSearchSpace& space = {},
                                        double alpha = 0.5,

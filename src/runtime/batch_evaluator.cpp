@@ -1,0 +1,74 @@
+#include "runtime/batch_evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
+
+namespace xr::runtime {
+
+BatchEvaluator::BatchEvaluator(core::XrPerformanceModel model,
+                               BatchOptions options)
+    : model_(std::move(model)) {
+  if (options.threads != 0)
+    own_pool_ = std::make_unique<ThreadPool>(options.threads);
+}
+
+BatchResult BatchEvaluator::run(const ScenarioGrid& grid) const {
+  BatchResult out;
+  const std::size_t n = grid.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  out.reports = pool().map(
+      n, [&](std::size_t i) { return model_.evaluate(grid.at(i)); });
+  const auto t1 = std::chrono::steady_clock::now();
+  out.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.stats.threads = pool().size();
+  out.stats.evaluated = n;
+  out.stats.candidates_per_sec =
+      out.stats.wall_ms > 0 ? 1000.0 * double(n) / out.stats.wall_ms : 0.0;
+
+  // Reductions run over the index-ordered reports, so they are independent
+  // of how the parallel pass scheduled the evaluations.
+  out.min_latency_ms = std::numeric_limits<double>::infinity();
+  out.max_latency_ms = -std::numeric_limits<double>::infinity();
+  out.min_energy_mj = std::numeric_limits<double>::infinity();
+  out.max_energy_mj = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double l = out.reports[i].latency.total;
+    const double e = out.reports[i].energy.total;
+    if (l < out.min_latency_ms) {
+      out.min_latency_ms = l;
+      out.best_latency_index = i;
+    }
+    out.max_latency_ms = std::max(out.max_latency_ms, l);
+    if (e < out.min_energy_mj) {
+      out.min_energy_mj = e;
+      out.best_energy_index = i;
+    }
+    out.max_energy_mj = std::max(out.max_energy_mj, e);
+  }
+
+  // Pareto frontier: sort indices by (latency, energy), keep strictly
+  // improving energy — same construction the optimizer historically used.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double la = out.reports[a].latency.total;
+                     const double lb = out.reports[b].latency.total;
+                     if (la != lb) return la < lb;
+                     return out.reports[a].energy.total <
+                            out.reports[b].energy.total;
+                   });
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i : order) {
+    if (out.reports[i].energy.total < best_energy) {
+      out.pareto_indices.push_back(i);
+      best_energy = out.reports[i].energy.total;
+    }
+  }
+  return out;
+}
+
+}  // namespace xr::runtime

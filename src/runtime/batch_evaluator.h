@@ -1,0 +1,96 @@
+// Parallel batch evaluation of scenario grids.
+//
+// BatchEvaluator is the one sweep engine under the optimizer, the testbed
+// experiment runners, and the bench binaries: it evaluates every scenario of
+// a ScenarioGrid against an XrPerformanceModel on a ThreadPool, in
+// contiguous chunks with deterministic index-aligned results, and reduces
+// the batch to the summaries every caller wants (per-metric optima, ranges,
+// the latency/energy Pareto frontier, throughput statistics).
+//
+// Because the models are pure functions of ScenarioConfig, the parallel
+// path is bitwise identical to the serial loop — asserted by
+// tests/runtime/test_batch_evaluator.cpp — so thread count is purely a
+// throughput knob.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+
+namespace xr::runtime {
+
+struct BatchOptions {
+  /// Worker count: 0 uses the process-wide shared pool; 1 forces the strict
+  /// serial reference path; N > 1 creates a dedicated pool of N workers.
+  std::size_t threads = 0;
+};
+
+/// Timing of one batch run.
+struct BatchStats {
+  double wall_ms = 0;
+  double candidates_per_sec = 0;
+  std::size_t threads = 1;
+  std::size_t evaluated = 0;
+};
+
+/// Index-aligned reports plus streaming reductions over one grid.
+struct BatchResult {
+  std::vector<core::PerformanceReport> reports;  ///< reports[i] ↔ grid.at(i)
+
+  std::size_t best_latency_index = 0;  ///< argmin of total latency.
+  std::size_t best_energy_index = 0;   ///< argmin of total energy.
+  double min_latency_ms = 0, max_latency_ms = 0;
+  double min_energy_mj = 0, max_energy_mj = 0;
+
+  /// Latency-ascending, energy-strictly-descending frontier (grid indices);
+  /// no member dominates another on (latency, energy).
+  std::vector<std::size_t> pareto_indices;
+
+  BatchStats stats;
+
+  [[nodiscard]] double latency_ms(std::size_t i) const {
+    return reports.at(i).latency.total;
+  }
+  [[nodiscard]] double energy_mj(std::size_t i) const {
+    return reports.at(i).energy.total;
+  }
+};
+
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(core::XrPerformanceModel model = {},
+                          BatchOptions options = {});
+
+  /// Evaluate the whole grid; throws whatever the model throws on the first
+  /// invalid scenario.
+  [[nodiscard]] BatchResult run(const ScenarioGrid& grid) const;
+
+  /// Evaluate an arbitrary pure function of each grid scenario in parallel,
+  /// results indexed by grid position. Used by the testbed runners to fan
+  /// out ground-truth simulation and model variants with the same engine.
+  template <typename F>
+  auto map(const ScenarioGrid& grid, F&& f) const
+      -> std::vector<std::decay_t<decltype(f(grid.at(0)))>> {
+    return pool().map(grid.size(),
+                      [&](std::size_t i) { return f(grid.at(i)); });
+  }
+
+  [[nodiscard]] const core::XrPerformanceModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept { return pool().size(); }
+
+ private:
+  [[nodiscard]] ThreadPool& pool() const noexcept {
+    return own_pool_ ? *own_pool_ : ThreadPool::shared();
+  }
+
+  core::XrPerformanceModel model_;
+  std::unique_ptr<ThreadPool> own_pool_;  ///< null → shared pool.
+};
+
+}  // namespace xr::runtime

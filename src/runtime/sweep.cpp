@@ -1,0 +1,176 @@
+#include "runtime/sweep.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace xr::runtime {
+
+namespace {
+
+core::EdgeConfig edge_template(const core::ScenarioConfig& s) {
+  return s.inference.edges.empty() ? core::EdgeConfig{}
+                                   : s.inference.edges.front();
+}
+
+void set_edge_count(core::ScenarioConfig& s, int count) {
+  if (count < 1)
+    throw std::invalid_argument("SweepSpec: edge count must be >= 1");
+  const core::EdgeConfig tmpl = edge_template(s);
+  s.inference.edges.assign(std::size_t(count), tmpl);
+  for (std::size_t e = 0; e < s.inference.edges.size(); ++e) {
+    s.inference.edges[e].omega_edge = 1.0 / double(count);
+    s.inference.edges[e].name = "edge-" + std::to_string(e);
+  }
+}
+
+}  // namespace
+
+std::string SweepSpec::value_label(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string SweepSpec::value_label(int v) { return std::to_string(v); }
+
+std::string SweepSpec::value_label(core::InferencePlacement p) {
+  return p == core::InferencePlacement::kLocal ? "local" : "remote";
+}
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<AxisPoint> points) {
+  if (points.empty())
+    throw std::invalid_argument("SweepSpec: axis '" + name + "' is empty");
+  for (const auto& existing : axes_)
+    if (existing.name == name)
+      throw std::invalid_argument("SweepSpec: duplicate axis '" + name + "'");
+  axes_.push_back(SweepAxis{std::move(name), std::move(points)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::frame_sizes(const std::vector<double>& sizes) {
+  return axis<double>("frame_size", sizes,
+                      [](core::ScenarioConfig& s, const double& size) {
+                        s.frame.frame_size = size;
+                        s.frame.scene_size = size;
+                        s.frame.converted_size = size * 0.6;
+                      });
+}
+
+SweepSpec& SweepSpec::cpu_clocks_ghz(const std::vector<double>& clocks) {
+  return axis<double>("cpu_ghz", clocks,
+                      [](core::ScenarioConfig& s, const double& ghz) {
+                        s.client.cpu_ghz = ghz;
+                      });
+}
+
+SweepSpec& SweepSpec::omega_c(const std::vector<double>& shares) {
+  return axis<double>("omega_c", shares,
+                      [](core::ScenarioConfig& s, const double& wc) {
+                        s.client.omega_c = wc;
+                      });
+}
+
+SweepSpec& SweepSpec::placements(
+    const std::vector<core::InferencePlacement>& p) {
+  return axis<core::InferencePlacement>(
+      "placement", p,
+      [](core::ScenarioConfig& s, const core::InferencePlacement& where) {
+        s.inference.placement = where;
+        if (where == core::InferencePlacement::kLocal) {
+          s.inference.omega_client = 1.0;
+          s.inference.edges.clear();
+        } else {
+          s.inference.omega_client = 0.0;
+          if (s.inference.edges.empty()) set_edge_count(s, 1);
+        }
+      });
+}
+
+SweepSpec& SweepSpec::local_cnns(const std::vector<std::string>& names) {
+  return axis<std::string>("local_cnn", names,
+                           [](core::ScenarioConfig& s, const std::string& n) {
+                             s.inference.local_cnn_name = n;
+                           });
+}
+
+SweepSpec& SweepSpec::edge_cnns(const std::vector<std::string>& names) {
+  return axis<std::string>("edge_cnn", names,
+                           [](core::ScenarioConfig& s, const std::string& n) {
+                             for (auto& e : s.inference.edges) e.cnn_name = n;
+                           });
+}
+
+SweepSpec& SweepSpec::edge_counts(const std::vector<int>& counts) {
+  return axis<int>("edge_count", counts,
+                   [](core::ScenarioConfig& s, const int& count) {
+                     set_edge_count(s, count);
+                   });
+}
+
+SweepSpec& SweepSpec::codec_bitrates_mbps(const std::vector<double>& mbps) {
+  return axis<double>("codec_mbps", mbps,
+                      [](core::ScenarioConfig& s, const double& rate) {
+                        s.codec.bitrate_mbps = rate;
+                      });
+}
+
+SweepSpec& SweepSpec::network_throughputs_mbps(
+    const std::vector<double>& mbps) {
+  return axis<double>("throughput_mbps", mbps,
+                      [](core::ScenarioConfig& s, const double& rate) {
+                        s.network.throughput_mbps = rate;
+                      });
+}
+
+ScenarioGrid SweepSpec::build() const { return ScenarioGrid(base_, axes_); }
+
+ScenarioGrid::ScenarioGrid(core::ScenarioConfig base,
+                           std::vector<SweepAxis> axes)
+    : base_(std::move(base)), axes_(std::move(axes)) {
+  for (const auto& a : axes_) size_ *= a.points.size();
+}
+
+std::vector<std::size_t> ScenarioGrid::coords(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("ScenarioGrid: index out of range");
+  std::vector<std::size_t> c(axes_.size(), 0);
+  // Mixed-radix decode, last axis fastest (axis 0 is the outermost loop).
+  for (std::size_t k = axes_.size(); k-- > 0;) {
+    const std::size_t radix = axes_[k].points.size();
+    c[k] = i % radix;
+    i /= radix;
+  }
+  return c;
+}
+
+std::size_t ScenarioGrid::index_of(
+    const std::vector<std::size_t>& coords) const {
+  if (coords.size() != axes_.size())
+    throw std::invalid_argument("ScenarioGrid: coords rank mismatch");
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < axes_.size(); ++k) {
+    if (coords[k] >= axes_[k].points.size())
+      throw std::out_of_range("ScenarioGrid: coord out of range");
+    i = i * axes_[k].points.size() + coords[k];
+  }
+  return i;
+}
+
+core::ScenarioConfig ScenarioGrid::at(std::size_t i) const {
+  const auto c = coords(i);
+  core::ScenarioConfig s = base_;
+  for (std::size_t k = 0; k < axes_.size(); ++k)
+    axes_[k].points[c[k]].apply(s);
+  return s;
+}
+
+std::string ScenarioGrid::label(std::size_t i) const {
+  const auto c = coords(i);
+  std::string out;
+  for (std::size_t k = 0; k < axes_.size(); ++k) {
+    if (k) out += ", ";
+    out += axes_[k].points[c[k]].label;
+  }
+  return out;
+}
+
+}  // namespace xr::runtime

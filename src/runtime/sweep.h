@@ -1,0 +1,135 @@
+// Declarative scenario-space sweeps.
+//
+// Every figure, optimizer search, and capacity study in this repo is "take a
+// base ScenarioConfig and vary a few knobs over a grid" (the ω terms of
+// Eq. 1, the Fig. 4/5 frame-size × CPU-clock axes, codec operating points,
+// edge-server counts). SweepSpec captures that pattern declaratively: a base
+// scenario plus named axes, each axis a list of labelled point mutations.
+// build() produces a ScenarioGrid — the lazy cartesian product — which
+// materializes ScenarioConfigs on demand instead of nesting for-loops at
+// every call-site.
+//
+// Enumeration order matches the equivalent nested loops with the FIRST
+// declared axis outermost, so refactored call-sites keep their historical
+// iteration order. Axis mutations are applied in declaration order and are
+// written to be order-independent where they touch the same field group
+// (edge count vs. edge CNN).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace xr::runtime {
+
+/// One labelled point on an axis: a mutation of the base scenario.
+struct AxisPoint {
+  std::string label;
+  std::function<void(core::ScenarioConfig&)> apply;
+};
+
+/// One named sweep dimension.
+struct SweepAxis {
+  std::string name;
+  std::vector<AxisPoint> points;
+};
+
+class ScenarioGrid;
+
+class SweepSpec {
+ public:
+  explicit SweepSpec(core::ScenarioConfig base) : base_(std::move(base)) {}
+
+  /// Generic axis from pre-built points. Throws std::invalid_argument on an
+  /// empty axis or a duplicate axis name.
+  SweepSpec& axis(std::string name, std::vector<AxisPoint> points);
+
+  /// Typed axis: one setter applied per value, labelled "name=value".
+  template <typename T>
+  SweepSpec& axis(const std::string& name, const std::vector<T>& values,
+                  std::function<void(core::ScenarioConfig&, const T&)> set) {
+    std::vector<AxisPoint> points;
+    points.reserve(values.size());
+    for (const T& v : values) {
+      points.push_back(AxisPoint{
+          name + "=" + value_label(v),
+          [set, v](core::ScenarioConfig& s) { set(s, v); }});
+    }
+    return axis(name, std::move(points));
+  }
+
+  // ---- the paper's deployment knobs -----------------------------------
+  /// Frame-size axis with the factory geometry of make_local_scenario /
+  /// make_remote_scenario: scene_size = s, converted_size = 0.6 s.
+  SweepSpec& frame_sizes(const std::vector<double>& sizes);
+  /// f_c axis.
+  SweepSpec& cpu_clocks_ghz(const std::vector<double>& clocks);
+  /// ω_c axis (CPU share of the device allocation).
+  SweepSpec& omega_c(const std::vector<double>& shares);
+  /// ω_loc axis. kLocal clears the edge set and keeps the task on-device;
+  /// kRemote moves the full task to the edge set (adding one default edge
+  /// if the scenario has none).
+  SweepSpec& placements(const std::vector<core::InferencePlacement>& p);
+  /// On-device CNN axis (local path).
+  SweepSpec& local_cnns(const std::vector<std::string>& names);
+  /// Edge CNN axis: applies to every edge server (remote path).
+  SweepSpec& edge_cnns(const std::vector<std::string>& names);
+  /// Parallel edge-server count axis (Eq. 15, even split).
+  SweepSpec& edge_counts(const std::vector<int>& counts);
+  /// H.264 bitrate axis (remote path).
+  SweepSpec& codec_bitrates_mbps(const std::vector<double>& mbps);
+  /// Wireless throughput axis r_w.
+  SweepSpec& network_throughputs_mbps(const std::vector<double>& mbps);
+
+  [[nodiscard]] ScenarioGrid build() const;
+
+ private:
+  static std::string value_label(double v);
+  static std::string value_label(int v);
+  static std::string value_label(const std::string& v) { return v; }
+  static std::string value_label(core::InferencePlacement p);
+
+  core::ScenarioConfig base_;
+  std::vector<SweepAxis> axes_;
+};
+
+/// The lazy cartesian product of a SweepSpec's axes over its base scenario.
+class ScenarioGrid {
+ public:
+  ScenarioGrid(core::ScenarioConfig base, std::vector<SweepAxis> axes);
+
+  /// Total number of scenarios (1 when the spec has no axes: just the base).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t axis_count() const noexcept {
+    return axes_.size();
+  }
+  [[nodiscard]] const SweepAxis& axis(std::size_t k) const {
+    return axes_.at(k);
+  }
+
+  /// Decode a flat index into per-axis point indices (axis 0 slowest).
+  [[nodiscard]] std::vector<std::size_t> coords(std::size_t i) const;
+  /// Inverse of coords().
+  [[nodiscard]] std::size_t index_of(
+      const std::vector<std::size_t>& coords) const;
+
+  /// Materialize scenario i: copy the base, apply one point per axis.
+  [[nodiscard]] core::ScenarioConfig at(std::size_t i) const;
+
+  /// "axis0=v0, axis1=v1, ..." for scenario i.
+  [[nodiscard]] std::string label(std::size_t i) const;
+
+  [[nodiscard]] const core::ScenarioConfig& base() const noexcept {
+    return base_;
+  }
+
+ private:
+  core::ScenarioConfig base_;
+  std::vector<SweepAxis> axes_;
+  std::size_t size_ = 1;
+};
+
+}  // namespace xr::runtime

@@ -1,0 +1,150 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace xr::runtime {
+
+struct ThreadPool::State {
+  std::mutex mtx;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> jobs;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : state_(std::make_unique<State>()) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads_ = threads;
+  // A 1-thread pool runs everything inline: no workers, no queue traffic.
+  if (threads_ == 1) return;
+  workers_.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mtx);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (threads_ == 1) {  // inline execution preserves strict ordering
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mtx);
+    if (state_->stop)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    state_->jobs.push_back(std::move(job));
+  }
+  state_->cv.notify_one();
+}
+
+namespace {
+/// True while the current thread is executing a pool job. Guards against
+/// nested parallel_for deadlock: a worker that blocked waiting for helper
+/// jobs it enqueued behind itself could never see them scheduled.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(state_->mtx);
+      state_->cv.wait(lock,
+                      [&] { return state_->stop || !state_->jobs.empty(); });
+      if (state_->jobs.empty()) return;  // stop requested, queue drained
+      job = std::move(state_->jobs.front());
+      state_->jobs.pop_front();
+    }
+    job();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for: a chunked work-stealing index range.
+struct LoopContext {
+  std::function<void(std::size_t)> f;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> live_runners{0};
+
+  std::mutex mtx;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  void run() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + chunk, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) f(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!error) error = std::current_exception();
+        next.store(n);  // abandon unclaimed chunks
+        break;
+      }
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mtx);
+      last = --live_runners == 0;
+    }
+    if (last) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  // Serial inline path: 1-thread pools, single-index loops, and calls made
+  // from inside a pool job (nested parallelism would deadlock — the caller
+  // would wait on helper jobs queued behind its own).
+  if (threads_ == 1 || n == 1 || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+
+  auto ctx = std::make_shared<LoopContext>();
+  ctx->f = f;  // copy: helpers may outlive the caller's reference
+  ctx->n = n;
+  // ~8 chunks per runner balances load without mutex-free contention on
+  // `next`; a chunk is a contiguous index range so results stay ordered.
+  ctx->chunk = std::max<std::size_t>(1, n / (threads_ * 8));
+
+  const std::size_t helpers = std::min(threads_, n - 1);
+  ctx->live_runners.store(helpers + 1);  // + the calling thread
+  for (std::size_t t = 0; t < helpers; ++t) enqueue([ctx] { ctx->run(); });
+  ctx->run();
+
+  std::unique_lock<std::mutex> lock(ctx->mtx);
+  ctx->done_cv.wait(lock, [&] { return ctx->live_runners.load() == 0; });
+  if (ctx->error) std::rethrow_exception(ctx->error);
+}
+
+}  // namespace xr::runtime

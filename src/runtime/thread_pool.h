@@ -1,0 +1,90 @@
+// Fixed-size worker pool for embarrassingly-parallel model evaluation.
+//
+// The analytical models (latency §IV, energy §V, AoI §VI) are pure functions
+// of a ScenarioConfig, so scenario sweeps parallelize trivially. ThreadPool
+// provides the two primitives the batch runtime needs:
+//
+//   * submit(fn)        — run one task asynchronously, returns a future;
+//   * parallel_for(n,f) — run f(0..n-1), blocking until every index is done.
+//
+// Guarantees (see DESIGN.md, "Runtime layer"):
+//   * deterministic results — parallel_for assigns disjoint index ranges, so
+//     callers writing result[i] from f(i) get the same vector regardless of
+//     thread count (each f(i) is evaluated exactly once, in isolation);
+//   * exception propagation — the first exception thrown by any f(i) is
+//     rethrown on the calling thread after the loop drains;
+//   * serial fallback — a pool of size 1 (or n == 1) runs inline on the
+//     calling thread, byte-for-byte the plain for-loop;
+//   * nesting safety — a parallel_for issued from inside a pool job runs
+//     inline on that worker instead of enqueueing (helper jobs queued
+//     behind a blocked worker could never run, i.e. deadlock).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace xr::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1). A pool of size 1 executes everything inline.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_; }
+
+  /// Run f(i) for every i in [0, n). Blocks until all indices complete.
+  /// Rethrows the first exception any f(i) raised.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& f);
+
+  /// Evaluate f(i) for i in [0, n) and return the results indexed by i.
+  /// R must be default-constructible and must not be bool (std::vector<bool>
+  /// packs bits, so concurrent out[i] writes would race) — return char/int
+  /// for predicates.
+  template <typename F>
+  auto map(std::size_t n, F&& f)
+      -> std::vector<std::decay_t<decltype(f(std::size_t{0}))>> {
+    using R = std::decay_t<decltype(f(std::size_t{0}))>;
+    static_assert(!std::is_same_v<R, bool>,
+                  "ThreadPool::map: bool results race in std::vector<bool>; "
+                  "return char or int instead");
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+  }
+
+  /// Run one task asynchronously.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// The default pool shared by the batch runtime (hardware-sized, created
+  /// on first use).
+  static ThreadPool& shared();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  struct State;
+  std::unique_ptr<State> state_;
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xr::runtime

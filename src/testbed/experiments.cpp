@@ -6,6 +6,8 @@
 
 #include "math/regression.h"
 #include "math/stats.h"
+#include "runtime/batch_evaluator.h"
+#include "runtime/sweep.h"
 #include "trace/table.h"
 #include "wireless/propagation.h"
 #include "xrsim/sensors.h"
@@ -21,18 +23,50 @@ core::ScenarioConfig sweep_scenario(core::InferencePlacement placement,
              : core::make_remote_scenario(frame_size, cpu_ghz);
 }
 
+/// The Fig. 4/5 sweep as a declarative grid: CPU clock (outer) × frame size
+/// (inner) over the factory scenario for `placement`. The SweepSpec frame-
+/// size axis applies the same geometry as the factories, so grid.at(i)
+/// equals sweep_scenario(placement, size, ghz) point for point.
+runtime::ScenarioGrid clock_size_grid(core::InferencePlacement placement,
+                                      const SweepConfig& cfg) {
+  return runtime::SweepSpec(sweep_scenario(placement, 500.0, 2.0))
+      .cpu_clocks_ghz(cfg.cpu_clocks_ghz)
+      .frame_sizes(cfg.frame_sizes)
+      .build();
+}
+
+/// Ground truth + proposed-model evaluation of one sweep point.
+struct PointMeasurement {
+  double gt_latency_ms = 0;
+  double gt_energy_mj = 0;
+  core::PerformanceReport report;
+};
+
+/// Fan the whole sweep out on the batch runtime: every point runs its own
+/// ground-truth simulation (seeded per cfg, independent of thread count)
+/// and one model evaluation.
+std::vector<PointMeasurement> measure_sweep(
+    const runtime::ScenarioGrid& grid, const SweepConfig& cfg,
+    std::uint64_t seed_offset = 0) {
+  const runtime::BatchEvaluator engine;
+  return engine.map(grid, [&](const core::ScenarioConfig& scenario) {
+    PointMeasurement m;
+    xrsim::GroundTruthConfig g;
+    g.frames = cfg.frames_per_point;
+    g.seed = cfg.seed + seed_offset;
+    const xrsim::GroundTruthSimulator sim(g);
+    const auto gt = sim.run(scenario);
+    m.gt_latency_ms = gt.mean_latency_ms();
+    m.gt_energy_mj = gt.mean_energy_mj();
+    m.report = engine.model().evaluate(scenario);
+    return m;
+  });
+}
+
 std::string clock_label(const char* prefix, double ghz) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%s (%.0f GHz)", prefix, ghz);
   return buf;
-}
-
-xrsim::GroundTruthConfig gt_config(const SweepConfig& cfg,
-                                   std::uint64_t seed_offset = 0) {
-  xrsim::GroundTruthConfig g;
-  g.frames = cfg.frames_per_point;
-  g.seed = cfg.seed + seed_offset;
-  return g;
 }
 
 ValidationResult run_validation(Metric metric,
@@ -46,21 +80,22 @@ ValidationResult run_validation(Metric metric,
           (local ? "local inference" : "remote inference"),
       "frame size (pixel^2)", latency ? "latency (ms)" : "energy (mJ)");
 
-  const core::XrPerformanceModel model;
+  // One batch run over the clock × size grid; the serial code below is a
+  // reduction over its index-ordered results.
+  const auto grid = clock_size_grid(placement, cfg);
+  const auto points = measure_sweep(grid, cfg);
+
   std::vector<double> gt_all, model_all;
+  std::size_t i = 0;
   for (double ghz : cfg.cpu_clocks_ghz) {
     auto& gt_series = out.series.series(clock_label("GT", ghz));
     auto& mod_series = out.series.series(clock_label("Proposed", ghz));
     std::vector<double> gt_clock, model_clock;
     for (double size : cfg.frame_sizes) {
-      const auto scenario = sweep_scenario(placement, size, ghz);
-      const xrsim::GroundTruthSimulator sim(gt_config(cfg));
-      const auto gt = sim.run(scenario);
-      const auto report = model.evaluate(scenario);
-      const double gt_value =
-          latency ? gt.mean_latency_ms() : gt.mean_energy_mj();
+      const PointMeasurement& m = points[i++];
+      const double gt_value = latency ? m.gt_latency_ms : m.gt_energy_mj;
       const double model_value =
-          latency ? report.latency.total : report.energy.total;
+          latency ? m.report.latency.total : m.report.energy.total;
       gt_series.add(size, gt_value);
       mod_series.add(size, model_value);
       gt_clock.push_back(gt_value);
@@ -150,18 +185,14 @@ struct GridPoint {
 
 std::vector<GridPoint> measure_grid(const SweepConfig& cfg,
                                     std::uint64_t seed_offset) {
+  const auto sweep =
+      clock_size_grid(core::InferencePlacement::kRemote, cfg);
+  const auto points = measure_sweep(sweep, cfg, seed_offset);
   std::vector<GridPoint> grid;
-  for (double ghz : cfg.cpu_clocks_ghz)
-    for (double size : cfg.frame_sizes) {
-      GridPoint p;
-      p.scenario =
-          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
-      const xrsim::GroundTruthSimulator sim(gt_config(cfg, seed_offset));
-      const auto gt = sim.run(p.scenario);
-      p.gt_latency_ms = gt.mean_latency_ms();
-      p.gt_energy_mj = gt.mean_energy_mj();
-      grid.push_back(std::move(p));
-    }
+  grid.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    grid.push_back(GridPoint{sweep.at(i), points[i].gt_latency_ms,
+                             points[i].gt_energy_mj});
   return grid;
 }
 
@@ -318,35 +349,47 @@ ComparisonResult run_model_comparison(Metric metric, const SweepConfig& cfg) {
           " (remote inference)",
       "frame size (pixel^2)", "normalized accuracy (%)");
 
-  const core::XrPerformanceModel model;
   auto& gt_series = out.accuracy.series("GT");
   auto& prop_series = out.accuracy.series("Proposed");
   auto& fact_series = out.accuracy.series("FACT");
   auto& leaf_series = out.accuracy.series("LEAF");
 
+  // Size (outer) × clock (inner) grid, batch-evaluated: every point carries
+  // its own ground-truth run plus all three predictors.
+  // Evaluation GT uses a different seed offset than the calibration grid.
+  const auto grid =
+      runtime::SweepSpec(
+          sweep_scenario(core::InferencePlacement::kRemote, 500.0, 2.0))
+          .frame_sizes(cfg.frame_sizes)
+          .cpu_clocks_ghz(cfg.cpu_clocks_ghz)
+          .build();
+  const auto points = measure_sweep(grid, cfg, /*seed_offset=*/0);
+  struct BaselinePrediction {
+    double fact = 0, leaf = 0;
+  };
+  const runtime::BatchEvaluator engine;
+  const auto baseline_points =
+      engine.map(grid, [&](const core::ScenarioConfig& scenario) {
+        BaselinePrediction p;
+        p.fact = latency ? baselines_fitted.fact.latency_ms(scenario)
+                         : baselines_fitted.fact.energy_mj(scenario);
+        p.leaf = latency ? baselines_fitted.leaf.latency_ms(scenario)
+                         : baselines_fitted.leaf.energy_mj(scenario);
+        return p;
+      });
+
   std::vector<double> acc_p, acc_f, acc_l;
+  std::size_t i = 0;
   for (double size : cfg.frame_sizes) {
     double err_p = 0, err_f = 0, err_l = 0;
-    for (double ghz : cfg.cpu_clocks_ghz) {
-      const auto scenario =
-          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
-      // Evaluation GT uses a different seed than the calibration grid.
-      const xrsim::GroundTruthSimulator sim(gt_config(cfg, /*offset=*/0));
-      const auto gt = sim.run(scenario);
-      const double truth =
-          latency ? gt.mean_latency_ms() : gt.mean_energy_mj();
-      const auto report = model.evaluate(scenario);
+    for (std::size_t k = 0; k < cfg.cpu_clocks_ghz.size(); ++k, ++i) {
+      const PointMeasurement& m = points[i];
+      const double truth = latency ? m.gt_latency_ms : m.gt_energy_mj;
       const double prop =
-          latency ? report.latency.total : report.energy.total;
-      const double fact = latency
-                              ? baselines_fitted.fact.latency_ms(scenario)
-                              : baselines_fitted.fact.energy_mj(scenario);
-      const double leaf = latency
-                              ? baselines_fitted.leaf.latency_ms(scenario)
-                              : baselines_fitted.leaf.energy_mj(scenario);
+          latency ? m.report.latency.total : m.report.energy.total;
       err_p += std::abs(prop - truth) / truth;
-      err_f += std::abs(fact - truth) / truth;
-      err_l += std::abs(leaf - truth) / truth;
+      err_f += std::abs(baseline_points[i].fact - truth) / truth;
+      err_l += std::abs(baseline_points[i].leaf - truth) / truth;
     }
     const double n = double(cfg.cpu_clocks_ghz.size());
     const double a_p = std::max(0.0, 100.0 - 100.0 * err_p / n);
@@ -429,27 +472,24 @@ double variant_latency_ms(ModelVariant v, const core::ScenarioConfig& s) {
 }
 
 std::vector<AblationRow> run_ablation(const SweepConfig& cfg) {
-  // GT over the remote sweep.
-  std::vector<core::ScenarioConfig> scenarios;
+  // GT over the remote sweep, batch-simulated on the runtime.
+  const auto grid = clock_size_grid(core::InferencePlacement::kRemote, cfg);
+  const auto points = measure_sweep(grid, cfg);
   std::vector<double> truth;
-  for (double ghz : cfg.cpu_clocks_ghz)
-    for (double size : cfg.frame_sizes) {
-      auto scenario =
-          sweep_scenario(core::InferencePlacement::kRemote, size, ghz);
-      const xrsim::GroundTruthSimulator sim(gt_config(cfg));
-      truth.push_back(sim.run(scenario).mean_latency_ms());
-      scenarios.push_back(std::move(scenario));
-    }
+  truth.reserve(points.size());
+  for (const auto& p : points) truth.push_back(p.gt_latency_ms);
 
+  // Each variant's predictions fan out over the same grid.
+  const runtime::BatchEvaluator engine;
   std::vector<AblationRow> rows;
   for (ModelVariant v :
        {ModelVariant::kFull, ModelVariant::kNoMemoryTerms,
         ModelVariant::kNoAllocationModel, ModelVariant::kNoCnnComplexity,
         ModelVariant::kFixedEncodeCost}) {
-    std::vector<double> predicted;
-    predicted.reserve(scenarios.size());
-    for (const auto& s : scenarios)
-      predicted.push_back(variant_latency_ms(v, s));
+    const auto predicted =
+        engine.map(grid, [v](const core::ScenarioConfig& s) {
+          return variant_latency_ms(v, s);
+        });
     rows.push_back(AblationRow{v, math::mape(truth, predicted)});
   }
   return rows;

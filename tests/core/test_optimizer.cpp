@@ -48,19 +48,19 @@ TEST(Optimizer, DecisionToStringDistinguishesPlacement) {
 TEST(Optimizer, PlanFindsOptimaOverGrid) {
   const auto plan = plan_offload(base_scenario());
   EXPECT_GT(plan.candidates_evaluated, 10u);
-  EXPECT_GT(plan.best_latency.latency_ms, 0);
+  EXPECT_GT(plan.best_latency.latency_ms(), 0);
   // By definition of the optima:
-  EXPECT_LE(plan.best_latency.latency_ms, plan.best_energy.latency_ms);
-  EXPECT_LE(plan.best_energy.energy_mj, plan.best_latency.energy_mj);
+  EXPECT_LE(plan.best_latency.latency_ms(), plan.best_energy.latency_ms());
+  EXPECT_LE(plan.best_energy.energy_mj(), plan.best_latency.energy_mj());
 }
 
 TEST(Optimizer, WeightedObjectiveInterpolates) {
   const auto pure_latency = plan_offload(base_scenario(), {}, 1.0);
   const auto pure_energy = plan_offload(base_scenario(), {}, 0.0);
-  EXPECT_NEAR(pure_latency.best_weighted.latency_ms,
-              pure_latency.best_latency.latency_ms, 1e-9);
-  EXPECT_NEAR(pure_energy.best_weighted.energy_mj,
-              pure_energy.best_energy.energy_mj, 1e-9);
+  EXPECT_NEAR(pure_latency.best_weighted.latency_ms(),
+              pure_latency.best_latency.latency_ms(), 1e-9);
+  EXPECT_NEAR(pure_energy.best_weighted.energy_mj(),
+              pure_energy.best_energy.energy_mj(), 1e-9);
 }
 
 TEST(Optimizer, ParetoFrontierIsNonDominated) {
@@ -68,13 +68,13 @@ TEST(Optimizer, ParetoFrontierIsNonDominated) {
   ASSERT_GE(plan.pareto.size(), 1u);
   for (std::size_t i = 1; i < plan.pareto.size(); ++i) {
     // Latency ascending, energy strictly descending along the frontier.
-    EXPECT_GE(plan.pareto[i].latency_ms, plan.pareto[i - 1].latency_ms);
-    EXPECT_LT(plan.pareto[i].energy_mj, plan.pareto[i - 1].energy_mj);
+    EXPECT_GE(plan.pareto[i].latency_ms(), plan.pareto[i - 1].latency_ms());
+    EXPECT_LT(plan.pareto[i].energy_mj(), plan.pareto[i - 1].energy_mj());
   }
   // Endpoints are the single-metric optima.
-  EXPECT_NEAR(plan.pareto.front().latency_ms,
-              plan.best_latency.latency_ms, 1e-9);
-  EXPECT_NEAR(plan.pareto.back().energy_mj, plan.best_energy.energy_mj,
+  EXPECT_NEAR(plan.pareto.front().latency_ms(),
+              plan.best_latency.latency_ms(), 1e-9);
+  EXPECT_NEAR(plan.pareto.back().energy_mj(), plan.best_energy.energy_mj(),
               1e-9);
 }
 

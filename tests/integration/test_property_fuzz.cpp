@@ -151,7 +151,7 @@ TEST(ScenarioFuzz, OptimizerNeverWorseThanBaseOnItsObjective) {
     const auto base_report = model.evaluate(base);
     // The grid may not contain the exact base point, but the optimum over
     // both placements can't be dramatically worse than base.
-    EXPECT_LT(plan.best_latency.latency_ms,
+    EXPECT_LT(plan.best_latency.latency_ms(),
               base_report.latency.total * 1.5);
   }
 }

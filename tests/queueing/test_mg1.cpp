@@ -36,7 +36,7 @@ TEST(MG1, ConstructionValidation) {
   EXPECT_THROW(MG1(0.0, 0.5, 1.0), std::invalid_argument);   // no arrivals
   EXPECT_THROW(MG1(1.0, -0.5, 1.0), std::invalid_argument);  // bad service
   EXPECT_THROW(MG1(1.0, 0.5, -1.0), std::invalid_argument);  // bad SCV
-  EXPECT_THROW(MG1::mm1(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)MG1::mm1(1.0, 0.0), std::invalid_argument);
 }
 
 TEST(MG1, LittlesLawHolds) {

@@ -1,0 +1,143 @@
+#include "runtime/batch_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/framework.h"
+
+namespace xr::runtime {
+namespace {
+
+/// The paper's Fig. 4 sweep (remote placement) as a grid.
+ScenarioGrid paper_grid() {
+  return SweepSpec(core::make_remote_scenario(500, 2.0))
+      .cpu_clocks_ghz({1.0, 2.0, 3.0})
+      .frame_sizes({300, 400, 500, 600, 700})
+      .codec_bitrates_mbps({2.0, 4.0, 8.0})
+      .build();
+}
+
+TEST(BatchEvaluator, ReportsAlignWithGridIndices) {
+  const auto grid = paper_grid();
+  const BatchEvaluator evaluator;
+  const auto result = evaluator.run(grid);
+  ASSERT_EQ(result.reports.size(), grid.size());
+  EXPECT_EQ(result.stats.evaluated, grid.size());
+  const core::XrPerformanceModel model;
+  // Spot-check a few indices against direct evaluation.
+  for (std::size_t i : {std::size_t{0}, grid.size() / 2, grid.size() - 1}) {
+    const auto direct = model.evaluate(grid.at(i));
+    EXPECT_EQ(result.reports[i].latency.total, direct.latency.total);
+    EXPECT_EQ(result.reports[i].energy.total, direct.energy.total);
+  }
+}
+
+TEST(BatchEvaluator, ParallelIsBitwiseIdenticalToSerialLoop) {
+  // The acceptance contract of the runtime refactor: for the paper sweep,
+  // the parallel path reproduces the plain serial for-loop exactly.
+  const auto grid = paper_grid();
+  const core::XrPerformanceModel model;
+  std::vector<core::PerformanceReport> serial;
+  serial.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    serial.push_back(model.evaluate(grid.at(i)));
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const BatchEvaluator evaluator({}, BatchOptions{threads});
+    const auto result = evaluator.run(grid);
+    ASSERT_EQ(result.reports.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // EXPECT_EQ on doubles: bitwise-equal values, not approximately equal.
+      EXPECT_EQ(result.reports[i].latency.total, serial[i].latency.total);
+      EXPECT_EQ(result.reports[i].energy.total, serial[i].energy.total);
+      EXPECT_EQ(result.reports[i].latency.rendering,
+                serial[i].latency.rendering);
+      EXPECT_EQ(result.reports[i].energy.base, serial[i].energy.base);
+      ASSERT_EQ(result.reports[i].sensors.size(), serial[i].sensors.size());
+      for (std::size_t m = 0; m < serial[i].sensors.size(); ++m)
+        EXPECT_EQ(result.reports[i].sensors[m].average_aoi_ms,
+                  serial[i].sensors[m].average_aoi_ms);
+    }
+  }
+}
+
+TEST(BatchEvaluator, ReductionsMatchDirectScans) {
+  const auto grid = paper_grid();
+  const BatchEvaluator evaluator;
+  const auto r = evaluator.run(grid);
+
+  std::size_t arg_lat = 0, arg_ene = 0;
+  for (std::size_t i = 0; i < r.reports.size(); ++i) {
+    if (r.reports[i].latency.total < r.reports[arg_lat].latency.total)
+      arg_lat = i;
+    if (r.reports[i].energy.total < r.reports[arg_ene].energy.total)
+      arg_ene = i;
+  }
+  EXPECT_EQ(r.best_latency_index, arg_lat);
+  EXPECT_EQ(r.best_energy_index, arg_ene);
+  EXPECT_EQ(r.min_latency_ms, r.reports[arg_lat].latency.total);
+  EXPECT_EQ(r.min_energy_mj, r.reports[arg_ene].energy.total);
+  EXPECT_GE(r.max_latency_ms, r.min_latency_ms);
+  EXPECT_GE(r.max_energy_mj, r.min_energy_mj);
+}
+
+TEST(BatchEvaluator, ParetoFrontierIsNonDominatedAndAnchored) {
+  const auto grid = paper_grid();
+  const BatchEvaluator evaluator;
+  const auto r = evaluator.run(grid);
+  ASSERT_GE(r.pareto_indices.size(), 1u);
+  for (std::size_t k = 1; k < r.pareto_indices.size(); ++k) {
+    EXPECT_GE(r.latency_ms(r.pareto_indices[k]),
+              r.latency_ms(r.pareto_indices[k - 1]));
+    EXPECT_LT(r.energy_mj(r.pareto_indices[k]),
+              r.energy_mj(r.pareto_indices[k - 1]));
+  }
+  EXPECT_EQ(r.latency_ms(r.pareto_indices.front()), r.min_latency_ms);
+  EXPECT_EQ(r.energy_mj(r.pareto_indices.back()), r.min_energy_mj);
+  // No evaluated point dominates any frontier point.
+  for (std::size_t p : r.pareto_indices)
+    for (std::size_t i = 0; i < r.reports.size(); ++i)
+      EXPECT_FALSE(r.latency_ms(i) < r.latency_ms(p) &&
+                   r.energy_mj(i) < r.energy_mj(p));
+}
+
+TEST(BatchEvaluator, StatsArePopulated) {
+  const auto r = BatchEvaluator().run(paper_grid());
+  EXPECT_GT(r.stats.candidates_per_sec, 0.0);
+  EXPECT_GE(r.stats.wall_ms, 0.0);
+  EXPECT_GE(r.stats.threads, 1u);
+}
+
+TEST(BatchEvaluator, MapRunsArbitraryFunctionsOverTheGrid) {
+  const auto grid = paper_grid();
+  const BatchEvaluator serial({}, BatchOptions{1});
+  const BatchEvaluator parallel({}, BatchOptions{4});
+  const auto f = [](const core::ScenarioConfig& s) {
+    return s.frame.frame_size * s.client.cpu_ghz + s.codec.bitrate_mbps;
+  };
+  const auto a = serial.map(grid, f);
+  const auto b = parallel.map(grid, f);
+  ASSERT_EQ(a.size(), grid.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(BatchEvaluator, InvalidScenarioPropagatesModelError) {
+  auto base = core::make_local_scenario(500, 2.0);
+  const auto grid =
+      SweepSpec(base).cpu_clocks_ghz({2.0, -1.0}).build();  // invalid clock
+  EXPECT_THROW((void)BatchEvaluator({}, BatchOptions{2}).run(grid),
+               std::invalid_argument);
+}
+
+TEST(BatchEvaluator, SingleScenarioGridMatchesFacade) {
+  const auto base = core::make_local_scenario(420, 1.5);
+  const auto r = BatchEvaluator().run(SweepSpec(base).build());
+  const auto direct = core::XrPerformanceModel().evaluate(base);
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_EQ(r.reports[0].latency.total, direct.latency.total);
+  EXPECT_EQ(r.reports[0].energy.total, direct.energy.total);
+}
+
+}  // namespace
+}  // namespace xr::runtime

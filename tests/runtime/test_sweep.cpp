@@ -1,0 +1,140 @@
+#include "runtime/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace xr::runtime {
+namespace {
+
+TEST(SweepSpec, EmptySpecYieldsTheBaseScenario) {
+  const auto base = core::make_local_scenario(500, 2.0);
+  const auto grid = SweepSpec(base).build();
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.axis_count(), 0u);
+  const auto s = grid.at(0);
+  EXPECT_DOUBLE_EQ(s.frame.frame_size, base.frame.frame_size);
+  EXPECT_DOUBLE_EQ(s.client.cpu_ghz, base.client.cpu_ghz);
+}
+
+TEST(SweepSpec, SizeIsProductOfAxes) {
+  const auto grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                        .cpu_clocks_ghz({1.0, 2.0, 3.0})
+                        .frame_sizes({300, 400, 500, 600, 700})
+                        .codec_bitrates_mbps({2.0, 4.0})
+                        .build();
+  EXPECT_EQ(grid.size(), 3u * 5u * 2u);
+  EXPECT_EQ(grid.axis_count(), 3u);
+  EXPECT_EQ(grid.axis(0).name, "cpu_ghz");
+}
+
+TEST(SweepSpec, EnumerationMatchesNestedLoops) {
+  // First declared axis is the outermost loop; factory geometry matches
+  // make_local_scenario(size, ghz) exactly.
+  const std::vector<double> clocks = {1.0, 2.0, 3.0};
+  const std::vector<double> sizes = {300, 500, 700};
+  const auto grid = SweepSpec(core::make_local_scenario(500, 2.0))
+                        .cpu_clocks_ghz(clocks)
+                        .frame_sizes(sizes)
+                        .build();
+  std::size_t i = 0;
+  for (double ghz : clocks)
+    for (double size : sizes) {
+      const auto from_grid = grid.at(i);
+      const auto from_factory = core::make_local_scenario(size, ghz);
+      EXPECT_DOUBLE_EQ(from_grid.client.cpu_ghz, from_factory.client.cpu_ghz);
+      EXPECT_DOUBLE_EQ(from_grid.frame.frame_size,
+                       from_factory.frame.frame_size);
+      EXPECT_DOUBLE_EQ(from_grid.frame.scene_size,
+                       from_factory.frame.scene_size);
+      EXPECT_DOUBLE_EQ(from_grid.frame.converted_size,
+                       from_factory.frame.converted_size);
+      ++i;
+    }
+  EXPECT_EQ(i, grid.size());
+}
+
+TEST(SweepSpec, CoordsRoundTrip) {
+  const auto grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                        .cpu_clocks_ghz({1.0, 2.0})
+                        .frame_sizes({300, 500, 700})
+                        .edge_counts({1, 2})
+                        .build();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto c = grid.coords(i);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(grid.index_of(c), i);
+  }
+  EXPECT_THROW((void)grid.coords(grid.size()), std::out_of_range);
+  EXPECT_THROW((void)grid.index_of({0}), std::invalid_argument);
+}
+
+TEST(SweepSpec, PlacementAxisConfiguresInference) {
+  const auto grid =
+      SweepSpec(core::make_local_scenario(500, 2.0))
+          .placements({core::InferencePlacement::kLocal,
+                       core::InferencePlacement::kRemote})
+          .build();
+  ASSERT_EQ(grid.size(), 2u);
+  const auto local = grid.at(0);
+  EXPECT_EQ(local.inference.placement, core::InferencePlacement::kLocal);
+  EXPECT_TRUE(local.inference.edges.empty());
+  EXPECT_DOUBLE_EQ(local.inference.omega_client, 1.0);
+  const auto remote = grid.at(1);
+  EXPECT_EQ(remote.inference.placement, core::InferencePlacement::kRemote);
+  ASSERT_EQ(remote.inference.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(remote.inference.omega_client, 0.0);
+  EXPECT_NO_THROW(core::validate(remote));
+}
+
+TEST(SweepSpec, EdgeCountAxisSplitsEvenly) {
+  const auto grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                        .edge_cnns({"YoloV7"})
+                        .edge_counts({1, 2, 4})
+                        .build();
+  const auto s = grid.at(2);  // edge_count=4
+  ASSERT_EQ(s.inference.edges.size(), 4u);
+  for (const auto& e : s.inference.edges) {
+    EXPECT_EQ(e.cnn_name, "YoloV7");  // CNN axis applied to every edge
+    EXPECT_NEAR(e.omega_edge, 0.25, 1e-12);
+  }
+  EXPECT_EQ(s.inference.edges[3].name, "edge-3");
+  EXPECT_NO_THROW(core::validate(s));
+}
+
+TEST(SweepSpec, LabelsDescribeThePoint) {
+  const auto grid = SweepSpec(core::make_local_scenario(500, 2.0))
+                        .cpu_clocks_ghz({1.0, 2.0})
+                        .local_cnns({"MobileNetv1_240_Quant"})
+                        .build();
+  EXPECT_EQ(grid.label(0), "cpu_ghz=1, local_cnn=MobileNetv1_240_Quant");
+  EXPECT_EQ(grid.label(1), "cpu_ghz=2, local_cnn=MobileNetv1_240_Quant");
+}
+
+TEST(SweepSpec, GenericTypedAxis) {
+  auto grid =
+      SweepSpec(core::make_local_scenario(500, 2.0))
+          .axis<double>("fps", {30.0, 60.0},
+                        [](core::ScenarioConfig& s, const double& fps) {
+                          s.frame.fps = fps;
+                        })
+          .build();
+  EXPECT_DOUBLE_EQ(grid.at(0).frame.fps, 30.0);
+  EXPECT_DOUBLE_EQ(grid.at(1).frame.fps, 60.0);
+}
+
+TEST(SweepSpec, Validation) {
+  SweepSpec spec(core::make_local_scenario(500, 2.0));
+  EXPECT_THROW(spec.cpu_clocks_ghz({}), std::invalid_argument);
+  spec.cpu_clocks_ghz({1.0});
+  EXPECT_THROW(spec.cpu_clocks_ghz({2.0}), std::invalid_argument);  // dup
+  EXPECT_THROW(
+      (void)SweepSpec(core::make_remote_scenario(500, 2.0))
+          .edge_counts({0})
+          .build()
+          .at(0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::runtime
