@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "runtime/batch_evaluator.h"
@@ -10,6 +12,17 @@
 #include "trace/table.h"
 
 namespace xr::bench {
+
+/// Where the benches drop their machine-readable artifacts: $XR_BENCH_OUT
+/// when set, else bench/out/ under the working directory (gitignored).
+/// Created on first use. scripts/bench_compare.py diffs two such
+/// directories to track the perf trajectory across PRs.
+inline std::string bench_out_dir() {
+  const char* env = std::getenv("XR_BENCH_OUT");
+  const std::string dir = (env && *env) ? env : "bench/out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 /// Standard sweep used by the Fig. 4/5 benches: the paper's frame-size axis
 /// (300–700 pixel²) at CPU clocks 1/2/3 GHz.
@@ -120,7 +133,7 @@ inline bool reports_identical(const core::PerformanceReport& a,
       serial_run.stats.candidates_per_sec,
       parallel_run.stats.candidates_per_sec, identical ? "true" : "false");
 
-  const std::string path = std::string("BENCH_") + name + ".json";
+  const std::string path = bench_out_dir() + "/BENCH_" + name + ".json";
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fprintf(f, "%s\n", json);
     std::fclose(f);

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json artifacts to track perf across PRs.
+
+The bench binaries drop one-line JSON files into bench/out/ (or
+$XR_BENCH_OUT). Archive that directory per PR, then:
+
+    scripts/bench_compare.py OLD_DIR NEW_DIR [--fail-worse-than PCT]
+
+Compares wall-clock and throughput fields bench-by-bench and prints a
+delta table. With --fail-worse-than, exits 1 when any bench's parallel
+wall time regressed by more than PCT percent (the gate a CI perf job
+would enforce).
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benches(directory: Path) -> dict:
+    benches = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        benches[data.get("bench", path.stem)] = data
+    return benches
+
+
+def pick_wall_ms(data: dict):
+    """The headline wall-time of one bench record (schema varies a little
+    between the runtime benches and the sharded bench)."""
+    for key in ("parallel_wall_ms", "sharded_wall_ms", "wall_ms"):
+        if key in data:
+            return key, data[key]
+    return None, None
+
+
+def fmt_delta(old, new):
+    if old is None or new is None or not old:
+        return "n/a"
+    pct = 100.0 * (new - old) / old
+    return f"{pct:+.1f}%"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old_dir", type=Path)
+    parser.add_argument("new_dir", type=Path)
+    parser.add_argument("--fail-worse-than", type=float, metavar="PCT",
+                        help="exit 1 when any wall time regresses > PCT%%")
+    args = parser.parse_args()
+
+    old = load_benches(args.old_dir)
+    new = load_benches(args.new_dir)
+    if not old or not new:
+        print("bench_compare: no BENCH_*.json found in "
+              f"{args.old_dir if not old else args.new_dir}", file=sys.stderr)
+        return 2
+
+    names = sorted(set(old) | set(new))
+    width = max(len(n) for n in names)
+    header = (f"{'bench':<{width}}  {'old ms':>10}  {'new ms':>10}  "
+              f"{'wall Δ':>8}  {'old cand/s':>11}  {'new cand/s':>11}")
+    print(header)
+    print("-" * len(header))
+
+    worst = 0.0
+    for name in names:
+        o, n = old.get(name), new.get(name)
+        if o is None or n is None:
+            status = "added" if o is None else "removed"
+            print(f"{name:<{width}}  ({status})")
+            continue
+        _, o_ms = pick_wall_ms(o)
+        _, n_ms = pick_wall_ms(n)
+        o_cps = o.get("parallel_candidates_per_sec")
+        n_cps = n.get("parallel_candidates_per_sec")
+        print(f"{name:<{width}}  "
+              f"{o_ms if o_ms is not None else float('nan'):>10.3f}  "
+              f"{n_ms if n_ms is not None else float('nan'):>10.3f}  "
+              f"{fmt_delta(o_ms, n_ms):>8}  "
+              f"{o_cps if o_cps else float('nan'):>11.0f}  "
+              f"{n_cps if n_cps else float('nan'):>11.0f}")
+        if o_ms and n_ms:
+            worst = max(worst, 100.0 * (n_ms - o_ms) / o_ms)
+
+    print(f"\nworst wall-time regression: {worst:+.1f}%")
+    if args.fail_worse_than is not None and worst > args.fail_worse_than:
+        print(f"bench_compare: FAIL (> {args.fail_worse_than}%)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Sharded sweep acceptance gate: K sweep_worker processes + sweep_merge over
+# the testbed ablation grid must reproduce the single-process summary
+# bitwise. Also demonstrates checkpoint/resume: one shard is stopped early
+# and resumed before the merge.
+#
+#   usage: scripts/sweep_sharded.sh [BUILD_DIR] [SHARDS]
+#
+# BUILD_DIR defaults to ./build (binaries: sweep_worker, sweep_merge);
+# SHARDS defaults to 3 (must be >= 2 for the acceptance criterion).
+set -euo pipefail
+
+BUILD_DIR="${1:-$(dirname "$0")/../build}"
+SHARDS="${2:-3}"
+WORKER="$BUILD_DIR/sweep_worker"
+MERGE="$BUILD_DIR/sweep_merge"
+
+if [[ ! -x "$WORKER" || ! -x "$MERGE" ]]; then
+  echo "sweep_sharded.sh: build sweep_worker/sweep_merge first (looked in $BUILD_DIR)" >&2
+  exit 2
+fi
+if (( SHARDS < 2 )); then
+  echo "sweep_sharded.sh: SHARDS must be >= 2" >&2
+  exit 2
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/sweep_sharded.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== monolithic reference (shard_count = 1) =="
+"$WORKER" --ablation-grid --shard-id 0 --shard-count 1 --out "$OUT/mono"
+"$MERGE" --out "$OUT/mono.summary.json" "$OUT/mono.partial.json"
+
+echo
+echo "== sharded run: $SHARDS concurrent worker processes =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" --ablation-grid --shard-id "$k" --shard-count "$SHARDS" \
+            --out "$OUT/shard$k" --chunk 4 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== checkpoint/resume: redo shard 0, killed after 3 records =="
+rm -f "$OUT/shard0.jsonl" "$OUT/shard0.partial.json"
+"$WORKER" --ablation-grid --shard-id 0 --shard-count "$SHARDS" \
+          --out "$OUT/shard0" --chunk 2 --max-records 3
+"$WORKER" --ablation-grid --shard-id 0 --shard-count "$SHARDS" \
+          --out "$OUT/shard0" --chunk 2 --resume
+
+echo
+echo "== merge + bitwise check against the monolithic summary =="
+partials=()
+for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/shard$k.partial.json"); done
+"$MERGE" --out "$OUT/sharded.summary.json" \
+         --check "$OUT/mono.summary.json" "${partials[@]}"
+
+echo
+echo "sweep_sharded.sh: OK ($SHARDS shards == monolithic, bitwise)"

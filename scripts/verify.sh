@@ -16,6 +16,10 @@ cmake --build build-werror -j
 
 echo "== batch runtime: serial vs parallel determinism =="
 ./build/batch_sweep > /dev/null
-(cd build && ./fig4f_roi > /dev/null && cat BENCH_fig4f_roi.json)
+(cd build && ./fig4f_roi > /dev/null && cat bench/out/BENCH_fig4f_roi.json)
+
+# The sharded sweep gate (K worker processes + merge == monolithic,
+# bitwise) already ran above: ctest executes scripts/sweep_sharded.sh as
+# the registered test `scripts.sweep_sharded`.
 
 echo "verify.sh: OK"

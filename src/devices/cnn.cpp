@@ -1,6 +1,9 @@
 #include "devices/cnn.h"
 
 #include <stdexcept>
+#include <unordered_map>
+
+#include "devices/memo.h"
 
 namespace xr::devices {
 
@@ -22,9 +25,31 @@ const std::vector<CnnSpec>& cnn_zoo() {
   return zoo;
 }
 
-const CnnSpec& cnn_by_name(const std::string& name) {
+namespace {
+
+const CnnSpec* find_cnn(const std::string& name) {
   for (const auto& c : cnn_zoo())
-    if (c.name == name) return c;
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+}  // namespace
+
+const CnnSpec& cnn_by_name(const std::string& name) {
+  // The zoo scan runs once per (thread, name): zoo entries live in a
+  // function-local static, so the cached pointers stay valid for the
+  // process lifetime. Unknown names are never cached (they throw).
+  if (submodel_memoization_enabled()) {
+    thread_local std::unordered_map<std::string, const CnnSpec*> cache;
+    if (const auto it = cache.find(name); it != cache.end())
+      return *it->second;
+    if (const CnnSpec* spec = find_cnn(name)) {
+      cache.emplace(name, spec);
+      return *spec;
+    }
+  } else if (const CnnSpec* spec = find_cnn(name)) {
+    return *spec;
+  }
   throw std::out_of_range("cnn_by_name: unknown CNN " + name);
 }
 

@@ -1,9 +1,77 @@
 #include "devices/codec.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "devices/memo.h"
 
 namespace xr::devices {
+
+namespace {
+
+/// Cache key for the Eq. (10) curves: every input that feeds the result,
+/// and nothing else — for encode_work that is the frame size, the full
+/// H.264 configuration, and the model's own coefficients (CodecModel
+/// instances can carry refitted coefficients, so keying on `this` would
+/// alias across instances); encoded_size_mb reads only (frame size,
+/// bitrate, fps) and keys on exactly those. Keys compare bitwise, which is
+/// exactly the identity the memo needs.
+template <std::size_t N>
+struct CodecCurveKey {
+  double values[N];
+
+  bool operator==(const CodecCurveKey& other) const noexcept {
+    return std::memcmp(values, other.values, sizeof values) == 0;
+  }
+};
+
+struct CodecCurveKeyHash {
+  template <std::size_t N>
+  std::size_t operator()(const CodecCurveKey<N>& k) const noexcept {
+    std::size_t h = 0;
+    for (double v : k.values) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      h ^= std::hash<std::uint64_t>{}(bits) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+template <std::size_t N>
+using CodecCurveCache =
+    std::unordered_map<CodecCurveKey<N>, double, CodecCurveKeyHash>;
+
+/// Sweeps revisit a handful of codec operating points; cap the per-thread
+/// cache so a pathological axis cannot grow it without bound.
+constexpr std::size_t kCodecCacheCap = 4096;
+
+CodecCurveKey<13> encode_work_key(const EncodingCoefficients& coef,
+                                  double frame_size, const H264Config& cfg) {
+  return CodecCurveKey<13>{{coef.intercept, coef.per_i_interval,
+                            coef.per_b_interval, coef.per_bitrate,
+                            coef.per_frame_size, coef.per_fps,
+                            coef.per_quant, frame_size,
+                            cfg.i_frame_interval, cfg.b_frame_interval,
+                            cfg.bitrate_mbps, cfg.fps, cfg.quantization}};
+}
+
+template <std::size_t N, typename Compute>
+double memoized_curve(CodecCurveCache<N>& cache, const CodecCurveKey<N>& key,
+                      Compute&& compute) {
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  const double value = compute();
+  if (cache.size() >= kCodecCacheCap) cache.clear();
+  cache.emplace(key, value);
+  return value;
+}
+
+}  // namespace
 
 CodecModel::CodecModel(EncodingCoefficients coef, double decode_discount)
     : coef_(coef), gamma_(decode_discount) {
@@ -15,13 +83,19 @@ double CodecModel::encode_work(double frame_size,
                                const H264Config& cfg) const {
   if (frame_size <= 0)
     throw std::invalid_argument("CodecModel: frame size must be > 0");
-  const double work =
-      coef_.intercept + coef_.per_i_interval * cfg.i_frame_interval +
-      coef_.per_b_interval * cfg.b_frame_interval +
-      coef_.per_bitrate * cfg.bitrate_mbps +
-      coef_.per_frame_size * frame_size + coef_.per_fps * cfg.fps +
-      coef_.per_quant * cfg.quantization;
-  return std::max(work, 1.0);
+  const auto compute = [&] {
+    const double work =
+        coef_.intercept + coef_.per_i_interval * cfg.i_frame_interval +
+        coef_.per_b_interval * cfg.b_frame_interval +
+        coef_.per_bitrate * cfg.bitrate_mbps +
+        coef_.per_frame_size * frame_size + coef_.per_fps * cfg.fps +
+        coef_.per_quant * cfg.quantization;
+    return std::max(work, 1.0);
+  };
+  if (!submodel_memoization_enabled()) return compute();
+  thread_local CodecCurveCache<13> cache;
+  return memoized_curve(cache, encode_work_key(coef_, frame_size, cfg),
+                        compute);
 }
 
 double CodecModel::encode_latency_ms(double frame_size, const H264Config& cfg,
@@ -54,11 +128,18 @@ double CodecModel::encoded_size_mb(double frame_size,
     throw std::invalid_argument("CodecModel: frame size must be > 0");
   if (cfg.fps <= 0)
     throw std::invalid_argument("CodecModel: fps must be > 0");
-  // Bitrate budget per frame (Mbit → MB) plus a small resolution-dependent
-  // floor: rate control cannot compress syntax overhead away.
-  const double rate_budget_mb = cfg.bitrate_mbps / cfg.fps / 8.0;
-  const double floor_mb = 4.0e-7 * frame_size * frame_size;
-  return rate_budget_mb + floor_mb;
+  const auto compute = [&] {
+    // Bitrate budget per frame (Mbit → MB) plus a small resolution-
+    // dependent floor: rate control cannot compress syntax overhead away.
+    const double rate_budget_mb = cfg.bitrate_mbps / cfg.fps / 8.0;
+    const double floor_mb = 4.0e-7 * frame_size * frame_size;
+    return rate_budget_mb + floor_mb;
+  };
+  if (!submodel_memoization_enabled()) return compute();
+  thread_local CodecCurveCache<3> cache;
+  return memoized_curve(
+      cache,
+      CodecCurveKey<3>{{frame_size, cfg.bitrate_mbps, cfg.fps}}, compute);
 }
 
 std::vector<math::Feature> CodecModel::regression_features() {

@@ -1,0 +1,19 @@
+#include "devices/memo.h"
+
+#include <atomic>
+
+namespace xr::devices {
+
+namespace {
+std::atomic<bool> g_memoization_enabled{true};
+}  // namespace
+
+void set_submodel_memoization(bool enabled) noexcept {
+  g_memoization_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool submodel_memoization_enabled() noexcept {
+  return g_memoization_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace xr::devices

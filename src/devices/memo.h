@@ -1,0 +1,23 @@
+// Toggle for the per-thread submodel lookup caches.
+//
+// The evaluation hot path resolves the same few submodel lookups for every
+// scenario of a sweep: the Table II CNN spec behind a name string
+// (cnn_by_name) and the Eq. (10) codec curves for a handful of (frame size,
+// H.264 config) points. Both are pure, so each worker thread keeps a small
+// thread-local cache in front of them — no locks, no cross-thread
+// invalidation, and a cache hit returns the exact double the cold path
+// would compute (asserted by tests/devices/test_memoization.cpp).
+//
+// The process-wide toggle exists for that test and for A/B profiling; it
+// defaults to enabled.
+#pragma once
+
+namespace xr::devices {
+
+/// Enable/disable the per-thread submodel lookup caches (default enabled).
+/// Takes effect on the next lookup; per-thread caches are retained but
+/// bypassed while disabled.
+void set_submodel_memoization(bool enabled) noexcept;
+[[nodiscard]] bool submodel_memoization_enabled() noexcept;
+
+}  // namespace xr::devices

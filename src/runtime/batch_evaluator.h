@@ -79,6 +79,15 @@ class BatchEvaluator {
                       [&](std::size_t i) { return f(grid.at(i)); });
   }
 
+  /// Evaluate an arbitrary pure function of the index in parallel. The
+  /// shard layer uses this to fan out one ShardPlan range at a time without
+  /// materializing per-shard grids.
+  template <typename F>
+  auto map(std::size_t n, F&& f) const
+      -> std::vector<std::decay_t<decltype(f(std::size_t{0}))>> {
+    return pool().map(n, std::forward<F>(f));
+  }
+
   [[nodiscard]] const core::XrPerformanceModel& model() const noexcept {
     return model_;
   }

@@ -1,0 +1,74 @@
+// Fold K shard partial reductions into one monolithic-equivalent summary.
+//
+// The merge law — the whole point of the sharded subsystem — is that for
+// any disjoint complete cover of a grid,
+//
+//   merge_partials(partials over K shards)  ≡  BatchEvaluator::run(grid)
+//
+// bitwise, on every deterministic field: best_latency_index /
+// best_energy_index, the four extrema, and the Pareto frontier (indices and
+// values). tests/runtime/test_sharded_merge.cpp asserts this for K ∈
+// {1, 2, 3, 7} on randomized grids, and scripts/sweep_sharded.sh asserts it
+// across real worker processes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_evaluator.h"
+#include "runtime/shard/streaming_sink.h"
+
+namespace xr::runtime::shard {
+
+/// Aggregate worker throughput (not part of the bitwise identity).
+struct MergeStats {
+  std::size_t shards = 0;
+  double wall_ms_sum = 0;  ///< total CPU-side work.
+  double wall_ms_max = 0;  ///< makespan when shards ran concurrently.
+};
+
+/// The BatchResult-equivalent summary of a sharded sweep.
+struct MergedSummary {
+  std::size_t grid_size = 0;
+  std::size_t shard_count = 0;
+  ShardStrategy strategy = ShardStrategy::kRange;
+  std::size_t evaluated = 0;
+  std::uint64_t grid_fingerprint = 0;  ///< from the workers' GridSpec.
+
+  std::size_t best_latency_index = 0;
+  std::size_t best_energy_index = 0;
+  double min_latency_ms = 0, max_latency_ms = 0;
+  double min_energy_mj = 0, max_energy_mj = 0;
+  std::vector<ParetoPoint> pareto;  ///< latency-ascending frontier.
+
+  MergeStats stats;
+
+  [[nodiscard]] std::vector<std::size_t> pareto_indices() const;
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static MergedSummary from_json(const Json& j);
+};
+
+/// Merge a complete disjoint cover. Throws std::invalid_argument when the
+/// partials disagree on the partition, a shard is missing or duplicated,
+/// or any shard is incomplete (evaluated != its plan size).
+[[nodiscard]] MergedSummary merge_partials(
+    const std::vector<PartialReduction>& partials);
+
+/// Load K .partial.json files and merge them.
+[[nodiscard]] MergedSummary merge_partial_files(
+    const std::vector<std::string>& paths);
+
+/// Compare the deterministic fields of two summaries (stats excluded).
+/// On mismatch returns false and, when `why` is non-null, describes the
+/// first differing field.
+[[nodiscard]] bool summaries_equivalent(const MergedSummary& a,
+                                        const MergedSummary& b,
+                                        std::string* why = nullptr);
+
+/// Compare a merged summary against an in-memory monolithic BatchResult.
+[[nodiscard]] bool matches_batch_result(const MergedSummary& summary,
+                                        const BatchResult& result,
+                                        std::string* why = nullptr);
+
+}  // namespace xr::runtime::shard

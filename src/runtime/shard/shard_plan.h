@@ -1,0 +1,101 @@
+// Deterministic partitioning of a ScenarioGrid across processes.
+//
+// The grid is index-addressable (ScenarioGrid::at), so distributing a sweep
+// over N workers is a pure index-space question. ShardPlan answers it two
+// ways:
+//
+//   * kRange   — balanced contiguous ranges: shard k owns
+//                [k·q + min(k, r), …) with q = ⌊size/K⌋, r = size mod K.
+//                The first r shards get one extra index. This is the default
+//                and keeps each worker's JSONL output a sorted slice of the
+//                monolithic enumeration.
+//   * kStrided — shard k owns {k, k+K, k+2K, …}. Useful when scenario cost
+//                varies systematically along the grid (e.g. the remote end
+//                of a placement axis simulating more edges) and contiguous
+//                ranges would load-balance badly.
+//
+// Both strategies enumerate each shard's indices in ascending global order,
+// which is what makes the streamed partial reductions mergeable back into
+// the exact monolithic result (see streaming_sink.h).
+//
+// GridSpec is the serializable companion: the declarative subset of
+// SweepSpec (a factory base scenario plus the paper's named knobs) as a
+// compact JSON document, so a worker process can rebuild the exact grid
+// from a spec file. Arbitrary axis<T>() mutations are not serializable and
+// stay in-process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/shard/jsonio.h"
+#include "runtime/sweep.h"
+
+namespace xr::runtime::shard {
+
+enum class ShardStrategy { kRange, kStrided };
+
+[[nodiscard]] const char* strategy_name(ShardStrategy s) noexcept;
+/// Inverse of strategy_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] ShardStrategy strategy_from_name(const std::string& name);
+
+/// Partition of [0, grid_size) into shard_count shards.
+class ShardPlan {
+ public:
+  /// Throws std::invalid_argument when shard_count == 0. shard_count may
+  /// exceed grid_size; the surplus shards are simply empty.
+  ShardPlan(std::size_t grid_size, std::size_t shard_count,
+            ShardStrategy strategy = ShardStrategy::kRange);
+
+  [[nodiscard]] std::size_t grid_size() const noexcept { return grid_size_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  [[nodiscard]] ShardStrategy strategy() const noexcept { return strategy_; }
+
+  /// Number of grid indices owned by shard k.
+  [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
+  /// The local-th index of shard k, in ascending global order.
+  [[nodiscard]] std::size_t global_index(std::size_t shard,
+                                         std::size_t local) const;
+  /// Which shard owns a global index.
+  [[nodiscard]] std::size_t shard_of(std::size_t global) const;
+
+ private:
+  void check_shard(std::size_t shard) const;
+
+  std::size_t grid_size_;
+  std::size_t shard_count_;
+  ShardStrategy strategy_;
+};
+
+/// One serializable sweep axis: a named knob plus its values. Numeric knobs
+/// use `numbers`; placement / CNN-name knobs use `strings`.
+struct GridAxisSpec {
+  std::string knob;
+  std::vector<double> numbers;
+  std::vector<std::string> strings;
+};
+
+/// Serializable scenario grid: factory base + named knob axes.
+///
+/// Knobs: "frame_size", "cpu_ghz", "omega_c", "codec_mbps",
+/// "throughput_mbps", "edge_count" (numeric); "placement"
+/// ("local"/"remote"), "local_cnn", "edge_cnn" (string). Axis declaration
+/// order is enumeration order (first axis outermost), exactly as SweepSpec.
+struct GridSpec {
+  std::string base = "remote";  ///< factory: "local" or "remote".
+  double frame_size = 500.0;
+  double cpu_ghz = 2.0;
+  std::vector<GridAxisSpec> axes;
+
+  /// Materialize via SweepSpec; throws std::invalid_argument on unknown
+  /// base/knob names or empty axes.
+  [[nodiscard]] ScenarioGrid build() const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static GridSpec from_json(const Json& j);
+};
+
+}  // namespace xr::runtime::shard

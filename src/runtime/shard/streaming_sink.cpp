@@ -1,0 +1,389 @@
+#include "runtime/shard/streaming_sink.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace xr::runtime::shard {
+
+std::uint64_t grid_fingerprint(const GridSpec& spec) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (char c : spec.to_json().dump()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+PartialReduction::PartialReduction(ShardIdentity id) : id_(id) {}
+
+void PartialReduction::add(std::size_t global_index, double latency_ms,
+                           double energy_mj) {
+  if (evaluated_ > 0 && global_index <= last_index_)
+    throw std::invalid_argument(
+        "PartialReduction: indices must arrive in ascending order");
+  last_index_ = global_index;
+
+  if (evaluated_ == 0) {
+    best_latency_index_ = best_energy_index_ = global_index;
+    min_latency_ms_ = max_latency_ms_ = latency_ms;
+    min_energy_mj_ = max_energy_mj_ = energy_mj;
+  } else {
+    // Strict < keeps the first occurrence of the minimum — the same index
+    // BatchEvaluator's serial reduction scan selects.
+    if (latency_ms < min_latency_ms_) {
+      min_latency_ms_ = latency_ms;
+      best_latency_index_ = global_index;
+    }
+    if (latency_ms > max_latency_ms_) max_latency_ms_ = latency_ms;
+    if (energy_mj < min_energy_mj_) {
+      min_energy_mj_ = energy_mj;
+      best_energy_index_ = global_index;
+    }
+    if (energy_mj > max_energy_mj_) max_energy_mj_ = energy_mj;
+  }
+  ++evaluated_;
+
+  // Incremental 2-D Pareto maintenance. A new point is excluded iff some
+  // frontier point has latency <= and energy <= (ties lose to the earlier
+  // index, which is always the incumbent since indices ascend). Among
+  // frontier keys <= latency the minimal energy sits at the greatest key.
+  auto after = frontier_.upper_bound(latency_ms);
+  if (after != frontier_.begin()) {
+    const auto prev = std::prev(after);
+    if (prev->second.first <= energy_mj) return;  // dominated
+  }
+  // The new point dominates every frontier entry with latency >= and
+  // energy >= it; those form a contiguous run starting at the first key
+  // >= latency (energies decrease along the key order).
+  auto it = frontier_.lower_bound(latency_ms);
+  while (it != frontier_.end() && it->second.first >= energy_mj)
+    it = frontier_.erase(it);
+  frontier_[latency_ms] = {energy_mj, global_index};
+}
+
+std::vector<ParetoPoint> PartialReduction::pareto() const {
+  std::vector<ParetoPoint> out;
+  out.reserve(frontier_.size());
+  for (const auto& [lat, rest] : frontier_)
+    out.push_back(ParetoPoint{rest.second, lat, rest.first});
+  return out;
+}
+
+namespace {
+
+Json identity_to_json(const ShardIdentity& id) {
+  Json j = Json::object();
+  j.set("id", id.shard_id);
+  j.set("count", id.shard_count);
+  j.set("strategy", strategy_name(id.strategy));
+  j.set("grid_size", id.grid_size);
+  j.set("grid_fingerprint", format_hex64(id.grid_fingerprint));
+  return j;
+}
+
+ShardIdentity identity_from_json(const Json& j) {
+  ShardIdentity id;
+  id.shard_id = j.at("id").as_size();
+  id.shard_count = j.at("count").as_size();
+  id.strategy = strategy_from_name(j.at("strategy").as_string());
+  id.grid_size = j.at("grid_size").as_size();
+  id.grid_fingerprint = parse_hex64(j.at("grid_fingerprint").as_string());
+  return id;
+}
+
+constexpr const char* kPartialSchema = "xr.sweep.partial.v1";
+
+}  // namespace
+
+Json PartialReduction::to_json() const {
+  Json j = Json::object();
+  j.set("schema", kPartialSchema);
+  j.set("shard", identity_to_json(id_));
+  j.set("evaluated", evaluated_);
+  if (evaluated_ > 0) {
+    j.set("last_index", last_index_);
+    j.set("best_latency_index", best_latency_index_);
+    j.set("min_latency_ms", min_latency_ms_);
+    j.set("max_latency_ms", max_latency_ms_);
+    j.set("best_energy_index", best_energy_index_);
+    j.set("min_energy_mj", min_energy_mj_);
+    j.set("max_energy_mj", max_energy_mj_);
+    Json pareto = Json::array();
+    for (const auto& [lat, rest] : frontier_) {
+      Json p = Json::array();
+      p.push_back(rest.second);
+      p.push_back(lat);
+      p.push_back(rest.first);
+      pareto.push_back(std::move(p));
+    }
+    j.set("pareto", std::move(pareto));
+  }
+  Json stats = Json::object();
+  stats.set("wall_ms", wall_ms);
+  stats.set("threads", threads);
+  j.set("stats", std::move(stats));
+  return j;
+}
+
+PartialReduction PartialReduction::from_json(const Json& j) {
+  if (j.at("schema").as_string() != kPartialSchema)
+    throw std::invalid_argument("PartialReduction: unknown schema '" +
+                                j.at("schema").as_string() + "'");
+  PartialReduction out(identity_from_json(j.at("shard")));
+  out.evaluated_ = j.at("evaluated").as_size();
+  if (out.evaluated_ > 0) {
+    out.last_index_ = j.at("last_index").as_size();
+    out.best_latency_index_ = j.at("best_latency_index").as_size();
+    out.min_latency_ms_ = j.at("min_latency_ms").as_double();
+    out.max_latency_ms_ = j.at("max_latency_ms").as_double();
+    out.best_energy_index_ = j.at("best_energy_index").as_size();
+    out.min_energy_mj_ = j.at("min_energy_mj").as_double();
+    out.max_energy_mj_ = j.at("max_energy_mj").as_double();
+    for (const Json& p : j.at("pareto").as_array()) {
+      const auto& triple = p.as_array();
+      if (triple.size() != 3)
+        throw std::invalid_argument("PartialReduction: bad pareto entry");
+      out.frontier_[triple[1].as_double()] = {triple[2].as_double(),
+                                              triple[0].as_size()};
+    }
+  }
+  const Json& stats = j.at("stats");
+  out.wall_ms = stats.at("wall_ms").as_double();
+  out.threads = stats.at("threads").as_size();
+  return out;
+}
+
+// ---- record codec ------------------------------------------------------
+
+namespace {
+
+Json latency_to_json(const core::LatencyBreakdown& l) {
+  Json j = Json::object();
+  j.set("frame_generation", l.frame_generation);
+  j.set("volumetric", l.volumetric);
+  j.set("external_sensors", l.external_sensors);
+  j.set("rendering", l.rendering);
+  j.set("buffer_wait", l.buffer_wait);
+  j.set("frame_conversion", l.frame_conversion);
+  j.set("encoding", l.encoding);
+  j.set("local_inference", l.local_inference);
+  j.set("remote_inference", l.remote_inference);
+  j.set("transmission", l.transmission);
+  j.set("handoff", l.handoff);
+  j.set("cooperation", l.cooperation);
+  j.set("cooperation_in_total", l.cooperation_in_total);
+  j.set("total", l.total);
+  return j;
+}
+
+core::LatencyBreakdown latency_from_json(const Json& j) {
+  core::LatencyBreakdown l;
+  l.frame_generation = j.at("frame_generation").as_double();
+  l.volumetric = j.at("volumetric").as_double();
+  l.external_sensors = j.at("external_sensors").as_double();
+  l.rendering = j.at("rendering").as_double();
+  l.buffer_wait = j.at("buffer_wait").as_double();
+  l.frame_conversion = j.at("frame_conversion").as_double();
+  l.encoding = j.at("encoding").as_double();
+  l.local_inference = j.at("local_inference").as_double();
+  l.remote_inference = j.at("remote_inference").as_double();
+  l.transmission = j.at("transmission").as_double();
+  l.handoff = j.at("handoff").as_double();
+  l.cooperation = j.at("cooperation").as_double();
+  l.cooperation_in_total = j.at("cooperation_in_total").as_bool();
+  l.total = j.at("total").as_double();
+  return l;
+}
+
+Json energy_to_json(const core::EnergyBreakdown& e) {
+  Json j = Json::object();
+  j.set("frame_generation", e.frame_generation);
+  j.set("volumetric", e.volumetric);
+  j.set("external_sensors", e.external_sensors);
+  j.set("rendering", e.rendering);
+  j.set("frame_conversion", e.frame_conversion);
+  j.set("encoding", e.encoding);
+  j.set("local_inference", e.local_inference);
+  j.set("remote_inference", e.remote_inference);
+  j.set("transmission", e.transmission);
+  j.set("handoff", e.handoff);
+  j.set("cooperation", e.cooperation);
+  j.set("cooperation_in_total", e.cooperation_in_total);
+  j.set("thermal", e.thermal);
+  j.set("base", e.base);
+  j.set("total", e.total);
+  return j;
+}
+
+core::EnergyBreakdown energy_from_json(const Json& j) {
+  core::EnergyBreakdown e;
+  e.frame_generation = j.at("frame_generation").as_double();
+  e.volumetric = j.at("volumetric").as_double();
+  e.external_sensors = j.at("external_sensors").as_double();
+  e.rendering = j.at("rendering").as_double();
+  e.frame_conversion = j.at("frame_conversion").as_double();
+  e.encoding = j.at("encoding").as_double();
+  e.local_inference = j.at("local_inference").as_double();
+  e.remote_inference = j.at("remote_inference").as_double();
+  e.transmission = j.at("transmission").as_double();
+  e.handoff = j.at("handoff").as_double();
+  e.cooperation = j.at("cooperation").as_double();
+  e.cooperation_in_total = j.at("cooperation_in_total").as_bool();
+  e.thermal = j.at("thermal").as_double();
+  e.base = j.at("base").as_double();
+  e.total = j.at("total").as_double();
+  return e;
+}
+
+}  // namespace
+
+std::string record_line(std::size_t global_index,
+                        const core::PerformanceReport& report) {
+  Json j = Json::object();
+  j.set("i", global_index);
+  j.set("latency", latency_to_json(report.latency));
+  j.set("energy", energy_to_json(report.energy));
+  Json sensors = Json::array();
+  for (const auto& s : report.sensors) {
+    Json sj = Json::object();
+    sj.set("name", s.name);
+    sj.set("average_aoi_ms", s.average_aoi_ms);
+    sj.set("processed_hz", s.processed_hz);
+    sj.set("roi", s.roi);
+    sj.set("fresh", s.fresh);
+    sensors.push_back(std::move(sj));
+  }
+  j.set("sensors", std::move(sensors));
+  return j.dump();
+}
+
+ParsedRecord parse_record_line(std::string_view line) {
+  const Json j = Json::parse(line);
+  ParsedRecord out;
+  out.index = j.at("i").as_size();
+  out.report.latency = latency_from_json(j.at("latency"));
+  out.report.energy = energy_from_json(j.at("energy"));
+  for (const Json& sj : j.at("sensors").as_array()) {
+    core::SensorReport s;
+    s.name = sj.at("name").as_string();
+    s.average_aoi_ms = sj.at("average_aoi_ms").as_double();
+    s.processed_hz = sj.at("processed_hz").as_double();
+    s.roi = sj.at("roi").as_double();
+    s.fresh = sj.at("fresh").as_bool();
+    out.report.sensors.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---- the sink ----------------------------------------------------------
+
+StreamingSink::Recovery StreamingSink::scan_existing(
+    const SinkOptions& options, const ShardIdentity& id,
+    const ShardPlan& plan) {
+  Recovery rec;
+  rec.partial = PartialReduction(id);
+  std::ifstream in(options.output_stem + ".jsonl", std::ios::binary);
+  if (!in) return rec;
+
+  const std::size_t shard_n = plan.shard_size(id.shard_id);
+  std::string line;
+  std::size_t offset = 0;
+  while (rec.records < shard_n && std::getline(in, line)) {
+    // getline sets eofbit only when the stream ended without a final
+    // newline — exactly a torn trailing line from a killed worker.
+    if (in.eof()) break;
+    try {
+      const ParsedRecord r = parse_record_line(line);
+      if (r.index != plan.global_index(id.shard_id, rec.records)) break;
+      rec.partial.add(r.index, r.report.latency.total,
+                      r.report.energy.total);
+    } catch (const std::exception&) {
+      break;  // corrupt line: resume re-evaluates from here
+    }
+    ++rec.records;
+    offset += line.size() + 1;
+    rec.valid_bytes = offset;
+  }
+  return rec;
+}
+
+StreamingSink::StreamingSink(SinkOptions options, ShardIdentity id,
+                             const Recovery* recovered)
+    : options_(std::move(options)), partial_(id) {
+  if (options_.chunk_records == 0) options_.chunk_records = 1;
+  const std::string path = jsonl_path();
+  if (recovered) {
+    // Drop any torn tail, keep the valid prefix, continue appending.
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec))
+      std::filesystem::resize_file(path, recovered->valid_bytes);
+    partial_ = recovered->partial;
+    records_written_ = recovered->records;
+    file_ = std::fopen(path.c_str(), "ab");
+  } else {
+    file_ = std::fopen(path.c_str(), "wb");
+  }
+  if (!file_)
+    throw std::runtime_error("StreamingSink: cannot open " + path);
+  buffer_.reserve(options_.chunk_records * 256);
+}
+
+StreamingSink::~StreamingSink() {
+  if (file_) std::fclose(file_);
+}
+
+void StreamingSink::append(std::size_t global_index,
+                           const core::PerformanceReport& report) {
+  // Validate through the reduction *before* touching the line buffer, so a
+  // rejected (out-of-order) record never reaches the stream and the two
+  // outputs cannot drift apart.
+  partial_.add(global_index, report.latency.total, report.energy.total);
+  buffer_ += record_line(global_index, report);
+  buffer_ += '\n';
+  ++buffered_records_;
+  ++records_written_;
+  if (buffered_records_ >= options_.chunk_records) flush();
+}
+
+void StreamingSink::flush() {
+  if (!buffer_.empty()) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size())
+      throw std::runtime_error("StreamingSink: short write to " +
+                               jsonl_path());
+    buffer_.clear();
+  }
+  if (std::fflush(file_) != 0)
+    throw std::runtime_error("StreamingSink: flush failed for " +
+                             jsonl_path());
+  buffered_records_ = 0;
+  write_partial_checkpoint();
+}
+
+void StreamingSink::write_partial_checkpoint() {
+  // Write-then-rename so a kill mid-checkpoint never leaves a torn
+  // partial.json (the record stream is the source of truth regardless).
+  const std::string path = partial_path();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("StreamingSink: cannot open " + tmp);
+    out << partial_.to_json().dump() << '\n';
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("StreamingSink: cannot rename " + tmp + ": " +
+                             ec.message());
+}
+
+PartialReduction StreamingSink::finalize() {
+  flush();
+  return partial_;
+}
+
+}  // namespace xr::runtime::shard

@@ -1,0 +1,214 @@
+// Bounded-memory, chunked result delivery with mergeable reductions.
+//
+// A shard worker never holds its whole report vector: it evaluates the grid
+// in chunks, appends each report as one index-tagged JSONL record, and folds
+// it into a PartialReduction — the exact sufficient statistic for every
+// BatchResult summary (per-metric argmin/min/max, the latency/energy Pareto
+// frontier, throughput stats). K partial reductions over a disjoint cover of
+// the grid merge back (see merge.h) into the *bitwise identical* monolithic
+// summary, because
+//
+//   * argmin: each shard records the first occurrence of its minimum in
+//     ascending global-index order, so the merged argmin (smallest index
+//     among shards attaining the global minimum) is the global first
+//     occurrence — the same index BatchEvaluator's serial scan picks;
+//   * Pareto: a point excluded from its shard frontier is excluded from the
+//     monolithic frontier by the same dominator, so the union of shard
+//     frontiers re-scanned in (latency, energy, index) order — the order
+//     BatchEvaluator's stable_sort induces — reproduces the monolithic
+//     frontier exactly;
+//   * every double crossing a process boundary is serialized in shortest
+//     round-trip form (jsonio.h), so values survive the trip bit-for-bit.
+//
+// JSONL record schema (one line per scenario, shard-local ascending order):
+//
+//   {"i": <global index>, "latency": {...LatencyBreakdown...},
+//    "energy": {...EnergyBreakdown...}, "sensors": [{...SensorReport...}]}
+//
+// The sink flushes every chunk_records lines and rewrites the partial
+// checkpoint, so a killed worker loses at most one chunk; scan_existing()
+// recovers the longest valid record prefix (a torn trailing line is
+// truncated) and rebuilds the reduction for resume.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/shard/jsonio.h"
+#include "runtime/shard/shard_plan.h"
+
+namespace xr::runtime::shard {
+
+/// Which shard of which partition a document belongs to; every record
+/// stream and reduction carries this so merges can validate coverage.
+struct ShardIdentity {
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 1;
+  ShardStrategy strategy = ShardStrategy::kRange;
+  std::size_t grid_size = 0;
+  /// Fingerprint of the grid the records came from (grid_fingerprint() of
+  /// the GridSpec for worker-produced documents; 0 when unused). Resume
+  /// refuses a checkpoint whose fingerprint differs — index sequences
+  /// alone cannot tell two same-shape grids apart — and merge refuses to
+  /// fold partials from different grids.
+  std::uint64_t grid_fingerprint = 0;
+};
+
+/// FNV-1a over a GridSpec's canonical JSON serialization.
+[[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec);
+
+/// One Pareto-frontier member: grid index plus the two objectives.
+struct ParetoPoint {
+  std::size_t index = 0;
+  double latency_ms = 0;
+  double energy_mj = 0;
+};
+
+/// Streaming reduction over (index, latency, energy) triples fed in
+/// ascending index order. Mergeable across shards; serializable.
+class PartialReduction {
+ public:
+  explicit PartialReduction(ShardIdentity id = {});
+
+  /// Fold one scenario result in. Indices must arrive in ascending order.
+  void add(std::size_t global_index, double latency_ms, double energy_mj);
+
+  [[nodiscard]] const ShardIdentity& identity() const noexcept { return id_; }
+  [[nodiscard]] std::size_t evaluated() const noexcept { return evaluated_; }
+  [[nodiscard]] std::size_t best_latency_index() const noexcept {
+    return best_latency_index_;
+  }
+  [[nodiscard]] std::size_t best_energy_index() const noexcept {
+    return best_energy_index_;
+  }
+  [[nodiscard]] double min_latency_ms() const noexcept {
+    return min_latency_ms_;
+  }
+  [[nodiscard]] double max_latency_ms() const noexcept {
+    return max_latency_ms_;
+  }
+  [[nodiscard]] double min_energy_mj() const noexcept {
+    return min_energy_mj_;
+  }
+  [[nodiscard]] double max_energy_mj() const noexcept {
+    return max_energy_mj_;
+  }
+  /// This shard's Pareto frontier, latency-ascending.
+  [[nodiscard]] std::vector<ParetoPoint> pareto() const;
+
+  // Worker throughput stats carried into the summary (not part of the
+  // bitwise identity — wall time is non-deterministic by nature).
+  double wall_ms = 0;
+  std::size_t threads = 1;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static PartialReduction from_json(const Json& j);
+
+ private:
+  ShardIdentity id_;
+  std::size_t evaluated_ = 0;
+  std::size_t last_index_ = 0;
+  std::size_t best_latency_index_ = 0, best_energy_index_ = 0;
+  double min_latency_ms_ = 0, max_latency_ms_ = 0;
+  double min_energy_mj_ = 0, max_energy_mj_ = 0;
+  /// Frontier keyed by latency; values (energy, index). Latencies are
+  /// unique and energies strictly decreasing along the key order.
+  std::map<double, std::pair<double, std::size_t>> frontier_;
+};
+
+// ---- record codec ------------------------------------------------------
+
+/// Serialize one report as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string record_line(std::size_t global_index,
+                                      const core::PerformanceReport& report);
+
+struct ParsedRecord {
+  std::size_t index = 0;
+  core::PerformanceReport report;
+};
+
+/// Parse one record line; throws std::invalid_argument on malformed input.
+[[nodiscard]] ParsedRecord parse_record_line(std::string_view line);
+
+// ---- the sink ----------------------------------------------------------
+
+struct SinkOptions {
+  /// Files written: <output_stem>.jsonl and <output_stem>.partial.json.
+  std::string output_stem;
+  /// Records buffered between flushes (bounds worker memory and the
+  /// checkpoint loss window).
+  std::size_t chunk_records = 64;
+};
+
+class StreamingSink {
+ public:
+  /// State recovered from an existing record stream.
+  struct Recovery {
+    std::size_t records = 0;      ///< valid record prefix length.
+    std::size_t valid_bytes = 0;  ///< prefix size; anything beyond is torn.
+    PartialReduction partial;     ///< reduction rebuilt from the prefix.
+  };
+
+  /// Scan <stem>.jsonl for the longest prefix of valid records whose global
+  /// indices match the plan's enumeration for this shard. Stops at the
+  /// first torn/corrupt/misordered line. Missing file → zero records.
+  [[nodiscard]] static Recovery scan_existing(const SinkOptions& options,
+                                              const ShardIdentity& id,
+                                              const ShardPlan& plan);
+
+  /// Open the record stream. When `recovered` is non-null the stream is
+  /// truncated to the recovered prefix and appended to (resume); otherwise
+  /// it is created fresh. Throws std::runtime_error on I/O failure.
+  StreamingSink(SinkOptions options, ShardIdentity id,
+                const Recovery* recovered = nullptr);
+  ~StreamingSink();
+
+  StreamingSink(const StreamingSink&) = delete;
+  StreamingSink& operator=(const StreamingSink&) = delete;
+
+  /// Append one result (ascending global index). Flushes automatically
+  /// every chunk_records appends.
+  void append(std::size_t global_index, const core::PerformanceReport& report);
+
+  /// Write buffered lines to disk and checkpoint the partial reduction.
+  void flush();
+
+  /// Attach worker throughput stats to the reduction (carried into the
+  /// summary; not part of the bitwise identity).
+  void set_stats(double wall_ms, std::size_t threads) {
+    partial_.wall_ms = wall_ms;
+    partial_.threads = threads;
+  }
+
+  /// Flush and write the final <stem>.partial.json. Returns the reduction.
+  PartialReduction finalize();
+
+  [[nodiscard]] std::size_t records_written() const noexcept {
+    return records_written_;
+  }
+  [[nodiscard]] const PartialReduction& partial() const noexcept {
+    return partial_;
+  }
+  [[nodiscard]] std::string jsonl_path() const {
+    return options_.output_stem + ".jsonl";
+  }
+  [[nodiscard]] std::string partial_path() const {
+    return options_.output_stem + ".partial.json";
+  }
+
+ private:
+  void write_partial_checkpoint();
+
+  SinkOptions options_;
+  PartialReduction partial_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::size_t buffered_records_ = 0;
+  std::size_t records_written_ = 0;
+};
+
+}  // namespace xr::runtime::shard

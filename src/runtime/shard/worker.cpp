@@ -1,0 +1,151 @@
+#include "runtime/shard/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/thread_pool.h"
+
+namespace xr::runtime::shard {
+
+namespace {
+
+/// Resume guard: records on disk imply a flushed checkpoint, and the
+/// checkpoint carries the full shard identity (partition + grid
+/// fingerprint). An index sequence alone cannot tell two same-shape grids
+/// apart, so a missing or mismatched checkpoint means the stream belongs
+/// to some other sweep — refuse rather than silently mix grids.
+void check_resume_identity(const std::string& partial_path,
+                           const ShardIdentity& id) {
+  std::string text;
+  try {
+    text = read_text_file(partial_path);
+  } catch (const std::exception&) {
+    throw std::runtime_error(
+        "run_worker: cannot resume — record stream exists but checkpoint " +
+        partial_path + " is missing; delete the outputs to restart");
+  }
+  const ShardIdentity existing =
+      PartialReduction::from_json(Json::parse(text)).identity();
+  if (existing.shard_id != id.shard_id ||
+      existing.shard_count != id.shard_count ||
+      existing.strategy != id.strategy ||
+      existing.grid_size != id.grid_size ||
+      existing.grid_fingerprint != id.grid_fingerprint)
+    throw std::runtime_error(
+        "run_worker: cannot resume — " + partial_path +
+        " was written for a different grid or partition; delete the "
+        "outputs (or restore the original spec) to proceed");
+}
+
+}  // namespace
+
+Json WorkerSpec::to_json() const {
+  Json j = Json::object();
+  j.set("grid", grid.to_json());
+  j.set("shard_id", shard_id);
+  j.set("shard_count", shard_count);
+  j.set("strategy", strategy_name(strategy));
+  j.set("output", output);
+  j.set("chunk_records", chunk_records);
+  j.set("threads", threads);
+  j.set("resume", resume);
+  return j;
+}
+
+WorkerSpec WorkerSpec::from_json(const Json& j) {
+  WorkerSpec out;
+  out.grid = GridSpec::from_json(j.at("grid"));
+  out.shard_id = j.at("shard_id").as_size();
+  out.shard_count = j.at("shard_count").as_size();
+  if (const Json* s = j.find("strategy"))
+    out.strategy = strategy_from_name(s->as_string());
+  out.output = j.at("output").as_string();
+  if (const Json* c = j.find("chunk_records"))
+    out.chunk_records = c->as_size();
+  if (const Json* t = j.find("threads")) out.threads = t->as_size();
+  if (const Json* r = j.find("resume")) out.resume = r->as_bool();
+  return out;
+}
+
+WorkerOutcome run_worker(const WorkerSpec& spec,
+                         std::size_t max_new_records) {
+  if (spec.shard_id >= spec.shard_count)
+    throw std::invalid_argument("run_worker: shard_id out of range");
+  if (spec.output.empty())
+    throw std::invalid_argument("run_worker: empty output stem");
+
+  const ScenarioGrid grid = spec.grid.build();
+  const ShardPlan plan(grid.size(), spec.shard_count, spec.strategy);
+  const ShardIdentity id{spec.shard_id, spec.shard_count, spec.strategy,
+                         grid.size(), grid_fingerprint(spec.grid)};
+  const SinkOptions options{spec.output, spec.chunk_records};
+
+  StreamingSink::Recovery recovery;
+  const StreamingSink::Recovery* recovered = nullptr;
+  if (spec.resume) {
+    recovery = StreamingSink::scan_existing(options, id, plan);
+    if (recovery.records > 0)
+      check_resume_identity(spec.output + ".partial.json", id);
+    recovered = &recovery;
+  }
+  StreamingSink sink(options, id, recovered);
+
+  // Worker pool per the BatchOptions convention; chunks always land in
+  // ascending index order regardless of thread count (pure model).
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = nullptr;
+  if (spec.threads == 0)
+    pool = &ThreadPool::shared();
+  else if (spec.threads > 1)
+    pool = (own_pool = std::make_unique<ThreadPool>(spec.threads)).get();
+
+  const core::XrPerformanceModel model;
+  const std::size_t shard_n = plan.shard_size(spec.shard_id);
+  const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
+
+  WorkerOutcome out;
+  out.resumed_records = sink.records_written();
+  out.jsonl_path = sink.jsonl_path();
+  out.partial_path = sink.partial_path();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t done = sink.records_written();
+  while (done < shard_n) {
+    std::size_t m = std::min(chunk, shard_n - done);
+    if (max_new_records)
+      m = std::min(m, max_new_records - out.evaluated_records);
+    if (m == 0) break;
+
+    const auto evaluate = [&](std::size_t j) {
+      return model.evaluate(
+          grid.at(plan.global_index(spec.shard_id, done + j)));
+    };
+    std::vector<core::PerformanceReport> reports;
+    if (pool) {
+      reports = pool->map(m, evaluate);
+    } else {
+      reports.reserve(m);
+      for (std::size_t j = 0; j < m; ++j) reports.push_back(evaluate(j));
+    }
+    for (std::size_t j = 0; j < m; ++j)
+      sink.append(plan.global_index(spec.shard_id, done + j), reports[j]);
+
+    done += m;
+    out.evaluated_records += m;
+    if (max_new_records && out.evaluated_records >= max_new_records) break;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  sink.set_stats(std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                 pool ? pool->size() : 1);
+
+  out.shard_records = done;
+  out.complete = done == shard_n;
+  out.partial = sink.finalize();
+  return out;
+}
+
+}  // namespace xr::runtime::shard

@@ -1,0 +1,67 @@
+// One shard worker: evaluate a grid slice with streaming, resumable output.
+//
+// run_worker() is the whole of tools/sweep_worker.cpp minus argument
+// parsing, kept in the library so tests can drive the exact production code
+// path in-process (including kill/resume, via max_new_records).
+//
+// Shard spec document (the tools' --spec format):
+//
+//   {"grid": {<GridSpec>}, "shard_id": 0, "shard_count": 4,
+//    "strategy": "range", "output": "out/shard0",
+//    "chunk_records": 64, "threads": 1, "resume": false}
+//
+// The worker writes <output>.jsonl (one record per scenario, ascending
+// global index) and <output>.partial.json (the mergeable reduction,
+// checkpointed at every chunk flush). Resume scans the existing record
+// stream, truncates any torn tail, rebuilds the reduction from the valid
+// prefix, and continues from the first missing record — so a re-run after
+// a kill produces byte-identical outputs to an uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/shard/shard_plan.h"
+#include "runtime/shard/streaming_sink.h"
+
+namespace xr::runtime::shard {
+
+struct WorkerSpec {
+  GridSpec grid;
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 1;
+  ShardStrategy strategy = ShardStrategy::kRange;
+  /// Output stem: writes <output>.jsonl and <output>.partial.json.
+  std::string output;
+  std::size_t chunk_records = 64;
+  /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
+  /// N = dedicated pool of N workers (chunks still land in index order).
+  std::size_t threads = 1;
+  /// Continue from an existing record stream instead of restarting.
+  bool resume = false;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static WorkerSpec from_json(const Json& j);
+};
+
+struct WorkerOutcome {
+  std::size_t shard_records = 0;     ///< records in the stream at exit.
+  std::size_t resumed_records = 0;   ///< recovered from the checkpoint.
+  std::size_t evaluated_records = 0; ///< newly evaluated this run.
+  bool complete = false;             ///< reached the end of the shard.
+  PartialReduction partial;
+  std::string jsonl_path;
+  std::string partial_path;
+};
+
+/// Run one shard to completion, or until max_new_records new records when
+/// non-zero — the kill-simulation hook: the run stops early with a
+/// *consistent* flushed prefix + checkpoint, i.e. the state after a kill
+/// that landed between chunk flushes. The harsher aftermaths (a torn
+/// trailing line, a lost unflushed chunk) are covered by the tests that
+/// truncate the files by hand; scan_existing handles all of them.
+/// Throws on invalid specs and I/O failure.
+[[nodiscard]] WorkerOutcome run_worker(const WorkerSpec& spec,
+                                       std::size_t max_new_records = 0);
+
+}  // namespace xr::runtime::shard

@@ -7,6 +7,7 @@
 #include "math/regression.h"
 #include "math/stats.h"
 #include "runtime/batch_evaluator.h"
+#include "runtime/shard/shard_plan.h"
 #include "runtime/sweep.h"
 #include "trace/table.h"
 #include "wireless/propagation.h"
@@ -44,7 +45,8 @@ struct PointMeasurement {
 
 /// Fan the whole sweep out on the batch runtime: every point runs its own
 /// ground-truth simulation (seeded per cfg, independent of thread count)
-/// and one model evaluation.
+/// and one model evaluation. The sweep's fidelity/wall-time trade is the
+/// per-run frames override rather than a mutated simulator config.
 std::vector<PointMeasurement> measure_sweep(
     const runtime::ScenarioGrid& grid, const SweepConfig& cfg,
     std::uint64_t seed_offset = 0) {
@@ -52,10 +54,9 @@ std::vector<PointMeasurement> measure_sweep(
   return engine.map(grid, [&](const core::ScenarioConfig& scenario) {
     PointMeasurement m;
     xrsim::GroundTruthConfig g;
-    g.frames = cfg.frames_per_point;
     g.seed = cfg.seed + seed_offset;
     const xrsim::GroundTruthSimulator sim(g);
-    const auto gt = sim.run(scenario);
+    const auto gt = sim.run(scenario, cfg.frames_per_point);
     m.gt_latency_ms = gt.mean_latency_ms();
     m.gt_energy_mj = gt.mean_energy_mj();
     m.report = engine.model().evaluate(scenario);
@@ -471,25 +472,56 @@ double variant_latency_ms(ModelVariant v, const core::ScenarioConfig& s) {
   throw std::logic_error("variant_latency_ms: unknown variant");
 }
 
+runtime::shard::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
+  runtime::shard::GridSpec spec;
+  spec.base = "remote";
+  spec.frame_size = 500.0;
+  spec.cpu_ghz = 2.0;
+  runtime::shard::GridAxisSpec clocks;
+  clocks.knob = "cpu_ghz";
+  clocks.numbers = cfg.cpu_clocks_ghz;
+  runtime::shard::GridAxisSpec sizes;
+  sizes.knob = "frame_size";
+  sizes.numbers = cfg.frame_sizes;
+  spec.axes = {std::move(clocks), std::move(sizes)};
+  return spec;
+}
+
 std::vector<AblationRow> run_ablation(const SweepConfig& cfg) {
-  // GT over the remote sweep, batch-simulated on the runtime.
-  const auto grid = clock_size_grid(core::InferencePlacement::kRemote, cfg);
+  // GT over the remote sweep, batch-simulated on the runtime. The grid is
+  // rebuilt from its serializable spec — the same document the sharded
+  // sweep tools consume — so the in-process runner and the multi-process
+  // path enumerate provably identical scenario spaces.
+  const auto grid = ablation_grid_spec(cfg).build();
   const auto points = measure_sweep(grid, cfg);
   std::vector<double> truth;
   truth.reserve(points.size());
   for (const auto& p : points) truth.push_back(p.gt_latency_ms);
 
-  // Each variant's predictions fan out over the same grid.
+  // Each variant's predictions fan out over the same grid, routed through
+  // the shard layer as range shards — the same partitioning the
+  // multi-process sweep tools apply to this grid, exercised here from a
+  // real call site. Concatenating range shards in shard order reproduces
+  // the monolithic index order bitwise (the CI gate for this grid is
+  // scripts/sweep_sharded.sh; this keeps the in-process runner on the
+  // identical path).
   const runtime::BatchEvaluator engine;
+  const runtime::shard::ShardPlan plan(
+      grid.size(), std::min<std::size_t>(4, grid.size()),
+      runtime::shard::ShardStrategy::kRange);
   std::vector<AblationRow> rows;
   for (ModelVariant v :
        {ModelVariant::kFull, ModelVariant::kNoMemoryTerms,
         ModelVariant::kNoAllocationModel, ModelVariant::kNoCnnComplexity,
         ModelVariant::kFixedEncodeCost}) {
-    const auto predicted =
-        engine.map(grid, [v](const core::ScenarioConfig& s) {
-          return variant_latency_ms(v, s);
-        });
+    std::vector<double> predicted;
+    predicted.reserve(grid.size());
+    for (std::size_t k = 0; k < plan.shard_count(); ++k) {
+      const auto part = engine.map(plan.shard_size(k), [&](std::size_t j) {
+        return variant_latency_ms(v, grid.at(plan.global_index(k, j)));
+      });
+      predicted.insert(predicted.end(), part.begin(), part.end());
+    }
     rows.push_back(AblationRow{v, math::mape(truth, predicted)});
   }
   return rows;

@@ -23,6 +23,7 @@
 #include "baselines/fact.h"
 #include "baselines/leaf.h"
 #include "core/framework.h"
+#include "runtime/shard/shard_plan.h"
 #include "trace/series.h"
 #include "xrsim/ground_truth.h"
 
@@ -117,6 +118,14 @@ struct ComparisonResult {
 };
 [[nodiscard]] ComparisonResult run_model_comparison(Metric metric,
                                                     const SweepConfig& cfg = {});
+
+/// The ablation's remote-inference clock × size sweep as a *serializable*
+/// grid spec — the document tools/sweep_worker and scripts/sweep_sharded.sh
+/// shard across worker processes. ablation_grid_spec(cfg).build()
+/// enumerates exactly the grid run_ablation evaluates (clock outer, frame
+/// size inner over the remote factory scenario).
+[[nodiscard]] runtime::shard::GridSpec ablation_grid_spec(
+    const SweepConfig& cfg = {});
 
 /// Ablation of the proposed model's distinguishing terms (§VIII insight:
 /// accuracy comes from the computation-resource, encoding, and

@@ -47,10 +47,12 @@ double jitter(math::Rng& rng, double sigma) {
 }  // namespace
 
 GroundTruthResult GroundTruthSimulator::run(
-    const core::ScenarioConfig& s) const {
+    const core::ScenarioConfig& s, std::size_t frames_override) const {
   core::validate(s);
+  const std::size_t frames =
+      frames_override > 0 ? frames_override : config_.frames;
   GroundTruthResult result;
-  result.frames.reserve(config_.frames);
+  result.frames.reserve(frames);
 
   // The simulator *reuses the same physical sub-models* the analytical
   // framework derives its equations from (that is the point of the paper's
@@ -98,7 +100,7 @@ GroundTruthResult GroundTruthSimulator::run(
   }
 
   // Drive one frame per event on the DES clock.
-  for (std::size_t q = 0; q < config_.frames; ++q) {
+  for (std::size_t q = 0; q < frames; ++q) {
     des.schedule_at(double(q) * frame_interval, [&, q](sim::Simulator&) {
       FrameRecord rec;
       rec.frame = int(q);
@@ -253,7 +255,7 @@ GroundTruthResult GroundTruthSimulator::run(
     });
   }
 
-  des.run_until(double(config_.frames) * frame_interval + 1.0);
+  des.run_until(double(frames) * frame_interval + 1.0);
   return result;
 }
 

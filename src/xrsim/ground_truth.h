@@ -93,8 +93,13 @@ class GroundTruthSimulator {
   explicit GroundTruthSimulator(GroundTruthConfig config = GroundTruthConfig{});
 
   /// Simulate `config.frames` frames of the scenario and return per-frame
-  /// measurements. Validates the scenario.
-  [[nodiscard]] GroundTruthResult run(const core::ScenarioConfig& s) const;
+  /// measurements. Validates the scenario. `frames_override` (when > 0)
+  /// replaces the configured frame count for this run only, so sweep
+  /// runners can trade fidelity for wall time without rebuilding the
+  /// simulator; 0 preserves the configured behaviour. Runs that agree on
+  /// (seed, scenario, effective frame count) are identical.
+  [[nodiscard]] GroundTruthResult run(const core::ScenarioConfig& s,
+                                      std::size_t frames_override = 0) const;
 
   [[nodiscard]] const GroundTruthConfig& config() const noexcept {
     return config_;

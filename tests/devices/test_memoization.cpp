@@ -1,0 +1,119 @@
+// The submodel-lookup memo contract: the cached path is bitwise identical
+// to the cold path, for the CNN zoo lookups and the Eq. (10) codec curves,
+// end-to-end through a full model sweep.
+#include "devices/memo.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/framework.h"
+#include "devices/cnn.h"
+#include "devices/codec.h"
+#include "runtime/batch_evaluator.h"
+#include "runtime/sweep.h"
+
+namespace xr::devices {
+namespace {
+
+/// Restore the (process-global) toggle whatever a test does.
+class MemoizationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_submodel_memoization(true); }
+};
+
+TEST_F(MemoizationTest, ToggleIsObservable) {
+  set_submodel_memoization(false);
+  EXPECT_FALSE(submodel_memoization_enabled());
+  set_submodel_memoization(true);
+  EXPECT_TRUE(submodel_memoization_enabled());
+}
+
+TEST_F(MemoizationTest, CnnLookupIsIdenticalAndStable) {
+  for (const auto& spec : cnn_zoo()) {
+    set_submodel_memoization(false);
+    const CnnSpec* cold = &cnn_by_name(spec.name);
+    set_submodel_memoization(true);
+    const CnnSpec* warm1 = &cnn_by_name(spec.name);
+    const CnnSpec* warm2 = &cnn_by_name(spec.name);
+    // Same zoo entry (stable storage), twice.
+    EXPECT_EQ(cold, warm1);
+    EXPECT_EQ(warm1, warm2);
+  }
+  set_submodel_memoization(true);
+  EXPECT_THROW((void)cnn_by_name("NoSuchNet"), std::out_of_range);
+  set_submodel_memoization(false);
+  EXPECT_THROW((void)cnn_by_name("NoSuchNet"), std::out_of_range);
+}
+
+TEST_F(MemoizationTest, CodecCurvesAreBitwiseIdentical) {
+  const CodecModel paper;
+  // A refitted model shares the cache keyspace with the paper model; the
+  // key includes the coefficients, so the two must never alias.
+  const CodecModel refit = CodecModel::from_fitted(
+      {-600.0, -7.0, 140.0, 50.0, 1.5, 160.0, 3.5}, 1.0 / 3.0);
+
+  std::vector<H264Config> configs;
+  for (double bitrate : {2.0, 4.0, 8.0}) {
+    H264Config cfg;
+    cfg.bitrate_mbps = bitrate;
+    configs.push_back(cfg);
+  }
+  H264Config exotic;
+  exotic.i_frame_interval = 12;
+  exotic.b_frame_interval = 0;
+  exotic.fps = 60;
+  exotic.quantization = 35;
+  configs.push_back(exotic);
+
+  for (double size = 250; size <= 750; size += 125) {
+    for (const auto& cfg : configs) {
+      for (const CodecModel* model : {&paper, &refit}) {
+        set_submodel_memoization(false);
+        const double work_cold = model->encode_work(size, cfg);
+        const double size_cold = model->encoded_size_mb(size, cfg);
+        set_submodel_memoization(true);
+        // First warm call populates, second hits the cache.
+        EXPECT_EQ(model->encode_work(size, cfg), work_cold);
+        EXPECT_EQ(model->encode_work(size, cfg), work_cold);
+        EXPECT_EQ(model->encoded_size_mb(size, cfg), size_cold);
+        EXPECT_EQ(model->encoded_size_mb(size, cfg), size_cold);
+      }
+    }
+  }
+}
+
+TEST_F(MemoizationTest, FullModelSweepIsBitwiseIdentical) {
+  const auto grid =
+      runtime::SweepSpec(core::make_remote_scenario(500, 2.0))
+          .cpu_clocks_ghz({1.0, 2.0, 3.0})
+          .frame_sizes({300, 500, 700})
+          .codec_bitrates_mbps({2.0, 8.0})
+          .edge_cnns({"YoloV3", "YoloV7"})
+          .build();
+  const runtime::BatchEvaluator engine({}, runtime::BatchOptions{1});
+
+  set_submodel_memoization(false);
+  const auto cold = engine.run(grid);
+  set_submodel_memoization(true);
+  const auto warm = engine.run(grid);
+  const auto warm_again = engine.run(grid);  // all-hits pass
+
+  ASSERT_EQ(cold.reports.size(), warm.reports.size());
+  for (std::size_t i = 0; i < cold.reports.size(); ++i) {
+    for (const auto* r : {&warm.reports[i], &warm_again.reports[i]}) {
+      EXPECT_EQ(r->latency.total, cold.reports[i].latency.total);
+      EXPECT_EQ(r->latency.encoding, cold.reports[i].latency.encoding);
+      EXPECT_EQ(r->latency.remote_inference,
+                cold.reports[i].latency.remote_inference);
+      EXPECT_EQ(r->latency.transmission,
+                cold.reports[i].latency.transmission);
+      EXPECT_EQ(r->energy.total, cold.reports[i].energy.total);
+    }
+  }
+  EXPECT_EQ(cold.best_latency_index, warm.best_latency_index);
+  EXPECT_EQ(cold.pareto_indices, warm.pareto_indices);
+}
+
+}  // namespace
+}  // namespace xr::devices

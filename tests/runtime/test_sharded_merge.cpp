@@ -1,0 +1,307 @@
+// The sharded sweep acceptance contract: for random grids and shard counts
+// K ∈ {1, 2, 3, 7}, merging K partial reductions reproduces the monolithic
+// BatchEvaluator result bitwise (indices, optima, ranges, Pareto set), and
+// a worker killed between chunks resumes to byte-identical outputs.
+#include "runtime/shard/merge.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/shard/worker.h"
+#include "testbed/experiments.h"
+
+namespace xr::runtime::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardedMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xr_shard_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string stem(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// A randomized-but-seeded grid spec over the paper's knobs.
+GridSpec random_spec(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> len(2, 4);
+  std::uniform_real_distribution<double> size(250, 750);
+  std::uniform_real_distribution<double> clock(0.8, 3.2);
+  std::uniform_real_distribution<double> rate(2.0, 12.0);
+
+  GridSpec spec;
+  spec.base = coin(rng) ? "remote" : "local";
+  spec.frame_size = 500;
+  spec.cpu_ghz = 2.0;
+
+  GridAxisSpec sizes;
+  sizes.knob = "frame_size";
+  for (int i = 0, n = len(rng); i < n; ++i)
+    sizes.numbers.push_back(size(rng));
+  spec.axes.push_back(sizes);
+
+  GridAxisSpec clocks;
+  clocks.knob = "cpu_ghz";
+  for (int i = 0, n = len(rng); i < n; ++i)
+    clocks.numbers.push_back(clock(rng));
+  spec.axes.push_back(clocks);
+
+  if (spec.base == "remote") {
+    GridAxisSpec bitrates;
+    bitrates.knob = "codec_mbps";
+    for (int i = 0, n = len(rng); i < n; ++i)
+      bitrates.numbers.push_back(rate(rng));
+    spec.axes.push_back(bitrates);
+  } else {
+    GridAxisSpec omegas;
+    omegas.knob = "omega_c";
+    omegas.numbers = {0.25, 0.5, 1.0};
+    spec.axes.push_back(omegas);
+  }
+  return spec;
+}
+
+/// Build K in-memory partials from a monolithic result and a plan.
+std::vector<PartialReduction> partials_of(const BatchResult& result,
+                                          const ShardPlan& plan) {
+  std::vector<PartialReduction> out;
+  for (std::size_t k = 0; k < plan.shard_count(); ++k) {
+    PartialReduction partial(ShardIdentity{
+        k, plan.shard_count(), plan.strategy(), plan.grid_size()});
+    for (std::size_t j = 0; j < plan.shard_size(k); ++j) {
+      const std::size_t g = plan.global_index(k, j);
+      partial.add(g, result.reports[g].latency.total,
+                  result.reports[g].energy.total);
+    }
+    out.push_back(std::move(partial));
+  }
+  return out;
+}
+
+TEST_F(ShardedMergeTest, MergeLawHoldsForRandomGridsAndShardCounts) {
+  const BatchEvaluator engine({}, BatchOptions{1});
+  for (std::uint32_t seed : {11u, 23u, 47u}) {
+    const auto grid = random_spec(seed).build();
+    const auto mono = engine.run(grid);
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                          std::size_t{7}}) {
+      for (ShardStrategy strategy :
+           {ShardStrategy::kRange, ShardStrategy::kStrided}) {
+        const ShardPlan plan(grid.size(), k, strategy);
+        const auto merged = merge_partials(partials_of(mono, plan));
+        std::string why;
+        EXPECT_TRUE(matches_batch_result(merged, mono, &why))
+            << "seed " << seed << ", K=" << k << ", "
+            << strategy_name(strategy) << ": " << why;
+      }
+    }
+  }
+}
+
+TEST_F(ShardedMergeTest, WorkerProcessesAndMergeMatchMonolithicRun) {
+  // The full file-based path on the testbed ablation grid: K run_worker
+  // passes (the exact code tools/sweep_worker executes) + the merge fold.
+  const auto grid_spec = testbed::ablation_grid_spec();
+  const auto grid = grid_spec.build();
+  const auto mono = BatchEvaluator({}, BatchOptions{1}).run(grid);
+
+  constexpr std::size_t kShards = 3;
+  std::vector<std::string> partial_paths;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    WorkerSpec spec;
+    spec.grid = grid_spec;
+    spec.shard_id = k;
+    spec.shard_count = kShards;
+    spec.output = stem("shard" + std::to_string(k));
+    spec.chunk_records = 2;
+    const auto outcome = run_worker(spec);
+    EXPECT_TRUE(outcome.complete);
+    EXPECT_EQ(outcome.shard_records,
+              ShardPlan(grid.size(), kShards).shard_size(k));
+    partial_paths.push_back(outcome.partial_path);
+  }
+
+  const auto merged = merge_partial_files(partial_paths);
+  std::string why;
+  EXPECT_TRUE(matches_batch_result(merged, mono, &why)) << why;
+
+  // Summary JSON round-trips to an equivalent summary.
+  const auto back =
+      MergedSummary::from_json(Json::parse(merged.to_json().dump()));
+  EXPECT_TRUE(summaries_equivalent(merged, back, &why)) << why;
+}
+
+TEST_F(ShardedMergeTest, ResumeAfterKillIsByteIdentical) {
+  const auto grid_spec = testbed::ablation_grid_spec();
+
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.shard_id = 1;
+  spec.shard_count = 2;
+  spec.chunk_records = 3;
+
+  // Reference: uninterrupted run.
+  spec.output = stem("clean");
+  const auto clean = run_worker(spec);
+  ASSERT_TRUE(clean.complete);
+
+  // Killed after 4 records, then resumed.
+  spec.output = stem("killed");
+  const auto first = run_worker(spec, /*max_new_records=*/4);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(first.shard_records, 4u);
+  // A real kill can also tear the in-flight line; simulate that too.
+  {
+    std::ofstream out(first.jsonl_path, std::ios::binary | std::ios::app);
+    out << "{\"i\":torn";
+  }
+  spec.resume = true;
+  const auto second = run_worker(spec);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.resumed_records, 4u);
+  EXPECT_EQ(second.evaluated_records, clean.shard_records - 4u);
+
+  EXPECT_EQ(read_file(second.jsonl_path), read_file(clean.jsonl_path));
+  // Partials agree on everything except wall time; compare via merge with
+  // the sibling shard.
+  WorkerSpec other = spec;
+  other.resume = false;
+  other.shard_id = 0;
+  other.output = stem("other");
+  const auto sibling = run_worker(other);
+  const auto merged_clean =
+      merge_partials({sibling.partial, clean.partial});
+  const auto merged_resumed =
+      merge_partials({sibling.partial, second.partial});
+  std::string why;
+  EXPECT_TRUE(summaries_equivalent(merged_clean, merged_resumed, &why))
+      << why;
+
+  // Resuming a complete shard is a no-op.
+  const auto third = run_worker(spec);
+  EXPECT_TRUE(third.complete);
+  EXPECT_EQ(third.evaluated_records, 0u);
+  EXPECT_EQ(read_file(third.jsonl_path), read_file(clean.jsonl_path));
+}
+
+TEST_F(ShardedMergeTest, ResumeRefusesADifferentGrid) {
+  // Same shape (index sequence indistinguishable), different axis values:
+  // only the grid fingerprint in the checkpoint can tell them apart.
+  GridSpec original = testbed::ablation_grid_spec();
+  GridSpec edited = original;
+  edited.axes[1].numbers[0] += 10.0;
+
+  WorkerSpec spec;
+  spec.grid = original;
+  spec.shard_id = 0;
+  spec.shard_count = 2;
+  spec.chunk_records = 2;
+  spec.output = stem("shard0");
+  const auto first = run_worker(spec, /*max_new_records=*/4);
+  ASSERT_FALSE(first.complete);
+
+  spec.resume = true;
+  spec.grid = edited;
+  EXPECT_THROW((void)run_worker(spec), std::runtime_error);
+
+  // The original spec still resumes cleanly.
+  spec.grid = original;
+  const auto resumed = run_worker(spec);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_records, 4u);
+
+  // And merging partials from different grids is refused.
+  PartialReduction other_grid(ShardIdentity{
+      1, 2, ShardStrategy::kRange, original.build().size(),
+      grid_fingerprint(edited)});
+  const ShardPlan plan(original.build().size(), 2);
+  for (std::size_t j = 0; j < plan.shard_size(1); ++j)
+    other_grid.add(plan.global_index(1, j), 1.0, 1.0);
+  EXPECT_THROW((void)merge_partials({resumed.partial, other_grid}),
+               std::invalid_argument);
+}
+
+TEST_F(ShardedMergeTest, MergeRejectsBadCovers) {
+  const auto grid = testbed::ablation_grid_spec().build();
+  const auto mono = BatchEvaluator({}, BatchOptions{1}).run(grid);
+  const ShardPlan plan(grid.size(), 3, ShardStrategy::kRange);
+  const auto partials = partials_of(mono, plan);
+
+  EXPECT_THROW((void)merge_partials({}), std::invalid_argument);
+  // Missing shard.
+  EXPECT_THROW((void)merge_partials({partials[0], partials[2]}),
+               std::invalid_argument);
+  // Duplicate shard.
+  EXPECT_THROW(
+      (void)merge_partials({partials[0], partials[1], partials[1]}),
+      std::invalid_argument);
+  // Partition mismatch.
+  const ShardPlan other(grid.size(), 2, ShardStrategy::kRange);
+  const auto two = partials_of(mono, other);
+  EXPECT_THROW((void)merge_partials({partials[0], partials[1], two[0]}),
+               std::invalid_argument);
+  // Incomplete shard: drop the last record of shard 2.
+  PartialReduction incomplete(
+      ShardIdentity{2, 3, ShardStrategy::kRange, grid.size()});
+  for (std::size_t j = 0; j + 1 < plan.shard_size(2); ++j) {
+    const std::size_t g = plan.global_index(2, j);
+    incomplete.add(g, mono.reports[g].latency.total,
+                   mono.reports[g].energy.total);
+  }
+  EXPECT_THROW(
+      (void)merge_partials({partials[0], partials[1], incomplete}),
+      std::invalid_argument);
+}
+
+TEST_F(ShardedMergeTest, WorkerSpecJsonRoundTrips) {
+  WorkerSpec spec;
+  spec.grid = testbed::ablation_grid_spec();
+  spec.shard_id = 2;
+  spec.shard_count = 5;
+  spec.strategy = ShardStrategy::kStrided;
+  spec.output = "out/shard2";
+  spec.chunk_records = 16;
+  spec.threads = 2;
+  spec.resume = true;
+
+  const auto back = WorkerSpec::from_json(Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(back.shard_id, 2u);
+  EXPECT_EQ(back.shard_count, 5u);
+  EXPECT_EQ(back.strategy, ShardStrategy::kStrided);
+  EXPECT_EQ(back.output, "out/shard2");
+  EXPECT_EQ(back.chunk_records, 16u);
+  EXPECT_EQ(back.threads, 2u);
+  EXPECT_TRUE(back.resume);
+  EXPECT_EQ(back.grid.build().size(), spec.grid.build().size());
+}
+
+}  // namespace
+}  // namespace xr::runtime::shard

@@ -22,6 +22,35 @@ TEST(GroundTruth, ProducesRequestedFrameCount) {
   EXPECT_EQ(result.energy.count(), 50u);
 }
 
+TEST(GroundTruth, FramesOverrideReplacesConfiguredCount) {
+  const GroundTruthSimulator sim(small_run(50));
+  const auto scenario = core::make_remote_scenario();
+
+  // Zero preserves the configured behaviour bit-for-bit.
+  const auto configured = sim.run(scenario);
+  const auto defaulted = sim.run(scenario, 0);
+  ASSERT_EQ(configured.frames.size(), 50u);
+  ASSERT_EQ(defaulted.frames.size(), 50u);
+  for (std::size_t i = 0; i < configured.frames.size(); ++i) {
+    EXPECT_EQ(defaulted.frames[i].total_latency_ms,
+              configured.frames[i].total_latency_ms);
+    EXPECT_EQ(defaulted.frames[i].energy_mj, configured.frames[i].energy_mj);
+  }
+
+  // An override run equals a simulator configured with that frame count.
+  const auto overridden = sim.run(scenario, 20);
+  ASSERT_EQ(overridden.frames.size(), 20u);
+  const GroundTruthSimulator sim20(small_run(20));
+  const auto reference = sim20.run(scenario);
+  ASSERT_EQ(reference.frames.size(), 20u);
+  for (std::size_t i = 0; i < 20u; ++i) {
+    EXPECT_EQ(overridden.frames[i].total_latency_ms,
+              reference.frames[i].total_latency_ms);
+    EXPECT_EQ(overridden.frames[i].energy_mj, reference.frames[i].energy_mj);
+  }
+  EXPECT_EQ(overridden.mean_latency_ms(), reference.mean_latency_ms());
+}
+
 TEST(GroundTruth, DeterministicForSeed) {
   const GroundTruthSimulator sim(small_run());
   const auto a = sim.run(core::make_remote_scenario());

@@ -1,0 +1,94 @@
+// sweep_merge — fold K shard partial reductions into one summary.
+//
+//   $ sweep_merge --out merged.summary.json
+//                 out/s0.partial.json out/s1.partial.json ...
+//
+// With --check FILE the merged summary is compared field-by-field (bitwise
+// on every double) against a reference summary — typically the one a
+// single-process run (shard_count = 1) produced — and the exit code
+// reports the verdict: 0 identical, 1 diverged. This is the acceptance
+// gate scripts/sweep_sharded.sh enforces.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/shard/merge.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sweep_merge [--out FILE] [--check FILE] "
+               "PARTIAL.json...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xr::runtime::shard;
+  try {
+    std::string out_path, check_path;
+    std::vector<std::string> partial_paths;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--out") out_path = value();
+      else if (arg == "--check") check_path = value();
+      else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        partial_paths.push_back(arg);
+      }
+    }
+    if (partial_paths.empty()) {
+      usage();
+      return 2;
+    }
+
+    const MergedSummary merged = merge_partial_files(partial_paths);
+    std::printf(
+        "sweep_merge: %zu shards (%s) over %zu scenarios\n"
+        "  best latency : index %zu -> %g ms\n"
+        "  best energy  : index %zu -> %g mJ\n"
+        "  latency range [%g, %g] ms, energy range [%g, %g] mJ\n"
+        "  Pareto frontier: %zu points\n"
+        "  worker wall: %.2f ms makespan, %.2f ms total\n",
+        merged.stats.shards, strategy_name(merged.strategy),
+        merged.grid_size, merged.best_latency_index, merged.min_latency_ms,
+        merged.best_energy_index, merged.min_energy_mj,
+        merged.min_latency_ms, merged.max_latency_ms, merged.min_energy_mj,
+        merged.max_energy_mj, merged.pareto.size(), merged.stats.wall_ms_max,
+        merged.stats.wall_ms_sum);
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + out_path);
+      out << merged.to_json().dump() << '\n';
+      std::printf("  summary -> %s\n", out_path.c_str());
+    }
+
+    if (!check_path.empty()) {
+      const MergedSummary reference =
+          MergedSummary::from_json(Json::parse(read_text_file(check_path)));
+      std::string why;
+      if (!summaries_equivalent(merged, reference, &why)) {
+        std::fprintf(stderr,
+                     "sweep_merge: DIVERGED from %s: %s\n",
+                     check_path.c_str(), why.c_str());
+        return 1;
+      }
+      std::printf("  check vs %s: bitwise identical\n", check_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_merge: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,142 @@
+// sweep_worker — evaluate one shard of a scenario grid, streaming results.
+//
+// One process per shard; each writes <out>.jsonl (index-tagged
+// PerformanceReport records) and <out>.partial.json (the mergeable
+// reduction). sweep_merge folds K partials back into the monolithic
+// summary. scripts/sweep_sharded.sh drives the whole flow.
+//
+//   # shard 1 of 3 of the testbed ablation grid
+//   $ sweep_worker --ablation-grid --shard-id 1 --shard-count 3
+//                  --out out/shard1
+//
+//   # same, from a spec document
+//   $ sweep_worker --spec shard1.json
+//
+//   # print a grid spec for editing / scripting
+//   $ sweep_worker --emit-ablation-grid > grid.json
+//   $ sweep_worker --grid grid.json --shard-id 0 --shard-count 4 --out s0
+//
+// --resume continues a killed run from its last flushed chunk;
+// --max-records N stops after N new records (checkpoint demo / testing).
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "runtime/shard/worker.h"
+#include "testbed/experiments.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sweep_worker --spec FILE [--resume] [--max-records N]\n"
+      "       sweep_worker (--grid FILE | --ablation-grid) --shard-id N\n"
+      "                    --shard-count K --out STEM [--strategy "
+      "range|strided]\n"
+      "                    [--chunk N] [--threads N] [--resume] "
+      "[--max-records N]\n"
+      "       sweep_worker --emit-ablation-grid\n");
+}
+
+/// Strict non-negative integer: trailing garbage is a usage error, not a
+/// silent zero ("--threads x" must not quietly mean the shared pool).
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  std::size_t v = 0;
+  const char* first = text.c_str();
+  const char* last = first + text.size();
+  const auto res = std::from_chars(first, last, v);
+  if (text.empty() || res.ec != std::errc{} || res.ptr != last)
+    throw std::runtime_error("bad number for " + flag + ": '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xr::runtime::shard;
+  try {
+    WorkerSpec spec;
+    bool have_spec = false, have_grid = false;
+    bool have_shard_id = false, have_out = false;
+    std::size_t max_records = 0;
+
+    // Two passes so flag order never matters: the spec document loads
+    // first, then every explicit flag overrides it (--resume alongside
+    // --spec must never be silently dropped — it guards a checkpoint).
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--spec") == 0) {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for --spec");
+        spec = WorkerSpec::from_json(Json::parse(read_text_file(argv[i + 1])));
+        have_spec = have_grid = have_shard_id = have_out = true;
+      }
+    }
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--spec") {
+        (void)value();  // consumed by the first pass
+      } else if (arg == "--grid") {
+        spec.grid = GridSpec::from_json(Json::parse(read_text_file(value())));
+        have_grid = true;
+      } else if (arg == "--ablation-grid") {
+        spec.grid = xr::testbed::ablation_grid_spec();
+        have_grid = true;
+      } else if (arg == "--emit-ablation-grid") {
+        std::printf("%s\n",
+                    xr::testbed::ablation_grid_spec().to_json().dump().c_str());
+        return 0;
+      } else if (arg == "--shard-id") {
+        spec.shard_id = parse_size(arg, value());
+        have_shard_id = true;
+      } else if (arg == "--shard-count") {
+        spec.shard_count = parse_size(arg, value());
+      } else if (arg == "--strategy") {
+        spec.strategy = strategy_from_name(value());
+      } else if (arg == "--out") {
+        spec.output = value();
+        have_out = true;
+      } else if (arg == "--chunk") {
+        spec.chunk_records = parse_size(arg, value());
+      } else if (arg == "--threads") {
+        spec.threads = parse_size(arg, value());
+      } else if (arg == "--resume") {
+        spec.resume = true;
+      } else if (arg == "--max-records") {
+        max_records = parse_size(arg, value());
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "sweep_worker: unknown argument '%s'\n",
+                     arg.c_str());
+        usage();
+        return 2;
+      }
+    }
+    if (!have_grid || !have_out || (!have_spec && !have_shard_id)) {
+      usage();
+      return 2;
+    }
+
+    const WorkerOutcome outcome = run_worker(spec, max_records);
+    std::printf(
+        "sweep_worker: shard %zu/%zu (%s) -> %s\n"
+        "  records %zu (%zu resumed, %zu evaluated), %s\n",
+        spec.shard_id, spec.shard_count, strategy_name(spec.strategy),
+        outcome.jsonl_path.c_str(), outcome.shard_records,
+        outcome.resumed_records, outcome.evaluated_records,
+        outcome.complete ? "complete" : "stopped early (checkpointed)");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+    return 1;
+  }
+}
