@@ -1,0 +1,99 @@
+// Sharded ground-truth sweep of the Fig. 4(b) validation grid — the
+// expensive half of the paper's §VII validation, run through the full
+// shard pipeline in-process so the measurement is self-contained.
+//
+// This is the sweep the shard layer exists for: every grid point runs a
+// GroundTruthSimulator episode (the testbed substitute), which dominates
+// sweep wall time, and each point's simulator seed derives from its
+// *global* grid index. The monolithic reference is a shard_count = 1
+// worker; the sharded path runs K workers + the merge fold. The merged
+// summary — extrema and Pareto over the measurements, plus the exactly
+// merged mean GT latency/energy and model error — must be bitwise
+// equivalent to the monolithic one; the bench exits nonzero when it is
+// not, so a GT merge regression fails the run.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/shard/merge.h"
+#include "runtime/shard/worker.h"
+
+int main() {
+  using namespace xr;
+  namespace shard = runtime::shard;
+
+  auto cfg = bench::paper_sweep();
+  cfg.frames_per_point = 60;  // fidelity knob: keep the bench snappy
+  const shard::GridSpec grid_spec =
+      testbed::validation_grid_spec(core::InferencePlacement::kRemote, cfg);
+  const shard::EvaluatorSpec evaluator = testbed::gt_evaluator_spec(cfg);
+  const std::size_t grid_size = grid_spec.build().size();
+  constexpr std::size_t kShards = 4;
+
+  const std::string dir = bench::bench_out_dir() + "/sharded_gt";
+  std::filesystem::create_directories(dir);
+
+  const auto run_shards = [&](std::size_t shard_count,
+                              const std::string& stem) {
+    std::vector<shard::PartialReduction> partials;
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      shard::WorkerSpec spec;
+      spec.grid = grid_spec;
+      spec.evaluator = evaluator;
+      spec.shard_id = k;
+      spec.shard_count = shard_count;
+      spec.output = dir + "/" + stem + std::to_string(k);
+      spec.chunk_records = 4;
+      partials.push_back(shard::run_worker(spec).partial);
+    }
+    return shard::merge_partials(partials);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto mono = run_shards(1, "mono");
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto merged = run_shards(kShards, "shard");
+  const auto t2 = std::chrono::steady_clock::now();
+  const double mono_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double sharded_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+
+  std::string why;
+  const bool identical = shard::summaries_equivalent(merged, mono, &why);
+
+  std::printf(
+      "sharded ground-truth sweep: %zu scenarios x %zu frames, %zu shards\n"
+      "  monolithic worker (K=1)   : %8.3f ms\n"
+      "  sharded workers + merge   : %8.3f ms (streaming, bounded memory)\n"
+      "  mean GT latency %.3f ms, mean energy %.3f mJ\n"
+      "  model error: latency %.3f%%, energy %.3f%%\n"
+      "  merged == monolithic      : %s%s%s\n",
+      grid_size, cfg.frames_per_point, kShards, mono_ms, sharded_ms,
+      merged.gt->mean_latency_ms(), merged.gt->mean_energy_mj(),
+      merged.gt->mean_latency_error_pct(), merged.gt->mean_energy_error_pct(),
+      identical ? "yes (bitwise)" : "NO: ", identical ? "" : why.c_str(),
+      identical ? "" : " (bug!)");
+
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"sharded_gt_sweep\",\"grid_candidates\":%zu,"
+      "\"frames_per_point\":%zu,\"shards\":%zu,\"monolithic_wall_ms\":%.3f,"
+      "\"sharded_wall_ms\":%.3f,\"mean_latency_error_pct\":%.4f,"
+      "\"mean_energy_error_pct\":%.4f,\"identical\":%s}",
+      grid_size, cfg.frames_per_point, kShards, mono_ms, sharded_ms,
+      merged.gt->mean_latency_error_pct(), merged.gt->mean_energy_error_pct(),
+      identical ? "true" : "false");
+  const std::string path =
+      bench::bench_out_dir() + "/BENCH_sharded_gt_sweep.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  std::printf("BENCH_JSON %s\n", json);
+  return identical ? 0 : 1;
+}

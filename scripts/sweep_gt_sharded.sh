@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Sharded *ground-truth* sweep acceptance gate: K sweep_worker processes
+# running the testbed-substitute simulator over the Fig. 4(b) validation
+# grid must merge bitwise-equivalent to the single-process summary — for
+# both range and strided partitioning, and through a kill/resume mid-shard.
+# Per-point simulator seeds derive from the global grid index, so shard
+# count, strategy, and resume position must not change a single bit.
+#
+#   usage: scripts/sweep_gt_sharded.sh [BUILD_DIR] [SHARDS]
+#
+# BUILD_DIR defaults to ./build (binaries: sweep_worker, sweep_merge);
+# SHARDS defaults to 3 (must be >= 3 for the acceptance criterion).
+set -euo pipefail
+
+BUILD_DIR="${1:-$(dirname "$0")/../build}"
+SHARDS="${2:-3}"
+WORKER="$BUILD_DIR/sweep_worker"
+MERGE="$BUILD_DIR/sweep_merge"
+
+# The ground-truth evaluator: modest fidelity keeps the gate fast; the
+# bitwise law is independent of the frame count.
+GT=(--validation-grid remote --evaluator ground_truth --gt-seed 42 --gt-frames 40)
+
+if [[ ! -x "$WORKER" || ! -x "$MERGE" ]]; then
+  echo "sweep_gt_sharded.sh: build sweep_worker/sweep_merge first (looked in $BUILD_DIR)" >&2
+  exit 2
+fi
+if (( SHARDS < 3 )); then
+  echo "sweep_gt_sharded.sh: SHARDS must be >= 3" >&2
+  exit 2
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/sweep_gt_sharded.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== monolithic reference (shard_count = 1, ground_truth evaluator) =="
+"$WORKER" "${GT[@]}" --shard-id 0 --shard-count 1 --out "$OUT/mono"
+"$MERGE" --out "$OUT/mono.summary.json" "$OUT/mono.partial.json"
+
+echo
+echo "== range: $SHARDS concurrent ground-truth worker processes =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" "${GT[@]}" --shard-id "$k" --shard-count "$SHARDS" \
+            --strategy range --out "$OUT/range$k" --chunk 2 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== range: kill/resume mid-shard (shard 1 stopped after 2 records) =="
+rm -f "$OUT/range1.jsonl" "$OUT/range1.partial.json"
+"$WORKER" "${GT[@]}" --shard-id 1 --shard-count "$SHARDS" \
+          --strategy range --out "$OUT/range1" --chunk 2 --max-records 2
+"$WORKER" "${GT[@]}" --shard-id 1 --shard-count "$SHARDS" \
+          --strategy range --out "$OUT/range1" --chunk 2 --resume
+
+echo
+echo "== range merge + bitwise check against the monolithic summary =="
+partials=()
+for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/range$k.partial.json"); done
+"$MERGE" --out "$OUT/range.summary.json" \
+         --check "$OUT/mono.summary.json" "${partials[@]}"
+
+echo
+echo "== strided: $SHARDS concurrent ground-truth worker processes =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" "${GT[@]}" --shard-id "$k" --shard-count "$SHARDS" \
+            --strategy strided --out "$OUT/strided$k" --chunk 2 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== strided: kill/resume mid-shard (shard 0 stopped after 3 records) =="
+rm -f "$OUT/strided0.jsonl" "$OUT/strided0.partial.json"
+"$WORKER" "${GT[@]}" --shard-id 0 --shard-count "$SHARDS" \
+          --strategy strided --out "$OUT/strided0" --chunk 2 --max-records 3
+"$WORKER" "${GT[@]}" --shard-id 0 --shard-count "$SHARDS" \
+          --strategy strided --out "$OUT/strided0" --chunk 2 --resume
+
+echo
+echo "== strided merge + bitwise check against the monolithic summary =="
+partials=()
+for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/strided$k.partial.json"); done
+"$MERGE" --out "$OUT/strided.summary.json" \
+         --check "$OUT/mono.summary.json" "${partials[@]}"
+
+echo
+echo "sweep_gt_sharded.sh: OK (range and strided x$SHARDS == monolithic, bitwise, incl. kill/resume)"

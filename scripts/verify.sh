@@ -18,8 +18,9 @@ echo "== batch runtime: serial vs parallel determinism =="
 ./build/batch_sweep > /dev/null
 (cd build && ./fig4f_roi > /dev/null && cat bench/out/BENCH_fig4f_roi.json)
 
-# The sharded sweep gate (K worker processes + merge == monolithic,
-# bitwise) already ran above: ctest executes scripts/sweep_sharded.sh as
-# the registered test `scripts.sweep_sharded`.
+# The sharded sweep gates (K worker processes + merge == monolithic,
+# bitwise; analytical and ground-truth evaluators) already ran above:
+# ctest executes scripts/sweep_sharded.sh and scripts/sweep_gt_sharded.sh
+# as the registered tests `scripts.sweep_sharded` / `scripts.sweep_gt_sharded`.
 
 echo "verify.sh: OK"

@@ -1,0 +1,91 @@
+#include "runtime/shard/exact_sum.h"
+
+#include <cmath>
+
+namespace xr::runtime::shard {
+
+void ExactSum::add(double x) {
+  // msum inner loop (Shewchuk via Hettinger, as in CPython's math.fsum):
+  // each two_sum is exact, so partials_ always sums to the exact total.
+  std::size_t i = 0;
+  for (double y : partials_) {
+    if (std::fabs(x) < std::fabs(y)) {
+      const double t = x;
+      x = y;
+      y = t;
+    }
+    const double hi = x + y;
+    const double lo = y - (hi - x);
+    if (lo != 0.0) partials_[i++] = lo;
+    x = hi;
+  }
+  partials_.resize(i);
+  partials_.push_back(x);
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  // Safe under self-merge only via copy; callers never self-merge, but the
+  // loop below indexes a snapshot size anyway for robustness.
+  const std::vector<double> snapshot = other.partials_;
+  for (double p : snapshot) add(p);
+}
+
+double ExactSum::value() const {
+  // CPython fsum's final rounding over non-overlapping increasing-magnitude
+  // partials: sum from the top until the addition is inexact, then apply
+  // the half-even correction that can span two partials. The result is the
+  // exact value correctly rounded — a pure function of the exact value.
+  std::size_t n = partials_.size();
+  if (n == 0) return 0.0;
+  double hi = partials_[--n];
+  double lo = 0.0;
+  while (n > 0) {
+    const double x = hi;
+    const double y = partials_[--n];
+    hi = x + y;
+    const double yr = hi - x;
+    lo = y - yr;
+    if (lo != 0.0) break;
+  }
+  if (n > 0 && ((lo < 0.0 && partials_[n - 1] < 0.0) ||
+                (lo > 0.0 && partials_[n - 1] > 0.0))) {
+    const double y = lo * 2.0;
+    const double x = hi + y;
+    if (y == x - hi) hi = x;
+  }
+  return hi;
+}
+
+bool ExactSum::same_value(const ExactSum& other) const {
+  ExactSum diff = *this;
+  for (double p : other.partials_) diff.add(-p);
+  for (double p : diff.partials_)
+    if (p != 0.0) return false;
+  return true;
+}
+
+std::vector<double> ExactSum::canonical() const {
+  std::vector<double> out;
+  ExactSum rest = *this;
+  for (;;) {
+    const double r = rest.value();
+    if (r == 0.0) break;  // exact zero remainder (±0 both terminate)
+    out.push_back(r);
+    rest.add(-r);
+  }
+  return out;
+}
+
+Json ExactSum::to_json() const {
+  Json j = Json::array();
+  for (double c : canonical()) j.push_back(Json(c));
+  return j;
+}
+
+ExactSum ExactSum::from_json(const Json& j) {
+  ExactSum out;
+  for (const Json& c : j.as_array()) out.add(c.as_double());
+  return out;
+}
+
+}  // namespace xr::runtime::shard

@@ -1,0 +1,61 @@
+// Exactly-associative streaming sum of doubles.
+//
+// The ground-truth merge law needs *means* (GT latency/energy, model error)
+// that come out bitwise identical no matter how the grid was sharded. A
+// plain double accumulator cannot deliver that — float addition is not
+// associative, so K per-shard sums folded together generally differ from
+// the monolithic left-to-right sum in the last ulp. ExactSum removes the
+// problem at the root: it represents the *exact* real-valued sum as a list
+// of non-overlapping doubles (Shewchuk-style expansion, the same scheme as
+// Python's math.fsum), so
+//
+//   * add() is exact — no rounding error ever enters the state;
+//   * merge() is exact — folding shard B into shard A preserves the exact
+//     value, so any grouping of shards yields the same sum;
+//   * value() rounds the exact sum to the nearest double once (half-even),
+//     which is a pure function of the exact value — identical across every
+//     shard count, strategy, thread count, and resume point.
+//
+// Serialization uses the canonical greedy expansion (round, subtract,
+// repeat), which is unique for a given exact value, so two summaries that
+// agree exactly also serialize identically.
+#pragma once
+
+#include <vector>
+
+#include "runtime/shard/jsonio.h"
+
+namespace xr::runtime::shard {
+
+class ExactSum {
+ public:
+  /// Fold one finite double in, exactly.
+  void add(double x);
+  /// Fold another sum in, exactly (associative: any merge tree over the
+  /// same multiset of add() calls yields the same exact value).
+  void merge(const ExactSum& other);
+
+  /// The exact sum rounded to the nearest double (round-half-even) — the
+  /// unique correctly-rounded result, independent of accumulation order.
+  [[nodiscard]] double value() const;
+
+  /// True iff the two exact sums are equal as real numbers (representation
+  /// independent; this is the merge-law comparison).
+  [[nodiscard]] bool same_value(const ExactSum& other) const;
+
+  /// Canonical greedy expansion: [value(), value(rest), ...], decreasing
+  /// magnitude, empty for zero. Unique for a given exact value.
+  [[nodiscard]] std::vector<double> canonical() const;
+
+  /// Serialized as the canonical expansion (a JSON array of doubles in
+  /// shortest round-trip form), so equal sums serialize byte-identically.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static ExactSum from_json(const Json& j);
+
+ private:
+  /// Non-overlapping partials in increasing magnitude; their exact sum is
+  /// the represented value (math.fsum's invariant).
+  std::vector<double> partials_;
+};
+
+}  // namespace xr::runtime::shard

@@ -46,6 +46,7 @@ Json MergedSummary::to_json() const {
     pj.push_back(std::move(t));
   }
   j.set("pareto", std::move(pj));
+  if (gt) j.set("gt", gt->to_json());
   Json sj = Json::object();
   sj.set("shards", stats.shards);
   sj.set("wall_ms_sum", stats.wall_ms_sum);
@@ -78,6 +79,7 @@ MergedSummary MergedSummary::from_json(const Json& j) {
                                      triple[1].as_double(),
                                      triple[2].as_double()});
   }
+  if (const Json* g = j.find("gt")) out.gt = GtAggregate::from_json(*g);
   const Json& sj = j.at("stats");
   out.stats.shards = sj.at("shards").as_size();
   out.stats.wall_ms_sum = sj.at("wall_ms_sum").as_double();
@@ -90,6 +92,7 @@ MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
     throw std::invalid_argument("merge_partials: no partials");
 
   const ShardIdentity& first = partials.front().identity();
+  const bool gt_mode = partials.front().ground_truth();
   const ShardPlan plan(first.grid_size, first.shard_count, first.strategy);
   std::vector<bool> seen(first.shard_count, false);
   std::size_t evaluated = 0;
@@ -101,6 +104,9 @@ MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
         id.grid_fingerprint != first.grid_fingerprint)
       throw std::invalid_argument(
           "merge_partials: partials disagree on the partition or grid");
+    if (p.ground_truth() != gt_mode)
+      throw std::invalid_argument(
+          "merge_partials: cannot mix analytical and ground-truth partials");
     if (id.shard_id >= id.shard_count)
       throw std::invalid_argument("merge_partials: shard id out of range");
     if (seen[id.shard_id])
@@ -186,6 +192,14 @@ MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
     }
   }
 
+  // Ground-truth aggregates: ExactSum merges are exact, so any grouping of
+  // shards produces the same sums — and the same derived means — bitwise.
+  if (gt_mode) {
+    GtAggregate agg;
+    for (const auto& p : partials) agg.merge(*p.gt());
+    out.gt = std::move(agg);
+  }
+
   for (const auto& p : partials) {
     ++out.stats.shards;
     out.stats.wall_ms_sum += p.wall_ms;
@@ -237,11 +251,30 @@ bool summaries_equivalent(const MergedSummary& a, const MergedSummary& b,
         a.pareto[i].latency_ms != b.pareto[i].latency_ms ||
         a.pareto[i].energy_mj != b.pareto[i].energy_mj)
       return fail(why, "pareto[" + std::to_string(i) + "] differs");
+  if (a.gt.has_value() != b.gt.has_value())
+    return fail(why, "evaluator kind differs (ground-truth vs analytical)");
+  if (a.gt) {
+    // Exact-value comparison — representation independent, stricter than
+    // comparing the rounded means.
+    if (a.gt->count != b.gt->count) return fail(why, "gt count differs");
+    if (!a.gt->latency_ms_sum.same_value(b.gt->latency_ms_sum))
+      return fail(why, "gt latency sum differs");
+    if (!a.gt->energy_mj_sum.same_value(b.gt->energy_mj_sum))
+      return fail(why, "gt energy sum differs");
+    if (!a.gt->latency_error_pct_sum.same_value(b.gt->latency_error_pct_sum))
+      return fail(why, "gt latency model-error sum differs");
+    if (!a.gt->energy_error_pct_sum.same_value(b.gt->energy_error_pct_sum))
+      return fail(why, "gt energy model-error sum differs");
+  }
   return true;
 }
 
 bool matches_batch_result(const MergedSummary& summary,
                           const BatchResult& result, std::string* why) {
+  if (summary.gt)
+    return fail(why,
+                "ground-truth summary cannot match an analytical "
+                "BatchResult");
   if (summary.grid_size != result.reports.size())
     return fail(why, "grid_size differs");
   if (summary.best_latency_index != result.best_latency_index)

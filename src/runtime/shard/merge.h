@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,11 @@ struct MergeStats {
 };
 
 /// The BatchResult-equivalent summary of a sharded sweep.
+///
+/// For ground-truth sweeps the extrema/Pareto fields range over the
+/// *measured* per-point means, and `gt` carries the exactly-merged
+/// aggregates (mean GT latency/energy, mean model error vs the analytical
+/// prediction) — bitwise identical for every disjoint cover of the grid.
 struct MergedSummary {
   std::size_t grid_size = 0;
   std::size_t shard_count = 0;
@@ -42,6 +48,9 @@ struct MergedSummary {
   double min_energy_mj = 0, max_energy_mj = 0;
   std::vector<ParetoPoint> pareto;  ///< latency-ascending frontier.
 
+  /// Ground-truth aggregates; engaged iff the workers ran the GT evaluator.
+  std::optional<GtAggregate> gt;
+
   MergeStats stats;
 
   [[nodiscard]] std::vector<std::size_t> pareto_indices() const;
@@ -50,8 +59,9 @@ struct MergedSummary {
 };
 
 /// Merge a complete disjoint cover. Throws std::invalid_argument when the
-/// partials disagree on the partition, a shard is missing or duplicated,
-/// or any shard is incomplete (evaluated != its plan size).
+/// partials disagree on the partition or evaluator kind, a shard is
+/// missing or duplicated, or any shard is incomplete (evaluated != its
+/// plan size).
 [[nodiscard]] MergedSummary merge_partials(
     const std::vector<PartialReduction>& partials);
 
@@ -66,7 +76,8 @@ struct MergedSummary {
                                         const MergedSummary& b,
                                         std::string* why = nullptr);
 
-/// Compare a merged summary against an in-memory monolithic BatchResult.
+/// Compare a merged summary against an in-memory monolithic BatchResult
+/// (analytical summaries only; a ground-truth summary never matches).
 [[nodiscard]] bool matches_batch_result(const MergedSummary& summary,
                                         const BatchResult& result,
                                         std::string* why = nullptr);

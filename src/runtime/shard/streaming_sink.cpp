@@ -8,23 +8,103 @@
 
 namespace xr::runtime::shard {
 
-std::uint64_t grid_fingerprint(const GridSpec& spec) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
-  for (char c : spec.to_json().dump()) {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& text) {
+  for (char c : text) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
   return h;
 }
 
-PartialReduction::PartialReduction(ShardIdentity id) : id_(id) {}
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const GridSpec& spec) {
+  return fnv1a(kFnvOffsetBasis, spec.to_json().dump());
+}
+
+std::uint64_t grid_fingerprint(const GridSpec& spec,
+                               const EvaluatorSpec& evaluator) {
+  // 0x1F (unit separator) cannot appear in JSON dumps, so the two
+  // documents never alias across the boundary.
+  std::uint64_t h = fnv1a(kFnvOffsetBasis, spec.to_json().dump());
+  h ^= 0x1F;
+  h *= 1099511628211ull;
+  return fnv1a(h, evaluator.to_json().dump());
+}
+
+void GtAggregate::add(const GtMeasurement& m) {
+  ++count;
+  latency_ms_sum.add(m.mean_latency_ms);
+  energy_mj_sum.add(m.mean_energy_mj);
+  latency_error_pct_sum.add(m.latency_error_pct);
+  energy_error_pct_sum.add(m.energy_error_pct);
+}
+
+void GtAggregate::merge(const GtAggregate& other) {
+  count += other.count;
+  latency_ms_sum.merge(other.latency_ms_sum);
+  energy_mj_sum.merge(other.energy_mj_sum);
+  latency_error_pct_sum.merge(other.latency_error_pct_sum);
+  energy_error_pct_sum.merge(other.energy_error_pct_sum);
+}
+
+bool GtAggregate::same_values(const GtAggregate& other) const {
+  return count == other.count &&
+         latency_ms_sum.same_value(other.latency_ms_sum) &&
+         energy_mj_sum.same_value(other.energy_mj_sum) &&
+         latency_error_pct_sum.same_value(other.latency_error_pct_sum) &&
+         energy_error_pct_sum.same_value(other.energy_error_pct_sum);
+}
+
+Json GtAggregate::to_json() const {
+  Json j = Json::object();
+  j.set("count", count);
+  // Derived means first (informational; recomputed on load), exact sums
+  // after (the merge-law identity).
+  j.set("mean_latency_ms", mean_latency_ms());
+  j.set("mean_energy_mj", mean_energy_mj());
+  j.set("mean_latency_error_pct", mean_latency_error_pct());
+  j.set("mean_energy_error_pct", mean_energy_error_pct());
+  j.set("latency_ms_sum", latency_ms_sum.to_json());
+  j.set("energy_mj_sum", energy_mj_sum.to_json());
+  j.set("latency_error_pct_sum", latency_error_pct_sum.to_json());
+  j.set("energy_error_pct_sum", energy_error_pct_sum.to_json());
+  return j;
+}
+
+GtAggregate GtAggregate::from_json(const Json& j) {
+  GtAggregate out;
+  out.count = j.at("count").as_size();
+  out.latency_ms_sum = ExactSum::from_json(j.at("latency_ms_sum"));
+  out.energy_mj_sum = ExactSum::from_json(j.at("energy_mj_sum"));
+  out.latency_error_pct_sum =
+      ExactSum::from_json(j.at("latency_error_pct_sum"));
+  out.energy_error_pct_sum = ExactSum::from_json(j.at("energy_error_pct_sum"));
+  return out;
+}
+
+PartialReduction::PartialReduction(ShardIdentity id, bool ground_truth)
+    : id_(id) {
+  if (ground_truth) gt_.emplace();
+}
 
 void PartialReduction::add(std::size_t global_index, double latency_ms,
-                           double energy_mj) {
+                           double energy_mj, const GtMeasurement* gt) {
   if (evaluated_ > 0 && global_index <= last_index_)
     throw std::invalid_argument(
         "PartialReduction: indices must arrive in ascending order");
+  if (gt_.has_value() != (gt != nullptr))
+    throw std::invalid_argument(
+        gt_ ? "PartialReduction: ground-truth reduction fed a record "
+              "without a measurement"
+            : "PartialReduction: analytical reduction fed a ground-truth "
+              "measurement");
   last_index_ = global_index;
+  if (gt) gt_->add(*gt);
 
   if (evaluated_ == 0) {
     best_latency_index_ = best_energy_index_ = global_index;
@@ -121,6 +201,7 @@ Json PartialReduction::to_json() const {
     }
     j.set("pareto", std::move(pareto));
   }
+  if (gt_) j.set("gt", gt_->to_json());
   Json stats = Json::object();
   stats.set("wall_ms", wall_ms);
   stats.set("threads", threads);
@@ -150,6 +231,7 @@ PartialReduction PartialReduction::from_json(const Json& j) {
                                               triple[0].as_size()};
     }
   }
+  if (const Json* g = j.find("gt")) out.gt_ = GtAggregate::from_json(*g);
   const Json& stats = j.at("stats");
   out.wall_ms = stats.at("wall_ms").as_double();
   out.threads = stats.at("threads").as_size();
@@ -241,7 +323,8 @@ core::EnergyBreakdown energy_from_json(const Json& j) {
 }  // namespace
 
 std::string record_line(std::size_t global_index,
-                        const core::PerformanceReport& report) {
+                        const core::PerformanceReport& report,
+                        const GtMeasurement* gt) {
   Json j = Json::object();
   j.set("i", global_index);
   j.set("latency", latency_to_json(report.latency));
@@ -257,6 +340,16 @@ std::string record_line(std::size_t global_index,
     sensors.push_back(std::move(sj));
   }
   j.set("sensors", std::move(sensors));
+  if (gt) {
+    Json g = Json::object();
+    g.set("seed", format_hex64(gt->seed));
+    g.set("frames", gt->frames);
+    g.set("mean_latency_ms", gt->mean_latency_ms);
+    g.set("mean_energy_mj", gt->mean_energy_mj);
+    g.set("latency_error_pct", gt->latency_error_pct);
+    g.set("energy_error_pct", gt->energy_error_pct);
+    j.set("gt", std::move(g));
+  }
   return j.dump();
 }
 
@@ -275,6 +368,16 @@ ParsedRecord parse_record_line(std::string_view line) {
     s.fresh = sj.at("fresh").as_bool();
     out.report.sensors.push_back(std::move(s));
   }
+  if (const Json* g = j.find("gt")) {
+    GtMeasurement m;
+    m.seed = parse_hex64(g->at("seed").as_string());
+    m.frames = g->at("frames").as_size();
+    m.mean_latency_ms = g->at("mean_latency_ms").as_double();
+    m.mean_energy_mj = g->at("mean_energy_mj").as_double();
+    m.latency_error_pct = g->at("latency_error_pct").as_double();
+    m.energy_error_pct = g->at("energy_error_pct").as_double();
+    out.gt = m;
+  }
   return out;
 }
 
@@ -284,7 +387,7 @@ StreamingSink::Recovery StreamingSink::scan_existing(
     const SinkOptions& options, const ShardIdentity& id,
     const ShardPlan& plan) {
   Recovery rec;
-  rec.partial = PartialReduction(id);
+  rec.partial = PartialReduction(id, options.ground_truth);
   std::ifstream in(options.output_stem + ".jsonl", std::ios::binary);
   if (!in) return rec;
 
@@ -298,8 +401,15 @@ StreamingSink::Recovery StreamingSink::scan_existing(
     try {
       const ParsedRecord r = parse_record_line(line);
       if (r.index != plan.global_index(id.shard_id, rec.records)) break;
-      rec.partial.add(r.index, r.report.latency.total,
-                      r.report.energy.total);
+      // In GT mode the reduction runs over the measurements; add() also
+      // rejects records whose kind disagrees with the sink's mode, which
+      // cuts the scan exactly like a corrupt line would.
+      if (r.gt)
+        rec.partial.add(r.index, r.gt->mean_latency_ms, r.gt->mean_energy_mj,
+                        &*r.gt);
+      else
+        rec.partial.add(r.index, r.report.latency.total,
+                        r.report.energy.total);
     } catch (const std::exception&) {
       break;  // corrupt line: resume re-evaluates from here
     }
@@ -312,7 +422,7 @@ StreamingSink::Recovery StreamingSink::scan_existing(
 
 StreamingSink::StreamingSink(SinkOptions options, ShardIdentity id,
                              const Recovery* recovered)
-    : options_(std::move(options)), partial_(id) {
+    : options_(std::move(options)), partial_(id, options_.ground_truth) {
   if (options_.chunk_records == 0) options_.chunk_records = 1;
   const std::string path = jsonl_path();
   if (recovered) {
@@ -337,11 +447,21 @@ StreamingSink::~StreamingSink() {
 
 void StreamingSink::append(std::size_t global_index,
                            const core::PerformanceReport& report) {
+  append(global_index, EvaluatedPoint{report, std::nullopt});
+}
+
+void StreamingSink::append(std::size_t global_index,
+                           const EvaluatedPoint& point) {
   // Validate through the reduction *before* touching the line buffer, so a
-  // rejected (out-of-order) record never reaches the stream and the two
-  // outputs cannot drift apart.
-  partial_.add(global_index, report.latency.total, report.energy.total);
-  buffer_ += record_line(global_index, report);
+  // rejected (out-of-order or kind-mismatched) record never reaches the
+  // stream and the two outputs cannot drift apart.
+  const GtMeasurement* gt = point.gt ? &*point.gt : nullptr;
+  if (gt)
+    partial_.add(global_index, gt->mean_latency_ms, gt->mean_energy_mj, gt);
+  else
+    partial_.add(global_index, point.report.latency.total,
+                 point.report.energy.total);
+  buffer_ += record_line(global_index, point.report, gt);
   buffer_ += '\n';
   ++buffered_records_;
   ++records_written_;

@@ -25,6 +25,17 @@
 //   {"i": <global index>, "latency": {...LatencyBreakdown...},
 //    "energy": {...EnergyBreakdown...}, "sensors": [{...SensorReport...}]}
 //
+// Ground-truth sweeps (see evaluator.h) append one more member,
+//
+//   "gt": {"seed": "<hex64>", "frames": N, "mean_latency_ms": ...,
+//          "mean_energy_mj": ..., "latency_error_pct": ...,
+//          "energy_error_pct": ...}
+//
+// and the reduction then runs over the *measurements* (extrema and Pareto
+// on GT means) plus a GtAggregate of exactly-mergeable sums (ExactSum) for
+// mean GT latency/energy and mean model error — so GT summaries obey the
+// same bitwise merge law as analytical ones.
+//
 // The sink flushes every chunk_records lines and rewrites the partial
 // checkpoint, so a killed worker loses at most one chunk; scan_existing()
 // recovers the longest valid record prefix (a torn trailing line is
@@ -34,10 +45,13 @@
 #include <cstddef>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/framework.h"
+#include "runtime/shard/evaluator.h"
+#include "runtime/shard/exact_sum.h"
 #include "runtime/shard/jsonio.h"
 #include "runtime/shard/shard_plan.h"
 
@@ -60,6 +74,12 @@ struct ShardIdentity {
 
 /// FNV-1a over a GridSpec's canonical JSON serialization.
 [[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec);
+/// Sweep fingerprint: the grid *and* the evaluator (kind, seed, frames).
+/// Worker documents carry this form so a resume or merge can never mix an
+/// analytical stream with a ground-truth one, or two GT sweeps that differ
+/// in seed or fidelity.
+[[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec,
+                                             const EvaluatorSpec& evaluator);
 
 /// One Pareto-frontier member: grid index plus the two objectives.
 struct ParetoPoint {
@@ -68,14 +88,63 @@ struct ParetoPoint {
   double energy_mj = 0;
 };
 
+/// Exactly-mergeable ground-truth aggregates of one shard (or of a merged
+/// cover): counts plus ExactSum totals, so the derived means are bitwise
+/// identical however the grid was partitioned.
+struct GtAggregate {
+  std::size_t count = 0;
+  ExactSum latency_ms_sum;
+  ExactSum energy_mj_sum;
+  ExactSum latency_error_pct_sum;
+  ExactSum energy_error_pct_sum;
+
+  void add(const GtMeasurement& m);
+  void merge(const GtAggregate& other);
+
+  [[nodiscard]] double mean_latency_ms() const {
+    return count ? latency_ms_sum.value() / double(count) : 0.0;
+  }
+  [[nodiscard]] double mean_energy_mj() const {
+    return count ? energy_mj_sum.value() / double(count) : 0.0;
+  }
+  [[nodiscard]] double mean_latency_error_pct() const {
+    return count ? latency_error_pct_sum.value() / double(count) : 0.0;
+  }
+  [[nodiscard]] double mean_energy_error_pct() const {
+    return count ? energy_error_pct_sum.value() / double(count) : 0.0;
+  }
+
+  /// Exact (representation-independent) equality of counts and sums.
+  [[nodiscard]] bool same_values(const GtAggregate& other) const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static GtAggregate from_json(const Json& j);
+};
+
 /// Streaming reduction over (index, latency, energy) triples fed in
 /// ascending index order. Mergeable across shards; serializable.
+///
+/// In ground-truth mode (constructed with ground_truth = true, or restored
+/// from a document with a "gt" block) the latency/energy fed to add() are
+/// the *measured* per-point means, every record must carry a
+/// GtMeasurement, and the reduction additionally folds the GtAggregate.
+/// The block is present even while empty, so a zero-record GT shard is
+/// still distinguishable from an analytical one.
 class PartialReduction {
  public:
-  explicit PartialReduction(ShardIdentity id = {});
+  explicit PartialReduction(ShardIdentity id = {}, bool ground_truth = false);
 
   /// Fold one scenario result in. Indices must arrive in ascending order.
-  void add(std::size_t global_index, double latency_ms, double energy_mj);
+  /// `gt` is required in ground-truth mode and rejected otherwise (a
+  /// mismatch means the record stream and the spec disagree).
+  void add(std::size_t global_index, double latency_ms, double energy_mj,
+           const GtMeasurement* gt = nullptr);
+
+  [[nodiscard]] bool ground_truth() const noexcept { return gt_.has_value(); }
+  /// The GT aggregate, or nullptr for analytical reductions.
+  [[nodiscard]] const GtAggregate* gt() const noexcept {
+    return gt_ ? &*gt_ : nullptr;
+  }
 
   [[nodiscard]] const ShardIdentity& identity() const noexcept { return id_; }
   [[nodiscard]] std::size_t evaluated() const noexcept { return evaluated_; }
@@ -110,6 +179,7 @@ class PartialReduction {
 
  private:
   ShardIdentity id_;
+  std::optional<GtAggregate> gt_;
   std::size_t evaluated_ = 0;
   std::size_t last_index_ = 0;
   std::size_t best_latency_index_ = 0, best_energy_index_ = 0;
@@ -123,12 +193,15 @@ class PartialReduction {
 // ---- record codec ------------------------------------------------------
 
 /// Serialize one report as a single JSONL line (no trailing newline).
+/// `gt` (when non-null) appends the ground-truth measurement block.
 [[nodiscard]] std::string record_line(std::size_t global_index,
-                                      const core::PerformanceReport& report);
+                                      const core::PerformanceReport& report,
+                                      const GtMeasurement* gt = nullptr);
 
 struct ParsedRecord {
   std::size_t index = 0;
   core::PerformanceReport report;
+  std::optional<GtMeasurement> gt;  ///< present for ground-truth records.
 };
 
 /// Parse one record line; throws std::invalid_argument on malformed input.
@@ -142,6 +215,10 @@ struct SinkOptions {
   /// Records buffered between flushes (bounds worker memory and the
   /// checkpoint loss window).
   std::size_t chunk_records = 64;
+  /// Ground-truth mode: records must carry GtMeasurements, the reduction
+  /// runs over the measured means, and the partial carries a GtAggregate
+  /// (even while empty).
+  bool ground_truth = false;
 };
 
 class StreamingSink {
@@ -170,9 +247,14 @@ class StreamingSink {
   StreamingSink(const StreamingSink&) = delete;
   StreamingSink& operator=(const StreamingSink&) = delete;
 
-  /// Append one result (ascending global index). Flushes automatically
-  /// every chunk_records appends.
+  /// Append one analytical result (ascending global index). Flushes
+  /// automatically every chunk_records appends. Throws in GT mode (the
+  /// record would be missing its measurement).
   void append(std::size_t global_index, const core::PerformanceReport& report);
+  /// Append one evaluated point — the evaluator-aware path: analytical
+  /// points feed the prediction, ground-truth points feed the measurement
+  /// and the GtAggregate. Point kind must match the sink's mode.
+  void append(std::size_t global_index, const EvaluatedPoint& point);
 
   /// Write buffered lines to disk and checkpoint the partial reduction.
   void flush();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -14,12 +15,14 @@ namespace xr::runtime::shard {
 namespace {
 
 /// Resume guard: records on disk imply a flushed checkpoint, and the
-/// checkpoint carries the full shard identity (partition + grid
-/// fingerprint). An index sequence alone cannot tell two same-shape grids
-/// apart, so a missing or mismatched checkpoint means the stream belongs
-/// to some other sweep — refuse rather than silently mix grids.
-void check_resume_identity(const std::string& partial_path,
-                           const ShardIdentity& id) {
+/// checkpoint carries the full shard identity (partition + sweep
+/// fingerprint, which covers the grid *and* the evaluator). An index
+/// sequence alone cannot tell two same-shape sweeps apart, so a missing or
+/// mismatched checkpoint means the stream belongs to some other sweep —
+/// refuse rather than silently mix them. Returns the prior checkpoint so
+/// the caller can carry its throughput stats forward.
+PartialReduction check_resume_identity(const std::string& partial_path,
+                                       const ShardIdentity& id) {
   std::string text;
   try {
     text = read_text_file(partial_path);
@@ -28,8 +31,8 @@ void check_resume_identity(const std::string& partial_path,
         "run_worker: cannot resume — record stream exists but checkpoint " +
         partial_path + " is missing; delete the outputs to restart");
   }
-  const ShardIdentity existing =
-      PartialReduction::from_json(Json::parse(text)).identity();
+  PartialReduction prior = PartialReduction::from_json(Json::parse(text));
+  const ShardIdentity& existing = prior.identity();
   if (existing.shard_id != id.shard_id ||
       existing.shard_count != id.shard_count ||
       existing.strategy != id.strategy ||
@@ -37,8 +40,9 @@ void check_resume_identity(const std::string& partial_path,
       existing.grid_fingerprint != id.grid_fingerprint)
     throw std::runtime_error(
         "run_worker: cannot resume — " + partial_path +
-        " was written for a different grid or partition; delete the "
-        "outputs (or restore the original spec) to proceed");
+        " was written for a different grid, evaluator, or partition; "
+        "delete the outputs (or restore the original spec) to proceed");
+  return prior;
 }
 
 }  // namespace
@@ -46,6 +50,7 @@ void check_resume_identity(const std::string& partial_path,
 Json WorkerSpec::to_json() const {
   Json j = Json::object();
   j.set("grid", grid.to_json());
+  j.set("evaluator", evaluator.to_json());
   j.set("shard_id", shard_id);
   j.set("shard_count", shard_count);
   j.set("strategy", strategy_name(strategy));
@@ -59,13 +64,22 @@ Json WorkerSpec::to_json() const {
 WorkerSpec WorkerSpec::from_json(const Json& j) {
   WorkerSpec out;
   out.grid = GridSpec::from_json(j.at("grid"));
+  if (const Json* e = j.find("evaluator"))
+    out.evaluator = EvaluatorSpec::from_json(*e);
   out.shard_id = j.at("shard_id").as_size();
   out.shard_count = j.at("shard_count").as_size();
+  if (out.shard_count == 0)
+    throw std::invalid_argument(
+        "WorkerSpec: shard_count must be >= 1 (got 0)");
   if (const Json* s = j.find("strategy"))
     out.strategy = strategy_from_name(s->as_string());
   out.output = j.at("output").as_string();
   if (const Json* c = j.find("chunk_records"))
     out.chunk_records = c->as_size();
+  // Normalize once: 0 would otherwise mean "flush every record" to the
+  // sink but "chunks of 1" to the worker loop only by way of two separate
+  // clamps that could drift apart.
+  if (out.chunk_records == 0) out.chunk_records = 1;
   if (const Json* t = j.find("threads")) out.threads = t->as_size();
   if (const Json* r = j.find("resume")) out.resume = r->as_bool();
   return out;
@@ -73,29 +87,55 @@ WorkerSpec WorkerSpec::from_json(const Json& j) {
 
 WorkerOutcome run_worker(const WorkerSpec& spec,
                          std::size_t max_new_records) {
+  if (spec.shard_count == 0)
+    throw std::invalid_argument("run_worker: shard_count must be >= 1");
   if (spec.shard_id >= spec.shard_count)
     throw std::invalid_argument("run_worker: shard_id out of range");
   if (spec.output.empty())
     throw std::invalid_argument("run_worker: empty output stem");
+  if (spec.evaluator.is_ground_truth() && spec.evaluator.frames_per_point == 0)
+    throw std::invalid_argument(
+        "run_worker: ground-truth evaluator needs frames_per_point >= 1");
 
   const ScenarioGrid grid = spec.grid.build();
   const ShardPlan plan(grid.size(), spec.shard_count, spec.strategy);
   const ShardIdentity id{spec.shard_id, spec.shard_count, spec.strategy,
-                         grid.size(), grid_fingerprint(spec.grid)};
-  const SinkOptions options{spec.output, spec.chunk_records};
+                         grid.size(),
+                         grid_fingerprint(spec.grid, spec.evaluator)};
+  // Single normalization point for the chunk size: the sink's checkpoint
+  // cadence and the worker loop below share this exact value.
+  const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
+  const SinkOptions options{spec.output, chunk,
+                            spec.evaluator.is_ground_truth()};
 
   StreamingSink::Recovery recovery;
   const StreamingSink::Recovery* recovered = nullptr;
   if (spec.resume) {
     recovery = StreamingSink::scan_existing(options, id, plan);
-    if (recovery.records > 0)
-      check_resume_identity(spec.output + ".partial.json", id);
+    // The identity check must run whenever a checkpoint exists — not only
+    // when the scan recovered records. A spec mismatch (e.g. resuming a
+    // ground-truth stream under the analytical default) makes every
+    // existing record look invalid, so gating on recovery.records would
+    // skip the refusal and silently truncate the whole prior stream.
+    const std::string partial_path = spec.output + ".partial.json";
+    std::error_code ec;
+    if (recovery.records > 0 ||
+        std::filesystem::exists(partial_path, ec)) {
+      const PartialReduction prior = check_resume_identity(partial_path, id);
+      // Carry the prior legs' throughput stats into the rebuilt reduction;
+      // set_stats below then accumulates instead of clobbering, so a
+      // resume that evaluates nothing new cannot zero the recorded wall
+      // time.
+      recovery.partial.wall_ms = prior.wall_ms;
+      recovery.partial.threads = prior.threads;
+    }
     recovered = &recovery;
   }
   StreamingSink sink(options, id, recovered);
 
   // Worker pool per the BatchOptions convention; chunks always land in
-  // ascending index order regardless of thread count (pure model).
+  // ascending index order regardless of thread count (the per-point seed
+  // depends only on the global index, so threading never changes records).
   std::unique_ptr<ThreadPool> own_pool;
   ThreadPool* pool = nullptr;
   if (spec.threads == 0)
@@ -105,7 +145,6 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
 
   const core::XrPerformanceModel model;
   const std::size_t shard_n = plan.shard_size(spec.shard_id);
-  const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
 
   WorkerOutcome out;
   out.resumed_records = sink.records_written();
@@ -121,26 +160,31 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
     if (m == 0) break;
 
     const auto evaluate = [&](std::size_t j) {
-      return model.evaluate(
-          grid.at(plan.global_index(spec.shard_id, done + j)));
+      const std::size_t g = plan.global_index(spec.shard_id, done + j);
+      return evaluate_point(spec.evaluator, model, grid.at(g), g);
     };
-    std::vector<core::PerformanceReport> reports;
+    std::vector<EvaluatedPoint> points;
     if (pool) {
-      reports = pool->map(m, evaluate);
+      points = pool->map(m, evaluate);
     } else {
-      reports.reserve(m);
-      for (std::size_t j = 0; j < m; ++j) reports.push_back(evaluate(j));
+      points.reserve(m);
+      for (std::size_t j = 0; j < m; ++j) points.push_back(evaluate(j));
     }
     for (std::size_t j = 0; j < m; ++j)
-      sink.append(plan.global_index(spec.shard_id, done + j), reports[j]);
+      sink.append(plan.global_index(spec.shard_id, done + j), points[j]);
 
     done += m;
     out.evaluated_records += m;
     if (max_new_records && out.evaluated_records >= max_new_records) break;
   }
   const auto t1 = std::chrono::steady_clock::now();
-  sink.set_stats(std::chrono::duration<double, std::milli>(t1 - t0).count(),
-                 pool ? pool->size() : 1);
+  // Accumulate across resume legs; a leg that evaluated nothing keeps the
+  // prior thread count (there is no meaningful "this run" value for it).
+  const std::size_t leg_threads = pool ? pool->size() : 1;
+  sink.set_stats(
+      sink.partial().wall_ms +
+          std::chrono::duration<double, std::milli>(t1 - t0).count(),
+      out.evaluated_records > 0 ? leg_threads : sink.partial().threads);
 
   out.shard_records = done;
   out.complete = done == shard_n;

@@ -6,9 +6,14 @@
 //
 // Shard spec document (the tools' --spec format):
 //
-//   {"grid": {<GridSpec>}, "shard_id": 0, "shard_count": 4,
+//   {"grid": {<GridSpec>}, "evaluator": {<EvaluatorSpec>},
+//    "shard_id": 0, "shard_count": 4,
 //    "strategy": "range", "output": "out/shard0",
 //    "chunk_records": 64, "threads": 1, "resume": false}
+//
+// "evaluator" is optional and defaults to the analytical model; a
+// ground_truth evaluator streams per-point simulator measurements (seeded
+// from the *global* grid index — see evaluator.h) through the same sink.
 //
 // The worker writes <output>.jsonl (one record per scenario, ascending
 // global index) and <output>.partial.json (the mergeable reduction,
@@ -21,6 +26,7 @@
 #include <cstddef>
 #include <string>
 
+#include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "runtime/shard/streaming_sink.h"
 
@@ -28,6 +34,10 @@ namespace xr::runtime::shard {
 
 struct WorkerSpec {
   GridSpec grid;
+  /// What to run at each point (analytical model or ground-truth
+  /// simulation); covered by the sweep fingerprint so resume/merge never
+  /// mix evaluators.
+  EvaluatorSpec evaluator;
   std::size_t shard_id = 0;
   std::size_t shard_count = 1;
   ShardStrategy strategy = ShardStrategy::kRange;
@@ -41,6 +51,12 @@ struct WorkerSpec {
   bool resume = false;
 
   [[nodiscard]] Json to_json() const;
+  /// Parses and validates/normalizes in one place: shard_count == 0 is
+  /// rejected with a clear error (rather than surfacing later as a
+  /// confusing ShardPlan/shard_id failure) and chunk_records == 0 is
+  /// normalized to 1 — the same clamp every consumer applies — so the
+  /// sink's checkpoint cadence and the worker's chunk loop can never
+  /// disagree.
   [[nodiscard]] static WorkerSpec from_json(const Json& j);
 };
 

@@ -7,6 +7,7 @@
 #include "math/regression.h"
 #include "math/stats.h"
 #include "runtime/batch_evaluator.h"
+#include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "runtime/sweep.h"
 #include "trace/table.h"
@@ -17,25 +18,6 @@ namespace xr::testbed {
 
 namespace {
 
-core::ScenarioConfig sweep_scenario(core::InferencePlacement placement,
-                                    double frame_size, double cpu_ghz) {
-  return placement == core::InferencePlacement::kLocal
-             ? core::make_local_scenario(frame_size, cpu_ghz)
-             : core::make_remote_scenario(frame_size, cpu_ghz);
-}
-
-/// The Fig. 4/5 sweep as a declarative grid: CPU clock (outer) × frame size
-/// (inner) over the factory scenario for `placement`. The SweepSpec frame-
-/// size axis applies the same geometry as the factories, so grid.at(i)
-/// equals sweep_scenario(placement, size, ghz) point for point.
-runtime::ScenarioGrid clock_size_grid(core::InferencePlacement placement,
-                                      const SweepConfig& cfg) {
-  return runtime::SweepSpec(sweep_scenario(placement, 500.0, 2.0))
-      .cpu_clocks_ghz(cfg.cpu_clocks_ghz)
-      .frame_sizes(cfg.frame_sizes)
-      .build();
-}
-
 /// Ground truth + proposed-model evaluation of one sweep point.
 struct PointMeasurement {
   double gt_latency_ms = 0;
@@ -43,24 +25,25 @@ struct PointMeasurement {
   core::PerformanceReport report;
 };
 
-/// Fan the whole sweep out on the batch runtime: every point runs its own
-/// ground-truth simulation (seeded per cfg, independent of thread count)
-/// and one model evaluation. The sweep's fidelity/wall-time trade is the
-/// per-run frames override rather than a mutated simulator config.
+/// Fan the whole sweep out through the shard layer's ground-truth
+/// evaluator: evaluate_point with the *global* grid index is the exact
+/// per-point code path (and the exact per-point seed derivation) the
+/// multi-process sweep_worker runs over a ShardPlan slice of the same
+/// grid, so an in-process sweep and a sharded one measure
+/// bitwise-identical values — scripts/sweep_gt_sharded.sh asserts it.
+/// One flat map, no shard barriers: range shards concatenated in order
+/// are exactly the 0..N-1 enumeration, so partitioning in-process would
+/// only serialize the pool.
 std::vector<PointMeasurement> measure_sweep(
     const runtime::ScenarioGrid& grid, const SweepConfig& cfg,
     std::uint64_t seed_offset = 0) {
+  const auto evaluator = gt_evaluator_spec(cfg, seed_offset);
   const runtime::BatchEvaluator engine;
-  return engine.map(grid, [&](const core::ScenarioConfig& scenario) {
-    PointMeasurement m;
-    xrsim::GroundTruthConfig g;
-    g.seed = cfg.seed + seed_offset;
-    const xrsim::GroundTruthSimulator sim(g);
-    const auto gt = sim.run(scenario, cfg.frames_per_point);
-    m.gt_latency_ms = gt.mean_latency_ms();
-    m.gt_energy_mj = gt.mean_energy_mj();
-    m.report = engine.model().evaluate(scenario);
-    return m;
+  return engine.map(grid.size(), [&](std::size_t g) {
+    const auto p = runtime::shard::evaluate_point(evaluator, engine.model(),
+                                                  grid.at(g), g);
+    return PointMeasurement{p.gt->mean_latency_ms, p.gt->mean_energy_mj,
+                            p.report};
   });
 }
 
@@ -81,9 +64,10 @@ ValidationResult run_validation(Metric metric,
           (local ? "local inference" : "remote inference"),
       "frame size (pixel^2)", latency ? "latency (ms)" : "energy (mJ)");
 
-  // One batch run over the clock × size grid; the serial code below is a
-  // reduction over its index-ordered results.
-  const auto grid = clock_size_grid(placement, cfg);
+  // One sharded-evaluator run over the clock × size grid (built from the
+  // same serializable spec the sweep tools shard); the serial code below
+  // is a reduction over its index-ordered results.
+  const auto grid = validation_grid_spec(placement, cfg).build();
   const auto points = measure_sweep(grid, cfg);
 
   std::vector<double> gt_all, model_all;
@@ -111,6 +95,19 @@ ValidationResult run_validation(Metric metric,
 }
 
 }  // namespace
+
+runtime::shard::EvaluatorSpec gt_evaluator_spec(const SweepConfig& cfg,
+                                                std::uint64_t seed_offset) {
+  if (cfg.frames_per_point == 0)
+    throw std::invalid_argument(
+        "SweepConfig: frames_per_point must be >= 1 (a zero-frame sweep "
+        "would silently measure nothing)");
+  runtime::shard::EvaluatorSpec ev;
+  ev.kind = runtime::shard::EvaluatorKind::kGroundTruth;
+  ev.seed = cfg.seed + seed_offset;
+  ev.frames_per_point = cfg.frames_per_point;
+  return ev;
+}
 
 ValidationResult run_latency_validation(core::InferencePlacement placement,
                                         const SweepConfig& cfg) {
@@ -187,7 +184,7 @@ struct GridPoint {
 std::vector<GridPoint> measure_grid(const SweepConfig& cfg,
                                     std::uint64_t seed_offset) {
   const auto sweep =
-      clock_size_grid(core::InferencePlacement::kRemote, cfg);
+      validation_grid_spec(core::InferencePlacement::kRemote, cfg).build();
   const auto points = measure_sweep(sweep, cfg, seed_offset);
   std::vector<GridPoint> grid;
   grid.reserve(points.size());
@@ -355,15 +352,11 @@ ComparisonResult run_model_comparison(Metric metric, const SweepConfig& cfg) {
   auto& fact_series = out.accuracy.series("FACT");
   auto& leaf_series = out.accuracy.series("LEAF");
 
-  // Size (outer) × clock (inner) grid, batch-evaluated: every point carries
-  // its own ground-truth run plus all three predictors.
+  // Size (outer) × clock (inner) grid, built from the serializable Fig. 5
+  // spec and batch-evaluated: every point carries its own ground-truth run
+  // plus all three predictors.
   // Evaluation GT uses a different seed offset than the calibration grid.
-  const auto grid =
-      runtime::SweepSpec(
-          sweep_scenario(core::InferencePlacement::kRemote, 500.0, 2.0))
-          .frame_sizes(cfg.frame_sizes)
-          .cpu_clocks_ghz(cfg.cpu_clocks_ghz)
-          .build();
+  const auto grid = comparison_grid_spec(cfg).build();
   const auto points = measure_sweep(grid, cfg, /*seed_offset=*/0);
   struct BaselinePrediction {
     double fact = 0, leaf = 0;
@@ -472,9 +465,14 @@ double variant_latency_ms(ModelVariant v, const core::ScenarioConfig& s) {
   throw std::logic_error("variant_latency_ms: unknown variant");
 }
 
-runtime::shard::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
+namespace {
+
+/// Clock/size axes over a factory base; axis order decides which is outer.
+runtime::shard::GridSpec clock_size_spec(const char* base,
+                                         const SweepConfig& cfg,
+                                         bool clock_outer) {
   runtime::shard::GridSpec spec;
-  spec.base = "remote";
+  spec.base = base;
   spec.frame_size = 500.0;
   spec.cpu_ghz = 2.0;
   runtime::shard::GridAxisSpec clocks;
@@ -483,8 +481,28 @@ runtime::shard::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
   runtime::shard::GridAxisSpec sizes;
   sizes.knob = "frame_size";
   sizes.numbers = cfg.frame_sizes;
-  spec.axes = {std::move(clocks), std::move(sizes)};
+  if (clock_outer)
+    spec.axes = {std::move(clocks), std::move(sizes)};
+  else
+    spec.axes = {std::move(sizes), std::move(clocks)};
   return spec;
+}
+
+}  // namespace
+
+runtime::shard::GridSpec validation_grid_spec(
+    core::InferencePlacement placement, const SweepConfig& cfg) {
+  return clock_size_spec(
+      placement == core::InferencePlacement::kLocal ? "local" : "remote",
+      cfg, /*clock_outer=*/true);
+}
+
+runtime::shard::GridSpec comparison_grid_spec(const SweepConfig& cfg) {
+  return clock_size_spec("remote", cfg, /*clock_outer=*/false);
+}
+
+runtime::shard::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
+  return clock_size_spec("remote", cfg, /*clock_outer=*/true);
 }
 
 std::vector<AblationRow> run_ablation(const SweepConfig& cfg) {

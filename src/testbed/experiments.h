@@ -23,6 +23,7 @@
 #include "baselines/fact.h"
 #include "baselines/leaf.h"
 #include "core/framework.h"
+#include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "trace/series.h"
 #include "xrsim/ground_truth.h"
@@ -36,9 +37,20 @@ enum class Metric { kLatency, kEnergy };
 struct SweepConfig {
   std::vector<double> frame_sizes = {300, 400, 500, 600, 700};
   std::vector<double> cpu_clocks_ghz = {1.0, 2.0, 3.0};
-  std::size_t frames_per_point = 200;  ///< GT frames averaged per point.
+  /// GT frames averaged per point. Must be >= 1: gt_evaluator_spec (the
+  /// single choke point every sweep runner goes through) rejects 0 rather
+  /// than silently running the simulator's configured default.
+  std::size_t frames_per_point = 200;
   std::uint64_t seed = 42;
 };
+
+/// The ground-truth evaluator every Fig. 4/5 runner uses: per-point
+/// simulator seeds derive from (cfg.seed + seed_offset) and the *global*
+/// grid index, so in-process runs and sharded sweep_worker runs over the
+/// same grid compute bitwise-identical measurements. Throws
+/// std::invalid_argument when cfg.frames_per_point == 0.
+[[nodiscard]] runtime::shard::EvaluatorSpec gt_evaluator_spec(
+    const SweepConfig& cfg, std::uint64_t seed_offset = 0);
 
 /// Result of a Fig. 4(a)–(d) validation sweep.
 struct ValidationResult {
@@ -118,6 +130,20 @@ struct ComparisonResult {
 };
 [[nodiscard]] ComparisonResult run_model_comparison(Metric metric,
                                                     const SweepConfig& cfg = {});
+
+/// The Fig. 4(a)–(d) validation sweep as a *serializable* grid spec: CPU
+/// clock (outer) × frame size (inner) over the local or remote factory
+/// scenario. validation_grid_spec(p, cfg).build() enumerates exactly the
+/// grid run_latency_validation / run_energy_validation measure, so
+/// tools/sweep_worker with the ground_truth evaluator shards the same
+/// sweep across processes (scripts/sweep_gt_sharded.sh).
+[[nodiscard]] runtime::shard::GridSpec validation_grid_spec(
+    core::InferencePlacement placement, const SweepConfig& cfg = {});
+
+/// The Fig. 5 comparison sweep as a grid spec: frame size (outer) × CPU
+/// clock (inner) over the remote factory scenario.
+[[nodiscard]] runtime::shard::GridSpec comparison_grid_spec(
+    const SweepConfig& cfg = {});
 
 /// The ablation's remote-inference clock × size sweep as a *serializable*
 /// grid spec — the document tools/sweep_worker and scripts/sweep_sharded.sh

@@ -47,10 +47,10 @@ double jitter(math::Rng& rng, double sigma) {
 }  // namespace
 
 GroundTruthResult GroundTruthSimulator::run(
-    const core::ScenarioConfig& s, std::size_t frames_override) const {
+    const core::ScenarioConfig& s,
+    std::optional<std::size_t> frames_override) const {
   core::validate(s);
-  const std::size_t frames =
-      frames_override > 0 ? frames_override : config_.frames;
+  const std::size_t frames = frames_override.value_or(config_.frames);
   GroundTruthResult result;
   result.frames.reserve(frames);
 

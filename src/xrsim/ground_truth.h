@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -93,13 +94,17 @@ class GroundTruthSimulator {
   explicit GroundTruthSimulator(GroundTruthConfig config = GroundTruthConfig{});
 
   /// Simulate `config.frames` frames of the scenario and return per-frame
-  /// measurements. Validates the scenario. `frames_override` (when > 0)
-  /// replaces the configured frame count for this run only, so sweep
-  /// runners can trade fidelity for wall time without rebuilding the
-  /// simulator; 0 preserves the configured behaviour. Runs that agree on
-  /// (seed, scenario, effective frame count) are identical.
-  [[nodiscard]] GroundTruthResult run(const core::ScenarioConfig& s,
-                                      std::size_t frames_override = 0) const;
+  /// measurements. Validates the scenario. `frames_override`, when
+  /// engaged, replaces the configured frame count for this run only, so
+  /// sweep runners can trade fidelity for wall time without rebuilding the
+  /// simulator; std::nullopt preserves the configured behaviour. The
+  /// sentinel is explicit on purpose: an override of 0 is an honored
+  /// request for a zero-frame dry run (empty result, zero means), not a
+  /// silent fallback to the configured count. Runs that agree on (seed,
+  /// scenario, effective frame count) are identical.
+  [[nodiscard]] GroundTruthResult run(
+      const core::ScenarioConfig& s,
+      std::optional<std::size_t> frames_override = std::nullopt) const;
 
   [[nodiscard]] const GroundTruthConfig& config() const noexcept {
     return config_;

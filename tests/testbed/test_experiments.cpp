@@ -154,6 +154,52 @@ TEST(Experiments, VariantsChangePredictions) {
             variant_latency_ms(ModelVariant::kFull, off_center));
 }
 
+TEST(Experiments, GtEvaluatorSpecRejectsZeroFrames) {
+  // Regression: frames_per_point = 0 used to fall through to the
+  // simulator's 0-means-configured sentinel and silently run 200 frames.
+  SweepConfig cfg = fast_sweep();
+  cfg.frames_per_point = 0;
+  EXPECT_THROW((void)gt_evaluator_spec(cfg), std::invalid_argument);
+  EXPECT_THROW((void)run_latency_validation(
+                   core::InferencePlacement::kLocal, cfg),
+               std::invalid_argument);
+
+  const auto ev = gt_evaluator_spec(fast_sweep(), /*seed_offset=*/1000);
+  EXPECT_TRUE(ev.is_ground_truth());
+  EXPECT_EQ(ev.seed, fast_sweep().seed + 1000);
+  EXPECT_EQ(ev.frames_per_point, fast_sweep().frames_per_point);
+}
+
+TEST(Experiments, GridSpecsEnumerateTheFigureSweeps) {
+  const SweepConfig cfg = fast_sweep();
+  // Fig. 4: clock outer, size inner.
+  const auto validation = validation_grid_spec(
+      core::InferencePlacement::kRemote, cfg).build();
+  ASSERT_EQ(validation.size(),
+            cfg.cpu_clocks_ghz.size() * cfg.frame_sizes.size());
+  std::size_t i = 0;
+  for (double ghz : cfg.cpu_clocks_ghz)
+    for (double size : cfg.frame_sizes) {
+      const auto s = validation.at(i++);
+      EXPECT_EQ(s.client.cpu_ghz, ghz);
+      EXPECT_EQ(s.frame.frame_size, size);
+      EXPECT_EQ(s.inference.placement, core::InferencePlacement::kRemote);
+    }
+  const auto local = validation_grid_spec(
+      core::InferencePlacement::kLocal, cfg).build();
+  EXPECT_EQ(local.at(0).inference.placement,
+            core::InferencePlacement::kLocal);
+  // Fig. 5: size outer, clock inner.
+  const auto comparison = comparison_grid_spec(cfg).build();
+  i = 0;
+  for (double size : cfg.frame_sizes)
+    for (double ghz : cfg.cpu_clocks_ghz) {
+      const auto s = comparison.at(i++);
+      EXPECT_EQ(s.client.cpu_ghz, ghz);
+      EXPECT_EQ(s.frame.frame_size, size);
+    }
+}
+
 TEST(Experiments, VariantNamesDistinct) {
   EXPECT_STRNE(variant_name(ModelVariant::kFull),
                variant_name(ModelVariant::kNoMemoryTerms));

@@ -26,9 +26,9 @@ TEST(GroundTruth, FramesOverrideReplacesConfiguredCount) {
   const GroundTruthSimulator sim(small_run(50));
   const auto scenario = core::make_remote_scenario();
 
-  // Zero preserves the configured behaviour bit-for-bit.
+  // The disengaged sentinel preserves the configured behaviour bit-for-bit.
   const auto configured = sim.run(scenario);
-  const auto defaulted = sim.run(scenario, 0);
+  const auto defaulted = sim.run(scenario, std::nullopt);
   ASSERT_EQ(configured.frames.size(), 50u);
   ASSERT_EQ(defaulted.frames.size(), 50u);
   for (std::size_t i = 0; i < configured.frames.size(); ++i) {
@@ -49,6 +49,23 @@ TEST(GroundTruth, FramesOverrideReplacesConfiguredCount) {
     EXPECT_EQ(overridden.frames[i].energy_mj, reference.frames[i].energy_mj);
   }
   EXPECT_EQ(overridden.mean_latency_ms(), reference.mean_latency_ms());
+}
+
+TEST(GroundTruth, ZeroFrameOverrideIsAnHonoredDryRun) {
+  // Regression: 0 used to be the "use configured frames" sentinel, so a
+  // zero-frame dry run was silently impossible. The sentinel is now the
+  // disengaged optional and an explicit 0 runs zero frames.
+  const GroundTruthSimulator sim(small_run(50));
+  const auto dry = sim.run(core::make_remote_scenario(), 0);
+  EXPECT_TRUE(dry.frames.empty());
+  EXPECT_EQ(dry.latency.count(), 0u);
+  EXPECT_EQ(dry.energy.count(), 0u);
+  EXPECT_EQ(dry.mean_latency_ms(), 0.0);
+  EXPECT_EQ(dry.mean_energy_mj(), 0.0);
+  // A dry run still validates its scenario.
+  auto bad = core::make_local_scenario();
+  bad.client.cpu_ghz = 0;
+  EXPECT_THROW((void)sim.run(bad, 0), std::invalid_argument);
 }
 
 TEST(GroundTruth, DeterministicForSeed) {

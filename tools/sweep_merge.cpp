@@ -54,18 +54,28 @@ int main(int argc, char** argv) {
 
     const MergedSummary merged = merge_partial_files(partial_paths);
     std::printf(
-        "sweep_merge: %zu shards (%s) over %zu scenarios\n"
+        "sweep_merge: %zu shards (%s, %s) over %zu scenarios\n"
         "  best latency : index %zu -> %g ms\n"
         "  best energy  : index %zu -> %g mJ\n"
         "  latency range [%g, %g] ms, energy range [%g, %g] mJ\n"
         "  Pareto frontier: %zu points\n"
         "  worker wall: %.2f ms makespan, %.2f ms total\n",
         merged.stats.shards, strategy_name(merged.strategy),
-        merged.grid_size, merged.best_latency_index, merged.min_latency_ms,
+        merged.gt ? "ground_truth" : "analytical", merged.grid_size,
+        merged.best_latency_index, merged.min_latency_ms,
         merged.best_energy_index, merged.min_energy_mj,
         merged.min_latency_ms, merged.max_latency_ms, merged.min_energy_mj,
         merged.max_energy_mj, merged.pareto.size(), merged.stats.wall_ms_max,
         merged.stats.wall_ms_sum);
+    if (merged.gt)
+      std::printf(
+          "  ground truth : mean latency %g ms, mean energy %g mJ "
+          "(%zu points)\n"
+          "  model error  : latency %.3f%%, energy %.3f%% "
+          "(analytical vs measured)\n",
+          merged.gt->mean_latency_ms(), merged.gt->mean_energy_mj(),
+          merged.gt->count, merged.gt->mean_latency_error_pct(),
+          merged.gt->mean_energy_error_pct());
 
     if (!out_path.empty()) {
       std::ofstream out(out_path, std::ios::binary | std::ios::trunc);

@@ -12,6 +12,12 @@
 //   # same, from a spec document
 //   $ sweep_worker --spec shard1.json
 //
+//   # shard the Fig. 4(b) ground-truth validation sweep: every point runs
+//   # the testbed-substitute simulator, seeded from its global grid index
+//   $ sweep_worker --validation-grid remote --evaluator ground_truth
+//                  --gt-frames 200 --gt-seed 42
+//                  --shard-id 0 --shard-count 4 --out out/gt0
+//
 //   # print a grid spec for editing / scripting
 //   $ sweep_worker --emit-ablation-grid > grid.json
 //   $ sweep_worker --grid grid.json --shard-id 0 --shard-count 4 --out s0
@@ -33,12 +39,23 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: sweep_worker --spec FILE [--resume] [--max-records N]\n"
-      "       sweep_worker (--grid FILE | --ablation-grid) --shard-id N\n"
+      "       sweep_worker (--grid FILE | --ablation-grid |\n"
+      "                     --validation-grid local|remote) --shard-id N\n"
       "                    --shard-count K --out STEM [--strategy "
       "range|strided]\n"
+      "                    [--evaluator analytical|ground_truth]\n"
+      "                    [--gt-seed N] [--gt-frames N]\n"
       "                    [--chunk N] [--threads N] [--resume] "
       "[--max-records N]\n"
-      "       sweep_worker --emit-ablation-grid\n");
+      "       sweep_worker --emit-ablation-grid\n"
+      "       sweep_worker --emit-validation-grid local|remote\n");
+}
+
+xr::core::InferencePlacement placement_of(const std::string& name) {
+  if (name == "local") return xr::core::InferencePlacement::kLocal;
+  if (name == "remote") return xr::core::InferencePlacement::kRemote;
+  throw std::runtime_error("bad placement '" + name +
+                           "' (expected local or remote)");
 }
 
 /// Strict non-negative integer: trailing garbage is a usage error, not a
@@ -89,10 +106,26 @@ int main(int argc, char** argv) {
       } else if (arg == "--ablation-grid") {
         spec.grid = xr::testbed::ablation_grid_spec();
         have_grid = true;
+      } else if (arg == "--validation-grid") {
+        spec.grid = xr::testbed::validation_grid_spec(placement_of(value()));
+        have_grid = true;
       } else if (arg == "--emit-ablation-grid") {
         std::printf("%s\n",
                     xr::testbed::ablation_grid_spec().to_json().dump().c_str());
         return 0;
+      } else if (arg == "--emit-validation-grid") {
+        std::printf("%s\n", xr::testbed::validation_grid_spec(
+                                placement_of(value()))
+                                .to_json()
+                                .dump()
+                                .c_str());
+        return 0;
+      } else if (arg == "--evaluator") {
+        spec.evaluator.kind = evaluator_from_name(value());
+      } else if (arg == "--gt-seed") {
+        spec.evaluator.seed = parse_size(arg, value());
+      } else if (arg == "--gt-frames") {
+        spec.evaluator.frames_per_point = parse_size(arg, value());
       } else if (arg == "--shard-id") {
         spec.shard_id = parse_size(arg, value());
         have_shard_id = true;
@@ -128,11 +161,12 @@ int main(int argc, char** argv) {
 
     const WorkerOutcome outcome = run_worker(spec, max_records);
     std::printf(
-        "sweep_worker: shard %zu/%zu (%s) -> %s\n"
+        "sweep_worker: shard %zu/%zu (%s, %s) -> %s\n"
         "  records %zu (%zu resumed, %zu evaluated), %s\n",
         spec.shard_id, spec.shard_count, strategy_name(spec.strategy),
-        outcome.jsonl_path.c_str(), outcome.shard_records,
-        outcome.resumed_records, outcome.evaluated_records,
+        evaluator_name(spec.evaluator.kind), outcome.jsonl_path.c_str(),
+        outcome.shard_records, outcome.resumed_records,
+        outcome.evaluated_records,
         outcome.complete ? "complete" : "stopped early (checkpointed)");
     return 0;
   } catch (const std::exception& e) {
