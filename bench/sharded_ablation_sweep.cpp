@@ -23,7 +23,7 @@ int main() {
   namespace shard = runtime::shard;
 
   const auto cfg = bench::paper_sweep();
-  const shard::GridSpec grid_spec = testbed::ablation_grid_spec(cfg);
+  const runtime::GridSpec grid_spec = testbed::ablation_grid_spec(cfg);
   const auto grid = grid_spec.build();
   constexpr std::size_t kShards = 4;
 

@@ -27,7 +27,7 @@ int main() {
 
   auto cfg = bench::paper_sweep();
   cfg.frames_per_point = 60;  // fidelity knob: keep the bench snappy
-  const shard::GridSpec grid_spec =
+  const runtime::GridSpec grid_spec =
       testbed::validation_grid_spec(core::InferencePlacement::kRemote, cfg);
   const shard::EvaluatorSpec evaluator = testbed::gt_evaluator_spec(cfg);
   const std::size_t grid_size = grid_spec.build().size();

@@ -16,18 +16,9 @@
 int main() {
   using namespace xr::core;
 
-  ScenarioConfig s = make_remote_scenario(/*frame_size=*/640.0,
-                                          /*cpu_ghz=*/2.5);
-  // The ADS consumes one environment update every 10 ms, five per frame.
-  s.aoi.request_period_ms = 10.0;
-  s.aoi.updates_per_frame = 5;
-  s.sensors = {
-      SensorConfig{"rsu-pedestrian", /*hz=*/200.0, /*distance=*/60.0},
-      SensorConfig{"traffic-signal", 50.0, 120.0},
-      SensorConfig{"vehicle-map", 20.0, 40.0},
-      SensorConfig{"lidar-unit", 100.0, 5.0},
-  };
-  s.updates_per_frame = 5;
+  // The shared workload factory (also the serialization tests' corpus and
+  // a valid inline base for any sweep request document).
+  ScenarioConfig s = make_autonomous_driving_scenario();
 
   const XrPerformanceModel model;
   const PerformanceReport report = model.evaluate(s);

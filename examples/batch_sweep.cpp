@@ -1,38 +1,55 @@
-// Batch sweep: evaluate thousands of deployments in one parallel run.
+// Batch sweep: evaluate thousands of deployments in one parallel run —
+// declared once, as a serializable sweep request.
 //
 // The paper's pitch is that analytical evaluation makes deployment
 // questions cheap enough to answer by search instead of testbed
-// trial-and-error. This example shows the runtime layer that operationalizes
-// that at scale: declare the deployment space once as SweepSpec axes, let
-// BatchEvaluator fan it out across cores, and read the answers off the
-// reductions — fastest point, most frugal point, and the latency/energy
-// Pareto frontier the application can choose from.
+// trial-and-error. This example shows the unified sweep API that
+// operationalizes that at scale: declare the deployment space once as
+// SweepSpec axes, turn it into a SweepRequest document (the same document
+// `sweep_worker --request` shards across processes), and read the answers
+// off the reductions — fastest point, most frugal point, and the
+// latency/energy Pareto frontier the application can choose from.
 //
-//   $ ./batch_sweep
+//   $ ./batch_sweep            # run in-process
+//   $ ./batch_sweep --emit-request > request.json   # ship it to a fleet
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/framework.h"
 #include "runtime/batch_evaluator.h"
-#include "runtime/sweep.h"
+#include "runtime/sweep_request.h"
 #include "trace/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xr;
 
   // 1. Declare the deployment space: every knob is one axis. 5 sizes x
   //    3 clocks x 2 placements x 5 shares x 3 bitrates = 450 deployments.
-  const auto grid =
+  //    All of these axes are typed knobs, so the whole spec is a document.
+  const auto spec =
       runtime::SweepSpec(core::make_remote_scenario(500.0, 2.0))
           .frame_sizes({300, 400, 500, 600, 700})
           .cpu_clocks_ghz({1.0, 2.0, 3.0})
           .placements({core::InferencePlacement::kLocal,
                        core::InferencePlacement::kRemote})
           .omega_c({0.0, 0.25, 0.5, 0.75, 1.0})
-          .codec_bitrates_mbps({2.0, 4.0, 8.0})
-          .build();
-  std::printf("deployment space: %zu scenarios over %zu axes\n",
-              grid.size(), grid.axis_count());
+          .codec_bitrates_mbps({2.0, 4.0, 8.0});
+
+  runtime::SweepRequest request;
+  request.grid = spec.grid_spec();
+  if (argc > 1 && std::strcmp(argv[1], "--emit-request") == 0) {
+    // The exact document K sweep_worker processes shard and sweep_merge
+    // folds back — bitwise — into the summary computed below.
+    std::printf("%s\n", request.to_json().dump().c_str());
+    return 0;
+  }
+
+  const auto grid = request.grid.build();
+  std::printf("deployment space: %zu scenarios over %zu axes "
+              "(request: %zu bytes of JSON)\n",
+              grid.size(), grid.axis_count(),
+              request.to_json().dump().size());
 
   // 2. Evaluate the whole space, serial vs. parallel.
   const runtime::BatchEvaluator serial({}, runtime::BatchOptions{1});
@@ -51,24 +68,32 @@ int main() {
   std::printf("parallel : %8.2f ms  (%.0f candidates/s, %zu threads)\n",
               result.stats.wall_ms, result.stats.candidates_per_sec,
               result.stats.threads);
-  std::printf("parallel results identical to serial loop: %s\n\n",
+  std::printf("parallel results identical to serial loop: %s\n",
               identical ? "yes" : "NO (bug!)");
 
-  // 3. Read the answers off the batch reductions.
+  // 3. The request path computes the same reductions through the shard
+  //    layer's merge law (run_request is the K = 1 case of a sharded run).
+  const auto summary = runtime::run_request(request);
+  std::string why;
+  const bool law = runtime::shard::matches_batch_result(summary, result, &why);
+  std::printf("run_request summary == BatchEvaluator reductions: %s%s\n\n",
+              law ? "yes (bitwise)" : "NO: ", law ? "" : why.c_str());
+
+  // 4. Read the answers off the reductions.
   std::printf("fastest   : %s -> %.1f ms\n",
-              grid.label(result.best_latency_index).c_str(),
-              result.min_latency_ms);
+              grid.label(summary.best_latency_index).c_str(),
+              summary.min_latency_ms);
   std::printf("most frugal: %s -> %.1f mJ\n\n",
-              grid.label(result.best_energy_index).c_str(),
-              result.min_energy_mj);
+              grid.label(summary.best_energy_index).c_str(),
+              summary.min_energy_mj);
 
   trace::TablePrinter pareto(
       {"Pareto-optimal deployment", "latency (ms)", "energy (mJ)"});
   pareto.set_align(0, trace::Align::kLeft);
-  for (std::size_t i : result.pareto_indices)
-    pareto.add_row({grid.label(i), trace::fixed(result.latency_ms(i), 1),
-                    trace::fixed(result.energy_mj(i), 1)});
+  for (const auto& p : summary.pareto)
+    pareto.add_row({grid.label(p.index), trace::fixed(p.latency_ms, 1),
+                    trace::fixed(p.energy_mj, 1)});
   std::printf("%s", trace::heading("Latency/energy Pareto frontier").c_str());
   std::printf("%s", pareto.render().c_str());
-  return identical ? 0 : 1;
+  return identical && law ? 0 : 1;
 }

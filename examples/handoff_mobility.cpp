@@ -23,11 +23,10 @@ int main() {
 
   for (double step : {0.5, 1.0, 2.0, 4.0}) {
     for (double vertical : {0.0, 0.5}) {
-      core::ScenarioConfig s = core::make_remote_scenario(500.0, 2.0);
-      s.mobility.enabled = true;
-      s.mobility.zone_radius_m = 120.0;
-      s.mobility.step_length_per_frame_m = step;
-      s.mobility.vertical_fraction = vertical;
+      // The shared workload factory (also the serialization tests' corpus
+      // and a valid inline base for any sweep request document).
+      const core::ScenarioConfig s =
+          core::make_handoff_mobility_scenario(step, vertical);
 
       const auto report = model.evaluate(s);
       const wireless::HandoffModel hom(s.mobility.handoff,

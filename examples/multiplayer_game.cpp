@@ -13,42 +13,21 @@
 #include "core/framework.h"
 #include "trace/table.h"
 
-namespace {
-
-xr::core::ScenarioConfig base_game() {
-  using namespace xr::core;
-  ScenarioConfig s = make_remote_scenario(/*frame_size=*/600.0,
-                                          /*cpu_ghz=*/2.8);
-  s.cooperation.active = true;           // peers exchange object positions
-  s.network.coop_payload_mb = 0.4;       // scene-fragment payload
-  s.network.coop_distance_m = 45.0;
-  s.sensors = {SensorConfig{"peer-positions", 120.0, 45.0}};
-  return s;
-}
-
-}  // namespace
-
 int main() {
   using namespace xr::core;
   const XrPerformanceModel model;
 
-  // Deployment A: one edge server runs the whole task.
-  ScenarioConfig single = base_game();
+  // Deployment B is the shared workload factory: cooperation active and the
+  // inference task split 60/40 across a strong and a weak edge server.
+  ScenarioConfig split = make_multiplayer_game_scenario();
 
-  // Deployment B: split 60/40 across two servers; the smaller share goes to
-  // a weaker second server (explicit resource instead of the 11.76x ratio).
-  ScenarioConfig split = base_game();
-  EdgeConfig near_edge;
-  near_edge.name = "edge-A";
-  near_edge.cnn_name = "YoloV7";
-  near_edge.omega_edge = 0.6;
-  EdgeConfig far_edge;
-  far_edge.name = "edge-B";
-  far_edge.cnn_name = "YoloV3";
-  far_edge.omega_edge = 0.4;
-  far_edge.resource = 80.0;  // weaker server
-  far_edge.memory_bandwidth_gbps = 59.7;
-  split.inference.edges = {near_edge, far_edge};
+  // Deployment A: the same game, but one edge server runs the whole task.
+  ScenarioConfig single = split;
+  EdgeConfig sole = single.inference.edges.front();
+  sole.cnn_name = "YoloV3";
+  sole.omega_edge = 1.0;
+  sole.name = "edge-A";
+  single.inference.edges = {sole};
 
   const auto rep_single = model.evaluate(single);
   const auto rep_split = model.evaluate(split);

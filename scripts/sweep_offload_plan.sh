@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Offload-plan merge-law acceptance gate: a plan_offload search expressed as
+# a unified SweepRequest and run as K sharded sweep_worker processes must
+# merge (sweep_merge --request --plan-out) to an OffloadPlan byte-identical
+# to the monolithic plan_offload call (sweep_plan --request --plan-out) —
+# best-latency, best-energy, best-weighted, and the full Pareto frontier.
+# Also exercises checkpoint/resume: one shard is killed early and resumed
+# before the merge.
+#
+#   usage: scripts/sweep_offload_plan.sh [BUILD_DIR] [SHARDS]
+#
+# BUILD_DIR defaults to ./build (binaries: sweep_plan, sweep_worker,
+# sweep_merge); SHARDS defaults to 3 (must be >= 2).
+set -euo pipefail
+
+BUILD_DIR="${1:-$(dirname "$0")/../build}"
+SHARDS="${2:-3}"
+PLAN="$BUILD_DIR/sweep_plan"
+WORKER="$BUILD_DIR/sweep_worker"
+MERGE="$BUILD_DIR/sweep_merge"
+
+for bin in "$PLAN" "$WORKER" "$MERGE"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "sweep_offload_plan.sh: build $(basename "$bin") first (looked in $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+if (( SHARDS < 2 )); then
+  echo "sweep_offload_plan.sh: SHARDS must be >= 2" >&2
+  exit 2
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/sweep_offload_plan.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+echo "== the search as one serializable request =="
+"$PLAN" --emit-request --alpha 0.5 > "$OUT/request.json"
+head -c 200 "$OUT/request.json"; echo " ..."
+
+echo
+echo "== monolithic reference: plan_offload on the request =="
+"$PLAN" --request "$OUT/request.json" --plan-out "$OUT/mono.plan.json"
+
+echo
+echo "== sharded run: $SHARDS concurrent worker processes =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" --request "$OUT/request.json" --shard-id "$k" \
+            --shard-count "$SHARDS" --out "$OUT/shard$k" --chunk 8 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== checkpoint/resume: redo shard 1, killed after 5 records =="
+rm -f "$OUT/shard1.jsonl" "$OUT/shard1.partial.json"
+"$WORKER" --request "$OUT/request.json" --shard-id 1 --shard-count "$SHARDS" \
+          --out "$OUT/shard1" --chunk 4 --max-records 5
+"$WORKER" --request "$OUT/request.json" --shard-id 1 --shard-count "$SHARDS" \
+          --out "$OUT/shard1" --chunk 4 --resume
+
+echo
+echo "== merge + reduce to the offload plan =="
+partials=()
+for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/shard$k.partial.json"); done
+"$MERGE" --request "$OUT/request.json" --plan-out "$OUT/sharded.plan.json" \
+         "${partials[@]}"
+
+echo
+if cmp "$OUT/mono.plan.json" "$OUT/sharded.plan.json"; then
+  echo "sweep_offload_plan.sh: OK ($SHARDS shards -> OffloadPlan == monolithic, byte-identical)"
+else
+  echo "sweep_offload_plan.sh: FAIL (plans diverged)" >&2
+  exit 1
+fi

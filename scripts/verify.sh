@@ -19,8 +19,11 @@ echo "== batch runtime: serial vs parallel determinism =="
 (cd build && ./fig4f_roi > /dev/null && cat bench/out/BENCH_fig4f_roi.json)
 
 # The sharded sweep gates (K worker processes + merge == monolithic,
-# bitwise; analytical and ground-truth evaluators) already ran above:
-# ctest executes scripts/sweep_sharded.sh and scripts/sweep_gt_sharded.sh
-# as the registered tests `scripts.sweep_sharded` / `scripts.sweep_gt_sharded`.
+# bitwise; analytical and ground-truth evaluators, and the unified-request
+# offload-plan law) already ran above: ctest executes
+# scripts/sweep_sharded.sh, scripts/sweep_gt_sharded.sh, and
+# scripts/sweep_offload_plan.sh as the registered tests
+# `scripts.sweep_sharded` / `scripts.sweep_gt_sharded` /
+# `scripts.sweep_offload_plan`.
 
 echo "verify.sh: OK"

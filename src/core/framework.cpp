@@ -102,4 +102,53 @@ ScenarioConfig make_remote_scenario(double frame_size, double cpu_ghz) {
   return s;
 }
 
+ScenarioConfig make_autonomous_driving_scenario() {
+  ScenarioConfig s = make_remote_scenario(/*frame_size=*/640.0,
+                                          /*cpu_ghz=*/2.5);
+  // The ADS consumes one environment update every 10 ms, five per frame.
+  s.aoi.request_period_ms = 10.0;
+  s.aoi.updates_per_frame = 5;
+  s.sensors = {
+      SensorConfig{"rsu-pedestrian", /*hz=*/200.0, /*distance=*/60.0},
+      SensorConfig{"traffic-signal", 50.0, 120.0},
+      SensorConfig{"vehicle-map", 20.0, 40.0},
+      SensorConfig{"lidar-unit", 100.0, 5.0},
+  };
+  s.updates_per_frame = 5;
+  return s;
+}
+
+ScenarioConfig make_multiplayer_game_scenario() {
+  ScenarioConfig s = make_remote_scenario(/*frame_size=*/600.0,
+                                          /*cpu_ghz=*/2.8);
+  s.cooperation.active = true;      // peers exchange object positions
+  s.network.coop_payload_mb = 0.4;  // scene-fragment payload
+  s.network.coop_distance_m = 45.0;
+  s.sensors = {SensorConfig{"peer-positions", 120.0, 45.0}};
+  // Split 60/40 across two servers; the smaller share goes to a weaker
+  // second server (explicit resource instead of the 11.76x ratio).
+  EdgeConfig near_edge;
+  near_edge.name = "edge-A";
+  near_edge.cnn_name = "YoloV7";
+  near_edge.omega_edge = 0.6;
+  EdgeConfig far_edge;
+  far_edge.name = "edge-B";
+  far_edge.cnn_name = "YoloV3";
+  far_edge.omega_edge = 0.4;
+  far_edge.resource = 80.0;  // weaker server
+  far_edge.memory_bandwidth_gbps = 59.7;
+  s.inference.edges = {near_edge, far_edge};
+  return s;
+}
+
+ScenarioConfig make_handoff_mobility_scenario(double step_length_per_frame_m,
+                                              double vertical_fraction) {
+  ScenarioConfig s = make_remote_scenario(500.0, 2.0);
+  s.mobility.enabled = true;
+  s.mobility.zone_radius_m = 120.0;
+  s.mobility.step_length_per_frame_m = step_length_per_frame_m;
+  s.mobility.vertical_fraction = vertical_fraction;
+  return s;
+}
+
 }  // namespace xr::core

@@ -69,4 +69,17 @@ class XrPerformanceModel {
 [[nodiscard]] ScenarioConfig make_remote_scenario(double frame_size = 500.0,
                                                   double cpu_ghz = 2.0);
 
+// The example workloads, shared by examples/, the serialization tests, and
+// sweep request documents (any of these can be a grid's base scenario).
+
+/// Autonomous driving: AoI-driven sensing from roadside units, traffic
+/// infrastructure, neighbouring vehicles, and an onboard lidar.
+[[nodiscard]] ScenarioConfig make_autonomous_driving_scenario();
+/// Multiplayer XR game: active cooperation plus a heterogeneous two-edge
+/// 60/40 split of the inference task (Eq. 15/18).
+[[nodiscard]] ScenarioConfig make_multiplayer_game_scenario();
+/// Walking user leaving Wi-Fi zones: mobility/handoff enabled (Eq. 17).
+[[nodiscard]] ScenarioConfig make_handoff_mobility_scenario(
+    double step_length_per_frame_m = 1.0, double vertical_fraction = 0.0);
+
 }  // namespace xr::core

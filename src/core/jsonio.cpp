@@ -1,4 +1,4 @@
-#include "runtime/shard/jsonio.h"
+#include "core/jsonio.h"
 
 #include <charconv>
 #include <cmath>
@@ -7,7 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace xr::runtime::shard {
+namespace xr::core {
 
 std::string format_hex64(std::uint64_t v) {
   char buf[20];
@@ -369,4 +369,4 @@ class Parser {
 
 Json Json::parse(std::string_view text) { return Parser(text).run(); }
 
-}  // namespace xr::runtime::shard
+}  // namespace xr::core

@@ -5,7 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "runtime/batch_evaluator.h"
+#include "core/serialize.h"
+#include "runtime/offload_search.h"
 #include "runtime/sweep.h"
 
 namespace xr::core {
@@ -41,10 +42,148 @@ std::string OffloadDecision::to_string() const {
   return oss.str();
 }
 
+Json OffloadDecision::to_json() const {
+  Json j = Json::object();
+  j.set("placement", placement_name(placement));
+  j.set("omega_c", omega_c);
+  j.set("local_cnn", local_cnn);
+  j.set("edge_cnn", edge_cnn);
+  j.set("edge_count", std::size_t(edge_count));
+  j.set("codec", core::to_json(codec));
+  return j;
+}
+
+OffloadDecision OffloadDecision::from_json(const Json& j) {
+  OffloadDecision d;
+  d.placement = placement_from_name(j.at("placement").as_string());
+  d.omega_c = j.at("omega_c").as_double();
+  d.local_cnn = j.at("local_cnn").as_string();
+  d.edge_cnn = j.at("edge_cnn").as_string();
+  d.edge_count = int(j.at("edge_count").as_size());
+  d.codec = h264_from_json(j.at("codec"));
+  return d;
+}
+
 double EvaluatedDecision::objective(double alpha, double latency_scale,
                                     double energy_scale) const {
   return alpha * latency_ms() / latency_scale +
          (1.0 - alpha) * energy_mj() / energy_scale;
+}
+
+Json EvaluatedDecision::to_json() const {
+  Json j = Json::object();
+  j.set("decision", decision.to_json());
+  j.set("report", core::to_json(report));
+  return j;
+}
+
+EvaluatedDecision EvaluatedDecision::from_json(const Json& j) {
+  EvaluatedDecision e;
+  e.decision = OffloadDecision::from_json(j.at("decision"));
+  e.report = report_from_json(j.at("report"));
+  return e;
+}
+
+Json OffloadSearchSpace::to_json() const {
+  Json j = Json::object();
+  Json omegas = Json::array();
+  for (double v : omega_c_grid) omegas.push_back(Json(v));
+  j.set("omega_c_grid", std::move(omegas));
+  Json locals = Json::array();
+  for (const auto& n : local_cnns) locals.push_back(Json(n));
+  j.set("local_cnns", std::move(locals));
+  Json edges = Json::array();
+  for (const auto& n : edge_cnns) edges.push_back(Json(n));
+  j.set("edge_cnns", std::move(edges));
+  Json counts = Json::array();
+  for (int c : edge_counts) counts.push_back(Json(std::size_t(c)));
+  j.set("edge_counts", std::move(counts));
+  Json rates = Json::array();
+  for (double v : codec_bitrates_mbps) rates.push_back(Json(v));
+  j.set("codec_bitrates_mbps", std::move(rates));
+  j.set("include_local", include_local);
+  j.set("include_remote", include_remote);
+  return j;
+}
+
+OffloadSearchSpace OffloadSearchSpace::from_json(const Json& j) {
+  OffloadSearchSpace s;
+  s.omega_c_grid.clear();
+  for (const Json& v : j.at("omega_c_grid").as_array())
+    s.omega_c_grid.push_back(v.as_double());
+  s.local_cnns.clear();
+  for (const Json& v : j.at("local_cnns").as_array())
+    s.local_cnns.push_back(v.as_string());
+  s.edge_cnns.clear();
+  for (const Json& v : j.at("edge_cnns").as_array())
+    s.edge_cnns.push_back(v.as_string());
+  s.edge_counts.clear();
+  for (const Json& v : j.at("edge_counts").as_array())
+    s.edge_counts.push_back(int(v.as_size()));
+  s.codec_bitrates_mbps.clear();
+  for (const Json& v : j.at("codec_bitrates_mbps").as_array())
+    s.codec_bitrates_mbps.push_back(v.as_double());
+  s.include_local = j.at("include_local").as_bool();
+  s.include_remote = j.at("include_remote").as_bool();
+  return s;
+}
+
+namespace {
+
+constexpr const char* kPlanSchema = "xr.offload_plan.v1";
+
+}  // namespace
+
+Json OffloadPlan::to_json() const {
+  Json j = Json::object();
+  j.set("schema", kPlanSchema);
+  j.set("candidates_evaluated", candidates_evaluated);
+  j.set("best_latency", best_latency.to_json());
+  j.set("best_energy", best_energy.to_json());
+  j.set("best_weighted", best_weighted.to_json());
+  Json frontier = Json::array();
+  for (const auto& e : pareto) frontier.push_back(e.to_json());
+  j.set("pareto", std::move(frontier));
+  return j;
+}
+
+std::string OffloadPlan::to_string(double alpha,
+                                   const std::string& indent) const {
+  std::ostringstream oss;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "offload plan over %zu candidates (alpha = %g)\n",
+                candidates_evaluated, alpha);
+  oss << indent << line;
+  std::snprintf(line, sizeof line, "  best latency : %s -> %.2f ms\n",
+                best_latency.decision.to_string().c_str(),
+                best_latency.latency_ms());
+  oss << indent << line;
+  std::snprintf(line, sizeof line, "  best energy  : %s -> %.2f mJ\n",
+                best_energy.decision.to_string().c_str(),
+                best_energy.energy_mj());
+  oss << indent << line;
+  std::snprintf(line, sizeof line, "  best weighted: %s\n",
+                best_weighted.decision.to_string().c_str());
+  oss << indent << line;
+  std::snprintf(line, sizeof line, "  Pareto frontier: %zu decisions\n",
+                pareto.size());
+  oss << indent << line;
+  return oss.str();
+}
+
+OffloadPlan OffloadPlan::from_json(const Json& j) {
+  if (j.at("schema").as_string() != kPlanSchema)
+    throw std::invalid_argument("OffloadPlan: unknown schema '" +
+                                j.at("schema").as_string() + "'");
+  OffloadPlan plan;
+  plan.candidates_evaluated = j.at("candidates_evaluated").as_size();
+  plan.best_latency = EvaluatedDecision::from_json(j.at("best_latency"));
+  plan.best_energy = EvaluatedDecision::from_json(j.at("best_energy"));
+  plan.best_weighted = EvaluatedDecision::from_json(j.at("best_weighted"));
+  for (const Json& e : j.at("pareto").as_array())
+    plan.pareto.push_back(EvaluatedDecision::from_json(e));
+  return plan;
 }
 
 std::vector<double> balance_edge_split(
@@ -63,138 +202,186 @@ std::vector<double> balance_edge_split(
   return shares;
 }
 
-namespace {
-
-/// One placement family of the search space evaluated as a batch: the grid,
-/// its batch result, and the decision each grid coordinate encodes.
-struct EvaluatedGrid {
-  runtime::ScenarioGrid grid;
-  runtime::BatchResult batch;
-  std::function<OffloadDecision(const std::vector<std::size_t>&)>
-      decision_from_coords;
-
-  [[nodiscard]] EvaluatedDecision candidate(std::size_t i) const {
-    return EvaluatedDecision{decision_from_coords(grid.coords(i)),
-                             batch.reports[i]};
-  }
-};
-
-/// The local half of the search space: ω_c × on-device CNN.
-std::optional<EvaluatedGrid> evaluate_local(
-    const ScenarioConfig& base, const OffloadSearchSpace& space,
-    const runtime::BatchEvaluator& evaluator) {
-  if (!space.include_local || space.local_cnns.empty()) return std::nullopt;
-  OffloadDecision seed;
-  seed.placement = InferencePlacement::kLocal;
-  auto grid = runtime::SweepSpec(seed.apply(base))
-                  .omega_c(space.omega_c_grid)
-                  .local_cnns(space.local_cnns)
-                  .build();
-  auto batch = evaluator.run(grid);
-  const auto decision = [&space](const std::vector<std::size_t>& c) {
-    OffloadDecision d;
-    d.placement = InferencePlacement::kLocal;
-    d.omega_c = space.omega_c_grid[c[0]];
-    d.local_cnn = space.local_cnns[c[1]];
-    return d;
-  };
-  return EvaluatedGrid{std::move(grid), std::move(batch), decision};
-}
-
-/// The remote half: ω_c × edge CNN × edge count × codec bitrate.
-std::optional<EvaluatedGrid> evaluate_remote(
-    const ScenarioConfig& base, const OffloadSearchSpace& space,
-    const runtime::BatchEvaluator& evaluator) {
-  if (!space.include_remote || space.edge_cnns.empty() ||
-      space.edge_counts.empty() || space.codec_bitrates_mbps.empty())
-    return std::nullopt;
-  OffloadDecision seed;
-  seed.placement = InferencePlacement::kRemote;
-  seed.codec = base.codec;
-  auto grid = runtime::SweepSpec(seed.apply(base))
-                  .omega_c(space.omega_c_grid)
-                  .edge_cnns(space.edge_cnns)
-                  .edge_counts(space.edge_counts)
-                  .codec_bitrates_mbps(space.codec_bitrates_mbps)
-                  .build();
-  auto batch = evaluator.run(grid);
-  const auto decision = [&space, &base](const std::vector<std::size_t>& c) {
-    OffloadDecision d;
-    d.placement = InferencePlacement::kRemote;
-    d.omega_c = space.omega_c_grid[c[0]];
-    d.edge_cnn = space.edge_cnns[c[1]];
-    d.edge_count = space.edge_counts[c[2]];
-    d.codec = base.codec;
-    d.codec.bitrate_mbps = space.codec_bitrates_mbps[c[3]];
-    return d;
-  };
-  return EvaluatedGrid{std::move(grid), std::move(batch), decision};
-}
-
-}  // namespace
-
-OffloadPlan plan_offload(const ScenarioConfig& base,
-                         const OffloadSearchSpace& space, double alpha,
-                         const XrPerformanceModel& model) {
+runtime::SweepRequest offload_search_request(const ScenarioConfig& base,
+                                             const OffloadSearchSpace& space,
+                                             double alpha) {
   if (alpha < 0 || alpha > 1)
     throw std::invalid_argument("plan_offload: alpha in [0, 1]");
   if (!space.include_local && !space.include_remote)
     throw std::invalid_argument("plan_offload: empty placement set");
   if (space.omega_c_grid.empty())
     throw std::invalid_argument("plan_offload: empty omega_c grid");
+  const bool local = space.include_local && !space.local_cnns.empty();
+  const bool remote = space.include_remote && !space.edge_cnns.empty() &&
+                      !space.edge_counts.empty() &&
+                      !space.codec_bitrates_mbps.empty();
+  if (!local && !remote)
+    throw std::invalid_argument(
+        "plan_offload: search space produced no candidates");
 
-  const runtime::BatchEvaluator evaluator(model);
-  std::vector<EvaluatedGrid> halves;
-  if (auto local = evaluate_local(base, space, evaluator))
-    halves.push_back(std::move(*local));
-  if (auto remote = evaluate_remote(base, space, evaluator))
-    halves.push_back(std::move(*remote));
-  if (halves.empty())
-    throw std::invalid_argument("plan_offload: search space produced no "
-                                "candidates");
+  // The edge axes mutate the *existing* edge set (CNN onto every edge, then
+  // replication of the front edge), so the embedded base always carries at
+  // least one edge for them to act on.
+  ScenarioConfig grid_base = base;
+  if (grid_base.inference.edges.empty())
+    grid_base.inference.edges = {EdgeConfig{}};
 
-  // The plan is a thin reduction over the batch results.
-  OffloadPlan plan;
-  std::vector<EvaluatedDecision> frontier_pool;
-  bool first = true;
-  for (const auto& half : halves) {
-    plan.candidates_evaluated += half.grid.size();
-    const auto best_l = half.candidate(half.batch.best_latency_index);
-    const auto best_e = half.candidate(half.batch.best_energy_index);
-    if (first || best_l.latency_ms() < plan.best_latency.latency_ms())
-      plan.best_latency = best_l;
-    if (first || best_e.energy_mj() < plan.best_energy.energy_mj())
-      plan.best_energy = best_e;
-    // Merging per-half frontiers is lossless: the union's frontier is a
-    // subset of the union of the halves' frontiers.
-    for (std::size_t i : half.batch.pareto_indices)
-      frontier_pool.push_back(half.candidate(i));
-    first = false;
+  // One grid for the whole search. Placement is declared LAST: its applier
+  // runs after the edge axes, so each point resolves its own path — local
+  // points drop the prepared edge set, remote points adopt it.
+  runtime::SweepSpec spec(grid_base);
+  spec.omega_c(space.omega_c_grid);
+  if (local) spec.local_cnns(space.local_cnns);
+  if (remote) {
+    spec.edge_cnns(space.edge_cnns);
+    spec.edge_counts(space.edge_counts);
+    spec.codec_bitrates_mbps(space.codec_bitrates_mbps);
   }
-  std::sort(frontier_pool.begin(), frontier_pool.end(),
-            [](const auto& a, const auto& b) {
-              if (a.latency_ms() != b.latency_ms())
-                return a.latency_ms() < b.latency_ms();
-              return a.energy_mj() < b.energy_mj();
-            });
-  double best_energy_so_far = std::numeric_limits<double>::infinity();
-  for (const auto& e : frontier_pool) {
-    if (e.energy_mj() < best_energy_so_far) {
-      plan.pareto.push_back(e);
-      best_energy_so_far = e.energy_mj();
+  std::vector<InferencePlacement> placements;
+  if (local) placements.push_back(InferencePlacement::kLocal);
+  if (remote) placements.push_back(InferencePlacement::kRemote);
+  spec.placements(placements);
+
+  runtime::SweepRequest request;
+  request.grid = spec.grid_spec();
+  request.reduction.kind = runtime::ReductionKind::kOffloadPlan;
+  request.reduction.alpha = alpha;
+  return request;
+}
+
+OffloadDecision decision_at(const runtime::GridSpec& grid,
+                            std::size_t index) {
+  const ScenarioConfig base = grid.base_config();
+
+  // Mixed-radix decode, last axis fastest — ScenarioGrid::coords without
+  // materializing the grid.
+  std::vector<std::size_t> coords(grid.axes.size(), 0);
+  std::size_t rest = index;
+  for (std::size_t k = grid.axes.size(); k-- > 0;) {
+    const auto& axis = grid.axes[k];
+    const std::size_t radix =
+        axis.numbers.empty() ? axis.strings.size() : axis.numbers.size();
+    if (radix == 0)
+      throw std::invalid_argument("decision_at: axis '" + axis.knob +
+                                  "' has no values");
+    coords[k] = rest % radix;
+    rest /= radix;
+  }
+  if (rest != 0)
+    throw std::out_of_range("decision_at: index out of range");
+
+  // Raw knob values, defaulted from the base scenario; axes outside the
+  // decision vocabulary (frame_size, throughput, ...) are scenario context
+  // and contribute nothing to the decision.
+  InferencePlacement placement = base.inference.placement;
+  double omega_c = base.client.omega_c;
+  std::string local_cnn = base.inference.local_cnn_name;
+  std::string edge_cnn = base.inference.edges.empty()
+                             ? OffloadDecision{}.edge_cnn
+                             : base.inference.edges.front().cnn_name;
+  int edge_count =
+      base.inference.edges.empty() ? 1 : int(base.inference.edges.size());
+  double bitrate = base.codec.bitrate_mbps;
+  for (std::size_t k = 0; k < grid.axes.size(); ++k) {
+    const auto& axis = grid.axes[k];
+    const std::size_t c = coords[k];
+    if (axis.knob == "omega_c") {
+      omega_c = axis.numbers[c];
+    } else if (axis.knob == "local_cnn") {
+      local_cnn = axis.strings[c];
+    } else if (axis.knob == "edge_cnn") {
+      edge_cnn = axis.strings[c];
+    } else if (axis.knob == "edge_count") {
+      edge_count = int(axis.numbers[c]);
+    } else if (axis.knob == "codec_mbps") {
+      bitrate = axis.numbers[c];
+    } else if (axis.knob == "placement") {
+      placement = placement_from_name(axis.strings[c]);
     }
   }
+
+  // Canonical decision: only the fields its placement consumes.
+  OffloadDecision d;
+  d.placement = placement;
+  d.omega_c = omega_c;
+  if (placement == InferencePlacement::kLocal) {
+    d.local_cnn = local_cnn;
+  } else {
+    d.edge_cnn = edge_cnn;
+    d.edge_count = edge_count;
+    d.codec = base.codec;
+    d.codec.bitrate_mbps = bitrate;
+  }
+  return d;
+}
+
+OffloadPlan offload_plan_from_summary(
+    const runtime::SweepRequest& request,
+    const runtime::shard::MergedSummary& summary,
+    const XrPerformanceModel& model) {
+  if (request.reduction.kind != runtime::ReductionKind::kOffloadPlan)
+    throw std::invalid_argument(
+        "offload_plan_from_summary: request reduction is not offload_plan");
+  if (request.evaluator.is_ground_truth())
+    throw std::invalid_argument(
+        "offload_plan_from_summary: offload plans require the analytical "
+        "evaluator");
+  if (summary.grid_fingerprint != request.fingerprint())
+    throw std::invalid_argument(
+        "offload_plan_from_summary: summary does not belong to this request "
+        "(sweep fingerprint mismatch)");
+  const double alpha = request.reduction.alpha;
+  if (alpha < 0 || alpha > 1)
+    throw std::invalid_argument("plan_offload: alpha in [0, 1]");
+
+  // The models are pure functions of the scenario, so re-deriving the few
+  // reports the plan carries reproduces the workers' streamed values
+  // bitwise — no record files needed, the partial summaries suffice.
+  const runtime::ScenarioGrid grid = request.grid.build();
+  const auto evaluated = [&](std::size_t i) {
+    return EvaluatedDecision{decision_at(request.grid, i),
+                             model.evaluate(grid.at(i))};
+  };
+
+  OffloadPlan plan;
+  plan.candidates_evaluated = summary.evaluated;
+  plan.best_latency = evaluated(summary.best_latency_index);
+  plan.best_energy = evaluated(summary.best_energy_index);
+  plan.pareto.reserve(summary.pareto.size());
+  for (const auto& p : summary.pareto) plan.pareto.push_back(evaluated(p.index));
 
   // The weighted optimum lies on the Pareto frontier: the objective is
   // non-decreasing in both metrics, so a dominated candidate never wins.
   const double l_scale = std::max(plan.best_latency.latency_ms(), 1e-9);
   const double e_scale = std::max(plan.best_energy.energy_mj(), 1e-9);
   plan.best_weighted = *std::min_element(
-      plan.pareto.begin(), plan.pareto.end(), [&](const auto& a, const auto& b) {
+      plan.pareto.begin(), plan.pareto.end(),
+      [&](const auto& a, const auto& b) {
         return a.objective(alpha, l_scale, e_scale) <
                b.objective(alpha, l_scale, e_scale);
       });
   return plan;
+}
+
+OffloadPlan plan_offload(const runtime::SweepRequest& request,
+                         const XrPerformanceModel& model) {
+  // Fail before the sweep runs, not after: the summary reduction would
+  // reject these requests anyway (see offload_plan_from_summary), and a
+  // ground-truth sweep can be hours of simulation.
+  if (request.reduction.kind != runtime::ReductionKind::kOffloadPlan)
+    throw std::invalid_argument(
+        "plan_offload: request reduction is not offload_plan");
+  if (request.evaluator.is_ground_truth())
+    throw std::invalid_argument(
+        "plan_offload: offload plans require the analytical evaluator");
+  return offload_plan_from_summary(request, runtime::run_request(request, model),
+                                   model);
+}
+
+OffloadPlan plan_offload(const ScenarioConfig& base,
+                         const OffloadSearchSpace& space, double alpha,
+                         const XrPerformanceModel& model) {
+  return plan_offload(offload_search_request(base, space, alpha), model);
 }
 
 }  // namespace xr::core

@@ -4,17 +4,32 @@
 // controls: inference placement ω_loc, the CPU/GPU allocation share ω_c, the
 // task split across edge servers ω_edge^e (Eq. 15), and the codec operating
 // point. The analytical models make those decisions cheap to search: this
-// module enumerates a configurable candidate grid and returns the
-// latency-optimal, energy-optimal, and weighted-objective-optimal
-// configurations, plus the Pareto frontier — the planning workflow the
+// module expresses the candidate grid as a *serializable*
+// runtime::SweepRequest (offload_search_request) and reduces its summary to
+// the latency-optimal, energy-optimal, and weighted-objective-optimal
+// configurations plus the Pareto frontier — the planning workflow the
 // paper's introduction motivates (replace testbed trial-and-error with
 // analysis).
+//
+// Because the request is a document, the search distributes: K sweep_worker
+// processes over the same request merge (sweep_merge / merge_partials) into
+// a summary whose offload_plan_from_summary reduction is bitwise identical
+// to the monolithic plan_offload call — asserted in-process by
+// tests/runtime/test_sweep_request.cpp and across real processes by
+// scripts/sweep_offload_plan.sh.
+//
+// This header declares only the core value types and the classic
+// plan_offload entry point; the request-facing plumbing
+// (offload_search_request, decision_at, offload_plan_from_summary, the
+// SweepRequest overload of plan_offload) lives in runtime/offload_search.h
+// so core headers stay below the runtime layer.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/framework.h"
+#include "core/jsonio.h"
 
 namespace xr::core {
 
@@ -30,6 +45,9 @@ struct OffloadDecision {
   /// Apply this decision to a scenario (leaves everything else untouched).
   [[nodiscard]] ScenarioConfig apply(ScenarioConfig base) const;
   [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static OffloadDecision from_json(const Json& j);
 };
 
 /// Evaluated candidate: the decision plus the full performance analysis of
@@ -50,9 +68,13 @@ struct EvaluatedDecision {
   /// by the supplied scales.
   [[nodiscard]] double objective(double alpha, double latency_scale,
                                  double energy_scale) const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static EvaluatedDecision from_json(const Json& j);
 };
 
-/// Search space description.
+/// Search space description (serializable, so an offload search is as
+/// shippable as any other sweep document).
 struct OffloadSearchSpace {
   std::vector<double> omega_c_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
   std::vector<std::string> local_cnns = {"MobileNetv1_240_Quant",
@@ -62,6 +84,9 @@ struct OffloadSearchSpace {
   std::vector<double> codec_bitrates_mbps = {2.0, 4.0, 8.0};
   bool include_local = true;
   bool include_remote = true;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static OffloadSearchSpace from_json(const Json& j);
 };
 
 /// Result of a search.
@@ -72,16 +97,24 @@ struct OffloadPlan {
   /// Latency-ascending Pareto frontier (no candidate dominates another).
   std::vector<EvaluatedDecision> pareto;
   std::size_t candidates_evaluated = 0;
+
+  /// Canonical serialization (doubles bitwise, deterministic order) — what
+  /// the offload merge-law gate compares byte for byte.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static OffloadPlan from_json(const Json& j);
+
+  /// Human-readable summary block (one line per optimum + frontier size),
+  /// each line prefixed with `indent` — shared by the CLI tools so both
+  /// describe a plan identically.
+  [[nodiscard]] std::string to_string(double alpha,
+                                      const std::string& indent = "") const;
 };
 
 /// Grid-search the offload decision for a base scenario. `alpha` weights
 /// latency against energy in the combined objective (normalized by the
-/// best-found values of each metric). Throws std::invalid_argument for an
-/// empty search space or alpha outside [0, 1].
-///
-/// The candidate grid is expressed as runtime::SweepSpec axes and evaluated
-/// through runtime::BatchEvaluator (parallel across cores, deterministic
-/// results); this function is a thin reduction over that batch run.
+/// best-found values of each metric). Thin wrapper:
+/// plan_offload(offload_search_request(base, space, alpha), model) — see
+/// runtime/offload_search.h for the request-facing functions.
 [[nodiscard]] OffloadPlan plan_offload(const ScenarioConfig& base,
                                        const OffloadSearchSpace& space = {},
                                        double alpha = 0.5,

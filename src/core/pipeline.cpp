@@ -35,6 +35,17 @@ const std::vector<Segment>& all_segments() {
   return segments;
 }
 
+const char* placement_name(InferencePlacement p) noexcept {
+  return p == InferencePlacement::kLocal ? "local" : "remote";
+}
+
+InferencePlacement placement_from_name(const std::string& name) {
+  if (name == "local") return InferencePlacement::kLocal;
+  if (name == "remote") return InferencePlacement::kRemote;
+  throw std::invalid_argument("unknown placement '" + name +
+                              "' (expected 'local' or 'remote')");
+}
+
 double raw_frame_mb(const FrameConfig& f) {
   if (f.raw_frame_mb >= 0) return f.raw_frame_mb;
   // YUV420: 1.5 bytes per pixel of an s x s frame.

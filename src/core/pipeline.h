@@ -46,6 +46,13 @@ enum class Segment {
 /// Where a frame's inference runs — ω_loc in Eq. (1).
 enum class InferencePlacement { kLocal, kRemote };
 
+/// Display name of a placement ("local"/"remote") — the one spelling every
+/// serialized document uses.
+[[nodiscard]] const char* placement_name(InferencePlacement p) noexcept;
+/// Inverse of placement_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] InferencePlacement placement_from_name(const std::string& name);
+
 /// The XR client device's resource allocation.
 struct ClientConfig {
   double cpu_ghz = 2.0;               ///< f_c.

@@ -1,0 +1,68 @@
+// Offload searches as unified sweep requests — the runtime-facing half of
+// the optimizer.
+//
+// core/optimizer.h declares the decision/plan value types and the classic
+// plan_offload(base, space, alpha) entry point without referencing the
+// runtime layer; this header declares the request plumbing that ties those
+// types to runtime::SweepRequest, so core's headers stay below runtime in
+// the include graph even though one library implements both.
+//
+// Because the request is a document, the search distributes: K sweep_worker
+// processes over the same request merge (sweep_merge / merge_partials) into
+// a summary whose offload_plan_from_summary reduction is bitwise identical
+// to the monolithic plan_offload call — asserted in-process by
+// tests/runtime/test_sweep_request.cpp and across real processes by
+// scripts/sweep_offload_plan.sh.
+#pragma once
+
+#include <cstddef>
+
+#include "core/optimizer.h"
+#include "runtime/shard/merge.h"
+#include "runtime/sweep_request.h"
+
+namespace xr::core {
+
+/// Express an offload search as the unified serializable sweep request: ONE
+/// grid over `base` crossing ω_c × local CNN × edge CNN × edge count ×
+/// codec bitrate × placement (placement declared last so its applier
+/// resolves each point's path: local points drop the edge set, remote
+/// points keep the prepared one). The reduction block carries
+/// {offload_plan, alpha}. Throws std::invalid_argument for alpha outside
+/// [0, 1] or a search space with no candidates.
+///
+/// Deliberate tradeoff: the full cross product evaluates local-placement
+/// points once per (edge CNN × edge count × bitrate) combination — ~3.4×
+/// redundancy on the default space (240 points vs the old two-half 70) —
+/// in exchange for the whole search being ONE document under ONE merge
+/// law. The evaluator is microseconds per point and the redundant points
+/// are bitwise-equal, so reductions are unaffected; revisit with
+/// placement-split sub-grids only if search spaces grow enough to matter.
+[[nodiscard]] runtime::SweepRequest offload_search_request(
+    const ScenarioConfig& base, const OffloadSearchSpace& space = {},
+    double alpha = 0.5);
+
+/// Decode the OffloadDecision a grid index of an offload request encodes
+/// (axes outside the decision vocabulary are scenario context and ignored).
+[[nodiscard]] OffloadDecision decision_at(const runtime::GridSpec& grid,
+                                          std::size_t index);
+
+/// Reduce a merged sweep summary into the plan: the summary's argmin and
+/// Pareto reductions are decoded into decisions and their reports
+/// re-derived from the (pure) model — bitwise identical to the values the
+/// workers streamed. Throws std::invalid_argument when the summary does not
+/// belong to `request` (fingerprint mismatch) or the request's reduction is
+/// not offload_plan.
+[[nodiscard]] OffloadPlan offload_plan_from_summary(
+    const runtime::SweepRequest& request,
+    const runtime::shard::MergedSummary& summary,
+    const XrPerformanceModel& model = {});
+
+/// Monolithic execution of an offload request: run_request +
+/// offload_plan_from_summary, i.e. literally the K = 1 case of the sharded
+/// path. Rejects non-offload_plan reductions and ground-truth evaluators
+/// *before* running the sweep.
+[[nodiscard]] OffloadPlan plan_offload(const runtime::SweepRequest& request,
+                                       const XrPerformanceModel& model = {});
+
+}  // namespace xr::core

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/framework.h"
-
 namespace xr::runtime::shard {
 
 const char* strategy_name(ShardStrategy s) noexcept {
@@ -64,107 +62,6 @@ std::size_t ShardPlan::shard_of(std::size_t global) const {
   // grid_size and every owned index lands in this branch).
   if (global < r * (q + 1)) return global / (q + 1);
   return r + (global - r * (q + 1)) / q;
-}
-
-ScenarioGrid GridSpec::build() const {
-  core::ScenarioConfig base_scenario;
-  if (base == "local")
-    base_scenario = core::make_local_scenario(frame_size, cpu_ghz);
-  else if (base == "remote")
-    base_scenario = core::make_remote_scenario(frame_size, cpu_ghz);
-  else
-    throw std::invalid_argument("GridSpec: unknown base '" + base +
-                                "' (expected 'local' or 'remote')");
-
-  SweepSpec spec(base_scenario);
-  for (const auto& axis : axes) {
-    if (axis.knob == "frame_size") {
-      spec.frame_sizes(axis.numbers);
-    } else if (axis.knob == "cpu_ghz") {
-      spec.cpu_clocks_ghz(axis.numbers);
-    } else if (axis.knob == "omega_c") {
-      spec.omega_c(axis.numbers);
-    } else if (axis.knob == "codec_mbps") {
-      spec.codec_bitrates_mbps(axis.numbers);
-    } else if (axis.knob == "throughput_mbps") {
-      spec.network_throughputs_mbps(axis.numbers);
-    } else if (axis.knob == "edge_count") {
-      std::vector<int> counts;
-      counts.reserve(axis.numbers.size());
-      for (double v : axis.numbers) counts.push_back(int(v));
-      spec.edge_counts(counts);
-    } else if (axis.knob == "placement") {
-      std::vector<core::InferencePlacement> placements;
-      placements.reserve(axis.strings.size());
-      for (const auto& s : axis.strings) {
-        if (s == "local")
-          placements.push_back(core::InferencePlacement::kLocal);
-        else if (s == "remote")
-          placements.push_back(core::InferencePlacement::kRemote);
-        else
-          throw std::invalid_argument("GridSpec: unknown placement '" + s +
-                                      "'");
-      }
-      spec.placements(placements);
-    } else if (axis.knob == "local_cnn") {
-      spec.local_cnns(axis.strings);
-    } else if (axis.knob == "edge_cnn") {
-      spec.edge_cnns(axis.strings);
-    } else {
-      throw std::invalid_argument("GridSpec: unknown knob '" + axis.knob +
-                                  "'");
-    }
-  }
-  return spec.build();
-}
-
-Json GridSpec::to_json() const {
-  Json b = Json::object();
-  b.set("scenario", base);
-  b.set("frame_size", frame_size);
-  b.set("cpu_ghz", cpu_ghz);
-
-  Json ax = Json::array();
-  for (const auto& axis : axes) {
-    Json a = Json::object();
-    a.set("knob", axis.knob);
-    Json values = Json::array();
-    if (!axis.strings.empty())
-      for (const auto& s : axis.strings) values.push_back(Json(s));
-    else
-      for (double v : axis.numbers) values.push_back(Json(v));
-    a.set("values", std::move(values));
-    ax.push_back(std::move(a));
-  }
-
-  Json out = Json::object();
-  out.set("base", std::move(b));
-  out.set("axes", std::move(ax));
-  return out;
-}
-
-GridSpec GridSpec::from_json(const Json& j) {
-  GridSpec out;
-  const Json& base = j.at("base");
-  out.base = base.at("scenario").as_string();
-  out.frame_size = base.at("frame_size").as_double();
-  out.cpu_ghz = base.at("cpu_ghz").as_double();
-  for (const Json& a : j.at("axes").as_array()) {
-    GridAxisSpec axis;
-    axis.knob = a.at("knob").as_string();
-    for (const Json& v : a.at("values").as_array()) {
-      if (v.is_string())
-        axis.strings.push_back(v.as_string());
-      else
-        axis.numbers.push_back(v.as_double());
-    }
-    if (!axis.strings.empty() && !axis.numbers.empty())
-      throw std::invalid_argument(
-          "GridSpec: axis '" + axis.knob +
-          "' mixes string and numeric values");
-    out.axes.push_back(std::move(axis));
-  }
-  return out;
 }
 
 }  // namespace xr::runtime::shard

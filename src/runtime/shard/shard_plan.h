@@ -18,18 +18,14 @@
 // which is what makes the streamed partial reductions mergeable back into
 // the exact monolithic result (see streaming_sink.h).
 //
-// GridSpec is the serializable companion: the declarative subset of
-// SweepSpec (a factory base scenario plus the paper's named knobs) as a
-// compact JSON document, so a worker process can rebuild the exact grid
-// from a spec file. Arbitrary axis<T>() mutations are not serializable and
-// stay in-process.
+// The serializable grid description itself is runtime::GridSpec
+// (runtime/sweep.h): one document type shared by every sweep in the repo,
+// whether it runs monolithically or sharded.
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <vector>
 
-#include "runtime/shard/jsonio.h"
 #include "runtime/sweep.h"
 
 namespace xr::runtime::shard {
@@ -68,34 +64,6 @@ class ShardPlan {
   std::size_t grid_size_;
   std::size_t shard_count_;
   ShardStrategy strategy_;
-};
-
-/// One serializable sweep axis: a named knob plus its values. Numeric knobs
-/// use `numbers`; placement / CNN-name knobs use `strings`.
-struct GridAxisSpec {
-  std::string knob;
-  std::vector<double> numbers;
-  std::vector<std::string> strings;
-};
-
-/// Serializable scenario grid: factory base + named knob axes.
-///
-/// Knobs: "frame_size", "cpu_ghz", "omega_c", "codec_mbps",
-/// "throughput_mbps", "edge_count" (numeric); "placement"
-/// ("local"/"remote"), "local_cnn", "edge_cnn" (string). Axis declaration
-/// order is enumeration order (first axis outermost), exactly as SweepSpec.
-struct GridSpec {
-  std::string base = "remote";  ///< factory: "local" or "remote".
-  double frame_size = 500.0;
-  double cpu_ghz = 2.0;
-  std::vector<GridAxisSpec> axes;
-
-  /// Materialize via SweepSpec; throws std::invalid_argument on unknown
-  /// base/knob names or empty axes.
-  [[nodiscard]] ScenarioGrid build() const;
-
-  [[nodiscard]] Json to_json() const;
-  [[nodiscard]] static GridSpec from_json(const Json& j);
 };
 
 }  // namespace xr::runtime::shard

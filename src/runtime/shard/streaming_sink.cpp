@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/serialize.h"
+
 namespace xr::runtime::shard {
 
 namespace {
@@ -240,106 +242,20 @@ PartialReduction PartialReduction::from_json(const Json& j) {
 
 // ---- record codec ------------------------------------------------------
 
-namespace {
-
-Json latency_to_json(const core::LatencyBreakdown& l) {
-  Json j = Json::object();
-  j.set("frame_generation", l.frame_generation);
-  j.set("volumetric", l.volumetric);
-  j.set("external_sensors", l.external_sensors);
-  j.set("rendering", l.rendering);
-  j.set("buffer_wait", l.buffer_wait);
-  j.set("frame_conversion", l.frame_conversion);
-  j.set("encoding", l.encoding);
-  j.set("local_inference", l.local_inference);
-  j.set("remote_inference", l.remote_inference);
-  j.set("transmission", l.transmission);
-  j.set("handoff", l.handoff);
-  j.set("cooperation", l.cooperation);
-  j.set("cooperation_in_total", l.cooperation_in_total);
-  j.set("total", l.total);
-  return j;
-}
-
-core::LatencyBreakdown latency_from_json(const Json& j) {
-  core::LatencyBreakdown l;
-  l.frame_generation = j.at("frame_generation").as_double();
-  l.volumetric = j.at("volumetric").as_double();
-  l.external_sensors = j.at("external_sensors").as_double();
-  l.rendering = j.at("rendering").as_double();
-  l.buffer_wait = j.at("buffer_wait").as_double();
-  l.frame_conversion = j.at("frame_conversion").as_double();
-  l.encoding = j.at("encoding").as_double();
-  l.local_inference = j.at("local_inference").as_double();
-  l.remote_inference = j.at("remote_inference").as_double();
-  l.transmission = j.at("transmission").as_double();
-  l.handoff = j.at("handoff").as_double();
-  l.cooperation = j.at("cooperation").as_double();
-  l.cooperation_in_total = j.at("cooperation_in_total").as_bool();
-  l.total = j.at("total").as_double();
-  return l;
-}
-
-Json energy_to_json(const core::EnergyBreakdown& e) {
-  Json j = Json::object();
-  j.set("frame_generation", e.frame_generation);
-  j.set("volumetric", e.volumetric);
-  j.set("external_sensors", e.external_sensors);
-  j.set("rendering", e.rendering);
-  j.set("frame_conversion", e.frame_conversion);
-  j.set("encoding", e.encoding);
-  j.set("local_inference", e.local_inference);
-  j.set("remote_inference", e.remote_inference);
-  j.set("transmission", e.transmission);
-  j.set("handoff", e.handoff);
-  j.set("cooperation", e.cooperation);
-  j.set("cooperation_in_total", e.cooperation_in_total);
-  j.set("thermal", e.thermal);
-  j.set("base", e.base);
-  j.set("total", e.total);
-  return j;
-}
-
-core::EnergyBreakdown energy_from_json(const Json& j) {
-  core::EnergyBreakdown e;
-  e.frame_generation = j.at("frame_generation").as_double();
-  e.volumetric = j.at("volumetric").as_double();
-  e.external_sensors = j.at("external_sensors").as_double();
-  e.rendering = j.at("rendering").as_double();
-  e.frame_conversion = j.at("frame_conversion").as_double();
-  e.encoding = j.at("encoding").as_double();
-  e.local_inference = j.at("local_inference").as_double();
-  e.remote_inference = j.at("remote_inference").as_double();
-  e.transmission = j.at("transmission").as_double();
-  e.handoff = j.at("handoff").as_double();
-  e.cooperation = j.at("cooperation").as_double();
-  e.cooperation_in_total = j.at("cooperation_in_total").as_bool();
-  e.thermal = j.at("thermal").as_double();
-  e.base = j.at("base").as_double();
-  e.total = j.at("total").as_double();
-  return e;
-}
-
-}  // namespace
-
 std::string record_line(std::size_t global_index,
                         const core::PerformanceReport& report,
-                        const GtMeasurement* gt) {
+                        const GtMeasurement* gt, bool metrics_only) {
   Json j = Json::object();
   j.set("i", global_index);
-  j.set("latency", latency_to_json(report.latency));
-  j.set("energy", energy_to_json(report.energy));
-  Json sensors = Json::array();
-  for (const auto& s : report.sensors) {
-    Json sj = Json::object();
-    sj.set("name", s.name);
-    sj.set("average_aoi_ms", s.average_aoi_ms);
-    sj.set("processed_hz", s.processed_hz);
-    sj.set("roi", s.roi);
-    sj.set("fresh", s.fresh);
-    sensors.push_back(std::move(sj));
+  if (metrics_only) {
+    // Slim shape: exactly the totals the reduction consumes.
+    j.set("latency_ms", report.latency.total);
+    j.set("energy_mj", report.energy.total);
+  } else {
+    j.set("latency", core::to_json(report.latency));
+    j.set("energy", core::to_json(report.energy));
+    j.set("sensors", core::to_json(report.sensors));
   }
-  j.set("sensors", std::move(sensors));
   if (gt) {
     Json g = Json::object();
     g.set("seed", format_hex64(gt->seed));
@@ -357,16 +273,16 @@ ParsedRecord parse_record_line(std::string_view line) {
   const Json j = Json::parse(line);
   ParsedRecord out;
   out.index = j.at("i").as_size();
-  out.report.latency = latency_from_json(j.at("latency"));
-  out.report.energy = energy_from_json(j.at("energy"));
-  for (const Json& sj : j.at("sensors").as_array()) {
-    core::SensorReport s;
-    s.name = sj.at("name").as_string();
-    s.average_aoi_ms = sj.at("average_aoi_ms").as_double();
-    s.processed_hz = sj.at("processed_hz").as_double();
-    s.roi = sj.at("roi").as_double();
-    s.fresh = sj.at("fresh").as_bool();
-    out.report.sensors.push_back(std::move(s));
+  if (j.find("latency")) {
+    // Full shape: rebuild the report through the core breakdown codecs.
+    out.report.latency = core::latency_breakdown_from_json(j.at("latency"));
+    out.report.energy = core::energy_breakdown_from_json(j.at("energy"));
+    out.report.sensors = core::sensors_from_json(j.at("sensors"));
+  } else {
+    // Slim (metrics-only) shape: only the totals exist.
+    out.slim = true;
+    out.report.latency.total = j.at("latency_ms").as_double();
+    out.report.energy.total = j.at("energy_mj").as_double();
   }
   if (const Json* g = j.find("gt")) {
     GtMeasurement m;
@@ -401,6 +317,10 @@ StreamingSink::Recovery StreamingSink::scan_existing(
     try {
       const ParsedRecord r = parse_record_line(line);
       if (r.index != plan.global_index(id.shard_id, rec.records)) break;
+      // A stream whose record shape disagrees with the sink's metrics mode
+      // belongs to a different run configuration; cut the scan so resume
+      // rewrites rather than mixing shapes in one file.
+      if (r.slim != options.metrics_only) break;
       // In GT mode the reduction runs over the measurements; add() also
       // rejects records whose kind disagrees with the sink's mode, which
       // cuts the scan exactly like a corrupt line would.
@@ -461,7 +381,8 @@ void StreamingSink::append(std::size_t global_index,
   else
     partial_.add(global_index, point.report.latency.total,
                  point.report.energy.total);
-  buffer_ += record_line(global_index, point.report, gt);
+  buffer_ += record_line(global_index, point.report, gt,
+                         options_.metrics_only);
   buffer_ += '\n';
   ++buffered_records_;
   ++records_written_;

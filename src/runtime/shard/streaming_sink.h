@@ -25,7 +25,14 @@
 //   {"i": <global index>, "latency": {...LatencyBreakdown...},
 //    "energy": {...EnergyBreakdown...}, "sensors": [{...SensorReport...}]}
 //
-// Ground-truth sweeps (see evaluator.h) append one more member,
+// Metrics mode (SinkOptions::metrics_only — the sweep_worker --metrics
+// flag) slims each record to the totals the reduction actually consumes,
+// for million-point grids where full breakdowns dominate I/O:
+//
+//   {"i": <global index>, "latency_ms": <total>, "energy_mj": <total>}
+//
+// Ground-truth sweeps (see evaluator.h) append one more member to either
+// shape,
 //
 //   "gt": {"seed": "<hex64>", "frames": N, "mean_latency_ms": ...,
 //          "mean_energy_mj": ..., "latency_error_pct": ...,
@@ -34,7 +41,9 @@
 // and the reduction then runs over the *measurements* (extrema and Pareto
 // on GT means) plus a GtAggregate of exactly-mergeable sums (ExactSum) for
 // mean GT latency/energy and mean model error — so GT summaries obey the
-// same bitwise merge law as analytical ones.
+// same bitwise merge law as analytical ones. Because a PartialReduction is
+// a pure function of the totals, slim and full record streams produce
+// bitwise-identical partials and merged summaries.
 //
 // The sink flushes every chunk_records lines and rewrites the partial
 // checkpoint, so a killed worker loses at most one chunk; scan_existing()
@@ -72,7 +81,7 @@ struct ShardIdentity {
   std::uint64_t grid_fingerprint = 0;
 };
 
-/// FNV-1a over a GridSpec's canonical JSON serialization.
+/// FNV-1a over a runtime::GridSpec's canonical JSON serialization.
 [[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec);
 /// Sweep fingerprint: the grid *and* the evaluator (kind, seed, frames).
 /// Worker documents carry this form so a resume or merge can never mix an
@@ -194,17 +203,21 @@ class PartialReduction {
 
 /// Serialize one report as a single JSONL line (no trailing newline).
 /// `gt` (when non-null) appends the ground-truth measurement block.
+/// `metrics_only` emits the slim totals-only shape (see header comment).
 [[nodiscard]] std::string record_line(std::size_t global_index,
                                       const core::PerformanceReport& report,
-                                      const GtMeasurement* gt = nullptr);
+                                      const GtMeasurement* gt = nullptr,
+                                      bool metrics_only = false);
 
 struct ParsedRecord {
   std::size_t index = 0;
-  core::PerformanceReport report;
+  core::PerformanceReport report;   ///< slim records fill only the totals.
   std::optional<GtMeasurement> gt;  ///< present for ground-truth records.
+  bool slim = false;                ///< record was in metrics-only form.
 };
 
-/// Parse one record line; throws std::invalid_argument on malformed input.
+/// Parse one record line (full or slim shape); throws
+/// std::invalid_argument on malformed input.
 [[nodiscard]] ParsedRecord parse_record_line(std::string_view line);
 
 // ---- the sink ----------------------------------------------------------
@@ -219,6 +232,10 @@ struct SinkOptions {
   /// runs over the measured means, and the partial carries a GtAggregate
   /// (even while empty).
   bool ground_truth = false;
+  /// Metrics mode: write slim totals-only records. The reduction (and so
+  /// the merge law) is unaffected; resume refuses to continue a stream
+  /// whose record shape disagrees with this flag.
+  bool metrics_only = false;
 };
 
 class StreamingSink {

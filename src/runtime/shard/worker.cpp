@@ -47,6 +47,25 @@ PartialReduction check_resume_identity(const std::string& partial_path,
 
 }  // namespace
 
+WorkerSpec WorkerSpec::from_request(const runtime::SweepRequest& request,
+                                    std::size_t shard_id,
+                                    std::size_t shard_count,
+                                    ShardStrategy strategy, std::string output,
+                                    bool resume) {
+  WorkerSpec spec;
+  spec.grid = request.grid;
+  spec.evaluator = request.evaluator;
+  spec.shard_id = shard_id;
+  spec.shard_count = shard_count;
+  spec.strategy = strategy;
+  spec.output = std::move(output);
+  spec.chunk_records = request.execution.chunk_records;
+  spec.threads = request.execution.threads;
+  spec.metrics = request.execution.metrics;
+  spec.resume = resume;
+  return spec;
+}
+
 Json WorkerSpec::to_json() const {
   Json j = Json::object();
   j.set("grid", grid.to_json());
@@ -57,6 +76,7 @@ Json WorkerSpec::to_json() const {
   j.set("output", output);
   j.set("chunk_records", chunk_records);
   j.set("threads", threads);
+  j.set("metrics", metrics);
   j.set("resume", resume);
   return j;
 }
@@ -81,6 +101,7 @@ WorkerSpec WorkerSpec::from_json(const Json& j) {
   // clamps that could drift apart.
   if (out.chunk_records == 0) out.chunk_records = 1;
   if (const Json* t = j.find("threads")) out.threads = t->as_size();
+  if (const Json* m = j.find("metrics")) out.metrics = m->as_bool();
   if (const Json* r = j.find("resume")) out.resume = r->as_bool();
   return out;
 }
@@ -106,7 +127,7 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
   // cadence and the worker loop below share this exact value.
   const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
   const SinkOptions options{spec.output, chunk,
-                            spec.evaluator.is_ground_truth()};
+                            spec.evaluator.is_ground_truth(), spec.metrics};
 
   StreamingSink::Recovery recovery;
   const StreamingSink::Recovery* recovered = nullptr;

@@ -6,10 +6,15 @@
 //
 // Shard spec document (the tools' --spec format):
 //
-//   {"grid": {<GridSpec>}, "evaluator": {<EvaluatorSpec>},
+//   {"grid": {<runtime::GridSpec>}, "evaluator": {<EvaluatorSpec>},
 //    "shard_id": 0, "shard_count": 4,
 //    "strategy": "range", "output": "out/shard0",
-//    "chunk_records": 64, "threads": 1, "resume": false}
+//    "chunk_records": 64, "threads": 1, "metrics": false, "resume": false}
+//
+// A WorkerSpec is also derivable from the unified runtime::SweepRequest
+// (from_request below): the request contributes the grid, evaluator, and
+// execution mechanics; the shard assignment and output stem are this
+// worker's own.
 //
 // "evaluator" is optional and defaults to the analytical model; a
 // ground_truth evaluator streams per-point simulator measurements (seeded
@@ -29,6 +34,7 @@
 #include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "runtime/shard/streaming_sink.h"
+#include "runtime/sweep_request.h"
 
 namespace xr::runtime::shard {
 
@@ -47,8 +53,19 @@ struct WorkerSpec {
   /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
   /// N = dedicated pool of N workers (chunks still land in index order).
   std::size_t threads = 1;
+  /// Slim totals-only JSONL records (see streaming_sink.h). Never affects
+  /// the partial reduction or the merge law.
+  bool metrics = false;
   /// Continue from an existing record stream instead of restarting.
   bool resume = false;
+
+  /// This worker's slice of a unified sweep request: grid, evaluator, and
+  /// execution mechanics come from the request; the shard assignment and
+  /// output stem are the caller's.
+  [[nodiscard]] static WorkerSpec from_request(
+      const runtime::SweepRequest& request, std::size_t shard_id,
+      std::size_t shard_count, ShardStrategy strategy,
+      std::string output, bool resume = false);
 
   [[nodiscard]] Json to_json() const;
   /// Parses and validates/normalizes in one place: shard_count == 0 is

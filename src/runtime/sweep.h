@@ -1,26 +1,40 @@
-// Declarative scenario-space sweeps.
+// The unified sweep description: serializable grids over any scenario.
 //
 // Every figure, optimizer search, and capacity study in this repo is "take a
 // base ScenarioConfig and vary a few knobs over a grid" (the ω terms of
 // Eq. 1, the Fig. 4/5 frame-size × CPU-clock axes, codec operating points,
-// edge-server counts). SweepSpec captures that pattern declaratively: a base
-// scenario plus named axes, each axis a list of labelled point mutations.
-// build() produces a ScenarioGrid — the lazy cartesian product — which
-// materializes ScenarioConfigs on demand instead of nesting for-loops at
-// every call-site.
+// edge-server counts). This header captures that pattern once, in layers:
+//
+//   * AxisSpec   — one typed, serializable axis: a knob id plus its values.
+//   * GridSpec   — THE grid description: a base scenario (a factory name or
+//                  any inline ScenarioConfig, via core/serialize.h) plus
+//                  AxisSpec axes, round-trippable through JSON so worker
+//                  processes rebuild the exact grid from a document.
+//   * SweepSpec  — a thin builder over GridSpec for C++ call sites; its
+//                  named knob methods append AxisSpecs. Raw axis<T>()
+//                  closures remain as an explicitly NON-serializable escape
+//                  hatch: a spec that uses one cannot become a GridSpec.
+//   * ScenarioGrid — the lazy cartesian product both of them build().
 //
 // Enumeration order matches the equivalent nested loops with the FIRST
 // declared axis outermost, so refactored call-sites keep their historical
 // iteration order. Axis mutations are applied in declaration order and are
 // written to be order-independent where they touch the same field group
 // (edge count vs. edge CNN).
+//
+// Axis specs are validated eagerly (on parse and on append): unknown knob
+// ids, duplicate knobs, empty or mixed-type value lists, and invalid values
+// (e.g. a fractional edge count) all throw with the offending axis named,
+// instead of silently misbuilding the grid.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/jsonio.h"
 #include "core/pipeline.h"
 
 namespace xr::runtime {
@@ -31,23 +45,91 @@ struct AxisPoint {
   std::function<void(core::ScenarioConfig&)> apply;
 };
 
-/// One named sweep dimension.
+/// One named sweep dimension (materialized form).
 struct SweepAxis {
   std::string name;
   std::vector<AxisPoint> points;
 };
 
-class ScenarioGrid;
+/// One serializable sweep axis: a named knob plus its values. Numeric knobs
+/// use `numbers`; placement / CNN-name knobs use `strings`.
+///
+/// Knobs: "frame_size", "cpu_ghz", "omega_c", "codec_mbps",
+/// "throughput_mbps", "edge_count" (numeric); "placement"
+/// ("local"/"remote"), "local_cnn", "edge_cnn" (string).
+struct AxisSpec {
+  std::string knob;
+  std::vector<double> numbers;
+  std::vector<std::string> strings;
 
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static AxisSpec from_json(const core::Json& j);
+};
+
+/// Whether a knob id takes numeric values (false → string values). Throws
+/// std::invalid_argument on unknown knob ids.
+[[nodiscard]] bool knob_is_numeric(const std::string& knob);
+
+/// Validate an AxisSpec and materialize it (same labels and appliers as the
+/// equivalent SweepSpec named-knob call). Throws std::invalid_argument with
+/// the axis named on: unknown knob, empty values, both value lists
+/// populated, values of the wrong kind for the knob, non-integral or < 1
+/// edge counts, unknown placement names.
+[[nodiscard]] SweepAxis axis_from_spec(const AxisSpec& spec);
+
+class ScenarioGrid;
+class SweepSpec;
+
+/// THE serializable grid description: base scenario + typed knob axes.
+///
+/// The base is either a factory name ("local"/"remote" instantiated at
+/// frame_size/cpu_ghz) or — when `scenario` is engaged — an arbitrary
+/// inline ScenarioConfig, so example workloads and optimizer searches
+/// shard exactly like the factory sweeps. Axis declaration order is
+/// enumeration order (first axis outermost), exactly as SweepSpec.
+struct GridSpec {
+  std::string factory = "remote";  ///< "local" or "remote" (ignored when
+                                   ///< `scenario` is set).
+  double frame_size = 500.0;
+  double cpu_ghz = 2.0;
+  /// Inline base scenario; overrides the factory fields when engaged.
+  std::optional<core::ScenarioConfig> scenario;
+  std::vector<AxisSpec> axes;
+
+  /// Validate the base name and every axis (see axis_from_spec), including
+  /// duplicate knob names across axes. from_json and build both run this.
+  void validate() const;
+
+  /// The materialized base scenario (factory or inline).
+  [[nodiscard]] core::ScenarioConfig base_config() const;
+
+  /// Materialize the grid; throws std::invalid_argument on invalid specs.
+  [[nodiscard]] ScenarioGrid build() const;
+
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static GridSpec from_json(const core::Json& j);
+};
+
+/// Builder over GridSpec. Named knob methods and axis_spec() append
+/// serializable AxisSpecs; the axis()/axis<T>() closure overloads are the
+/// non-serializable escape hatch for mutations the knob vocabulary cannot
+/// express (grid_spec() refuses a spec that used one).
 class SweepSpec {
  public:
   explicit SweepSpec(core::ScenarioConfig base) : base_(std::move(base)) {}
+  /// Start from a serializable spec (base + its typed axes).
+  explicit SweepSpec(const GridSpec& spec);
 
-  /// Generic axis from pre-built points. Throws std::invalid_argument on an
-  /// empty axis or a duplicate axis name.
+  /// Typed serializable axis. Validates eagerly (see axis_from_spec) and
+  /// throws on a knob already declared.
+  SweepSpec& axis_spec(AxisSpec spec);
+
+  /// Escape hatch: generic axis from pre-built points. The resulting spec
+  /// is no longer serializable. Throws std::invalid_argument on an empty
+  /// axis or a duplicate axis name.
   SweepSpec& axis(std::string name, std::vector<AxisPoint> points);
 
-  /// Typed axis: one setter applied per value, labelled "name=value".
+  /// Escape hatch: one setter applied per value, labelled "name=value".
   template <typename T>
   SweepSpec& axis(const std::string& name, const std::vector<T>& values,
                   std::function<void(core::ScenarioConfig&, const T&)> set) {
@@ -61,7 +143,7 @@ class SweepSpec {
     return axis(name, std::move(points));
   }
 
-  // ---- the paper's deployment knobs -----------------------------------
+  // ---- the paper's deployment knobs (all serializable) ----------------
   /// Frame-size axis with the factory geometry of make_local_scenario /
   /// make_remote_scenario: scene_size = s, converted_size = 0.6 s.
   SweepSpec& frame_sizes(const std::vector<double>& sizes);
@@ -84,6 +166,13 @@ class SweepSpec {
   /// Wireless throughput axis r_w.
   SweepSpec& network_throughputs_mbps(const std::vector<double>& mbps);
 
+  /// False once any closure axis was added.
+  [[nodiscard]] bool serializable() const noexcept;
+  /// The serializable description of this spec (base embedded inline).
+  /// Throws std::invalid_argument when a closure axis makes the spec
+  /// non-serializable.
+  [[nodiscard]] GridSpec grid_spec() const;
+
   [[nodiscard]] ScenarioGrid build() const;
 
  private:
@@ -94,9 +183,11 @@ class SweepSpec {
 
   core::ScenarioConfig base_;
   std::vector<SweepAxis> axes_;
+  /// Parallel to axes_; disengaged for closure (escape hatch) axes.
+  std::vector<std::optional<AxisSpec>> specs_;
 };
 
-/// The lazy cartesian product of a SweepSpec's axes over its base scenario.
+/// The lazy cartesian product of a sweep's axes over its base scenario.
 class ScenarioGrid {
  public:
   ScenarioGrid(core::ScenarioConfig base, std::vector<SweepAxis> axes);

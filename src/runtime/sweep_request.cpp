@@ -1,0 +1,130 @@
+#include "runtime/sweep_request.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/batch_evaluator.h"
+#include "runtime/shard/streaming_sink.h"
+
+namespace xr::runtime {
+
+namespace {
+
+constexpr const char* kRequestSchema = "xr.sweep.request.v1";
+
+}  // namespace
+
+const char* reduction_name(ReductionKind k) noexcept {
+  return k == ReductionKind::kSummary ? "summary" : "offload_plan";
+}
+
+ReductionKind reduction_from_name(const std::string& name) {
+  if (name == "summary") return ReductionKind::kSummary;
+  if (name == "offload_plan") return ReductionKind::kOffloadPlan;
+  throw std::invalid_argument("ReductionSpec: unknown kind '" + name + "'");
+}
+
+core::Json ReductionSpec::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("kind", reduction_name(kind));
+  if (kind == ReductionKind::kOffloadPlan) j.set("alpha", alpha);
+  return j;
+}
+
+ReductionSpec ReductionSpec::from_json(const core::Json& j) {
+  ReductionSpec out;
+  out.kind = reduction_from_name(j.at("kind").as_string());
+  if (const core::Json* a = j.find("alpha")) out.alpha = a->as_double();
+  if (out.alpha < 0 || out.alpha > 1)
+    throw std::invalid_argument("ReductionSpec: alpha must be in [0, 1]");
+  return out;
+}
+
+core::Json ExecutionSpec::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("threads", threads);
+  j.set("chunk_records", chunk_records);
+  j.set("metrics", metrics);
+  return j;
+}
+
+ExecutionSpec ExecutionSpec::from_json(const core::Json& j) {
+  ExecutionSpec out;
+  if (const core::Json* t = j.find("threads")) out.threads = t->as_size();
+  if (const core::Json* c = j.find("chunk_records"))
+    out.chunk_records = c->as_size();
+  // The same normalization WorkerSpec applies: 0 means "flush every
+  // record", expressed as chunks of 1.
+  if (out.chunk_records == 0) out.chunk_records = 1;
+  if (const core::Json* m = j.find("metrics")) out.metrics = m->as_bool();
+  return out;
+}
+
+std::uint64_t SweepRequest::fingerprint() const {
+  return shard::grid_fingerprint(grid, evaluator);
+}
+
+core::Json SweepRequest::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("schema", kRequestSchema);
+  j.set("grid", grid.to_json());
+  j.set("evaluator", evaluator.to_json());
+  j.set("reduction", reduction.to_json());
+  j.set("execution", execution.to_json());
+  return j;
+}
+
+SweepRequest SweepRequest::from_json(const core::Json& j) {
+  if (j.at("schema").as_string() != kRequestSchema)
+    throw std::invalid_argument("SweepRequest: unknown schema '" +
+                                j.at("schema").as_string() + "'");
+  SweepRequest out;
+  out.grid = GridSpec::from_json(j.at("grid"));
+  if (const core::Json* e = j.find("evaluator"))
+    out.evaluator = shard::EvaluatorSpec::from_json(*e);
+  if (const core::Json* r = j.find("reduction"))
+    out.reduction = ReductionSpec::from_json(*r);
+  if (const core::Json* x = j.find("execution"))
+    out.execution = ExecutionSpec::from_json(*x);
+  // Detectable from the document alone, so refuse here — before any worker
+  // burns a full (possibly ground-truth, possibly sharded) sweep on a
+  // request whose reduction must reject its summary at merge time.
+  if (out.reduction.kind == ReductionKind::kOffloadPlan &&
+      out.evaluator.is_ground_truth())
+    throw std::invalid_argument(
+        "SweepRequest: the offload_plan reduction requires the analytical "
+        "evaluator (ground-truth measurements cannot be re-derived per "
+        "decision)");
+  return out;
+}
+
+shard::MergedSummary run_request(const SweepRequest& request,
+                                 const core::XrPerformanceModel& model) {
+  const ScenarioGrid grid = request.grid.build();
+  const BatchEvaluator engine(model, BatchOptions{request.execution.threads});
+
+  // Evaluate every point through the exact per-point code path the sharded
+  // workers run (evaluate_point, seeded from the global index), then fold
+  // the same single-shard reduction a K = 1 worker would stream.
+  const auto points =
+      engine.map(grid.size(), [&](std::size_t i) {
+        return shard::evaluate_point(request.evaluator, model, grid.at(i), i);
+      });
+
+  const shard::ShardIdentity id{0, 1, shard::ShardStrategy::kRange,
+                                grid.size(), request.fingerprint()};
+  shard::PartialReduction partial(id, request.evaluator.is_ground_truth());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const shard::GtMeasurement* gt =
+        points[i].gt ? &*points[i].gt : nullptr;
+    if (gt)
+      partial.add(i, gt->mean_latency_ms, gt->mean_energy_mj, gt);
+    else
+      partial.add(i, points[i].report.latency.total,
+                  points[i].report.energy.total);
+  }
+  partial.threads = engine.threads();
+  return shard::merge_partials({partial});
+}
+
+}  // namespace xr::runtime

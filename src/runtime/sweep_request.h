@@ -1,0 +1,101 @@
+// SweepRequest — the one serializable entry point for every sweep.
+//
+// A request bundles the four decisions a sweep is made of:
+//
+//   {"schema": "xr.sweep.request.v1",
+//    "grid":      {<runtime::GridSpec>},        // what to enumerate
+//    "evaluator": {<shard::EvaluatorSpec>},     // what to run per point
+//    "reduction": {"kind": "summary"} |         // what to keep
+//                 {"kind": "offload_plan", "alpha": 0.5},
+//    "execution": {"threads": N, "chunk_records": N, "metrics": false}}
+//
+// The same document runs monolithically (run_request, below) or sharded
+// (sweep_worker --request, one process per shard, merged by sweep_merge)
+// with bitwise-equal results: run_request folds the exact PartialReduction
+// a worker streams and merges it through the same merge_partials code path,
+// so "monolithic" is literally the K = 1 case of the merge law rather than
+// a separate implementation.
+//
+// Reductions:
+//   * summary      — the MergedSummary every sweep produces anyway
+//                    (argmin/extrema/Pareto, GT aggregates).
+//   * offload_plan — the paper's planning workflow: the summary's argmin
+//                    and Pareto reductions are decoded back into
+//                    OffloadDecisions (core/optimizer.h), producing an
+//                    OffloadPlan that merges exactly across shards.
+//
+// The execution block is per-process mechanics (thread count, checkpoint
+// cadence, slim records); it never affects result values — only the grid,
+// evaluator, and reduction do, which is why only those are fingerprinted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/framework.h"
+#include "core/jsonio.h"
+#include "runtime/shard/evaluator.h"
+#include "runtime/shard/merge.h"
+#include "runtime/sweep.h"
+
+namespace xr::runtime {
+
+enum class ReductionKind { kSummary, kOffloadPlan };
+
+[[nodiscard]] const char* reduction_name(ReductionKind k) noexcept;
+/// Inverse of reduction_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] ReductionKind reduction_from_name(const std::string& name);
+
+/// What to keep from a sweep.
+struct ReductionSpec {
+  ReductionKind kind = ReductionKind::kSummary;
+  /// Weighted-objective latency weight (offload_plan only); must be in
+  /// [0, 1] — from_json and plan_offload reject anything else.
+  double alpha = 0.5;
+
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static ReductionSpec from_json(const core::Json& j);
+};
+
+/// Per-process execution mechanics. Never part of the result identity —
+/// thread count, chunk cadence, and record shape never change a value
+/// (the bitwise determinism the runtime and shard tests assert).
+struct ExecutionSpec {
+  /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
+  /// N = dedicated pool of N workers.
+  std::size_t threads = 0;
+  /// Records per flush/checkpoint for sharded streaming runs.
+  std::size_t chunk_records = 64;
+  /// Slim totals-only JSONL records (see streaming_sink.h).
+  bool metrics = false;
+
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static ExecutionSpec from_json(const core::Json& j);
+};
+
+/// The unified sweep request.
+struct SweepRequest {
+  GridSpec grid;
+  shard::EvaluatorSpec evaluator;
+  ReductionSpec reduction;
+  ExecutionSpec execution;
+
+  /// The sweep fingerprint workers stamp on records and partials:
+  /// grid + evaluator (execution and reduction excluded — they do not
+  /// change point values).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static SweepRequest from_json(const core::Json& j);
+};
+
+/// Execute a request in-process and reduce it to the merged summary: the
+/// grid is evaluated on a BatchEvaluator pool (execution.threads), folded
+/// into a single-shard PartialReduction, and passed through
+/// shard::merge_partials — the K = 1 case of the merge law, so a sharded
+/// run of the same request merges bitwise identical to this result.
+[[nodiscard]] shard::MergedSummary run_request(
+    const SweepRequest& request, const core::XrPerformanceModel& model = {});
+
+}  // namespace xr::runtime

@@ -468,17 +468,17 @@ double variant_latency_ms(ModelVariant v, const core::ScenarioConfig& s) {
 namespace {
 
 /// Clock/size axes over a factory base; axis order decides which is outer.
-runtime::shard::GridSpec clock_size_spec(const char* base,
+runtime::GridSpec clock_size_spec(const char* base,
                                          const SweepConfig& cfg,
                                          bool clock_outer) {
-  runtime::shard::GridSpec spec;
-  spec.base = base;
+  runtime::GridSpec spec;
+  spec.factory = base;
   spec.frame_size = 500.0;
   spec.cpu_ghz = 2.0;
-  runtime::shard::GridAxisSpec clocks;
+  runtime::AxisSpec clocks;
   clocks.knob = "cpu_ghz";
   clocks.numbers = cfg.cpu_clocks_ghz;
-  runtime::shard::GridAxisSpec sizes;
+  runtime::AxisSpec sizes;
   sizes.knob = "frame_size";
   sizes.numbers = cfg.frame_sizes;
   if (clock_outer)
@@ -490,18 +490,18 @@ runtime::shard::GridSpec clock_size_spec(const char* base,
 
 }  // namespace
 
-runtime::shard::GridSpec validation_grid_spec(
+runtime::GridSpec validation_grid_spec(
     core::InferencePlacement placement, const SweepConfig& cfg) {
   return clock_size_spec(
       placement == core::InferencePlacement::kLocal ? "local" : "remote",
       cfg, /*clock_outer=*/true);
 }
 
-runtime::shard::GridSpec comparison_grid_spec(const SweepConfig& cfg) {
+runtime::GridSpec comparison_grid_spec(const SweepConfig& cfg) {
   return clock_size_spec("remote", cfg, /*clock_outer=*/false);
 }
 
-runtime::shard::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
+runtime::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
   return clock_size_spec("remote", cfg, /*clock_outer=*/true);
 }
 

@@ -137,12 +137,12 @@ struct ComparisonResult {
 /// grid run_latency_validation / run_energy_validation measure, so
 /// tools/sweep_worker with the ground_truth evaluator shards the same
 /// sweep across processes (scripts/sweep_gt_sharded.sh).
-[[nodiscard]] runtime::shard::GridSpec validation_grid_spec(
+[[nodiscard]] runtime::GridSpec validation_grid_spec(
     core::InferencePlacement placement, const SweepConfig& cfg = {});
 
 /// The Fig. 5 comparison sweep as a grid spec: frame size (outer) × CPU
 /// clock (inner) over the remote factory scenario.
-[[nodiscard]] runtime::shard::GridSpec comparison_grid_spec(
+[[nodiscard]] runtime::GridSpec comparison_grid_spec(
     const SweepConfig& cfg = {});
 
 /// The ablation's remote-inference clock × size sweep as a *serializable*
@@ -150,7 +150,7 @@ struct ComparisonResult {
 /// shard across worker processes. ablation_grid_spec(cfg).build()
 /// enumerates exactly the grid run_ablation evaluates (clock outer, frame
 /// size inner over the remote factory scenario).
-[[nodiscard]] runtime::shard::GridSpec ablation_grid_spec(
+[[nodiscard]] runtime::GridSpec ablation_grid_spec(
     const SweepConfig& cfg = {});
 
 /// Ablation of the proposed model's distinguishing terms (§VIII insight:

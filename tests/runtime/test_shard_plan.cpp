@@ -2,11 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <set>
 #include <vector>
-
-#include "core/framework.h"
 
 namespace xr::runtime::shard {
 namespace {
@@ -84,98 +81,6 @@ TEST(ShardStrategyNames, RoundTrip) {
   EXPECT_EQ(strategy_from_name(strategy_name(ShardStrategy::kStrided)),
             ShardStrategy::kStrided);
   EXPECT_THROW(strategy_from_name("diagonal"), std::invalid_argument);
-}
-
-// ---- GridSpec ----------------------------------------------------------
-
-GridSpec demo_spec() {
-  GridSpec spec;
-  spec.base = "remote";
-  spec.frame_size = 500;
-  spec.cpu_ghz = 2.0;
-  GridAxisSpec clocks;
-  clocks.knob = "cpu_ghz";
-  clocks.numbers = {1.0, 2.0, 3.0};
-  GridAxisSpec sizes;
-  sizes.knob = "frame_size";
-  sizes.numbers = {300, 500, 700};
-  GridAxisSpec cnns;
-  cnns.knob = "edge_cnn";
-  cnns.strings = {"YoloV3", "YoloV7"};
-  spec.axes = {clocks, sizes, cnns};
-  return spec;
-}
-
-TEST(GridSpec, BuildMatchesEquivalentSweepSpec) {
-  const auto grid = demo_spec().build();
-  const auto reference =
-      SweepSpec(core::make_remote_scenario(500, 2.0))
-          .cpu_clocks_ghz({1.0, 2.0, 3.0})
-          .frame_sizes({300, 500, 700})
-          .edge_cnns({"YoloV3", "YoloV7"})
-          .build();
-  ASSERT_EQ(grid.size(), reference.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    EXPECT_EQ(grid.label(i), reference.label(i));
-    const auto a = grid.at(i);
-    const auto b = reference.at(i);
-    EXPECT_EQ(a.frame.frame_size, b.frame.frame_size);
-    EXPECT_EQ(a.client.cpu_ghz, b.client.cpu_ghz);
-    ASSERT_EQ(a.inference.edges.size(), b.inference.edges.size());
-    for (std::size_t e = 0; e < a.inference.edges.size(); ++e)
-      EXPECT_EQ(a.inference.edges[e].cnn_name, b.inference.edges[e].cnn_name);
-  }
-}
-
-TEST(GridSpec, JsonRoundTripRebuildsTheSameGrid) {
-  const GridSpec original = demo_spec();
-  const std::string text = original.to_json().dump();
-  const GridSpec reparsed = GridSpec::from_json(Json::parse(text));
-  const auto a = original.build();
-  const auto b = reparsed.build();
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.label(i), b.label(i));
-    EXPECT_EQ(a.at(i).frame.frame_size, b.at(i).frame.frame_size);
-    EXPECT_EQ(a.at(i).client.cpu_ghz, b.at(i).client.cpu_ghz);
-  }
-  // Serialization itself is deterministic.
-  EXPECT_EQ(text, reparsed.to_json().dump());
-}
-
-TEST(GridSpec, RejectsUnknownNames) {
-  GridSpec spec = demo_spec();
-  spec.base = "orbital";
-  EXPECT_THROW((void)spec.build(), std::invalid_argument);
-
-  spec = demo_spec();
-  GridAxisSpec bogus;
-  bogus.knob = "warp_factor";
-  bogus.numbers = {9.0};
-  spec.axes.push_back(bogus);
-  EXPECT_THROW((void)spec.build(), std::invalid_argument);
-
-  spec = demo_spec();
-  GridAxisSpec placement;
-  placement.knob = "placement";
-  placement.strings = {"local", "orbit"};
-  spec.axes.push_back(placement);
-  EXPECT_THROW((void)spec.build(), std::invalid_argument);
-}
-
-TEST(JsonNumbers, RoundTripExactly) {
-  const double values[] = {0.1,
-                           1.0 / 3.0,
-                           2.5e-17,
-                           123456789.123456789,
-                           -0.0,
-                           5e-324,  // smallest denormal
-                           1.7976931348623157e308};
-  for (double v : values) {
-    const double back = parse_double(format_double(v));
-    EXPECT_EQ(back, v);
-    EXPECT_EQ(std::signbit(back), std::signbit(v));
-  }
 }
 
 }  // namespace

@@ -58,30 +58,30 @@ GridSpec random_spec(std::uint32_t seed) {
   std::uniform_real_distribution<double> rate(2.0, 12.0);
 
   GridSpec spec;
-  spec.base = coin(rng) ? "remote" : "local";
+  spec.factory = coin(rng) ? "remote" : "local";
   spec.frame_size = 500;
   spec.cpu_ghz = 2.0;
 
-  GridAxisSpec sizes;
+  AxisSpec sizes;
   sizes.knob = "frame_size";
   for (int i = 0, n = len(rng); i < n; ++i)
     sizes.numbers.push_back(size(rng));
   spec.axes.push_back(sizes);
 
-  GridAxisSpec clocks;
+  AxisSpec clocks;
   clocks.knob = "cpu_ghz";
   for (int i = 0, n = len(rng); i < n; ++i)
     clocks.numbers.push_back(clock(rng));
   spec.axes.push_back(clocks);
 
-  if (spec.base == "remote") {
-    GridAxisSpec bitrates;
+  if (spec.factory == "remote") {
+    AxisSpec bitrates;
     bitrates.knob = "codec_mbps";
     for (int i = 0, n = len(rng); i < n; ++i)
       bitrates.numbers.push_back(rate(rng));
     spec.axes.push_back(bitrates);
   } else {
-    GridAxisSpec omegas;
+    AxisSpec omegas;
     omegas.knob = "omega_c";
     omegas.numbers = {0.25, 0.5, 1.0};
     spec.axes.push_back(omegas);

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "core/framework.h"
+#include "core/serialize.h"
 
 namespace xr::runtime {
 namespace {
+
+using core::Json;
 
 TEST(SweepSpec, EmptySpecYieldsTheBaseScenario) {
   const auto base = core::make_local_scenario(500, 2.0);
@@ -128,12 +131,212 @@ TEST(SweepSpec, Validation) {
   EXPECT_THROW(spec.cpu_clocks_ghz({}), std::invalid_argument);
   spec.cpu_clocks_ghz({1.0});
   EXPECT_THROW(spec.cpu_clocks_ghz({2.0}), std::invalid_argument);  // dup
-  EXPECT_THROW(
-      (void)SweepSpec(core::make_remote_scenario(500, 2.0))
-          .edge_counts({0})
-          .build()
-          .at(0),
-      std::invalid_argument);
+  // Eager validation: a bad edge count fails at declaration, not at at().
+  EXPECT_THROW((void)SweepSpec(core::make_remote_scenario(500, 2.0))
+                   .edge_counts({0}),
+               std::invalid_argument);
+}
+
+TEST(SweepSpec, ClosureAxesAreTheNonSerializableEscapeHatch) {
+  SweepSpec spec(core::make_local_scenario(500, 2.0));
+  spec.cpu_clocks_ghz({1.0, 2.0});
+  EXPECT_TRUE(spec.serializable());
+  EXPECT_EQ(spec.grid_spec().axes.size(), 1u);
+
+  spec.axis<double>("fps", {30.0, 60.0},
+                    [](core::ScenarioConfig& s, const double& fps) {
+                      s.frame.fps = fps;
+                    });
+  EXPECT_FALSE(spec.serializable());
+  EXPECT_THROW((void)spec.grid_spec(), std::invalid_argument);
+  // The spec still builds; it just cannot become a document.
+  EXPECT_EQ(spec.build().size(), 4u);
+}
+
+TEST(SweepSpec, GridSpecRoundTripsTheSpecThroughJson) {
+  const auto spec = SweepSpec(core::make_remote_scenario(640, 2.5))
+                        .cpu_clocks_ghz({1.0, 2.0})
+                        .placements({core::InferencePlacement::kLocal,
+                                     core::InferencePlacement::kRemote})
+                        .codec_bitrates_mbps({2.0, 8.0});
+  const GridSpec doc = spec.grid_spec();
+  ASSERT_TRUE(doc.scenario.has_value());  // base embedded inline
+  const GridSpec reparsed =
+      GridSpec::from_json(Json::parse(doc.to_json().dump()));
+  const auto a = spec.build();
+  const auto b = reparsed.build();
+  ASSERT_EQ(a.size(), b.size());
+  const core::XrPerformanceModel model;
+  for (std::size_t i = 0; i < a.size(); i += 3) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_EQ(core::to_json(model.evaluate(a.at(i))).dump(),
+              core::to_json(model.evaluate(b.at(i))).dump());
+  }
+}
+
+// ---- GridSpec -----------------------------------------------------------
+
+GridSpec demo_spec() {
+  GridSpec spec;
+  spec.factory = "remote";
+  spec.frame_size = 500;
+  spec.cpu_ghz = 2.0;
+  AxisSpec clocks;
+  clocks.knob = "cpu_ghz";
+  clocks.numbers = {1.0, 2.0, 3.0};
+  AxisSpec sizes;
+  sizes.knob = "frame_size";
+  sizes.numbers = {300, 500, 700};
+  AxisSpec cnns;
+  cnns.knob = "edge_cnn";
+  cnns.strings = {"YoloV3", "YoloV7"};
+  spec.axes = {clocks, sizes, cnns};
+  return spec;
+}
+
+TEST(GridSpec, BuildMatchesEquivalentSweepSpec) {
+  const auto grid = demo_spec().build();
+  const auto reference =
+      SweepSpec(core::make_remote_scenario(500, 2.0))
+          .cpu_clocks_ghz({1.0, 2.0, 3.0})
+          .frame_sizes({300, 500, 700})
+          .edge_cnns({"YoloV3", "YoloV7"})
+          .build();
+  ASSERT_EQ(grid.size(), reference.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.label(i), reference.label(i));
+    const auto a = grid.at(i);
+    const auto b = reference.at(i);
+    EXPECT_EQ(a.frame.frame_size, b.frame.frame_size);
+    EXPECT_EQ(a.client.cpu_ghz, b.client.cpu_ghz);
+    ASSERT_EQ(a.inference.edges.size(), b.inference.edges.size());
+    for (std::size_t e = 0; e < a.inference.edges.size(); ++e)
+      EXPECT_EQ(a.inference.edges[e].cnn_name, b.inference.edges[e].cnn_name);
+  }
+}
+
+TEST(GridSpec, JsonRoundTripRebuildsTheSameGrid) {
+  const GridSpec original = demo_spec();
+  const std::string text = original.to_json().dump();
+  const GridSpec reparsed = GridSpec::from_json(Json::parse(text));
+  const auto a = original.build();
+  const auto b = reparsed.build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_EQ(a.at(i).frame.frame_size, b.at(i).frame.frame_size);
+    EXPECT_EQ(a.at(i).client.cpu_ghz, b.at(i).client.cpu_ghz);
+  }
+  // Serialization itself is deterministic.
+  EXPECT_EQ(text, reparsed.to_json().dump());
+}
+
+TEST(GridSpec, InlineScenarioBaseRoundTripsAnyWorkload) {
+  GridSpec spec;
+  spec.scenario = core::make_multiplayer_game_scenario();
+  AxisSpec clocks;
+  clocks.knob = "cpu_ghz";
+  clocks.numbers = {1.0, 2.0};
+  spec.axes = {clocks};
+
+  const GridSpec reparsed =
+      GridSpec::from_json(Json::parse(spec.to_json().dump()));
+  ASSERT_TRUE(reparsed.scenario.has_value());
+  const auto a = spec.build();
+  const auto b = reparsed.build();
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  const core::XrPerformanceModel model;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(core::to_json(model.evaluate(a.at(i))).dump(),
+              core::to_json(model.evaluate(b.at(i))).dump());
+  // The heterogeneous two-edge deployment survived the trip.
+  EXPECT_EQ(b.at(0).inference.edges.size(), 2u);
+  EXPECT_EQ(b.at(0).inference.edges[1].name, "edge-B");
+}
+
+TEST(GridSpec, RejectsUnknownNames) {
+  GridSpec spec = demo_spec();
+  spec.factory = "orbital";
+  EXPECT_THROW((void)spec.build(), std::invalid_argument);
+
+  spec = demo_spec();
+  AxisSpec bogus;
+  bogus.knob = "warp_factor";
+  bogus.numbers = {9.0};
+  spec.axes.push_back(bogus);
+  EXPECT_THROW((void)spec.build(), std::invalid_argument);
+
+  spec = demo_spec();
+  AxisSpec placement;
+  placement.knob = "placement";
+  placement.strings = {"local", "orbit"};
+  spec.axes.push_back(placement);
+  EXPECT_THROW((void)spec.build(), std::invalid_argument);
+}
+
+TEST(GridSpec, AxisValidationNamesTheOffendingAxis) {
+  // Both value lists populated.
+  AxisSpec mixed;
+  mixed.knob = "cpu_ghz";
+  mixed.numbers = {1.0};
+  mixed.strings = {"YoloV3"};
+  try {
+    (void)axis_from_spec(mixed);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu_ghz"), std::string::npos);
+  }
+
+  // Wrong value kind for the knob.
+  AxisSpec stringy;
+  stringy.knob = "frame_size";
+  stringy.strings = {"big"};
+  try {
+    (void)axis_from_spec(stringy);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frame_size"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("numeric"), std::string::npos);
+  }
+
+  // Unknown knob ids name the axis too.
+  try {
+    (void)knob_is_numeric("warp_factor");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("warp_factor"), std::string::npos);
+  }
+
+  // Fractional edge counts are rejected eagerly.
+  AxisSpec counts;
+  counts.knob = "edge_count";
+  counts.numbers = {1.5};
+  EXPECT_THROW((void)axis_from_spec(counts), std::invalid_argument);
+
+  // Duplicate knobs across axes are rejected, with the knob named.
+  GridSpec dup = demo_spec();
+  AxisSpec again;
+  again.knob = "cpu_ghz";
+  again.numbers = {4.0};
+  dup.axes.push_back(again);
+  try {
+    (void)dup.build();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cpu_ghz"), std::string::npos);
+  }
+
+  // Mixed-type values are rejected on parse, naming the axis.
+  try {
+    (void)GridSpec::from_json(Json::parse(
+        R"({"base":{"scenario":"remote","frame_size":500,"cpu_ghz":2},)"
+        R"("axes":[{"knob":"cpu_ghz","values":[1.0,"turbo"]}]})"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu_ghz"), std::string::npos);
+  }
 }
 
 }  // namespace

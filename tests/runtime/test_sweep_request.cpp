@@ -1,0 +1,303 @@
+// The unified sweep API's contract: one serializable SweepRequest runs
+// monolithically (run_request) or sharded (run_worker per shard + merge)
+// with bitwise-equal summaries; an offload_plan reduction over it merges to
+// an OffloadPlan byte-identical to the monolithic plan_offload call; and
+// the metrics (slim-record) execution mode changes the JSONL schema without
+// touching the merge law.
+#include "runtime/sweep_request.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/optimizer.h"
+#include "runtime/offload_search.h"
+#include "runtime/batch_evaluator.h"
+#include "runtime/shard/merge.h"
+#include "runtime/shard/worker.h"
+
+namespace xr::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Json;
+
+class SweepRequestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xr_request_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string stem(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A small but multi-knob request over the remote factory base.
+SweepRequest demo_request() {
+  SweepRequest request;
+  request.grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                     .cpu_clocks_ghz({1.0, 2.0})
+                     .frame_sizes({300, 500, 700})
+                     .codec_bitrates_mbps({2.0, 8.0})
+                     .grid_spec();
+  request.execution.threads = 1;
+  request.execution.chunk_records = 4;
+  return request;
+}
+
+/// Run a request sharded in-process: K run_worker calls + merge.
+shard::MergedSummary run_sharded(const SweepRequest& request,
+                                 const std::string& stem_base,
+                                 std::size_t shards,
+                                 shard::ShardStrategy strategy) {
+  std::vector<shard::PartialReduction> partials;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const auto spec = shard::WorkerSpec::from_request(
+        request, k, shards, strategy, stem_base + std::to_string(k));
+    partials.push_back(shard::run_worker(spec).partial);
+  }
+  return shard::merge_partials(partials);
+}
+
+TEST_F(SweepRequestTest, JsonRoundTripIsDeterministic) {
+  const SweepRequest request = demo_request();
+  const std::string text = request.to_json().dump();
+  const SweepRequest back = SweepRequest::from_json(Json::parse(text));
+  EXPECT_EQ(back.to_json().dump(), text);
+  EXPECT_EQ(back.fingerprint(), request.fingerprint());
+  EXPECT_EQ(back.execution.chunk_records, 4u);
+  EXPECT_EQ(back.reduction.kind, ReductionKind::kSummary);
+}
+
+TEST_F(SweepRequestTest, RejectsBadDocuments) {
+  Json j = demo_request().to_json();
+  j.set("schema", "xr.sweep.request.v0");
+  EXPECT_THROW((void)SweepRequest::from_json(j), std::invalid_argument);
+
+  Json bad_alpha = demo_request().to_json();
+  Json reduction = Json::object();
+  reduction.set("kind", "offload_plan");
+  reduction.set("alpha", 1.5);
+  bad_alpha.set("reduction", std::move(reduction));
+  EXPECT_THROW((void)SweepRequest::from_json(bad_alpha),
+               std::invalid_argument);
+
+  // GT + offload_plan is detectable from the document alone, so it is
+  // refused at parse time — before any worker burns the sweep.
+  SweepRequest gt_plan = demo_request();
+  gt_plan.reduction.kind = ReductionKind::kOffloadPlan;
+  gt_plan.evaluator.kind = shard::EvaluatorKind::kGroundTruth;
+  EXPECT_THROW((void)SweepRequest::from_json(gt_plan.to_json()),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::plan_offload(gt_plan), std::invalid_argument);
+}
+
+TEST_F(SweepRequestTest, RunRequestMatchesBatchEvaluatorBitwise) {
+  const SweepRequest request = demo_request();
+  const auto summary = run_request(request);
+  const auto reference = BatchEvaluator({}, BatchOptions{1})
+                             .run(request.grid.build());
+  std::string why;
+  EXPECT_TRUE(shard::matches_batch_result(summary, reference, &why)) << why;
+}
+
+TEST_F(SweepRequestTest, MonolithicAndShardedSummariesAreBitwiseEqual) {
+  const SweepRequest request = demo_request();
+  const auto mono = run_request(request);
+  for (const auto strategy :
+       {shard::ShardStrategy::kRange, shard::ShardStrategy::kStrided}) {
+    const auto sharded = run_sharded(
+        request, stem(shard::strategy_name(strategy)), 3, strategy);
+    std::string why;
+    EXPECT_TRUE(shard::summaries_equivalent(mono, sharded, &why))
+        << shard::strategy_name(strategy) << ": " << why;
+  }
+}
+
+TEST_F(SweepRequestTest, GroundTruthRequestsObeyTheSameMergeLaw) {
+  SweepRequest request = demo_request();
+  request.evaluator.kind = shard::EvaluatorKind::kGroundTruth;
+  request.evaluator.seed = 7;
+  request.evaluator.frames_per_point = 3;
+  const auto mono = run_request(request);
+  ASSERT_TRUE(mono.gt.has_value());
+  const auto sharded =
+      run_sharded(request, stem("gt"), 3, shard::ShardStrategy::kRange);
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(mono, sharded, &why)) << why;
+}
+
+TEST_F(SweepRequestTest, OffloadPlanMergesBitwiseAcrossShardsAndResume) {
+  const auto base = core::make_remote_scenario(500, 2.0);
+  core::OffloadSearchSpace space;
+  space.omega_c_grid = {0.25, 0.75};
+  space.codec_bitrates_mbps = {2.0, 8.0};
+  const auto request = core::offload_search_request(base, space, 0.4);
+  EXPECT_EQ(request.reduction.kind, ReductionKind::kOffloadPlan);
+
+  // Monolithic reference: the plan_offload call itself (both overloads
+  // agree by construction).
+  const auto mono = core::plan_offload(request);
+  EXPECT_EQ(core::plan_offload(base, space, 0.4).to_json().dump(),
+            mono.to_json().dump());
+
+  // Sharded: 3 workers, shard 1 killed mid-run and resumed, then merged
+  // and reduced to the plan.
+  std::vector<shard::PartialReduction> partials;
+  for (std::size_t k = 0; k < 3; ++k) {
+    auto spec = shard::WorkerSpec::from_request(
+        request, k, 3, shard::ShardStrategy::kRange,
+        stem("plan" + std::to_string(k)));
+    spec.chunk_records = 4;
+    if (k == 1) {
+      const auto first = shard::run_worker(spec, /*max_new_records=*/5);
+      ASSERT_FALSE(first.complete);
+      spec.resume = true;
+    }
+    partials.push_back(shard::run_worker(spec).partial);
+  }
+  const auto merged = shard::merge_partials(partials);
+  const auto sharded = core::offload_plan_from_summary(request, merged);
+  EXPECT_EQ(sharded.to_json().dump(), mono.to_json().dump());
+
+  // The plan itself round-trips.
+  const auto reparsed =
+      core::OffloadPlan::from_json(Json::parse(mono.to_json().dump()));
+  EXPECT_EQ(reparsed.to_json().dump(), mono.to_json().dump());
+}
+
+TEST_F(SweepRequestTest, OffloadPlanGuardsItsInputs) {
+  const auto request = core::offload_search_request(
+      core::make_remote_scenario(500, 2.0));
+  const auto summary = run_request(request);
+
+  // A summary from a different sweep is refused.
+  SweepRequest other = request;
+  other.evaluator.seed ^= 1;
+  other.evaluator.kind = shard::EvaluatorKind::kGroundTruth;
+  EXPECT_THROW((void)core::offload_plan_from_summary(other, summary),
+               std::invalid_argument);
+
+  // A summary-kind request cannot be reduced to a plan.
+  SweepRequest plain = demo_request();
+  EXPECT_THROW(
+      (void)core::offload_plan_from_summary(plain, run_request(plain)),
+      std::invalid_argument);
+}
+
+TEST_F(SweepRequestTest, OffloadSearchSpaceRoundTripsAndValidates) {
+  core::OffloadSearchSpace space;
+  space.include_local = false;
+  space.edge_counts = {1, 4};
+  const auto back = core::OffloadSearchSpace::from_json(
+      Json::parse(space.to_json().dump()));
+  EXPECT_EQ(back.to_json().dump(), space.to_json().dump());
+
+  const auto base = core::make_remote_scenario(500, 2.0);
+  EXPECT_THROW((void)core::offload_search_request(base, space, -0.1),
+               std::invalid_argument);
+  core::OffloadSearchSpace empty;
+  empty.include_local = empty.include_remote = false;
+  EXPECT_THROW((void)core::offload_search_request(base, empty),
+               std::invalid_argument);
+}
+
+// ---- metrics (slim-record) execution mode ------------------------------
+
+std::string first_line(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+TEST_F(SweepRequestTest, MetricsRecordsFollowTheSlimSchema) {
+  SweepRequest request = demo_request();
+  request.execution.metrics = true;
+
+  const auto spec = shard::WorkerSpec::from_request(
+      request, 0, 1, shard::ShardStrategy::kRange, stem("slim"));
+  ASSERT_TRUE(spec.metrics);
+  const auto outcome = shard::run_worker(spec);
+  ASSERT_TRUE(outcome.complete);
+
+  // Schema: exactly {"i", "latency_ms", "energy_mj"}, in that order.
+  const Json record = Json::parse(first_line(outcome.jsonl_path));
+  const auto& members = record.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "i");
+  EXPECT_EQ(members[1].first, "latency_ms");
+  EXPECT_EQ(members[2].first, "energy_mj");
+
+  // Slim records still parse, flagged as slim, with the exact totals.
+  const auto parsed = shard::parse_record_line(first_line(outcome.jsonl_path));
+  EXPECT_TRUE(parsed.slim);
+  const auto reference = core::XrPerformanceModel{}.evaluate(
+      request.grid.build().at(0));
+  EXPECT_EQ(parsed.report.latency.total, reference.latency.total);
+  EXPECT_EQ(parsed.report.energy.total, reference.energy.total);
+}
+
+TEST_F(SweepRequestTest, MetricsModeHoldsTheMergeLawAndResumes) {
+  SweepRequest request = demo_request();
+  const auto full = run_request(request);
+
+  request.execution.metrics = true;
+  const auto slim =
+      run_sharded(request, stem("m"), 3, shard::ShardStrategy::kRange);
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(full, slim, &why)) << why;
+
+  // Kill/resume in metrics mode is byte-identical to an uninterrupted run.
+  auto spec = shard::WorkerSpec::from_request(
+      request, 0, 3, shard::ShardStrategy::kRange, stem("resumed"));
+  spec.chunk_records = 2;
+  const auto first = shard::run_worker(spec, /*max_new_records=*/2);
+  ASSERT_FALSE(first.complete);
+  spec.resume = true;
+  const auto resumed = shard::run_worker(spec);
+  ASSERT_TRUE(resumed.complete);
+
+  std::ifstream a(resumed.jsonl_path, std::ios::binary);
+  std::ifstream b(stem("m") + "0.jsonl", std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(SweepRequestTest, MetricsModeMismatchedResumeRewritesTheStream) {
+  // A full-record stream resumed under metrics mode must not interleave
+  // shapes: the scan treats the foreign-shape prefix as invalid and the
+  // worker rewrites the stream in the requested shape.
+  SweepRequest request = demo_request();
+  auto spec = shard::WorkerSpec::from_request(
+      request, 0, 3, shard::ShardStrategy::kRange, stem("mixed"));
+  const auto full = shard::run_worker(spec);
+  ASSERT_TRUE(full.complete);
+  EXPECT_FALSE(shard::parse_record_line(first_line(full.jsonl_path)).slim);
+
+  spec.metrics = true;
+  spec.resume = true;
+  const auto rewritten = shard::run_worker(spec);
+  ASSERT_TRUE(rewritten.complete);
+  EXPECT_EQ(rewritten.resumed_records, 0u);  // nothing salvageable
+  EXPECT_TRUE(shard::parse_record_line(first_line(rewritten.jsonl_path)).slim);
+}
+
+}  // namespace
+}  // namespace xr::runtime

@@ -8,20 +8,30 @@
 // single-process run (shard_count = 1) produced — and the exit code
 // reports the verdict: 0 identical, 1 diverged. This is the acceptance
 // gate scripts/sweep_sharded.sh enforces.
+//
+// With --request FILE the merge is interpreted under a unified sweep
+// request: the merged summary must carry the request's sweep fingerprint,
+// and when the request's reduction is offload_plan the merged summary is
+// reduced to an OffloadPlan — bitwise identical to the monolithic
+// plan_offload call on the same request (the scripts/sweep_offload_plan.sh
+// gate). --plan-out writes that plan's canonical JSON.
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/optimizer.h"
+#include "runtime/offload_search.h"
 #include "runtime/shard/merge.h"
+#include "runtime/sweep_request.h"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: sweep_merge [--out FILE] [--check FILE] "
-               "PARTIAL.json...\n");
+               "[--request FILE [--plan-out FILE]] PARTIAL.json...\n");
 }
 
 }  // namespace
@@ -29,7 +39,7 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace xr::runtime::shard;
   try {
-    std::string out_path, check_path;
+    std::string out_path, check_path, request_path, plan_out_path;
     std::vector<std::string> partial_paths;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -40,6 +50,8 @@ int main(int argc, char** argv) {
       };
       if (arg == "--out") out_path = value();
       else if (arg == "--check") check_path = value();
+      else if (arg == "--request") request_path = value();
+      else if (arg == "--plan-out") plan_out_path = value();
       else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -47,7 +59,8 @@ int main(int argc, char** argv) {
         partial_paths.push_back(arg);
       }
     }
-    if (partial_paths.empty()) {
+    if (partial_paths.empty() ||
+        (!plan_out_path.empty() && request_path.empty())) {
       usage();
       return 2;
     }
@@ -95,6 +108,37 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("  check vs %s: bitwise identical\n", check_path.c_str());
+    }
+
+    if (!request_path.empty()) {
+      const auto request = xr::runtime::SweepRequest::from_json(
+          Json::parse(read_text_file(request_path)));
+      if (merged.grid_fingerprint != request.fingerprint())
+        throw std::runtime_error(
+            "merged partials do not belong to the request in " +
+            request_path + " (sweep fingerprint mismatch)");
+      std::printf("  request %s: fingerprint verified\n",
+                  request_path.c_str());
+      if (!plan_out_path.empty() &&
+          request.reduction.kind != xr::runtime::ReductionKind::kOffloadPlan)
+        throw std::runtime_error(
+            "--plan-out needs a request whose reduction kind is "
+            "offload_plan; " +
+            request_path + " asks for '" +
+            xr::runtime::reduction_name(request.reduction.kind) + "'");
+      if (request.reduction.kind == xr::runtime::ReductionKind::kOffloadPlan) {
+        const xr::core::OffloadPlan plan =
+            xr::core::offload_plan_from_summary(request, merged);
+        std::printf("%s",
+                    plan.to_string(request.reduction.alpha, "  ").c_str());
+        if (!plan_out_path.empty()) {
+          std::ofstream out(plan_out_path,
+                            std::ios::binary | std::ios::trunc);
+          if (!out) throw std::runtime_error("cannot open " + plan_out_path);
+          out << plan.to_json().dump() << '\n';
+          std::printf("    plan -> %s\n", plan_out_path.c_str());
+        }
+      }
     }
     return 0;
   } catch (const std::exception& e) {

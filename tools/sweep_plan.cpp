@@ -1,0 +1,111 @@
+// sweep_plan — express and run offload searches as unified sweep requests.
+//
+//   # emit the default offload search (remote factory base) as a request
+//   $ sweep_plan --emit-request > request.json
+//
+//   # same, with a custom scenario / search space / objective weight
+//   $ sweep_plan --emit-request --scenario scenario.json --space space.json
+//                --alpha 0.25 > request.json
+//
+//   # run the request monolithically (core::plan_offload) and write the
+//   # plan's canonical JSON — the reference the sharded path must match
+//   $ sweep_plan --request request.json --plan-out mono.plan.json
+//
+// The sharded counterpart is `sweep_worker --request` per shard followed by
+// `sweep_merge --request ... --plan-out`; scripts/sweep_offload_plan.sh
+// asserts both plans are byte-identical (incl. a kill/resume leg).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/serialize.h"
+#include "runtime/offload_search.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sweep_plan --emit-request [--scenario FILE] [--space FILE]\n"
+      "                  [--alpha A]\n"
+      "       sweep_plan --request FILE [--plan-out FILE]\n");
+}
+
+double parse_alpha(const std::string& text) {
+  try {
+    return xr::core::parse_double(text);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad number for --alpha: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xr::core;
+  try {
+    bool emit = false;
+    std::string scenario_path, space_path, request_path, plan_out_path;
+    double alpha = 0.5;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--emit-request") emit = true;
+      else if (arg == "--scenario") scenario_path = value();
+      else if (arg == "--space") space_path = value();
+      else if (arg == "--alpha") alpha = parse_alpha(value());
+      else if (arg == "--request") request_path = value();
+      else if (arg == "--plan-out") plan_out_path = value();
+      else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "sweep_plan: unknown argument '%s'\n",
+                     arg.c_str());
+        usage();
+        return 2;
+      }
+    }
+
+    if (emit == !request_path.empty()) {  // exactly one mode
+      usage();
+      return 2;
+    }
+
+    if (emit) {
+      ScenarioConfig base = make_remote_scenario();
+      if (!scenario_path.empty())
+        base = scenario_from_json(Json::parse(read_text_file(scenario_path)));
+      OffloadSearchSpace space;
+      if (!space_path.empty())
+        space = OffloadSearchSpace::from_json(
+            Json::parse(read_text_file(space_path)));
+      const auto request = offload_search_request(base, space, alpha);
+      std::printf("%s\n", request.to_json().dump().c_str());
+      return 0;
+    }
+
+    const auto request = xr::runtime::SweepRequest::from_json(
+        Json::parse(read_text_file(request_path)));
+    const OffloadPlan plan = plan_offload(request);
+    std::printf("sweep_plan: monolithic %s",
+                plan.to_string(request.reduction.alpha).c_str());
+    if (!plan_out_path.empty()) {
+      std::ofstream out(plan_out_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + plan_out_path);
+      out << plan.to_json().dump() << '\n';
+      std::printf("  plan -> %s\n", plan_out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_plan: %s\n", e.what());
+    return 1;
+  }
+}

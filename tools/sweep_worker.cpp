@@ -12,6 +12,11 @@
 //   # same, from a spec document
 //   $ sweep_worker --spec shard1.json
 //
+//   # shard 0 of 3 of a unified sweep request (runtime::SweepRequest):
+//   # grid, evaluator, and execution mechanics all come from the document
+//   $ sweep_worker --request request.json --shard-id 0 --shard-count 3
+//                  --out out/req0
+//
 //   # shard the Fig. 4(b) ground-truth validation sweep: every point runs
 //   # the testbed-substitute simulator, seeded from its global grid index
 //   $ sweep_worker --validation-grid remote --evaluator ground_truth
@@ -39,12 +44,13 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: sweep_worker --spec FILE [--resume] [--max-records N]\n"
-      "       sweep_worker (--grid FILE | --ablation-grid |\n"
+      "       sweep_worker (--request FILE | --grid FILE | --ablation-grid "
+      "|\n"
       "                     --validation-grid local|remote) --shard-id N\n"
       "                    --shard-count K --out STEM [--strategy "
       "range|strided]\n"
       "                    [--evaluator analytical|ground_truth]\n"
-      "                    [--gt-seed N] [--gt-frames N]\n"
+      "                    [--gt-seed N] [--gt-frames N] [--metrics]\n"
       "                    [--chunk N] [--threads N] [--resume] "
       "[--max-records N]\n"
       "       sweep_worker --emit-ablation-grid\n"
@@ -74,22 +80,38 @@ std::size_t parse_size(const std::string& flag, const std::string& text) {
 
 int main(int argc, char** argv) {
   using namespace xr::runtime::shard;
+  using xr::runtime::GridSpec;
   try {
     WorkerSpec spec;
     bool have_spec = false, have_grid = false;
     bool have_shard_id = false, have_out = false;
     std::size_t max_records = 0;
 
-    // Two passes so flag order never matters: the spec document loads
-    // first, then every explicit flag overrides it (--resume alongside
-    // --spec must never be silently dropped — it guards a checkpoint).
+    // Two passes so flag order never matters: the spec/request document
+    // loads first, then every explicit flag overrides it (--resume
+    // alongside --spec must never be silently dropped — it guards a
+    // checkpoint).
+    bool have_request = false;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--spec") == 0) {
         if (i + 1 >= argc) throw std::runtime_error("missing value for --spec");
         spec = WorkerSpec::from_json(Json::parse(read_text_file(argv[i + 1])));
         have_spec = have_grid = have_shard_id = have_out = true;
+      } else if (std::strcmp(argv[i], "--request") == 0) {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for --request");
+        const auto request = xr::runtime::SweepRequest::from_json(
+            Json::parse(read_text_file(argv[i + 1])));
+        spec = WorkerSpec::from_request(request, /*shard_id=*/0,
+                                        /*shard_count=*/1,
+                                        ShardStrategy::kRange, /*output=*/"");
+        have_request = have_grid = true;
       }
     }
+    // Whole-document flags are exclusive: whichever came later would
+    // silently clobber the other's entire spec.
+    if (have_spec && have_request)
+      throw std::runtime_error("--spec and --request are mutually exclusive");
 
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -98,7 +120,7 @@ int main(int argc, char** argv) {
           throw std::runtime_error("missing value for " + arg);
         return argv[++i];
       };
-      if (arg == "--spec") {
+      if (arg == "--spec" || arg == "--request") {
         (void)value();  // consumed by the first pass
       } else if (arg == "--grid") {
         spec.grid = GridSpec::from_json(Json::parse(read_text_file(value())));
@@ -140,6 +162,8 @@ int main(int argc, char** argv) {
         spec.chunk_records = parse_size(arg, value());
       } else if (arg == "--threads") {
         spec.threads = parse_size(arg, value());
+      } else if (arg == "--metrics") {
+        spec.metrics = true;
       } else if (arg == "--resume") {
         spec.resume = true;
       } else if (arg == "--max-records") {
