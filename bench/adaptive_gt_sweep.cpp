@@ -1,0 +1,152 @@
+// Adaptive-fidelity ground-truth sweep of the Fig. 4(b) validation grid —
+// the wall-time case for runtime::AdaptiveSweep (runtime/adaptive.h).
+//
+// Two measurements, both against a full-fidelity reference that evaluates
+// EVERY point at fine_frames with the refinement-pass seed derivation
+// (point_seed(seed, i, 2)), so refined points are bitwise comparable:
+//
+//   1. The Fig. 4(b) remote validation grid: the adaptive run must find
+//      the identical argmin (index AND value, bitwise) for latency and
+//      energy while simulating a fraction of the frames. The bench fails
+//      unless the wall-time reduction is >= 3x at that matched decision.
+//   2. The placement decision grid (placement x clock x size): the
+//      local/remote decision per (clock, size) cell derived from the
+//      adaptive hybrid values must equal the full-fidelity decision set —
+//      the boundary-flip rule exists exactly so coarse-pass noise near
+//      the decision boundary cannot flip an answer.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/adaptive.h"
+
+namespace {
+
+struct FullPass {
+  std::vector<xr::runtime::PointEstimate> estimates;
+  std::size_t best_latency_index = 0;
+  std::size_t best_energy_index = 0;
+  double wall_ms = 0;
+};
+
+/// Evaluate every grid point at the fine fidelity (pass-2 seeds).
+FullPass full_fidelity(const xr::runtime::SweepRequest& request) {
+  using namespace xr;
+  const auto grid = request.grid.build();
+  const auto fine =
+      runtime::fine_evaluator(request.evaluator, *request.adaptive);
+  const runtime::BatchEvaluator engine;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto points = engine.map(grid.size(), [&](std::size_t i) {
+    return runtime::shard::evaluate_point(fine, engine.model(), grid.at(i),
+                                          i);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  FullPass out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.estimates.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.estimates.push_back(runtime::PointEstimate{
+        points[i].gt->mean_latency_ms, points[i].gt->mean_energy_mj});
+    if (points[i].gt->mean_latency_ms <
+        out.estimates[out.best_latency_index].latency_ms)
+      out.best_latency_index = i;
+    if (points[i].gt->mean_energy_mj <
+        out.estimates[out.best_energy_index].energy_mj)
+      out.best_energy_index = i;
+  }
+  return out;
+}
+
+/// The local/remote decision per reduced cell of the placement grid
+/// (placement is the outermost axis, so the two variants of cell c sit at
+/// c and c + n/2).
+std::vector<int> decisions(const std::vector<xr::runtime::PointEstimate>& p) {
+  const std::size_t cells = p.size() / 2;
+  std::vector<int> out(cells);
+  for (std::size_t c = 0; c < cells; ++c)
+    out[c] = p[c].latency_ms <= p[c + cells].latency_ms ? 0 : 1;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xr;
+
+  auto cfg = bench::paper_sweep();
+  cfg.frames_per_point = 200;  // the fine / target fidelity
+  runtime::AdaptiveSpec adaptive;
+  adaptive.coarse_frames = 20;
+  adaptive.band_fraction = 0.05;
+
+  // ---- 1. Fig. 4(b) validation grid: argmin at matched fidelity --------
+  const auto request = testbed::adaptive_validation_request(
+      core::InferencePlacement::kRemote, cfg, adaptive);
+  const FullPass full = full_fidelity(request);
+  const auto outcome = runtime::run_adaptive(request);
+  const double adaptive_ms = outcome.coarse_wall_ms + outcome.fine_wall_ms;
+  const double speedup = adaptive_ms > 0 ? full.wall_ms / adaptive_ms : 0.0;
+
+  const bool argmin_identical =
+      outcome.summary.best_latency_index == full.best_latency_index &&
+      outcome.summary.best_energy_index == full.best_energy_index &&
+      outcome.summary.min_latency_ms ==
+          full.estimates[full.best_latency_index].latency_ms &&
+      outcome.summary.min_energy_mj ==
+          full.estimates[full.best_energy_index].energy_mj;
+
+  // ---- 2. Placement grid: the decision set at matched fidelity ---------
+  runtime::SweepRequest decision_request = request;
+  decision_request.grid = testbed::placement_decision_grid_spec(cfg);
+  const FullPass decision_full = full_fidelity(decision_request);
+  const auto decision_outcome = runtime::run_adaptive(decision_request);
+  const bool decisions_identical =
+      decisions(decision_full.estimates) ==
+      decisions(decision_outcome.estimates);
+
+  const std::size_t grid_size = full.estimates.size();
+  const bool ok = argmin_identical && decisions_identical && speedup >= 3.0;
+  std::printf(
+      "adaptive ground-truth sweep: %zu scenarios, coarse %zu / fine %zu "
+      "frames, band %.2f\n"
+      "  full fidelity (every point fine) : %9.3f ms\n"
+      "  adaptive (coarse + %2zu refined)  : %9.3f ms  (%.2fx faster)\n"
+      "  argmin identical (index+value)   : %s\n"
+      "  placement decisions identical    : %s (%zu-cell boundary grid, "
+      "%zu refined)\n",
+      grid_size, adaptive.coarse_frames, cfg.frames_per_point,
+      adaptive.band_fraction, full.wall_ms, outcome.refined.size(),
+      adaptive_ms, speedup, argmin_identical ? "yes (bitwise)" : "NO (bug!)",
+      decisions_identical ? "yes" : "NO (bug!)",
+      decision_full.estimates.size() / 2,
+      decision_outcome.refined.size());
+  if (speedup < 3.0)
+    std::fprintf(stderr,
+                 "adaptive_gt_sweep: wall-time reduction %.2fx < 3x\n",
+                 speedup);
+
+  char json[512];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"adaptive_gt_sweep\",\"grid_candidates\":%zu,"
+      "\"coarse_frames\":%zu,\"fine_frames\":%zu,\"refined\":%zu,"
+      "\"full_wall_ms\":%.3f,\"adaptive_wall_ms\":%.3f,\"wall_ms\":%.3f,"
+      "\"speedup\":%.3f,\"argmin_identical\":%s,"
+      "\"decision_refined\":%zu,\"decisions_identical\":%s,"
+      "\"identical\":%s}",
+      grid_size, adaptive.coarse_frames, cfg.frames_per_point,
+      outcome.refined.size(), full.wall_ms, adaptive_ms, adaptive_ms,
+      speedup, argmin_identical ? "true" : "false",
+      decision_outcome.refined.size(),
+      decisions_identical ? "true" : "false", ok ? "true" : "false");
+  const std::string path =
+      bench::bench_out_dir() + "/BENCH_adaptive_gt_sweep.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  std::printf("BENCH_JSON %s\n", json);
+  return ok ? 0 : 1;
+}

@@ -9,7 +9,7 @@ namespace xr::runtime {
 
 BatchEvaluator::BatchEvaluator(core::XrPerformanceModel model,
                                BatchOptions options)
-    : model_(std::move(model)) {
+    : model_(std::move(model)), grain_(options.grain) {
   if (options.threads != 0)
     own_pool_ = std::make_unique<ThreadPool>(options.threads);
 }
@@ -19,7 +19,7 @@ BatchResult BatchEvaluator::run(const ScenarioGrid& grid) const {
   const std::size_t n = grid.size();
   const auto t0 = std::chrono::steady_clock::now();
   out.reports = pool().map(
-      n, [&](std::size_t i) { return model_.evaluate(grid.at(i)); });
+      n, [&](std::size_t i) { return model_.evaluate(grid.at(i)); }, grain_);
   const auto t1 = std::chrono::steady_clock::now();
   out.stats.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -27,6 +27,10 @@ struct BatchOptions {
   /// Worker count: 0 uses the process-wide shared pool; 1 forces the strict
   /// serial reference path; N > 1 creates a dedicated pool of N workers.
   std::size_t threads = 0;
+  /// Indices per claimed task chunk: 0 = auto, max(1, n / (8 · threads)).
+  /// The ExecutionSpec override for grids whose per-point cost is too
+  /// uneven for the auto grain. Never affects results — only scheduling.
+  std::size_t grain = 0;
 };
 
 /// Timing of one batch run.
@@ -76,7 +80,8 @@ class BatchEvaluator {
   auto map(const ScenarioGrid& grid, F&& f) const
       -> std::vector<std::decay_t<decltype(f(grid.at(0)))>> {
     return pool().map(grid.size(),
-                      [&](std::size_t i) { return f(grid.at(i)); });
+                      [&](std::size_t i) { return f(grid.at(i)); },
+                      grain_);
   }
 
   /// Evaluate an arbitrary pure function of the index in parallel. The
@@ -85,7 +90,7 @@ class BatchEvaluator {
   template <typename F>
   auto map(std::size_t n, F&& f) const
       -> std::vector<std::decay_t<decltype(f(std::size_t{0}))>> {
-    return pool().map(n, std::forward<F>(f));
+    return pool().map(n, std::forward<F>(f), grain_);
   }
 
   [[nodiscard]] const core::XrPerformanceModel& model() const noexcept {
@@ -100,6 +105,7 @@ class BatchEvaluator {
 
   core::XrPerformanceModel model_;
   std::unique_ptr<ThreadPool> own_pool_;  ///< null → shared pool.
+  std::size_t grain_ = 0;                 ///< 0 → auto (see BatchOptions).
 };
 
 }  // namespace xr::runtime

@@ -25,6 +25,9 @@ Json EvaluatorSpec::to_json() const {
   if (kind == EvaluatorKind::kGroundTruth) {
     j.set("seed", format_hex64(seed));
     j.set("frames_per_point", frames_per_point);
+    // Emitted only when engaged so single-pass documents — and their sweep
+    // fingerprints — are byte-identical to the pre-adaptive era.
+    if (pass != 0) j.set("pass", pass);
   }
   return j;
 }
@@ -36,6 +39,7 @@ EvaluatorSpec EvaluatorSpec::from_json(const Json& j) {
     if (const Json* s = j.find("seed")) out.seed = parse_hex64(s->as_string());
     if (const Json* f = j.find("frames_per_point"))
       out.frames_per_point = f->as_size();
+    if (const Json* p = j.find("pass")) out.pass = p->as_size();
     if (out.frames_per_point == 0)
       throw std::invalid_argument(
           "EvaluatorSpec: frames_per_point must be >= 1 (a zero-frame "
@@ -44,12 +48,15 @@ EvaluatorSpec EvaluatorSpec::from_json(const Json& j) {
   return out;
 }
 
-std::uint64_t point_seed(std::uint64_t sweep_seed,
-                         std::size_t global_index) noexcept {
+std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t global_index,
+                         std::size_t pass) noexcept {
   // Golden-ratio offset keeps index 0 distinct from the raw sweep seed;
   // SplitMix64 scrambles the low-entropy index into a full 64-bit seed.
+  // The pass term adds 0 for pass 0, so single-pass sweeps reproduce the
+  // historical derivation bit for bit.
   std::uint64_t state =
-      sweep_seed + 0x9E3779B97F4A7C15ull * (std::uint64_t(global_index) + 1);
+      sweep_seed + 0x9E3779B97F4A7C15ull * (std::uint64_t(global_index) + 1) +
+      0x94D049BB133111EBull * std::uint64_t(pass);
   return math::splitmix64(state);
 }
 
@@ -65,8 +72,11 @@ EvaluatedPoint evaluate_point(const EvaluatorSpec& spec,
         "evaluate_point: ground-truth evaluator needs frames_per_point >= 1");
 
   xrsim::GroundTruthConfig cfg;
-  cfg.seed = point_seed(spec.seed, global_index);
+  cfg.seed = point_seed(spec.seed, global_index, spec.pass);
   cfg.frames = spec.frames_per_point;
+  // Sweep evaluators only consume the running means; skipping the
+  // per-frame records avoids one vector churn per grid point.
+  cfg.record_frames = false;
   const xrsim::GroundTruthSimulator sim(cfg);
   const auto gt = sim.run(scenario);
 

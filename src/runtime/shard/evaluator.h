@@ -16,10 +16,14 @@
 // the paper's §VII validation quantity — in the JSONL stream.
 //
 // Determinism contract: each point's simulator seed derives from the
-// sweep seed and the point's *global* grid index (point_seed), never from
-// shard-local state. Records are therefore bitwise independent of shard
-// count, strategy, thread count, and resume position — the property the
-// GT merge law and scripts/sweep_gt_sharded.sh assert.
+// sweep seed, the point's *global* grid index, and the fidelity pass
+// (point_seed), never from shard-local state. Records are therefore
+// bitwise independent of shard count, strategy, thread count, and resume
+// position — the property the GT merge law and
+// scripts/sweep_gt_sharded.sh assert. Pass 0 is the ordinary single-pass
+// sweep; the adaptive-fidelity driver (runtime/adaptive.h) runs its
+// coarse leg as pass 1 and its refinement leg as pass 2, so the two legs'
+// measurements are independent draws that still obey the same contract.
 #pragma once
 
 #include <cstdint>
@@ -45,9 +49,18 @@ struct EvaluatorSpec {
   /// point_seed(seed, global_index).
   std::uint64_t seed = 42;
   /// Simulated frames averaged per point (ground truth only) — the
-  /// fidelity/wall-time knob adaptive-fidelity passes will turn. Must be
-  /// >= 1: a zero-frame sweep measures nothing (from_json rejects it).
+  /// fidelity/wall-time knob the adaptive-fidelity driver
+  /// (runtime/adaptive.h) turns: its coarse leg runs the whole grid at
+  /// AdaptiveSpec::coarse_frames and its refinement leg re-runs the
+  /// boundary points at fine_frames. Must be >= 1: a zero-frame sweep
+  /// measures nothing (from_json rejects it).
   std::size_t frames_per_point = 200;
+  /// Fidelity pass this evaluator belongs to: 0 for ordinary single-pass
+  /// sweeps (the historical seed derivation, byte-compatible with every
+  /// existing stream), 1 for an adaptive coarse leg, 2 for the refinement
+  /// leg. Folded into every point's simulator seed (see point_seed) and
+  /// serialized (hence fingerprinted) only when nonzero.
+  std::size_t pass = 0;
 
   [[nodiscard]] bool is_ground_truth() const noexcept {
     return kind == EvaluatorKind::kGroundTruth;
@@ -58,9 +71,12 @@ struct EvaluatorSpec {
 };
 
 /// The simulator seed for one grid point: a SplitMix64 mix of the sweep
-/// seed and the global index. Pure — independent of shard layout.
+/// seed, the global index, and the fidelity pass. Pure — independent of
+/// shard layout. Pass 0 reproduces the historical two-argument derivation
+/// exactly, so single-pass sweeps keep their committed values.
 [[nodiscard]] std::uint64_t point_seed(std::uint64_t sweep_seed,
-                                       std::size_t global_index) noexcept;
+                                       std::size_t global_index,
+                                       std::size_t pass = 0) noexcept;
 
 /// One point's ground-truth measurement plus its model error.
 struct GtMeasurement {

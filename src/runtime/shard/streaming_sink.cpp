@@ -28,14 +28,17 @@ std::uint64_t grid_fingerprint(const GridSpec& spec) {
   return fnv1a(kFnvOffsetBasis, spec.to_json().dump());
 }
 
-std::uint64_t grid_fingerprint(const GridSpec& spec,
-                               const EvaluatorSpec& evaluator) {
-  // 0x1F (unit separator) cannot appear in JSON dumps, so the two
-  // documents never alias across the boundary.
-  std::uint64_t h = fnv1a(kFnvOffsetBasis, spec.to_json().dump());
+std::uint64_t fingerprint_chain(std::uint64_t h,
+                                const std::string& document) {
   h ^= 0x1F;
   h *= 1099511628211ull;
-  return fnv1a(h, evaluator.to_json().dump());
+  return fnv1a(h, document);
+}
+
+std::uint64_t grid_fingerprint(const GridSpec& spec,
+                               const EvaluatorSpec& evaluator) {
+  return fingerprint_chain(grid_fingerprint(spec),
+                           evaluator.to_json().dump());
 }
 
 void GtAggregate::add(const GtMeasurement& m) {

@@ -83,6 +83,14 @@ struct ShardIdentity {
 
 /// FNV-1a over a runtime::GridSpec's canonical JSON serialization.
 [[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec);
+/// Chain one more canonical JSON document onto a fingerprint across a
+/// 0x1F (unit separator) boundary — the byte cannot appear in a JSON
+/// dump, so documents never alias across the join. Every multi-document
+/// fingerprint in the repo (grid+evaluator below, the adaptive
+/// fingerprint in runtime/adaptive.h) composes through this one helper so
+/// the schemes cannot drift apart.
+[[nodiscard]] std::uint64_t fingerprint_chain(std::uint64_t h,
+                                              const std::string& document);
 /// Sweep fingerprint: the grid *and* the evaluator (kind, seed, frames).
 /// Worker documents carry this form so a resume or merge can never mix an
 /// analytical stream with a ground-truth one, or two GT sweeps that differ

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -45,6 +46,72 @@ PartialReduction check_resume_identity(const std::string& partial_path,
   return prior;
 }
 
+/// Sequential reader over this shard's pass-1 (coarse) record stream for
+/// the hybrid pass-2 leg. The coarse stream enumerates exactly the same
+/// global indices in the same order as the pass-2 stream (same shard of
+/// the same plan), so the reader only ever moves forward one line per
+/// local index.
+class CoarseStream {
+ public:
+  explicit CoarseStream(std::string jsonl_path)
+      : path_(std::move(jsonl_path)), in_(path_, std::ios::binary) {
+    if (!in_)
+      throw std::runtime_error("run_worker: cannot open coarse record stream " +
+                               path_);
+  }
+
+  void skip(std::size_t lines) {
+    std::string line;
+    while (lines-- > 0) next(line);
+  }
+
+  void next(std::string& line) {
+    if (!std::getline(in_, line))
+      throw std::runtime_error(
+          "run_worker: coarse record stream " + path_ +
+          " ended early — the coarse pass must be complete before the "
+          "refinement pass");
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Pass-2 guard: the coarse stream this leg copies from must be this
+/// exact shard of this exact coarse sweep, and complete. The checkpoint
+/// carries everything needed to verify that.
+void check_coarse_complete(const std::string& partial_path,
+                           const ShardIdentity& coarse_id,
+                           std::size_t shard_n) {
+  std::string text;
+  try {
+    text = read_text_file(partial_path);
+  } catch (const std::exception&) {
+    throw std::runtime_error(
+        "run_worker: refinement pass needs the coarse checkpoint " +
+        partial_path + " — run the coarse pass (adaptive_pass 1) first");
+  }
+  const PartialReduction prior =
+      PartialReduction::from_json(Json::parse(text));
+  const ShardIdentity& existing = prior.identity();
+  if (existing.shard_id != coarse_id.shard_id ||
+      existing.shard_count != coarse_id.shard_count ||
+      existing.strategy != coarse_id.strategy ||
+      existing.grid_size != coarse_id.grid_size ||
+      existing.grid_fingerprint != coarse_id.grid_fingerprint)
+    throw std::runtime_error(
+        "run_worker: " + partial_path +
+        " does not belong to this shard's coarse pass (different grid, "
+        "evaluator, adaptive block, or partition)");
+  if (prior.evaluated() != shard_n)
+    throw std::runtime_error(
+        "run_worker: coarse shard behind " + partial_path +
+        " is incomplete (" + std::to_string(prior.evaluated()) + " of " +
+        std::to_string(shard_n) +
+        " records) — finish the coarse pass before refining");
+}
+
 }  // namespace
 
 WorkerSpec WorkerSpec::from_request(const runtime::SweepRequest& request,
@@ -61,8 +128,10 @@ WorkerSpec WorkerSpec::from_request(const runtime::SweepRequest& request,
   spec.output = std::move(output);
   spec.chunk_records = request.execution.chunk_records;
   spec.threads = request.execution.threads;
+  spec.grain = request.execution.grain;
   spec.metrics = request.execution.metrics;
   spec.resume = resume;
+  spec.adaptive = request.adaptive;
   return spec;
 }
 
@@ -76,8 +145,19 @@ Json WorkerSpec::to_json() const {
   j.set("output", output);
   j.set("chunk_records", chunk_records);
   j.set("threads", threads);
+  if (grain != 0) j.set("grain", grain);
   j.set("metrics", metrics);
   j.set("resume", resume);
+  if (adaptive) {
+    j.set("adaptive", adaptive->to_json());
+    j.set("adaptive_pass", adaptive_pass);
+    if (!refine.empty()) {
+      Json idx = Json::array();
+      for (std::size_t i : refine) idx.push_back(i);
+      j.set("refine", std::move(idx));
+    }
+    if (!coarse_input.empty()) j.set("coarse_input", coarse_input);
+  }
   return j;
 }
 
@@ -101,8 +181,20 @@ WorkerSpec WorkerSpec::from_json(const Json& j) {
   // clamps that could drift apart.
   if (out.chunk_records == 0) out.chunk_records = 1;
   if (const Json* t = j.find("threads")) out.threads = t->as_size();
+  if (const Json* g = j.find("grain")) out.grain = g->as_size();
   if (const Json* m = j.find("metrics")) out.metrics = m->as_bool();
   if (const Json* r = j.find("resume")) out.resume = r->as_bool();
+  if (const Json* a = j.find("adaptive"))
+    out.adaptive = runtime::AdaptiveSpec::from_json(*a);
+  // The leg fields parse unconditionally: a document carrying them with a
+  // missing (or misspelled) adaptive block must reach run_worker's
+  // loud-failure guard, not silently run a full single-fidelity sweep.
+  if (const Json* p = j.find("adaptive_pass"))
+    out.adaptive_pass = p->as_size();
+  if (const Json* rf = j.find("refine"))
+    for (const Json& v : rf->as_array()) out.refine.push_back(v.as_size());
+  if (const Json* c = j.find("coarse_input"))
+    out.coarse_input = c->as_string();
   return out;
 }
 
@@ -117,12 +209,67 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
   if (spec.evaluator.is_ground_truth() && spec.evaluator.frames_per_point == 0)
     throw std::invalid_argument(
         "run_worker: ground-truth evaluator needs frames_per_point >= 1");
+  if (!spec.adaptive &&
+      (spec.adaptive_pass != 0 || !spec.refine.empty() ||
+       !spec.coarse_input.empty()))
+    throw std::invalid_argument(
+        "run_worker: adaptive_pass/refine/coarse_input require an adaptive "
+        "block in the spec");
+  if (spec.adaptive) {
+    if (!spec.evaluator.is_ground_truth())
+      throw std::invalid_argument(
+          "run_worker: adaptive fidelity requires the ground_truth "
+          "evaluator");
+    if (spec.adaptive_pass != 1 && spec.adaptive_pass != 2)
+      throw std::invalid_argument(
+          "run_worker: adaptive specs must pick a leg — adaptive_pass 1 "
+          "(coarse) or 2 (fine/refine)");
+    spec.adaptive->validate();
+    // A coarse leg always covers its whole shard; silently ignoring a
+    // refinement set would run the full sweep as if the restriction
+    // applied.
+    if (spec.adaptive_pass == 1 &&
+        (!spec.refine.empty() || !spec.coarse_input.empty()))
+      throw std::invalid_argument(
+          "run_worker: refine/coarse_input belong to the fine leg "
+          "(adaptive_pass 2); the coarse leg evaluates its whole shard");
+  }
+  const bool hybrid = spec.adaptive && spec.adaptive_pass == 2;
 
   const ScenarioGrid grid = spec.grid.build();
+
+  // The evaluator this leg actually runs, and the sweep fingerprint its
+  // stream carries. A coarse leg is an ordinary sweep at coarse fidelity
+  // (pass-1 seeds); a fine leg's hybrid stream is stamped with the
+  // adaptive fingerprint so it can never be resumed as — or merged with —
+  // either single-fidelity sweep.
+  EvaluatorSpec eval = spec.evaluator;
+  std::uint64_t fingerprint = grid_fingerprint(spec.grid, spec.evaluator);
+  if (spec.adaptive) {
+    if (spec.adaptive_pass == 1) {
+      eval = runtime::coarse_evaluator(spec.evaluator, *spec.adaptive);
+      fingerprint = grid_fingerprint(spec.grid, eval);
+    } else {
+      eval = runtime::fine_evaluator(spec.evaluator, *spec.adaptive);
+      fingerprint = runtime::adaptive_fingerprint(spec.grid, spec.evaluator,
+                                                  *spec.adaptive);
+    }
+  }
+  if (hybrid) {
+    for (std::size_t k = 0; k < spec.refine.size(); ++k) {
+      if (spec.refine[k] >= grid.size())
+        throw std::invalid_argument(
+            "run_worker: refine index out of range for the grid");
+      if (k > 0 && spec.refine[k] <= spec.refine[k - 1])
+        throw std::invalid_argument(
+            "run_worker: refine indices must be sorted ascending and "
+            "unique");
+    }
+  }
+
   const ShardPlan plan(grid.size(), spec.shard_count, spec.strategy);
   const ShardIdentity id{spec.shard_id, spec.shard_count, spec.strategy,
-                         grid.size(),
-                         grid_fingerprint(spec.grid, spec.evaluator)};
+                         grid.size(), fingerprint};
   // Single normalization point for the chunk size: the sink's checkpoint
   // cadence and the worker loop below share this exact value.
   const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
@@ -167,6 +314,32 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
   const core::XrPerformanceModel model;
   const std::size_t shard_n = plan.shard_size(spec.shard_id);
 
+  // Hybrid (pass-2) leg: open this shard's coarse stream when any of its
+  // indices fall outside the refinement set (those records are copied, not
+  // re-evaluated), after verifying the coarse leg really completed.
+  const auto refined = [&](std::size_t g) {
+    return std::binary_search(spec.refine.begin(), spec.refine.end(), g);
+  };
+  std::unique_ptr<CoarseStream> coarse;
+  if (hybrid) {
+    bool needs_coarse = false;
+    for (std::size_t l = 0; l < shard_n && !needs_coarse; ++l)
+      needs_coarse = !refined(plan.global_index(spec.shard_id, l));
+    if (needs_coarse) {
+      if (spec.coarse_input.empty())
+        throw std::invalid_argument(
+            "run_worker: refinement pass needs coarse_input — this shard "
+            "has indices outside the refinement set to copy");
+      const ShardIdentity coarse_id{
+          spec.shard_id, spec.shard_count, spec.strategy, grid.size(),
+          grid_fingerprint(spec.grid, runtime::coarse_evaluator(
+                                          spec.evaluator, *spec.adaptive))};
+      check_coarse_complete(spec.coarse_input + ".partial.json", coarse_id,
+                            shard_n);
+      coarse = std::make_unique<CoarseStream>(spec.coarse_input + ".jsonl");
+    }
+  }
+
   WorkerOutcome out;
   out.resumed_records = sink.records_written();
   out.jsonl_path = sink.jsonl_path();
@@ -174,19 +347,47 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
 
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t done = sink.records_written();
+  // The coarse stream tracks the output stream line for line; a resumed
+  // leg starts past the already-delivered prefix.
+  if (coarse) coarse->skip(done);
   while (done < shard_n) {
     std::size_t m = std::min(chunk, shard_n - done);
     if (max_new_records)
       m = std::min(m, max_new_records - out.evaluated_records);
     if (m == 0) break;
 
+    // Pull this chunk's coarse lines up front — the stream read is
+    // strictly sequential; the (pure) parses then run on the pool.
+    std::vector<std::string> coarse_lines;
+    if (coarse) {
+      coarse_lines.resize(m);
+      for (std::size_t j = 0; j < m; ++j) coarse->next(coarse_lines[j]);
+    }
+
     const auto evaluate = [&](std::size_t j) {
       const std::size_t g = plan.global_index(spec.shard_id, done + j);
-      return evaluate_point(spec.evaluator, model, grid.at(g), g);
+      if (hybrid && !refined(g)) {
+        const ParsedRecord r = parse_record_line(coarse_lines[j]);
+        if (r.index != g)
+          throw std::runtime_error(
+              "run_worker: coarse record stream misaligned (expected index " +
+              std::to_string(g) + ", found " + std::to_string(r.index) + ")");
+        if (!r.gt)
+          throw std::runtime_error(
+              "run_worker: coarse record for index " + std::to_string(g) +
+              " carries no ground-truth measurement");
+        if (r.slim != spec.metrics)
+          throw std::runtime_error(
+              "run_worker: coarse record shape (slim vs full) disagrees "
+              "with this leg's metrics mode — rerun the coarse pass with "
+              "the same execution.metrics");
+        return EvaluatedPoint{r.report, r.gt};
+      }
+      return evaluate_point(eval, model, grid.at(g), g);
     };
     std::vector<EvaluatedPoint> points;
     if (pool) {
-      points = pool->map(m, evaluate);
+      points = pool->map(m, evaluate, spec.grain);
     } else {
       points.reserve(m);
       for (std::size_t j = 0; j < m; ++j) points.push_back(evaluate(j));

@@ -9,7 +9,10 @@
 //   {"grid": {<runtime::GridSpec>}, "evaluator": {<EvaluatorSpec>},
 //    "shard_id": 0, "shard_count": 4,
 //    "strategy": "range", "output": "out/shard0",
-//    "chunk_records": 64, "threads": 1, "metrics": false, "resume": false}
+//    "chunk_records": 64, "threads": 1, "metrics": false, "resume": false,
+//    // adaptive-fidelity legs only (runtime/adaptive.h):
+//    "adaptive": {<AdaptiveSpec>}, "adaptive_pass": 1|2,
+//    "refine": [..global indices..], "coarse_input": "out/coarse0"}
 //
 // A WorkerSpec is also derivable from the unified runtime::SweepRequest
 // (from_request below): the request contributes the grid, evaluator, and
@@ -29,8 +32,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "runtime/adaptive.h"
 #include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "runtime/shard/streaming_sink.h"
@@ -42,7 +48,9 @@ struct WorkerSpec {
   GridSpec grid;
   /// What to run at each point (analytical model or ground-truth
   /// simulation); covered by the sweep fingerprint so resume/merge never
-  /// mix evaluators.
+  /// mix evaluators. For adaptive sweeps this is the BASE evaluator — the
+  /// per-leg evaluator (coarse_frames/pass 1 or fine_frames/pass 2) is
+  /// derived from it and the adaptive block.
   EvaluatorSpec evaluator;
   std::size_t shard_id = 0;
   std::size_t shard_count = 1;
@@ -53,15 +61,37 @@ struct WorkerSpec {
   /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
   /// N = dedicated pool of N workers (chunks still land in index order).
   std::size_t threads = 1;
+  /// Indices per claimed parallel task chunk (0 = auto); see
+  /// BatchOptions::grain. Mechanics only, never identity.
+  std::size_t grain = 0;
   /// Slim totals-only JSONL records (see streaming_sink.h). Never affects
   /// the partial reduction or the merge law.
   bool metrics = false;
   /// Continue from an existing record stream instead of restarting.
   bool resume = false;
 
-  /// This worker's slice of a unified sweep request: grid, evaluator, and
-  /// execution mechanics come from the request; the shard assignment and
-  /// output stem are the caller's.
+  // ---- adaptive-fidelity legs (see runtime/adaptive.h) -----------------
+  /// Engaged → this worker runs one leg of an adaptive sweep; mirrors the
+  /// request's adaptive block.
+  std::optional<runtime::AdaptiveSpec> adaptive;
+  /// Which leg: 1 = coarse (whole shard at coarse_frames), 2 = fine (the
+  /// hybrid stream: `refine` indices re-evaluated at fine_frames, every
+  /// other record copied from this shard's coarse stream). Required (and
+  /// only meaningful) when `adaptive` is engaged.
+  std::size_t adaptive_pass = 0;
+  /// Pass 2: the refinement set (sorted unique global indices, from
+  /// sweep_plan --refine-out / select_refinement).
+  std::vector<std::size_t> refine;
+  /// Pass 2: this shard's pass-1 output stem. The coarse stream must be
+  /// complete and carry the matching coarse identity; may be empty only
+  /// when every index of this shard is refined (nothing to copy).
+  std::string coarse_input;
+
+  /// This worker's slice of a unified sweep request: grid, evaluator,
+  /// adaptive block, and execution mechanics come from the request; the
+  /// shard assignment and output stem are the caller's. For adaptive
+  /// requests the caller must still pick the leg (adaptive_pass) and, for
+  /// pass 2, supply the refinement set and coarse stem.
   [[nodiscard]] static WorkerSpec from_request(
       const runtime::SweepRequest& request, std::size_t shard_id,
       std::size_t shard_count, ShardStrategy strategy,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/adaptive.h"
 #include "runtime/batch_evaluator.h"
 #include "runtime/shard/streaming_sink.h"
 
@@ -44,6 +45,7 @@ core::Json ExecutionSpec::to_json() const {
   core::Json j = core::Json::object();
   j.set("threads", threads);
   j.set("chunk_records", chunk_records);
+  if (grain != 0) j.set("grain", grain);
   j.set("metrics", metrics);
   return j;
 }
@@ -56,11 +58,50 @@ ExecutionSpec ExecutionSpec::from_json(const core::Json& j) {
   // The same normalization WorkerSpec applies: 0 means "flush every
   // record", expressed as chunks of 1.
   if (out.chunk_records == 0) out.chunk_records = 1;
+  if (const core::Json* g = j.find("grain")) out.grain = g->as_size();
   if (const core::Json* m = j.find("metrics")) out.metrics = m->as_bool();
   return out;
 }
 
+core::Json AdaptiveSpec::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("coarse_frames", coarse_frames);
+  j.set("fine_frames", fine_frames);
+  j.set("band_fraction", band_fraction);
+  return j;
+}
+
+void AdaptiveSpec::validate() const {
+  if (coarse_frames == 0)
+    throw std::invalid_argument(
+        "AdaptiveSpec: adaptive.coarse_frames must be >= 1 (a zero-frame "
+        "coarse pass measures nothing)");
+  if (coarse_frames >= fine_frames)
+    throw std::invalid_argument(
+        "AdaptiveSpec: adaptive.coarse_frames (" +
+        std::to_string(coarse_frames) +
+        ") must be < adaptive.fine_frames (" + std::to_string(fine_frames) +
+        ") — a coarse pass at or above the target fidelity saves nothing");
+  if (!(band_fraction >= 0))
+    throw std::invalid_argument(
+        "AdaptiveSpec: adaptive.band_fraction must be >= 0");
+}
+
+AdaptiveSpec AdaptiveSpec::from_json(const core::Json& j) {
+  AdaptiveSpec out;
+  if (const core::Json* c = j.find("coarse_frames"))
+    out.coarse_frames = c->as_size();
+  if (const core::Json* f = j.find("fine_frames"))
+    out.fine_frames = f->as_size();
+  if (const core::Json* b = j.find("band_fraction"))
+    out.band_fraction = b->as_double();
+  out.validate();
+  return out;
+}
+
 std::uint64_t SweepRequest::fingerprint() const {
+  if (adaptive)
+    return adaptive_fingerprint(grid, evaluator, *adaptive);
   return shard::grid_fingerprint(grid, evaluator);
 }
 
@@ -70,6 +111,7 @@ core::Json SweepRequest::to_json() const {
   j.set("grid", grid.to_json());
   j.set("evaluator", evaluator.to_json());
   j.set("reduction", reduction.to_json());
+  if (adaptive) j.set("adaptive", adaptive->to_json());
   j.set("execution", execution.to_json());
   return j;
 }
@@ -84,6 +126,8 @@ SweepRequest SweepRequest::from_json(const core::Json& j) {
     out.evaluator = shard::EvaluatorSpec::from_json(*e);
   if (const core::Json* r = j.find("reduction"))
     out.reduction = ReductionSpec::from_json(*r);
+  if (const core::Json* a = j.find("adaptive"))
+    out.adaptive = AdaptiveSpec::from_json(*a);
   if (const core::Json* x = j.find("execution"))
     out.execution = ExecutionSpec::from_json(*x);
   // Detectable from the document alone, so refuse here — before any worker
@@ -95,13 +139,23 @@ SweepRequest SweepRequest::from_json(const core::Json& j) {
         "SweepRequest: the offload_plan reduction requires the analytical "
         "evaluator (ground-truth measurements cannot be re-derived per "
         "decision)");
+  if (out.adaptive && !out.evaluator.is_ground_truth())
+    throw std::invalid_argument(
+        "SweepRequest: the adaptive block requires the ground_truth "
+        "evaluator (the analytical model has no fidelity knob to trade "
+        "against wall time)");
   return out;
 }
 
 shard::MergedSummary run_request(const SweepRequest& request,
                                  const core::XrPerformanceModel& model) {
+  // Adaptive requests have their own two-pass driver; its result obeys the
+  // same merge law (K = 1 case), so callers see one entry point.
+  if (request.adaptive) return run_adaptive(request, model).summary;
+
   const ScenarioGrid grid = request.grid.build();
-  const BatchEvaluator engine(model, BatchOptions{request.execution.threads});
+  const BatchEvaluator engine(
+      model, BatchOptions{request.execution.threads, request.execution.grain});
 
   // Evaluate every point through the exact per-point code path the sharded
   // workers run (evaluate_point, seeded from the global index), then fold

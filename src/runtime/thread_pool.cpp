@@ -120,7 +120,8 @@ struct LoopContext {
 }  // namespace
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& f) {
+                              const std::function<void(std::size_t)>& f,
+                              std::size_t grain) {
   if (n == 0) return;
   // Serial inline path: 1-thread pools, single-index loops, and calls made
   // from inside a pool job (nested parallelism would deadlock — the caller
@@ -133,9 +134,12 @@ void ThreadPool::parallel_for(std::size_t n,
   auto ctx = std::make_shared<LoopContext>();
   ctx->f = f;  // copy: helpers may outlive the caller's reference
   ctx->n = n;
-  // ~8 chunks per runner balances load without mutex-free contention on
-  // `next`; a chunk is a contiguous index range so results stay ordered.
-  ctx->chunk = std::max<std::size_t>(1, n / (threads_ * 8));
+  // Auto grain: ~8 contiguous chunks per runner balances load without
+  // per-point contention on `next` — submitting one task per point would
+  // drown µs-scale model evaluations in queue traffic (the regression the
+  // fig4b baseline recorded). A chunk is a contiguous index range so
+  // results stay ordered.
+  ctx->chunk = grain ? grain : std::max<std::size_t>(1, n / (threads_ * 8));
 
   const std::size_t helpers = std::min(threads_, n - 1);
   ctx->live_runners.store(helpers + 1);  // + the calling thread

@@ -501,6 +501,35 @@ runtime::GridSpec comparison_grid_spec(const SweepConfig& cfg) {
   return clock_size_spec("remote", cfg, /*clock_outer=*/false);
 }
 
+runtime::SweepRequest adaptive_validation_request(
+    core::InferencePlacement placement, const SweepConfig& cfg,
+    runtime::AdaptiveSpec adaptive) {
+  runtime::SweepRequest request;
+  request.grid = validation_grid_spec(placement, cfg);
+  request.evaluator = gt_evaluator_spec(cfg);
+  // One source of truth for the target fidelity: the evaluator's
+  // frames_per_point is the fine pass.
+  adaptive.fine_frames = cfg.frames_per_point;
+  if (adaptive.coarse_frames >= adaptive.fine_frames)
+    throw std::invalid_argument(
+        "adaptive_validation_request: adaptive.coarse_frames must be < "
+        "cfg.frames_per_point (the fine fidelity)");
+  request.adaptive = std::move(adaptive);
+  return request;
+}
+
+runtime::GridSpec placement_decision_grid_spec(const SweepConfig& cfg) {
+  runtime::GridSpec spec = clock_size_spec("remote", cfg,
+                                           /*clock_outer=*/true);
+  runtime::AxisSpec placement;
+  placement.knob = "placement";
+  placement.strings = {"local", "remote"};
+  // Placement outermost: each (clock, size) cell's variants sit a fixed
+  // stride apart, and the flip rule scans cells along the inner axes.
+  spec.axes.insert(spec.axes.begin(), std::move(placement));
+  return spec;
+}
+
 runtime::GridSpec ablation_grid_spec(const SweepConfig& cfg) {
   return clock_size_spec("remote", cfg, /*clock_outer=*/true);
 }

@@ -23,6 +23,7 @@
 #include "baselines/fact.h"
 #include "baselines/leaf.h"
 #include "core/framework.h"
+#include "runtime/adaptive.h"
 #include "runtime/shard/evaluator.h"
 #include "runtime/shard/shard_plan.h"
 #include "trace/series.h"
@@ -143,6 +144,24 @@ struct ComparisonResult {
 /// The Fig. 5 comparison sweep as a grid spec: frame size (outer) × CPU
 /// clock (inner) over the remote factory scenario.
 [[nodiscard]] runtime::GridSpec comparison_grid_spec(
+    const SweepConfig& cfg = {});
+
+/// The Fig. 4 validation sweep as an adaptive-fidelity SweepRequest
+/// (runtime/adaptive.h): ground-truth evaluator at cfg.frames_per_point
+/// (the fine/target fidelity), coarse pass + boundary refinement per
+/// `adaptive` (whose fine_frames is overwritten with cfg.frames_per_point
+/// so the two cannot disagree). Throws when coarse_frames >=
+/// cfg.frames_per_point.
+[[nodiscard]] runtime::SweepRequest adaptive_validation_request(
+    core::InferencePlacement placement, const SweepConfig& cfg = {},
+    runtime::AdaptiveSpec adaptive = {});
+
+/// The offload decision-boundary sweep: placement (outer) × CPU clock ×
+/// frame size over the remote factory base. Each (clock, size) cell pairs
+/// a local and a remote variant, so the ground truth draws a real
+/// local/remote decision boundary across the plane — the boundary the
+/// adaptive driver's flip rule refines.
+[[nodiscard]] runtime::GridSpec placement_decision_grid_spec(
     const SweepConfig& cfg = {});
 
 /// The ablation's remote-inference clock × size sweep as a *serializable*

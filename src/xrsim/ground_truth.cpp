@@ -52,7 +52,7 @@ GroundTruthResult GroundTruthSimulator::run(
   core::validate(s);
   const std::size_t frames = frames_override.value_or(config_.frames);
   GroundTruthResult result;
-  result.frames.reserve(frames);
+  if (config_.record_frames) result.frames.reserve(frames);
 
   // The simulator *reuses the same physical sub-models* the analytical
   // framework derives its equations from (that is the point of the paper's
@@ -99,7 +99,12 @@ GroundTruthResult GroundTruthSimulator::run(
     l_ho_v = hom.event_latency_ms(wireless::HandoffKind::kVertical);
   }
 
-  // Drive one frame per event on the DES clock.
+  // Drive one frame per event on the DES clock. The power profile is
+  // hoisted out of the per-frame lambda (frames run sequentially on the
+  // DES, so one cleared-and-refilled vector serves every frame without a
+  // fresh allocation each time).
+  std::vector<PowerInterval> profile;
+  profile.reserve(10);
   for (std::size_t q = 0; q < frames; ++q) {
     des.schedule_at(double(q) * frame_interval, [&, q](sim::Simulator&) {
       FrameRecord rec;
@@ -230,8 +235,7 @@ GroundTruthResult GroundTruthSimulator::run(
       const double p_base = config_.base_power_true_mw;
       const double p_tx = 800.0, p_rx = 300.0, p_idle = 150.0;
 
-      std::vector<PowerInterval> profile;
-      profile.reserve(10);
+      profile.clear();
       const auto add = [&](double dur, double pw) {
         if (dur > 0) profile.push_back({dur, pw + p_base});
       };
@@ -249,7 +253,7 @@ GroundTruthResult GroundTruthSimulator::run(
       add(rec.rendering_ms, p_compute);
       rec.energy_mj = monitor.measure_energy_mj(profile, rng_pow);
 
-      result.frames.push_back(rec);
+      if (config_.record_frames) result.frames.push_back(rec);
       result.latency.add(rec.total_latency_ms);
       result.energy.add(rec.energy_mj);
     });

@@ -38,6 +38,12 @@ namespace xr::xrsim {
 struct GroundTruthConfig {
   std::size_t frames = 200;     ///< frames per run.
   std::uint64_t seed = 42;
+  /// Store per-frame FrameRecords in the result. Sweep evaluators only
+  /// consume the running latency/energy stats, and on million-point grids
+  /// the per-point frame vector is pure allocation churn — set false for a
+  /// totals-only run. Never changes the stats: the same frames are
+  /// simulated in the same order either way.
+  bool record_frames = true;
 
   // Per-frame noise magnitudes (lognormal sigma unless stated).
   double resource_noise = 0.03;
@@ -77,7 +83,9 @@ struct FrameRecord {
   double energy_mj = 0;           ///< as measured by the power monitor.
 };
 
-/// Aggregated run result.
+/// Aggregated run result. `frames` is empty when the run was configured
+/// totals-only (GroundTruthConfig::record_frames == false); the running
+/// stats are always populated.
 struct GroundTruthResult {
   std::vector<FrameRecord> frames;
   trace::RunningStats latency;

@@ -48,6 +48,22 @@ TEST(ThreadPool, OneThreadAndManyThreadsProduceIdenticalResults) {
     EXPECT_EQ(a[i], b[i]) << i;  // bitwise, not approximate
 }
 
+TEST(ThreadPool, ExplicitGrainCoversEveryIndexWithIdenticalResults) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 5000;
+  const auto f = [](std::size_t i) { return std::sqrt(double(i) + 1.0); };
+  const auto auto_grain = pool.map(n, f);
+  // Grain is pure scheduling: any forced chunk size (including one larger
+  // than the whole range) yields the identical index-aligned vector.
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{512}, n + 1}) {
+    const auto forced = pool.map(n, f, grain);
+    ASSERT_EQ(forced.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(forced[i], auto_grain[i]) << "grain " << grain << " i " << i;
+  }
+}
+
 TEST(ThreadPool, ExceptionPropagatesToCaller) {
   for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     ThreadPool pool(threads);

@@ -68,6 +68,26 @@ TEST(GroundTruth, ZeroFrameOverrideIsAnHonoredDryRun) {
   EXPECT_THROW((void)sim.run(bad, 0), std::invalid_argument);
 }
 
+TEST(GroundTruth, TotalsOnlyModeSkipsFrameRecordsNotStats) {
+  auto cfg = small_run(40);
+  const GroundTruthSimulator full(cfg);
+  cfg.record_frames = false;
+  const GroundTruthSimulator slim(cfg);
+  const auto scenario = core::make_remote_scenario();
+
+  const auto with_frames = full.run(scenario);
+  const auto totals_only = slim.run(scenario);
+  ASSERT_EQ(with_frames.frames.size(), 40u);
+  EXPECT_TRUE(totals_only.frames.empty());
+  // The same frames were simulated in the same order: every statistic is
+  // bitwise identical.
+  EXPECT_EQ(totals_only.latency.count(), 40u);
+  EXPECT_EQ(totals_only.mean_latency_ms(), with_frames.mean_latency_ms());
+  EXPECT_EQ(totals_only.mean_energy_mj(), with_frames.mean_energy_mj());
+  EXPECT_EQ(totals_only.latency.stddev(), with_frames.latency.stddev());
+  EXPECT_EQ(totals_only.energy.stddev(), with_frames.energy.stddev());
+}
+
 TEST(GroundTruth, DeterministicForSeed) {
   const GroundTruthSimulator sim(small_run());
   const auto a = sim.run(core::make_remote_scenario());

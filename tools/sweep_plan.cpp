@@ -1,4 +1,4 @@
-// sweep_plan — express and run offload searches as unified sweep requests.
+// sweep_plan — express and run sweeps as unified serializable requests.
 //
 //   # emit the default offload search (remote factory base) as a request
 //   $ sweep_plan --emit-request > request.json
@@ -11,18 +11,38 @@
 //   # plan's canonical JSON — the reference the sharded path must match
 //   $ sweep_plan --request request.json --plan-out mono.plan.json
 //
-// The sharded counterpart is `sweep_worker --request` per shard followed by
+//   # emit the Fig. 4 ground-truth validation sweep as an
+//   # adaptive-fidelity request (coarse pass + boundary refinement)
+//   $ sweep_plan --emit-validation-request remote --gt-seed 42
+//                --gt-frames 200 --coarse-frames 20 --band 0.05 > adaptive.json
+//
+//   # run any summary-producing request monolithically (adaptive requests
+//   # dispatch to the two-pass driver) and write the merged summary —
+//   # the bitwise reference for the sharded run
+//   $ sweep_plan --request adaptive.json --summary-out mono.summary.json
+//
+//   # derive the refinement set from a completed coarse pass (the K
+//   # pass-1 record streams, any disjoint complete cover of the grid)
+//   $ sweep_plan --request adaptive.json --refine-out refine.json
+//                out/c0.jsonl out/c1.jsonl out/c2.jsonl
+//
+// The sharded offload counterpart is `sweep_worker --request` per shard +
 // `sweep_merge --request ... --plan-out`; scripts/sweep_offload_plan.sh
-// asserts both plans are byte-identical (incl. a kill/resume leg).
+// asserts both plans are byte-identical (incl. a kill/resume leg), and
+// scripts/sweep_adaptive.sh asserts the adaptive two-pass law.
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/optimizer.h"
 #include "core/serialize.h"
+#include "runtime/adaptive.h"
 #include "runtime/offload_search.h"
+#include "testbed/experiments.h"
 
 namespace {
 
@@ -31,15 +51,39 @@ void usage() {
       stderr,
       "usage: sweep_plan --emit-request [--scenario FILE] [--space FILE]\n"
       "                  [--alpha A]\n"
-      "       sweep_plan --request FILE [--plan-out FILE]\n");
+      "       sweep_plan --emit-validation-request local|remote\n"
+      "                  [--gt-seed N] [--gt-frames N] [--coarse-frames N]\n"
+      "                  [--band F]\n"
+      "       sweep_plan --request FILE [--plan-out FILE]\n"
+      "       sweep_plan --request FILE --summary-out FILE\n"
+      "       sweep_plan --request FILE --refine-out FILE COARSE.jsonl...\n");
 }
 
-double parse_alpha(const std::string& text) {
+double parse_num(const std::string& flag, const std::string& text) {
   try {
     return xr::core::parse_double(text);
   } catch (const std::exception&) {
-    throw std::runtime_error("bad number for --alpha: '" + text + "'");
+    throw std::runtime_error("bad number for " + flag + ": '" + text + "'");
   }
+}
+
+/// Strict non-negative integer via from_chars (the same rule sweep_worker
+/// applies): trailing garbage is an error, and full 64-bit seeds survive —
+/// a double round-trip would reject or corrupt values above 2^53.
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  std::size_t v = 0;
+  const char* first = text.c_str();
+  const char* last = first + text.size();
+  const auto res = std::from_chars(first, last, v);
+  if (text.empty() || res.ec != std::errc{} || res.ptr != last)
+    throw std::runtime_error("bad count for " + flag + ": '" + text + "'");
+  return v;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << text << '\n';
 }
 
 }  // namespace
@@ -48,8 +92,14 @@ int main(int argc, char** argv) {
   using namespace xr::core;
   try {
     bool emit = false;
-    std::string scenario_path, space_path, request_path, plan_out_path;
+    std::string validation_placement;
+    std::string scenario_path, space_path, request_path;
+    std::string plan_out_path, summary_out_path, refine_out_path;
+    std::vector<std::string> record_paths;
     double alpha = 0.5;
+    std::uint64_t gt_seed = 42;
+    std::size_t gt_frames = 200, coarse_frames = 20;
+    double band = 0.05;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto value = [&]() -> std::string {
@@ -58,26 +108,54 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "--emit-request") emit = true;
+      else if (arg == "--emit-validation-request")
+        validation_placement = value();
       else if (arg == "--scenario") scenario_path = value();
       else if (arg == "--space") space_path = value();
-      else if (arg == "--alpha") alpha = parse_alpha(value());
+      else if (arg == "--alpha") alpha = parse_num(arg, value());
+      else if (arg == "--gt-seed") gt_seed = parse_count(arg, value());
+      else if (arg == "--gt-frames") gt_frames = parse_count(arg, value());
+      else if (arg == "--coarse-frames")
+        coarse_frames = parse_count(arg, value());
+      else if (arg == "--band") band = parse_num(arg, value());
       else if (arg == "--request") request_path = value();
       else if (arg == "--plan-out") plan_out_path = value();
+      else if (arg == "--summary-out") summary_out_path = value();
+      else if (arg == "--refine-out") refine_out_path = value();
       else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
-      } else {
+      } else if (arg.rfind("--", 0) == 0) {
         std::fprintf(stderr, "sweep_plan: unknown argument '%s'\n",
                      arg.c_str());
         usage();
         return 2;
+      } else {
+        record_paths.push_back(arg);
       }
     }
 
-    if (emit == !request_path.empty()) {  // exactly one mode
+    const int modes = int(emit) + int(!validation_placement.empty()) +
+                      int(!request_path.empty());
+    if (modes != 1) {  // exactly one mode
       usage();
       return 2;
     }
+    // Positional operands are the coarse record streams of --refine-out
+    // and nothing else; anywhere else they are a typo'd flag value, not
+    // something to silently discard. Likewise the --request outputs are
+    // one-at-a-time modes.
+    if (refine_out_path.empty() && !record_paths.empty()) {
+      std::fprintf(stderr, "sweep_plan: unexpected argument '%s'\n",
+                   record_paths.front().c_str());
+      usage();
+      return 2;
+    }
+    if (int(!plan_out_path.empty()) + int(!summary_out_path.empty()) +
+            int(!refine_out_path.empty()) > 1)
+      throw std::runtime_error(
+          "--plan-out, --summary-out, and --refine-out are mutually "
+          "exclusive");
 
     if (emit) {
       ScenarioConfig base = make_remote_scenario();
@@ -92,15 +170,100 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!validation_placement.empty()) {
+      const auto placement =
+          validation_placement == "local"
+              ? InferencePlacement::kLocal
+              : (validation_placement == "remote"
+                     ? InferencePlacement::kRemote
+                     : throw std::runtime_error(
+                           "bad placement '" + validation_placement +
+                           "' (expected local or remote)"));
+      xr::testbed::SweepConfig cfg;
+      cfg.seed = gt_seed;
+      cfg.frames_per_point = gt_frames;
+      xr::runtime::AdaptiveSpec adaptive;
+      adaptive.coarse_frames = coarse_frames;
+      adaptive.band_fraction = band;
+      const auto request =
+          xr::testbed::adaptive_validation_request(placement, cfg, adaptive);
+      std::printf("%s\n", request.to_json().dump().c_str());
+      return 0;
+    }
+
     const auto request = xr::runtime::SweepRequest::from_json(
         Json::parse(read_text_file(request_path)));
+
+    if (!refine_out_path.empty()) {
+      if (!request.adaptive)
+        throw std::runtime_error(
+            "--refine-out needs an adaptive request; " + request_path +
+            " has no adaptive block");
+      if (record_paths.empty())
+        throw std::runtime_error(
+            "--refine-out needs the coarse record streams "
+            "(COARSE.jsonl...)");
+      const std::size_t grid_size = request.grid.build().size();
+      // Records carry no fingerprint per line, so provenance is verified
+      // through each stream's sibling checkpoint: it must identify THIS
+      // request's coarse pass — the same no-mixing contract resume and
+      // merge enforce.
+      const std::uint64_t coarse_fp = xr::runtime::shard::grid_fingerprint(
+          request.grid, xr::runtime::coarse_evaluator(request.evaluator,
+                                                      *request.adaptive));
+      for (const auto& path : record_paths) {
+        const std::string suffix = ".jsonl";
+        if (path.size() <= suffix.size() ||
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+          throw std::runtime_error(
+              "--refine-out expects <stem>.jsonl record streams; got '" +
+              path + "'");
+        const std::string partial_path =
+            path.substr(0, path.size() - suffix.size()) + ".partial.json";
+        const auto partial = xr::runtime::shard::PartialReduction::from_json(
+            Json::parse(read_text_file(partial_path)));
+        if (partial.identity().grid_fingerprint != coarse_fp ||
+            partial.identity().grid_size != grid_size)
+          throw std::runtime_error(
+              path + " is not a coarse-pass stream of " + request_path +
+              " (checkpoint " + partial_path +
+              " carries a different sweep fingerprint)");
+      }
+      const auto estimates = xr::runtime::coarse_estimates_from_jsonl(
+          record_paths, grid_size);
+      xr::runtime::RefinementSet set;
+      set.fingerprint = request.fingerprint();
+      set.grid_size = grid_size;
+      set.indices = xr::runtime::select_refinement(request.grid, estimates,
+                                                   *request.adaptive);
+      write_file(refine_out_path, set.to_json().dump());
+      std::printf(
+          "sweep_plan: refinement set -> %s (%zu of %zu points, "
+          "coarse %zu -> fine %zu frames)\n",
+          refine_out_path.c_str(), set.indices.size(), grid_size,
+          request.adaptive->coarse_frames, request.adaptive->fine_frames);
+      return 0;
+    }
+
+    if (!summary_out_path.empty()) {
+      const auto summary = xr::runtime::run_request(request);
+      write_file(summary_out_path, summary.to_json().dump());
+      std::printf(
+          "sweep_plan: monolithic summary over %zu scenarios -> %s\n"
+          "  best latency : index %zu -> %g ms\n"
+          "  best energy  : index %zu -> %g mJ\n",
+          summary.grid_size, summary_out_path.c_str(),
+          summary.best_latency_index, summary.min_latency_ms,
+          summary.best_energy_index, summary.min_energy_mj);
+      return 0;
+    }
+
     const OffloadPlan plan = plan_offload(request);
     std::printf("sweep_plan: monolithic %s",
                 plan.to_string(request.reduction.alpha).c_str());
     if (!plan_out_path.empty()) {
-      std::ofstream out(plan_out_path, std::ios::binary | std::ios::trunc);
-      if (!out) throw std::runtime_error("cannot open " + plan_out_path);
-      out << plan.to_json().dump() << '\n';
+      write_file(plan_out_path, plan.to_json().dump());
       std::printf("  plan -> %s\n", plan_out_path.c_str());
     }
     return 0;

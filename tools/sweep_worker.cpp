@@ -17,6 +17,23 @@
 //   $ sweep_worker --request request.json --shard-id 0 --shard-count 3
 //                  --out out/req0
 //
+//   # adaptive-fidelity request (runtime/adaptive.h), sharded: run the
+//   # coarse leg, derive the refinement set once (sweep_plan --refine-out
+//   # over all coarse .jsonl streams), then the fine leg copies
+//   # unrefined records from this shard's coarse stream
+//   $ sweep_worker --request adaptive.json --pass coarse
+//                  --shard-id 0 --shard-count 3 --out out/c0
+//   $ sweep_plan --request adaptive.json --refine-out out/refine.json
+//                out/c0.jsonl out/c1.jsonl out/c2.jsonl
+//   $ sweep_worker --request adaptive.json --pass fine
+//                  --refine out/refine.json --coarse out/c0
+//                  --shard-id 0 --shard-count 3 --out out/f0
+//
+//   # full-fidelity reference with refinement-pass seeds (diagnostics /
+//   # the scripts/sweep_adaptive.sh argmin gate): refine every point
+//   $ sweep_worker --request adaptive.json --pass fine --refine-all
+//                  --shard-id 0 --shard-count 1 --out out/full
+//
 //   # shard the Fig. 4(b) ground-truth validation sweep: every point runs
 //   # the testbed-substitute simulator, seeded from its global grid index
 //   $ sweep_worker --validation-grid remote --evaluator ground_truth
@@ -51,7 +68,10 @@ void usage() {
       "range|strided]\n"
       "                    [--evaluator analytical|ground_truth]\n"
       "                    [--gt-seed N] [--gt-frames N] [--metrics]\n"
-      "                    [--chunk N] [--threads N] [--resume] "
+      "                    [--pass coarse|fine] [--refine FILE | "
+      "--refine-all]\n"
+      "                    [--coarse STEM]\n"
+      "                    [--chunk N] [--threads N] [--grain N] [--resume] "
       "[--max-records N]\n"
       "       sweep_worker --emit-ablation-grid\n"
       "       sweep_worker --emit-validation-grid local|remote\n");
@@ -86,6 +106,8 @@ int main(int argc, char** argv) {
     bool have_spec = false, have_grid = false;
     bool have_shard_id = false, have_out = false;
     std::size_t max_records = 0;
+    std::string refine_path;
+    bool refine_all = false;
 
     // Two passes so flag order never matters: the spec/request document
     // loads first, then every explicit flag overrides it (--resume
@@ -148,6 +170,19 @@ int main(int argc, char** argv) {
         spec.evaluator.seed = parse_size(arg, value());
       } else if (arg == "--gt-frames") {
         spec.evaluator.frames_per_point = parse_size(arg, value());
+      } else if (arg == "--pass") {
+        const std::string leg = value();
+        if (leg == "coarse") spec.adaptive_pass = 1;
+        else if (leg == "fine") spec.adaptive_pass = 2;
+        else
+          throw std::runtime_error("bad value for --pass: '" + leg +
+                                   "' (expected coarse or fine)");
+      } else if (arg == "--refine") {
+        refine_path = value();
+      } else if (arg == "--refine-all") {
+        refine_all = true;
+      } else if (arg == "--coarse") {
+        spec.coarse_input = value();
       } else if (arg == "--shard-id") {
         spec.shard_id = parse_size(arg, value());
         have_shard_id = true;
@@ -162,6 +197,8 @@ int main(int argc, char** argv) {
         spec.chunk_records = parse_size(arg, value());
       } else if (arg == "--threads") {
         spec.threads = parse_size(arg, value());
+      } else if (arg == "--grain") {
+        spec.grain = parse_size(arg, value());
       } else if (arg == "--metrics") {
         spec.metrics = true;
       } else if (arg == "--resume") {
@@ -183,12 +220,43 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    if (!refine_path.empty() && refine_all)
+      throw std::runtime_error(
+          "--refine and --refine-all are mutually exclusive");
+    if (!refine_path.empty()) {
+      if (!spec.adaptive)
+        throw std::runtime_error(
+            "--refine needs an adaptive request (no adaptive block loaded)");
+      const auto set = xr::runtime::RefinementSet::from_json(
+          Json::parse(read_text_file(refine_path)));
+      // The set must have been derived from THIS request's coarse pass.
+      if (set.fingerprint != xr::runtime::adaptive_fingerprint(
+                                 spec.grid, spec.evaluator, *spec.adaptive))
+        throw std::runtime_error(
+            refine_path +
+            " was derived for a different adaptive sweep (fingerprint "
+            "mismatch)");
+      spec.refine = set.indices;
+    } else if (refine_all) {
+      if (!spec.adaptive)
+        throw std::runtime_error(
+            "--refine-all needs an adaptive request (no adaptive block "
+            "loaded)");
+      const std::size_t n = spec.grid.build().size();
+      spec.refine.resize(n);
+      for (std::size_t i = 0; i < n; ++i) spec.refine[i] = i;
+    }
+
     const WorkerOutcome outcome = run_worker(spec, max_records);
     std::printf(
-        "sweep_worker: shard %zu/%zu (%s, %s) -> %s\n"
+        "sweep_worker: shard %zu/%zu (%s, %s%s) -> %s\n"
         "  records %zu (%zu resumed, %zu evaluated), %s\n",
         spec.shard_id, spec.shard_count, strategy_name(spec.strategy),
-        evaluator_name(spec.evaluator.kind), outcome.jsonl_path.c_str(),
+        evaluator_name(spec.evaluator.kind),
+        spec.adaptive
+            ? (spec.adaptive_pass == 1 ? ", coarse leg" : ", refine leg")
+            : "",
+        outcome.jsonl_path.c_str(),
         outcome.shard_records, outcome.resumed_records,
         outcome.evaluated_records,
         outcome.complete ? "complete" : "stopped early (checkpointed)");
