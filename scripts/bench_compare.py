@@ -87,6 +87,26 @@ def main() -> int:
         if o_ms and n_ms:
             worst = max(worst, 100.0 * (n_ms - o_ms) / o_ms)
 
+    # Serving throughput (decision_throughput and any future bench carrying
+    # decisions/sec fields): the decisions/sec trajectory, per mode.
+    serving = [n for n in names
+               if "soa_single_per_sec" in (old.get(n) or {})
+               or "soa_single_per_sec" in (new.get(n) or {})]
+    if serving:
+        print("\ndecisions/sec (single-thread SoA vs scalar, saturated SoA, "
+              "index hits):")
+        for name in serving:
+            o, n = old.get(name) or {}, new.get(name) or {}
+            for key in ("scalar_single_per_sec", "soa_single_per_sec",
+                        "soa_saturated_per_sec", "index_lookups_per_sec"):
+                o_v, n_v = o.get(key), n.get(key)
+                if o_v is None and n_v is None:
+                    continue
+                print(f"  {name}.{key:<26}  "
+                      f"{o_v if o_v else float('nan'):>12.0f}  "
+                      f"{n_v if n_v else float('nan'):>12.0f}  "
+                      f"{fmt_delta(o_v, n_v):>8}")
+
     print(f"\nworst wall-time regression: {worst:+.1f}%")
     if args.fail_worse_than is not None and worst > args.fail_worse_than:
         print(f"bench_compare: FAIL (> {args.fail_worse_than}%)",

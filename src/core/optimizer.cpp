@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -61,6 +62,19 @@ OffloadDecision OffloadDecision::from_json(const Json& j) {
   d.edge_cnn = j.at("edge_cnn").as_string();
   d.edge_count = int(j.at("edge_count").as_size());
   d.codec = h264_from_json(j.at("codec"));
+  // A decision no search could have produced must not deserialize: apply()
+  // would hand the model an invalid scenario (or a nonsense split) long
+  // after the document's origin is gone.
+  if (!(d.omega_c >= 0.0 && d.omega_c <= 1.0))
+    throw std::invalid_argument(
+        "OffloadDecision: omega_c must be in [0, 1], got " +
+        format_double(d.omega_c));
+  if (d.edge_count < 1)
+    throw std::invalid_argument("OffloadDecision: edge_count must be >= 1");
+  if (!(d.codec.bitrate_mbps > 0.0) || !std::isfinite(d.codec.bitrate_mbps))
+    throw std::invalid_argument(
+        "OffloadDecision: codec.bitrate_mbps must be finite and > 0, got " +
+        format_double(d.codec.bitrate_mbps));
   return d;
 }
 
@@ -81,6 +95,12 @@ EvaluatedDecision EvaluatedDecision::from_json(const Json& j) {
   EvaluatedDecision e;
   e.decision = OffloadDecision::from_json(j.at("decision"));
   e.report = report_from_json(j.at("report"));
+  if (!std::isfinite(e.report.latency.total))
+    throw std::invalid_argument(
+        "EvaluatedDecision: report.latency.total must be finite");
+  if (!std::isfinite(e.report.energy.total))
+    throw std::invalid_argument(
+        "EvaluatedDecision: report.energy.total must be finite");
   return e;
 }
 
@@ -183,6 +203,30 @@ OffloadPlan OffloadPlan::from_json(const Json& j) {
   plan.best_weighted = EvaluatedDecision::from_json(j.at("best_weighted"));
   for (const Json& e : j.at("pareto").as_array())
     plan.pareto.push_back(EvaluatedDecision::from_json(e));
+  // Structural invariants every real search run satisfies (see
+  // PartialReduction's frontier): reject documents that could not have
+  // come from one, with the offending field named.
+  if (plan.candidates_evaluated < 1)
+    throw std::invalid_argument(
+        "OffloadPlan: candidates_evaluated must be >= 1");
+  if (plan.pareto.empty())
+    throw std::invalid_argument("OffloadPlan: pareto must not be empty");
+  if (plan.candidates_evaluated < plan.pareto.size())
+    throw std::invalid_argument(
+        "OffloadPlan: candidates_evaluated (" +
+        std::to_string(plan.candidates_evaluated) +
+        ") smaller than the pareto frontier (" +
+        std::to_string(plan.pareto.size()) + " entries)");
+  for (std::size_t i = 1; i < plan.pareto.size(); ++i) {
+    if (!(plan.pareto[i - 1].latency_ms() < plan.pareto[i].latency_ms()))
+      throw std::invalid_argument(
+          "OffloadPlan: pareto[" + std::to_string(i) +
+          "]: latency must be strictly ascending along the frontier");
+    if (!(plan.pareto[i - 1].energy_mj() > plan.pareto[i].energy_mj()))
+      throw std::invalid_argument(
+          "OffloadPlan: pareto[" + std::to_string(i) +
+          "]: energy must be strictly descending along the frontier");
+  }
   return plan;
 }
 

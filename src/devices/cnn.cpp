@@ -39,6 +39,7 @@ const CnnSpec& cnn_by_name(const std::string& name) {
   // The zoo scan runs once per (thread, name): zoo entries live in a
   // function-local static, so the cached pointers stay valid for the
   // process lifetime. Unknown names are never cached (they throw).
+  count_submodel_lookup();
   if (submodel_memoization_enabled()) {
     thread_local std::unordered_map<std::string, const CnnSpec*> cache;
     if (const auto it = cache.find(name); it != cache.end())

@@ -83,6 +83,7 @@ double CodecModel::encode_work(double frame_size,
                                const H264Config& cfg) const {
   if (frame_size <= 0)
     throw std::invalid_argument("CodecModel: frame size must be > 0");
+  count_submodel_lookup();
   const auto compute = [&] {
     const double work =
         coef_.intercept + coef_.per_i_interval * cfg.i_frame_interval +
@@ -128,6 +129,7 @@ double CodecModel::encoded_size_mb(double frame_size,
     throw std::invalid_argument("CodecModel: frame size must be > 0");
   if (cfg.fps <= 0)
     throw std::invalid_argument("CodecModel: fps must be > 0");
+  count_submodel_lookup();
   const auto compute = [&] {
     // Bitrate budget per frame (Mbit → MB) plus a small resolution-
     // dependent floor: rate control cannot compress syntax overhead away.

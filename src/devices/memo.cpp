@@ -6,6 +6,7 @@ namespace xr::devices {
 
 namespace {
 std::atomic<bool> g_memoization_enabled{true};
+std::atomic<std::uint64_t> g_lookup_count{0};
 }  // namespace
 
 void set_submodel_memoization(bool enabled) noexcept {
@@ -14,6 +15,14 @@ void set_submodel_memoization(bool enabled) noexcept {
 
 bool submodel_memoization_enabled() noexcept {
   return g_memoization_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t submodel_lookup_count() noexcept {
+  return g_lookup_count.load(std::memory_order_relaxed);
+}
+
+void count_submodel_lookup() noexcept {
+  g_lookup_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace xr::devices

@@ -10,7 +10,17 @@
 //
 // The process-wide toggle exists for that test and for A/B profiling; it
 // defaults to enabled.
+//
+// The lookup counter exists so callers can PROVE a code path never reached
+// the submodels: every cnn_by_name resolution and codec-curve evaluation
+// bumps it (hit or miss), so a zero delta across a call means the models
+// were never consulted. The serving path relies on this twice — the SoA
+// decision kernel (runtime/decision_batch.h) hoists all lookups into its
+// prepare step, and an OffloadPlanIndex exact hit must answer without
+// touching the model at all (asserted by tests/runtime/test_plan_index.cpp).
 #pragma once
+
+#include <cstdint>
 
 namespace xr::devices {
 
@@ -19,5 +29,14 @@ namespace xr::devices {
 /// bypassed while disabled.
 void set_submodel_memoization(bool enabled) noexcept;
 [[nodiscard]] bool submodel_memoization_enabled() noexcept;
+
+/// Process-wide count of submodel lookups since process start: cnn_by_name
+/// resolutions plus codec-curve evaluations, cached and cold alike.
+/// Monotonic; meant for before/after deltas, not absolute values.
+[[nodiscard]] std::uint64_t submodel_lookup_count() noexcept;
+
+/// Record one submodel lookup (called by devices/cnn.cpp and
+/// devices/codec.cpp; not meant for other callers).
+void count_submodel_lookup() noexcept;
 
 }  // namespace xr::devices

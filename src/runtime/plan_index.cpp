@@ -1,0 +1,228 @@
+#include "runtime/plan_index.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/offload_search.h"
+
+namespace xr::runtime {
+
+namespace {
+
+constexpr const char* kIndexSchema = "xr.offload_plan_index.v1";
+constexpr const char* kSpecSchema = "xr.offload_plan_index.spec.v1";
+
+/// The bitwise tuple key of the exact tier: the raw bytes of every axis
+/// coordinate, in axis order. Exactness here means bit-for-bit — the same
+/// identity the JSON round trip preserves.
+std::string bitwise_key(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  std::string key(values.size() * sizeof(double), '\0');
+  std::memcpy(key.data(), values.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+const char* plan_source_name(PlanSource s) noexcept {
+  switch (s) {
+    case PlanSource::kExactHit: return "exact_hit";
+    case PlanSource::kNearestHit: return "nearest_hit";
+    case PlanSource::kComputed: return "computed";
+  }
+  return "computed";
+}
+
+void PlanIndexSpec::validate() const {
+  scenarios.validate();
+  for (const AxisSpec& axis : scenarios.axes) {
+    if (!knob_is_numeric(axis.knob))
+      throw std::invalid_argument(
+          "PlanIndexSpec: scenarios axis '" + axis.knob +
+          "': index axes must be numeric scenario knobs (nearest-cell "
+          "distance is undefined for string knobs)");
+    for (std::size_t i = 0; i < axis.numbers.size(); ++i) {
+      if (!std::isfinite(axis.numbers[i]))
+        throw std::invalid_argument("PlanIndexSpec: scenarios axis '" +
+                                    axis.knob +
+                                    "': values must be finite");
+      for (std::size_t k = i + 1; k < axis.numbers.size(); ++k)
+        if (axis.numbers[i] == axis.numbers[k])
+          throw std::invalid_argument(
+              "PlanIndexSpec: scenarios axis '" + axis.knob +
+              "': duplicate value " + core::format_double(axis.numbers[i]));
+    }
+  }
+  if (!(alpha >= 0.0 && alpha <= 1.0))
+    throw std::invalid_argument("PlanIndexSpec: alpha must be in [0, 1]");
+  if (!std::isfinite(max_relative_gap) || max_relative_gap < 0.0)
+    throw std::invalid_argument(
+        "PlanIndexSpec: max_relative_gap must be finite and >= 0");
+}
+
+core::Json PlanIndexSpec::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("schema", kSpecSchema);
+  j.set("scenarios", scenarios.to_json());
+  j.set("space", space.to_json());
+  j.set("alpha", alpha);
+  j.set("max_relative_gap", max_relative_gap);
+  return j;
+}
+
+PlanIndexSpec PlanIndexSpec::from_json(const core::Json& j) {
+  if (j.at("schema").as_string() != kSpecSchema)
+    throw std::invalid_argument("PlanIndexSpec: unknown schema '" +
+                                j.at("schema").as_string() + "'");
+  PlanIndexSpec spec;
+  spec.scenarios = GridSpec::from_json(j.at("scenarios"));
+  spec.space = core::OffloadSearchSpace::from_json(j.at("space"));
+  spec.alpha = j.at("alpha").as_double();
+  spec.max_relative_gap = j.at("max_relative_gap").as_double();
+  spec.validate();
+  return spec;
+}
+
+OffloadPlanIndex OffloadPlanIndex::build(PlanIndexSpec spec,
+                                         const core::XrPerformanceModel& model,
+                                         const BatchOptions& options) {
+  spec.validate();
+  OffloadPlanIndex index;
+  index.spec_ = std::move(spec);
+  const ScenarioGrid grid = index.spec_.scenarios.build();
+  for (const AxisSpec& axis : index.spec_.scenarios.axes)
+    index.axis_values_.push_back(axis.numbers);
+  index.plans_.reserve(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    auto request = core::offload_search_request(
+        grid.at(cell), index.spec_.space, index.spec_.alpha);
+    request.execution.threads = options.threads;
+    request.execution.grain = options.grain;
+    index.plans_.push_back(core::plan_offload(request, model));
+  }
+  index.rebuild_lookup();
+  return index;
+}
+
+void OffloadPlanIndex::rebuild_lookup() {
+  exact_.clear();
+  exact_.reserve(plans_.size());
+  std::vector<double> key(axis_values_.size(), 0.0);
+  for (std::size_t cell = 0; cell < plans_.size(); ++cell) {
+    std::size_t rest = cell;
+    for (std::size_t k = axis_values_.size(); k-- > 0;) {
+      key[k] = axis_values_[k][rest % axis_values_[k].size()];
+      rest /= axis_values_[k].size();
+    }
+    exact_.emplace(bitwise_key(key), cell);
+  }
+}
+
+void OffloadPlanIndex::require_key_arity(
+    const std::vector<double>& key) const {
+  if (key.size() != axis_values_.size())
+    throw std::invalid_argument(
+        "OffloadPlanIndex: query has " + std::to_string(key.size()) +
+        " values but the index has " + std::to_string(axis_values_.size()) +
+        " scenario axes");
+  for (std::size_t k = 0; k < key.size(); ++k)
+    if (!std::isfinite(key[k]))
+      throw std::invalid_argument("OffloadPlanIndex: query axis '" +
+                                  spec_.scenarios.axes[k].knob +
+                                  "' must be finite");
+}
+
+std::optional<std::size_t> OffloadPlanIndex::exact_cell(
+    const std::vector<double>& key) const {
+  require_key_arity(key);
+  const auto it = exact_.find(bitwise_key(key));
+  if (it == exact_.end()) return std::nullopt;
+  return it->second;
+}
+
+OffloadPlanIndex::NearestCell OffloadPlanIndex::nearest_cell(
+    const std::vector<double>& key) const {
+  require_key_arity(key);
+  NearestCell out;
+  for (std::size_t k = 0; k < key.size(); ++k) {
+    const std::vector<double>& values = axis_values_[k];
+    std::size_t best = 0;
+    double best_distance = std::abs(key[k] - values[0]);
+    for (std::size_t j = 1; j < values.size(); ++j) {
+      const double distance = std::abs(key[k] - values[j]);
+      if (distance < best_distance) {  // strict: ties keep the lower index
+        best = j;
+        best_distance = distance;
+      }
+    }
+    const double scale =
+        std::max(std::max(std::abs(key[k]), std::abs(values[best])), 1e-9);
+    out.worst_gap = std::max(out.worst_gap, best_distance / scale);
+    out.cell = out.cell * values.size() + best;
+  }
+  return out;
+}
+
+OffloadPlanIndex::ServeResult OffloadPlanIndex::serve(
+    const std::vector<double>& key, const core::XrPerformanceModel& model) {
+  if (const auto cell = exact_cell(key)) {
+    ++counters_.exact_hits;
+    return ServeResult{plans_[*cell], PlanSource::kExactHit, *cell};
+  }
+  const NearestCell nearest = nearest_cell(key);
+  if (nearest.worst_gap <= spec_.max_relative_gap) {
+    ++counters_.nearest_hits;
+    return ServeResult{plans_[nearest.cell], PlanSource::kNearestHit,
+                       nearest.cell};
+  }
+  // Genuine miss: materialize the queried scenario through the same axis
+  // appliers the grid uses (a one-value axis per knob) and run a fresh
+  // search — on the SoA kernel when enabled.
+  ++counters_.computed;
+  core::ScenarioConfig scenario = spec_.scenarios.base_config();
+  for (std::size_t k = 0; k < key.size(); ++k) {
+    AxisSpec point;
+    point.knob = spec_.scenarios.axes[k].knob;
+    point.numbers = {key[k]};
+    axis_from_spec(point).points.front().apply(scenario);
+  }
+  auto request = core::offload_search_request(scenario, spec_.space,
+                                              spec_.alpha);
+  return ServeResult{core::plan_offload(request, model),
+                     PlanSource::kComputed, kNoCell};
+}
+
+core::Json OffloadPlanIndex::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("schema", kIndexSchema);
+  j.set("spec", spec_.to_json());
+  core::Json plans = core::Json::array();
+  for (const core::OffloadPlan& plan : plans_) plans.push_back(plan.to_json());
+  j.set("plans", std::move(plans));
+  return j;
+}
+
+OffloadPlanIndex OffloadPlanIndex::from_json(const core::Json& j) {
+  if (j.at("schema").as_string() != kIndexSchema)
+    throw std::invalid_argument("OffloadPlanIndex: unknown schema '" +
+                                j.at("schema").as_string() + "'");
+  OffloadPlanIndex index;
+  index.spec_ = PlanIndexSpec::from_json(j.at("spec"));
+  std::size_t expected = 1;
+  for (const AxisSpec& axis : index.spec_.scenarios.axes) {
+    index.axis_values_.push_back(axis.numbers);
+    expected *= axis.numbers.size();
+  }
+  for (const core::Json& p : j.at("plans").as_array())
+    index.plans_.push_back(core::OffloadPlan::from_json(p));
+  if (index.plans_.size() != expected)
+    throw std::invalid_argument(
+        "OffloadPlanIndex: plans has " + std::to_string(index.plans_.size()) +
+        " entries but the scenario grid has " + std::to_string(expected) +
+        " cells");
+  index.rebuild_lookup();
+  return index;
+}
+
+}  // namespace xr::runtime

@@ -5,6 +5,7 @@
 
 #include "runtime/adaptive.h"
 #include "runtime/batch_evaluator.h"
+#include "runtime/decision_batch.h"
 #include "runtime/shard/streaming_sink.h"
 
 namespace xr::runtime {
@@ -152,6 +153,13 @@ shard::MergedSummary run_request(const SweepRequest& request,
   // Adaptive requests have their own two-pass driver; its result obeys the
   // same merge law (K = 1 case), so callers see one entry point.
   if (request.adaptive) return run_adaptive(request, model).summary;
+
+  // Analytical requests take the SoA serving kernel when it is enabled and
+  // maps every axis — bitwise-identical to the scalar fold below (the
+  // standing gate of tests/runtime/test_decision_batch.cpp), just without
+  // re-walking the full model per candidate.
+  if (const auto batched = try_run_request_batched(request, model))
+    return *batched;
 
   const ScenarioGrid grid = request.grid.build();
   const BatchEvaluator engine(

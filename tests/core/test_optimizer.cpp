@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <utility>
+
 namespace xr::core {
 namespace {
 
@@ -150,6 +154,90 @@ TEST(BalanceEdgeSplit, BalancedSplitMinimizesEq15) {
 TEST(BalanceEdgeSplit, Validation) {
   EXPECT_THROW((void)balance_edge_split({}), std::invalid_argument);
   EXPECT_THROW((void)balance_edge_split({1.0, 0.0}), std::invalid_argument);
+}
+
+// ---- OffloadPlan::from_json structural validation ----------------------
+// An index serves stored plans straight from JSON, so a corrupted document
+// must be rejected at load with the offending field named — never served.
+
+/// A synthetic evaluated candidate with chosen totals (from_json checks
+/// structure, not physics, so defaults + pinned totals suffice).
+EvaluatedDecision fake_entry(double latency_ms, double energy_mj) {
+  EvaluatedDecision e;
+  e.report.latency.total = latency_ms;
+  e.report.energy.total = energy_mj;
+  return e;
+}
+
+/// A structurally valid two-point plan to mutate per test.
+OffloadPlan fake_plan() {
+  OffloadPlan plan;
+  plan.best_latency = fake_entry(10.0, 90.0);
+  plan.best_energy = fake_entry(50.0, 20.0);
+  plan.best_weighted = plan.best_latency;
+  plan.pareto = {fake_entry(10.0, 90.0), fake_entry(50.0, 20.0)};
+  plan.candidates_evaluated = 8;
+  return plan;
+}
+
+void expect_from_json_throws(const OffloadPlan& plan,
+                             const std::string& needle) {
+  try {
+    (void)OffloadPlan::from_json(plan.to_json());
+    FAIL() << "expected std::invalid_argument containing '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(OffloadPlanJson, AcceptsAValidPlanBitwise) {
+  const auto plan = fake_plan();
+  const std::string dump = plan.to_json().dump();
+  EXPECT_EQ(OffloadPlan::from_json(Json::parse(dump)).to_json().dump(), dump);
+}
+
+TEST(OffloadPlanJson, RejectsNonAscendingPareto) {
+  auto plan = fake_plan();
+  std::swap(plan.pareto[0], plan.pareto[1]);  // latency now descending
+  expect_from_json_throws(
+      plan, "pareto[1]: latency must be strictly ascending");
+}
+
+TEST(OffloadPlanJson, RejectsNonDescendingParetoEnergy) {
+  auto plan = fake_plan();
+  plan.pareto[1].report.energy.total = 90.0;  // duplicates entry 0's energy
+  expect_from_json_throws(
+      plan, "pareto[1]: energy must be strictly descending");
+}
+
+TEST(OffloadPlanJson, RejectsOutOfRangeDecisionFields) {
+  auto plan = fake_plan();
+  plan.best_latency.decision.omega_c = 2.0;
+  expect_from_json_throws(plan, "omega_c must be in [0, 1], got 2");
+
+  plan = fake_plan();
+  plan.pareto[0].decision.edge_count = 0;
+  expect_from_json_throws(plan, "edge_count must be >= 1");
+
+  plan = fake_plan();
+  plan.best_energy.decision.codec.bitrate_mbps = 0.0;
+  expect_from_json_throws(plan,
+                          "codec.bitrate_mbps must be finite and > 0");
+}
+
+TEST(OffloadPlanJson, RejectsImpossibleCounts) {
+  auto plan = fake_plan();
+  plan.candidates_evaluated = 0;
+  expect_from_json_throws(plan, "candidates_evaluated must be >= 1");
+
+  plan = fake_plan();
+  plan.candidates_evaluated = 1;  // smaller than the 2-entry frontier
+  expect_from_json_throws(plan, "smaller than the pareto frontier");
+
+  plan = fake_plan();
+  plan.pareto.clear();
+  expect_from_json_throws(plan, "pareto must not be empty");
 }
 
 }  // namespace

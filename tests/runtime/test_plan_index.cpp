@@ -1,0 +1,210 @@
+// OffloadPlanIndex: precompute plans over a scenario grid, then serve by
+// lookup. The contracts under test: the JSON round trip is bitwise (dump ==
+// re-dump), an exact hit is answered WITHOUT consulting the model (proved
+// by the submodel lookup counter staying flat), nearest-cell serving snaps
+// deterministically within the gap ceiling, a genuine miss recomputes the
+// same plan a direct search produces byte for byte, and malformed specs /
+// index documents are rejected with the offending field named.
+#include "runtime/plan_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/framework.h"
+#include "core/optimizer.h"
+#include "core/serialize.h"
+#include "devices/memo.h"
+#include "runtime/offload_search.h"
+
+namespace xr::runtime {
+namespace {
+
+using core::Json;
+
+AxisSpec numeric_axis(const char* knob, std::vector<double> values) {
+  AxisSpec axis;
+  axis.knob = knob;
+  axis.numbers = std::move(values);
+  return axis;
+}
+
+/// 3 frame sizes × 2 link rates, with a deliberately tiny search space so
+/// build() stays fast (4 candidates per cell).
+PlanIndexSpec small_spec() {
+  PlanIndexSpec spec;
+  spec.scenarios.factory = "remote";
+  spec.scenarios.axes = {numeric_axis("frame_size", {300, 500, 700}),
+                         numeric_axis("throughput_mbps", {50, 100})};
+  spec.space.omega_c_grid = {0.0, 1.0};
+  spec.space.local_cnns = {"MobileNetv2_300_Float"};
+  spec.space.edge_cnns = {"YoloV3"};
+  spec.space.edge_counts = {1};
+  spec.space.codec_bitrates_mbps = {2.0};
+  return spec;
+}
+
+void expect_throw_contains(const std::function<void()>& f,
+                           const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected std::invalid_argument containing '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(PlanIndex, BuildCoversTheGridRowMajor) {
+  const auto index = OffloadPlanIndex::build(small_spec());
+  ASSERT_EQ(index.size(), 6u);
+  // Row-major, axis 0 slowest: cell 3 = (frame 500, throughput 100).
+  EXPECT_EQ(index.exact_cell({500, 100}).value(), 3u);
+  EXPECT_EQ(index.exact_cell({300, 50}).value(), 0u);
+  EXPECT_EQ(index.exact_cell({700, 100}).value(), 5u);
+  EXPECT_FALSE(index.exact_cell({400, 50}).has_value());
+  for (std::size_t cell = 0; cell < index.size(); ++cell)
+    EXPECT_GE(index.plan_at(cell).candidates_evaluated, 1u) << cell;
+}
+
+TEST(PlanIndex, JsonRoundTripIsBitwise) {
+  const auto index = OffloadPlanIndex::build(small_spec());
+  const std::string dump = index.to_json().dump();
+  const auto reloaded = OffloadPlanIndex::from_json(Json::parse(dump));
+  EXPECT_EQ(reloaded.to_json().dump(), dump);
+  // The reloaded index serves the same exact tier.
+  EXPECT_EQ(reloaded.exact_cell({500, 100}).value(), 3u);
+}
+
+// The headline serving property: an exact hit never consults the model —
+// no CNN-table or codec-curve lookup fires anywhere under serve().
+TEST(PlanIndex, ExactHitServesWithoutModelLookups) {
+  auto index = OffloadPlanIndex::build(small_spec());
+  const std::uint64_t before = devices::submodel_lookup_count();
+  const auto result = index.serve({500, 100});
+  EXPECT_EQ(devices::submodel_lookup_count(), before);
+  EXPECT_EQ(result.source, PlanSource::kExactHit);
+  EXPECT_EQ(result.cell, 3u);
+  EXPECT_EQ(result.plan.to_json().dump(),
+            index.plan_at(3).to_json().dump());
+  EXPECT_EQ(index.counters().exact_hits, 1u);
+  EXPECT_EQ(index.counters().nearest_hits, 0u);
+  EXPECT_EQ(index.counters().computed, 0u);
+}
+
+TEST(PlanIndex, NearestHitSnapsWithinGapAndBreaksTiesLow) {
+  auto index = OffloadPlanIndex::build(small_spec());
+  // 450 is nearer to 500; gap = 50/500 = 0.1 <= 0.25.
+  {
+    const auto nearest = index.nearest_cell({450, 100});
+    EXPECT_EQ(nearest.cell, 3u);
+    EXPECT_DOUBLE_EQ(nearest.worst_gap, 50.0 / 500.0);
+    const auto result = index.serve({450, 100});
+    EXPECT_EQ(result.source, PlanSource::kNearestHit);
+    EXPECT_EQ(result.cell, 3u);
+  }
+  // 400 is the 300/500 midpoint: the strict < keeps the LOWER value index,
+  // so the snap is deterministic (frame 300, cell 1 with throughput 100).
+  {
+    const auto nearest = index.nearest_cell({400, 100});
+    EXPECT_EQ(nearest.cell, 1u);
+    EXPECT_DOUBLE_EQ(nearest.worst_gap, 100.0 / 400.0);
+  }
+  EXPECT_EQ(index.counters().nearest_hits, 1u);
+}
+
+TEST(PlanIndex, MissRecomputesTheExactSearchPlan) {
+  auto index = OffloadPlanIndex::build(small_spec());
+  // frame 5000 is 6.1x off the farthest grid value — far outside the gap.
+  const auto result = index.serve({5000, 50});
+  EXPECT_EQ(result.source, PlanSource::kComputed);
+  EXPECT_EQ(result.cell, OffloadPlanIndex::kNoCell);
+  EXPECT_EQ(index.counters().computed, 1u);
+
+  // Byte-identical to a direct search over the same materialized scenario.
+  const PlanIndexSpec spec = small_spec();
+  core::ScenarioConfig scenario = spec.scenarios.base_config();
+  axis_from_spec(numeric_axis("frame_size", {5000}))
+      .points.front()
+      .apply(scenario);
+  axis_from_spec(numeric_axis("throughput_mbps", {50}))
+      .points.front()
+      .apply(scenario);
+  const auto direct = core::plan_offload(
+      core::offload_search_request(scenario, spec.space, spec.alpha));
+  EXPECT_EQ(result.plan.to_json().dump(), direct.to_json().dump());
+}
+
+TEST(PlanIndex, ZeroGapServesOnlyExactCoordinates) {
+  auto spec = small_spec();
+  spec.max_relative_gap = 0.0;
+  auto index = OffloadPlanIndex::build(spec);
+  EXPECT_EQ(index.serve({500, 100}).source, PlanSource::kExactHit);
+  EXPECT_EQ(index.serve({499, 100}).source, PlanSource::kComputed);
+}
+
+TEST(PlanIndex, SpecValidationNamesTheOffendingField) {
+  {
+    auto spec = small_spec();
+    spec.scenarios.axes[0].numbers = {300, 500, 300};
+    expect_throw_contains([&] { spec.validate(); },
+                          "axis 'frame_size': duplicate value 300");
+  }
+  {
+    auto spec = small_spec();
+    spec.scenarios.axes[1].numbers = {50, std::nan("")};
+    expect_throw_contains([&] { spec.validate(); },
+                          "axis 'throughput_mbps': values must be finite");
+  }
+  {
+    auto spec = small_spec();
+    AxisSpec placement;
+    placement.knob = "placement";
+    placement.strings = {"local", "remote"};
+    spec.scenarios.axes.push_back(placement);
+    expect_throw_contains([&] { spec.validate(); },
+                          "axis 'placement': index axes must be numeric");
+  }
+  {
+    auto spec = small_spec();
+    spec.alpha = 1.5;
+    expect_throw_contains([&] { spec.validate(); },
+                          "alpha must be in [0, 1]");
+  }
+  {
+    auto spec = small_spec();
+    spec.max_relative_gap = -0.1;
+    expect_throw_contains([&] { spec.validate(); },
+                          "max_relative_gap must be finite and >= 0");
+  }
+}
+
+TEST(PlanIndex, FromJsonRejectsWrongPlanCount) {
+  const auto index = OffloadPlanIndex::build(small_spec());
+  const Json full = index.to_json();
+  Json trimmed = Json::object();
+  trimmed.set("schema", full.at("schema").as_string());
+  trimmed.set("spec", full.at("spec"));
+  Json plans = Json::array();
+  const auto& all = full.at("plans").as_array();
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) plans.push_back(all[i]);
+  trimmed.set("plans", std::move(plans));
+  expect_throw_contains(
+      [&] { (void)OffloadPlanIndex::from_json(trimmed); },
+      "plans has 5 entries but the scenario grid has 6 cells");
+}
+
+TEST(PlanIndex, QueriesMustMatchAxisArity) {
+  const auto index = OffloadPlanIndex::build(small_spec());
+  expect_throw_contains([&] { (void)index.exact_cell({500}); },
+                        "query has 1 values but the index has 2");
+  expect_throw_contains(
+      [&] { (void)index.nearest_cell({500, std::nan("")}); },
+      "axis 'throughput_mbps' must be finite");
+}
+
+}  // namespace
+}  // namespace xr::runtime
