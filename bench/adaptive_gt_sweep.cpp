@@ -127,26 +127,19 @@ int main() {
                  "adaptive_gt_sweep: wall-time reduction %.2fx < 3x\n",
                  speedup);
 
-  char json[512];
-  std::snprintf(
-      json, sizeof json,
-      "{\"bench\":\"adaptive_gt_sweep\",\"grid_candidates\":%zu,"
-      "\"coarse_frames\":%zu,\"fine_frames\":%zu,\"refined\":%zu,"
-      "\"full_wall_ms\":%.3f,\"adaptive_wall_ms\":%.3f,\"wall_ms\":%.3f,"
-      "\"speedup\":%.3f,\"argmin_identical\":%s,"
-      "\"decision_refined\":%zu,\"decisions_identical\":%s,"
-      "\"identical\":%s}",
-      grid_size, adaptive.coarse_frames, cfg.frames_per_point,
-      outcome.refined.size(), full.wall_ms, adaptive_ms, adaptive_ms,
-      speedup, argmin_identical ? "true" : "false",
-      decision_outcome.refined.size(),
-      decisions_identical ? "true" : "false", ok ? "true" : "false");
-  const std::string path =
-      bench::bench_out_dir() + "/BENCH_adaptive_gt_sweep.json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "%s\n", json);
-    std::fclose(f);
-  }
-  std::printf("BENCH_JSON %s\n", json);
+  bench::bench_number("grid_candidates", double(grid_size));
+  bench::bench_number("coarse_frames", double(adaptive.coarse_frames));
+  bench::bench_number("fine_frames", double(cfg.frames_per_point));
+  bench::bench_number("refined", double(outcome.refined.size()));
+  bench::bench_number("full_wall_ms", full.wall_ms);
+  bench::bench_number("adaptive_wall_ms", adaptive_ms);
+  bench::bench_number("wall_ms", adaptive_ms);
+  bench::bench_number("speedup", speedup);
+  bench::bench_number("argmin_identical", argmin_identical ? 1 : 0);
+  bench::bench_number("decision_refined",
+                      double(decision_outcome.refined.size()));
+  bench::bench_number("decisions_identical", decisions_identical ? 1 : 0);
+  bench::bench_number("identical", ok ? 1 : 0);
+  (void)bench::write_bench_snapshot("adaptive_gt_sweep");
   return ok ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <string>
 
+#include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "runtime/batch_evaluator.h"
 #include "runtime/sweep.h"
 #include "testbed/experiments.h"
@@ -59,6 +61,31 @@ inline void print_comparison(const char* figure,
       "(paper: %.2f)\n",
       figure, result.gap_vs_fact(), paper_gap_fact, result.gap_vs_leaf(),
       paper_gap_leaf);
+}
+
+/// Record one bench gate number on the obs registry (a gauge named after
+/// the legacy flat JSON field, so scripts/bench_compare.py columns carry
+/// across the format change). Booleans go in as 0/1.
+inline void bench_number(const std::string& field, double value) {
+  obs::Gauge(field).set(value);
+}
+
+/// Capture the whole process registry — the bench's gate numbers recorded
+/// via bench_number() alongside every runtime/serving counter the run
+/// produced — as BENCH_<name>.json ("xr.obs.snapshot.v1", tagged with the
+/// bench name), and echo it as a one-line "BENCH_JSON " stdout record for
+/// log scrapers. Returns the file path.
+inline std::string write_bench_snapshot(const char* name) {
+  obs::ObsDocument doc = obs::capture(/*include_trace=*/false);
+  doc.label = name;
+  const std::string json = doc.to_json().dump();
+  const std::string path = bench_out_dir() + "/BENCH_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  std::printf("BENCH_JSON %s\n", json.c_str());
+  return path;
 }
 
 /// A deployment-space grid large enough to time the batch runtime: 2550

@@ -22,9 +22,13 @@
 //      margin is far larger; 2× keeps the gate robust to timer noise on
 //      the 1-core CI box — see ROADMAP).
 //
-// Emits BENCH_decision_throughput.json (bench_util.h conventions) with
+// Emits BENCH_decision_throughput.json as an obs snapshot
+// ("xr.obs.snapshot.v1"): the gate numbers are recorded as gauges (with
 // "parallel_candidates_per_sec" aliased to the saturated SoA rate so
-// scripts/bench_compare.py's existing cand/s column tracks it per PR.
+// scripts/bench_compare.py's cand/s column tracks it per PR), and the same
+// document carries the serving-path counters the run produced — the
+// plan-index exact/snap/miss tiers and the kernel's decisions/s — so one
+// artifact answers both "how fast" and "which tier answered".
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -155,6 +159,26 @@ int main() {
     return 1;
   }
 
+  // Full serve() mix across the three tiers, so the snapshot carries a
+  // nonzero count for every serving.plan_index.* counter: grid points
+  // (exact), a nearby off-grid point within the default gap (snap), and a
+  // far-off point (computed — a fresh search).
+  (void)index.serve({300, 50}, model);
+  (void)index.serve({700, 100}, model);
+  (void)index.serve({510, 98}, model);
+  (void)index.serve({3000, 5}, model);
+  const runtime::PlanServeCounters& tiers = index.counters();
+  if (tiers.exact_hits != 2 || tiers.nearest_hits != 1 ||
+      tiers.computed != 1) {
+    std::fprintf(stderr,
+                 "decision_throughput: serve mix hit unexpected tiers "
+                 "(%llu exact, %llu snap, %llu computed; want 2/1/1)\n",
+                 (unsigned long long)tiers.exact_hits,
+                 (unsigned long long)tiers.nearest_hits,
+                 (unsigned long long)tiers.computed);
+    return 1;
+  }
+
   // ---- report + gates ---------------------------------------------------
   const auto per_sec = [](std::size_t count, double wall_ms) {
     return wall_ms > 0 ? double(count) * 1000.0 / wall_ms : 0.0;
@@ -167,31 +191,23 @@ int main() {
   const bool hoisted = lookups_during_run == 0;
   const bool fast_enough = soa_single_ps >= 2.0 * scalar_single_ps;
 
-  char json[768];
-  std::snprintf(
-      json, sizeof json,
-      "{\"bench\":\"decision_throughput\",\"grid_candidates\":%zu,"
-      "\"threads\":%zu,\"table_entries\":%zu,"
-      "\"scalar_single_per_sec\":%.0f,\"soa_single_per_sec\":%.0f,"
-      "\"speedup_single\":%.2f,"
-      "\"scalar_saturated_per_sec\":%.0f,\"soa_saturated_per_sec\":%.0f,"
-      "\"index_lookups_per_sec\":%.0f,"
-      "\"wall_ms\":%.3f,\"parallel_candidates_per_sec\":%.0f,"
-      "\"identical\":%s,\"lookups_hoisted\":%s}",
-      n, saturated_threads, kernel->table_entries(), scalar_single_ps,
-      soa_single_ps, scalar_single_ps > 0 ? soa_single_ps / scalar_single_ps
-                                          : 0.0,
-      scalar_saturated_ps, soa_saturated_ps, index_ps, soa_single_ms,
-      soa_saturated_ps, identical ? "true" : "false",
-      hoisted ? "true" : "false");
-
+  xr::bench::bench_number("grid_candidates", double(n));
+  xr::bench::bench_number("threads", double(saturated_threads));
+  xr::bench::bench_number("table_entries", double(kernel->table_entries()));
+  xr::bench::bench_number("scalar_single_per_sec", scalar_single_ps);
+  xr::bench::bench_number("soa_single_per_sec", soa_single_ps);
+  xr::bench::bench_number(
+      "speedup_single",
+      scalar_single_ps > 0 ? soa_single_ps / scalar_single_ps : 0.0);
+  xr::bench::bench_number("scalar_saturated_per_sec", scalar_saturated_ps);
+  xr::bench::bench_number("soa_saturated_per_sec", soa_saturated_ps);
+  xr::bench::bench_number("index_lookups_per_sec", index_ps);
+  xr::bench::bench_number("wall_ms", soa_single_ms);
+  xr::bench::bench_number("parallel_candidates_per_sec", soa_saturated_ps);
+  xr::bench::bench_number("identical", identical ? 1 : 0);
+  xr::bench::bench_number("lookups_hoisted", hoisted ? 1 : 0);
   const std::string path =
-      xr::bench::bench_out_dir() + "/BENCH_decision_throughput.json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "%s\n", json);
-    std::fclose(f);
-  }
-  std::printf("BENCH_JSON %s\n", json);
+      xr::bench::write_bench_snapshot("decision_throughput");
 
   if (!identical)
     std::fprintf(stderr,

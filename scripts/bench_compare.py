@@ -6,15 +6,55 @@ $XR_BENCH_OUT). Archive that directory per PR, then:
 
     scripts/bench_compare.py OLD_DIR NEW_DIR [--fail-worse-than PCT]
 
-Compares wall-clock and throughput fields bench-by-bench and prints a
-delta table. With --fail-worse-than, exits 1 when any bench's parallel
-wall time regressed by more than PCT percent (the gate a CI perf job
-would enforce).
+Two record formats are understood and flattened to the same shape:
+
+  * the legacy flat object  {"bench": NAME, field: number, ...};
+  * an obs snapshot ("xr.obs.snapshot.v1", written by
+    bench::write_bench_snapshot): the "bench" label names the bench, and
+    the "counters" and "gauges" maps are merged into flat numeric fields —
+    so the gate gauges the bench recorded AND every runtime/serving
+    counter the run produced (serving.plan_index.* tiers,
+    serving.kernel.* decisions/s, pool.* ...) all diff the same way.
+
+Prints a wall-time delta table, then a per-bench delta for EVERY numeric
+field present on both sides. With --fail-worse-than, exits 1 when any
+bench's headline wall time regressed by more than PCT percent (the gate a
+CI perf job would enforce).
 """
 import argparse
 import json
 import sys
 from pathlib import Path
+
+SNAPSHOT_SCHEMA = "xr.obs.snapshot.v1"
+
+
+def flatten(data: dict, fallback_name: str) -> tuple[str, dict]:
+    """Reduce one BENCH record (either format) to (name, {field: float})."""
+    if data.get("schema") == SNAPSHOT_SCHEMA:
+        fields = {}
+        for section in ("counters", "gauges"):
+            for key, value in (data.get(section) or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    fields[key] = float(value)
+        # Histograms contribute their totals; bucket vectors stay out of
+        # the flat view.
+        for key, hist in (data.get("histograms") or {}).items():
+            if isinstance(hist, dict):
+                for stat in ("count", "sum"):
+                    if isinstance(hist.get(stat), (int, float)):
+                        fields[f"{key}.{stat}"] = float(hist[stat])
+        return data.get("bench", fallback_name), fields
+    fields = {}
+    for key, value in data.items():
+        if key == "bench":
+            continue
+        if isinstance(value, bool):
+            fields[key] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            fields[key] = float(value)
+    return data.get("bench", fallback_name), fields
 
 
 def load_benches(directory: Path) -> dict:
@@ -25,7 +65,8 @@ def load_benches(directory: Path) -> dict:
         except (OSError, json.JSONDecodeError) as err:
             print(f"warning: skipping {path}: {err}", file=sys.stderr)
             continue
-        benches[data.get("bench", path.stem)] = data
+        name, fields = flatten(data, path.stem)
+        benches[name] = fields
     return benches
 
 
@@ -87,25 +128,24 @@ def main() -> int:
         if o_ms and n_ms:
             worst = max(worst, 100.0 * (n_ms - o_ms) / o_ms)
 
-    # Serving throughput (decision_throughput and any future bench carrying
-    # decisions/sec fields): the decisions/sec trajectory, per mode.
-    serving = [n for n in names
-               if "soa_single_per_sec" in (old.get(n) or {})
-               or "soa_single_per_sec" in (new.get(n) or {})]
-    if serving:
-        print("\ndecisions/sec (single-thread SoA vs scalar, saturated SoA, "
-              "index hits):")
-        for name in serving:
-            o, n = old.get(name) or {}, new.get(name) or {}
-            for key in ("scalar_single_per_sec", "soa_single_per_sec",
-                        "soa_saturated_per_sec", "index_lookups_per_sec"):
-                o_v, n_v = o.get(key), n.get(key)
-                if o_v is None and n_v is None:
-                    continue
-                print(f"  {name}.{key:<26}  "
-                      f"{o_v if o_v else float('nan'):>12.0f}  "
-                      f"{n_v if n_v else float('nan'):>12.0f}  "
-                      f"{fmt_delta(o_v, n_v):>8}")
+    # Every numeric field both sides share, bench by bench — the gate
+    # gauges and (for snapshot-format records) the serving/runtime
+    # counters alike. Headline fields already in the table are skipped.
+    skip = {"parallel_wall_ms", "sharded_wall_ms", "wall_ms",
+            "parallel_candidates_per_sec"}
+    for name in names:
+        o, n = old.get(name), new.get(name)
+        if o is None or n is None:
+            continue
+        shared = sorted(set(o) & set(n) - skip)
+        if not shared:
+            continue
+        print(f"\n{name} — shared fields:")
+        field_width = max(len(f) for f in shared)
+        for field in shared:
+            o_v, n_v = o[field], n[field]
+            print(f"  {field:<{field_width}}  "
+                  f"{o_v:>14.3f}  {n_v:>14.3f}  {fmt_delta(o_v, n_v):>8}")
 
     print(f"\nworst wall-time regression: {worst:+.1f}%")
     if args.fail_worse_than is not None and worst > args.fail_worse_than:

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Zero-perturbation gate: telemetry must never change a computed value.
+#
+# Builds a second tools-only tree with -DXR_OBS_DISABLED=ON (the registry,
+# spans, and snapshots compile to no-op stubs — no atomics on the off
+# path), runs the same workloads in both builds, and diffs every artifact
+# that carries results:
+#
+#   1. a 2-shard ablation sweep: the .jsonl record streams must be
+#      byte-identical, and the merged summaries bitwise equivalent
+#      (sweep_merge --check; .partial.json files carry wall-clock stats
+#      and are deliberately NOT diffed raw);
+#   2. a plan-index build + serves across all three tiers (exact / snap /
+#      computed): index.json and every serve's stdout must be
+#      byte-identical.
+#
+# Finally the obs-on build's --metrics-out snapshots are grepped for the
+# shard-worker and serving-tier counters, so the gate also fails if the
+# instrumentation itself rots away.
+#
+#   usage: scripts/obs_zero_perturbation.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build (the telemetry-on build). The stub build
+# is cached in BUILD_DIR/obs-off and configured with the same build type,
+# so the two binaries differ only in the XR_OBS_DISABLED macro.
+set -euo pipefail
+
+BUILD_DIR="${1:-$(dirname "$0")/../build}"
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OFF_DIR="$BUILD_DIR/obs-off"
+
+for bin in sweep_worker sweep_merge plan_index; do
+  if [[ ! -x "$BUILD_DIR/$bin" ]]; then
+    echo "obs_zero_perturbation.sh: build $bin first (looked in $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+BUILD_TYPE="$(grep -m1 '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" \
+              | cut -d= -f2)"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+
+echo "== configure + build the XR_OBS_DISABLED stub tree ($BUILD_TYPE) =="
+cmake -S "$SRC_DIR" -B "$OFF_DIR" \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DXR_OBS_DISABLED=ON \
+      -DXR_BUILD_TESTS=OFF -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF \
+      >/dev/null
+cmake --build "$OFF_DIR" --target sweep_worker sweep_merge plan_index -j \
+      "$(nproc)" >/dev/null
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/obs_zero.XXXXXX")"
+trap 'rm -rf "$OUT"' EXIT
+
+run_sweep() {  # $1 = bindir, $2 = outdir
+  local bin="$1" out="$2"
+  mkdir -p "$out"
+  for k in 0 1; do
+    "$bin/sweep_worker" --ablation-grid --shard-id "$k" --shard-count 2 \
+                        --out "$out/s$k" --chunk 4 \
+                        --metrics-out "$out/s$k.metrics.json" >/dev/null
+  done
+  "$bin/sweep_merge" --out "$out/summary.json" \
+                     --metrics-out "$out/merge.metrics.json" \
+                     "$out/s0.partial.json" "$out/s1.partial.json" >/dev/null
+}
+
+run_index() {  # $1 = bindir, $2 = outdir
+  local bin="$1" out="$2"
+  mkdir -p "$out"
+  "$bin/plan_index" --emit-spec \
+                    --axis frame_size=300,500 --axis throughput_mbps=50,100 \
+                    --gap 0.1 > "$out/index.spec.json"
+  "$bin/plan_index" --build "$out/index.spec.json" --out "$out/index.json" \
+                    --metrics-out "$out/build.metrics.json" >/dev/null
+  # One query per serving tier; stdout carries the full served plan.
+  "$bin/plan_index" --serve "$out/index.json" --at 300,50 \
+                    > "$out/serve_exact.txt"
+  "$bin/plan_index" --serve "$out/index.json" --at 510,98 \
+                    > "$out/serve_snap.txt"
+  "$bin/plan_index" --serve "$out/index.json" --at 900,10 \
+                    --metrics-out "$out/serve.metrics.json" \
+                    > "$out/serve_miss.txt"
+}
+
+echo
+echo "== workload A: 2-shard ablation sweep, obs on vs obs off =="
+run_sweep "$BUILD_DIR" "$OUT/on"
+run_sweep "$OFF_DIR" "$OUT/off"
+for f in s0.jsonl s1.jsonl; do
+  cmp "$OUT/on/$f" "$OUT/off/$f" \
+    || { echo "obs_zero_perturbation.sh: $f differs between builds" >&2; exit 1; }
+done
+# Summaries via the merge law's own equivalence (wall stats excluded).
+"$BUILD_DIR/sweep_merge" --check "$OUT/off/summary.json" \
+                         "$OUT/on/s0.partial.json" "$OUT/on/s1.partial.json" \
+                         >/dev/null
+
+echo "== workload B: plan-index build + 3-tier serves, obs on vs obs off =="
+run_index "$BUILD_DIR" "$OUT/on"
+run_index "$OFF_DIR" "$OUT/off"
+for f in index.spec.json index.json serve_exact.txt serve_snap.txt \
+         serve_miss.txt; do
+  cmp "$OUT/on/$f" "$OUT/off/$f" \
+    || { echo "obs_zero_perturbation.sh: $f differs between builds" >&2; exit 1; }
+done
+
+echo "== instrumentation present in the obs-on snapshots =="
+grep -q '"shard.worker.records_streamed":' "$OUT/on/s0.metrics.json"
+grep -q '"shard.worker.checkpoint_writes":' "$OUT/on/s0.metrics.json"
+grep -q '"shard.merge.merges":' "$OUT/on/merge.metrics.json"
+grep -q '"serving.plan_index.exact_hits":1' "$OUT/on/serve.metrics.json" \
+  || grep -q '"serving.plan_index.computed":1' "$OUT/on/serve.metrics.json"
+grep -q '"serving.kernel.decisions":' "$OUT/on/build.metrics.json"
+# And the stub build's snapshots really are empty.
+grep -q '"counters":{}' "$OUT/off/s0.metrics.json"
+
+echo
+echo "obs_zero_perturbation.sh: OK (all outputs bitwise identical, obs on == obs off)"

@@ -14,6 +14,14 @@ cmake -B build-werror -S . -DXR_WERROR=ON -DXR_BUILD_TESTS=OFF \
       -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF
 cmake --build build-werror -j
 
+echo "== warnings-clean stub-telemetry build (-Werror + XR_OBS_DISABLED) =="
+# The telemetry-off configuration must stay warning-free too: every
+# obs handle compiles to an inline no-op stub, and instrumented call
+# sites must not trip -Wunused under it.
+cmake -B build-werror-obsoff -S . -DXR_WERROR=ON -DXR_OBS_DISABLED=ON \
+      -DXR_BUILD_TESTS=OFF -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF
+cmake --build build-werror-obsoff -j
+
 echo "== batch runtime: serial vs parallel determinism =="
 ./build/batch_sweep > /dev/null
 (cd build && ./fig4f_roi > /dev/null && cat bench/out/BENCH_fig4f_roi.json)

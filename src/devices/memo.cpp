@@ -2,11 +2,27 @@
 
 #include <atomic>
 
+#include "obs/registry.h"
+
 namespace xr::devices {
 
 namespace {
 std::atomic<bool> g_memoization_enabled{true};
+
+#ifndef XR_OBS_DISABLED
+// The counter now lives on the obs registry ("devices.submodel_lookups"),
+// so it shows up in every snapshot next to the serving-tier counters; the
+// accessors below stay as thin forwarders, preserving the proof-of-absence
+// contract tests rely on (zero delta == submodels never consulted).
+obs::Counter& lookup_counter() {
+  static obs::Counter c("devices.submodel_lookups");
+  return c;
+}
+#else
+// The stub registry holds no state, but the proof-of-absence contract must
+// survive the obs-off build — keep the original process-wide atomic.
 std::atomic<std::uint64_t> g_lookup_count{0};
+#endif
 }  // namespace
 
 void set_submodel_memoization(bool enabled) noexcept {
@@ -18,11 +34,19 @@ bool submodel_memoization_enabled() noexcept {
 }
 
 std::uint64_t submodel_lookup_count() noexcept {
+#ifndef XR_OBS_DISABLED
+  return lookup_counter().value();
+#else
   return g_lookup_count.load(std::memory_order_relaxed);
+#endif
 }
 
 void count_submodel_lookup() noexcept {
+#ifndef XR_OBS_DISABLED
+  lookup_counter().add();
+#else
   g_lookup_count.fetch_add(1, std::memory_order_relaxed);
+#endif
 }
 
 }  // namespace xr::devices

@@ -1,0 +1,282 @@
+#ifndef XR_OBS_DISABLED
+
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace xr::obs {
+
+namespace detail {
+
+namespace {
+
+enum Kind : int { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+constexpr std::size_t kCellAlign = 64;  // one cache line per thread cell
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case kCounter:
+      return "counter";
+    case kGauge:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+/// One thread's private slice of a counter or histogram family. Owned by
+/// the family (not the thread) so totals survive thread exit; padded to a
+/// cache line so two threads' cells never share one.
+struct alignas(kCellAlign) Cell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  // One slot per bound plus the +Inf overflow slot; empty for counters.
+  std::deque<std::atomic<std::uint64_t>> buckets;
+
+  explicit Cell(std::size_t n_buckets) : buckets(n_buckets) {}
+};
+
+struct Family {
+  std::string name;
+  int kind = kCounter;
+  std::vector<double> bounds;       // histogram only
+  std::atomic<double> gauge{0.0};   // gauge only
+
+  std::mutex cells_mutex;                    // guards `cells` growth
+  std::deque<std::unique_ptr<Cell>> cells;   // one per writer thread
+  // Unique across all families ever created in this process; keys the
+  // thread-local cell cache, so a recycled Family* can never alias a
+  // stale cache entry from a destroyed registry.
+  std::uint64_t id = 0;
+
+  Cell* cell_for_this_thread() {
+    // Per-thread map family-id -> cell. A miss (first touch from this
+    // thread) takes the family mutex once to append a fresh cell; every
+    // later touch is one hash lookup.
+    thread_local std::unordered_map<std::uint64_t, Cell*> t_cells;
+    auto it = t_cells.find(id);
+    if (it != t_cells.end()) return it->second;
+    const std::size_t n_buckets =
+        kind == kHistogram ? bounds.size() + 1 : 0;
+    std::lock_guard<std::mutex> lock(cells_mutex);
+    cells.push_back(std::make_unique<Cell>(n_buckets));
+    Cell* cell = cells.back().get();
+    t_cells.emplace(id, cell);
+    return cell;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t next_family_id() {
+  static std::atomic<std::uint64_t> g_next{1};
+  return g_next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;  // guards `families` growth and snapshot/reset
+  std::deque<std::unique_ptr<detail::Family>> families;
+  std::unordered_map<std::string, detail::Family*> by_name;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  // Leaked on purpose: handles living in function-local statics may fire
+  // during shutdown, after any non-leaked registry would have died.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+detail::Family* Registry::family(std::string name, int kind,
+                                 std::vector<double> bounds) {
+  if (name.empty())
+    throw std::invalid_argument("obs: metric name must be non-empty");
+  if (kind == detail::kHistogram) {
+    if (bounds.empty())
+      throw std::invalid_argument("obs: histogram '" + name +
+                                  "' needs at least one bucket bound");
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (!std::isfinite(bounds[i]) ||
+          (i > 0 && !(bounds[i - 1] < bounds[i])))
+        throw std::invalid_argument(
+            "obs: histogram '" + name +
+            "' bounds must be finite and strictly ascending");
+    }
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->by_name.find(name);
+  if (it != impl_->by_name.end()) {
+    detail::Family* f = it->second;
+    if (f->kind != kind)
+      throw std::invalid_argument(
+          "obs: metric '" + name + "' already registered as a " +
+          std::string(detail::kind_name(f->kind)) + ", cannot reopen as a " +
+          detail::kind_name(kind));
+    if (kind == detail::kHistogram && f->bounds != bounds)
+      throw std::invalid_argument("obs: histogram '" + name +
+                                  "' reopened with different bucket bounds");
+    return f;
+  }
+  auto owned = std::make_unique<detail::Family>();
+  owned->name = std::move(name);
+  owned->kind = kind;
+  owned->bounds = std::move(bounds);
+  owned->id = next_family_id();
+  detail::Family* f = owned.get();
+  impl_->families.push_back(std::move(owned));
+  impl_->by_name.emplace(f->name, f);
+  return f;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& f : impl_->families) {
+    switch (f->kind) {
+      case detail::kCounter: {
+        std::uint64_t total = 0;
+        std::lock_guard<std::mutex> cells(f->cells_mutex);
+        for (const auto& c : f->cells)
+          total += c->count.load(std::memory_order_relaxed);
+        out.counters.emplace_back(f->name, total);
+        break;
+      }
+      case detail::kGauge:
+        out.gauges.emplace_back(f->name,
+                                f->gauge.load(std::memory_order_relaxed));
+        break;
+      default: {
+        HistogramData h;
+        h.bounds = f->bounds;
+        h.counts.assign(f->bounds.size() + 1, 0);
+        std::lock_guard<std::mutex> cells(f->cells_mutex);
+        for (const auto& c : f->cells) {
+          h.count += c->count.load(std::memory_order_relaxed);
+          h.sum += c->sum.load(std::memory_order_relaxed);
+          for (std::size_t i = 0; i < h.counts.size(); ++i)
+            h.counts[i] += c->buckets[i].load(std::memory_order_relaxed);
+        }
+        out.histograms.emplace_back(f->name, std::move(h));
+        break;
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& f : impl_->families) {
+    f->gauge.store(0.0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> cells(f->cells_mutex);
+    for (const auto& c : f->cells) {
+      c->count.store(0, std::memory_order_relaxed);
+      c->sum.store(0.0, std::memory_order_relaxed);
+      for (auto& b : c->buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter::Counter(std::string name, Registry* registry)
+    : family_((registry ? *registry : Registry::global())
+                  .family(std::move(name), detail::kCounter, {})) {}
+
+void Counter::add(std::uint64_t delta) noexcept {
+  family_->cell_for_this_thread()->count.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(family_->cells_mutex);
+  for (const auto& c : family_->cells)
+    total += c->count.load(std::memory_order_relaxed);
+  return total;
+}
+
+Gauge::Gauge(std::string name, Registry* registry)
+    : family_((registry ? *registry : Registry::global())
+                  .family(std::move(name), detail::kGauge, {})) {}
+
+void Gauge::set(double value) noexcept {
+  family_->gauge.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept {
+  atomic_add_double(family_->gauge, delta);
+}
+
+double Gauge::value() const {
+  return family_->gauge.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     Registry* registry)
+    : family_((registry ? *registry : Registry::global())
+                  .family(std::move(name), detail::kHistogram,
+                          std::move(bounds))) {}
+
+void Histogram::observe(double value) noexcept {
+  detail::Cell* cell = family_->cell_for_this_thread();
+  const auto& bounds = family_->bounds;
+  // First bucket whose upper bound admits the value ("le" semantics);
+  // values above every bound land in the trailing +Inf slot.
+  const std::size_t i =
+      static_cast<std::size_t>(std::lower_bound(bounds.begin(), bounds.end(),
+                                                value) -
+                               bounds.begin());
+  cell->buckets[i].fetch_add(1, std::memory_order_relaxed);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(cell->sum, value);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData h;
+  h.bounds = family_->bounds;
+  h.counts.assign(h.bounds.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(family_->cells_mutex);
+  for (const auto& c : family_->cells) {
+    h.count += c->count.load(std::memory_order_relaxed);
+    h.sum += c->sum.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      h.counts[i] += c->buckets[i].load(std::memory_order_relaxed);
+  }
+  return h;
+}
+
+const std::vector<double>& Histogram::latency_bounds_ms() {
+  static const std::vector<double> bounds{0.01, 0.1, 1.0, 10.0,
+                                          100.0, 1000.0, 10000.0};
+  return bounds;
+}
+
+}  // namespace xr::obs
+
+#endif  // XR_OBS_DISABLED

@@ -1,0 +1,195 @@
+// obs::Registry — lock-cheap named counters, gauges, and histograms.
+//
+// The runtime's telemetry substrate. Every hot path in the repo (ThreadPool,
+// BatchEvaluator, the SoA decision kernel, the plan index serving tiers, the
+// shard workers) reports through handles defined here, under one standing
+// contract:
+//
+//   ZERO PERTURBATION. Telemetry never changes a computed value. With
+//   metrics compiled in (the default) every sweep, plan, and record stream
+//   is bitwise identical to a build with XR_OBS_DISABLED — enforced by the
+//   scripts.obs_zero_perturbation ctest gate, which diffs a sharded run and
+//   a plan-index serve across the two builds. The disabled build compiles
+//   every handle to an empty inline stub, so the off path has literally no
+//   atomics, no clocks, and no allocation.
+//
+// Design (enabled build):
+//
+//   * A metric is a *family* (name + kind + histogram bounds), owned by a
+//     Registry. Handles (Counter/Gauge/Histogram) resolve their family once
+//     at construction — make them function-local statics at the call site.
+//   * Counters and histograms write to THREAD-LOCAL SHARDS: each thread
+//     gets its own cache-line-padded cell on first touch, so an add() is a
+//     hash lookup plus one uncontended relaxed atomic increment — no locks,
+//     no shared cache line. snapshot() merges the shards; cells are owned
+//     by the family and survive thread exit, so totals never go backwards.
+//   * Gauges are last-write-wins process-wide atomics (set() is rare).
+//   * Histograms use fixed, ascending bucket upper bounds with Prometheus
+//     "le" semantics (value <= bound) plus an implicit +Inf overflow
+//     bucket, and carry an exact sum/count.
+//   * snapshot() returns a name-sorted, self-contained Snapshot value; the
+//     JSON/text exposition lives in obs/snapshot.h.
+//
+// Registering the same name twice with a different kind (or different
+// histogram bounds) throws — one name, one meaning, process-wide.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xr::obs {
+
+/// False in XR_OBS_DISABLED builds: every handle below is a no-op stub and
+/// snapshots are empty. Callers gating obs-dependent assertions (benches,
+/// tests) branch on this instead of the macro.
+inline constexpr bool kEnabled =
+#ifdef XR_OBS_DISABLED
+    false;
+#else
+    true;
+#endif
+
+/// Merged view of one histogram family: `counts[i]` is the number of
+/// observations with value <= bounds[i] (and > bounds[i-1]); counts.back()
+/// is the +Inf overflow bucket, so counts.size() == bounds.size() + 1.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  double sum = 0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time merged view of a registry, name-sorted per section.
+/// Plain data — serialization lives in obs/snapshot.h.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  [[nodiscard]] const std::uint64_t* counter(std::string_view name) const;
+  [[nodiscard]] const double* gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+};
+
+#ifndef XR_OBS_DISABLED
+
+namespace detail {
+struct Family;
+}  // namespace detail
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every default-constructed handle joins.
+  /// Deliberately leaked (never destroyed) so handles in static storage
+  /// can report during shutdown without destruction-order hazards.
+  static Registry& global();
+
+  /// Merge every thread shard into a name-sorted value snapshot.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every counter, gauge, and histogram (families and cells are
+  /// kept). For tests and per-run scoping; racing writers are merely
+  /// folded into the post-reset totals.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  [[nodiscard]] detail::Family* family(std::string name, int kind,
+                                       std::vector<double> bounds);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Monotonic event count. add() is thread-shard cheap; value() merges.
+class Counter {
+ public:
+  explicit Counter(std::string name, Registry* registry = nullptr);
+  void add(std::uint64_t delta = 1) noexcept;
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  detail::Family* family_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, heartbeat, rates).
+class Gauge {
+ public:
+  explicit Gauge(std::string name, Registry* registry = nullptr);
+  void set(double value) noexcept;
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const;
+
+ private:
+  detail::Family* family_;
+};
+
+/// Fixed-bucket latency/size distribution. Bounds must be finite and
+/// strictly ascending (validated at registration, offender named).
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds,
+            Registry* registry = nullptr);
+  void observe(double value) noexcept;
+  [[nodiscard]] HistogramData data() const;
+
+  /// The shared wall-time bucket ladder (ms): 0.01 … 10000, decades.
+  [[nodiscard]] static const std::vector<double>& latency_bounds_ms();
+
+ private:
+  detail::Family* family_;
+};
+
+#else  // XR_OBS_DISABLED — every handle is an empty inline stub.
+
+class Registry {
+ public:
+  Registry() = default;
+  static Registry& global() {
+    static Registry stub;
+    return stub;
+  }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+class Counter {
+ public:
+  explicit Counter(const std::string&, Registry* = nullptr) {}
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string&, Registry* = nullptr) {}
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  [[nodiscard]] double value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  Histogram(const std::string&, std::vector<double>, Registry* = nullptr) {}
+  void observe(double) noexcept {}
+  [[nodiscard]] HistogramData data() const { return {}; }
+  [[nodiscard]] static const std::vector<double>& latency_bounds_ms() {
+    static const std::vector<double> none;
+    return none;
+  }
+};
+
+#endif  // XR_OBS_DISABLED
+
+}  // namespace xr::obs

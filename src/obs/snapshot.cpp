@@ -1,0 +1,154 @@
+#include "obs/snapshot.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace xr::obs {
+
+namespace {
+
+constexpr const char* kSnapshotSchema = "xr.obs.snapshot.v1";
+
+core::Json histogram_to_json(const HistogramData& h) {
+  core::Json j = core::Json::object();
+  core::Json bounds = core::Json::array();
+  for (double b : h.bounds) bounds.push_back(b);
+  j.set("bounds", std::move(bounds));
+  core::Json counts = core::Json::array();
+  for (std::uint64_t c : h.counts) counts.push_back(std::size_t{c});
+  j.set("counts", std::move(counts));
+  j.set("sum", h.sum);
+  j.set("count", std::size_t{h.count});
+  return j;
+}
+
+HistogramData histogram_from_json(const std::string& name,
+                                  const core::Json& j) {
+  HistogramData h;
+  for (const auto& [key, value] : j.as_object()) {
+    if (key == "bounds") {
+      for (const core::Json& b : value.as_array())
+        h.bounds.push_back(b.as_double());
+    } else if (key == "counts") {
+      for (const core::Json& c : value.as_array())
+        h.counts.push_back(c.as_size());
+    } else if (key == "sum") {
+      h.sum = value.as_double();
+    } else if (key == "count") {
+      h.count = value.as_size();
+    } else {
+      throw std::invalid_argument("ObsDocument: histogram '" + name +
+                                  "' has unknown field '" + key + "'");
+    }
+  }
+  if (h.counts.size() != h.bounds.size() + 1)
+    throw std::invalid_argument(
+        "ObsDocument: histogram '" + name + "' has " +
+        std::to_string(h.counts.size()) + " counts for " +
+        std::to_string(h.bounds.size()) +
+        " bounds (want bounds + 1, the +Inf bucket)");
+  return h;
+}
+
+}  // namespace
+
+core::Json ObsDocument::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("schema", kSnapshotSchema);
+  if (!label.empty()) j.set("bench", label);
+  core::Json counters = core::Json::object();
+  for (const auto& [name, value] : metrics.counters)
+    counters.set(name, std::size_t{value});
+  j.set("counters", std::move(counters));
+  core::Json gauges = core::Json::object();
+  for (const auto& [name, value] : metrics.gauges) gauges.set(name, value);
+  j.set("gauges", std::move(gauges));
+  core::Json histograms = core::Json::object();
+  for (const auto& [name, h] : metrics.histograms)
+    histograms.set(name, histogram_to_json(h));
+  j.set("histograms", std::move(histograms));
+  if (trace) j.set("trace", trace->to_json());
+  return j;
+}
+
+ObsDocument ObsDocument::from_json(const core::Json& j) {
+  ObsDocument out;
+  bool saw_schema = false;
+  for (const auto& [key, value] : j.as_object()) {
+    if (key == "schema") {
+      if (value.as_string() != kSnapshotSchema)
+        throw std::invalid_argument("ObsDocument: unknown schema '" +
+                                    value.as_string() + "'");
+      saw_schema = true;
+    } else if (key == "bench") {
+      out.label = value.as_string();
+    } else if (key == "counters") {
+      for (const auto& [name, v] : value.as_object())
+        out.metrics.counters.emplace_back(name, v.as_size());
+    } else if (key == "gauges") {
+      for (const auto& [name, v] : value.as_object())
+        out.metrics.gauges.emplace_back(name, v.as_double());
+    } else if (key == "histograms") {
+      for (const auto& [name, v] : value.as_object())
+        out.metrics.histograms.emplace_back(name,
+                                            histogram_from_json(name, v));
+    } else if (key == "trace") {
+      out.trace = Trace::from_json(value);
+    } else {
+      throw std::invalid_argument("ObsDocument: unknown field '" + key +
+                                  "'");
+    }
+  }
+  if (!saw_schema)
+    throw std::invalid_argument("ObsDocument: missing 'schema'");
+  return out;
+}
+
+std::string ObsDocument::to_text() const {
+  std::string out;
+  if (!label.empty()) out += "# bench " + label + "\n";
+  for (const auto& [name, value] : metrics.counters)
+    out += name + " " + std::to_string(value) + "\n";
+  for (const auto& [name, value] : metrics.gauges)
+    out += name + " " + core::format_double(value) + "\n";
+  for (const auto& [name, h] : metrics.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? core::format_double(h.bounds[i]) : "+Inf";
+      out += name + "{le=\"" + le + "\"} " + std::to_string(h.counts[i]) +
+             "\n";
+    }
+    out += name + ".sum " + core::format_double(h.sum) + "\n";
+    out += name + ".count " + std::to_string(h.count) + "\n";
+  }
+  if (trace) {
+    out += "# trace spans=" + std::to_string(trace->spans.size()) +
+           " dropped=" + std::to_string(trace->dropped) +
+           " capacity=" + std::to_string(trace->capacity) + "\n";
+  }
+  return out;
+}
+
+ObsDocument capture(bool include_trace) {
+  ObsDocument doc;
+  doc.metrics = Registry::global().snapshot();
+  if (include_trace) doc.trace = capture_trace();
+  return doc;
+}
+
+std::string snapshot_json(bool include_trace) {
+  return capture(include_trace).to_json().dump();
+}
+
+void write_snapshot_file(const std::string& path, bool include_trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("obs: cannot open metrics file '" + path +
+                             "' for writing");
+  out << snapshot_json(include_trace) << "\n";
+  if (!out)
+    throw std::runtime_error("obs: failed writing metrics file '" + path +
+                             "'");
+}
+
+}  // namespace xr::obs

@@ -1,0 +1,52 @@
+// Exposition layer: obs state as a serializable document.
+//
+// ObsDocument bundles a merged registry Snapshot with an optional span
+// Trace under the "xr.obs.snapshot.v1" schema. Everything downstream —
+// the --metrics-out flag on sweep_worker/sweep_merge/plan_index, the
+// bench snapshot files scripts/bench_compare.py diffs, tools/obs_dump —
+// speaks this one document.
+//
+// from_json is the strict inverse of to_json (unknown fields throw, the
+// same named-field rejection style as plan_index), and doubles round-trip
+// bitwise through core::Json, so dump → parse → dump is byte-identical.
+//
+// This header compiles identically in XR_OBS_DISABLED builds: the
+// document type is plain data; a disabled build just captures empty ones.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/jsonio.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace xr::obs {
+
+struct ObsDocument {
+  /// Optional provenance tag ("bench" in JSON); benches set it to their
+  /// bench name so bench_compare.py can pair snapshots across runs.
+  std::string label;
+  Snapshot metrics;
+  std::optional<Trace> trace;
+
+  [[nodiscard]] core::Json to_json() const;
+  [[nodiscard]] static ObsDocument from_json(const core::Json& j);
+
+  /// Human-readable exposition (Prometheus-flavored text, one sample per
+  /// line; histogram buckets as `name{le="…"}` rows plus sum/count).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Capture the global registry (and, when asked, the span ring) now.
+[[nodiscard]] ObsDocument capture(bool include_trace = true);
+
+/// capture(...).to_json().dump() — the one-call JSON exposition.
+[[nodiscard]] std::string snapshot_json(bool include_trace = true);
+
+/// Capture and write a single-line JSON document to `path` (plus a
+/// trailing newline). Throws std::runtime_error when the file cannot be
+/// written. Backs every tool's --metrics-out flag.
+void write_snapshot_file(const std::string& path, bool include_trace = true);
+
+}  // namespace xr::obs

@@ -1,0 +1,34 @@
+// Snapshot field lookups — compiled in both builds (the Snapshot struct is
+// plain data either way; only the registry machinery is stubbed out).
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace xr::obs {
+
+namespace {
+
+template <typename Section>
+auto find_named(const Section& section, std::string_view name)
+    -> decltype(&section.front().second) {
+  const auto it = std::find_if(
+      section.begin(), section.end(),
+      [&](const auto& entry) { return entry.first == name; });
+  return it == section.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+const std::uint64_t* Snapshot::counter(std::string_view name) const {
+  return find_named(counters, name);
+}
+
+const double* Snapshot::gauge(std::string_view name) const {
+  return find_named(gauges, name);
+}
+
+const HistogramData* Snapshot::histogram(std::string_view name) const {
+  return find_named(histograms, name);
+}
+
+}  // namespace xr::obs

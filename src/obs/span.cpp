@@ -1,0 +1,218 @@
+#include "obs/span.h"
+
+#include <stdexcept>
+
+namespace xr::obs {
+
+namespace {
+
+constexpr const char* kTraceSchema = "xr.obs.trace.v1";
+
+core::Json span_to_json(const SpanRecord& s) {
+  core::Json j = core::Json::object();
+  j.set("name", s.name);
+  // Hex for every id: span ids stay small, but the thread id is a full
+  // 64-bit hash and would not survive a double-typed JSON number.
+  j.set("id", core::format_hex64(s.id));
+  j.set("parent_id", core::format_hex64(s.parent_id));
+  j.set("depth", std::size_t{s.depth});
+  j.set("thread_id", core::format_hex64(s.thread_id));
+  j.set("start_us", std::size_t{s.start_us});
+  j.set("end_us", std::size_t{s.end_us});
+  return j;
+}
+
+SpanRecord span_from_json(const core::Json& j) {
+  SpanRecord s;
+  for (const auto& [key, value] : j.as_object()) {
+    if (key == "name")
+      s.name = value.as_string();
+    else if (key == "id")
+      s.id = core::parse_hex64(value.as_string());
+    else if (key == "parent_id")
+      s.parent_id = core::parse_hex64(value.as_string());
+    else if (key == "depth")
+      s.depth = static_cast<std::uint32_t>(value.as_size());
+    else if (key == "thread_id")
+      s.thread_id = core::parse_hex64(value.as_string());
+    else if (key == "start_us")
+      s.start_us = value.as_size();
+    else if (key == "end_us")
+      s.end_us = value.as_size();
+    else
+      throw std::invalid_argument("Trace: unknown span field '" + key + "'");
+  }
+  if (s.id == 0)
+    throw std::invalid_argument("Trace: span is missing a non-zero 'id'");
+  return s;
+}
+
+}  // namespace
+
+core::Json Trace::to_json() const {
+  core::Json j = core::Json::object();
+  j.set("schema", kTraceSchema);
+  j.set("capacity", capacity);
+  j.set("dropped", std::size_t{dropped});
+  core::Json arr = core::Json::array();
+  for (const SpanRecord& s : spans) arr.push_back(span_to_json(s));
+  j.set("spans", std::move(arr));
+  return j;
+}
+
+Trace Trace::from_json(const core::Json& j) {
+  Trace out;
+  bool saw_schema = false;
+  for (const auto& [key, value] : j.as_object()) {
+    if (key == "schema") {
+      if (value.as_string() != kTraceSchema)
+        throw std::invalid_argument("Trace: unknown schema '" +
+                                    value.as_string() + "'");
+      saw_schema = true;
+    } else if (key == "capacity") {
+      out.capacity = value.as_size();
+    } else if (key == "dropped") {
+      out.dropped = value.as_size();
+    } else if (key == "spans") {
+      for (const core::Json& s : value.as_array())
+        out.spans.push_back(span_from_json(s));
+    } else {
+      throw std::invalid_argument("Trace: unknown field '" + key + "'");
+    }
+  }
+  if (!saw_schema)
+    throw std::invalid_argument("Trace: missing 'schema'");
+  return out;
+}
+
+}  // namespace xr::obs
+
+#ifndef XR_OBS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace xr::obs {
+
+namespace {
+
+/// All finished spans land here; leaked like the registry so spans in
+/// static destructors can still retire safely.
+struct SpanRing {
+  std::mutex mutex;
+  std::deque<SpanRecord> spans;
+  std::size_t capacity = 4096;
+  std::uint64_t dropped = 0;
+};
+
+SpanRing& ring() {
+  static SpanRing* g = new SpanRing();
+  return *g;
+}
+
+std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  // Trace epoch = first obs clock read in the process; all span times are
+  // offsets from it, so they fit comfortably in a JSON number.
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
+
+std::uint64_t this_thread_id() {
+  thread_local const std::uint64_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return id;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> g_next{1};
+  return g_next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The innermost live span on this thread; children read it for their
+// parent link, destruction restores it.
+struct ThreadCursor {
+  std::uint64_t id = 0;
+  std::uint32_t depth = 0;
+};
+thread_local ThreadCursor t_cursor;
+
+}  // namespace
+
+Span::Span(const char* name) noexcept
+    : name_(name),
+      id_(next_span_id()),
+      parent_id_(t_cursor.id),
+      depth_(t_cursor.id == 0 ? 0 : t_cursor.depth + 1),
+      start_us_(now_us()) {
+  t_cursor = ThreadCursor{id_, depth_};
+}
+
+Span::~Span() {
+  const std::uint64_t end = now_us();
+  t_cursor = ThreadCursor{parent_id_,
+                          depth_ == 0 ? 0 : depth_ - 1};
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.capacity == 0) {
+    ++r.dropped;
+    return;
+  }
+  while (r.spans.size() >= r.capacity) {
+    r.spans.pop_front();
+    ++r.dropped;
+  }
+  SpanRecord rec;
+  rec.name = name_;
+  rec.id = id_;
+  rec.parent_id = parent_id_;
+  rec.depth = depth_;
+  rec.thread_id = this_thread_id();
+  rec.start_us = start_us_;
+  rec.end_us = end;
+  r.spans.push_back(std::move(rec));
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.capacity = capacity;
+  while (r.spans.size() > r.capacity) {
+    r.spans.pop_front();
+    ++r.dropped;
+  }
+}
+
+std::size_t trace_capacity() {
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.capacity;
+}
+
+Trace capture_trace() {
+  SpanRing& r = ring();
+  Trace out;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.capacity = r.capacity;
+  out.dropped = r.dropped;
+  out.spans.assign(r.spans.begin(), r.spans.end());
+  return out;
+}
+
+void clear_trace() {
+  SpanRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.spans.clear();
+  r.dropped = 0;
+}
+
+}  // namespace xr::obs
+
+#endif  // XR_OBS_DISABLED

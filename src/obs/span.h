@@ -1,0 +1,97 @@
+// obs::Span — lightweight RAII tracing spans with ring-buffer retention.
+//
+// A span measures one named region of one thread: construction stamps a
+// monotonic-clock start, destruction stamps the end and pushes the finished
+// record into a process-wide ring buffer. Nesting is tracked per thread —
+// a span opened while another is live on the same thread records that span
+// as its parent — so capture_trace() yields a forest that reconstructs the
+// call structure (request.run → request.map → pool tasks, …).
+//
+// The ring keeps the most recent `trace_capacity()` finished spans and
+// counts what it dropped; capture_trace() serializes to the
+// "xr.obs.trace.v1" document (obs/snapshot.h embeds it in snapshots).
+//
+// Same zero-perturbation contract as the registry: spans only read the
+// steady clock and write trace state, never anything a computation reads;
+// under XR_OBS_DISABLED a Span is an empty struct with no clock reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/jsonio.h"
+
+namespace xr::obs {
+
+/// One finished span as retained by the ring buffer. Times are
+/// microseconds on the steady clock, relative to the process trace epoch
+/// (first obs use), so they order and subtract correctly but carry no
+/// wall-clock meaning.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;         // unique per process, never 0
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::uint32_t depth = 0;      // 0 = root, parent.depth + 1 otherwise
+  std::uint64_t thread_id = 0;  // hashed std::thread::id (opaque label)
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+};
+
+/// Serializable capture of the span ring ("xr.obs.trace.v1").
+struct Trace {
+  std::size_t capacity = 0;       // ring size at capture time
+  std::uint64_t dropped = 0;      // finished spans evicted before capture
+  std::vector<SpanRecord> spans;  // oldest first
+
+  [[nodiscard]] core::Json to_json() const;
+  /// Strict inverse of to_json: unknown fields and schema mismatches
+  /// throw (same named-field rejection style as plan_index::from_json).
+  [[nodiscard]] static Trace from_json(const core::Json& j);
+};
+
+#ifndef XR_OBS_DISABLED
+
+class Span {
+ public:
+  /// `name` must outlive the span; pass string literals.
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t id_;
+  std::uint64_t parent_id_;
+  std::uint32_t depth_;
+  std::uint64_t start_us_;
+};
+
+/// Ring capacity control (default 4096). Shrinking drops the oldest
+/// retained spans (counted in Trace::dropped); capacity 0 disables
+/// retention entirely.
+void set_trace_capacity(std::size_t capacity);
+[[nodiscard]] std::size_t trace_capacity();
+
+/// Snapshot the ring (oldest first) without clearing it.
+[[nodiscard]] Trace capture_trace();
+
+/// Empty the ring and zero the dropped counter (capacity unchanged).
+void clear_trace();
+
+#else  // XR_OBS_DISABLED — spans cost nothing, the ring holds nothing.
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+};
+
+inline void set_trace_capacity(std::size_t) {}
+[[nodiscard]] inline std::size_t trace_capacity() { return 0; }
+[[nodiscard]] inline Trace capture_trace() { return {}; }
+inline void clear_trace() {}
+
+#endif  // XR_OBS_DISABLED
+
+}  // namespace xr::obs

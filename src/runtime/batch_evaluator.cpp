@@ -5,6 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace xr::runtime {
 
 BatchEvaluator::BatchEvaluator(core::XrPerformanceModel model,
@@ -15,6 +18,13 @@ BatchEvaluator::BatchEvaluator(core::XrPerformanceModel model,
 }
 
 BatchResult BatchEvaluator::run(const ScenarioGrid& grid) const {
+  static obs::Counter runs("runtime.batch.runs");
+  static obs::Counter points("runtime.batch.points");
+  static obs::Histogram run_ms("runtime.batch.run_ms",
+                               obs::Histogram::latency_bounds_ms());
+  static obs::Gauge points_per_sec("runtime.batch.last_points_per_sec");
+  const obs::Span span("batch.run");
+
   BatchResult out;
   const std::size_t n = grid.size();
   const auto t0 = std::chrono::steady_clock::now();
@@ -27,6 +37,10 @@ BatchResult BatchEvaluator::run(const ScenarioGrid& grid) const {
   out.stats.evaluated = n;
   out.stats.candidates_per_sec =
       out.stats.wall_ms > 0 ? 1000.0 * double(n) / out.stats.wall_ms : 0.0;
+  runs.add();
+  points.add(n);
+  run_ms.observe(out.stats.wall_ms);
+  points_per_sec.set(out.stats.candidates_per_sec);
 
   // Reductions run over the index-ordered reports, so they are independent
   // of how the parallel pass scheduled the evaluations.

@@ -9,9 +9,35 @@
 #include "core/latency_model.h"
 #include "core/pipeline.h"
 #include "devices/power.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace xr::runtime {
+
+namespace {
+
+// Serving-kernel telemetry: prepare (table build, model walks) vs run
+// (branch-free sweep) is the split the ≥2× SoA gate cares about. Nothing
+// is recorded inside eval_range — the hot loop stays clock-free.
+struct KernelMetrics {
+  obs::Counter prepares{"serving.kernel.prepares"};
+  obs::Histogram prepare_ms{"serving.kernel.prepare_ms",
+                            obs::Histogram::latency_bounds_ms()};
+  obs::Gauge table_entries{"serving.kernel.table_entries"};
+  obs::Counter runs{"serving.kernel.runs"};
+  obs::Counter decisions{"serving.kernel.decisions"};
+  obs::Histogram run_ms{"serving.kernel.run_ms",
+                        obs::Histogram::latency_bounds_ms()};
+  obs::Gauge decisions_per_sec{"serving.kernel.last_decisions_per_sec"};
+
+  static KernelMetrics& get() {
+    static KernelMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -123,6 +149,8 @@ bool batch_decision_kernel_enabled() noexcept {
 
 std::optional<DecisionBatchKernel> DecisionBatchKernel::prepare(
     const GridSpec& spec, const core::XrPerformanceModel& model) {
+  const obs::Span span("kernel.prepare");
+  const auto prep_start = std::chrono::steady_clock::now();
   for (const AxisSpec& axis : spec.axes) {
     const bool known =
         std::any_of(std::begin(kKnownKnobs), std::end(kKnownKnobs),
@@ -216,6 +244,12 @@ std::optional<DecisionBatchKernel> DecisionBatchKernel::prepare(
       }
     }
   }
+  KernelMetrics& metrics = KernelMetrics::get();
+  metrics.prepares.add();
+  metrics.prepare_ms.observe(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - prep_start)
+                                 .count());
+  metrics.table_entries.set(double(kernel.table_entries()));
   return kernel;
 }
 
@@ -277,6 +311,7 @@ void DecisionBatchKernel::eval_range(std::size_t begin, std::size_t end,
 
 DecisionBatchKernel::Totals DecisionBatchKernel::run(
     const BatchOptions& options) const {
+  const obs::Span span("kernel.run");
   Totals out;
   out.latency_ms.resize(size_);
   out.energy_mj.resize(size_);
@@ -315,6 +350,12 @@ DecisionBatchKernel::Totals DecisionBatchKernel::run(
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+  KernelMetrics& metrics = KernelMetrics::get();
+  metrics.runs.add();
+  metrics.decisions.add(size_);
+  metrics.run_ms.observe(out.wall_ms);
+  metrics.decisions_per_sec.set(
+      out.wall_ms > 0 ? 1000.0 * double(size_) / out.wall_ms : 0.0);
   return out;
 }
 

@@ -4,11 +4,30 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/offload_search.h"
 
 namespace xr::runtime {
 
 namespace {
+
+// Per-tier serve telemetry, process-wide across every index instance (the
+// per-instance PlanServeCounters stay authoritative for tests). The tier
+// split is the serving story: exact = free, snap = free but approximate,
+// computed = a full plan_offload search.
+struct PlanIndexMetrics {
+  obs::Counter exact_hits{"serving.plan_index.exact_hits"};
+  obs::Counter snap_hits{"serving.plan_index.snap_hits"};
+  obs::Counter computed{"serving.plan_index.computed"};
+  obs::Counter builds{"serving.plan_index.builds"};
+  obs::Gauge cells{"serving.plan_index.cells"};
+
+  static PlanIndexMetrics& get() {
+    static PlanIndexMetrics m;
+    return m;
+  }
+};
 
 constexpr const char* kIndexSchema = "xr.offload_plan_index.v1";
 constexpr const char* kSpecSchema = "xr.offload_plan_index.spec.v1";
@@ -88,6 +107,7 @@ OffloadPlanIndex OffloadPlanIndex::build(PlanIndexSpec spec,
                                          const core::XrPerformanceModel& model,
                                          const BatchOptions& options) {
   spec.validate();
+  const obs::Span span("plan_index.build");
   OffloadPlanIndex index;
   index.spec_ = std::move(spec);
   const ScenarioGrid grid = index.spec_.scenarios.build();
@@ -102,6 +122,8 @@ OffloadPlanIndex OffloadPlanIndex::build(PlanIndexSpec spec,
     index.plans_.push_back(core::plan_offload(request, model));
   }
   index.rebuild_lookup();
+  PlanIndexMetrics::get().builds.add();
+  PlanIndexMetrics::get().cells.set(double(index.plans_.size()));
   return index;
 }
 
@@ -168,11 +190,13 @@ OffloadPlanIndex::ServeResult OffloadPlanIndex::serve(
     const std::vector<double>& key, const core::XrPerformanceModel& model) {
   if (const auto cell = exact_cell(key)) {
     ++counters_.exact_hits;
+    PlanIndexMetrics::get().exact_hits.add();
     return ServeResult{plans_[*cell], PlanSource::kExactHit, *cell};
   }
   const NearestCell nearest = nearest_cell(key);
   if (nearest.worst_gap <= spec_.max_relative_gap) {
     ++counters_.nearest_hits;
+    PlanIndexMetrics::get().snap_hits.add();
     return ServeResult{plans_[nearest.cell], PlanSource::kNearestHit,
                        nearest.cell};
   }
@@ -180,6 +204,8 @@ OffloadPlanIndex::ServeResult OffloadPlanIndex::serve(
   // appliers the grid uses (a one-value axis per knob) and run a fresh
   // search — on the SoA kernel when enabled.
   ++counters_.computed;
+  PlanIndexMetrics::get().computed.add();
+  const obs::Span span("plan_index.serve_computed");
   core::ScenarioConfig scenario = spec_.scenarios.base_config();
   for (std::size_t k = 0; k < key.size(); ++k) {
     AxisSpec point;

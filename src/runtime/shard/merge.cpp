@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace xr::runtime::shard {
 
 namespace {
@@ -88,6 +91,11 @@ MergedSummary MergedSummary::from_json(const Json& j) {
 }
 
 MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
+  static obs::Counter merges("shard.merge.merges");
+  static obs::Counter merged_shards("shard.merge.shards");
+  merges.add();
+  merged_shards.add(partials.size());
+  const obs::Span span("merge.partials");
   if (partials.empty())
     throw std::invalid_argument("merge_partials: no partials");
 

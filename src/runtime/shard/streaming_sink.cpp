@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/serialize.h"
+#include "obs/registry.h"
 
 namespace xr::runtime::shard {
 
@@ -408,6 +409,8 @@ void StreamingSink::flush() {
 }
 
 void StreamingSink::write_partial_checkpoint() {
+  static obs::Counter checkpoint_writes("shard.worker.checkpoint_writes");
+  checkpoint_writes.add();
   // Write-then-rename so a kill mid-checkpoint never leaves a torn
   // partial.json (the record stream is the source of truth regardless).
   const std::string path = partial_path();

@@ -9,11 +9,41 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace xr::runtime::shard {
 
 namespace {
+
+// Worker liveness/progress telemetry — the signals the future elastic
+// coordinator needs to reassign a stalled shard's lease: the heartbeat
+// gauge advances once per flushed chunk, and records_done against
+// shard_size is the progress fraction.
+struct WorkerMetrics {
+  obs::Counter runs{"shard.worker.runs"};
+  obs::Counter records_streamed{"shard.worker.records_streamed"};
+  obs::Counter resume_events{"shard.worker.resume_events"};
+  obs::Counter chunks{"shard.worker.chunks"};
+  obs::Gauge heartbeat_unix_ms{"shard.worker.heartbeat_unix_ms"};
+  obs::Gauge records_done{"shard.worker.records_done"};
+  obs::Gauge shard_size{"shard.worker.shard_size"};
+  obs::Gauge shard_id{"shard.worker.shard_id"};
+
+  static WorkerMetrics& get() {
+    static WorkerMetrics m;
+    return m;
+  }
+
+  void beat(std::size_t done) {
+    records_done.set(double(done));
+    heartbeat_unix_ms.set(double(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count()));
+  }
+};
 
 /// Resume guard: records on disk imply a flushed checkpoint, and the
 /// checkpoint carries the full shard identity (partition + sweep
@@ -345,8 +375,16 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
   out.jsonl_path = sink.jsonl_path();
   out.partial_path = sink.partial_path();
 
+  const obs::Span worker_span("worker.run");
+  WorkerMetrics& metrics = WorkerMetrics::get();
+  metrics.runs.add();
+  metrics.shard_id.set(double(spec.shard_id));
+  metrics.shard_size.set(double(shard_n));
+  if (out.resumed_records > 0) metrics.resume_events.add();
+
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t done = sink.records_written();
+  metrics.beat(done);
   // The coarse stream tracks the output stream line for line; a resumed
   // leg starts past the already-delivered prefix.
   if (coarse) coarse->skip(done);
@@ -397,6 +435,9 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
 
     done += m;
     out.evaluated_records += m;
+    metrics.chunks.add();
+    metrics.records_streamed.add(m);
+    metrics.beat(done);
     if (max_new_records && out.evaluated_records >= max_new_records) break;
   }
   const auto t1 = std::chrono::steady_clock::now();

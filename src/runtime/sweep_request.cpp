@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "runtime/adaptive.h"
 #include "runtime/batch_evaluator.h"
 #include "runtime/decision_batch.h"
@@ -150,17 +152,34 @@ SweepRequest SweepRequest::from_json(const core::Json& j) {
 
 shard::MergedSummary run_request(const SweepRequest& request,
                                  const core::XrPerformanceModel& model) {
+  static obs::Counter runs("runtime.request.runs");
+  static obs::Counter adaptive_runs("runtime.request.adaptive_runs");
+  static obs::Counter batched_runs("runtime.request.batched_runs");
+  static obs::Counter scalar_runs("runtime.request.scalar_runs");
+  const obs::Span span("request.run");
+  runs.add();
+
   // Adaptive requests have their own two-pass driver; its result obeys the
   // same merge law (K = 1 case), so callers see one entry point.
-  if (request.adaptive) return run_adaptive(request, model).summary;
+  if (request.adaptive) {
+    adaptive_runs.add();
+    const obs::Span adaptive_span("request.adaptive");
+    return run_adaptive(request, model).summary;
+  }
 
   // Analytical requests take the SoA serving kernel when it is enabled and
   // maps every axis — bitwise-identical to the scalar fold below (the
   // standing gate of tests/runtime/test_decision_batch.cpp), just without
   // re-walking the full model per candidate.
-  if (const auto batched = try_run_request_batched(request, model))
-    return *batched;
+  {
+    const obs::Span batched_span("request.batched_kernel");
+    if (const auto batched = try_run_request_batched(request, model)) {
+      batched_runs.add();
+      return *batched;
+    }
+  }
 
+  scalar_runs.add();
   const ScenarioGrid grid = request.grid.build();
   const BatchEvaluator engine(
       model, BatchOptions{request.execution.threads, request.execution.grain});
@@ -168,11 +187,15 @@ shard::MergedSummary run_request(const SweepRequest& request,
   // Evaluate every point through the exact per-point code path the sharded
   // workers run (evaluate_point, seeded from the global index), then fold
   // the same single-shard reduction a K = 1 worker would stream.
-  const auto points =
-      engine.map(grid.size(), [&](std::size_t i) {
-        return shard::evaluate_point(request.evaluator, model, grid.at(i), i);
-      });
+  std::vector<shard::EvaluatedPoint> points;
+  {
+    const obs::Span map_span("request.map");
+    points = engine.map(grid.size(), [&](std::size_t i) {
+      return shard::evaluate_point(request.evaluator, model, grid.at(i), i);
+    });
+  }
 
+  const obs::Span reduce_span("request.reduce");
   const shard::ShardIdentity id{0, 1, shard::ShardStrategy::kRange,
                                 grid.size(), request.fingerprint()};
   shard::PartialReduction partial(id, request.evaluator.is_ground_truth());

@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace xr::runtime {
+
+namespace {
+
+// Pool telemetry. Counters are thread-shard cheap; the queue-depth gauge
+// is only touched on enqueue/dequeue, which already take the pool mutex.
+obs::Counter& pool_tasks() {
+  static obs::Counter c("runtime.pool.tasks");
+  return c;
+}
+obs::Gauge& pool_queue_depth() {
+  static obs::Gauge g("runtime.pool.queue_depth");
+  return g;
+}
+obs::Histogram& pool_task_ms() {
+  static obs::Histogram h("runtime.pool.task_ms",
+                          obs::Histogram::latency_bounds_ms());
+  return h;
+}
+
+}  // namespace
 
 struct ThreadPool::State {
   std::mutex mtx;
@@ -44,8 +67,13 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  pool_tasks().add();
   if (threads_ == 1) {  // inline execution preserves strict ordering
+    const auto t0 = std::chrono::steady_clock::now();
     job();
+    pool_task_ms().observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
     return;
   }
   {
@@ -53,6 +81,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
     if (state_->stop)
       throw std::runtime_error("ThreadPool: submit after shutdown");
     state_->jobs.push_back(std::move(job));
+    pool_queue_depth().set(double(state_->jobs.size()));
   }
   state_->cv.notify_one();
 }
@@ -75,8 +104,13 @@ void ThreadPool::worker_loop() {
       if (state_->jobs.empty()) return;  // stop requested, queue drained
       job = std::move(state_->jobs.front());
       state_->jobs.pop_front();
+      pool_queue_depth().set(double(state_->jobs.size()));
     }
+    const auto t0 = std::chrono::steady_clock::now();
     job();
+    pool_task_ms().observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
   }
 }
 
@@ -123,10 +157,21 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& f,
                               std::size_t grain) {
   if (n == 0) return;
+  // Grain utilization telemetry: how many chunks a loop splits into
+  // relative to its index count tells whether the auto-grain heuristic is
+  // feeding workers µs-crumbs or starving the steal queue.
+  static obs::Counter calls("runtime.pool.parallel_for.calls");
+  static obs::Counter indices("runtime.pool.parallel_for.indices");
+  static obs::Counter chunks("runtime.pool.parallel_for.chunks");
+  static obs::Gauge last_grain("runtime.pool.last_grain");
+  calls.add();
+  indices.add(n);
   // Serial inline path: 1-thread pools, single-index loops, and calls made
   // from inside a pool job (nested parallelism would deadlock — the caller
   // would wait on helper jobs queued behind its own).
   if (threads_ == 1 || n == 1 || t_inside_pool_worker) {
+    chunks.add();  // the whole range runs as one inline chunk
+    last_grain.set(double(n));
     for (std::size_t i = 0; i < n; ++i) f(i);
     return;
   }
@@ -140,6 +185,8 @@ void ThreadPool::parallel_for(std::size_t n,
   // fig4b baseline recorded). A chunk is a contiguous index range so
   // results stay ordered.
   ctx->chunk = grain ? grain : std::max<std::size_t>(1, n / (threads_ * 8));
+  chunks.add((n + ctx->chunk - 1) / ctx->chunk);
+  last_grain.set(double(ctx->chunk));
 
   const std::size_t helpers = std::min(threads_, n - 1);
   ctx->live_runners.store(helpers + 1);  // + the calling thread

@@ -1,0 +1,179 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace xr::obs {
+namespace {
+
+// Every test that asserts on recorded values skips in XR_OBS_DISABLED
+// builds, where all handles are no-op stubs by design.
+#define XR_REQUIRE_OBS() \
+  if (!kEnabled) GTEST_SKIP() << "telemetry stubbed out (XR_OBS_DISABLED)"
+
+TEST(Registry, ConcurrentAddsOnOneSharedHandleSumExactly) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Counter hits("hits", &reg);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) hits.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.value(), kThreads * kAddsPerThread);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.counter("hits"), nullptr);
+  EXPECT_EQ(*snap.counter("hits"), kThreads * kAddsPerThread);
+}
+
+TEST(Registry, PerThreadHandlesMergeIntoOneFamily) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      Counter own("merged", &reg);  // same name → same family
+      own.add(25);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(*reg.snapshot().counter("merged"), 100u);
+}
+
+TEST(Registry, TotalsSurviveThreadExit) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Counter c("survivor", &reg);
+  std::thread([&] { c.add(7); }).join();
+  std::thread([&] { c.add(5); }).join();
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Registry, GaugeIsLastWriteWinsAndAddAccumulates) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Gauge depth("depth", &reg);
+  depth.set(3.0);
+  depth.set(1.5);
+  EXPECT_EQ(depth.value(), 1.5);
+  depth.add(0.25);
+  EXPECT_EQ(depth.value(), 1.75);
+  EXPECT_EQ(*reg.snapshot().gauge("depth"), 1.75);
+}
+
+TEST(Registry, HistogramBucketEdgesUseLeSemantics) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Histogram h("lat", {1.0, 10.0, 100.0}, &reg);
+  h.observe(0.5);    // <= 1        → bucket 0
+  h.observe(1.0);    // == bound    → bucket 0 (Prometheus "le")
+  h.observe(1.0000001);  //          → bucket 1
+  h.observe(10.0);   // == bound    → bucket 1
+  h.observe(100.0);  // == bound    → bucket 2
+  h.observe(1000.0); // > last      → +Inf overflow
+  const HistogramData data = h.data();
+  ASSERT_EQ(data.bounds.size(), 3u);
+  ASSERT_EQ(data.counts.size(), 4u);  // bounds + implicit +Inf
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 2u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_EQ(data.count, 6u);
+  EXPECT_EQ(data.sum, 0.5 + 1.0 + 1.0000001 + 10.0 + 100.0 + 1000.0);
+}
+
+TEST(Registry, LatencyLadderIsSharedAndAscending) {
+  XR_REQUIRE_OBS();
+  const auto& bounds = Histogram::latency_bounds_ms();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(Registry, NameConflictsAcrossKindsThrow) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Counter c("dup", &reg);
+  EXPECT_THROW(Gauge("dup", &reg), std::invalid_argument);
+  EXPECT_THROW(Histogram("dup", {1.0}, &reg), std::invalid_argument);
+  Histogram h("hist", {1.0, 2.0}, &reg);
+  // Same name, same kind, different bounds: also one-name-one-meaning.
+  EXPECT_THROW(Histogram("hist", {1.0, 3.0}, &reg), std::invalid_argument);
+  // Same bounds re-resolves the existing family without complaint.
+  EXPECT_NO_THROW(Histogram("hist", {1.0, 2.0}, &reg));
+}
+
+TEST(Registry, InvalidHistogramBoundsThrow) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  EXPECT_THROW(Histogram("bad.desc", {2.0, 1.0}, &reg),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram("bad.dup", {1.0, 1.0}, &reg),
+               std::invalid_argument);
+  EXPECT_THROW(Counter("", &reg), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsFamilies) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Counter c("events", &reg);
+  Gauge g("level", &reg);
+  Histogram h("ms", {1.0}, &reg);
+  c.add(9);
+  g.set(4.0);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.data().count, 0u);
+  // Families survive: the names still appear, and the handles still work.
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.counter("events"), nullptr);
+  EXPECT_EQ(*snap.counter("events"), 0u);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndLookupMissesReturnNull) {
+  XR_REQUIRE_OBS();
+  Registry reg;
+  Counter("zz", &reg).add();
+  Counter("aa", &reg).add();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "zz");
+  EXPECT_EQ(snap.counter("absent"), nullptr);
+  EXPECT_EQ(snap.gauge("absent"), nullptr);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(Registry, StubBuildHandlesAreInertButWellFormed) {
+  // The one test that runs in BOTH builds: the public API must compile
+  // and behave (enabled: real values; disabled: all-zero, empty snapshot).
+  Registry reg;
+  Counter c("stub.counter", &reg);
+  c.add(3);
+  Gauge g("stub.gauge", &reg);
+  g.set(1.0);
+  Histogram h("stub.hist", {1.0}, &reg);
+  h.observe(0.5);
+  if (kEnabled) {
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.data().count, 0u);
+    EXPECT_TRUE(reg.snapshot().counters.empty());
+    EXPECT_TRUE(Histogram::latency_bounds_ms().empty());
+  }
+}
+
+}  // namespace
+}  // namespace xr::obs

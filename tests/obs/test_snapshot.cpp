@@ -1,0 +1,108 @@
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace xr::obs {
+namespace {
+
+#define XR_REQUIRE_OBS() \
+  if (!kEnabled) GTEST_SKIP() << "telemetry stubbed out (XR_OBS_DISABLED)"
+
+TEST(ObsSnapshot, CaptureSeesGlobalRegistryMetrics) {
+  XR_REQUIRE_OBS();
+  // Unique names: the global registry is process-wide and other suites in
+  // this binary may have populated it.
+  static Counter c("test.snapshot.counter");
+  static Gauge g("test.snapshot.gauge");
+  static Histogram h("test.snapshot.ms", Histogram::latency_bounds_ms());
+  c.add(3);
+  g.set(2.5);
+  h.observe(0.5);
+  const ObsDocument doc = capture(/*include_trace=*/false);
+  ASSERT_NE(doc.metrics.counter("test.snapshot.counter"), nullptr);
+  EXPECT_GE(*doc.metrics.counter("test.snapshot.counter"), 3u);
+  ASSERT_NE(doc.metrics.gauge("test.snapshot.gauge"), nullptr);
+  EXPECT_EQ(*doc.metrics.gauge("test.snapshot.gauge"), 2.5);
+  const HistogramData* data = doc.metrics.histogram("test.snapshot.ms");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->counts.size(), data->bounds.size() + 1);
+  EXPECT_FALSE(doc.trace.has_value());
+}
+
+TEST(ObsSnapshot, DumpParseDumpIsByteIdentical) {
+  // Holds in both builds (a disabled build round-trips the empty
+  // document); with obs on, the document carries live metrics and a trace.
+  if (kEnabled) {
+    static Counter c("test.roundtrip.counter");
+    c.add(7);
+    static Histogram h("test.roundtrip.ms", Histogram::latency_bounds_ms());
+    h.observe(3.14159);
+    Span s("test.roundtrip.span");
+  }
+  ObsDocument doc = capture(/*include_trace=*/true);
+  doc.label = "roundtrip";
+  const std::string once = doc.to_json().dump();
+  const std::string twice =
+      ObsDocument::from_json(core::Json::parse(once)).to_json().dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ObsSnapshot, SnapshotJsonParsesAndCarriesTheSchema) {
+  const core::Json j = core::Json::parse(snapshot_json());
+  EXPECT_EQ(j.at("schema").as_string(), "xr.obs.snapshot.v1");
+}
+
+TEST(ObsSnapshot, UnknownTopLevelFieldsAreRejected) {
+  core::Json j = capture(false).to_json();
+  j.set("surprise", 1.0);
+  EXPECT_THROW(ObsDocument::from_json(j), std::invalid_argument);
+}
+
+TEST(ObsSnapshot, MissingOrWrongSchemaIsRejected) {
+  EXPECT_THROW(ObsDocument::from_json(core::Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(ObsDocument::from_json(core::Json::parse(
+                   R"({"schema":"xr.obs.snapshot.v2"})")),
+               std::invalid_argument);
+}
+
+TEST(ObsSnapshot, HistogramCountsArityIsValidated) {
+  // counts must be bounds+1 (the +Inf bucket); 2 counts for 2 bounds is a
+  // malformed document, not a shorter histogram.
+  EXPECT_THROW(
+      ObsDocument::from_json(core::Json::parse(
+          R"({"schema":"xr.obs.snapshot.v1","counters":{},"gauges":{},)"
+          R"("histograms":{"h":{"bounds":[1,10],"counts":[1,2],)"
+          R"("sum":0,"count":3}}})")),
+      std::invalid_argument);
+}
+
+TEST(ObsSnapshot, BenchLabelRoundTrips) {
+  ObsDocument doc;
+  doc.label = "my_bench";
+  const ObsDocument back = ObsDocument::from_json(doc.to_json());
+  EXPECT_EQ(back.label, "my_bench");
+}
+
+TEST(ObsSnapshot, TextExpositionListsEverySample) {
+  XR_REQUIRE_OBS();
+  static Counter c("test.text.counter");
+  c.add();
+  static Histogram h("test.text.ms", {1.0, 10.0});
+  h.observe(0.5);
+  const std::string text = capture(false).to_text();
+  EXPECT_NE(text.find("test.text.counter"), std::string::npos);
+  // Histograms render one row per bucket plus sum/count.
+  EXPECT_NE(text.find("test.text.ms{le=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("test.text.ms{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("test.text.ms.count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xr::obs

@@ -1,0 +1,183 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace xr::obs {
+namespace {
+
+#define XR_REQUIRE_OBS() \
+  if (!kEnabled) GTEST_SKIP() << "telemetry stubbed out (XR_OBS_DISABLED)"
+
+/// Restores the process ring to its pre-test shape so span-producing tests
+/// don't leak state into each other (the ring is process-wide).
+struct RingGuard {
+  std::size_t saved = trace_capacity();
+  RingGuard() { clear_trace(); }
+  ~RingGuard() {
+    set_trace_capacity(saved);
+    clear_trace();
+  }
+};
+
+const SpanRecord* find_span(const Trace& trace, const std::string& name) {
+  for (const auto& s : trace.spans)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+TEST(Span, NestingRecordsParentLinkAndDepth) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+  }
+  const Trace trace = capture_trace();
+  const SpanRecord* outer = find_span(trace, "outer");
+  const SpanRecord* inner = find_span(trace, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_NE(outer->id, 0u);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(inner->thread_id, outer->thread_id);
+  // The inner span finishes first, so the ring holds it first
+  // (oldest-first), and its window nests inside the outer's.
+  EXPECT_LE(outer->start_us, inner->start_us);
+  EXPECT_LE(inner->end_us, outer->end_us);
+  EXPECT_LE(inner->start_us, inner->end_us);
+}
+
+TEST(Span, SiblingSpansShareTheParentNotEachOther) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  {
+    Span parent("parent");
+    { Span a("a"); }
+    { Span b("b"); }
+  }
+  const Trace trace = capture_trace();
+  const SpanRecord* parent = find_span(trace, "parent");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(find_span(trace, "a")->parent_id, parent->id);
+  EXPECT_EQ(find_span(trace, "b")->parent_id, parent->id);
+}
+
+TEST(Span, SpansOnAnotherThreadAreRootsThere) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  Span outer("outer");
+  std::thread([] { Span worker("worker"); }).join();
+  const Trace trace = capture_trace();
+  const SpanRecord* worker = find_span(trace, "worker");
+  ASSERT_NE(worker, nullptr);
+  // Thread-local nesting: the other thread has no live span, so its span
+  // is a root even while "outer" is open here.
+  EXPECT_EQ(worker->parent_id, 0u);
+  EXPECT_EQ(worker->depth, 0u);
+}
+
+TEST(Span, RingOverflowEvictsOldestAndCountsDrops) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  set_trace_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Span s(i < 5 ? "old" : "new");
+  }
+  const Trace trace = capture_trace();
+  EXPECT_EQ(trace.capacity, 4u);
+  ASSERT_EQ(trace.spans.size(), 4u);
+  EXPECT_EQ(trace.dropped, 6u);
+  // The survivors are the most recent four: one "old" evicted per push.
+  for (const auto& s : trace.spans) EXPECT_EQ(s.name, "new");
+}
+
+TEST(Span, CaptureDoesNotClearButClearDoes) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  { Span s("once"); }
+  EXPECT_EQ(capture_trace().spans.size(), 1u);
+  EXPECT_EQ(capture_trace().spans.size(), 1u);  // capture is a snapshot
+  clear_trace();
+  const Trace trace = capture_trace();
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_EQ(trace.dropped, 0u);  // clear also zeroes the dropped counter
+}
+
+TEST(Span, ZeroCapacityDisablesRetention) {
+  XR_REQUIRE_OBS();
+  RingGuard guard;
+  set_trace_capacity(0);
+  { Span s("unretained"); }
+  EXPECT_TRUE(capture_trace().spans.empty());
+}
+
+// ---- Trace document (compiled in both builds; plain data) --------------
+
+Trace sample_trace() {
+  Trace t;
+  t.capacity = 8;
+  t.dropped = 3;
+  SpanRecord root;
+  root.name = "root";
+  root.id = 0xdeadbeefcafef00dULL;  // exercises the hex64 encoding
+  root.thread_id = 0xffffffffffffffffULL;
+  root.start_us = 10;
+  root.end_us = 90;
+  SpanRecord child;
+  child.name = "child";
+  child.id = 2;
+  child.parent_id = root.id;
+  child.depth = 1;
+  child.thread_id = root.thread_id;
+  child.start_us = 20;
+  child.end_us = 80;
+  t.spans = {root, child};
+  return t;
+}
+
+TEST(TraceDocument, RoundTripsByteIdentical) {
+  const Trace t = sample_trace();
+  const std::string once = t.to_json().dump();
+  const std::string twice =
+      Trace::from_json(core::Json::parse(once)).to_json().dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TraceDocument, RoundTripPreservesWideIds) {
+  const Trace back = Trace::from_json(sample_trace().to_json());
+  ASSERT_EQ(back.spans.size(), 2u);
+  EXPECT_EQ(back.spans[0].id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(back.spans[0].thread_id, 0xffffffffffffffffULL);
+  EXPECT_EQ(back.spans[1].parent_id, back.spans[0].id);
+  EXPECT_EQ(back.capacity, 8u);
+  EXPECT_EQ(back.dropped, 3u);
+}
+
+TEST(TraceDocument, UnknownFieldsAreRejected) {
+  core::Json j = sample_trace().to_json();
+  j.set("surprise", 1.0);
+  EXPECT_THROW(Trace::from_json(j), std::invalid_argument);
+  EXPECT_THROW(Trace::from_json(core::Json::parse("{}")),
+               std::invalid_argument);
+}
+
+TEST(TraceDocument, SpansMissingAnIdAreRejected) {
+  EXPECT_THROW(
+      Trace::from_json(core::Json::parse(
+          R"({"schema":"xr.obs.trace.v1","capacity":1,"dropped":0,)"
+          R"("spans":[{"name":"x"}]})")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::obs

@@ -28,6 +28,7 @@
 
 #include "core/optimizer.h"
 #include "core/serialize.h"
+#include "obs/snapshot.h"
 #include "runtime/plan_index.h"
 
 namespace {
@@ -38,7 +39,8 @@ void usage() {
       "usage: plan_index --emit-spec [--scenario FILE] [--space FILE]\n"
       "                  [--alpha A] [--gap G] --axis knob=v1,v2,... ...\n"
       "       plan_index --build SPEC.json --out INDEX.json [--threads N]\n"
-      "       plan_index --serve INDEX.json --at v1,v2,...\n");
+      "       plan_index --serve INDEX.json --at v1,v2,...\n"
+      "       (--build/--serve also accept --metrics-out FILE)\n");
 }
 
 double parse_num(const std::string& flag, const std::string& text) {
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
     bool have_query = false;
     double alpha = 0.5, gap = 0.25;
     std::size_t threads = 0;
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto value = [&]() -> std::string {
@@ -113,6 +116,7 @@ int main(int argc, char** argv) {
       else if (arg == "--threads")
         threads = std::size_t(parse_num(arg, value()));
       else if (arg == "--serve") index_path = value();
+      else if (arg == "--metrics-out") metrics_out = value();
       else if (arg == "--at") {
         query = parse_csv(arg, value());
         have_query = true;
@@ -167,6 +171,7 @@ int main(int argc, char** argv) {
       std::printf(
           "plan_index: %zu cells (%zu candidates searched) -> %s\n",
           index.size(), candidates, out_path.c_str());
+      if (!metrics_out.empty()) obs::write_snapshot_file(metrics_out);
       return 0;
     }
 
@@ -180,6 +185,7 @@ int main(int argc, char** argv) {
       std::printf(" (cell %zu)", result.cell);
     std::printf("\n%s",
                 result.plan.to_string(index.spec().alpha).c_str());
+    if (!metrics_out.empty()) obs::write_snapshot_file(metrics_out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "plan_index: %s\n", e.what());

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/optimizer.h"
+#include "obs/snapshot.h"
 #include "runtime/offload_search.h"
 #include "runtime/shard/merge.h"
 #include "runtime/sweep_request.h"
@@ -31,7 +32,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: sweep_merge [--out FILE] [--check FILE] "
-               "[--request FILE [--plan-out FILE]] PARTIAL.json...\n");
+               "[--request FILE [--plan-out FILE]] "
+               "[--metrics-out FILE] PARTIAL.json...\n");
 }
 
 }  // namespace
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   using namespace xr::runtime::shard;
   try {
     std::string out_path, check_path, request_path, plan_out_path;
+    std::string metrics_out;
     std::vector<std::string> partial_paths;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
       else if (arg == "--check") check_path = value();
       else if (arg == "--request") request_path = value();
       else if (arg == "--plan-out") plan_out_path = value();
+      else if (arg == "--metrics-out") metrics_out = value();
       else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "sweep_merge: DIVERGED from %s: %s\n",
                      check_path.c_str(), why.c_str());
+        if (!metrics_out.empty()) xr::obs::write_snapshot_file(metrics_out);
         return 1;
       }
       std::printf("  check vs %s: bitwise identical\n", check_path.c_str());
@@ -140,6 +145,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (!metrics_out.empty()) xr::obs::write_snapshot_file(metrics_out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_merge: %s\n", e.what());

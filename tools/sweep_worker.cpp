@@ -52,6 +52,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/snapshot.h"
 #include "runtime/shard/worker.h"
 #include "testbed/experiments.h"
 
@@ -73,6 +74,7 @@ void usage() {
       "                    [--coarse STEM]\n"
       "                    [--chunk N] [--threads N] [--grain N] [--resume] "
       "[--max-records N]\n"
+      "                    [--metrics-out FILE]\n"
       "       sweep_worker --emit-ablation-grid\n"
       "       sweep_worker --emit-validation-grid local|remote\n");
 }
@@ -107,6 +109,7 @@ int main(int argc, char** argv) {
     bool have_shard_id = false, have_out = false;
     std::size_t max_records = 0;
     std::string refine_path;
+    std::string metrics_out;
     bool refine_all = false;
 
     // Two passes so flag order never matters: the spec/request document
@@ -205,6 +208,8 @@ int main(int argc, char** argv) {
         spec.resume = true;
       } else if (arg == "--max-records") {
         max_records = parse_size(arg, value());
+      } else if (arg == "--metrics-out") {
+        metrics_out = value();
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -260,6 +265,7 @@ int main(int argc, char** argv) {
         outcome.shard_records, outcome.resumed_records,
         outcome.evaluated_records,
         outcome.complete ? "complete" : "stopped early (checkpointed)");
+    if (!metrics_out.empty()) xr::obs::write_snapshot_file(metrics_out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_worker: %s\n", e.what());
