@@ -1,0 +1,148 @@
+// Record-stream throughput: JSONL text vs the binary columnar backend.
+//
+// Streams one million metrics-only records (the million-point-grid shape,
+// where encoding dominates worker I/O) through StreamingSink in both
+// formats, then folds each stream back through partial_from_records — the
+// merge path. The run is a gate, not just a measurement: the two streams
+// must reduce to bitwise-identical summaries (the cross-format merge law),
+// and the binary backend must write at least 2x the JSONL record rate —
+// its reason to exist is skipping shortest-round-trip double formatting —
+// or the bench exits nonzero.
+//
+// XR_BENCH_RECORDS overrides the record count (floor 10^5) for quick local
+// runs; the CI gate runs the default.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "runtime/shard/merge.h"
+#include "runtime/shard/streaming_sink.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Synthetic metrics-only record stream: constant energy and a latency
+/// ribbon whose minimum sits at index 0, so the Pareto frontier stays one
+/// point and the sink's memory is flat across a million appends.
+xr::core::PerformanceReport report_at(std::size_t i) {
+  xr::core::PerformanceReport r;
+  r.latency.total = 1.0 + double(i % 9973) * 1e-4;
+  r.energy.total = 5.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xr;
+  namespace shard = runtime::shard;
+
+  std::size_t records = 1'000'000;
+  if (const char* env = std::getenv("XR_BENCH_RECORDS")) {
+    const long v = std::atol(env);
+    if (v >= 100'000) records = std::size_t(v);
+  }
+  constexpr std::size_t kChunk = 4096;
+
+  const std::string dir = bench::bench_out_dir() + "/record_stream";
+  std::filesystem::create_directories(dir);
+  const shard::ShardIdentity id{0, 1, shard::ShardStrategy::kRange, records,
+                                0xB33Fu};
+
+  struct Leg {
+    shard::RecordFormat format;
+    double write_ms = 0, fold_ms = 0;
+    std::uintmax_t bytes = 0;
+    std::string records_path;
+  };
+  Leg legs[2] = {{shard::RecordFormat::kJsonl},
+                 {shard::RecordFormat::kBinary}};
+
+  for (Leg& leg : legs) {
+    shard::SinkOptions options;
+    options.output_stem =
+        dir + "/stream_" + shard::format_name(leg.format);
+    options.format = leg.format;
+    options.chunk_records = kChunk;
+    options.metrics_only = true;
+
+    const auto t0 = Clock::now();
+    shard::StreamingSink sink(options, id);
+    for (std::size_t i = 0; i < records; ++i) sink.append(i, report_at(i));
+    (void)sink.finalize();
+    leg.write_ms = ms_since(t0);
+    leg.records_path = sink.records_path();
+    leg.bytes = std::filesystem::file_size(leg.records_path);
+  }
+
+  // Fold each stream back into its reduction — sweep_merge's record path.
+  shard::MergedSummary summaries[2];
+  for (int f = 0; f < 2; ++f) {
+    const auto t0 = Clock::now();
+    auto partial = shard::partial_from_records(legs[f].records_path);
+    legs[f].fold_ms = ms_since(t0);
+    summaries[f] = shard::merge_partials({std::move(partial)});
+  }
+
+  std::string why;
+  const bool identical =
+      shard::summaries_equivalent(summaries[0], summaries[1], &why);
+  const double write_speedup =
+      legs[1].write_ms > 0 ? legs[0].write_ms / legs[1].write_ms : 0.0;
+  const double fold_speedup =
+      legs[1].fold_ms > 0 ? legs[0].fold_ms / legs[1].fold_ms : 0.0;
+  const bool fast_enough = write_speedup >= 2.0;
+
+  std::printf("record stream throughput: %zu metrics-only records, "
+              "chunk %zu\n",
+              records, kChunk);
+  for (const Leg& leg : legs)
+    std::printf(
+        "  %-6s write %8.1f ms (%9.0f rec/s, %6.1f MB) "
+        "fold %8.1f ms (%9.0f rec/s)\n",
+        shard::format_name(leg.format), leg.write_ms,
+        double(records) * 1e3 / leg.write_ms, double(leg.bytes) / 1e6,
+        leg.fold_ms, double(records) * 1e3 / leg.fold_ms);
+  std::printf(
+      "  binary vs jsonl: %.2fx write, %.2fx fold (gate: >= 2.00x write)\n"
+      "  summaries identical across formats: %s%s\n",
+      write_speedup, fold_speedup, identical ? "yes (bitwise)" : "NO: ",
+      identical ? "" : why.c_str());
+
+  bench::bench_number("grid_candidates", double(records));
+  bench::bench_number("jsonl_write_ms", legs[0].write_ms);
+  bench::bench_number("binary_write_ms", legs[1].write_ms);
+  bench::bench_number("jsonl_fold_ms", legs[0].fold_ms);
+  bench::bench_number("binary_fold_ms", legs[1].fold_ms);
+  bench::bench_number("jsonl_bytes", double(legs[0].bytes));
+  bench::bench_number("binary_bytes", double(legs[1].bytes));
+  bench::bench_number("binary_write_records_per_sec",
+                      double(records) * 1e3 / legs[1].write_ms);
+  bench::bench_number("write_speedup", write_speedup);
+  bench::bench_number("fold_speedup", fold_speedup);
+  bench::bench_number("wall_ms", legs[0].write_ms + legs[1].write_ms +
+                                     legs[0].fold_ms + legs[1].fold_ms);
+  bench::bench_number("identical", identical ? 1 : 0);
+  bench::bench_number("fast_enough", fast_enough ? 1 : 0);
+  (void)bench::write_bench_snapshot("record_stream_throughput");
+
+  if (!identical)
+    std::fprintf(stderr,
+                 "record_stream_throughput: cross-format summaries "
+                 "diverged (bug!)\n");
+  if (!fast_enough)
+    std::fprintf(stderr,
+                 "record_stream_throughput: binary write speedup %.2fx "
+                 "below the 2x gate\n",
+                 write_speedup);
+  return identical && fast_enough ? 0 : 1;
+}

@@ -6,10 +6,10 @@
 # path), runs the same workloads in both builds, and diffs every artifact
 # that carries results:
 #
-#   1. a 2-shard ablation sweep: the .jsonl record streams must be
-#      byte-identical, and the merged summaries bitwise equivalent
-#      (sweep_merge --check; .partial.json files carry wall-clock stats
-#      and are deliberately NOT diffed raw);
+#   1. a 2-shard ablation sweep in BOTH record formats: the .jsonl and
+#      .xrb record streams must be byte-identical, and the merged
+#      summaries bitwise equivalent (sweep_merge --check; .partial.json
+#      files carry wall-clock stats and are deliberately NOT diffed raw);
 #   2. a plan-index build + serves across all three tiers (exact / snap /
 #      computed): index.json and every serve's stdout must be
 #      byte-identical.
@@ -60,6 +60,9 @@ run_sweep() {  # $1 = bindir, $2 = outdir
     "$bin/sweep_worker" --ablation-grid --shard-id "$k" --shard-count 2 \
                         --out "$out/s$k" --chunk 4 \
                         --metrics-out "$out/s$k.metrics.json" >/dev/null
+    "$bin/sweep_worker" --ablation-grid --shard-id "$k" --shard-count 2 \
+                        --format binary --out "$out/b$k" --chunk 4 \
+                        --metrics-out "$out/b$k.metrics.json" >/dev/null
   done
   "$bin/sweep_merge" --out "$out/summary.json" \
                      --metrics-out "$out/merge.metrics.json" \
@@ -88,10 +91,13 @@ echo
 echo "== workload A: 2-shard ablation sweep, obs on vs obs off =="
 run_sweep "$BUILD_DIR" "$OUT/on"
 run_sweep "$OFF_DIR" "$OUT/off"
-for f in s0.jsonl s1.jsonl; do
+for f in s0.jsonl s1.jsonl b0.xrb b1.xrb; do
   cmp "$OUT/on/$f" "$OUT/off/$f" \
     || { echo "obs_zero_perturbation.sh: $f differs between builds" >&2; exit 1; }
 done
+# The binary shards merge to the same summary the JSONL shards produced.
+"$BUILD_DIR/sweep_merge" --check "$OUT/off/summary.json" \
+                         "$OUT/on/b0.xrb" "$OUT/on/b1.xrb" >/dev/null
 # Summaries via the merge law's own equivalence (wall stats excluded).
 "$BUILD_DIR/sweep_merge" --check "$OUT/off/summary.json" \
                          "$OUT/on/s0.partial.json" "$OUT/on/s1.partial.json" \
@@ -109,6 +115,11 @@ done
 echo "== instrumentation present in the obs-on snapshots =="
 grep -q '"shard.worker.records_streamed":' "$OUT/on/s0.metrics.json"
 grep -q '"shard.worker.checkpoint_writes":' "$OUT/on/s0.metrics.json"
+grep -q '"shard.sink.jsonl.records":' "$OUT/on/s0.metrics.json"
+grep -q '"shard.sink.jsonl.bytes":' "$OUT/on/s0.metrics.json"
+grep -q '"shard.sink.binary.records":' "$OUT/on/b0.metrics.json"
+grep -q '"shard.sink.binary.bytes":' "$OUT/on/b0.metrics.json"
+grep -q '"shard.sink.flush_ms":' "$OUT/on/b0.metrics.json"
 grep -q '"shard.merge.merges":' "$OUT/on/merge.metrics.json"
 grep -q '"serving.plan_index.exact_hits":1' "$OUT/on/serve.metrics.json" \
   || grep -q '"serving.plan_index.computed":1' "$OUT/on/serve.metrics.json"

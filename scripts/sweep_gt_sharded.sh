@@ -4,7 +4,9 @@
 # grid must merge bitwise-equivalent to the single-process summary — for
 # both range and strided partitioning, and through a kill/resume mid-shard.
 # Per-point simulator seeds derive from the global grid index, so shard
-# count, strategy, and resume position must not change a single bit.
+# count, strategy, and resume position must not change a single bit — nor
+# may the record encoding: a binary (--format binary) range leg with
+# kill/resume repeats the same check from .xrb record streams.
 #
 #   usage: scripts/sweep_gt_sharded.sh [BUILD_DIR] [SHARDS]
 #
@@ -88,4 +90,37 @@ for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/strided$k.partial.json"); done
          --check "$OUT/mono.summary.json" "${partials[@]}"
 
 echo
-echo "sweep_gt_sharded.sh: OK (range and strided x$SHARDS == monolithic, bitwise, incl. kill/resume)"
+echo "== binary range: $SHARDS ground-truth workers (--format binary) =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" "${GT[@]}" --shard-id "$k" --shard-count "$SHARDS" \
+            --strategy range --format binary --out "$OUT/bin$k" --chunk 2 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== binary kill/resume: shard 1 stopped after 2 records =="
+cp "$OUT/bin1.xrb" "$OUT/bin1.clean.ref"
+rm -f "$OUT/bin1.xrb" "$OUT/bin1.partial.json"
+"$WORKER" "${GT[@]}" --shard-id 1 --shard-count "$SHARDS" \
+          --strategy range --format binary --out "$OUT/bin1" --chunk 2 \
+          --max-records 2
+"$WORKER" "${GT[@]}" --shard-id 1 --shard-count "$SHARDS" \
+          --strategy range --format binary --out "$OUT/bin1" --chunk 2 \
+          --resume
+cmp "$OUT/bin1.xrb" "$OUT/bin1.clean.ref" \
+  || { echo "sweep_gt_sharded.sh: resumed .xrb differs from clean run" >&2; exit 1; }
+
+echo
+echo "== binary merge from the .xrb streams + mixed-format merge =="
+records=()
+for (( k=0; k<SHARDS; k++ )); do records+=("$OUT/bin$k.xrb"); done
+"$MERGE" --out "$OUT/binary.summary.json" \
+         --check "$OUT/mono.summary.json" "${records[@]}"
+mixed=("$OUT/range0.jsonl" "$OUT/bin1.xrb")
+for (( k=2; k<SHARDS; k++ )); do mixed+=("$OUT/range$k.partial.json"); done
+"$MERGE" --check "$OUT/mono.summary.json" "${mixed[@]}"
+
+echo
+echo "sweep_gt_sharded.sh: OK (range, strided, and binary x$SHARDS == monolithic, bitwise, incl. kill/resume)"

@@ -5,7 +5,9 @@
 # to the monolithic plan_offload call (sweep_plan --request --plan-out) —
 # best-latency, best-energy, best-weighted, and the full Pareto frontier.
 # Also exercises checkpoint/resume: one shard is killed early and resumed
-# before the merge.
+# before the merge. A binary leg ("format": "binary" record streams,
+# merged straight from the .xrb files) must reduce to the same
+# byte-identical plan — the record encoding can never reach the decision.
 #
 #   usage: scripts/sweep_offload_plan.sh [BUILD_DIR] [SHARDS]
 #
@@ -67,9 +69,28 @@ for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/shard$k.partial.json"); done
          "${partials[@]}"
 
 echo
-if cmp "$OUT/mono.plan.json" "$OUT/sharded.plan.json"; then
-  echo "sweep_offload_plan.sh: OK ($SHARDS shards -> OffloadPlan == monolithic, byte-identical)"
-else
+if ! cmp "$OUT/mono.plan.json" "$OUT/sharded.plan.json"; then
   echo "sweep_offload_plan.sh: FAIL (plans diverged)" >&2
   exit 1
 fi
+
+echo
+echo "== binary leg: $SHARDS workers (--format binary), merge from .xrb =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" --request "$OUT/request.json" --shard-id "$k" \
+            --shard-count "$SHARDS" --format binary \
+            --out "$OUT/bin$k" --chunk 8 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+records=()
+for (( k=0; k<SHARDS; k++ )); do records+=("$OUT/bin$k.xrb"); done
+"$MERGE" --request "$OUT/request.json" --plan-out "$OUT/binary.plan.json" \
+         "${records[@]}"
+if ! cmp "$OUT/mono.plan.json" "$OUT/binary.plan.json"; then
+  echo "sweep_offload_plan.sh: FAIL (binary-leg plan diverged)" >&2
+  exit 1
+fi
+
+echo "sweep_offload_plan.sh: OK ($SHARDS shards -> OffloadPlan == monolithic, byte-identical, jsonl + binary)"

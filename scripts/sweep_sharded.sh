@@ -2,7 +2,11 @@
 # Sharded sweep acceptance gate: K sweep_worker processes + sweep_merge over
 # the testbed ablation grid must reproduce the single-process summary
 # bitwise. Also demonstrates checkpoint/resume: one shard is stopped early
-# and resumed before the merge.
+# and resumed before the merge. A second leg repeats the law with
+# --format binary record streams (kill/resume included, resumed .xrb
+# byte-identical to an uninterrupted run), merges straight from the .xrb
+# record files, and finishes with a mixed-format merge — one JSONL stream,
+# one binary stream, one checkpoint — to the same bitwise summary.
 #
 #   usage: scripts/sweep_sharded.sh [BUILD_DIR] [SHARDS]
 #
@@ -57,4 +61,38 @@ for (( k=0; k<SHARDS; k++ )); do partials+=("$OUT/shard$k.partial.json"); done
          --check "$OUT/mono.summary.json" "${partials[@]}"
 
 echo
-echo "sweep_sharded.sh: OK ($SHARDS shards == monolithic, bitwise)"
+echo "== binary: $SHARDS workers (--format binary) =="
+pids=()
+for (( k=0; k<SHARDS; k++ )); do
+  "$WORKER" --ablation-grid --shard-id "$k" --shard-count "$SHARDS" \
+            --format binary --out "$OUT/bin$k" --chunk 4 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+
+echo
+echo "== binary kill/resume: redo shard 1, byte-identical to clean =="
+cp "$OUT/bin1.xrb" "$OUT/bin1.clean.ref"
+rm -f "$OUT/bin1.xrb" "$OUT/bin1.partial.json"
+"$WORKER" --ablation-grid --shard-id 1 --shard-count "$SHARDS" \
+          --format binary --out "$OUT/bin1" --chunk 4 --max-records 3
+"$WORKER" --ablation-grid --shard-id 1 --shard-count "$SHARDS" \
+          --format binary --out "$OUT/bin1" --chunk 4 --resume
+cmp "$OUT/bin1.xrb" "$OUT/bin1.clean.ref" \
+  || { echo "sweep_sharded.sh: resumed .xrb differs from clean run" >&2; exit 1; }
+
+echo
+echo "== binary merge from the .xrb record streams themselves =="
+records=()
+for (( k=0; k<SHARDS; k++ )); do records+=("$OUT/bin$k.xrb"); done
+"$MERGE" --out "$OUT/binary.summary.json" \
+         --check "$OUT/mono.summary.json" "${records[@]}"
+
+echo
+echo "== mixed-format merge: .jsonl stream + .xrb stream + checkpoint =="
+mixed=("$OUT/shard0.jsonl" "$OUT/bin1.xrb")
+for (( k=2; k<SHARDS; k++ )); do mixed+=("$OUT/shard$k.partial.json"); done
+"$MERGE" --check "$OUT/mono.summary.json" "${mixed[@]}"
+
+echo
+echo "sweep_sharded.sh: OK ($SHARDS shards == monolithic, bitwise, jsonl + binary + mixed)"

@@ -168,30 +168,25 @@ RefinementSet RefinementSet::from_json(const core::Json& j) {
   return out;
 }
 
-std::vector<PointEstimate> coarse_estimates_from_jsonl(
+std::vector<PointEstimate> coarse_estimates_from_records(
     const std::vector<std::string>& paths, std::size_t grid_size) {
   std::vector<PointEstimate> out(grid_size);
   std::vector<char> seen(grid_size, 0);
   std::size_t covered = 0;
   for (const auto& path : paths) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-      throw std::runtime_error("coarse_estimates_from_jsonl: cannot open " +
-                               path);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const shard::ParsedRecord r = shard::parse_record_line(line);
+    const auto source = shard::open_record_source(path);
+    shard::ParsedRecord r;
+    while (source->next(r)) {
       if (!r.gt)
         throw std::invalid_argument(
-            "coarse_estimates_from_jsonl: record without a ground-truth "
+            "coarse_estimates_from_records: record without a ground-truth "
             "measurement in " + path);
       if (r.index >= grid_size)
         throw std::invalid_argument(
-            "coarse_estimates_from_jsonl: index out of range in " + path);
+            "coarse_estimates_from_records: index out of range in " + path);
       if (seen[r.index])
         throw std::invalid_argument(
-            "coarse_estimates_from_jsonl: duplicate record for index " +
+            "coarse_estimates_from_records: duplicate record for index " +
             std::to_string(r.index) + " in " + path);
       seen[r.index] = 1;
       out[r.index] = PointEstimate{r.gt->mean_latency_ms,
@@ -201,7 +196,7 @@ std::vector<PointEstimate> coarse_estimates_from_jsonl(
   }
   if (covered != grid_size)
     throw std::invalid_argument(
-        "coarse_estimates_from_jsonl: coarse records cover " +
+        "coarse_estimates_from_records: coarse records cover " +
         std::to_string(covered) + " of " + std::to_string(grid_size) +
         " grid points — the coarse pass must be complete before selection");
   return out;

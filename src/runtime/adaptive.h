@@ -105,10 +105,11 @@ struct RefinementSet {
 };
 
 /// Parse coarse record streams (any disjoint complete cover of the grid,
-/// e.g. the K pass-1 shard .jsonl files) into the per-point estimates the
+/// e.g. the K pass-1 shard record files, .jsonl or .xrb in any mix —
+/// format autodetected per path) into the per-point estimates the
 /// selection rule consumes. Every record must carry a ground-truth
 /// measurement; throws on missing/duplicate indices or coverage gaps.
-[[nodiscard]] std::vector<PointEstimate> coarse_estimates_from_jsonl(
+[[nodiscard]] std::vector<PointEstimate> coarse_estimates_from_records(
     const std::vector<std::string>& paths, std::size_t grid_size);
 
 /// Result of an adaptive run.

@@ -1,0 +1,121 @@
+// The binary columnar record-stream backend ("xrb", RecordFormat::kBinary).
+//
+// Layout (all integers and doubles little-endian, every block 8-byte
+// aligned so a complete stream can be mmap'd and folded in place):
+//
+//   file header (64 bytes)
+//     byte  0  magic   "XRBREC1\n"
+//     byte  8  u64 version            (kBinaryVersion = 1)
+//     byte 16  u64 shape flags        bit0 metrics_only, bit1 ground_truth
+//     byte 24  u64 shard_id
+//     byte 32  u64 shard_count
+//     byte 40  u64 strategy           (0 range, 1 strided)
+//     byte 48  u64 grid_size
+//     byte 56  u64 grid_fingerprint   (the sweep fingerprint)
+//
+//   then zero or more chunks, one per sink flush:
+//
+//   chunk header (32 bytes)
+//     u64 chunk magic  "XRBCHNK1"
+//     u64 record_count m
+//     u64 payload_bytes
+//     u64 checksum                    FNV-1a over the payload bytes
+//
+//   chunk payload — column blocks, in order:
+//     u64    index[m]                 global grid indices, ascending
+//     metrics-only shape:
+//       f64  latency_total[m], f64 energy_total[m]
+//     full shape:
+//       f64  latency columns x13      (field order of LatencyBreakdown)
+//       f64  energy columns  x14      (field order of EnergyBreakdown)
+//       u64  breakdown_flags[m]       bit0/bit1 = cooperation_in_total
+//       u64  total_sensors S
+//       u64  sensor_count[m]          sensors per record, sum = S
+//       u64  name_len[S]; name bytes (concatenated, zero-padded to 8)
+//       f64  aoi_ms[S], f64 processed_hz[S], f64 roi[S]; u64 fresh[S]
+//     ground-truth streams append:
+//       u64  seed[m], u64 frames[m]
+//       f64  mean_latency_ms[m], mean_energy_mj[m],
+//            latency_error_pct[m], energy_error_pct[m]
+//
+// Crash/corruption taxonomy (the resume scan and S1 fuzz contract):
+//   * fewer bytes than a chunk header, or a payload shorter than the
+//     header declares — a torn TAIL from a kill; the scan truncates it.
+//   * wrong chunk magic, checksum mismatch, or a payload/record-count
+//     disagreement on a byte-complete chunk — CORRUPTION; named error.
+//   * wrong file magic/version, or a header identity/fingerprint that
+//     disagrees with the resuming spec — refused with a named error.
+//
+// Resume keeps the byte-identity law on the chunk grid: the scan accepts
+// only chunks of exactly chunk_records records (plus an undersized final
+// chunk when it completes the shard), so a resumed worker re-flushes on
+// the same chunk boundaries an uninterrupted run would and the bytes come
+// out identical. Dropping a valid undersized tail re-evaluates at most
+// chunk_records - 1 records — within the lose-at-most-one-chunk contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/shard/record_stream.h"
+
+namespace xr::runtime::shard {
+
+class PartialReduction;  // streaming_sink.h (which includes this header's
+                         // sibling record_stream.h; no cycle)
+class ShardPlan;
+
+inline constexpr std::uint64_t kBinaryVersion = 1;
+inline constexpr std::size_t kBinaryFileHeaderBytes = 64;
+inline constexpr std::size_t kBinaryChunkHeaderBytes = 32;
+
+/// The self-description a binary stream's file header carries.
+struct BinaryHeaderInfo {
+  ShardIdentity id;
+  bool ground_truth = false;
+  bool metrics_only = false;
+};
+
+/// Read and validate a stream's file header. Throws std::runtime_error
+/// naming the failure on a missing/short file, wrong magic, or an
+/// unsupported version.
+[[nodiscard]] BinaryHeaderInfo read_binary_header(const std::string& path);
+
+/// The longest valid chunk-aligned prefix of an existing stream (resume).
+struct BinaryRecovery {
+  std::size_t records = 0;
+  std::size_t valid_bytes = 0;  ///< header + accepted chunks.
+};
+
+/// Scan an existing stream for resume: validates the header against
+/// `config`/`id` (mismatched identity/fingerprint/version are named
+/// errors; a shape-flag mismatch returns an empty recovery so resume
+/// rewrites, mirroring the JSONL scan), truncates torn tails silently,
+/// throws on mid-file corruption, and applies the chunk-grid acceptance
+/// rule above. `fold` is called once per accepted record in order — the
+/// caller rebuilds its PartialReduction through it. A missing file is an
+/// empty recovery.
+[[nodiscard]] BinaryRecovery scan_binary_prefix(
+    const std::string& path, const RecordStreamConfig& config,
+    const ShardIdentity& id, const ShardPlan& plan,
+    const std::function<void(const ParsedRecord&)>& fold);
+
+/// Fold a COMPLETE binary stream straight into a PartialReduction without
+/// rehydrating rows: the identity comes from the file header and add() is
+/// fed directly from the decoded column arrays (no PerformanceReport or
+/// sensor reconstruction). Throws named errors on any tear or corruption
+/// — merge inputs must be complete. This is sweep_merge's record-operand
+/// fast path.
+[[nodiscard]] PartialReduction fold_binary_partial(const std::string& path);
+
+/// Backend factories used by record_stream.cpp (see open_record_sink /
+/// open_record_source for the contracts).
+[[nodiscard]] std::unique_ptr<RecordSink> open_binary_sink(
+    std::string path, const RecordStreamConfig& config,
+    const ShardIdentity& id, const std::size_t* resume_valid_bytes);
+[[nodiscard]] std::unique_ptr<RecordSource> open_binary_source(
+    std::string path);
+
+}  // namespace xr::runtime::shard

@@ -1,0 +1,167 @@
+// Pluggable record sinks/sources — the format-agnostic seam of the shard
+// I/O stack.
+//
+// A shard worker streams one record per evaluated grid point through a
+// RecordSink and every reader (resume scan, merge fold, the adaptive
+// pass-2 copy, sweep_plan's refinement selection) consumes records back
+// through a RecordSource. The encoding behind the seam is a backend:
+//
+//   * jsonl  — one self-describing JSON line per record (<stem>.jsonl),
+//     doubles in shortest round-trip form; human-greppable, the default.
+//   * binary — the columnar format of binary_stream.h (<stem>.xrb): a
+//     versioned header carrying the ShardIdentity + sweep fingerprint,
+//     then chunk-framed blocks of raw little-endian column arrays.
+//
+// Both backends carry the *same* record model (ParsedRecord below: global
+// index, a PerformanceReport full or slim, an optional GtMeasurement), so
+// every consumer is format-agnostic and the merge law cannot see the
+// encoding: a PartialReduction is a pure function of the decoded totals,
+// hence K binary shards — or any mix of formats across shards — merge
+// bitwise identical to the monolithic JSONL run.
+//
+// Record shapes (identical across backends):
+//
+//   full          {index, LatencyBreakdown, EnergyBreakdown, sensors[]}
+//   metrics-only  {index, latency total, energy total}   (slim)
+//   either + gt   {seed, frames, mean latency/energy, model error %}
+//
+// Crash contract: a sink buffers chunk_records records between flushes and
+// each flush leaves the file a valid prefix, so a killed worker loses at
+// most one chunk; StreamingSink::scan_existing recovers the longest valid
+// prefix per the backend's tear rules (a torn *tail* truncates silently,
+// mid-file corruption is a named error — see streaming_sink.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/framework.h"
+#include "runtime/shard/evaluator.h"
+#include "runtime/shard/jsonio.h"
+#include "runtime/shard/shard_plan.h"
+
+namespace xr::runtime::shard {
+
+// ---- formats -----------------------------------------------------------
+
+enum class RecordFormat { kJsonl, kBinary };
+
+[[nodiscard]] const char* format_name(RecordFormat f) noexcept;
+/// Inverse of format_name ("jsonl" | "binary"); throws
+/// std::invalid_argument on unknown names — the sweep_worker --format
+/// values.
+[[nodiscard]] RecordFormat format_from_name(const std::string& name);
+/// The backend's file extension: ".jsonl" / ".xrb".
+[[nodiscard]] const char* format_extension(RecordFormat f) noexcept;
+/// <stem> + format_extension(f) — the one place the mapping lives.
+[[nodiscard]] std::string record_path(const std::string& stem,
+                                      RecordFormat f);
+/// Autodetect a record stream's format from its path extension; nullopt
+/// when the path carries neither record extension.
+[[nodiscard]] std::optional<RecordFormat> format_from_path(
+    std::string_view path);
+
+// ---- identity ----------------------------------------------------------
+
+/// Which shard of which partition a document belongs to; every record
+/// stream and reduction carries this so merges can validate coverage.
+struct ShardIdentity {
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 1;
+  ShardStrategy strategy = ShardStrategy::kRange;
+  std::size_t grid_size = 0;
+  /// Fingerprint of the grid the records came from (grid_fingerprint() of
+  /// the GridSpec for worker-produced documents; 0 when unused). Resume
+  /// refuses a checkpoint whose fingerprint differs — index sequences
+  /// alone cannot tell two same-shape grids apart — and merge refuses to
+  /// fold partials from different grids.
+  std::uint64_t grid_fingerprint = 0;
+};
+
+// ---- the record model --------------------------------------------------
+
+struct ParsedRecord {
+  std::size_t index = 0;
+  core::PerformanceReport report;   ///< slim records fill only the totals.
+  std::optional<GtMeasurement> gt;  ///< present for ground-truth records.
+  bool slim = false;                ///< record was in metrics-only form.
+};
+
+/// Serialize one report as a single JSONL line (no trailing newline).
+/// `gt` (when non-null) appends the ground-truth measurement block.
+/// `metrics_only` emits the slim totals-only shape (see header comment).
+[[nodiscard]] std::string record_line(std::size_t global_index,
+                                      const core::PerformanceReport& report,
+                                      const GtMeasurement* gt = nullptr,
+                                      bool metrics_only = false);
+
+/// Parse one JSONL record line (full or slim shape); throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] ParsedRecord parse_record_line(std::string_view line);
+
+// ---- sink / source interfaces ------------------------------------------
+
+/// Shared knobs of a record stream, format included. chunk_records bounds
+/// buffering for both backends and is the binary backend's chunk framing
+/// (one frame per flush); the shape flags are stamped into the binary
+/// header and validated by every reader.
+struct RecordStreamConfig {
+  RecordFormat format = RecordFormat::kJsonl;
+  std::size_t chunk_records = 64;
+  bool ground_truth = false;
+  bool metrics_only = false;
+};
+
+/// Append-side backend: encodes records and owns the stream file. Appends
+/// buffer; flush() writes one chunk and must leave the file a valid
+/// prefix. Implementations throw std::runtime_error on I/O failure.
+class RecordSink {
+ public:
+  virtual ~RecordSink();
+  /// Buffer one record (`gt` non-null for ground-truth records).
+  virtual void append(std::size_t global_index,
+                      const core::PerformanceReport& report,
+                      const GtMeasurement* gt) = 0;
+  /// Write buffered records to disk as one chunk (no-op when empty) and
+  /// fflush. Returns the bytes written by this call.
+  virtual std::size_t flush() = 0;
+  [[nodiscard]] virtual const std::string& path() const noexcept = 0;
+  [[nodiscard]] virtual RecordFormat format() const noexcept = 0;
+};
+
+/// Read-side backend: decodes records sequentially. next() is strict —
+/// a torn or corrupt stream throws a named std::runtime_error (readers of
+/// complete streams must never silently shorten them); the tolerant
+/// longest-valid-prefix scan for resume lives in
+/// StreamingSink::scan_existing instead.
+class RecordSource {
+ public:
+  virtual ~RecordSource();
+  /// Decode the next record into `out`. Returns false at a clean end of
+  /// stream.
+  virtual bool next(ParsedRecord& out) = 0;
+  [[nodiscard]] virtual const std::string& path() const noexcept = 0;
+  [[nodiscard]] virtual RecordFormat format() const noexcept = 0;
+};
+
+/// Open a sink on record_path(stem, config.format). With
+/// `resume_valid_bytes` non-null the existing file is truncated to that
+/// prefix and appended to (the scan_existing recovery); otherwise the
+/// stream is created fresh (binary: header written) and a stale sibling
+/// stream of the *other* format at the same stem is removed, so a stem
+/// never carries two conflicting encodings.
+[[nodiscard]] std::unique_ptr<RecordSink> open_record_sink(
+    const std::string& stem, const RecordStreamConfig& config,
+    const ShardIdentity& id, const std::size_t* resume_valid_bytes = nullptr);
+
+/// Open a strict source over a complete record stream; the format comes
+/// from the path's extension (throws std::invalid_argument when the path
+/// carries neither record extension, std::runtime_error when the file
+/// cannot be opened or its binary header is invalid).
+[[nodiscard]] std::unique_ptr<RecordSource> open_record_source(
+    const std::string& path);
+
+}  // namespace xr::runtime::shard

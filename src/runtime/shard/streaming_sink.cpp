@@ -1,13 +1,12 @@
 #include "runtime/shard/streaming_sink.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
-#include "core/serialize.h"
 #include "obs/registry.h"
+#include "runtime/shard/binary_stream.h"
 
 namespace xr::runtime::shard {
 
@@ -244,71 +243,34 @@ PartialReduction PartialReduction::from_json(const Json& j) {
   return out;
 }
 
-// ---- record codec ------------------------------------------------------
-
-std::string record_line(std::size_t global_index,
-                        const core::PerformanceReport& report,
-                        const GtMeasurement* gt, bool metrics_only) {
-  Json j = Json::object();
-  j.set("i", global_index);
-  if (metrics_only) {
-    // Slim shape: exactly the totals the reduction consumes.
-    j.set("latency_ms", report.latency.total);
-    j.set("energy_mj", report.energy.total);
-  } else {
-    j.set("latency", core::to_json(report.latency));
-    j.set("energy", core::to_json(report.energy));
-    j.set("sensors", core::to_json(report.sensors));
-  }
-  if (gt) {
-    Json g = Json::object();
-    g.set("seed", format_hex64(gt->seed));
-    g.set("frames", gt->frames);
-    g.set("mean_latency_ms", gt->mean_latency_ms);
-    g.set("mean_energy_mj", gt->mean_energy_mj);
-    g.set("latency_error_pct", gt->latency_error_pct);
-    g.set("energy_error_pct", gt->energy_error_pct);
-    j.set("gt", std::move(g));
-  }
-  return j.dump();
-}
-
-ParsedRecord parse_record_line(std::string_view line) {
-  const Json j = Json::parse(line);
-  ParsedRecord out;
-  out.index = j.at("i").as_size();
-  if (j.find("latency")) {
-    // Full shape: rebuild the report through the core breakdown codecs.
-    out.report.latency = core::latency_breakdown_from_json(j.at("latency"));
-    out.report.energy = core::energy_breakdown_from_json(j.at("energy"));
-    out.report.sensors = core::sensors_from_json(j.at("sensors"));
-  } else {
-    // Slim (metrics-only) shape: only the totals exist.
-    out.slim = true;
-    out.report.latency.total = j.at("latency_ms").as_double();
-    out.report.energy.total = j.at("energy_mj").as_double();
-  }
-  if (const Json* g = j.find("gt")) {
-    GtMeasurement m;
-    m.seed = parse_hex64(g->at("seed").as_string());
-    m.frames = g->at("frames").as_size();
-    m.mean_latency_ms = g->at("mean_latency_ms").as_double();
-    m.mean_energy_mj = g->at("mean_energy_mj").as_double();
-    m.latency_error_pct = g->at("latency_error_pct").as_double();
-    m.energy_error_pct = g->at("energy_error_pct").as_double();
-    out.gt = m;
-  }
-  return out;
-}
-
 // ---- the sink ----------------------------------------------------------
 
-StreamingSink::Recovery StreamingSink::scan_existing(
-    const SinkOptions& options, const ShardIdentity& id,
-    const ShardPlan& plan) {
-  Recovery rec;
+namespace {
+
+/// S3: an existing stream in the other format at the same stem means the
+/// operator is resuming with the wrong --format — refuse by name rather
+/// than leaving the stem carrying two conflicting encodings.
+void refuse_cross_format(const SinkOptions& options) {
+  const RecordFormat other = options.format == RecordFormat::kJsonl
+                                 ? RecordFormat::kBinary
+                                 : RecordFormat::kJsonl;
+  const std::string sibling = record_path(options.output_stem, other);
+  std::error_code ec;
+  if (std::filesystem::exists(sibling, ec))
+    throw std::runtime_error(
+        "StreamingSink: cross-format resume refused: found " + sibling +
+        " but the spec requests " + format_name(options.format) +
+        " records");
+}
+
+StreamingSink::Recovery scan_existing_jsonl(const SinkOptions& options,
+                                            const ShardIdentity& id,
+                                            const ShardPlan& plan) {
+  StreamingSink::Recovery rec;
   rec.partial = PartialReduction(id, options.ground_truth);
-  std::ifstream in(options.output_stem + ".jsonl", std::ios::binary);
+  const std::string path =
+      record_path(options.output_stem, RecordFormat::kJsonl);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return rec;
 
   const std::size_t shard_n = plan.shard_size(id.shard_id);
@@ -318,8 +280,20 @@ StreamingSink::Recovery StreamingSink::scan_existing(
     // getline sets eofbit only when the stream ended without a final
     // newline — exactly a torn trailing line from a killed worker.
     if (in.eof()) break;
+    ParsedRecord r;
     try {
-      const ParsedRecord r = parse_record_line(line);
+      r = parse_record_line(line);
+    } catch (const std::exception&) {
+      // A newline-terminated line that does not parse cannot be a tear (a
+      // kill cuts the final fwrite mid-line, never behind a newline) — the
+      // file is corrupt mid-stream, and silently truncating here would
+      // discard the valid suffix behind it.
+      throw std::runtime_error(
+          "StreamingSink: corrupt record mid-stream in " + path +
+          " (line " + std::to_string(rec.records + 1) +
+          "); refusing to truncate");
+    }
+    try {
       if (r.index != plan.global_index(id.shard_id, rec.records)) break;
       // A stream whose record shape disagrees with the sink's metrics mode
       // belongs to a different run configuration; cut the scan so resume
@@ -327,7 +301,7 @@ StreamingSink::Recovery StreamingSink::scan_existing(
       if (r.slim != options.metrics_only) break;
       // In GT mode the reduction runs over the measurements; add() also
       // rejects records whose kind disagrees with the sink's mode, which
-      // cuts the scan exactly like a corrupt line would.
+      // cuts the scan exactly like a shape mismatch would.
       if (r.gt)
         rec.partial.add(r.index, r.gt->mean_latency_ms, r.gt->mean_energy_mj,
                         &*r.gt);
@@ -335,7 +309,7 @@ StreamingSink::Recovery StreamingSink::scan_existing(
         rec.partial.add(r.index, r.report.latency.total,
                         r.report.energy.total);
     } catch (const std::exception&) {
-      break;  // corrupt line: resume re-evaluates from here
+      break;  // kind mismatch: resume re-evaluates from here
     }
     ++rec.records;
     offset += line.size() + 1;
@@ -344,29 +318,61 @@ StreamingSink::Recovery StreamingSink::scan_existing(
   return rec;
 }
 
+StreamingSink::Recovery scan_existing_binary(const SinkOptions& options,
+                                             const ShardIdentity& id,
+                                             const ShardPlan& plan) {
+  StreamingSink::Recovery rec;
+  rec.partial = PartialReduction(id, options.ground_truth);
+  RecordStreamConfig config;
+  config.format = RecordFormat::kBinary;
+  config.chunk_records = options.chunk_records;
+  config.ground_truth = options.ground_truth;
+  config.metrics_only = options.metrics_only;
+  const BinaryRecovery bin = scan_binary_prefix(
+      record_path(options.output_stem, RecordFormat::kBinary), config, id,
+      plan, [&rec](const ParsedRecord& r) {
+        if (r.gt)
+          rec.partial.add(r.index, r.gt->mean_latency_ms,
+                          r.gt->mean_energy_mj, &*r.gt);
+        else
+          rec.partial.add(r.index, r.report.latency.total,
+                          r.report.energy.total);
+      });
+  rec.records = bin.records;
+  rec.valid_bytes = bin.valid_bytes;
+  return rec;
+}
+
+}  // namespace
+
+StreamingSink::Recovery StreamingSink::scan_existing(
+    const SinkOptions& options, const ShardIdentity& id,
+    const ShardPlan& plan) {
+  refuse_cross_format(options);
+  SinkOptions normalized = options;
+  if (normalized.chunk_records == 0) normalized.chunk_records = 1;
+  return options.format == RecordFormat::kBinary
+             ? scan_existing_binary(normalized, id, plan)
+             : scan_existing_jsonl(normalized, id, plan);
+}
+
 StreamingSink::StreamingSink(SinkOptions options, ShardIdentity id,
                              const Recovery* recovered)
     : options_(std::move(options)), partial_(id, options_.ground_truth) {
   if (options_.chunk_records == 0) options_.chunk_records = 1;
-  const std::string path = jsonl_path();
+  RecordStreamConfig config;
+  config.format = options_.format;
+  config.chunk_records = options_.chunk_records;
+  config.ground_truth = options_.ground_truth;
+  config.metrics_only = options_.metrics_only;
   if (recovered) {
-    // Drop any torn tail, keep the valid prefix, continue appending.
-    std::error_code ec;
-    if (std::filesystem::exists(path, ec))
-      std::filesystem::resize_file(path, recovered->valid_bytes);
     partial_ = recovered->partial;
     records_written_ = recovered->records;
-    file_ = std::fopen(path.c_str(), "ab");
+    sink_ = open_record_sink(options_.output_stem, config, id,
+                             &recovered->valid_bytes);
   } else {
-    file_ = std::fopen(path.c_str(), "wb");
+    sink_ = open_record_sink(options_.output_stem, config, id);
   }
-  if (!file_)
-    throw std::runtime_error("StreamingSink: cannot open " + path);
-  buffer_.reserve(options_.chunk_records * 256);
-}
-
-StreamingSink::~StreamingSink() {
-  if (file_) std::fclose(file_);
 }
 
 void StreamingSink::append(std::size_t global_index,
@@ -376,7 +382,7 @@ void StreamingSink::append(std::size_t global_index,
 
 void StreamingSink::append(std::size_t global_index,
                            const EvaluatedPoint& point) {
-  // Validate through the reduction *before* touching the line buffer, so a
+  // Validate through the reduction *before* touching the sink buffer, so a
   // rejected (out-of-order or kind-mismatched) record never reaches the
   // stream and the two outputs cannot drift apart.
   const GtMeasurement* gt = point.gt ? &*point.gt : nullptr;
@@ -385,27 +391,38 @@ void StreamingSink::append(std::size_t global_index,
   else
     partial_.add(global_index, point.report.latency.total,
                  point.report.energy.total);
-  buffer_ += record_line(global_index, point.report, gt,
-                         options_.metrics_only);
-  buffer_ += '\n';
+  sink_->append(global_index, point.report, gt);
   ++buffered_records_;
   ++records_written_;
   if (buffered_records_ >= options_.chunk_records) flush();
 }
 
 void StreamingSink::flush() {
-  if (!buffer_.empty()) {
-    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-        buffer_.size())
-      throw std::runtime_error("StreamingSink: short write to " +
-                               jsonl_path());
-    buffer_.clear();
-  }
-  if (std::fflush(file_) != 0)
-    throw std::runtime_error("StreamingSink: flush failed for " +
-                             jsonl_path());
+  // Backend-labeled sink telemetry (satellite S2): records/bytes per
+  // encoding plus flush latency; all compile to no-ops under
+  // XR_OBS_DISABLED.
+  static obs::Counter jsonl_records("shard.sink.jsonl.records");
+  static obs::Counter jsonl_bytes("shard.sink.jsonl.bytes");
+  static obs::Counter binary_records("shard.sink.binary.records");
+  static obs::Counter binary_bytes("shard.sink.binary.bytes");
+  static obs::Histogram flush_ms("shard.sink.flush_ms",
+                                 obs::Histogram::latency_bounds_ms());
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t flushed = buffered_records_;
+  const std::size_t bytes = sink_->flush();
   buffered_records_ = 0;
   write_partial_checkpoint();
+  if (options_.format == RecordFormat::kBinary) {
+    binary_records.add(flushed);
+    binary_bytes.add(bytes);
+  } else {
+    jsonl_records.add(flushed);
+    jsonl_bytes.add(bytes);
+  }
+  flush_ms.observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 void StreamingSink::write_partial_checkpoint() {

@@ -1,11 +1,13 @@
 // Bounded-memory, chunked result delivery with mergeable reductions.
 //
 // A shard worker never holds its whole report vector: it evaluates the grid
-// in chunks, appends each report as one index-tagged JSONL record, and folds
-// it into a PartialReduction — the exact sufficient statistic for every
-// BatchResult summary (per-metric argmin/min/max, the latency/energy Pareto
-// frontier, throughput stats). K partial reductions over a disjoint cover of
-// the grid merge back (see merge.h) into the *bitwise identical* monolithic
+// in chunks, appends each report through a pluggable RecordSink (see
+// record_stream.h — JSONL text or the binary columnar format of
+// binary_stream.h, selected by SinkOptions::format), and folds it into a
+// PartialReduction — the exact sufficient statistic for every BatchResult
+// summary (per-metric argmin/min/max, the latency/energy Pareto frontier,
+// throughput stats). K partial reductions over a disjoint cover of the
+// grid merge back (see merge.h) into the *bitwise identical* monolithic
 // summary, because
 //
 //   * argmin: each shard records the first occurrence of its minimum in
@@ -17,43 +19,37 @@
 //     frontiers re-scanned in (latency, energy, index) order — the order
 //     BatchEvaluator's stable_sort induces — reproduces the monolithic
 //     frontier exactly;
-//   * every double crossing a process boundary is serialized in shortest
-//     round-trip form (jsonio.h), so values survive the trip bit-for-bit.
+//   * every double crossing a process boundary survives the trip
+//     bit-for-bit: shortest round-trip text form in JSONL (jsonio.h), raw
+//     IEEE-754 little-endian columns in the binary backend.
 //
-// JSONL record schema (one line per scenario, shard-local ascending order):
+// A PartialReduction is therefore a pure function of the decoded totals —
+// the record *encoding* cannot reach it, which is why shards written in
+// different formats (or slim vs full shapes) merge to bitwise-identical
+// summaries.
 //
-//   {"i": <global index>, "latency": {...LatencyBreakdown...},
-//    "energy": {...EnergyBreakdown...}, "sensors": [{...SensorReport...}]}
+// Record shapes — full, metrics-only (SinkOptions::metrics_only, the
+// sweep_worker --metrics flag, for million-point grids where breakdowns
+// dominate I/O), and either shape plus a ground-truth measurement block
+// (see evaluator.h) — are defined once in record_stream.h and encoded
+// per-backend. In ground-truth mode the reduction runs over the
+// *measurements* (extrema and Pareto on GT means) plus a GtAggregate of
+// exactly-mergeable sums (ExactSum), so GT summaries obey the same bitwise
+// merge law as analytical ones.
 //
-// Metrics mode (SinkOptions::metrics_only — the sweep_worker --metrics
-// flag) slims each record to the totals the reduction actually consumes,
-// for million-point grids where full breakdowns dominate I/O:
-//
-//   {"i": <global index>, "latency_ms": <total>, "energy_mj": <total>}
-//
-// Ground-truth sweeps (see evaluator.h) append one more member to either
-// shape,
-//
-//   "gt": {"seed": "<hex64>", "frames": N, "mean_latency_ms": ...,
-//          "mean_energy_mj": ..., "latency_error_pct": ...,
-//          "energy_error_pct": ...}
-//
-// and the reduction then runs over the *measurements* (extrema and Pareto
-// on GT means) plus a GtAggregate of exactly-mergeable sums (ExactSum) for
-// mean GT latency/energy and mean model error — so GT summaries obey the
-// same bitwise merge law as analytical ones. Because a PartialReduction is
-// a pure function of the totals, slim and full record streams produce
-// bitwise-identical partials and merged summaries.
-//
-// The sink flushes every chunk_records lines and rewrites the partial
+// The sink flushes every chunk_records records and rewrites the partial
 // checkpoint, so a killed worker loses at most one chunk; scan_existing()
-// recovers the longest valid record prefix (a torn trailing line is
-// truncated) and rebuilds the reduction for resume.
+// recovers the longest valid record prefix for resume under the backend's
+// tear rules: a torn *tail* (the only damage a kill can inflict) truncates
+// silently, while mid-file corruption — an unparseable newline-terminated
+// JSONL line, a binary chunk with bad magic or checksum — is a named
+// std::runtime_error, because silently dropping the valid suffix behind it
+// would mask real data loss.
 #pragma once
 
 #include <cstddef>
-#include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,24 +58,10 @@
 #include "runtime/shard/evaluator.h"
 #include "runtime/shard/exact_sum.h"
 #include "runtime/shard/jsonio.h"
+#include "runtime/shard/record_stream.h"
 #include "runtime/shard/shard_plan.h"
 
 namespace xr::runtime::shard {
-
-/// Which shard of which partition a document belongs to; every record
-/// stream and reduction carries this so merges can validate coverage.
-struct ShardIdentity {
-  std::size_t shard_id = 0;
-  std::size_t shard_count = 1;
-  ShardStrategy strategy = ShardStrategy::kRange;
-  std::size_t grid_size = 0;
-  /// Fingerprint of the grid the records came from (grid_fingerprint() of
-  /// the GridSpec for worker-produced documents; 0 when unused). Resume
-  /// refuses a checkpoint whose fingerprint differs — index sequences
-  /// alone cannot tell two same-shape grids apart — and merge refuses to
-  /// fold partials from different grids.
-  std::uint64_t grid_fingerprint = 0;
-};
 
 /// FNV-1a over a runtime::GridSpec's canonical JSON serialization.
 [[nodiscard]] std::uint64_t grid_fingerprint(const GridSpec& spec);
@@ -207,32 +189,15 @@ class PartialReduction {
   std::map<double, std::pair<double, std::size_t>> frontier_;
 };
 
-// ---- record codec ------------------------------------------------------
-
-/// Serialize one report as a single JSONL line (no trailing newline).
-/// `gt` (when non-null) appends the ground-truth measurement block.
-/// `metrics_only` emits the slim totals-only shape (see header comment).
-[[nodiscard]] std::string record_line(std::size_t global_index,
-                                      const core::PerformanceReport& report,
-                                      const GtMeasurement* gt = nullptr,
-                                      bool metrics_only = false);
-
-struct ParsedRecord {
-  std::size_t index = 0;
-  core::PerformanceReport report;   ///< slim records fill only the totals.
-  std::optional<GtMeasurement> gt;  ///< present for ground-truth records.
-  bool slim = false;                ///< record was in metrics-only form.
-};
-
-/// Parse one record line (full or slim shape); throws
-/// std::invalid_argument on malformed input.
-[[nodiscard]] ParsedRecord parse_record_line(std::string_view line);
-
 // ---- the sink ----------------------------------------------------------
 
 struct SinkOptions {
-  /// Files written: <output_stem>.jsonl and <output_stem>.partial.json.
+  /// Files written: record_path(output_stem, format) — <stem>.jsonl or
+  /// <stem>.xrb — and <output_stem>.partial.json.
   std::string output_stem;
+  /// Record encoding (see record_stream.h). Resume refuses to continue a
+  /// stem whose existing stream is in the other format.
+  RecordFormat format = RecordFormat::kJsonl;
   /// Records buffered between flushes (bounds worker memory and the
   /// checkpoint loss window).
   std::size_t chunk_records = 64;
@@ -255,9 +220,13 @@ class StreamingSink {
     PartialReduction partial;     ///< reduction rebuilt from the prefix.
   };
 
-  /// Scan <stem>.jsonl for the longest prefix of valid records whose global
-  /// indices match the plan's enumeration for this shard. Stops at the
-  /// first torn/corrupt/misordered line. Missing file → zero records.
+  /// Scan the existing record stream for the longest prefix of valid
+  /// records whose global indices match the plan's enumeration for this
+  /// shard. A torn tail (a killed worker's partial final write) ends the
+  /// prefix silently; mid-file corruption throws a named
+  /// std::runtime_error; a stream in the *other* format at the same stem
+  /// is a named error too (cross-format resume refusal). Missing file →
+  /// zero records.
   [[nodiscard]] static Recovery scan_existing(const SinkOptions& options,
                                               const ShardIdentity& id,
                                               const ShardPlan& plan);
@@ -267,7 +236,6 @@ class StreamingSink {
   /// it is created fresh. Throws std::runtime_error on I/O failure.
   StreamingSink(SinkOptions options, ShardIdentity id,
                 const Recovery* recovered = nullptr);
-  ~StreamingSink();
 
   StreamingSink(const StreamingSink&) = delete;
   StreamingSink& operator=(const StreamingSink&) = delete;
@@ -281,7 +249,8 @@ class StreamingSink {
   /// and the GtAggregate. Point kind must match the sink's mode.
   void append(std::size_t global_index, const EvaluatedPoint& point);
 
-  /// Write buffered lines to disk and checkpoint the partial reduction.
+  /// Write buffered records to disk (one backend chunk) and checkpoint the
+  /// partial reduction.
   void flush();
 
   /// Attach worker throughput stats to the reduction (carried into the
@@ -300,8 +269,9 @@ class StreamingSink {
   [[nodiscard]] const PartialReduction& partial() const noexcept {
     return partial_;
   }
-  [[nodiscard]] std::string jsonl_path() const {
-    return options_.output_stem + ".jsonl";
+  /// The record stream's path: record_path(output_stem, format).
+  [[nodiscard]] std::string records_path() const {
+    return record_path(options_.output_stem, options_.format);
   }
   [[nodiscard]] std::string partial_path() const {
     return options_.output_stem + ".partial.json";
@@ -312,8 +282,7 @@ class StreamingSink {
 
   SinkOptions options_;
   PartialReduction partial_;
-  std::FILE* file_ = nullptr;
-  std::string buffer_;
+  std::unique_ptr<RecordSink> sink_;
   std::size_t buffered_records_ = 0;
   std::size_t records_written_ = 0;
 };

@@ -77,35 +77,48 @@ PartialReduction check_resume_identity(const std::string& partial_path,
 }
 
 /// Sequential reader over this shard's pass-1 (coarse) record stream for
-/// the hybrid pass-2 leg. The coarse stream enumerates exactly the same
-/// global indices in the same order as the pass-2 stream (same shard of
-/// the same plan), so the reader only ever moves forward one line per
-/// local index.
+/// the hybrid pass-2 leg, format-agnostic through RecordSource. The coarse
+/// stream enumerates exactly the same global indices in the same order as
+/// the pass-2 stream (same shard of the same plan), so the reader only
+/// ever moves forward one record per local index.
 class CoarseStream {
  public:
-  explicit CoarseStream(std::string jsonl_path)
-      : path_(std::move(jsonl_path)), in_(path_, std::ios::binary) {
-    if (!in_)
-      throw std::runtime_error("run_worker: cannot open coarse record stream " +
-                               path_);
+  explicit CoarseStream(const std::string& stem)
+      : source_(open_record_source(resolve(stem))) {}
+
+  void skip(std::size_t records) {
+    ParsedRecord r;
+    while (records-- > 0) next(r);
   }
 
-  void skip(std::size_t lines) {
-    std::string line;
-    while (lines-- > 0) next(line);
-  }
-
-  void next(std::string& line) {
-    if (!std::getline(in_, line))
+  void next(ParsedRecord& r) {
+    if (!source_->next(r))
       throw std::runtime_error(
-          "run_worker: coarse record stream " + path_ +
+          "run_worker: coarse record stream " + source_->path() +
           " ended early — the coarse pass must be complete before the "
           "refinement pass");
   }
 
  private:
-  std::string path_;
-  std::ifstream in_;
+  /// Autodetect the coarse pass's format from which record file exists at
+  /// the stem; a stem carrying both encodings is ambiguous and refused.
+  static std::string resolve(const std::string& stem) {
+    const std::string jsonl = record_path(stem, RecordFormat::kJsonl);
+    const std::string binary = record_path(stem, RecordFormat::kBinary);
+    std::error_code ec;
+    const bool has_jsonl = std::filesystem::exists(jsonl, ec);
+    const bool has_binary = std::filesystem::exists(binary, ec);
+    if (has_jsonl && has_binary)
+      throw std::runtime_error(
+          "run_worker: coarse stem " + stem +
+          " carries both a .jsonl and a .xrb stream — remove the stale one");
+    if (!has_jsonl && !has_binary)
+      throw std::runtime_error("run_worker: cannot open coarse record stream " +
+                               jsonl + " (or " + binary + ")");
+    return has_binary ? binary : jsonl;
+  }
+
+  std::unique_ptr<RecordSource> source_;
 };
 
 /// Pass-2 guard: the coarse stream this leg copies from must be this
@@ -156,6 +169,7 @@ WorkerSpec WorkerSpec::from_request(const runtime::SweepRequest& request,
   spec.shard_count = shard_count;
   spec.strategy = strategy;
   spec.output = std::move(output);
+  spec.format = request.execution.format;
   spec.chunk_records = request.execution.chunk_records;
   spec.threads = request.execution.threads;
   spec.grain = request.execution.grain;
@@ -173,6 +187,9 @@ Json WorkerSpec::to_json() const {
   j.set("shard_count", shard_count);
   j.set("strategy", strategy_name(strategy));
   j.set("output", output);
+  // Only the non-default encoding is serialized, mirroring ExecutionSpec:
+  // existing jsonl spec documents stay byte-stable.
+  if (format == RecordFormat::kBinary) j.set("format", format_name(format));
   j.set("chunk_records", chunk_records);
   j.set("threads", threads);
   if (grain != 0) j.set("grain", grain);
@@ -204,6 +221,8 @@ WorkerSpec WorkerSpec::from_json(const Json& j) {
   if (const Json* s = j.find("strategy"))
     out.strategy = strategy_from_name(s->as_string());
   out.output = j.at("output").as_string();
+  if (const Json* f = j.find("format"))
+    out.format = format_from_name(f->as_string());
   if (const Json* c = j.find("chunk_records"))
     out.chunk_records = c->as_size();
   // Normalize once: 0 would otherwise mean "flush every record" to the
@@ -303,8 +322,12 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
   // Single normalization point for the chunk size: the sink's checkpoint
   // cadence and the worker loop below share this exact value.
   const std::size_t chunk = std::max<std::size_t>(spec.chunk_records, 1);
-  const SinkOptions options{spec.output, chunk,
-                            spec.evaluator.is_ground_truth(), spec.metrics};
+  SinkOptions options;
+  options.output_stem = spec.output;
+  options.format = spec.format;
+  options.chunk_records = chunk;
+  options.ground_truth = spec.evaluator.is_ground_truth();
+  options.metrics_only = spec.metrics;
 
   StreamingSink::Recovery recovery;
   const StreamingSink::Recovery* recovered = nullptr;
@@ -366,13 +389,13 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
                                           spec.evaluator, *spec.adaptive))};
       check_coarse_complete(spec.coarse_input + ".partial.json", coarse_id,
                             shard_n);
-      coarse = std::make_unique<CoarseStream>(spec.coarse_input + ".jsonl");
+      coarse = std::make_unique<CoarseStream>(spec.coarse_input);
     }
   }
 
   WorkerOutcome out;
   out.resumed_records = sink.records_written();
-  out.jsonl_path = sink.jsonl_path();
+  out.records_path = sink.records_path();
   out.partial_path = sink.partial_path();
 
   const obs::Span worker_span("worker.run");
@@ -394,18 +417,18 @@ WorkerOutcome run_worker(const WorkerSpec& spec,
       m = std::min(m, max_new_records - out.evaluated_records);
     if (m == 0) break;
 
-    // Pull this chunk's coarse lines up front — the stream read is
-    // strictly sequential; the (pure) parses then run on the pool.
-    std::vector<std::string> coarse_lines;
+    // Pull this chunk's coarse records up front — the stream read (decode
+    // included) is strictly sequential; evaluation then runs on the pool.
+    std::vector<ParsedRecord> coarse_records;
     if (coarse) {
-      coarse_lines.resize(m);
-      for (std::size_t j = 0; j < m; ++j) coarse->next(coarse_lines[j]);
+      coarse_records.resize(m);
+      for (std::size_t j = 0; j < m; ++j) coarse->next(coarse_records[j]);
     }
 
     const auto evaluate = [&](std::size_t j) {
       const std::size_t g = plan.global_index(spec.shard_id, done + j);
       if (hybrid && !refined(g)) {
-        const ParsedRecord r = parse_record_line(coarse_lines[j]);
+        const ParsedRecord& r = coarse_records[j];
         if (r.index != g)
           throw std::runtime_error(
               "run_worker: coarse record stream misaligned (expected index " +

@@ -9,6 +9,7 @@
 //   {"grid": {<runtime::GridSpec>}, "evaluator": {<EvaluatorSpec>},
 //    "shard_id": 0, "shard_count": 4,
 //    "strategy": "range", "output": "out/shard0",
+//    "format": "binary",  // record encoding; omitted = jsonl
 //    "chunk_records": 64, "threads": 1, "metrics": false, "resume": false,
 //    // adaptive-fidelity legs only (runtime/adaptive.h):
 //    "adaptive": {<AdaptiveSpec>}, "adaptive_pass": 1|2,
@@ -23,12 +24,14 @@
 // ground_truth evaluator streams per-point simulator measurements (seeded
 // from the *global* grid index — see evaluator.h) through the same sink.
 //
-// The worker writes <output>.jsonl (one record per scenario, ascending
-// global index) and <output>.partial.json (the mergeable reduction,
-// checkpointed at every chunk flush). Resume scans the existing record
-// stream, truncates any torn tail, rebuilds the reduction from the valid
-// prefix, and continues from the first missing record — so a re-run after
-// a kill produces byte-identical outputs to an uninterrupted run.
+// The worker writes a record stream through the pluggable RecordSink
+// layer (record_stream.h) — <output>.jsonl or <output>.xrb per the spec's
+// format, one record per scenario in ascending global index — plus
+// <output>.partial.json (the mergeable reduction, checkpointed at every
+// chunk flush). Resume scans the existing record stream, truncates any
+// torn tail, rebuilds the reduction from the valid prefix, and continues
+// from the first missing record — so a re-run after a kill produces
+// byte-identical outputs to an uninterrupted run, in either format.
 #pragma once
 
 #include <cstddef>
@@ -55,8 +58,13 @@ struct WorkerSpec {
   std::size_t shard_id = 0;
   std::size_t shard_count = 1;
   ShardStrategy strategy = ShardStrategy::kRange;
-  /// Output stem: writes <output>.jsonl and <output>.partial.json.
+  /// Output stem: writes record_path(output, format) — <output>.jsonl or
+  /// <output>.xrb — and <output>.partial.json.
   std::string output;
+  /// Record encoding (see record_stream.h). Execution mechanics only:
+  /// never fingerprinted, never affects the partial reduction or the
+  /// merge law.
+  RecordFormat format = RecordFormat::kJsonl;
   std::size_t chunk_records = 64;
   /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
   /// N = dedicated pool of N workers (chunks still land in index order).
@@ -64,8 +72,8 @@ struct WorkerSpec {
   /// Indices per claimed parallel task chunk (0 = auto); see
   /// BatchOptions::grain. Mechanics only, never identity.
   std::size_t grain = 0;
-  /// Slim totals-only JSONL records (see streaming_sink.h). Never affects
-  /// the partial reduction or the merge law.
+  /// Slim totals-only records (see record_stream.h). Never affects the
+  /// partial reduction or the merge law.
   bool metrics = false;
   /// Continue from an existing record stream instead of restarting.
   bool resume = false;
@@ -84,7 +92,9 @@ struct WorkerSpec {
   std::vector<std::size_t> refine;
   /// Pass 2: this shard's pass-1 output stem. The coarse stream must be
   /// complete and carry the matching coarse identity; may be empty only
-  /// when every index of this shard is refined (nothing to copy).
+  /// when every index of this shard is refined (nothing to copy). Its
+  /// format is autodetected from which record file exists at the stem, so
+  /// a binary fine leg can copy from a JSONL coarse pass and vice versa.
   std::string coarse_input;
 
   /// This worker's slice of a unified sweep request: grid, evaluator,
@@ -113,7 +123,7 @@ struct WorkerOutcome {
   std::size_t evaluated_records = 0; ///< newly evaluated this run.
   bool complete = false;             ///< reached the end of the shard.
   PartialReduction partial;
-  std::string jsonl_path;
+  std::string records_path;          ///< the record stream (either format).
   std::string partial_path;
 };
 

@@ -50,6 +50,10 @@ core::Json ExecutionSpec::to_json() const {
   j.set("chunk_records", chunk_records);
   if (grain != 0) j.set("grain", grain);
   j.set("metrics", metrics);
+  // Only the non-default encoding is serialized: existing jsonl request
+  // documents stay byte-stable.
+  if (format == shard::RecordFormat::kBinary)
+    j.set("format", shard::format_name(format));
   return j;
 }
 
@@ -63,6 +67,8 @@ ExecutionSpec ExecutionSpec::from_json(const core::Json& j) {
   if (out.chunk_records == 0) out.chunk_records = 1;
   if (const core::Json* g = j.find("grain")) out.grain = g->as_size();
   if (const core::Json* m = j.find("metrics")) out.metrics = m->as_bool();
+  if (const core::Json* f = j.find("format"))
+    out.format = shard::format_from_name(f->as_string());
   return out;
 }
 

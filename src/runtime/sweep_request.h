@@ -11,7 +11,7 @@
 //                  "fine_frames": 200,          // (ground truth only; see
 //                  "band_fraction": 0.05},      //  runtime/adaptive.h)
 //    "execution": {"threads": N, "chunk_records": N, "grain": N,
-//                  "metrics": false}}
+//                  "metrics": false, "format": "binary"}}
 //
 // The same document runs monolithically (run_request, below) or sharded
 // (sweep_worker --request, one process per shard, merged by sweep_merge)
@@ -29,8 +29,9 @@
 //                    OffloadPlan that merges exactly across shards.
 //
 // The execution block is per-process mechanics (thread count, checkpoint
-// cadence, slim records); it never affects result values — only the grid,
-// evaluator, and reduction do, which is why only those are fingerprinted.
+// cadence, slim records, record encoding); it never affects result values
+// — only the grid, evaluator, and reduction do, which is why only those
+// are fingerprinted.
 #pragma once
 
 #include <cstddef>
@@ -64,8 +65,9 @@ struct ReductionSpec {
 };
 
 /// Per-process execution mechanics. Never part of the result identity —
-/// thread count, chunk cadence, task grain, and record shape never change
-/// a value (the bitwise determinism the runtime and shard tests assert).
+/// thread count, chunk cadence, task grain, record shape, and record
+/// encoding never change a value (the bitwise determinism the runtime and
+/// shard tests assert).
 struct ExecutionSpec {
   /// BatchOptions convention: 0 = shared pool, 1 = strict serial,
   /// N = dedicated pool of N workers.
@@ -75,8 +77,11 @@ struct ExecutionSpec {
   /// Indices per claimed parallel task chunk: 0 = auto,
   /// max(1, n / (8 · threads)) — see BatchOptions::grain.
   std::size_t grain = 0;
-  /// Slim totals-only JSONL records (see streaming_sink.h).
+  /// Slim totals-only records (see record_stream.h).
   bool metrics = false;
+  /// Record encoding for sharded streaming runs (record_stream.h); the
+  /// merge law holds across formats, so shards of one sweep may mix them.
+  shard::RecordFormat format = shard::RecordFormat::kJsonl;
 
   [[nodiscard]] core::Json to_json() const;
   [[nodiscard]] static ExecutionSpec from_json(const core::Json& j);

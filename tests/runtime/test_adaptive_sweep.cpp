@@ -78,12 +78,12 @@ shard::MergedSummary run_sharded_adaptive(
     spec.adaptive_pass = 1;
     const auto outcome = shard::run_worker(spec);
     EXPECT_TRUE(outcome.complete);
-    coarse_jsonl.push_back(outcome.jsonl_path);
+    coarse_jsonl.push_back(outcome.records_path);
   }
 
   const std::size_t grid_size = request.grid.build().size();
   const auto estimates =
-      coarse_estimates_from_jsonl(coarse_jsonl, grid_size);
+      coarse_estimates_from_records(coarse_jsonl, grid_size);
   const auto refined =
       select_refinement(request.grid, estimates, *request.adaptive);
   if (refined_out) *refined_out = refined;
@@ -358,8 +358,8 @@ TEST_F(AdaptiveSweepTest, KilledFineLegResumesByteIdentical) {
   const auto resumed = shard::run_worker(fine_spec);
   ASSERT_TRUE(resumed.complete);
 
-  std::ifstream a(reference.jsonl_path, std::ios::binary);
-  std::ifstream b(resumed.jsonl_path, std::ios::binary);
+  std::ifstream a(reference.records_path, std::ios::binary);
+  std::ifstream b(resumed.records_path, std::ios::binary);
   std::stringstream sa, sb;
   sa << a.rdbuf();
   sb << b.rdbuf();

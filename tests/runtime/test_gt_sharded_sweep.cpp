@@ -176,7 +176,7 @@ TEST_F(GtShardedSweepTest, RecordsBitwiseIndependentOfPartitioning) {
   auto mono = gt_spec(cfg, stem("mono"));
   const auto mono_out = run_worker(mono);
   ASSERT_TRUE(mono_out.complete);
-  const auto reference = records_of(mono_out.jsonl_path);
+  const auto reference = records_of(mono_out.records_path);
   ASSERT_EQ(reference.size(), 4u);
   for (const auto& [index, line] : reference)
     EXPECT_TRUE(parse_record_line(line).gt.has_value()) << index;
@@ -211,7 +211,7 @@ TEST_F(GtShardedSweepTest, RecordsBitwiseIndependentOfPartitioning) {
       }
       const auto outcome = run_worker(spec);
       EXPECT_TRUE(outcome.complete) << v.name;
-      for (auto& [index, line] : records_of(outcome.jsonl_path)) {
+      for (auto& [index, line] : records_of(outcome.records_path)) {
         EXPECT_TRUE(seen.emplace(index, line).second) << v.name;
       }
     }
@@ -296,7 +296,7 @@ TEST_F(GtShardedSweepTest, GtResumeAfterKillIsByteIdentical) {
   EXPECT_FALSE(first.complete);
   // Tear the in-flight line like a real kill would.
   {
-    std::ofstream out(first.jsonl_path, std::ios::binary | std::ios::app);
+    std::ofstream out(first.records_path, std::ios::binary | std::ios::app);
     out << "{\"i\":torn";
   }
   spec.resume = true;
@@ -304,8 +304,8 @@ TEST_F(GtShardedSweepTest, GtResumeAfterKillIsByteIdentical) {
   EXPECT_TRUE(second.complete);
   EXPECT_EQ(second.resumed_records, 2u);
 
-  std::ifstream a(clean.jsonl_path, std::ios::binary);
-  std::ifstream b(second.jsonl_path, std::ios::binary);
+  std::ifstream a(clean.records_path, std::ios::binary);
+  std::ifstream b(second.records_path, std::ios::binary);
   std::stringstream sa, sb;
   sa << a.rdbuf();
   sb << b.rdbuf();
@@ -326,21 +326,21 @@ TEST_F(GtShardedSweepTest, ResumeUnderWrongEvaluatorRefusesAndPreservesData) {
   auto spec = gt_spec(cfg, stem("precious"));
   const auto done = run_worker(spec);
   ASSERT_TRUE(done.complete);
-  const auto before = records_of(done.jsonl_path);
+  const auto before = records_of(done.records_path);
   ASSERT_EQ(before.size(), 4u);
 
   spec.resume = true;
   spec.evaluator = EvaluatorSpec{};  // forgot --evaluator ground_truth
   EXPECT_THROW((void)run_worker(spec), std::runtime_error);
   // The expensive stream survives untouched.
-  EXPECT_EQ(records_of(done.jsonl_path), before);
+  EXPECT_EQ(records_of(done.records_path), before);
 
   // And with the right evaluator the resume is still a clean no-op.
   spec.evaluator = testbed::gt_evaluator_spec(cfg);
   const auto resumed = run_worker(spec);
   EXPECT_TRUE(resumed.complete);
   EXPECT_EQ(resumed.evaluated_records, 0u);
-  EXPECT_EQ(records_of(resumed.jsonl_path), before);
+  EXPECT_EQ(records_of(resumed.records_path), before);
 }
 
 TEST_F(GtShardedSweepTest, ResumeAccumulatesWorkerStatsInsteadOfClobbering) {

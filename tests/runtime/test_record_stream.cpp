@@ -1,0 +1,591 @@
+// The pluggable record-stream contract: both backends (JSONL text and the
+// binary columnar .xrb format) carry the same record model bit-for-bit,
+// K binary shards merge bitwise identical to the monolithic JSONL run,
+// kill/resume keeps byte identity on the binary chunk grid, mid-file
+// corruption is a named error in either format (S1), and a stem never
+// silently switches encodings (S3).
+#include "runtime/shard/record_stream.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "obs/registry.h"
+#include "runtime/adaptive.h"
+#include "runtime/batch_evaluator.h"
+#include "runtime/shard/binary_stream.h"
+#include "runtime/shard/merge.h"
+#include "runtime/shard/streaming_sink.h"
+#include "runtime/shard/worker.h"
+#include "testbed/experiments.h"
+
+namespace xr::runtime::shard {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecordStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xr_rec_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string stem(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// A small grid over the paper's knobs (9 points).
+GridSpec small_spec() {
+  GridSpec spec;
+  spec.factory = "remote";
+  spec.frame_size = 500;
+  spec.cpu_ghz = 2.0;
+  AxisSpec sizes;
+  sizes.knob = "frame_size";
+  sizes.numbers = {300, 500, 700};
+  spec.axes.push_back(sizes);
+  AxisSpec clocks;
+  clocks.knob = "cpu_ghz";
+  clocks.numbers = {1.0, 2.0, 3.0};
+  spec.axes.push_back(clocks);
+  return spec;
+}
+
+void expect_reports_equal(const core::PerformanceReport& a,
+                          const core::PerformanceReport& b) {
+  EXPECT_EQ(a.latency.total, b.latency.total);
+  EXPECT_EQ(a.latency.buffer_wait, b.latency.buffer_wait);
+  EXPECT_EQ(a.energy.total, b.energy.total);
+  EXPECT_EQ(a.energy.thermal, b.energy.thermal);
+  EXPECT_EQ(a.energy.base, b.energy.base);
+  for (core::Segment s : core::all_segments()) {
+    EXPECT_EQ(a.latency.segment(s), b.latency.segment(s));
+    EXPECT_EQ(a.energy.segment(s), b.energy.segment(s));
+  }
+  ASSERT_EQ(a.sensors.size(), b.sensors.size());
+  for (std::size_t m = 0; m < a.sensors.size(); ++m) {
+    EXPECT_EQ(a.sensors[m].name, b.sensors[m].name);
+    EXPECT_EQ(a.sensors[m].average_aoi_ms, b.sensors[m].average_aoi_ms);
+    EXPECT_EQ(a.sensors[m].processed_hz, b.sensors[m].processed_hz);
+    EXPECT_EQ(a.sensors[m].roi, b.sensors[m].roi);
+    EXPECT_EQ(a.sensors[m].fresh, b.sensors[m].fresh);
+  }
+}
+
+TEST_F(RecordStreamTest, FormatHelpers) {
+  EXPECT_STREQ(format_name(RecordFormat::kJsonl), "jsonl");
+  EXPECT_STREQ(format_name(RecordFormat::kBinary), "binary");
+  EXPECT_EQ(format_from_name("jsonl"), RecordFormat::kJsonl);
+  EXPECT_EQ(format_from_name("binary"), RecordFormat::kBinary);
+  EXPECT_THROW((void)format_from_name("csv"), std::invalid_argument);
+  EXPECT_EQ(record_path("out/s0", RecordFormat::kJsonl), "out/s0.jsonl");
+  EXPECT_EQ(record_path("out/s0", RecordFormat::kBinary), "out/s0.xrb");
+  EXPECT_EQ(format_from_path("a/b.jsonl"), RecordFormat::kJsonl);
+  EXPECT_EQ(format_from_path("a/b.xrb"), RecordFormat::kBinary);
+  EXPECT_FALSE(format_from_path("a/b.partial.json").has_value());
+  EXPECT_FALSE(format_from_path("xrb").has_value());
+}
+
+TEST_F(RecordStreamTest, BinaryRoundTripIsBitwiseExact) {
+  const auto grid = small_spec().build();
+  const core::XrPerformanceModel model;
+  const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size(), 77};
+  RecordStreamConfig config;
+  config.format = RecordFormat::kBinary;
+  config.chunk_records = 4;
+
+  std::vector<core::PerformanceReport> reports;
+  {
+    auto sink = open_record_sink(stem("full"), config, id);
+    EXPECT_EQ(sink->format(), RecordFormat::kBinary);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      reports.push_back(model.evaluate(grid.at(i)));
+      sink->append(i, reports.back(), nullptr);
+      if ((i + 1) % config.chunk_records == 0) (void)sink->flush();
+    }
+    (void)sink->flush();
+  }
+
+  auto source = open_record_source(stem("full") + ".xrb");
+  EXPECT_EQ(source->format(), RecordFormat::kBinary);
+  ParsedRecord r;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(source->next(r));
+    EXPECT_EQ(r.index, i);
+    EXPECT_FALSE(r.slim);
+    EXPECT_FALSE(r.gt.has_value());
+    expect_reports_equal(r.report, reports[i]);
+  }
+  EXPECT_FALSE(source->next(r));
+
+  // The header is self-identifying.
+  const auto header = read_binary_header(stem("full") + ".xrb");
+  EXPECT_EQ(header.id.grid_size, grid.size());
+  EXPECT_EQ(header.id.grid_fingerprint, 77u);
+  EXPECT_FALSE(header.ground_truth);
+  EXPECT_FALSE(header.metrics_only);
+}
+
+TEST_F(RecordStreamTest, BinaryGroundTruthAndSlimShapesRoundTrip) {
+  const auto grid = small_spec().build();
+  EvaluatorSpec gt_ev;
+  gt_ev.kind = EvaluatorKind::kGroundTruth;
+  gt_ev.seed = 7;
+  gt_ev.frames_per_point = 3;
+  const core::XrPerformanceModel model;
+  const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size(), 5};
+
+  RecordStreamConfig config;
+  config.format = RecordFormat::kBinary;
+  config.chunk_records = 3;
+  config.ground_truth = true;
+  std::vector<EvaluatedPoint> points;
+  {
+    auto sink = open_record_sink(stem("gt"), config, id);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      points.push_back(evaluate_point(gt_ev, model, grid.at(i), i));
+      sink->append(i, points.back().report, &*points.back().gt);
+    }
+    (void)sink->flush();
+  }
+  {
+    auto source = open_record_source(stem("gt") + ".xrb");
+    ParsedRecord r;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      ASSERT_TRUE(source->next(r));
+      ASSERT_TRUE(r.gt.has_value());
+      EXPECT_EQ(r.gt->seed, points[i].gt->seed);
+      EXPECT_EQ(r.gt->frames, points[i].gt->frames);
+      EXPECT_EQ(r.gt->mean_latency_ms, points[i].gt->mean_latency_ms);
+      EXPECT_EQ(r.gt->mean_energy_mj, points[i].gt->mean_energy_mj);
+      EXPECT_EQ(r.gt->latency_error_pct, points[i].gt->latency_error_pct);
+      EXPECT_EQ(r.gt->energy_error_pct, points[i].gt->energy_error_pct);
+      expect_reports_equal(r.report, points[i].report);
+    }
+    EXPECT_FALSE(source->next(r));
+  }
+
+  // Slim (metrics-only) records keep the totals bit-for-bit.
+  RecordStreamConfig slim = config;
+  slim.ground_truth = false;
+  slim.metrics_only = true;
+  {
+    auto sink = open_record_sink(stem("slim"), slim, id);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      sink->append(i, points[i].report, nullptr);
+    (void)sink->flush();
+  }
+  auto source = open_record_source(stem("slim") + ".xrb");
+  ParsedRecord r;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(source->next(r));
+    EXPECT_TRUE(r.slim);
+    EXPECT_EQ(r.report.latency.total, points[i].report.latency.total);
+    EXPECT_EQ(r.report.energy.total, points[i].report.energy.total);
+  }
+}
+
+TEST_F(RecordStreamTest, BinaryWriteReadWriteIsByteIdentical) {
+  const auto grid = small_spec().build();
+  const core::XrPerformanceModel model;
+  const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size(), 9};
+  RecordStreamConfig config;
+  config.format = RecordFormat::kBinary;
+  config.chunk_records = 4;
+
+  {
+    auto sink = open_record_sink(stem("a"), config, id);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      sink->append(i, model.evaluate(grid.at(i)), nullptr);
+      if ((i + 1) % config.chunk_records == 0) (void)sink->flush();
+    }
+    (void)sink->flush();
+  }
+
+  // Decode every record, re-encode on the same chunk grid: identical bytes.
+  {
+    auto source = open_record_source(stem("a") + ".xrb");
+    auto sink = open_record_sink(stem("b"), config, id);
+    ParsedRecord r;
+    std::size_t n = 0;
+    while (source->next(r)) {
+      sink->append(r.index, r.report, r.gt ? &*r.gt : nullptr);
+      if (++n % config.chunk_records == 0) (void)sink->flush();
+    }
+    (void)sink->flush();
+  }
+  EXPECT_EQ(read_file(stem("a") + ".xrb"), read_file(stem("b") + ".xrb"));
+}
+
+TEST_F(RecordStreamTest, BinaryHeaderRejectsCorruptionAndVersionSkew) {
+  const auto grid = small_spec().build();
+  const core::XrPerformanceModel model;
+  const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size(), 3};
+  RecordStreamConfig config;
+  config.format = RecordFormat::kBinary;
+  {
+    auto sink = open_record_sink(stem("s"), config, id);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      sink->append(i, model.evaluate(grid.at(i)), nullptr);
+    (void)sink->flush();
+  }
+  const std::string path = stem("s") + ".xrb";
+  const std::string intact = read_file(path);
+
+  // Wrong magic.
+  std::string bad = intact;
+  bad[0] = 'Z';
+  write_file(path, bad);
+  EXPECT_THROW((void)read_binary_header(path), std::runtime_error);
+  EXPECT_THROW((void)open_record_source(path), std::runtime_error);
+
+  // Unsupported version.
+  bad = intact;
+  bad[8] = char(kBinaryVersion + 1);
+  write_file(path, bad);
+  try {
+    (void)read_binary_header(path);
+    FAIL() << "version skew must be refused";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+
+  // A foreign fingerprint refuses to resume (named error, not truncation).
+  write_file(path, intact);
+  SinkOptions options;
+  options.output_stem = stem("s");
+  options.format = RecordFormat::kBinary;
+  const ShardPlan plan(grid.size(), 1, ShardStrategy::kRange);
+  const ShardIdentity foreign{0, 1, ShardStrategy::kRange, grid.size(), 4};
+  EXPECT_THROW((void)StreamingSink::scan_existing(options, foreign, plan),
+               std::runtime_error);
+  // The matching identity scans the whole stream back.
+  const auto recovered = StreamingSink::scan_existing(options, id, plan);
+  EXPECT_EQ(recovered.records, grid.size());
+  EXPECT_EQ(recovered.valid_bytes, intact.size());
+}
+
+TEST_F(RecordStreamTest, BinaryShardsMergeBitwiseIdenticalToJsonl) {
+  const auto grid_spec = testbed::ablation_grid_spec();
+  const auto grid = grid_spec.build();
+  const auto mono = BatchEvaluator({}, BatchOptions{1}).run(grid);
+
+  for (ShardStrategy strategy :
+       {ShardStrategy::kRange, ShardStrategy::kStrided}) {
+    constexpr std::size_t kShards = 3;
+    std::vector<std::string> jsonl_partials, binary_records;
+    for (std::size_t k = 0; k < kShards; ++k) {
+      WorkerSpec spec;
+      spec.grid = grid_spec;
+      spec.shard_id = k;
+      spec.shard_count = kShards;
+      spec.strategy = strategy;
+      spec.chunk_records = 4;
+      spec.output = stem("j" + std::string(strategy_name(strategy)) +
+                         std::to_string(k));
+      const auto jsonl = run_worker(spec);
+      ASSERT_TRUE(jsonl.complete);
+      jsonl_partials.push_back(jsonl.partial_path);
+
+      spec.format = RecordFormat::kBinary;
+      spec.output = stem("b" + std::string(strategy_name(strategy)) +
+                         std::to_string(k));
+      const auto binary = run_worker(spec);
+      ASSERT_TRUE(binary.complete);
+      EXPECT_EQ(binary.records_path, spec.output + ".xrb");
+      binary_records.push_back(binary.records_path);
+    }
+    const auto from_jsonl = merge_partial_files(jsonl_partials);
+    // Merge the binary shards straight from their record streams.
+    const auto from_binary = merge_partial_files(binary_records);
+    std::string why;
+    EXPECT_TRUE(matches_batch_result(from_binary, mono, &why))
+        << strategy_name(strategy) << ": " << why;
+    EXPECT_TRUE(summaries_equivalent(from_jsonl, from_binary, &why))
+        << strategy_name(strategy) << ": " << why;
+  }
+}
+
+TEST_F(RecordStreamTest, MixedFormatShardsMergeFreely) {
+  const auto grid_spec = testbed::ablation_grid_spec();
+  const auto grid = grid_spec.build();
+  const auto mono = BatchEvaluator({}, BatchOptions{1}).run(grid);
+
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.shard_count = 2;
+  spec.chunk_records = 4;
+  spec.shard_id = 0;
+  spec.output = stem("m0");
+  const auto jsonl_shard = run_worker(spec);
+  spec.shard_id = 1;
+  spec.format = RecordFormat::kBinary;
+  spec.output = stem("m1");
+  const auto binary_shard = run_worker(spec);
+
+  // One .jsonl stream (identity from its sibling checkpoint) + one
+  // self-identifying .xrb stream, folded into one summary.
+  const auto merged = merge_partial_files(
+      {jsonl_shard.records_path, binary_shard.records_path});
+  std::string why;
+  EXPECT_TRUE(matches_batch_result(merged, mono, &why)) << why;
+
+  // partial_from_records reproduces each worker's own reduction.
+  for (const auto* outcome : {&jsonl_shard, &binary_shard}) {
+    const auto partial = partial_from_records(outcome->records_path);
+    EXPECT_EQ(partial.evaluated(), outcome->partial.evaluated());
+    EXPECT_EQ(partial.min_latency_ms(), outcome->partial.min_latency_ms());
+    EXPECT_EQ(partial.best_energy_index(),
+              outcome->partial.best_energy_index());
+  }
+
+  // A bare .jsonl without its checkpoint cannot name its sweep.
+  fs::remove(stem("m0") + ".partial.json");
+  EXPECT_THROW((void)partial_from_records(jsonl_shard.records_path),
+               std::runtime_error);
+}
+
+TEST_F(RecordStreamTest, BinaryResumeAfterKillIsByteIdentical) {
+  const auto grid_spec = testbed::ablation_grid_spec();
+
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.shard_id = 1;
+  spec.shard_count = 2;
+  spec.chunk_records = 3;
+  spec.format = RecordFormat::kBinary;
+
+  spec.output = stem("clean");
+  const auto clean = run_worker(spec);
+  ASSERT_TRUE(clean.complete);
+
+  spec.output = stem("killed");
+  const auto first = run_worker(spec, /*max_new_records=*/4);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(first.shard_records, 4u);
+  // A real kill can also tear the in-flight chunk; simulate that too.
+  {
+    std::ofstream out(first.records_path, std::ios::binary | std::ios::app);
+    out << "XRBC";  // a chunk header cut off mid-write
+  }
+  spec.resume = true;
+  const auto second = run_worker(spec);
+  EXPECT_TRUE(second.complete);
+  // The early-stop flush left a 3-record chunk plus an undersized
+  // 1-record chunk; the chunk-grid rule drops the undersized tail so the
+  // resumed run re-flushes on the boundaries an uninterrupted run uses.
+  EXPECT_EQ(second.resumed_records, 3u);
+  EXPECT_EQ(read_file(second.records_path), read_file(clean.records_path));
+
+  // Resuming a complete binary shard is a no-op.
+  const auto third = run_worker(spec);
+  EXPECT_TRUE(third.complete);
+  EXPECT_EQ(third.evaluated_records, 0u);
+  EXPECT_EQ(read_file(third.records_path), read_file(clean.records_path));
+}
+
+TEST_F(RecordStreamTest, MidFileCorruptionIsANamedErrorInBothFormats) {
+  const auto grid = small_spec().build();
+  const core::XrPerformanceModel model;
+  const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size()};
+  const ShardPlan plan(grid.size(), 1, ShardStrategy::kRange);
+
+  // JSONL: an unparseable newline-terminated line mid-stream.
+  SinkOptions joptions;
+  joptions.output_stem = stem("j");
+  joptions.chunk_records = 2;
+  {
+    StreamingSink sink(joptions, id);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      sink.append(i, model.evaluate(grid.at(i)));
+    sink.flush();
+  }
+  const std::string jpath = joptions.output_stem + ".jsonl";
+  std::string text = read_file(jpath);
+  const std::size_t second_line = text.find('\n') + 1;
+  text[second_line] = '~';  // still newline-terminated, no longer JSON
+  write_file(jpath, text);
+  EXPECT_THROW((void)StreamingSink::scan_existing(joptions, id, plan),
+               std::runtime_error);
+  {
+    auto source = open_record_source(jpath);
+    ParsedRecord r;
+    ASSERT_TRUE(source->next(r));
+    EXPECT_THROW((void)source->next(r), std::runtime_error);
+  }
+
+  // Binary: a byte-complete chunk whose checksum no longer matches.
+  SinkOptions boptions;
+  boptions.output_stem = stem("b");
+  boptions.format = RecordFormat::kBinary;
+  boptions.chunk_records = 2;
+  {
+    StreamingSink sink(boptions, id);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      sink.append(i, model.evaluate(grid.at(i)));
+    sink.flush();
+  }
+  const std::string bpath = boptions.output_stem + ".xrb";
+  const std::string intact = read_file(bpath);
+  std::string bad = intact;
+  bad[kBinaryFileHeaderBytes + kBinaryChunkHeaderBytes + 1] ^= 0x40;
+  write_file(bpath, bad);
+  EXPECT_THROW((void)StreamingSink::scan_existing(boptions, id, plan),
+               std::runtime_error);
+  EXPECT_THROW((void)fold_binary_partial(bpath), std::runtime_error);
+
+  // A torn TAIL, by contrast, stays a silent truncation for resume — and
+  // a named error for strict readers, who require complete streams.
+  write_file(bpath, intact.substr(0, intact.size() - 5));
+  const auto recovered = StreamingSink::scan_existing(boptions, id, plan);
+  EXPECT_LT(recovered.records, grid.size());
+  EXPECT_THROW((void)fold_binary_partial(bpath), std::runtime_error);
+}
+
+TEST_F(RecordStreamTest, CrossFormatResumeIsRefusedBothWays) {
+  const auto grid_spec = testbed::ablation_grid_spec();
+
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.shard_id = 0;
+  spec.shard_count = 2;
+  spec.chunk_records = 3;
+  spec.output = stem("x");
+  const auto first = run_worker(spec, /*max_new_records=*/4);
+  ASSERT_FALSE(first.complete);
+
+  // The stem holds a .jsonl stream; resuming it as binary is refused.
+  spec.resume = true;
+  spec.format = RecordFormat::kBinary;
+  EXPECT_THROW((void)run_worker(spec), std::runtime_error);
+
+  // And the other direction.
+  spec.resume = false;
+  spec.output = stem("y");
+  const auto bfirst = run_worker(spec, /*max_new_records=*/4);
+  ASSERT_FALSE(bfirst.complete);
+  spec.resume = true;
+  spec.format = RecordFormat::kJsonl;
+  EXPECT_THROW((void)run_worker(spec), std::runtime_error);
+
+  // A FRESH run (no --resume) may switch encodings: it replaces the stale
+  // sibling so the stem never carries both.
+  spec.resume = false;
+  const auto fresh = run_worker(spec);
+  EXPECT_TRUE(fresh.complete);
+  EXPECT_TRUE(fs::exists(stem("y") + ".jsonl"));
+  EXPECT_FALSE(fs::exists(stem("y") + ".xrb"));
+}
+
+TEST_F(RecordStreamTest, SinkCountersTrackRecordsAndBytesPerBackend) {
+  if (!obs::kEnabled) GTEST_SKIP() << "XR_OBS_DISABLED build";
+  const auto grid_spec = small_spec();
+  const std::size_t n = grid_spec.build().size();
+
+  const auto counter = [](const char* name) {
+    const auto snap = obs::Registry::global().snapshot();
+    const auto* v = snap.counter(name);
+    return v ? *v : 0u;
+  };
+  const auto before_rec = counter("shard.sink.binary.records");
+  const auto before_bytes = counter("shard.sink.binary.bytes");
+  const auto before_jsonl = counter("shard.sink.jsonl.records");
+
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.output = stem("obs");
+  spec.format = RecordFormat::kBinary;
+  spec.chunk_records = 4;
+  const auto outcome = run_worker(spec);
+  ASSERT_TRUE(outcome.complete);
+
+  EXPECT_EQ(counter("shard.sink.binary.records") - before_rec, n);
+  EXPECT_GE(counter("shard.sink.binary.bytes") - before_bytes,
+            n * sizeof(std::uint64_t));
+  EXPECT_EQ(counter("shard.sink.jsonl.records"), before_jsonl);
+
+  const auto before = counter("shard.sink.jsonl.records");
+  spec.format = RecordFormat::kJsonl;
+  spec.output = stem("obsj");
+  (void)run_worker(spec);
+  EXPECT_EQ(counter("shard.sink.jsonl.records") - before, n);
+
+  const auto snap = obs::Registry::global().snapshot();
+  const auto* flushes = snap.histogram("shard.sink.flush_ms");
+  ASSERT_NE(flushes, nullptr);
+  EXPECT_GT(flushes->count, 0u);
+}
+
+TEST_F(RecordStreamTest, CoarseEstimatesReadEitherFormat) {
+  const auto grid_spec = small_spec();
+  const std::size_t n = grid_spec.build().size();
+
+  // A two-shard GT sweep, one shard per format — the refinement selection
+  // input sweep_plan --refine-out consumes.
+  WorkerSpec spec;
+  spec.grid = grid_spec;
+  spec.evaluator.kind = EvaluatorKind::kGroundTruth;
+  spec.evaluator.seed = 7;
+  spec.evaluator.frames_per_point = 3;
+  spec.shard_count = 2;
+  spec.chunk_records = 2;
+  spec.shard_id = 0;
+  spec.output = stem("c0");
+  const auto s0 = run_worker(spec);
+  spec.shard_id = 1;
+  spec.format = RecordFormat::kBinary;
+  spec.output = stem("c1");
+  const auto s1 = run_worker(spec);
+  ASSERT_TRUE(s0.complete && s1.complete);
+
+  const auto estimates = coarse_estimates_from_records(
+      {s0.records_path, s1.records_path}, n);
+  ASSERT_EQ(estimates.size(), n);
+
+  // Same sweep, monolithic JSONL: identical estimates (the simulator seed
+  // derives from the global index, and both encodings are bit-exact).
+  spec.shard_id = 0;
+  spec.shard_count = 1;
+  spec.format = RecordFormat::kJsonl;
+  spec.output = stem("mono");
+  const auto mono = run_worker(spec);
+  const auto reference =
+      coarse_estimates_from_records({mono.records_path}, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(estimates[i].latency_ms, reference[i].latency_ms);
+    EXPECT_EQ(estimates[i].energy_mj, reference[i].energy_mj);
+  }
+
+  // Coverage gaps are refused.
+  EXPECT_THROW((void)coarse_estimates_from_records({s1.records_path}, n),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::runtime::shard

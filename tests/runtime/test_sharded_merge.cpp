@@ -180,7 +180,7 @@ TEST_F(ShardedMergeTest, ResumeAfterKillIsByteIdentical) {
   EXPECT_EQ(first.shard_records, 4u);
   // A real kill can also tear the in-flight line; simulate that too.
   {
-    std::ofstream out(first.jsonl_path, std::ios::binary | std::ios::app);
+    std::ofstream out(first.records_path, std::ios::binary | std::ios::app);
     out << "{\"i\":torn";
   }
   spec.resume = true;
@@ -189,7 +189,7 @@ TEST_F(ShardedMergeTest, ResumeAfterKillIsByteIdentical) {
   EXPECT_EQ(second.resumed_records, 4u);
   EXPECT_EQ(second.evaluated_records, clean.shard_records - 4u);
 
-  EXPECT_EQ(read_file(second.jsonl_path), read_file(clean.jsonl_path));
+  EXPECT_EQ(read_file(second.records_path), read_file(clean.records_path));
   // Partials agree on everything except wall time; compare via merge with
   // the sibling shard.
   WorkerSpec other = spec;
@@ -209,7 +209,7 @@ TEST_F(ShardedMergeTest, ResumeAfterKillIsByteIdentical) {
   const auto third = run_worker(spec);
   EXPECT_TRUE(third.complete);
   EXPECT_EQ(third.evaluated_records, 0u);
-  EXPECT_EQ(read_file(third.jsonl_path), read_file(clean.jsonl_path));
+  EXPECT_EQ(read_file(third.records_path), read_file(clean.records_path));
 }
 
 TEST_F(ShardedMergeTest, ResumeRefusesADifferentGrid) {

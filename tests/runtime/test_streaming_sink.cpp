@@ -171,7 +171,9 @@ TEST_F(StreamingSinkTest, PartialJsonRoundTripsExactly) {
 TEST_F(StreamingSinkTest, WritesChunkedRecordsAndCheckpoints) {
   const auto grid = small_grid();
   const core::XrPerformanceModel model;
-  const SinkOptions options{stem("sweep"), 4};
+  SinkOptions options;
+  options.output_stem = stem("sweep");
+  options.chunk_records = 4;
   const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size()};
 
   StreamingSink sink(options, id);
@@ -181,7 +183,7 @@ TEST_F(StreamingSinkTest, WritesChunkedRecordsAndCheckpoints) {
   EXPECT_EQ(partial.evaluated(), grid.size());
 
   // Every record is one parseable line with the right index.
-  std::ifstream in(sink.jsonl_path());
+  std::ifstream in(sink.records_path());
   std::string line;
   std::size_t count = 0;
   while (std::getline(in, line)) {
@@ -201,7 +203,9 @@ TEST_F(StreamingSinkTest, WritesChunkedRecordsAndCheckpoints) {
 TEST_F(StreamingSinkTest, ScanRecoversPrefixAndDropsTornTail) {
   const auto grid = small_grid();
   const core::XrPerformanceModel model;
-  const SinkOptions options{stem("sweep"), 2};
+  SinkOptions options;
+  options.output_stem = stem("sweep");
+  options.chunk_records = 2;
   const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size()};
   const ShardPlan plan(grid.size(), 1, ShardStrategy::kRange);
 
@@ -238,7 +242,9 @@ TEST_F(StreamingSinkTest, ScanRecoversPrefixAndDropsTornTail) {
 TEST_F(StreamingSinkTest, ScanStopsAtCorruptOrMisorderedLines) {
   const auto grid = small_grid();
   const core::XrPerformanceModel model;
-  const SinkOptions options{stem("sweep"), 8};
+  SinkOptions options;
+  options.output_stem = stem("sweep");
+  options.chunk_records = 8;
   const ShardIdentity id{0, 1, ShardStrategy::kRange, grid.size()};
   const ShardPlan plan(grid.size(), 1, ShardStrategy::kRange);
 
@@ -260,7 +266,9 @@ TEST_F(StreamingSinkTest, ScanStopsAtCorruptOrMisorderedLines) {
   EXPECT_EQ(recovered.records, 2u);
 
   // A missing file is just an empty recovery.
-  const SinkOptions missing{stem("nothing"), 8};
+  SinkOptions missing;
+  missing.output_stem = stem("nothing");
+  missing.chunk_records = 8;
   const auto empty = StreamingSink::scan_existing(missing, id, plan);
   EXPECT_EQ(empty.records, 0u);
   EXPECT_EQ(empty.valid_bytes, 0u);

@@ -236,7 +236,7 @@ TEST_F(SweepRequestTest, MetricsRecordsFollowTheSlimSchema) {
   ASSERT_TRUE(outcome.complete);
 
   // Schema: exactly {"i", "latency_ms", "energy_mj"}, in that order.
-  const Json record = Json::parse(first_line(outcome.jsonl_path));
+  const Json record = Json::parse(first_line(outcome.records_path));
   const auto& members = record.as_object();
   ASSERT_EQ(members.size(), 3u);
   EXPECT_EQ(members[0].first, "i");
@@ -244,7 +244,7 @@ TEST_F(SweepRequestTest, MetricsRecordsFollowTheSlimSchema) {
   EXPECT_EQ(members[2].first, "energy_mj");
 
   // Slim records still parse, flagged as slim, with the exact totals.
-  const auto parsed = shard::parse_record_line(first_line(outcome.jsonl_path));
+  const auto parsed = shard::parse_record_line(first_line(outcome.records_path));
   EXPECT_TRUE(parsed.slim);
   const auto reference = core::XrPerformanceModel{}.evaluate(
       request.grid.build().at(0));
@@ -272,7 +272,7 @@ TEST_F(SweepRequestTest, MetricsModeHoldsTheMergeLawAndResumes) {
   const auto resumed = shard::run_worker(spec);
   ASSERT_TRUE(resumed.complete);
 
-  std::ifstream a(resumed.jsonl_path, std::ios::binary);
+  std::ifstream a(resumed.records_path, std::ios::binary);
   std::ifstream b(stem("m") + "0.jsonl", std::ios::binary);
   std::stringstream sa, sb;
   sa << a.rdbuf();
@@ -289,14 +289,14 @@ TEST_F(SweepRequestTest, MetricsModeMismatchedResumeRewritesTheStream) {
       request, 0, 3, shard::ShardStrategy::kRange, stem("mixed"));
   const auto full = shard::run_worker(spec);
   ASSERT_TRUE(full.complete);
-  EXPECT_FALSE(shard::parse_record_line(first_line(full.jsonl_path)).slim);
+  EXPECT_FALSE(shard::parse_record_line(first_line(full.records_path)).slim);
 
   spec.metrics = true;
   spec.resume = true;
   const auto rewritten = shard::run_worker(spec);
   ASSERT_TRUE(rewritten.complete);
   EXPECT_EQ(rewritten.resumed_records, 0u);  // nothing salvageable
-  EXPECT_TRUE(shard::parse_record_line(first_line(rewritten.jsonl_path)).slim);
+  EXPECT_TRUE(shard::parse_record_line(first_line(rewritten.records_path)).slim);
 }
 
 }  // namespace

@@ -3,6 +3,11 @@
 //   $ sweep_merge --out merged.summary.json
 //                 out/s0.partial.json out/s1.partial.json ...
 //
+// Operands may be .partial.json checkpoints or record streams directly
+// (.jsonl with its sibling checkpoint for identity, or self-identifying
+// .xrb binary streams), in any mix — each path is autodetected by
+// extension and folded into the same merge.
+//
 // With --check FILE the merged summary is compared field-by-field (bitwise
 // on every double) against a reference summary — typically the one a
 // single-process run (shard_count = 1) produced — and the exit code
@@ -33,7 +38,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: sweep_merge [--out FILE] [--check FILE] "
                "[--request FILE [--plan-out FILE]] "
-               "[--metrics-out FILE] PARTIAL.json...\n");
+               "[--metrics-out FILE] (PARTIAL.json|RECORDS.jsonl|"
+               "RECORDS.xrb)...\n");
 }
 
 }  // namespace

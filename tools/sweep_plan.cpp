@@ -22,9 +22,10 @@
 //   $ sweep_plan --request adaptive.json --summary-out mono.summary.json
 //
 //   # derive the refinement set from a completed coarse pass (the K
-//   # pass-1 record streams, any disjoint complete cover of the grid)
+//   # pass-1 record streams — .jsonl or .xrb in any mix, autodetected —
+//   # any disjoint complete cover of the grid)
 //   $ sweep_plan --request adaptive.json --refine-out refine.json
-//                out/c0.jsonl out/c1.jsonl out/c2.jsonl
+//                out/c0.jsonl out/c1.xrb out/c2.jsonl
 //
 // The sharded offload counterpart is `sweep_worker --request` per shard +
 // `sweep_merge --request ... --plan-out`; scripts/sweep_offload_plan.sh
@@ -56,7 +57,8 @@ void usage() {
       "                  [--band F]\n"
       "       sweep_plan --request FILE [--plan-out FILE]\n"
       "       sweep_plan --request FILE --summary-out FILE\n"
-      "       sweep_plan --request FILE --refine-out FILE COARSE.jsonl...\n");
+      "       sweep_plan --request FILE --refine-out FILE "
+      "COARSE.jsonl|COARSE.xrb...\n");
 }
 
 double parse_num(const std::string& flag, const std::string& text) {
@@ -202,7 +204,7 @@ int main(int argc, char** argv) {
       if (record_paths.empty())
         throw std::runtime_error(
             "--refine-out needs the coarse record streams "
-            "(COARSE.jsonl...)");
+            "(COARSE.jsonl|COARSE.xrb...)");
       const std::size_t grid_size = request.grid.build().size();
       // Records carry no fingerprint per line, so provenance is verified
       // through each stream's sibling checkpoint: it must identify THIS
@@ -212,13 +214,13 @@ int main(int argc, char** argv) {
           request.grid, xr::runtime::coarse_evaluator(request.evaluator,
                                                       *request.adaptive));
       for (const auto& path : record_paths) {
-        const std::string suffix = ".jsonl";
-        if (path.size() <= suffix.size() ||
-            path.compare(path.size() - suffix.size(), suffix.size(),
-                         suffix) != 0)
+        const auto format = xr::runtime::shard::format_from_path(path);
+        if (!format)
           throw std::runtime_error(
-              "--refine-out expects <stem>.jsonl record streams; got '" +
-              path + "'");
+              "--refine-out expects <stem>.jsonl or <stem>.xrb record "
+              "streams; got '" + path + "'");
+        const std::string suffix =
+            xr::runtime::shard::format_extension(*format);
         const std::string partial_path =
             path.substr(0, path.size() - suffix.size()) + ".partial.json";
         const auto partial = xr::runtime::shard::PartialReduction::from_json(
@@ -230,7 +232,7 @@ int main(int argc, char** argv) {
               " (checkpoint " + partial_path +
               " carries a different sweep fingerprint)");
       }
-      const auto estimates = xr::runtime::coarse_estimates_from_jsonl(
+      const auto estimates = xr::runtime::coarse_estimates_from_records(
           record_paths, grid_size);
       xr::runtime::RefinementSet set;
       set.fingerprint = request.fingerprint();

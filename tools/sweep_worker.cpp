@@ -1,9 +1,12 @@
 // sweep_worker — evaluate one shard of a scenario grid, streaming results.
 //
-// One process per shard; each writes <out>.jsonl (index-tagged
-// PerformanceReport records) and <out>.partial.json (the mergeable
-// reduction). sweep_merge folds K partials back into the monolithic
-// summary. scripts/sweep_sharded.sh drives the whole flow.
+// One process per shard; each writes a record stream of index-tagged
+// PerformanceReport records — <out>.jsonl, or <out>.xrb with
+// --format binary (the columnar encoding of runtime/shard/binary_stream.h)
+// — and <out>.partial.json (the mergeable reduction). sweep_merge folds K
+// partials back into the monolithic summary; the merge law holds across
+// formats, so shards of one sweep may mix encodings freely.
+// scripts/sweep_sharded.sh drives the whole flow.
 //
 //   # shard 1 of 3 of the testbed ablation grid
 //   $ sweep_worker --ablation-grid --shard-id 1 --shard-count 3
@@ -19,7 +22,7 @@
 //
 //   # adaptive-fidelity request (runtime/adaptive.h), sharded: run the
 //   # coarse leg, derive the refinement set once (sweep_plan --refine-out
-//   # over all coarse .jsonl streams), then the fine leg copies
+//   # over all coarse record streams), then the fine leg copies
 //   # unrefined records from this shard's coarse stream
 //   $ sweep_worker --request adaptive.json --pass coarse
 //                  --shard-id 0 --shard-count 3 --out out/c0
@@ -69,6 +72,7 @@ void usage() {
       "range|strided]\n"
       "                    [--evaluator analytical|ground_truth]\n"
       "                    [--gt-seed N] [--gt-frames N] [--metrics]\n"
+      "                    [--format jsonl|binary]\n"
       "                    [--pass coarse|fine] [--refine FILE | "
       "--refine-all]\n"
       "                    [--coarse STEM]\n"
@@ -204,6 +208,8 @@ int main(int argc, char** argv) {
         spec.grain = parse_size(arg, value());
       } else if (arg == "--metrics") {
         spec.metrics = true;
+      } else if (arg == "--format") {
+        spec.format = format_from_name(value());
       } else if (arg == "--resume") {
         spec.resume = true;
       } else if (arg == "--max-records") {
@@ -261,7 +267,7 @@ int main(int argc, char** argv) {
         spec.adaptive
             ? (spec.adaptive_pass == 1 ? ", coarse leg" : ", refine leg")
             : "",
-        outcome.jsonl_path.c_str(),
+        outcome.records_path.c_str(),
         outcome.shard_records, outcome.resumed_records,
         outcome.evaluated_records,
         outcome.complete ? "complete" : "stopped early (checkpointed)");
