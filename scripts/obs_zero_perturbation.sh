@@ -12,7 +12,11 @@
 #      files carry wall-clock stats and are deliberately NOT diffed raw);
 #   2. a plan-index build + serves across all three tiers (exact / snap /
 #      computed): index.json and every serve's stdout must be
-#      byte-identical.
+#      byte-identical;
+#   3. an elastic-service run (sweep_coordinator + one sweep_worker
+#      --serve, no churn, so the stems are the deterministic
+#      shard<k>.a0): the record streams must be byte-identical and the
+#      merged summaries bitwise equivalent.
 #
 # Finally the obs-on build's --metrics-out snapshots are grepped for the
 # shard-worker and serving-tier counters, so the gate also fails if the
@@ -30,7 +34,7 @@ BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 OFF_DIR="$BUILD_DIR/obs-off"
 
-for bin in sweep_worker sweep_merge plan_index; do
+for bin in sweep_worker sweep_merge plan_index sweep_plan sweep_coordinator; do
   if [[ ! -x "$BUILD_DIR/$bin" ]]; then
     echo "obs_zero_perturbation.sh: build $bin first (looked in $BUILD_DIR)" >&2
     exit 2
@@ -47,10 +51,16 @@ cmake -S "$SRC_DIR" -B "$OFF_DIR" \
       -DXR_OBS_DISABLED=ON \
       -DXR_BUILD_TESTS=OFF -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF \
       >/dev/null
-cmake --build "$OFF_DIR" --target sweep_worker sweep_merge plan_index -j \
-      "$(nproc)" >/dev/null
+cmake --build "$OFF_DIR" \
+      --target sweep_worker sweep_merge plan_index sweep_plan \
+               sweep_coordinator -j "$(nproc)" >/dev/null
 
-OUT="$(mktemp -d "${TMPDIR:-/tmp}/obs_zero.XXXXXX")"
+# Prefer tmpfs: the serving worker rewrites checkpoints every slice, and
+# a disk mounted with synchronous discard turns each rewrite into TRIM
+# latency that can outlast a lease.
+TMP_ROOT="${TMPDIR:-/tmp}"
+if [[ -d /dev/shm && -w /dev/shm ]]; then TMP_ROOT=/dev/shm; fi
+OUT="$(mktemp -d "$TMP_ROOT/obs_zero.XXXXXX")"
 trap 'rm -rf "$OUT"' EXIT
 
 run_sweep() {  # $1 = bindir, $2 = outdir
@@ -103,6 +113,26 @@ done
                          "$OUT/on/s0.partial.json" "$OUT/on/s1.partial.json" \
                          >/dev/null
 
+# Coordinator + one serving worker, no churn: every shard completes on
+# attempt 0, so the stems are the deterministic shard<k>.a0 pair.
+run_service() {  # $1 = bindir, $2 = outdir
+  local bin="$1" out="$2"
+  mkdir -p "$out/svc"
+  "$bin/sweep_plan" --emit-request --alpha 0.5 > "$out/svc/request.json"
+  "$bin/sweep_worker" --serve --mail "$out/svc/mail" --name w0 \
+                      --slice-records 16 --heartbeat-ms 50 --poll-ms 5 \
+                      --idle-timeout-ms 60000 >/dev/null &
+  local wpid=$!
+  "$bin/sweep_coordinator" --request "$out/svc/request.json" \
+                           --mail "$out/svc/mail" \
+                           --shard-dir "$out/svc/shards" --shards 2 \
+                           --chunk-records 16 --lease-timeout-ms 20000 \
+                           --out "$out/svc/summary.json" \
+                           --metrics-out "$out/svc/service.metrics.json" \
+                           >/dev/null
+  wait "$wpid"
+}
+
 echo "== workload B: plan-index build + 3-tier serves, obs on vs obs off =="
 run_index "$BUILD_DIR" "$OUT/on"
 run_index "$OFF_DIR" "$OUT/off"
@@ -111,6 +141,18 @@ for f in index.spec.json index.json serve_exact.txt serve_snap.txt \
   cmp "$OUT/on/$f" "$OUT/off/$f" \
     || { echo "obs_zero_perturbation.sh: $f differs between builds" >&2; exit 1; }
 done
+
+echo "== workload C: elastic sweep service, obs on vs obs off =="
+run_service "$BUILD_DIR" "$OUT/on"
+run_service "$OFF_DIR" "$OUT/off"
+for f in svc/shards/shard0.a0.jsonl svc/shards/shard1.a0.jsonl; do
+  cmp "$OUT/on/$f" "$OUT/off/$f" \
+    || { echo "obs_zero_perturbation.sh: $f differs between builds" >&2; exit 1; }
+done
+# Summaries via the merge law's equivalence (wall stats excluded).
+"$BUILD_DIR/sweep_merge" --check "$OUT/off/svc/summary.json" \
+                         "$OUT/on/svc/shards/shard0.a0.partial.json" \
+                         "$OUT/on/svc/shards/shard1.a0.partial.json" >/dev/null
 
 echo "== instrumentation present in the obs-on snapshots =="
 grep -q '"shard.worker.records_streamed":' "$OUT/on/s0.metrics.json"
@@ -124,8 +166,13 @@ grep -q '"shard.merge.merges":' "$OUT/on/merge.metrics.json"
 grep -q '"serving.plan_index.exact_hits":1' "$OUT/on/serve.metrics.json" \
   || grep -q '"serving.plan_index.computed":1' "$OUT/on/serve.metrics.json"
 grep -q '"serving.kernel.decisions":' "$OUT/on/build.metrics.json"
+grep -q '"service.coordinator.leases_completed":2' \
+  "$OUT/on/svc/service.metrics.json"
+# The label's quotes are JSON-escaped inside the document string.
+grep -q 'worker=\\"w0\\"' "$OUT/on/svc/service.metrics.json"
 # And the stub build's snapshots really are empty.
 grep -q '"counters":{}' "$OUT/off/s0.metrics.json"
+grep -q '"counters":{}' "$OUT/off/svc/service.metrics.json"
 
 echo
 echo "obs_zero_perturbation.sh: OK (all outputs bitwise identical, obs on == obs off)"

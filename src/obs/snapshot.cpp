@@ -1,5 +1,6 @@
 #include "obs/snapshot.h"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -141,14 +142,85 @@ std::string snapshot_json(bool include_trace) {
 }
 
 void write_snapshot_file(const std::string& path, bool include_trace) {
+  write_document_file(capture(include_trace), path);
+}
+
+void write_document_file(const ObsDocument& doc, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out)
     throw std::runtime_error("obs: cannot open metrics file '" + path +
                              "' for writing");
-  out << snapshot_json(include_trace) << "\n";
+  out << doc.to_json().dump() << "\n";
   if (!out)
     throw std::runtime_error("obs: failed writing metrics file '" + path +
                              "'");
+}
+
+namespace {
+
+std::string labeled_name(const std::string& name, const std::string& key,
+                         const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+template <typename Section>
+void sort_section(Section& s) {
+  std::sort(s.begin(), s.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+template <typename Section>
+void merge_labeled_section(Section& into, const Section& from,
+                           const std::string& key, const std::string& value) {
+  for (const auto& [name, data] : from)
+    into.emplace_back(labeled_name(name, key, value), data);
+}
+
+template <typename Section>
+void check_unique(const Section& s, const char* what) {
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i].first == s[i - 1].first)
+      throw std::invalid_argument(
+          std::string("aggregate_labeled: duplicate ") + what + " '" +
+          s[i].first + "' (same source labeled twice?)");
+}
+
+}  // namespace
+
+Snapshot label_snapshot(Snapshot s, const std::string& key,
+                        const std::string& value) {
+  for (auto& [name, v] : s.counters) name = labeled_name(name, key, value);
+  for (auto& [name, v] : s.gauges) name = labeled_name(name, key, value);
+  for (auto& [name, v] : s.histograms) name = labeled_name(name, key, value);
+  sort_section(s.counters);
+  sort_section(s.gauges);
+  sort_section(s.histograms);
+  return s;
+}
+
+ObsDocument aggregate_labeled(
+    const ObsDocument& local,
+    const std::vector<std::pair<std::string, ObsDocument>>& workers,
+    const std::string& label_key) {
+  ObsDocument out;
+  out.label = local.label;
+  out.metrics = local.metrics;
+  out.trace = local.trace;
+  for (const auto& [worker, doc] : workers) {
+    merge_labeled_section(out.metrics.counters, doc.metrics.counters,
+                          label_key, worker);
+    merge_labeled_section(out.metrics.gauges, doc.metrics.gauges, label_key,
+                          worker);
+    merge_labeled_section(out.metrics.histograms, doc.metrics.histograms,
+                          label_key, worker);
+  }
+  sort_section(out.metrics.counters);
+  sort_section(out.metrics.gauges);
+  sort_section(out.metrics.histograms);
+  check_unique(out.metrics.counters, "counter");
+  check_unique(out.metrics.gauges, "gauge");
+  check_unique(out.metrics.histograms, "histogram");
+  return out;
 }
 
 }  // namespace xr::obs

@@ -16,6 +16,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/jsonio.h"
 #include "obs/registry.h"
@@ -48,5 +50,27 @@ struct ObsDocument {
 /// trailing newline). Throws std::runtime_error when the file cannot be
 /// written. Backs every tool's --metrics-out flag.
 void write_snapshot_file(const std::string& path, bool include_trace = true);
+
+/// Write an already-assembled document (e.g. the sweep coordinator's
+/// aggregated, worker-labeled snapshot) instead of capturing the global
+/// registry. Same file shape as write_snapshot_file.
+void write_document_file(const ObsDocument& doc, const std::string& path);
+
+/// Rewrite every metric name in `s` to carry one Prometheus-style label:
+/// "shard.worker.chunks" -> "shard.worker.chunks{worker=\"w0\"}". Names
+/// stay unique (the label value differs per source) and each section is
+/// re-sorted, so the result is still a valid Snapshot.
+[[nodiscard]] Snapshot label_snapshot(Snapshot s, const std::string& key,
+                                      const std::string& value);
+
+/// One aggregated service document: the local (coordinator) snapshot
+/// unlabeled plus each worker's metrics under a `label_key` label
+/// dimension, merged name-sorted. Worker traces are dropped — only the
+/// local trace (if any) is carried; a metric name that would collide
+/// after labeling (same worker listed twice) throws.
+[[nodiscard]] ObsDocument aggregate_labeled(
+    const ObsDocument& local,
+    const std::vector<std::pair<std::string, ObsDocument>>& workers,
+    const std::string& label_key = "worker");
 
 }  // namespace xr::obs

@@ -1,0 +1,299 @@
+#include "runtime/service/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "runtime/offload_search.h"
+#include "runtime/shard/record_stream.h"
+
+namespace xr::runtime::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CoordinatorMetrics {
+  obs::Counter workers_registered{"service.coordinator.workers_registered"};
+  obs::Counter workers_deregistered{
+      "service.coordinator.workers_deregistered"};
+  obs::Counter leases_granted{"service.coordinator.leases_granted"};
+  obs::Counter leases_completed{"service.coordinator.leases_completed"};
+  obs::Counter leases_failed{"service.coordinator.leases_failed"};
+  obs::Counter lease_expired{"service.lease.expired"};
+  obs::Counter lease_reassigned{"service.lease.reassigned"};
+  obs::Counter stale_messages{"service.coordinator.stale_messages"};
+  obs::Counter records_merged{"service.coordinator.records_merged"};
+  obs::Counter snapshots_collected{"service.coordinator.snapshots_collected"};
+  obs::Gauge workers_live{"service.coordinator.workers_live"};
+  obs::Gauge leases_done{"service.coordinator.leases_done"};
+
+  static CoordinatorMetrics& get() {
+    static CoordinatorMetrics m;
+    return m;
+  }
+};
+
+std::uint64_t now_ms() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+struct WorkerState {
+  bool live = false;                   ///< registered and not presumed dead.
+  std::optional<std::size_t> lease;    ///< active lease, if any.
+  std::optional<obs::ObsDocument> snapshot;
+};
+
+/// Per-shard attempt stem: <shard_dir>/shard<k>.a<attempt>. Attempt
+/// numbering keeps a revoked straggler's writes off the stream the next
+/// attempt resumes.
+std::string attempt_stem(const std::string& dir, std::size_t shard,
+                         std::size_t attempt) {
+  return (fs::path(dir) /
+          ("shard" + std::to_string(shard) + ".a" + std::to_string(attempt)))
+      .string();
+}
+
+}  // namespace
+
+CoordinatorResult run_coordinator(Transport& transport,
+                                  const SweepRequest& request,
+                                  const CoordinatorOptions& options) {
+  if (options.shards == 0)
+    throw std::invalid_argument("coordinator: shards must be >= 1");
+  if (options.shard_dir.empty())
+    throw std::invalid_argument("coordinator: shard_dir is required");
+  if (request.adaptive)
+    throw std::invalid_argument(
+        "coordinator: adaptive requests are not lease-schedulable yet — "
+        "run the two-pass flow of scripts/sweep_adaptive.sh");
+  fs::create_directories(options.shard_dir);
+
+  CoordinatorMetrics& metrics = CoordinatorMetrics::get();
+  const obs::Span span("service.coordinate");
+  const std::uint64_t fingerprint = request.fingerprint();
+
+  // Workers fetch the request document at their first grant; publish it
+  // before any lease can be granted.
+  transport.publish(kRequestKey, request.to_json().dump() + "\n");
+
+  LeaseTable table(options.shards, options.lease_timeout_ms,
+                   options.max_attempts);
+  std::map<std::string, WorkerState> workers;
+  // One fold per shard, collected as lease_complete messages land; the
+  // final merge is the pure merge_partials over all of them.
+  std::vector<std::optional<shard::PartialReduction>> partials(options.shards);
+  CoordinatorResult result;
+
+  const auto live_workers = [&] {
+    std::size_t n = 0;
+    for (const auto& [name, w] : workers) n += w.live ? 1 : 0;
+    return n;
+  };
+
+  const auto grant_to = [&](const std::string& name, WorkerState& w) {
+    if (!w.live || w.lease) return;
+    const auto assignment = table.assign(name, now_ms());
+    if (!assignment) return;
+    LeaseGrantBody grant;
+    grant.lease = assignment->lease;
+    grant.attempt = assignment->attempt;
+    grant.shard_count = options.shards;
+    grant.strategy = shard::ShardStrategy::kRange;
+    grant.output =
+        attempt_stem(options.shard_dir, assignment->lease, assignment->attempt);
+    if (assignment->previous_attempt)
+      grant.resume_from = attempt_stem(options.shard_dir, assignment->lease,
+                                       *assignment->previous_attempt);
+    grant.fingerprint = fingerprint;
+    w.lease = assignment->lease;
+    transport.send(name, make_lease_grant(grant));
+    metrics.leases_granted.add();
+  };
+
+  const auto grant_pending = [&] {
+    for (auto& [name, w] : workers) grant_to(name, w);
+  };
+
+  // ---- event loop -------------------------------------------------------
+  while (!table.all_done()) {
+    for (const Message& msg : transport.poll(kCoordinatorEndpoint)) {
+      WorkerState* w = nullptr;
+      if (msg.kind != MessageKind::kRegister) {
+        auto it = workers.find(msg.from);
+        if (it == workers.end()) {
+          metrics.stale_messages.add();
+          continue;  // never registered (or message from a prior run).
+        }
+        w = &it->second;
+      }
+      switch (msg.kind) {
+        case MessageKind::kRegister: {
+          WorkerState& state = workers[msg.from];
+          if (!state.live) {
+            state.live = true;
+            ++result.workers_seen;
+            metrics.workers_registered.add();
+          }
+          // A rejoin after a revoke carries no lease by construction; a
+          // duplicate register while leased is a worker restart — its old
+          // lease deadline will expire and reassign.
+          break;
+        }
+        case MessageKind::kDeregister: {
+          table.release_worker(msg.from);  // lease back to pending.
+          w->live = false;
+          w->lease.reset();
+          metrics.workers_deregistered.add();
+          break;
+        }
+        case MessageKind::kHeartbeat: {
+          const auto hb = HeartbeatBody::from_json(msg.body);
+          if (hb.busy &&
+              !table.heartbeat(msg.from, hb.lease, hb.attempt,
+                               hb.records_done, now_ms()))
+            metrics.stale_messages.add();
+          break;
+        }
+        case MessageKind::kLeaseComplete: {
+          const auto done = LeaseCompleteBody::from_json(msg.body);
+          if (!table.complete(msg.from, done.lease, done.attempt)) {
+            metrics.stale_messages.add();
+            break;
+          }
+          w->lease.reset();
+          // Streaming merge: fold this shard's records through the
+          // RecordSource seam now, while other shards are still running.
+          try {
+            shard::PartialReduction partial =
+                shard::partial_from_records(done.records_path);
+            if (partial.identity().grid_fingerprint != fingerprint)
+              throw std::runtime_error(
+                  "completed shard carries the wrong sweep fingerprint");
+            metrics.records_merged.add(partial.evaluated());
+            partials[done.lease] = std::move(partial);
+            metrics.leases_completed.add();
+            metrics.leases_done.set(double(table.done_count()));
+          } catch (const std::exception& e) {
+            // The stream on disk is unusable (torn, foreign, deleted):
+            // treat as a failed attempt and reassign.
+            metrics.leases_failed.add();
+            if (!table.fail(msg.from, done.lease, done.attempt)) {
+              // complete() above already flipped it to done — undo is not
+              // possible through the public API, so abort loudly instead
+              // of merging garbage.
+              throw std::runtime_error(
+                  std::string("coordinator: completed shard ") +
+                  std::to_string(done.lease) +
+                  " has an unusable record stream: " + e.what());
+            }
+          }
+          break;
+        }
+        case MessageKind::kLeaseFailed: {
+          const auto failed = LeaseFailedBody::from_json(msg.body);
+          metrics.leases_failed.add();
+          if (table.fail(msg.from, failed.lease, failed.attempt))
+            w->lease.reset();
+          else
+            metrics.stale_messages.add();
+          break;
+        }
+        case MessageKind::kSnapshot: {
+          w->snapshot = obs::ObsDocument::from_json(msg.body.at("doc"));
+          metrics.snapshots_collected.add();
+          break;
+        }
+        default:
+          metrics.stale_messages.add();
+          break;
+      }
+    }
+
+    // Expire leases whose holders went quiet: presume the worker dead,
+    // tell it to abandon in case it is merely slow, reassign the shard.
+    for (const LeaseExpiry& expired : table.expire(now_ms())) {
+      metrics.lease_expired.add();
+      metrics.lease_reassigned.add();
+      ++result.leases_reassigned;
+      auto it = workers.find(expired.holder);
+      if (it != workers.end()) {
+        it->second.live = false;
+        it->second.lease.reset();
+      }
+      transport.send(expired.holder,
+                     make_revoke({expired.lease, expired.attempt}));
+    }
+
+    grant_pending();
+    metrics.workers_live.set(double(live_workers()));
+    if (table.all_done()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+
+  // ---- final merge ------------------------------------------------------
+  std::vector<shard::PartialReduction> folded;
+  folded.reserve(options.shards);
+  for (std::size_t k = 0; k < options.shards; ++k) {
+    if (!partials[k])
+      throw std::runtime_error("coordinator: shard " + std::to_string(k) +
+                               " is done but carries no fold");
+    folded.push_back(*partials[k]);
+  }
+  result.summary = shard::merge_partials(folded);
+  if (request.reduction.kind == ReductionKind::kOffloadPlan)
+    result.plan = core::offload_plan_from_summary(request, result.summary);
+
+  // ---- drain: shutdown broadcast + snapshot collection ------------------
+  for (const auto& [name, w] : workers)
+    if (w.live) transport.send(name, make_shutdown());
+  const std::uint64_t drain_deadline = now_ms() + options.shutdown_grace_ms;
+  const auto all_drained = [&] {
+    for (const auto& [name, w] : workers)
+      if (w.live) return false;
+    return true;
+  };
+  while (!all_drained() && now_ms() < drain_deadline) {
+    for (const Message& msg : transport.poll(kCoordinatorEndpoint)) {
+      auto it = workers.find(msg.from);
+      switch (msg.kind) {
+        case MessageKind::kRegister:
+          // A very late joiner: nothing left to do — send it home.
+          transport.send(msg.from, make_shutdown());
+          break;
+        case MessageKind::kSnapshot:
+          if (it != workers.end()) {
+            it->second.snapshot =
+                obs::ObsDocument::from_json(msg.body.at("doc"));
+            metrics.snapshots_collected.add();
+          }
+          break;
+        case MessageKind::kDeregister:
+          if (it != workers.end()) {
+            it->second.live = false;
+            metrics.workers_deregistered.add();
+          }
+          break;
+        default:
+          break;  // stragglers; the sweep is already merged.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+
+  // ---- aggregated, worker-labeled snapshot ------------------------------
+  std::vector<std::pair<std::string, obs::ObsDocument>> labeled;
+  for (const auto& [name, w] : workers)
+    if (w.snapshot) labeled.emplace_back(name, *w.snapshot);
+  result.metrics = obs::aggregate_labeled(obs::capture(), labeled);
+  return result;
+}
+
+}  // namespace xr::runtime::service

@@ -1,0 +1,87 @@
+// The sweep coordinator: owns one SweepRequest, leases its shards to an
+// elastic worker pool, and streaming-merges the results.
+//
+// The headline invariant (the scripts.sweep_service churn gate): workers
+// joining, dying, or leaving mid-sweep never change a byte of the merged
+// output. It follows from three established laws plus one new rule:
+//
+//   * the partition is FIXED up front — options.shards leases over a
+//     range ShardPlan, independent of how many workers ever register, so
+//     each shard's record stream is the same stream a static K-shard run
+//     writes;
+//   * re-execution is resume — an expired lease's next attempt copies the
+//     dead attempt's stem forward and resumes from its longest valid
+//     prefix, and the checkpoint/resume machinery (PR 2/8) makes that
+//     byte-identical to an uninterrupted run;
+//   * merging is the PR 2 merge law — each completed shard folds through
+//     partial_from_records (the PR 8 RecordSource seam, so JSONL and
+//     binary shards fold alike) the moment its lease_complete arrives,
+//     and merge_partials over the K folds equals the monolithic
+//     run_request bitwise;
+//   * attempt-numbered stems (shard<k>.a<n>) keep a revoked-but-alive
+//     straggler from ever writing the stream a reassigned attempt reads.
+//
+// Liveness: workers heartbeat while holding a lease; a missed deadline
+// expires the lease (service.lease.reassigned), sends the presumed-dead
+// holder a revoke (a live straggler abandons and re-registers), and
+// returns the shard to the pending queue. A shard that burns
+// max_attempts assignments aborts the sweep with a named error.
+//
+// Telemetry: workers attach their "xr.obs.snapshot.v1" document at
+// shutdown; the coordinator exposes ONE aggregated snapshot — its own
+// metrics unlabeled plus every worker's under a worker="name" label
+// (obs::aggregate_labeled) — through CoordinatorResult / --metrics-out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/optimizer.h"
+#include "obs/snapshot.h"
+#include "runtime/service/lease.h"
+#include "runtime/service/transport.h"
+#include "runtime/shard/merge.h"
+#include "runtime/sweep_request.h"
+
+namespace xr::runtime::service {
+
+struct CoordinatorOptions {
+  /// The fixed shard partition (this IS the merged summary's shard_count;
+  /// worker churn never changes it).
+  std::size_t shards = 4;
+  /// Directory for per-shard output stems (created on demand).
+  std::string shard_dir;
+  /// A lease expires when its holder misses heartbeats this long.
+  std::uint64_t lease_timeout_ms = 3000;
+  /// Event-loop poll cadence.
+  std::uint64_t poll_ms = 25;
+  /// A shard that burns this many assignments aborts the sweep.
+  std::size_t max_attempts = 16;
+  /// How long to wait after broadcasting shutdown for worker snapshots
+  /// and goodbyes.
+  std::uint64_t shutdown_grace_ms = 2000;
+};
+
+struct CoordinatorResult {
+  shard::MergedSummary summary;
+  /// Engaged when the request's reduction is offload_plan.
+  std::optional<core::OffloadPlan> plan;
+  /// The aggregated, worker-labeled service snapshot.
+  obs::ObsDocument metrics;
+  std::size_t workers_seen = 0;
+  std::size_t leases_reassigned = 0;
+};
+
+/// Run one sweep to completion over whatever workers show up. Publishes
+/// the request document on the transport's blob board, grants/expires/
+/// reassigns leases, folds each completed shard as it lands, broadcasts
+/// shutdown, and returns the merged result. Blocking; throws on invalid
+/// requests (adaptive requests are not lease-schedulable yet), exhausted
+/// shard attempts, and unrecoverable transport failure.
+[[nodiscard]] CoordinatorResult run_coordinator(Transport& transport,
+                                                const SweepRequest& request,
+                                                const CoordinatorOptions& options);
+
+}  // namespace xr::runtime::service

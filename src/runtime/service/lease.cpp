@@ -1,0 +1,116 @@
+#include "runtime/service/lease.h"
+
+#include <stdexcept>
+
+namespace xr::runtime::service {
+
+LeaseTable::LeaseTable(std::size_t shard_count, std::uint64_t timeout_ms,
+                       std::size_t max_attempts)
+    : leases_(shard_count), timeout_ms_(timeout_ms),
+      max_attempts_(max_attempts) {
+  if (shard_count == 0)
+    throw std::invalid_argument("LeaseTable: shard_count must be >= 1");
+  if (timeout_ms == 0)
+    throw std::invalid_argument("LeaseTable: timeout_ms must be >= 1");
+  if (max_attempts == 0)
+    throw std::invalid_argument("LeaseTable: max_attempts must be >= 1");
+}
+
+std::optional<LeaseAssignment> LeaseTable::assign(const std::string& worker,
+                                                  std::uint64_t now_ms) {
+  if (worker.empty())
+    throw std::invalid_argument("LeaseTable: empty worker name");
+  for (std::size_t k = 0; k < leases_.size(); ++k) {
+    LeaseInfo& l = leases_[k];
+    if (l.state != LeaseState::kPending) continue;
+    LeaseAssignment out;
+    out.lease = k;
+    if (l.ever_assigned) {
+      if (l.attempt + 1 >= max_attempts_)
+        throw std::runtime_error(
+            "LeaseTable: shard " + std::to_string(k) + " failed " +
+            std::to_string(max_attempts_) +
+            " attempts — aborting the sweep (inspect the shard stems)");
+      out.attempt = l.attempt + 1;
+      out.previous_attempt = l.attempt;
+    } else {
+      out.attempt = 0;
+    }
+    l.state = LeaseState::kActive;
+    l.holder = worker;
+    l.attempt = out.attempt;
+    l.ever_assigned = true;
+    l.deadline_ms = now_ms + timeout_ms_;
+    return out;
+  }
+  return std::nullopt;
+}
+
+bool LeaseTable::heartbeat(const std::string& worker, std::size_t lease,
+                           std::size_t attempt, std::size_t records_done,
+                           std::uint64_t now_ms) {
+  if (lease >= leases_.size()) return false;
+  LeaseInfo& l = leases_[lease];
+  if (l.state != LeaseState::kActive || l.holder != worker ||
+      l.attempt != attempt)
+    return false;
+  l.deadline_ms = now_ms + timeout_ms_;
+  l.records_done = records_done;
+  return true;
+}
+
+bool LeaseTable::complete(const std::string& worker, std::size_t lease,
+                          std::size_t attempt) {
+  if (lease >= leases_.size()) return false;
+  LeaseInfo& l = leases_[lease];
+  if (l.state != LeaseState::kActive || l.holder != worker ||
+      l.attempt != attempt)
+    return false;
+  l.state = LeaseState::kDone;
+  ++done_;
+  return true;
+}
+
+bool LeaseTable::fail(const std::string& worker, std::size_t lease,
+                      std::size_t attempt) {
+  if (lease >= leases_.size()) return false;
+  LeaseInfo& l = leases_[lease];
+  if (l.state != LeaseState::kActive || l.holder != worker ||
+      l.attempt != attempt)
+    return false;
+  l.state = LeaseState::kPending;
+  l.holder.clear();
+  return true;
+}
+
+std::vector<LeaseExpiry> LeaseTable::expire(std::uint64_t now_ms) {
+  std::vector<LeaseExpiry> out;
+  for (std::size_t k = 0; k < leases_.size(); ++k) {
+    LeaseInfo& l = leases_[k];
+    if (l.state != LeaseState::kActive || l.deadline_ms >= now_ms) continue;
+    out.push_back({k, l.holder, l.attempt});
+    l.state = LeaseState::kPending;
+    l.holder.clear();
+  }
+  return out;
+}
+
+std::vector<std::size_t> LeaseTable::release_worker(const std::string& worker) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < leases_.size(); ++k) {
+    LeaseInfo& l = leases_[k];
+    if (l.state != LeaseState::kActive || l.holder != worker) continue;
+    out.push_back(k);
+    l.state = LeaseState::kPending;
+    l.holder.clear();
+  }
+  return out;
+}
+
+const LeaseInfo& LeaseTable::info(std::size_t lease) const {
+  if (lease >= leases_.size())
+    throw std::out_of_range("LeaseTable: lease out of range");
+  return leases_[lease];
+}
+
+}  // namespace xr::runtime::service

@@ -1,0 +1,185 @@
+#include "runtime/service/transport.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace xr::runtime::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TransportMetrics {
+  obs::Counter sent{"service.transport.messages_sent"};
+  obs::Counter received{"service.transport.messages_received"};
+  obs::Counter retries{"service.transport.retries"};
+  obs::Counter torn{"service.transport.torn_messages"};
+
+  static TransportMetrics& get() {
+    static TransportMetrics m;
+    return m;
+  }
+};
+
+/// Run `op` under the bounded-backoff retry policy. Transient filesystem
+/// errors (directory-iteration races, permission flickers on shared
+/// mailboxes) are retried with exponentially growing sleeps; the final
+/// failure propagates.
+template <typename Op>
+auto with_retries(const FsTransportOptions& options, Op&& op) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return op();
+    } catch (const fs::filesystem_error&) {
+      if (attempt >= options.max_retries) throw;
+      TransportMetrics::get().retries.add();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          options.backoff_initial_us << attempt));
+    }
+  }
+}
+
+void write_file_atomic(const fs::path& dir, const fs::path& final_path,
+                       const std::string& content,
+                       const FsTransportOptions& options) {
+  with_retries(options, [&] {
+    fs::create_directories(dir);
+    // Dot prefix keeps half-written files invisible to poll(); rename on
+    // the same filesystem makes publication atomic.
+    // (Built via append, not operator+ chaining: GCC 12's -Wrestrict
+    // false-fires on `"." + std::string(...) + ".tmp"` here.)
+    std::string tmp_name = ".";
+    tmp_name += final_path.filename().string();
+    tmp_name += ".tmp";
+    const fs::path tmp = dir / tmp_name;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out)
+        throw fs::filesystem_error(
+            "cannot open message temp file", tmp,
+            std::make_error_code(std::errc::io_error));
+      out << content;
+      out.flush();
+      if (!out)
+        throw fs::filesystem_error(
+            "failed writing message temp file", tmp,
+            std::make_error_code(std::errc::io_error));
+    }
+    fs::rename(tmp, final_path);
+  });
+}
+
+}  // namespace
+
+Transport::~Transport() = default;
+
+void validate_endpoint_name(const std::string& name) {
+  if (name.empty() || name.front() == '.')
+    throw std::invalid_argument("service endpoint name '" + name +
+                                "' is empty or starts with '.'");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok)
+      throw std::invalid_argument(
+          "service endpoint name '" + name +
+          "' may only contain [A-Za-z0-9._-] (it becomes a mailbox path)");
+  }
+}
+
+FsTransport::FsTransport(std::string root, FsTransportOptions options)
+    : root_(std::move(root)), options_(options) {
+  if (root_.empty())
+    throw std::invalid_argument("FsTransport: empty root directory");
+}
+
+void FsTransport::send(const std::string& to, const Message& msg) {
+  validate_endpoint_name(to);
+  validate_endpoint_name(msg.from);
+  const fs::path mailbox = fs::path(root_) / "mail" / to;
+  // Sequence first (zero-padded) so one sender's messages sort in send
+  // order; sender + pid distinguish concurrent senders and restarts.
+  char name[160];
+  std::snprintf(name, sizeof name, "m-%010zu-%s-%ld.json", seq_++,
+                msg.from.c_str(), long(::getpid()));
+  write_file_atomic(mailbox, mailbox / name, msg.to_json().dump() + "\n",
+                    options_);
+  TransportMetrics::get().sent.add();
+}
+
+std::vector<Message> FsTransport::poll(const std::string& inbox) {
+  validate_endpoint_name(inbox);
+  const fs::path mailbox = fs::path(root_) / "mail" / inbox;
+  std::vector<std::string> names = with_retries(options_, [&] {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(mailbox, ec)) {
+      const std::string n = entry.path().filename().string();
+      if (!n.empty() && n.front() != '.') out.push_back(n);
+    }
+    if (ec && ec != std::errc::no_such_file_or_directory)
+      throw fs::filesystem_error("cannot list mailbox", mailbox, ec);
+    return out;
+  });
+  std::sort(names.begin(), names.end());
+
+  std::vector<Message> messages;
+  for (const std::string& n : names) {
+    const fs::path path = mailbox / n;
+    const std::string key = path.string();
+    std::string text;
+    try {
+      text = core::read_text_file(key);
+    } catch (const std::exception&) {
+      continue;  // consumed by a concurrent poller between list and read
+    }
+    try {
+      messages.push_back(Message::from_json(core::Json::parse(text)));
+      suspect_.erase(key);
+    } catch (const std::exception&) {
+      // Torn or foreign file: never fatal. First sight is ignored (a
+      // non-atomic writer may still be mid-write); still unparseable on
+      // the next poll -> cleaned up, so garbage cannot wedge the mailbox.
+      TransportMetrics::get().torn.add();
+      if (suspect_[key]++ > 0) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        suspect_.erase(key);
+      }
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(path, ec);  // consume
+    TransportMetrics::get().received.add();
+  }
+  return messages;
+}
+
+void FsTransport::publish(const std::string& key, const std::string& content) {
+  validate_endpoint_name(key);
+  const fs::path board = fs::path(root_) / "board";
+  write_file_atomic(board, board / key, content, options_);
+}
+
+std::optional<std::string> FsTransport::fetch(const std::string& key) {
+  validate_endpoint_name(key);
+  const fs::path path = fs::path(root_) / "board" / key;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return std::nullopt;
+  try {
+    return core::read_text_file(path.string());
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace xr::runtime::service

@@ -1,0 +1,99 @@
+// Pluggable message transport of the elastic sweep service.
+//
+// The coordinator and its workers are processes that exchange Messages
+// (message.h) through named mailboxes plus one tiny blob board (the
+// coordinator publishes the SweepRequest document once; workers fetch it
+// at their first grant). The interface is deliberately this narrow —
+// send / poll / publish / fetch, no connections, no callbacks — so a
+// socket backend can implement it later without touching either state
+// machine.
+//
+// FsTransport is the first backend: a filesystem/localhost mailbox rooted
+// at a service directory.
+//
+//   <root>/mail/<endpoint>/m-<seq>-<sender>-<pid>.json   one message each
+//   <root>/board/<key>                                   published blobs
+//
+// Delivery is atomic-rename: a message is written to a dot-prefixed temp
+// file in the destination mailbox and renamed into place, so a reader
+// never observes a partial message under POSIX rename semantics. Readers
+// consume (delete) messages after parsing; per-sender order is preserved
+// by a zero-padded per-process sequence number in the file name.
+//
+// Hardening (the service must survive a messy shared directory):
+//   * transient filesystem errors (directory-iteration races, EACCES
+//     flickers under contention) are retried under bounded exponential
+//     backoff — counted in `service.transport.retries` — before becoming
+//     an error;
+//   * a message file that does not parse is NEVER fatal: it is ignored on
+//     first sight (a slow non-atomic writer may still be mid-write) and
+//     deleted when still unparseable on the next poll — counted in
+//     `service.transport.torn_messages`;
+//   * leftover temp files from crashed senders are invisible to poll()
+//     (dot prefix) and cleaned up opportunistically.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/service/message.h"
+
+namespace xr::runtime::service {
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// Deliver one message to `to`'s mailbox. Visible to a subsequent
+  /// poll(to) in any process sharing the transport once this returns.
+  /// Throws std::runtime_error on unrecoverable I/O failure.
+  virtual void send(const std::string& to, const Message& msg) = 0;
+
+  /// Drain `inbox`: every pending message, per-sender arrival order,
+  /// consumed (a message is returned exactly once across all polls).
+  virtual std::vector<Message> poll(const std::string& inbox) = 0;
+
+  /// Publish a small named blob (atomically replacing any previous value).
+  virtual void publish(const std::string& key, const std::string& content) = 0;
+
+  /// Read a published blob; nullopt when nothing was published under key.
+  virtual std::optional<std::string> fetch(const std::string& key) = 0;
+};
+
+/// Endpoint/key names are path components; restrict them to
+/// [A-Za-z0-9._-] (not starting with '.') so no name can escape the
+/// mailbox root. Throws std::invalid_argument on anything else.
+void validate_endpoint_name(const std::string& name);
+
+struct FsTransportOptions {
+  /// Bounded exponential backoff for transient filesystem errors:
+  /// attempt n sleeps backoff_initial_us << n, up to max_retries attempts.
+  std::size_t max_retries = 6;
+  std::size_t backoff_initial_us = 200;
+};
+
+class FsTransport : public Transport {
+ public:
+  /// Roots the mailbox tree at `root` (created on demand).
+  explicit FsTransport(std::string root, FsTransportOptions options = {});
+
+  void send(const std::string& to, const Message& msg) override;
+  std::vector<Message> poll(const std::string& inbox) override;
+  void publish(const std::string& key, const std::string& content) override;
+  std::optional<std::string> fetch(const std::string& key) override;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  std::string root_;
+  FsTransportOptions options_;
+  std::size_t seq_ = 0;
+  /// Unparseable message files seen by the previous poll of each inbox:
+  /// still-unparseable on the next sight -> deleted (ignored-then-cleaned).
+  std::map<std::string, int> suspect_;
+};
+
+}  // namespace xr::runtime::service

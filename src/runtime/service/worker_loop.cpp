@@ -1,0 +1,236 @@
+#include "runtime/service/worker_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "runtime/shard/worker.h"
+#include "runtime/sweep_request.h"
+
+namespace xr::runtime::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter grants{"service.worker.grants"};
+  obs::Counter completed{"service.worker.leases_completed"};
+  obs::Counter failed{"service.worker.leases_failed"};
+  obs::Counter revoked{"service.worker.revocations"};
+  obs::Counter slices{"service.worker.slices"};
+  obs::Counter heartbeats{"service.worker.heartbeats_sent"};
+
+  static ServeMetrics& get() {
+    static ServeMetrics m;
+    return m;
+  }
+};
+
+std::uint64_t now_ms() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+/// Carry a dead attempt's surviving output forward so its flushed prefix
+/// is resumed, not re-evaluated. Missing source files are fine (the
+/// attempt died before its first flush); a copy that catches a torn tail
+/// is fine too (the resume scan truncates it).
+void copy_attempt_forward(const std::string& from_stem,
+                          const std::string& to_stem) {
+  static const char* kSuffixes[] = {".jsonl", ".xrb", ".partial.json"};
+  for (const char* suffix : kSuffixes) {
+    std::error_code ec;
+    const fs::path src = from_stem + suffix;
+    if (!fs::exists(src, ec)) continue;
+    fs::copy_file(src, fs::path(to_stem + suffix),
+                  fs::copy_options::overwrite_existing, ec);
+    if (ec)
+      throw std::runtime_error("serve: cannot copy " + src.string() + " to " +
+                               to_stem + suffix + ": " + ec.message());
+  }
+}
+
+/// The active lease: the grant plus the ready-to-run worker spec.
+struct ActiveLease {
+  LeaseGrantBody grant;
+  shard::WorkerSpec spec;
+  /// options.slice_records rounded up to the spec's checkpoint chunk —
+  /// binary streams accept only chunk-aligned resume prefixes (the
+  /// byte-identity-on-the-chunk-grid rule of binary_stream.h), so a slice
+  /// that stopped mid-chunk would be truncated by the next slice's resume
+  /// scan and re-evaluated forever.
+  std::size_t slice_records = 1;
+  std::size_t records_done = 0;
+};
+
+}  // namespace
+
+WorkerLoopOutcome run_service_worker(Transport& transport,
+                                     const WorkerLoopOptions& options) {
+  validate_endpoint_name(options.name);
+  if (options.slice_records == 0)
+    throw std::invalid_argument("serve: slice_records must be >= 1");
+
+  WorkerLoopOutcome out;
+  std::optional<SweepRequest> request;  // fetched + cached at first grant.
+  std::uint64_t request_fingerprint = 0;
+  std::optional<ActiveLease> active;
+  std::uint64_t last_heartbeat = 0;
+  std::uint64_t last_contact = now_ms();
+  ServeMetrics& metrics = ServeMetrics::get();
+
+  transport.send(kCoordinatorEndpoint, make_register(options.name));
+
+  const auto send_heartbeat = [&](std::uint64_t now) {
+    HeartbeatBody hb;
+    if (active) {
+      hb.busy = true;
+      hb.lease = active->grant.lease;
+      hb.attempt = active->grant.attempt;
+      hb.records_done = active->records_done;
+    }
+    transport.send(kCoordinatorEndpoint, make_heartbeat(options.name, hb));
+    metrics.heartbeats.add();
+    last_heartbeat = now;
+  };
+
+  const auto start_lease = [&](const LeaseGrantBody& grant) {
+    if (!request || request_fingerprint != grant.fingerprint) {
+      const auto text = transport.fetch(kRequestKey);
+      if (!text)
+        throw std::runtime_error(
+            "serve: coordinator has not published the request document");
+      request = SweepRequest::from_json(core::Json::parse(*text));
+      request_fingerprint = request->fingerprint();
+    }
+    if (request_fingerprint != grant.fingerprint)
+      throw std::runtime_error(
+          "serve: lease_grant fingerprint does not match the published "
+          "request (stale service directory?)");
+    if (request->adaptive)
+      throw std::runtime_error(
+          "serve: adaptive requests are not lease-schedulable yet — run "
+          "the two-pass flow of scripts/sweep_adaptive.sh");
+    if (!grant.resume_from.empty())
+      copy_attempt_forward(grant.resume_from, grant.output);
+    ActiveLease lease;
+    lease.grant = grant;
+    // Resume is always on: attempt 0 of a restarted coordinator picks up
+    // its own previous output, a reassignment picks up the copied prefix,
+    // and a fresh stem just starts empty.
+    lease.spec = shard::WorkerSpec::from_request(
+        *request, grant.lease, grant.shard_count, grant.strategy,
+        grant.output, /*resume=*/true);
+    const std::size_t chunk =
+        std::max<std::size_t>(lease.spec.chunk_records, 1);
+    lease.slice_records =
+        (options.slice_records + chunk - 1) / chunk * chunk;
+    active = std::move(lease);
+    metrics.grants.add();
+  };
+
+  for (;;) {
+    bool saw_message = false;
+    for (const Message& msg : transport.poll(options.name)) {
+      saw_message = true;
+      switch (msg.kind) {
+        case MessageKind::kLeaseGrant: {
+          const auto grant = LeaseGrantBody::from_json(msg.body);
+          try {
+            start_lease(grant);
+          } catch (const std::exception& e) {
+            active.reset();
+            metrics.failed.add();
+            transport.send(
+                kCoordinatorEndpoint,
+                make_lease_failed(options.name,
+                                  {grant.lease, grant.attempt, e.what()}));
+          }
+          break;
+        }
+        case MessageKind::kRevoke: {
+          const auto revoke = RevokeBody::from_json(msg.body);
+          if (active && active->grant.lease == revoke.lease &&
+              active->grant.attempt == revoke.attempt) {
+            // The coordinator expired us and has (or will) reassign the
+            // shard; our stem is now the resume source of the next
+            // attempt. Drop the lease and rejoin the pool.
+            active.reset();
+            metrics.revoked.add();
+            transport.send(kCoordinatorEndpoint, make_register(options.name));
+          }
+          break;
+        }
+        case MessageKind::kShutdown: {
+          transport.send(kCoordinatorEndpoint,
+                         make_snapshot(options.name,
+                                       obs::capture(false).to_json()));
+          transport.send(kCoordinatorEndpoint, make_deregister(options.name));
+          out.shutdown = true;
+          return out;
+        }
+        default:
+          break;  // coordinator-bound kinds; ignore.
+      }
+    }
+    const std::uint64_t now = now_ms();
+    if (saw_message) last_contact = now;
+
+    if (active) {
+      if (options.max_slices && out.slices >= options.max_slices) {
+        out.crashed = true;  // simulated kill: vanish mid-lease.
+        return out;
+      }
+      shard::WorkerOutcome slice;
+      try {
+        slice = shard::run_worker(active->spec, active->slice_records);
+      } catch (const std::exception& e) {
+        const LeaseGrantBody grant = active->grant;
+        active.reset();
+        metrics.failed.add();
+        transport.send(
+            kCoordinatorEndpoint,
+            make_lease_failed(options.name,
+                              {grant.lease, grant.attempt, e.what()}));
+        continue;
+      }
+      ++out.slices;
+      metrics.slices.add();
+      out.records_evaluated += slice.evaluated_records;
+      active->records_done = slice.shard_records;
+      send_heartbeat(now_ms());
+      if (options.slice_delay_ms)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.slice_delay_ms));
+      if (slice.complete) {
+        LeaseCompleteBody done;
+        done.lease = active->grant.lease;
+        done.attempt = active->grant.attempt;
+        done.records_path = slice.records_path;
+        done.records = slice.shard_records;
+        transport.send(kCoordinatorEndpoint,
+                       make_lease_complete(options.name, done));
+        metrics.completed.add();
+        ++out.leases_completed;
+        active.reset();
+      }
+      continue;  // no sleep while a lease is in hand.
+    }
+
+    if (options.idle_timeout_ms && now - last_contact > options.idle_timeout_ms) {
+      out.idle_timeout = true;
+      return out;
+    }
+    if (now - last_heartbeat >= options.heartbeat_ms) send_heartbeat(now);
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+  }
+}
+
+}  // namespace xr::runtime::service

@@ -90,6 +90,48 @@ TEST(ObsSnapshot, BenchLabelRoundTrips) {
   EXPECT_EQ(back.label, "my_bench");
 }
 
+TEST(ObsSnapshot, LabelSnapshotRewritesEveryNameAndResorts) {
+  Snapshot s;
+  s.counters = {{"b.count", 2}, {"a.count", 1}};
+  s.gauges = {{"z.level", 4.0}};
+  const Snapshot labeled = label_snapshot(s, "worker", "w0");
+  ASSERT_EQ(labeled.counters.size(), 2u);
+  // Labeling re-sorts, so the sections stay binary-searchable.
+  EXPECT_EQ(labeled.counters[0].first, "a.count{worker=\"w0\"}");
+  EXPECT_EQ(labeled.counters[1].first, "b.count{worker=\"w0\"}");
+  EXPECT_EQ(labeled.counters[0].second, 1u);
+  ASSERT_EQ(labeled.gauges.size(), 1u);
+  EXPECT_EQ(labeled.gauges[0].first, "z.level{worker=\"w0\"}");
+}
+
+TEST(ObsSnapshot, AggregateLabeledMergesLocalAndWorkers) {
+  ObsDocument local;
+  local.label = "coordinator";
+  local.metrics.counters = {{"service.coordinator.leases_granted", 3}};
+  ObsDocument w0, w1;
+  w0.metrics.counters = {{"service.worker.slices", 5}};
+  w1.metrics.counters = {{"service.worker.slices", 7}};
+  const ObsDocument merged =
+      aggregate_labeled(local, {{"w0", w0}, {"w1", w1}});
+  EXPECT_EQ(merged.label, "coordinator");
+  const auto* unlabeled =
+      merged.metrics.counter("service.coordinator.leases_granted");
+  ASSERT_NE(unlabeled, nullptr);
+  EXPECT_EQ(*unlabeled, 3u);
+  const auto* first = merged.metrics.counter(
+      "service.worker.slices{worker=\"w0\"}");
+  const auto* second = merged.metrics.counter(
+      "service.worker.slices{worker=\"w1\"}");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*first, 5u);
+  EXPECT_EQ(*second, 7u);
+  // The same worker listed twice would silently shadow metrics; it
+  // throws instead.
+  EXPECT_THROW((void)aggregate_labeled(local, {{"w0", w0}, {"w0", w1}}),
+               std::invalid_argument);
+}
+
 TEST(ObsSnapshot, TextExpositionListsEverySample) {
   XR_REQUIRE_OBS();
   static Counter c("test.text.counter");

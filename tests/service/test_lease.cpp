@@ -1,0 +1,140 @@
+// LeaseTable semantics, clock-free: grants in shard order, heartbeats
+// extend deadlines, expiry bumps the attempt and records the previous one
+// for resume, stale (worker, lease, attempt) claims never mutate state,
+// and a shard that burns max_attempts aborts with a named error.
+#include "runtime/service/lease.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace xr::runtime::service {
+namespace {
+
+TEST(LeaseTable, AssignsLowestPendingFirst) {
+  LeaseTable table(3, 1000);
+  const auto a = table.assign("w0", 0);
+  const auto b = table.assign("w1", 0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->lease, 0u);
+  EXPECT_EQ(b->lease, 1u);
+  EXPECT_EQ(a->attempt, 0u);
+  EXPECT_FALSE(a->previous_attempt.has_value());
+  // One lease per call; the third goes to whoever asks next.
+  const auto c = table.assign("w0", 0);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->lease, 2u);
+  // Nothing pending left.
+  EXPECT_FALSE(table.assign("w2", 0).has_value());
+}
+
+TEST(LeaseTable, HeartbeatExtendsDeadline) {
+  LeaseTable table(1, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  EXPECT_TRUE(table.heartbeat("w0", 0, 0, 10, 900));
+  // Without the heartbeat the lease would have expired at 1000.
+  EXPECT_TRUE(table.expire(1500).empty());
+  EXPECT_EQ(table.info(0).records_done, 10u);
+  // Past the extended deadline it expires.
+  const auto expired = table.expire(2000);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].lease, 0u);
+  EXPECT_EQ(expired[0].holder, "w0");
+  EXPECT_EQ(expired[0].attempt, 0u);
+}
+
+TEST(LeaseTable, ExpiryReassignsWithBumpedAttemptAndResumeSource) {
+  LeaseTable table(1, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_EQ(table.expire(2000).size(), 1u);
+  const auto again = table.assign("w1", 2000);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->lease, 0u);
+  EXPECT_EQ(again->attempt, 1u);
+  ASSERT_TRUE(again->previous_attempt.has_value());
+  EXPECT_EQ(*again->previous_attempt, 0u);
+}
+
+TEST(LeaseTable, StaleClaimsNeverMutate) {
+  LeaseTable table(1, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_EQ(table.expire(2000).size(), 1u);
+  ASSERT_TRUE(table.assign("w1", 2000));
+  // The dead holder's late messages carry attempt 0 against attempt 1.
+  EXPECT_FALSE(table.heartbeat("w0", 0, 0, 50, 2100));
+  EXPECT_FALSE(table.complete("w0", 0, 0));
+  EXPECT_FALSE(table.fail("w0", 0, 0));
+  // A impostor with the right attempt but wrong name is stale too.
+  EXPECT_FALSE(table.complete("w2", 0, 1));
+  EXPECT_FALSE(table.all_done());
+  // The rightful holder still completes.
+  EXPECT_TRUE(table.complete("w1", 0, 1));
+  EXPECT_TRUE(table.all_done());
+}
+
+TEST(LeaseTable, CompleteIsTerminal) {
+  LeaseTable table(2, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  EXPECT_TRUE(table.complete("w0", 0, 0));
+  EXPECT_EQ(table.done_count(), 1u);
+  // A done lease neither expires nor re-assigns.
+  EXPECT_TRUE(table.expire(5000).empty());
+  const auto next = table.assign("w0", 5000);
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->lease, 1u);
+}
+
+TEST(LeaseTable, FailReturnsLeaseToPending) {
+  LeaseTable table(1, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  EXPECT_TRUE(table.fail("w0", 0, 0));
+  const auto again = table.assign("w1", 10);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->attempt, 1u);
+  ASSERT_TRUE(again->previous_attempt.has_value());
+}
+
+TEST(LeaseTable, ReleaseWorkerFreesAllItsLeases) {
+  LeaseTable table(3, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_TRUE(table.assign("w1", 0));
+  const auto released = table.release_worker("w0");
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 0u);
+  // Released leases re-assign (attempt bumped — the holder may have
+  // flushed a resumable prefix).
+  const auto again = table.assign("w2", 0);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->lease, 0u);
+  EXPECT_EQ(again->attempt, 1u);
+}
+
+TEST(LeaseTable, MaxAttemptsIsANamedAbort) {
+  LeaseTable table(1, 1000, /*max_attempts=*/2);
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_EQ(table.expire(2000).size(), 1u);
+  ASSERT_TRUE(table.assign("w1", 2000));  // attempt 1 — the last allowed.
+  ASSERT_EQ(table.expire(4000).size(), 1u);
+  try {
+    (void)table.assign("w2", 4000);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("attempts"), std::string::npos);
+  }
+}
+
+TEST(LeaseTable, AllDoneTracksEveryLease) {
+  LeaseTable table(2, 1000);
+  EXPECT_FALSE(table.all_done());
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_TRUE(table.assign("w1", 0));
+  EXPECT_TRUE(table.complete("w0", 0, 0));
+  EXPECT_FALSE(table.all_done());
+  EXPECT_TRUE(table.complete("w1", 1, 0));
+  EXPECT_TRUE(table.all_done());
+  EXPECT_EQ(table.done_count(), 2u);
+}
+
+}  // namespace
+}  // namespace xr::runtime::service

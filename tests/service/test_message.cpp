@@ -1,0 +1,149 @@
+// Wire-message contract of the sweep service: every kind round-trips
+// through its envelope bitwise, and parsing is strict — unknown envelope
+// or body fields, wrong schemas, and unknown kinds are named refusals, so
+// two builds that disagree on the protocol fail loudly instead of
+// mis-coordinating a sweep.
+#include "runtime/service/message.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace xr::runtime::service {
+namespace {
+
+using core::Json;
+
+TEST(ServiceMessage, KindNamesRoundTrip) {
+  const MessageKind kinds[] = {
+      MessageKind::kRegister,      MessageKind::kDeregister,
+      MessageKind::kHeartbeat,     MessageKind::kLeaseGrant,
+      MessageKind::kLeaseComplete, MessageKind::kLeaseFailed,
+      MessageKind::kRevoke,        MessageKind::kSnapshot,
+      MessageKind::kShutdown,
+  };
+  for (MessageKind k : kinds)
+    EXPECT_EQ(message_kind_from_name(message_kind_name(k)), k);
+  EXPECT_THROW((void)message_kind_from_name("gossip"), std::invalid_argument);
+}
+
+TEST(ServiceMessage, EnvelopeRoundTripsBitwise) {
+  LeaseGrantBody grant;
+  grant.lease = 3;
+  grant.attempt = 2;
+  grant.shard_count = 8;
+  grant.strategy = shard::ShardStrategy::kRange;
+  grant.output = "out/shard3.a2";
+  grant.resume_from = "out/shard3.a1";
+  grant.fingerprint = 0xdeadbeefcafef00dULL;
+  const Message msg = make_lease_grant(grant);
+  const std::string text = msg.to_json().dump();
+  const Message back = Message::from_json(Json::parse(text));
+  EXPECT_EQ(back.to_json().dump(), text);
+  EXPECT_EQ(back.kind, MessageKind::kLeaseGrant);
+  const auto body = LeaseGrantBody::from_json(back.body);
+  EXPECT_EQ(body.lease, 3u);
+  EXPECT_EQ(body.attempt, 2u);
+  EXPECT_EQ(body.shard_count, 8u);
+  EXPECT_EQ(body.output, "out/shard3.a2");
+  EXPECT_EQ(body.resume_from, "out/shard3.a1");
+  EXPECT_EQ(body.fingerprint, 0xdeadbeefcafef00dULL);
+}
+
+TEST(ServiceMessage, AllBodiesRoundTrip) {
+  {
+    HeartbeatBody hb;
+    hb.busy = true;
+    hb.lease = 1;
+    hb.attempt = 4;
+    hb.records_done = 99;
+    const auto back =
+        HeartbeatBody::from_json(make_heartbeat("w0", hb).body);
+    EXPECT_TRUE(back.busy);
+    EXPECT_EQ(back.lease, 1u);
+    EXPECT_EQ(back.attempt, 4u);
+    EXPECT_EQ(back.records_done, 99u);
+  }
+  {
+    LeaseCompleteBody done;
+    done.lease = 2;
+    done.attempt = 0;
+    done.records_path = "out/shard2.a0.xrb";
+    done.records = 60;
+    const auto back =
+        LeaseCompleteBody::from_json(make_lease_complete("w1", done).body);
+    EXPECT_EQ(back.records_path, "out/shard2.a0.xrb");
+    EXPECT_EQ(back.records, 60u);
+  }
+  {
+    LeaseFailedBody failed;
+    failed.lease = 5;
+    failed.attempt = 1;
+    failed.error = "fingerprint mismatch";
+    const auto back =
+        LeaseFailedBody::from_json(make_lease_failed("w2", failed).body);
+    EXPECT_EQ(back.error, "fingerprint mismatch");
+  }
+  {
+    const auto back = RevokeBody::from_json(make_revoke({7, 3}).body);
+    EXPECT_EQ(back.lease, 7u);
+    EXPECT_EQ(back.attempt, 3u);
+  }
+}
+
+TEST(ServiceMessage, BodylessKindsCarryEmptyBodies) {
+  EXPECT_EQ(make_register("w0").body.dump(), "{}");
+  EXPECT_EQ(make_deregister("w0").body.dump(), "{}");
+  EXPECT_EQ(make_shutdown().body.dump(), "{}");
+  EXPECT_EQ(make_register("w0").from, "w0");
+  EXPECT_EQ(make_shutdown().from, kCoordinatorEndpoint);
+}
+
+TEST(ServiceMessage, UnknownEnvelopeFieldIsNamedRefusal) {
+  Json j = make_register("w0").to_json();
+  j.set("priority", std::size_t{9});
+  try {
+    (void)Message::from_json(j);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("priority"), std::string::npos);
+  }
+}
+
+TEST(ServiceMessage, UnknownBodyFieldIsNamedRefusal) {
+  Json j = make_heartbeat("w0", {}).body;
+  j.set("mood", "fine");
+  try {
+    (void)HeartbeatBody::from_json(j);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mood"), std::string::npos);
+  }
+}
+
+TEST(ServiceMessage, WrongSchemaIsRefused) {
+  Json j = make_register("w0").to_json();
+  j.set("schema", "xr.service.msg.v2");
+  EXPECT_THROW((void)Message::from_json(j), std::invalid_argument);
+}
+
+TEST(ServiceMessage, MissingSchemaIsRefused) {
+  Json j = Json::object();
+  j.set("kind", "register");
+  j.set("from", "w0");
+  j.set("body", Json::object());
+  EXPECT_THROW((void)Message::from_json(j), std::invalid_argument);
+}
+
+TEST(ServiceMessage, SnapshotWrapsDocumentUnderDocKey) {
+  Json doc = Json::object();
+  doc.set("schema", "xr.obs.snapshot.v1");
+  const Message msg = make_snapshot("w0", std::move(doc));
+  EXPECT_EQ(msg.kind, MessageKind::kSnapshot);
+  EXPECT_EQ(msg.body.at("doc").at("schema").as_string(),
+            "xr.obs.snapshot.v1");
+}
+
+}  // namespace
+}  // namespace xr::runtime::service

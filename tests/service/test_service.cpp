@@ -1,0 +1,287 @@
+// In-process integration of the elastic sweep service: a coordinator and
+// worker loops joined by an InMemoryTransport (proving the Transport seam
+// carries the whole protocol — FsTransport is an implementation detail),
+// asserting the headline invariant: the merged summary equals the
+// monolithic run_request bitwise, with and without worker churn, in both
+// record formats.
+#include "runtime/service/coordinator.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "runtime/service/worker_loop.h"
+#include "runtime/sweep_request.h"
+
+namespace xr::runtime::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The second Transport backend: mutex-guarded in-process mailboxes. Its
+/// existence is the test that the coordinator/worker state machines never
+/// reach around the seam (no filesystem assumptions, no FsTransport
+/// casts).
+class InMemoryTransport : public Transport {
+ public:
+  void send(const std::string& to, const Message& msg) override {
+    validate_endpoint_name(to);
+    const std::lock_guard<std::mutex> lock(mu_);
+    queues_[to].push_back(msg);
+  }
+  std::vector<Message> poll(const std::string& inbox) override {
+    validate_endpoint_name(inbox);
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Message> out;
+    out.swap(queues_[inbox]);
+    return out;
+  }
+  void publish(const std::string& key, const std::string& content) override {
+    validate_endpoint_name(key);
+    const std::lock_guard<std::mutex> lock(mu_);
+    board_[key] = content;
+  }
+  std::optional<std::string> fetch(const std::string& key) override {
+    validate_endpoint_name(key);
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = board_.find(key);
+    if (it == board_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::vector<Message>> queues_;
+  std::map<std::string, std::string> board_;
+};
+
+/// Prefer tmpfs: the worker loop's slice cadence rewrites checkpoints
+/// constantly, and a disk mounted with synchronous discard turns each
+/// rewrite into milliseconds-to-seconds of TRIM latency.
+fs::path fast_tmp_root() {
+  std::error_code ec;
+  if (fs::is_directory("/dev/shm", ec)) return "/dev/shm";
+  return fs::temp_directory_path();
+}
+
+class SweepServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fast_tmp_root() /
+           ("xr_service_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+/// A small multi-knob analytical request (12 points, 4-record chunks).
+SweepRequest demo_request() {
+  SweepRequest request;
+  request.grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                     .cpu_clocks_ghz({1.0, 2.0})
+                     .frame_sizes({300, 500, 700})
+                     .codec_bitrates_mbps({2.0, 8.0})
+                     .grid_spec();
+  request.execution.threads = 1;
+  request.execution.chunk_records = 4;
+  return request;
+}
+
+WorkerLoopOptions worker_options(const std::string& name) {
+  WorkerLoopOptions options;
+  options.name = name;
+  options.slice_records = 2;
+  options.heartbeat_ms = 20;
+  options.poll_ms = 2;
+  options.idle_timeout_ms = 20000;  // fail-safe, not the expected exit.
+  return options;
+}
+
+TEST_F(SweepServiceTest, ElasticRunMatchesMonolithicBitwise) {
+  const SweepRequest request = demo_request();
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 3;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+  options.lease_timeout_ms = 5000;
+
+  std::vector<std::thread> pool;
+  std::vector<WorkerLoopOutcome> outcomes(2);
+  for (std::size_t i = 0; i < 2; ++i)
+    pool.emplace_back([&, i] {
+      outcomes[i] = run_service_worker(
+          transport, worker_options("w" + std::to_string(i)));
+    });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  for (auto& t : pool) t.join();
+
+  const shard::MergedSummary reference = run_request(request);
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(result.summary, reference, &why))
+      << why;
+  EXPECT_EQ(result.summary.grid_size, 12u);
+  EXPECT_EQ(result.workers_seen, 2u);
+  EXPECT_EQ(result.leases_reassigned, 0u);
+  EXPECT_FALSE(result.plan.has_value());
+  std::size_t completed = 0;
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.shutdown);
+    completed += out.leases_completed;
+  }
+  EXPECT_EQ(completed, 3u);
+}
+
+TEST_F(SweepServiceTest, WorkerCrashAndLateJoinerKeepOutputBitwise) {
+  SweepRequest request = demo_request();
+  request.execution.format = shard::RecordFormat::kBinary;  // binary leg
+  // Chunk == slice so the crash leaves a flushed, chunk-aligned 2-of-4
+  // record prefix for the reassigned attempt to resume.
+  request.execution.chunk_records = 2;
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 3;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+  // Long enough that a slice can never be mistaken for a death even on a
+  // slow filesystem (a tight timeout here turns into a revoke/re-register
+  // ping-pong that burns attempts); the crashed worker's expiry just
+  // costs the test this one wait.
+  options.lease_timeout_ms = 1500;
+
+  // w0 vanishes after ONE slice — mid-shard, with a flushed 2-of-4-record
+  // prefix on disk — no deregister, exactly like a kill -9.
+  WorkerLoopOptions crash = worker_options("w0");
+  crash.max_slices = 1;
+  std::vector<std::thread> pool;
+  WorkerLoopOutcome crashed, late;
+  pool.emplace_back(
+      [&] { crashed = run_service_worker(transport, crash); });
+  pool.emplace_back([&] {
+    // Late joiner: shows up after the crash is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    late = run_service_worker(transport, worker_options("w1"));
+  });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  for (auto& t : pool) t.join();
+
+  const shard::MergedSummary reference = run_request(request);
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(result.summary, reference, &why))
+      << why;
+  EXPECT_TRUE(crashed.crashed);
+  EXPECT_TRUE(late.shutdown);
+  EXPECT_GE(result.leases_reassigned, 1u);
+  EXPECT_EQ(result.workers_seen, 2u);
+  // The reassignment left an attempt-1 stem next to the dead attempt-0
+  // resume source.
+  bool saw_attempt1 = false;
+  for (const auto& entry : fs::directory_iterator(dir_ / "shards"))
+    if (entry.path().filename().string().find(".a1.xrb") !=
+        std::string::npos)
+      saw_attempt1 = true;
+  EXPECT_TRUE(saw_attempt1) << "no reassigned attempt stem was written";
+}
+
+TEST_F(SweepServiceTest, SingleWorkerDrainsAllShards) {
+  const SweepRequest request = demo_request();
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 4;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+
+  WorkerLoopOutcome out;
+  std::thread worker(
+      [&] { out = run_service_worker(transport, worker_options("solo")); });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  worker.join();
+
+  EXPECT_EQ(out.leases_completed, 4u);
+  EXPECT_EQ(result.workers_seen, 1u);
+  const shard::MergedSummary reference = run_request(request);
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(result.summary, reference, &why))
+      << why;
+}
+
+TEST_F(SweepServiceTest, AggregatedSnapshotCarriesWorkerLabels) {
+  if (!obs::kEnabled)
+    GTEST_SKIP() << "telemetry stubbed out (XR_OBS_DISABLED)";
+  const SweepRequest request = demo_request();
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+
+  std::thread worker([&] {
+    (void)run_service_worker(transport, worker_options("w0"));
+  });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  worker.join();
+
+  bool saw_labeled = false, saw_local = false;
+  for (const auto& [name, value] : result.metrics.metrics.counters) {
+    if (name.find("{worker=\"w0\"}") != std::string::npos) saw_labeled = true;
+    if (name == "service.coordinator.leases_completed") saw_local = true;
+  }
+  EXPECT_TRUE(saw_labeled)
+      << "aggregated snapshot carries no worker-labeled metrics";
+  EXPECT_TRUE(saw_local)
+      << "aggregated snapshot lost the coordinator's own metrics";
+}
+
+TEST_F(SweepServiceTest, AdaptiveRequestsAreRefusedByName) {
+  SweepRequest request = demo_request();
+  request.evaluator.kind = shard::EvaluatorKind::kGroundTruth;
+  request.evaluator.frames_per_point = 4;
+  AdaptiveSpec adaptive;
+  adaptive.coarse_frames = 2;
+  adaptive.fine_frames = 4;
+  request.adaptive = adaptive;
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.shard_dir = (dir_ / "shards").string();
+  try {
+    (void)run_coordinator(transport, request, options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("adaptive"), std::string::npos);
+  }
+}
+
+TEST_F(SweepServiceTest, CoordinatorValidatesOptions) {
+  InMemoryTransport transport;
+  const SweepRequest request = demo_request();
+  CoordinatorOptions no_shards;
+  no_shards.shards = 0;
+  no_shards.shard_dir = (dir_ / "shards").string();
+  EXPECT_THROW((void)run_coordinator(transport, request, no_shards),
+               std::invalid_argument);
+  CoordinatorOptions no_dir;
+  no_dir.shard_dir.clear();
+  EXPECT_THROW((void)run_coordinator(transport, request, no_dir),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xr::runtime::service

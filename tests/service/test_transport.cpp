@@ -1,0 +1,123 @@
+// FsTransport contract: atomic-rename delivery in per-sender order,
+// consume-once polls, a working blob board, and hardening — torn message
+// files are ignored then cleaned (never fatal), dot-prefixed temp files
+// are invisible, and hostile endpoint names cannot escape the mailbox
+// root.
+#include "runtime/service/transport.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace xr::runtime::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("xr_transport_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] fs::path mailbox(const std::string& name) const {
+    return root_ / "mail" / name;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FsTransportTest, SendPollRoundTripsInOrder) {
+  FsTransport t(root_.string());
+  HeartbeatBody hb;
+  hb.busy = true;
+  for (std::size_t i = 0; i < 5; ++i) {
+    hb.records_done = i;
+    t.send("coordinator", make_heartbeat("w0", hb));
+  }
+  const auto messages = t.poll("coordinator");
+  ASSERT_EQ(messages.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(messages[i].kind, MessageKind::kHeartbeat);
+    EXPECT_EQ(HeartbeatBody::from_json(messages[i].body).records_done, i);
+  }
+  // Consume-once: a second poll sees an empty mailbox.
+  EXPECT_TRUE(t.poll("coordinator").empty());
+}
+
+TEST_F(FsTransportTest, CrossInstanceDelivery) {
+  // Separate instances sharing a root model separate processes.
+  FsTransport sender(root_.string());
+  FsTransport receiver(root_.string());
+  sender.send("w0", make_shutdown());
+  const auto messages = receiver.poll("w0");
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].kind, MessageKind::kShutdown);
+}
+
+TEST_F(FsTransportTest, PublishFetchBlobBoard) {
+  FsTransport t(root_.string());
+  EXPECT_FALSE(t.fetch("request.json").has_value());
+  t.publish("request.json", "{\"a\":1}\n");
+  ASSERT_TRUE(t.fetch("request.json").has_value());
+  EXPECT_EQ(*t.fetch("request.json"), "{\"a\":1}\n");
+  // Atomic replace, not append.
+  t.publish("request.json", "{\"a\":2}\n");
+  EXPECT_EQ(*t.fetch("request.json"), "{\"a\":2}\n");
+}
+
+TEST_F(FsTransportTest, TornMessageIsIgnoredThenCleaned) {
+  FsTransport t(root_.string());
+  t.send("coordinator", make_register("w0"));
+  // A torn write from a crashed or non-atomic sender: valid name, garbage
+  // content. Sorts ahead of real messages to prove it cannot block them.
+  fs::create_directories(mailbox("coordinator"));
+  const fs::path torn = mailbox("coordinator") / "m-0000000000-bad-1.json";
+  std::ofstream(torn) << "{\"schema\": \"xr.service.m";
+  // First sight: ignored (a slow writer may still be mid-write), real
+  // message still delivered, file still on disk.
+  auto messages = t.poll("coordinator");
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].kind, MessageKind::kRegister);
+  EXPECT_TRUE(fs::exists(torn));
+  // Second sight: still unparseable -> deleted, still not fatal.
+  EXPECT_TRUE(t.poll("coordinator").empty());
+  EXPECT_FALSE(fs::exists(torn));
+}
+
+TEST_F(FsTransportTest, TempFilesAreInvisibleToPoll) {
+  FsTransport t(root_.string());
+  fs::create_directories(mailbox("coordinator"));
+  std::ofstream(mailbox("coordinator") / ".m-partial.json.tmp")
+      << "half a mess";
+  EXPECT_TRUE(t.poll("coordinator").empty());
+  t.send("coordinator", make_register("w0"));
+  EXPECT_EQ(t.poll("coordinator").size(), 1u);
+}
+
+TEST_F(FsTransportTest, PollOfUnknownInboxIsEmptyNotError) {
+  FsTransport t(root_.string());
+  EXPECT_TRUE(t.poll("nobody-home").empty());
+}
+
+TEST_F(FsTransportTest, HostileEndpointNamesAreRefused) {
+  FsTransport t(root_.string());
+  EXPECT_THROW(t.send("../escape", make_shutdown()), std::invalid_argument);
+  EXPECT_THROW(t.send("a/b", make_shutdown()), std::invalid_argument);
+  EXPECT_THROW(t.send("", make_shutdown()), std::invalid_argument);
+  EXPECT_THROW(t.send(".hidden", make_shutdown()), std::invalid_argument);
+  EXPECT_THROW((void)t.poll("../mail"), std::invalid_argument);
+  EXPECT_THROW(t.publish("../board", "x"), std::invalid_argument);
+  EXPECT_NO_THROW(t.send("w0.replica-1_a", make_shutdown()));
+}
+
+}  // namespace
+}  // namespace xr::runtime::service

@@ -49,6 +49,13 @@
 //
 // --resume continues a killed run from its last flushed chunk;
 // --max-records N stops after N new records (checkpoint demo / testing).
+//
+// --serve flips the process into the elastic sweep service's worker mode
+// (runtime/service/worker_loop.h): register with the coordinator whose
+// mailbox root is --mail, run granted leases slice by slice, exit on the
+// coordinator's shutdown.
+//
+//   $ sweep_worker --serve --mail out/svc --name w0
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +63,7 @@
 #include <string>
 
 #include "obs/snapshot.h"
+#include "runtime/service/worker_loop.h"
 #include "runtime/shard/worker.h"
 #include "testbed/experiments.h"
 
@@ -79,6 +87,11 @@ void usage() {
       "                    [--chunk N] [--threads N] [--grain N] [--resume] "
       "[--max-records N]\n"
       "                    [--metrics-out FILE]\n"
+      "       sweep_worker --serve --mail DIR --name NAME\n"
+      "                    [--slice-records N] [--heartbeat-ms N] [--poll-ms "
+      "N]\n"
+      "                    [--idle-timeout-ms N] [--crash-after-slices N]\n"
+      "                    [--slice-delay-ms N]\n"
       "       sweep_worker --emit-ablation-grid\n"
       "       sweep_worker --emit-validation-grid local|remote\n");
 }
@@ -102,12 +115,74 @@ std::size_t parse_size(const std::string& flag, const std::string& text) {
   return v;
 }
 
+/// The --serve flag owns the whole command line: lease-driven service
+/// worker, flags parsed here so the classic one-shard flags can't be
+/// half-applied to a serving process.
+int serve_main(int argc, char** argv) {
+  using namespace xr::runtime::service;
+  std::string mail_root, metrics_out;
+  WorkerLoopOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") continue;
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--mail") {
+      mail_root = value();
+    } else if (arg == "--name") {
+      options.name = value();
+    } else if (arg == "--slice-records") {
+      options.slice_records = parse_size(arg, value());
+    } else if (arg == "--heartbeat-ms") {
+      options.heartbeat_ms = parse_size(arg, value());
+    } else if (arg == "--poll-ms") {
+      options.poll_ms = parse_size(arg, value());
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = parse_size(arg, value());
+    } else if (arg == "--crash-after-slices") {
+      options.max_slices = parse_size(arg, value());
+    } else if (arg == "--slice-delay-ms") {
+      options.slice_delay_ms = parse_size(arg, value());
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "sweep_worker: unknown --serve argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (mail_root.empty() || options.name.empty()) {
+    usage();
+    return 2;
+  }
+  FsTransport transport(mail_root);
+  const WorkerLoopOutcome out = run_service_worker(transport, options);
+  std::printf(
+      "sweep_worker: serve '%s' done — %zu leases, %zu records, %zu slices "
+      "(%s)\n",
+      options.name.c_str(), out.leases_completed, out.records_evaluated,
+      out.slices,
+      out.shutdown ? "shutdown"
+                   : out.crashed ? "simulated crash" : "idle timeout");
+  if (!metrics_out.empty()) xr::obs::write_snapshot_file(metrics_out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace xr::runtime::shard;
   using xr::runtime::GridSpec;
   try {
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--serve") == 0) return serve_main(argc, argv);
     WorkerSpec spec;
     bool have_spec = false, have_grid = false;
     bool have_shard_id = false, have_out = false;
