@@ -22,6 +22,14 @@ cmake -B build-werror-obsoff -S . -DXR_WERROR=ON -DXR_OBS_DISABLED=ON \
       -DXR_BUILD_TESTS=OFF -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF
 cmake --build build-werror-obsoff -j
 
+echo "== warnings-clean stub-fault build (-Werror + XR_FAULT_DISABLED) =="
+# Same discipline for the fault-injection layer: failpoint consults
+# compile to inline nullopt stubs and the instrumented sites must stay
+# warning-free with the layer compiled out.
+cmake -B build-werror-faultoff -S . -DXR_WERROR=ON -DXR_FAULT_DISABLED=ON \
+      -DXR_BUILD_TESTS=OFF -DXR_BUILD_BENCH=OFF -DXR_BUILD_EXAMPLES=OFF
+cmake --build build-werror-faultoff -j
+
 echo "== batch runtime: serial vs parallel determinism =="
 ./build/batch_sweep > /dev/null
 (cd build && ./fig4f_roi > /dev/null && cat bench/out/BENCH_fig4f_roi.json)

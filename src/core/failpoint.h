@@ -1,0 +1,137 @@
+// xr::fail — deterministic, schedule-driven fault injection.
+//
+// A *failpoint* is a named hook compiled into a path that can genuinely
+// fail in production (a transport write, a sink flush, a coordinator
+// fold). At runtime each hook asks the process-wide FaultSchedule whether
+// it should fire this hit:
+//
+//   if (auto f = fail::point("transport.send"))
+//     ...apply f->action (throw io_error, truncate, corrupt, drop, delay)
+//
+// The schedule ("xr.fault.schedule.v1" JSON) is a seeded list of rules —
+// per-point triggers (fire on the Nth hit, every Kth hit, or with seeded
+// probability p per hit) bound to an action — loaded either
+// programmatically (load_schedule, tests) or lazily from the
+// XR_FAULT_SCHEDULE environment variable naming a schedule file (tools,
+// chaos scripts). Hit counting and the probability PRNG are owned by the
+// process registry, so replaying the same schedule against the same
+// process behavior fires the same faults: chaos runs are reproducible.
+//
+// Zero perturbation, in the spirit of the obs layer: with no schedule
+// loaded a hook is one relaxed atomic load; under -DXR_FAULT_DISABLED=ON
+// every hook compiles to an inline `return nullopt` stub and the chaos
+// gate (scripts.sweep_service_chaos) proves the stub build's streams are
+// byte-identical to the default build's. Every firing increments the obs
+// counter `fault.<point>.fired`, so a schedule's bite is auditable in any
+// metrics snapshot.
+//
+// Failpoint catalog (what each site honors) lives in DESIGN.md §"Fault
+// injection"; a site silently ignores actions it cannot express.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/jsonio.h"
+
+namespace xr::fail {
+
+/// False in XR_FAULT_DISABLED builds: point() is an inline nullopt stub
+/// and schedules cannot be loaded. Tests gate their assertions on this.
+inline constexpr bool kEnabled =
+#ifdef XR_FAULT_DISABLED
+    false;
+#else
+    true;
+#endif
+
+/// What a firing failpoint asks its site to do. A site applies the subset
+/// it can express and ignores the rest (catalogued in DESIGN.md).
+enum class Action {
+  kIoError,   ///< throw a named I/O error from the site.
+  kTruncate,  ///< tear the write: persist a prefix, then fail.
+  kCorrupt,   ///< flip bytes in the written/fetched payload, no error.
+  kDrop,      ///< swallow the message/blob silently.
+  kDelay,     ///< stall the site for delay_ms, then proceed normally.
+};
+
+[[nodiscard]] const char* action_name(Action a) noexcept;
+[[nodiscard]] Action action_from_name(const std::string& name);
+
+/// Trigger of one rule: when does it fire relative to the point's hits
+/// (1-based, counted per rule)?
+struct Trigger {
+  enum class Kind {
+    kNth,          ///< exactly the n-th hit.
+    kEvery,        ///< every n-th hit (n, 2n, 3n, ...).
+    kProbability,  ///< each hit independently with probability p (seeded).
+  };
+  Kind kind = Kind::kNth;
+  std::size_t n = 1;  ///< kNth / kEvery.
+  double p = 0;       ///< kProbability, in [0, 1].
+};
+
+/// One schedule entry: at `point`, when `trigger` says so, do `action`.
+struct FaultRule {
+  std::string point;
+  Trigger trigger;
+  Action action = Action::kIoError;
+  std::uint64_t delay_ms = 0;  ///< kDelay stall; ignored otherwise.
+  std::size_t max_fires = 0;   ///< stop firing after this many; 0 = never.
+};
+
+/// The serializable process fault plan ("xr.fault.schedule.v1").
+struct FaultSchedule {
+  std::uint64_t seed = 0;  ///< PRNG seed for probability triggers.
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] core::Json to_json() const;
+  /// Strict parse: unknown fields, bad action/trigger names, p outside
+  /// [0,1], n == 0, or a delay action without delay_ms are all named
+  /// std::invalid_argument errors.
+  [[nodiscard]] static FaultSchedule from_json(const core::Json& j);
+};
+
+/// What point() hands a firing site.
+struct Fired {
+  Action action = Action::kIoError;
+  std::uint64_t delay_ms = 0;
+  std::string point;  ///< for naming the injected error.
+};
+
+#ifndef XR_FAULT_DISABLED
+
+/// Install `schedule` as the process fault plan, replacing any previous
+/// one and resetting all hit/fire counters. Thread-safe.
+void load_schedule(const FaultSchedule& schedule);
+
+/// Remove the process fault plan (tests); every point() returns nullopt
+/// again and the XR_FAULT_SCHEDULE environment variable is NOT re-read.
+void clear_schedule();
+
+/// True when a schedule is installed (after env lazy-load, if any).
+[[nodiscard]] bool schedule_loaded();
+
+/// Count one hit of `name` against the process schedule; engaged when a
+/// rule fires (first firing rule wins). With no schedule installed the
+/// first call lazily loads XR_FAULT_SCHEDULE (a schedule file path) if
+/// set — an unreadable or invalid schedule file throws, loudly, rather
+/// than silently running fault-free — after which a hook costs one
+/// relaxed atomic load. Every firing increments `fault.<name>.fired`.
+[[nodiscard]] std::optional<Fired> point(std::string_view name);
+
+#else  // XR_FAULT_DISABLED: every hook is an inline no-op stub.
+
+inline void load_schedule(const FaultSchedule&) {}
+inline void clear_schedule() {}
+[[nodiscard]] inline bool schedule_loaded() { return false; }
+[[nodiscard]] inline std::optional<Fired> point(std::string_view) {
+  return std::nullopt;
+}
+
+#endif
+
+}  // namespace xr::fail

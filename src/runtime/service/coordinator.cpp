@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "runtime/offload_search.h"
@@ -30,6 +31,11 @@ struct CoordinatorMetrics {
   obs::Counter stale_messages{"service.coordinator.stale_messages"};
   obs::Counter records_merged{"service.coordinator.records_merged"};
   obs::Counter snapshots_collected{"service.coordinator.snapshots_collected"};
+  obs::Counter fold_retries{"service.coordinator.fold_retries"};
+  obs::Counter send_failures{"service.coordinator.send_failures"};
+  obs::Counter implicit_registers{"service.coordinator.implicit_registers"};
+  obs::Counter workers_resurrected{"service.coordinator.workers_resurrected"};
+  obs::Counter shards_quarantined{"service.coordinator.shards_quarantined"};
   obs::Gauge workers_live{"service.coordinator.workers_live"};
   obs::Gauge leases_done{"service.coordinator.leases_done"};
 
@@ -85,17 +91,33 @@ CoordinatorResult run_coordinator(Transport& transport,
   transport.publish(kRequestKey, request.to_json().dump() + "\n");
 
   LeaseTable table(options.shards, options.lease_timeout_ms,
-                   options.max_attempts);
+                   options.max_attempts, options.allow_partial);
   std::map<std::string, WorkerState> workers;
   // One fold per shard, collected as lease_complete messages land; the
   // final merge is the pure merge_partials over all of them.
   std::vector<std::optional<shard::PartialReduction>> partials(options.shards);
+  // Why each shard last went back to pending — surfaced per quarantined
+  // shard in the "xr.service.partial.v1" document.
+  std::map<std::size_t, std::string> last_error;
   CoordinatorResult result;
 
   const auto live_workers = [&] {
     std::size_t n = 0;
     for (const auto& [name, w] : workers) n += w.live ? 1 : 0;
     return n;
+  };
+
+  // Best-effort send: control messages whose loss the protocol already
+  // absorbs (revokes, shutdowns — expiry and idle timeouts recover) must
+  // not crash the coordinator when the transport hiccups.
+  const auto safe_send = [&](const std::string& to, const Message& msg) {
+    try {
+      transport.send(to, msg);
+      return true;
+    } catch (const std::exception&) {
+      metrics.send_failures.add();
+      return false;
+    }
   };
 
   const auto grant_to = [&](const std::string& name, WorkerState& w) {
@@ -114,7 +136,13 @@ CoordinatorResult run_coordinator(Transport& transport,
                                        *assignment->previous_attempt);
     grant.fingerprint = fingerprint;
     w.lease = assignment->lease;
-    transport.send(name, make_lease_grant(grant));
+    if (!safe_send(name, make_lease_grant(grant))) {
+      // The worker never saw the grant; waiting for its lease to expire
+      // would only stall the shard. Put it straight back in the queue.
+      table.fail(name, assignment->lease, assignment->attempt);
+      w.lease.reset();
+      return;
+    }
     metrics.leases_granted.add();
   };
 
@@ -123,14 +151,31 @@ CoordinatorResult run_coordinator(Transport& transport,
   };
 
   // ---- event loop -------------------------------------------------------
-  while (!table.all_done()) {
+  while (!table.finished()) {
     for (const Message& msg : transport.poll(kCoordinatorEndpoint)) {
       WorkerState* w = nullptr;
       if (msg.kind != MessageKind::kRegister) {
         auto it = workers.find(msg.from);
         if (it == workers.end()) {
-          metrics.stale_messages.add();
-          continue;  // never registered (or message from a prior run).
+          // An IDLE heartbeat from a stranger is a worker whose register
+          // was lost on the wire — adopt it (implicit register) rather
+          // than strand a live worker forever.
+          bool adopt = false;
+          if (msg.kind == MessageKind::kHeartbeat) {
+            try {
+              adopt = !HeartbeatBody::from_json(msg.body).busy;
+            } catch (const std::exception&) {
+            }
+          }
+          if (!adopt) {
+            metrics.stale_messages.add();
+            continue;  // never registered (or message from a prior run).
+          }
+          workers[msg.from].live = true;
+          ++result.workers_seen;
+          metrics.implicit_registers.add();
+          metrics.workers_registered.add();
+          continue;  // this tick's grant_pending pass can use it already.
         }
         w = &it->second;
       }
@@ -156,54 +201,77 @@ CoordinatorResult run_coordinator(Transport& transport,
         }
         case MessageKind::kHeartbeat: {
           const auto hb = HeartbeatBody::from_json(msg.body);
-          if (hb.busy &&
-              !table.heartbeat(msg.from, hb.lease, hb.attempt,
-                               hb.records_done, now_ms()))
-            metrics.stale_messages.add();
+          if (hb.busy) {
+            if (!table.heartbeat(msg.from, hb.lease, hb.attempt,
+                                 hb.records_done, now_ms()))
+              metrics.stale_messages.add();
+          } else if (!w->live) {
+            // Expiry presumed this worker dead, yet here it is, idle (it
+            // abandoned the revoked lease or finished and lost the
+            // message): let it rejoin the pool.
+            w->live = true;
+            w->lease.reset();
+            metrics.workers_resurrected.add();
+          }
           break;
         }
         case MessageKind::kLeaseComplete: {
           const auto done = LeaseCompleteBody::from_json(msg.body);
-          if (!table.complete(msg.from, done.lease, done.attempt)) {
+          if (!table.holds(msg.from, done.lease, done.attempt)) {
             metrics.stale_messages.add();
             break;
           }
           w->lease.reset();
-          // Streaming merge: fold this shard's records through the
-          // RecordSource seam now, while other shards are still running.
-          try {
-            shard::PartialReduction partial =
-                shard::partial_from_records(done.records_path);
-            if (partial.identity().grid_fingerprint != fingerprint)
-              throw std::runtime_error(
-                  "completed shard carries the wrong sweep fingerprint");
-            metrics.records_merged.add(partial.evaluated());
-            partials[done.lease] = std::move(partial);
+          // Fold FIRST, complete after: a completion is only real once
+          // its records fold (the streaming merge through the
+          // RecordSource seam). A transient read error gets bounded
+          // retries; a persistently unusable stream (torn, corrupt,
+          // deleted, wrong sweep) fails the attempt — reassignment, never
+          // a merged lie and never an aborted sweep.
+          const std::size_t fold_attempts =
+              std::max<std::size_t>(options.fold_retries, 1);
+          std::optional<shard::PartialReduction> partial;
+          std::string error;
+          for (std::size_t t = 0; t < fold_attempts && !partial; ++t) {
+            try {
+              if (const auto fault = fail::point("service.coordinator.fold"))
+                if (fault->action == fail::Action::kIoError)
+                  throw std::runtime_error(
+                      "fault injected: service.coordinator.fold io_error (" +
+                      done.records_path + ")");
+              shard::PartialReduction folded =
+                  shard::partial_from_records(done.records_path);
+              if (folded.identity().grid_fingerprint != fingerprint)
+                throw std::runtime_error(
+                    "completed shard carries the wrong sweep fingerprint");
+              partial = std::move(folded);
+            } catch (const std::exception& e) {
+              error = e.what();
+              if (t + 1 < fold_attempts) metrics.fold_retries.add();
+            }
+          }
+          if (partial) {
+            table.complete(msg.from, done.lease, done.attempt);
+            metrics.records_merged.add(partial->evaluated());
+            partials[done.lease] = std::move(*partial);
             metrics.leases_completed.add();
             metrics.leases_done.set(double(table.done_count()));
-          } catch (const std::exception& e) {
-            // The stream on disk is unusable (torn, foreign, deleted):
-            // treat as a failed attempt and reassign.
+          } else {
             metrics.leases_failed.add();
-            if (!table.fail(msg.from, done.lease, done.attempt)) {
-              // complete() above already flipped it to done — undo is not
-              // possible through the public API, so abort loudly instead
-              // of merging garbage.
-              throw std::runtime_error(
-                  std::string("coordinator: completed shard ") +
-                  std::to_string(done.lease) +
-                  " has an unusable record stream: " + e.what());
-            }
+            table.fail(msg.from, done.lease, done.attempt);
+            last_error[done.lease] = error;
           }
           break;
         }
         case MessageKind::kLeaseFailed: {
           const auto failed = LeaseFailedBody::from_json(msg.body);
           metrics.leases_failed.add();
-          if (table.fail(msg.from, failed.lease, failed.attempt))
+          if (table.fail(msg.from, failed.lease, failed.attempt)) {
             w->lease.reset();
-          else
+            last_error[failed.lease] = failed.error;
+          } else {
             metrics.stale_messages.add();
+          }
           break;
         }
         case MessageKind::kSnapshot: {
@@ -223,37 +291,76 @@ CoordinatorResult run_coordinator(Transport& transport,
       metrics.lease_expired.add();
       metrics.lease_reassigned.add();
       ++result.leases_reassigned;
+      last_error[expired.lease] = "lease expired (holder '" + expired.holder +
+                                  "' missed its heartbeat deadline)";
       auto it = workers.find(expired.holder);
       if (it != workers.end()) {
         it->second.live = false;
         it->second.lease.reset();
       }
-      transport.send(expired.holder,
-                     make_revoke({expired.lease, expired.attempt}));
+      safe_send(expired.holder,
+                make_revoke({expired.lease, expired.attempt}));
     }
 
     grant_pending();
     metrics.workers_live.set(double(live_workers()));
-    if (table.all_done()) break;
+    if (table.finished()) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
   }
 
   // ---- final merge ------------------------------------------------------
+  result.quarantined = table.quarantined_ids();
   std::vector<shard::PartialReduction> folded;
+  std::vector<std::size_t> completed;
   folded.reserve(options.shards);
   for (std::size_t k = 0; k < options.shards; ++k) {
-    if (!partials[k])
+    if (partials[k]) {
+      folded.push_back(*partials[k]);
+      completed.push_back(k);
+    } else if (!std::count(result.quarantined.begin(),
+                           result.quarantined.end(), k)) {
       throw std::runtime_error("coordinator: shard " + std::to_string(k) +
                                " is done but carries no fold");
-    folded.push_back(*partials[k]);
+    }
   }
-  result.summary = shard::merge_partials(folded);
-  if (request.reduction.kind == ReductionKind::kOffloadPlan)
-    result.plan = core::offload_plan_from_summary(request, result.summary);
+  if (result.quarantined.empty()) {
+    result.summary = shard::merge_partials(folded);
+    if (request.reduction.kind == ReductionKind::kOffloadPlan)
+      result.plan = core::offload_plan_from_summary(request, result.summary);
+  } else {
+    // Graceful degradation (allow_partial): merge what completed and emit
+    // the named partial document. No OffloadPlan — an argmin over a
+    // subset of the grid would be a silently wrong answer.
+    metrics.shards_quarantined.add(result.quarantined.size());
+    if (folded.empty())
+      throw std::runtime_error(
+          "coordinator: every shard was quarantined — nothing completed "
+          "(inspect the shard stems under " + options.shard_dir + ")");
+    result.summary =
+        shard::merge_partials(folded, /*require_complete_cover=*/false);
+    core::Json doc = core::Json::object();
+    doc.set("schema", kPartialDocumentSchema);
+    doc.set("total_shards", options.shards);
+    core::Json quarantined_json = core::Json::array();
+    for (std::size_t k : result.quarantined) {
+      core::Json q = core::Json::object();
+      q.set("shard", k);
+      q.set("attempts", table.info(k).attempt + 1);
+      const auto it = last_error.find(k);
+      q.set("last_error", it == last_error.end() ? std::string() : it->second);
+      quarantined_json.push_back(std::move(q));
+    }
+    doc.set("quarantined", std::move(quarantined_json));
+    core::Json completed_json = core::Json::array();
+    for (std::size_t k : completed) completed_json.push_back(k);
+    doc.set("completed", std::move(completed_json));
+    doc.set("summary", result.summary.to_json());
+    result.partial_document = std::move(doc);
+  }
 
   // ---- drain: shutdown broadcast + snapshot collection ------------------
   for (const auto& [name, w] : workers)
-    if (w.live) transport.send(name, make_shutdown());
+    if (w.live) safe_send(name, make_shutdown());
   const std::uint64_t drain_deadline = now_ms() + options.shutdown_grace_ms;
   const auto all_drained = [&] {
     for (const auto& [name, w] : workers)
@@ -266,7 +373,7 @@ CoordinatorResult run_coordinator(Transport& transport,
       switch (msg.kind) {
         case MessageKind::kRegister:
           // A very late joiner: nothing left to do — send it home.
-          transport.send(msg.from, make_shutdown());
+          safe_send(msg.from, make_shutdown());
           break;
         case MessageKind::kSnapshot:
           if (it != workers.end()) {

@@ -25,7 +25,17 @@
 // expires the lease (service.lease.reassigned), sends the presumed-dead
 // holder a revoke (a live straggler abandons and re-registers), and
 // returns the shard to the pending queue. A shard that burns
-// max_attempts assignments aborts the sweep with a named error.
+// max_attempts assignments aborts the sweep with a named error — or,
+// under allow_partial, is quarantined and reported in the
+// "xr.service.partial.v1" document while the completed shards still merge.
+//
+// Fault hardening (the scripts.sweep_service_chaos gate): a completed
+// shard is folded BEFORE its lease flips to done, with bounded retries
+// for transient read errors — a persistently unusable stream fails the
+// attempt and reassigns, never aborts. Lost wire messages are absorbed:
+// an idle heartbeat from an unknown (or presumed-dead) worker re-adopts
+// it, and revoke/shutdown/grant sends are best-effort (a failed grant
+// returns the shard to the queue immediately).
 //
 // Telemetry: workers attach their "xr.obs.snapshot.v1" document at
 // shutdown; the coordinator exposes ONE aggregated snapshot — its own
@@ -37,7 +47,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "core/jsonio.h"
 #include "core/optimizer.h"
 #include "obs/snapshot.h"
 #include "runtime/service/lease.h"
@@ -57,21 +69,44 @@ struct CoordinatorOptions {
   std::uint64_t lease_timeout_ms = 3000;
   /// Event-loop poll cadence.
   std::uint64_t poll_ms = 25;
-  /// A shard that burns this many assignments aborts the sweep.
+  /// A shard that burns this many assignments aborts the sweep — or is
+  /// quarantined instead when allow_partial is set.
   std::size_t max_attempts = 16;
   /// How long to wait after broadcasting shutdown for worker snapshots
   /// and goodbyes.
   std::uint64_t shutdown_grace_ms = 2000;
+  /// Bounded retries of a completed shard's fold (partial_from_records):
+  /// a transient read error must not burn the attempt, let alone the
+  /// sweep. Persistent fold failure fails the attempt -> reassignment.
+  std::size_t fold_retries = 3;
+  /// Graceful degradation: instead of aborting when a shard exhausts
+  /// max_attempts, quarantine it, merge what completed, and emit the
+  /// "xr.service.partial.v1" document (CoordinatorResult::partial_document).
+  bool allow_partial = false;
 };
 
+/// Schema tag of the graceful-degradation document emitted when shards
+/// were quarantined: the quarantined ids (with attempt counts and last
+/// errors), the completed ids, and the merged summary of the completed
+/// subset.
+inline constexpr const char* kPartialDocumentSchema = "xr.service.partial.v1";
+
 struct CoordinatorResult {
+  /// The full merge — or, when shards were quarantined (allow_partial),
+  /// the merge of the completed subset (summary.evaluated < grid_size).
   shard::MergedSummary summary;
-  /// Engaged when the request's reduction is offload_plan.
+  /// Engaged when the request's reduction is offload_plan — never for a
+  /// partial sweep (a plan argmin over a subset would be silently wrong).
   std::optional<core::OffloadPlan> plan;
   /// The aggregated, worker-labeled service snapshot.
   obs::ObsDocument metrics;
   std::size_t workers_seen = 0;
   std::size_t leases_reassigned = 0;
+  /// Shards parked after exhausting max_attempts (allow_partial only).
+  std::vector<std::size_t> quarantined;
+  /// The "xr.service.partial.v1" document; engaged iff quarantined is
+  /// non-empty.
+  std::optional<core::Json> partial_document;
 };
 
 /// Run one sweep to completion over whatever workers show up. Publishes

@@ -5,9 +5,10 @@
 namespace xr::runtime::service {
 
 LeaseTable::LeaseTable(std::size_t shard_count, std::uint64_t timeout_ms,
-                       std::size_t max_attempts)
+                       std::size_t max_attempts, bool quarantine_exhausted)
     : leases_(shard_count), timeout_ms_(timeout_ms),
-      max_attempts_(max_attempts) {
+      max_attempts_(max_attempts),
+      quarantine_exhausted_(quarantine_exhausted) {
   if (shard_count == 0)
     throw std::invalid_argument("LeaseTable: shard_count must be >= 1");
   if (timeout_ms == 0)
@@ -26,11 +27,21 @@ std::optional<LeaseAssignment> LeaseTable::assign(const std::string& worker,
     LeaseAssignment out;
     out.lease = k;
     if (l.ever_assigned) {
-      if (l.attempt + 1 >= max_attempts_)
+      if (l.attempt + 1 >= max_attempts_) {
+        if (quarantine_exhausted_) {
+          // Graceful degradation: park the poisoned shard and keep
+          // scheduling the rest; the coordinator reports it in the
+          // "xr.service.partial.v1" document instead of aborting.
+          l.state = LeaseState::kQuarantined;
+          l.holder.clear();
+          ++quarantined_;
+          continue;
+        }
         throw std::runtime_error(
             "LeaseTable: shard " + std::to_string(k) + " failed " +
             std::to_string(max_attempts_) +
             " attempts — aborting the sweep (inspect the shard stems)");
+      }
       out.attempt = l.attempt + 1;
       out.previous_attempt = l.attempt;
     } else {
@@ -44,6 +55,14 @@ std::optional<LeaseAssignment> LeaseTable::assign(const std::string& worker,
     return out;
   }
   return std::nullopt;
+}
+
+bool LeaseTable::holds(const std::string& worker, std::size_t lease,
+                       std::size_t attempt) const {
+  if (lease >= leases_.size()) return false;
+  const LeaseInfo& l = leases_[lease];
+  return l.state == LeaseState::kActive && l.holder == worker &&
+         l.attempt == attempt;
 }
 
 bool LeaseTable::heartbeat(const std::string& worker, std::size_t lease,
@@ -104,6 +123,13 @@ std::vector<std::size_t> LeaseTable::release_worker(const std::string& worker) {
     l.state = LeaseState::kPending;
     l.holder.clear();
   }
+  return out;
+}
+
+std::vector<std::size_t> LeaseTable::quarantined_ids() const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < leases_.size(); ++k)
+    if (leases_[k].state == LeaseState::kQuarantined) out.push_back(k);
   return out;
 }
 

@@ -23,7 +23,7 @@
 
 namespace xr::runtime::service {
 
-enum class LeaseState { kPending, kActive, kDone };
+enum class LeaseState { kPending, kActive, kDone, kQuarantined };
 
 struct LeaseInfo {
   LeaseState state = LeaseState::kPending;
@@ -56,15 +56,25 @@ class LeaseTable {
   /// `shard_count` leases, each expiring timeout_ms after its last
   /// heartbeat. A lease whose attempt counter would exceed max_attempts
   /// makes assign() throw (named) — the sweep is aborted rather than
-  /// ground forever against a poisoned shard.
+  /// ground forever against a poisoned shard — unless
+  /// `quarantine_exhausted` is set, in which case the lease is parked in
+  /// kQuarantined instead and the sweep degrades gracefully (the
+  /// coordinator's "xr.service.partial.v1" document).
   LeaseTable(std::size_t shard_count, std::uint64_t timeout_ms,
-             std::size_t max_attempts = 16);
+             std::size_t max_attempts = 16, bool quarantine_exhausted = false);
 
   /// Assign the lowest pending lease to `worker`; nullopt when none is
-  /// pending. Throws std::runtime_error when the lease has already burned
-  /// max_attempts assignments.
+  /// pending. A lease that has already burned max_attempts assignments
+  /// throws std::runtime_error — or is quarantined and skipped when the
+  /// table was built with quarantine_exhausted.
   [[nodiscard]] std::optional<LeaseAssignment> assign(
       const std::string& worker, std::uint64_t now_ms);
+
+  /// True iff `worker` currently holds (lease, attempt) active — the
+  /// const precondition of complete()/fail(), checkable before deciding
+  /// which one to call.
+  [[nodiscard]] bool holds(const std::string& worker, std::size_t lease,
+                           std::size_t attempt) const;
 
   /// Extend the deadline of (lease, attempt) iff `worker` is its current
   /// holder and the attempt matches; returns false (stale) otherwise.
@@ -95,13 +105,25 @@ class LeaseTable {
   [[nodiscard]] bool all_done() const noexcept {
     return done_ == leases_.size();
   }
+  /// Shards parked by attempt exhaustion (quarantine mode only), ascending.
+  [[nodiscard]] std::vector<std::size_t> quarantined_ids() const;
+  [[nodiscard]] std::size_t quarantined_count() const noexcept {
+    return quarantined_;
+  }
+  /// Nothing left to schedule: every lease is done or quarantined. Equals
+  /// all_done() outside quarantine mode.
+  [[nodiscard]] bool finished() const noexcept {
+    return done_ + quarantined_ == leases_.size();
+  }
   [[nodiscard]] const LeaseInfo& info(std::size_t lease) const;
 
  private:
   std::vector<LeaseInfo> leases_;
   std::uint64_t timeout_ms_;
   std::size_t max_attempts_;
+  bool quarantine_exhausted_;
   std::size_t done_ = 0;
+  std::size_t quarantined_ = 0;
 };
 
 }  // namespace xr::runtime::service

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/failpoint.h"
 #include "obs/registry.h"
 
 namespace xr::runtime::service {
@@ -42,8 +43,8 @@ auto with_retries(const FsTransportOptions& options, Op&& op) {
     } catch (const fs::filesystem_error&) {
       if (attempt >= options.max_retries) throw;
       TransportMetrics::get().retries.add();
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          options.backoff_initial_us << attempt));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backoff_us(options, attempt)));
     }
   }
 }
@@ -80,6 +81,19 @@ void write_file_atomic(const fs::path& dir, const fs::path& final_path,
 
 }  // namespace
 
+std::uint64_t backoff_us(const FsTransportOptions& options,
+                         std::size_t attempt) noexcept {
+  // Saturating doubling: once the shifted value would pass the cap (or
+  // the shift would pass the width of the integer — UB territory), the
+  // answer is the cap.
+  std::uint64_t us = options.backoff_initial_us;
+  for (std::size_t i = 0; i < attempt; ++i) {
+    if (us >= options.backoff_max_us) break;
+    us *= 2;
+  }
+  return std::min<std::uint64_t>(us, options.backoff_max_us);
+}
+
 Transport::~Transport() = default;
 
 void validate_endpoint_name(const std::string& name) {
@@ -106,13 +120,35 @@ void FsTransport::send(const std::string& to, const Message& msg) {
   validate_endpoint_name(to);
   validate_endpoint_name(msg.from);
   const fs::path mailbox = fs::path(root_) / "mail" / to;
+  std::string content = msg.to_json().dump() + "\n";
+  if (const auto fault = fail::point("transport.send")) {
+    switch (fault->action) {
+      case fail::Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault->delay_ms));
+        break;
+      case fail::Action::kDrop:
+        return;  // swallowed on the wire; the lease protocol must recover.
+      case fail::Action::kCorrupt:
+        // Mangle the first byte: guaranteed unparseable, so the receiver
+        // exercises the ignored-once-then-cleaned torn-message path.
+        content[0] = '#';
+        break;
+      case fail::Action::kTruncate:
+        // A tear mid-document: what a non-atomic writer's crash leaves.
+        content.resize(content.size() / 2);
+        break;
+      case fail::Action::kIoError:
+        throw std::runtime_error("fault injected: transport.send io_error (" +
+                                 msg.from + " -> " + to + ")");
+    }
+  }
   // Sequence first (zero-padded) so one sender's messages sort in send
   // order; sender + pid distinguish concurrent senders and restarts.
   char name[160];
   std::snprintf(name, sizeof name, "m-%010zu-%s-%ld.json", seq_++,
                 msg.from.c_str(), long(::getpid()));
-  write_file_atomic(mailbox, mailbox / name, msg.to_json().dump() + "\n",
-                    options_);
+  write_file_atomic(mailbox, mailbox / name, content, options_);
   TransportMetrics::get().sent.add();
 }
 
@@ -120,6 +156,16 @@ std::vector<Message> FsTransport::poll(const std::string& inbox) {
   validate_endpoint_name(inbox);
   const fs::path mailbox = fs::path(root_) / "mail" / inbox;
   std::vector<std::string> names = with_retries(options_, [&] {
+    // Inside the retried lambda on purpose: an injected transient error
+    // must be absorbed by the bounded-backoff policy, not escape it.
+    if (const auto fault = fail::point("transport.poll")) {
+      if (fault->action == fail::Action::kDelay)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault->delay_ms));
+      else if (fault->action == fail::Action::kIoError)
+        throw fs::filesystem_error("fault injected: transport.poll", mailbox,
+                                   std::make_error_code(std::errc::io_error));
+    }
     std::vector<std::string> out;
     std::error_code ec;
     for (const auto& entry : fs::directory_iterator(mailbox, ec)) {
@@ -166,17 +212,36 @@ std::vector<Message> FsTransport::poll(const std::string& inbox) {
 
 void FsTransport::publish(const std::string& key, const std::string& content) {
   validate_endpoint_name(key);
+  if (const auto fault = fail::point("transport.publish")) {
+    if (fault->action == fail::Action::kDelay)
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    else if (fault->action == fail::Action::kIoError)
+      throw std::runtime_error("fault injected: transport.publish io_error ('" +
+                               key + "')");
+  }
   const fs::path board = fs::path(root_) / "board";
   write_file_atomic(board, board / key, content, options_);
 }
 
 std::optional<std::string> FsTransport::fetch(const std::string& key) {
   validate_endpoint_name(key);
+  const auto fault = fail::point("transport.fetch");
+  // An unreadable blob already reads as "not published" below; drop and
+  // io_error injections take the same door.
+  if (fault && (fault->action == fail::Action::kDrop ||
+                fault->action == fail::Action::kIoError))
+    return std::nullopt;
   const fs::path path = fs::path(root_) / "board" / key;
   std::error_code ec;
   if (!fs::exists(path, ec)) return std::nullopt;
   try {
-    return core::read_text_file(path.string());
+    std::string text = core::read_text_file(path.string());
+    // Corrupt/truncate: hand the caller a torn half of the blob — its
+    // strict parse (and bounded re-fetch) is what the chaos gate probes.
+    if (fault && (fault->action == fail::Action::kCorrupt ||
+                  fault->action == fail::Action::kTruncate))
+      text.resize(text.size() / 2);
+    return text;
   } catch (const std::exception&) {
     return std::nullopt;
   }

@@ -31,9 +31,17 @@
 //     `service.transport.torn_messages`;
 //   * leftover temp files from crashed senders are invisible to poll()
 //     (dot prefix) and cleaned up opportunistically.
+//
+// Fault injection (core/failpoint.h): send/poll/publish/fetch consult the
+// failpoints "transport.send", "transport.poll", "transport.publish", and
+// "transport.fetch", so a chaos schedule can drop, delay, tear, or
+// corrupt wire traffic — exactly the failures the hardening above and the
+// service's lease-expiry machinery claim to absorb.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -70,10 +78,21 @@ void validate_endpoint_name(const std::string& name);
 
 struct FsTransportOptions {
   /// Bounded exponential backoff for transient filesystem errors:
-  /// attempt n sleeps backoff_initial_us << n, up to max_retries attempts.
+  /// attempt n sleeps min(backoff_initial_us << n, backoff_max_us), up to
+  /// max_retries attempts.
   std::size_t max_retries = 6;
   std::size_t backoff_initial_us = 200;
+  /// Hard cap on any single backoff sleep — both a latency bound and the
+  /// overflow guard (the shift saturates here instead of running off the
+  /// end of the integer past attempt 63).
+  std::size_t backoff_max_us = 50'000;
 };
+
+/// The sleep before retry `attempt` (0-based) under `options`: the
+/// doubling series backoff_initial_us << attempt, saturating at
+/// backoff_max_us — well-defined for every attempt, however large.
+[[nodiscard]] std::uint64_t backoff_us(const FsTransportOptions& options,
+                                       std::size_t attempt) noexcept;
 
 class FsTransport : public Transport {
  public:
@@ -90,7 +109,10 @@ class FsTransport : public Transport {
  private:
   std::string root_;
   FsTransportOptions options_;
-  std::size_t seq_ = 0;
+  /// Atomic: send() has no other shared state, so concurrent senders on
+  /// one transport are safe — a plain counter could mint two messages
+  /// with the same name, and the second rename would overwrite the first.
+  std::atomic<std::size_t> seq_{0};
   /// Unparseable message files seen by the previous poll of each inbox:
   /// still-unparseable on the next sight -> deleted (ignored-then-cleaned).
   std::map<std::string, int> suspect_;

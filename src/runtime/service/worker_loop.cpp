@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/failpoint.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "runtime/shard/worker.h"
@@ -25,6 +26,9 @@ struct ServeMetrics {
   obs::Counter revoked{"service.worker.revocations"};
   obs::Counter slices{"service.worker.slices"};
   obs::Counter heartbeats{"service.worker.heartbeats_sent"};
+  obs::Counter fresh_restarts{"service.worker.fresh_restarts"};
+  obs::Counter send_failures{"service.worker.send_failures"};
+  obs::Counter request_refetches{"service.worker.request_refetches"};
 
   static ServeMetrics& get() {
     static ServeMetrics m;
@@ -57,6 +61,18 @@ void copy_attempt_forward(const std::string& from_stem,
   }
 }
 
+/// Drop an attempt stem's files (record streams + checkpoint): the local
+/// repair move when a stem turns out poisoned — re-evaluation from empty
+/// is byte-identical by the resume law, merely wasteful.
+void remove_attempt_files(const std::string& stem) {
+  static const char* kSuffixes[] = {".jsonl", ".xrb", ".partial.json",
+                                    ".partial.json.tmp"};
+  for (const char* suffix : kSuffixes) {
+    std::error_code ec;
+    fs::remove(fs::path(stem + suffix), ec);
+  }
+}
+
 /// The active lease: the grant plus the ready-to-run worker spec.
 struct ActiveLease {
   LeaseGrantBody grant;
@@ -68,6 +84,9 @@ struct ActiveLease {
   /// scan and re-evaluated forever.
   std::size_t slice_records = 1;
   std::size_t records_done = 0;
+  /// One local repair per lease: set after wiping the stem and retrying
+  /// fresh; a second failure reports lease_failed.
+  bool fresh_retried = false;
 };
 
 }  // namespace
@@ -86,7 +105,20 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
   std::uint64_t last_contact = now_ms();
   ServeMetrics& metrics = ServeMetrics::get();
 
-  transport.send(kCoordinatorEndpoint, make_register(options.name));
+  // Coordinator-bound sends are best-effort: the lease protocol already
+  // survives a silent worker (the lease expires and reassigns), so a
+  // transport failure must degrade to exactly that, never crash the loop.
+  const auto safe_send = [&](const Message& msg) -> bool {
+    try {
+      transport.send(kCoordinatorEndpoint, msg);
+      return true;
+    } catch (const std::exception&) {
+      metrics.send_failures.add();
+      return false;
+    }
+  };
+
+  safe_send(make_register(options.name));
 
   const auto send_heartbeat = [&](std::uint64_t now) {
     HeartbeatBody hb;
@@ -96,24 +128,49 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
       hb.attempt = active->grant.attempt;
       hb.records_done = active->records_done;
     }
-    transport.send(kCoordinatorEndpoint, make_heartbeat(options.name, hb));
+    safe_send(make_heartbeat(options.name, hb));
     metrics.heartbeats.add();
     last_heartbeat = now;
   };
 
-  const auto start_lease = [&](const LeaseGrantBody& grant) {
-    if (!request || request_fingerprint != grant.fingerprint) {
+  // Fetch + validate the request document against the grant, with bounded
+  // re-fetches: a corrupt or truncated board blob (or a stale document
+  // from an old run) must surface as a NAMED refusal to evaluate, never a
+  // crash and never a wrong-grid evaluation (the fingerprint check is the
+  // one guard between a torn blob and silently merging foreign records).
+  const auto fetch_request = [&](const LeaseGrantBody& grant) {
+    std::string why;
+    for (std::size_t tries = 0; tries < 3; ++tries) {
+      if (tries) metrics.request_refetches.add();
       const auto text = transport.fetch(kRequestKey);
-      if (!text)
-        throw std::runtime_error(
-            "serve: coordinator has not published the request document");
-      request = SweepRequest::from_json(core::Json::parse(*text));
+      if (!text) {
+        why = "coordinator has not published the request document";
+        continue;
+      }
+      try {
+        request = SweepRequest::from_json(core::Json::parse(*text));
+      } catch (const std::exception& e) {
+        request.reset();
+        why = std::string("request document does not parse (corrupt board "
+                          "blob?): ") +
+              e.what();
+        continue;
+      }
       request_fingerprint = request->fingerprint();
+      if (request_fingerprint == grant.fingerprint) return;
+      why =
+          "request document fingerprint mismatch vs the grant (corrupt "
+          "board blob or stale service directory)";
+      request.reset();
     }
-    if (request_fingerprint != grant.fingerprint)
-      throw std::runtime_error(
-          "serve: lease_grant fingerprint does not match the published "
-          "request (stale service directory?)");
+    throw std::runtime_error("serve: request document unusable after 3 "
+                             "fetches: " +
+                             why);
+  };
+
+  const auto start_lease = [&](const LeaseGrantBody& grant) {
+    if (!request || request_fingerprint != grant.fingerprint)
+      fetch_request(grant);
     if (request->adaptive)
       throw std::runtime_error(
           "serve: adaptive requests are not lease-schedulable yet — run "
@@ -148,10 +205,8 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
           } catch (const std::exception& e) {
             active.reset();
             metrics.failed.add();
-            transport.send(
-                kCoordinatorEndpoint,
-                make_lease_failed(options.name,
-                                  {grant.lease, grant.attempt, e.what()}));
+            safe_send(make_lease_failed(
+                options.name, {grant.lease, grant.attempt, e.what()}));
           }
           break;
         }
@@ -164,15 +219,14 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
             // attempt. Drop the lease and rejoin the pool.
             active.reset();
             metrics.revoked.add();
-            transport.send(kCoordinatorEndpoint, make_register(options.name));
+            safe_send(make_register(options.name));
           }
           break;
         }
         case MessageKind::kShutdown: {
-          transport.send(kCoordinatorEndpoint,
-                         make_snapshot(options.name,
-                                       obs::capture(false).to_json()));
-          transport.send(kCoordinatorEndpoint, make_deregister(options.name));
+          safe_send(make_snapshot(options.name,
+                                  obs::capture(false).to_json()));
+          safe_send(make_deregister(options.name));
           out.shutdown = true;
           return out;
         }
@@ -190,15 +244,35 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
       }
       shard::WorkerOutcome slice;
       try {
+        if (const auto fired = fail::point("service.worker.slice")) {
+          if (fired->action == fail::Action::kDelay)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fired->delay_ms));
+          else if (fired->action == fail::Action::kIoError)
+            throw std::runtime_error(
+                "fault injected: service.worker.slice io_error (" +
+                active->spec.output + ")");
+        }
         slice = shard::run_worker(active->spec, active->slice_records);
       } catch (const std::exception& e) {
+        if (!active->fresh_retried) {
+          // Local repair, once per lease: the slice may have died on a
+          // poisoned stem (torn stream, bad checkpoint), and re-evaluating
+          // from empty is byte-identical by the resume law. Wipe the
+          // attempt's files and try again before involving the
+          // coordinator.
+          active->fresh_retried = true;
+          active->records_done = 0;
+          remove_attempt_files(active->spec.output);
+          metrics.fresh_restarts.add();
+          ++out.fresh_restarts;
+          continue;
+        }
         const LeaseGrantBody grant = active->grant;
         active.reset();
         metrics.failed.add();
-        transport.send(
-            kCoordinatorEndpoint,
-            make_lease_failed(options.name,
-                              {grant.lease, grant.attempt, e.what()}));
+        safe_send(make_lease_failed(
+            options.name, {grant.lease, grant.attempt, e.what()}));
         continue;
       }
       ++out.slices;
@@ -215,8 +289,14 @@ WorkerLoopOutcome run_service_worker(Transport& transport,
         done.attempt = active->grant.attempt;
         done.records_path = slice.records_path;
         done.records = slice.shard_records;
-        transport.send(kCoordinatorEndpoint,
-                       make_lease_complete(options.name, done));
+        if (!safe_send(make_lease_complete(options.name, done))) {
+          // Keep the lease: the shard is fully evaluated, so the next
+          // iteration's run_worker returns complete immediately and we
+          // retry the send — heartbeats keep the lease alive meanwhile.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options.poll_ms));
+          continue;
+        }
         metrics.completed.add();
         ++out.leases_completed;
         active.reset();

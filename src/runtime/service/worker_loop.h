@@ -11,10 +11,12 @@
 // at the next slice boundary, never mid-record).
 //
 // Churn protocol:
-//   * grant      -> fetch + cache the request document, verify its sweep
-//                   fingerprint against the grant, copy the previous
-//                   attempt's stem forward when this is a reassignment,
-//                   then slice through the shard with resume always on;
+//   * grant      -> fetch + cache the request document (bounded re-fetch:
+//                   a corrupt, truncated, or fingerprint-mismatched board
+//                   blob is a NAMED lease_failed, never an evaluation of
+//                   the wrong grid), copy the previous attempt's stem
+//                   forward when this is a reassignment, then slice
+//                   through the shard with resume always on;
 //   * revoke     -> abandon the active lease (the coordinator has already
 //                   reassigned it) and re-register to rejoin the pool;
 //   * shutdown   -> send the final obs snapshot + deregister, exit.
@@ -60,6 +62,9 @@ struct WorkerLoopOutcome {
   std::size_t leases_completed = 0;
   std::size_t records_evaluated = 0;
   std::size_t slices = 0;
+  /// Times a failed slice was repaired locally by wiping the attempt stem
+  /// and re-running fresh (once per lease, before reporting lease_failed).
+  std::size_t fresh_restarts = 0;
   bool shutdown = false;  ///< exited on the coordinator's shutdown.
   bool crashed = false;   ///< the max_slices churn hook tripped.
   bool idle_timeout = false;
@@ -67,7 +72,9 @@ struct WorkerLoopOutcome {
 
 /// Run the serving loop until shutdown (or a hook/timeout). Throws on
 /// invalid options; lease execution errors are reported to the
-/// coordinator as lease_failed, never thrown.
+/// coordinator as lease_failed, never thrown — and coordinator-bound
+/// sends are best-effort (a lost message degrades to lease expiry, which
+/// the protocol already absorbs).
 [[nodiscard]] WorkerLoopOutcome run_service_worker(
     Transport& transport, const WorkerLoopOptions& options);
 

@@ -92,7 +92,8 @@ MergedSummary MergedSummary::from_json(const Json& j) {
   return out;
 }
 
-MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
+MergedSummary merge_partials(const std::vector<PartialReduction>& partials,
+                             bool require_complete_cover) {
   static obs::Counter merges("shard.merge.merges");
   static obs::Counter merged_shards("shard.merge.shards");
   merges.add();
@@ -130,13 +131,15 @@ MergedSummary merge_partials(const std::vector<PartialReduction>& partials) {
           std::to_string(plan.shard_size(id.shard_id)) + " records)");
     evaluated += p.evaluated();
   }
-  if (partials.size() != first.shard_count)
-    throw std::invalid_argument("merge_partials: expected " +
-                                std::to_string(first.shard_count) +
-                                " shards, got " +
-                                std::to_string(partials.size()));
-  if (evaluated != first.grid_size)
-    throw std::invalid_argument("merge_partials: cover is incomplete");
+  if (require_complete_cover) {
+    if (partials.size() != first.shard_count)
+      throw std::invalid_argument("merge_partials: expected " +
+                                  std::to_string(first.shard_count) +
+                                  " shards, got " +
+                                  std::to_string(partials.size()));
+    if (evaluated != first.grid_size)
+      throw std::invalid_argument("merge_partials: cover is incomplete");
+  }
   if (evaluated == 0)
     throw std::invalid_argument("merge_partials: empty grid");
 

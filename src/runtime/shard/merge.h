@@ -62,8 +62,15 @@ struct MergedSummary {
 /// partials disagree on the partition or evaluator kind, a shard is
 /// missing or duplicated, or any shard is incomplete (evaluated != its
 /// plan size).
+///
+/// With `require_complete_cover = false` (the coordinator's quarantine
+/// path: summarize the shards that DID finish) missing shards are
+/// permitted — extrema/Pareto then range over the present shards only and
+/// `evaluated < grid_size` records the gap. Every present shard must
+/// still be internally complete, duplicate-free, and partition-agreed.
 [[nodiscard]] MergedSummary merge_partials(
-    const std::vector<PartialReduction>& partials);
+    const std::vector<PartialReduction>& partials,
+    bool require_complete_cover = true);
 
 /// Rebuild one shard's PartialReduction from its record stream (either
 /// format, autodetected from the extension). Binary streams carry their

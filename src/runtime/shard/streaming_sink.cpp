@@ -4,13 +4,41 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
+#include "core/failpoint.h"
 #include "obs/registry.h"
 #include "runtime/shard/binary_stream.h"
 
 namespace xr::runtime::shard {
 
 namespace {
+
+/// Chaos helper (shard.sink.flush truncate): tear `cut` bytes off the
+/// file's tail — the on-disk shape of a short write that lost power.
+/// Too-small files are left alone (there is no tail to tear).
+void tear_file_tail(const std::string& path, std::uint64_t cut) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size <= cut) return;
+  std::filesystem::resize_file(path, size - cut, ec);
+}
+
+/// Chaos helper (shard.sink.flush corrupt): overwrite one byte `back`
+/// from the end with NUL (or 0xFF when it already is NUL) — bit rot that
+/// no writer-side check can see. NUL is unparseable in a JSONL stream and
+/// breaks a binary chunk's checksum, so strict readers must reject it.
+void corrupt_file_tail(const std::string& path, std::uint64_t back) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec || size <= back) return;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return;
+  f.seekg(std::streamoff(size - back));
+  const int old = f.get();
+  f.seekp(std::streamoff(size - back));
+  f.put(old == 0 ? char(0xFF) : char(0));
+}
 
 std::uint64_t fnv1a(std::uint64_t h, const std::string& text) {
   for (char c : text) {
@@ -408,9 +436,30 @@ void StreamingSink::flush() {
   static obs::Histogram flush_ms("shard.sink.flush_ms",
                                  obs::Histogram::latency_bounds_ms());
   const auto t0 = std::chrono::steady_clock::now();
+  // Chaos hook: a flush is where a disk failure actually lands. io_error
+  // fires BEFORE the sink write (the buffered records never reach disk,
+  // the stream keeps its valid prefix); truncate tears the tail of the
+  // just-written region and then reports the failure (a short write the
+  // writer noticed); corrupt flips a byte mid-stream and reports nothing
+  // (bit rot the writer cannot see — downstream folds must catch it).
+  const auto fault = fail::point("shard.sink.flush");
+  if (fault) {
+    if (fault->action == fail::Action::kDelay)
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->delay_ms));
+    else if (fault->action == fail::Action::kIoError)
+      throw std::runtime_error("fault injected: shard.sink.flush io_error (" +
+                               records_path() + ")");
+  }
   const std::size_t flushed = buffered_records_;
   const std::size_t bytes = sink_->flush();
   buffered_records_ = 0;
+  if (fault && fault->action == fail::Action::kTruncate) {
+    tear_file_tail(records_path(), 7);
+    throw std::runtime_error("fault injected: shard.sink.flush short write (" +
+                             records_path() + ")");
+  }
+  if (fault && fault->action == fail::Action::kCorrupt)
+    corrupt_file_tail(records_path(), 10);
   write_partial_checkpoint();
   if (options_.format == RecordFormat::kBinary) {
     binary_records.add(flushed);
@@ -431,6 +480,21 @@ void StreamingSink::write_partial_checkpoint() {
   // Write-then-rename so a kill mid-checkpoint never leaves a torn
   // partial.json (the record stream is the source of truth regardless).
   const std::string path = partial_path();
+  if (const auto fault = fail::point("shard.sink.checkpoint")) {
+    if (fault->action == fail::Action::kIoError)
+      throw std::runtime_error(
+          "fault injected: shard.sink.checkpoint io_error (" + path + ")");
+    if (fault->action == fail::Action::kTruncate) {
+      // A torn checkpoint ON THE FINAL PATH — what a crashed non-atomic
+      // writer leaves. Returns without error: the record stream must stay
+      // the source of truth, and whoever reads this checkpoint (the
+      // coordinator's jsonl fold) must fail over to reassignment.
+      std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+      const std::string doc = partial_.to_json().dump();
+      torn << doc.substr(0, doc.size() / 2);
+      return;
+    }
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -1,0 +1,252 @@
+// xr::fail contract: the "xr.fault.schedule.v1" document round-trips and
+// rejects malformed input strictly; nth/every/probability triggers fire
+// deterministically per the installed schedule; max_fires caps a rule;
+// firings are audited as `fault.<point>.fired` counters; and with no
+// schedule loaded every point() is disengaged. Behavior assertions are
+// gated on fail::kEnabled so the same binary compiles (and the schema
+// tests still run) under -DXR_FAULT_DISABLED=ON.
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace xr::fail {
+namespace {
+
+/// Install a schedule for one test body and guarantee removal, so a
+/// throwing assertion cannot leak faults into unrelated tests.
+class ScopedSchedule {
+ public:
+  explicit ScopedSchedule(const FaultSchedule& s) { load_schedule(s); }
+  ~ScopedSchedule() { clear_schedule(); }
+  ScopedSchedule(const ScopedSchedule&) = delete;
+  ScopedSchedule& operator=(const ScopedSchedule&) = delete;
+};
+
+FaultSchedule one_rule(const std::string& point, Trigger::Kind kind,
+                       std::size_t n, Action action,
+                       std::size_t max_fires = 0) {
+  FaultSchedule s;
+  s.seed = 42;
+  FaultRule r;
+  r.point = point;
+  r.trigger.kind = kind;
+  r.trigger.n = n;
+  r.action = action;
+  r.max_fires = max_fires;
+  s.rules.push_back(r);
+  return s;
+}
+
+TEST(FaultSchedule, JsonRoundTripsEveryField) {
+  FaultSchedule s;
+  s.seed = 0xDEADBEEFull;
+  FaultRule nth;
+  nth.point = "transport.send";
+  nth.trigger.kind = Trigger::Kind::kNth;
+  nth.trigger.n = 3;
+  nth.action = Action::kTruncate;
+  nth.max_fires = 2;
+  FaultRule prob;
+  prob.point = "shard.sink.flush";
+  prob.trigger.kind = Trigger::Kind::kProbability;
+  prob.trigger.p = 0.25;
+  prob.action = Action::kDelay;
+  prob.delay_ms = 15;
+  s.rules = {nth, prob};
+
+  const FaultSchedule back =
+      FaultSchedule::from_json(core::Json::parse(s.to_json().dump()));
+  ASSERT_EQ(back.rules.size(), 2u);
+  EXPECT_EQ(back.seed, s.seed);
+  EXPECT_EQ(back.rules[0].point, "transport.send");
+  EXPECT_EQ(back.rules[0].trigger.kind, Trigger::Kind::kNth);
+  EXPECT_EQ(back.rules[0].trigger.n, 3u);
+  EXPECT_EQ(back.rules[0].action, Action::kTruncate);
+  EXPECT_EQ(back.rules[0].max_fires, 2u);
+  EXPECT_EQ(back.rules[1].trigger.kind, Trigger::Kind::kProbability);
+  EXPECT_EQ(back.rules[1].trigger.p, 0.25);
+  EXPECT_EQ(back.rules[1].action, Action::kDelay);
+  EXPECT_EQ(back.rules[1].delay_ms, 15u);
+  // The round-trip is exact: dumping again yields the same bytes.
+  EXPECT_EQ(back.to_json().dump(), s.to_json().dump());
+}
+
+TEST(FaultSchedule, StrictParseRejectsMalformedDocuments) {
+  const auto parse = [](const std::string& text) {
+    return FaultSchedule::from_json(core::Json::parse(text));
+  };
+  const std::string ok =
+      R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+      R"({"point":"p","trigger":{"on":"nth","n":1},"action":"io_error"}]})";
+  EXPECT_NO_THROW(parse(ok));
+  // Wrong/missing schema tag.
+  EXPECT_THROW(parse(R"({"schema":"nope","seed":1,"rules":[]})"),
+               std::invalid_argument);
+  // Unknown top-level field.
+  EXPECT_THROW(
+      parse(R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[],"x":1})"),
+      std::invalid_argument);
+  // Unknown action name.
+  EXPECT_THROW(
+      parse(R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+            R"({"point":"p","trigger":{"on":"nth","n":1},"action":"boom"}]})"),
+      std::invalid_argument);
+  // n == 0 on a counted trigger.
+  EXPECT_THROW(
+      parse(R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+            R"({"point":"p","trigger":{"on":"every","n":0},"action":"drop"}]})"),
+      std::invalid_argument);
+  // p outside [0, 1].
+  EXPECT_THROW(
+      parse(
+          R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+          R"({"point":"p","trigger":{"on":"probability","p":1.5},"action":"drop"}]})"),
+      std::invalid_argument);
+  // A counted trigger must not carry p (and vice versa).
+  EXPECT_THROW(
+      parse(
+          R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+          R"({"point":"p","trigger":{"on":"nth","n":1,"p":0.5},"action":"drop"}]})"),
+      std::invalid_argument);
+  // delay action without delay_ms.
+  EXPECT_THROW(
+      parse(R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+            R"({"point":"p","trigger":{"on":"nth","n":1},"action":"delay"}]})"),
+      std::invalid_argument);
+  // Empty point name.
+  EXPECT_THROW(
+      parse(R"({"schema":"xr.fault.schedule.v1","seed":1,"rules":[)"
+            R"({"point":"","trigger":{"on":"nth","n":1},"action":"drop"}]})"),
+      std::invalid_argument);
+}
+
+TEST(Failpoint, NoScheduleMeansEveryPointIsDisengaged) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  clear_schedule();
+  EXPECT_FALSE(schedule_loaded());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(point("test.failpoint.idle").has_value());
+}
+
+TEST(Failpoint, NthFiresExactlyOnce) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  ScopedSchedule s(one_rule("test.failpoint.nth", Trigger::Kind::kNth, 3,
+                            Action::kIoError));
+  EXPECT_FALSE(point("test.failpoint.nth"));
+  EXPECT_FALSE(point("test.failpoint.nth"));
+  const auto fired = point("test.failpoint.nth");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->action, Action::kIoError);
+  EXPECT_EQ(fired->point, "test.failpoint.nth");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(point("test.failpoint.nth"));
+  // Unrelated points never fire.
+  EXPECT_FALSE(point("test.failpoint.other"));
+}
+
+TEST(Failpoint, EveryFiresPeriodicallyUntilMaxFires) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  ScopedSchedule s(one_rule("test.failpoint.every", Trigger::Kind::kEvery, 2,
+                            Action::kDrop, /*max_fires=*/3));
+  std::size_t fires = 0;
+  for (std::size_t hit = 1; hit <= 20; ++hit) {
+    const auto fired = point("test.failpoint.every");
+    if (hit % 2 == 0 && fires < 3) {
+      ASSERT_TRUE(fired.has_value()) << "hit " << hit;
+      EXPECT_EQ(fired->action, Action::kDrop);
+      ++fires;
+    } else {
+      EXPECT_FALSE(fired.has_value()) << "hit " << hit;
+    }
+  }
+  EXPECT_EQ(fires, 3u);
+}
+
+TEST(Failpoint, ReloadingTheScheduleResetsHitCounters) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  const FaultSchedule s =
+      one_rule("test.failpoint.reset", Trigger::Kind::kNth, 2, Action::kDrop);
+  ScopedSchedule guard(s);
+  EXPECT_FALSE(point("test.failpoint.reset"));
+  load_schedule(s);  // reinstall: the partial hit count is discarded.
+  EXPECT_FALSE(point("test.failpoint.reset"));
+  EXPECT_TRUE(point("test.failpoint.reset").has_value());
+}
+
+TEST(Failpoint, ProbabilityIsSeededAndDeterministic) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  FaultSchedule s;
+  s.seed = 7;
+  FaultRule r;
+  r.point = "test.failpoint.prob";
+  r.trigger.kind = Trigger::Kind::kProbability;
+  r.trigger.p = 0.5;
+  r.action = Action::kCorrupt;
+  s.rules.push_back(r);
+
+  const auto run = [&] {
+    std::string pattern;
+    for (int i = 0; i < 64; ++i)
+      pattern += point("test.failpoint.prob") ? '1' : '0';
+    return pattern;
+  };
+  ScopedSchedule guard(s);
+  const std::string first = run();
+  load_schedule(s);  // same seed → identical firing pattern.
+  EXPECT_EQ(run(), first);
+
+  // p = 0.5 over 64 hits: both outcomes occur (the pattern is not stuck).
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+
+  s.seed = 8;  // different seed → (overwhelmingly) different pattern.
+  load_schedule(s);
+  EXPECT_NE(run(), first);
+
+  s.rules[0].trigger.p = 0.0;  // never fires...
+  load_schedule(s);
+  EXPECT_EQ(run(), std::string(64, '0'));
+  s.rules[0].trigger.p = 1.0;  // ...and always fires.
+  load_schedule(s);
+  EXPECT_EQ(run(), std::string(64, '1'));
+}
+
+TEST(Failpoint, FirstFiringRuleWinsWhenRulesShareAPoint) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  FaultSchedule s;
+  FaultRule a = one_rule("test.failpoint.shared", Trigger::Kind::kNth, 2,
+                         Action::kTruncate)
+                    .rules[0];
+  FaultRule b = one_rule("test.failpoint.shared", Trigger::Kind::kEvery, 2,
+                         Action::kDrop)
+                    .rules[0];
+  s.rules = {a, b};
+  ScopedSchedule guard(s);
+  EXPECT_FALSE(point("test.failpoint.shared"));  // hit 1: neither.
+  const auto second = point("test.failpoint.shared");
+  ASSERT_TRUE(second.has_value());  // hit 2: both match; rule order wins.
+  EXPECT_EQ(second->action, Action::kTruncate);
+  EXPECT_FALSE(point("test.failpoint.shared"));  // hit 3.
+  const auto fourth = point("test.failpoint.shared");
+  ASSERT_TRUE(fourth.has_value());  // hit 4: only the every-2 rule.
+  EXPECT_EQ(fourth->action, Action::kDrop);
+}
+
+TEST(Failpoint, FiringsIncrementTheAuditCounter) {
+  if (!kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  obs::Counter audit("fault.test.failpoint.audited.fired");
+  const std::uint64_t before = audit.value();
+  ScopedSchedule s(one_rule("test.failpoint.audited", Trigger::Kind::kEvery, 1,
+                            Action::kDrop, /*max_fires=*/5));
+  for (int i = 0; i < 9; ++i) (void)point("test.failpoint.audited");
+  EXPECT_EQ(audit.value(), before + 5);  // fired 5 of the 9 hits.
+}
+
+}  // namespace
+}  // namespace xr::fail

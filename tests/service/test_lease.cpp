@@ -124,6 +124,41 @@ TEST(LeaseTable, MaxAttemptsIsANamedAbort) {
   }
 }
 
+TEST(LeaseTable, HoldsChecksTheExactHolderLeaseAttemptTriple) {
+  LeaseTable table(2, 1000);
+  ASSERT_TRUE(table.assign("w0", 0));
+  EXPECT_TRUE(table.holds("w0", 0, 0));
+  EXPECT_FALSE(table.holds("w0", 0, 1));  // wrong attempt.
+  EXPECT_FALSE(table.holds("w1", 0, 0));  // wrong worker.
+  EXPECT_FALSE(table.holds("w0", 1, 0));  // lease 1 is pending, unheld.
+  EXPECT_TRUE(table.complete("w0", 0, 0));
+  EXPECT_FALSE(table.holds("w0", 0, 0));  // done leases are unheld.
+}
+
+TEST(LeaseTable, QuarantineModeParksExhaustedShardsInsteadOfAborting) {
+  LeaseTable table(2, 1000, /*max_attempts=*/2, /*quarantine_exhausted=*/true);
+  ASSERT_TRUE(table.assign("w0", 0));
+  ASSERT_EQ(table.expire(2000).size(), 1u);
+  ASSERT_TRUE(table.assign("w1", 2000));  // attempt 1 — the last allowed.
+  ASSERT_EQ(table.expire(4000).size(), 1u);
+  // Exhaustion skips lease 0 and hands out the NEXT pending lease.
+  const auto next = table.assign("w2", 4000);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->lease, 1u);
+  ASSERT_EQ(table.quarantined_ids().size(), 1u);
+  EXPECT_EQ(table.quarantined_ids()[0], 0u);
+  EXPECT_EQ(table.quarantined_count(), 1u);
+  EXPECT_EQ(table.info(0).state, LeaseState::kQuarantined);
+  EXPECT_TRUE(table.complete("w2", 1, 0));
+  // A quarantined lease is terminal: never expires, never re-assigns.
+  EXPECT_TRUE(table.expire(9000).empty());
+  EXPECT_FALSE(table.assign("w3", 9000).has_value());
+  // finished() counts quarantined + done; all_done() stays strict.
+  EXPECT_TRUE(table.finished());
+  EXPECT_FALSE(table.all_done());
+  EXPECT_EQ(table.done_count(), 1u);
+}
+
 TEST(LeaseTable, AllDoneTracksEveryLease) {
   LeaseTable table(2, 1000);
   EXPECT_FALSE(table.all_done());

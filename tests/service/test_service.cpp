@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "core/framework.h"
 #include "runtime/service/worker_loop.h"
 #include "runtime/sweep_request.h"
@@ -267,6 +268,202 @@ TEST_F(SweepServiceTest, AdaptiveRequestsAreRefusedByName) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("adaptive"), std::string::npos);
   }
+}
+
+TEST_F(SweepServiceTest, IdleWorkerExitsOnIdleTimeoutWithoutALease) {
+  // No coordinator at all: the worker registers into the void, hears
+  // nothing, and must exit via idle_timeout_ms — holding no lease, having
+  // evaluated nothing — instead of spinning forever.
+  InMemoryTransport transport;
+  WorkerLoopOptions options = worker_options("lonely");
+  options.idle_timeout_ms = 80;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WorkerLoopOutcome out = run_service_worker(transport, options);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_TRUE(out.idle_timeout);
+  EXPECT_FALSE(out.shutdown);
+  EXPECT_FALSE(out.crashed);
+  EXPECT_EQ(out.leases_completed, 0u);
+  EXPECT_EQ(out.records_evaluated, 0u);
+  EXPECT_GE(waited.count(), 80);
+  EXPECT_LT(waited.count(), 10000) << "idle timeout failed to bound the wait";
+}
+
+TEST_F(SweepServiceTest, WorkerRefusesGrantsAgainstUnusableRequestDocuments) {
+  // Fuzz the request board: the main thread plays coordinator and offers
+  // grants while the board blob is truncated, garbage, or a
+  // valid-but-different request. Every offer must come back as a NAMED
+  // lease_failed — the worker must never evaluate a grid it cannot verify
+  // against the grant fingerprint.
+  const SweepRequest request = demo_request();
+  const std::string good = request.to_json().dump();
+  InMemoryTransport transport;
+
+  WorkerLoopOptions wopts = worker_options("fz");
+  wopts.idle_timeout_ms = 30000;
+  WorkerLoopOutcome out;
+  std::thread worker([&] { out = run_service_worker(transport, wopts); });
+
+  LeaseGrantBody grant;
+  grant.lease = 0;
+  grant.attempt = 0;
+  grant.shard_count = 2;
+  grant.output = (dir_ / "shards" / "shard0.a0").string();
+  grant.fingerprint = request.fingerprint();
+
+  SweepRequest other = demo_request();  // different axes → different print.
+  other.grid = SweepSpec(core::make_remote_scenario(500, 2.0))
+                   .cpu_clocks_ghz({1.0, 2.5})
+                   .frame_sizes({300, 500, 700})
+                   .codec_bitrates_mbps({2.0, 8.0})
+                   .grid_spec();
+  const struct {
+    const char* label;
+    std::string board;
+    const char* expect;  // substring of the lease_failed error.
+  } kCases[] = {
+      {"truncated", good.substr(0, good.size() / 2), "does not parse"},
+      {"garbage", "\x01\x02{{{nope", "does not parse"},
+      {"empty", "", "does not parse"},
+      {"wrong_request", other.to_json().dump(), "fingerprint mismatch"},
+  };
+  for (const auto& fuzz : kCases) {
+    transport.publish(kRequestKey, fuzz.board);
+    transport.send("fz", make_lease_grant(grant));
+    // Wait for the worker's verdict.
+    std::vector<Message> inbox;
+    for (int spin = 0; spin < 2000 && inbox.empty(); ++spin) {
+      inbox = transport.poll(kCoordinatorEndpoint);
+      std::vector<Message> kept;
+      for (Message& m : inbox)
+        if (m.kind == MessageKind::kLeaseFailed) kept.push_back(std::move(m));
+      inbox = std::move(kept);
+      if (inbox.empty())
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(inbox.size(), 1u) << fuzz.label;
+    const auto failed = LeaseFailedBody::from_json(inbox[0].body);
+    EXPECT_EQ(failed.lease, 0u) << fuzz.label;
+    EXPECT_NE(failed.error.find(fuzz.expect), std::string::npos)
+        << fuzz.label << ": " << failed.error;
+  }
+  transport.send("fz", make_shutdown());
+  worker.join();
+  EXPECT_TRUE(out.shutdown);
+  EXPECT_EQ(out.records_evaluated, 0u)
+      << "the worker evaluated records off an unverifiable request";
+  EXPECT_FALSE(fs::exists(dir_ / "shards"))
+      << "a refused grant still wrote shard output";
+}
+
+TEST_F(SweepServiceTest, InjectedFaultsDoNotPerturbTheMergedBytes) {
+  if (!fail::kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  const SweepRequest request = demo_request();
+  // Reference FIRST: the process-wide schedule must not fire inside the
+  // monolithic run.
+  const shard::MergedSummary reference = run_request(request);
+
+  // One transient fault on each side of the protocol: the first sink
+  // flush dies (worker-side -> one fresh restart), and the first fold
+  // read dies (coordinator-side -> absorbed by fold_retries).
+  fail::FaultSchedule schedule;
+  schedule.seed = 1;
+  fail::FaultRule flush;
+  flush.point = "shard.sink.flush";
+  flush.trigger.kind = fail::Trigger::Kind::kNth;
+  flush.trigger.n = 1;
+  flush.action = fail::Action::kIoError;
+  fail::FaultRule fold;
+  fold.point = "service.coordinator.fold";
+  fold.trigger.kind = fail::Trigger::Kind::kNth;
+  fold.trigger.n = 1;
+  fold.action = fail::Action::kIoError;
+  schedule.rules = {flush, fold};
+  fail::load_schedule(schedule);
+
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 3;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+  options.lease_timeout_ms = 5000;
+  WorkerLoopOutcome out;
+  std::thread worker([&] {
+    out = run_service_worker(transport, worker_options("chaos"));
+  });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  worker.join();
+  fail::clear_schedule();
+
+  std::string why;
+  EXPECT_TRUE(shard::summaries_equivalent(result.summary, reference, &why))
+      << why;
+  EXPECT_GE(out.fresh_restarts, 1u)
+      << "the flush fault never exercised the fresh-restart repair";
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_FALSE(result.partial_document.has_value());
+}
+
+TEST_F(SweepServiceTest, ExhaustedShardIsQuarantinedIntoAPartialDocument) {
+  if (!fail::kEnabled) GTEST_SKIP() << "fault layer compiled out";
+  const SweepRequest request = demo_request();
+
+  // Shard 0's sink flush fails on every try the protocol allows it:
+  // attempt 0 (slice + fresh restart) and attempt 1 (slice + fresh
+  // restart) = 4 firings, then the rule exhausts so the remaining shards
+  // complete cleanly.
+  fail::FaultSchedule schedule;
+  schedule.seed = 1;
+  fail::FaultRule flush;
+  flush.point = "shard.sink.flush";
+  flush.trigger.kind = fail::Trigger::Kind::kEvery;
+  flush.trigger.n = 1;
+  flush.action = fail::Action::kIoError;
+  flush.max_fires = 4;
+  schedule.rules = {flush};
+  fail::load_schedule(schedule);
+
+  InMemoryTransport transport;
+  CoordinatorOptions options;
+  options.shards = 3;
+  options.shard_dir = (dir_ / "shards").string();
+  options.poll_ms = 2;
+  options.lease_timeout_ms = 5000;
+  options.max_attempts = 2;
+  options.allow_partial = true;
+  WorkerLoopOutcome out;
+  std::thread worker([&] {
+    out = run_service_worker(transport, worker_options("q"));
+  });
+  const CoordinatorResult result =
+      run_coordinator(transport, request, options);
+  worker.join();
+  fail::clear_schedule();
+
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0], 0u);
+  // The completed subset still merged: 2 of 3 range shards of 12 points.
+  EXPECT_EQ(result.summary.grid_size, 12u);
+  EXPECT_EQ(result.summary.evaluated, 8u);
+  EXPECT_FALSE(result.plan.has_value());
+
+  ASSERT_TRUE(result.partial_document.has_value());
+  const core::Json& doc = *result.partial_document;
+  EXPECT_EQ(doc.at("schema").as_string(),
+            std::string(kPartialDocumentSchema));
+  EXPECT_EQ(doc.at("total_shards").as_size(), 3u);
+  const auto& quarantined = doc.at("quarantined").as_array();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].at("shard").as_size(), 0u);
+  EXPECT_EQ(quarantined[0].at("attempts").as_size(), 2u);
+  EXPECT_NE(quarantined[0].at("last_error").as_string().find("fault injected"),
+            std::string::npos)
+      << quarantined[0].at("last_error").as_string();
+  EXPECT_EQ(doc.at("completed").as_array().size(), 2u);
+  // The embedded summary is the partial merge itself.
+  EXPECT_EQ(doc.at("summary").at("evaluated").as_size(), 8u);
 }
 
 TEST_F(SweepServiceTest, CoordinatorValidatesOptions) {

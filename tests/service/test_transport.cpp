@@ -12,6 +12,8 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace xr::runtime::service {
 namespace {
@@ -106,6 +108,46 @@ TEST_F(FsTransportTest, TempFilesAreInvisibleToPoll) {
 TEST_F(FsTransportTest, PollOfUnknownInboxIsEmptyNotError) {
   FsTransport t(root_.string());
   EXPECT_TRUE(t.poll("nobody-home").empty());
+}
+
+TEST(FsTransportBackoff, DoublesFromInitialAndSaturatesAtTheCap) {
+  FsTransportOptions options;
+  options.backoff_initial_us = 200;
+  options.backoff_max_us = 50'000;
+  EXPECT_EQ(backoff_us(options, 0), 200u);
+  EXPECT_EQ(backoff_us(options, 1), 400u);
+  EXPECT_EQ(backoff_us(options, 2), 800u);
+  EXPECT_EQ(backoff_us(options, 7), 25'600u);
+  EXPECT_EQ(backoff_us(options, 8), 50'000u);  // 51'200 capped.
+  // Far past the doubling range — where a naive `initial << attempt`
+  // would be undefined behavior — the series stays pinned to the cap.
+  EXPECT_EQ(backoff_us(options, 63), 50'000u);
+  EXPECT_EQ(backoff_us(options, 64), 50'000u);
+  EXPECT_EQ(backoff_us(options, 100'000), 50'000u);
+
+  options.backoff_initial_us = 0;  // degenerate: no sleep, ever.
+  EXPECT_EQ(backoff_us(options, 0), 0u);
+  EXPECT_EQ(backoff_us(options, 50), 0u);
+
+  options.backoff_initial_us = 300;
+  options.backoff_max_us = 100;  // cap below initial: cap wins.
+  EXPECT_EQ(backoff_us(options, 0), 100u);
+  EXPECT_EQ(backoff_us(options, 3), 100u);
+}
+
+TEST_F(FsTransportTest, ConcurrentSendersNeverCollideOnSequenceNames) {
+  FsTransport t(root_.string());
+  constexpr std::size_t kThreads = 4, kEach = 25;
+  std::vector<std::thread> senders;
+  for (std::size_t i = 0; i < kThreads; ++i)
+    senders.emplace_back([&t] {
+      for (std::size_t n = 0; n < kEach; ++n)
+        t.send("coordinator", make_register("w"));
+    });
+  for (auto& s : senders) s.join();
+  // Every message survived: an atomic seq_ means no two sends ever raced
+  // to the same mailbox filename and overwrote each other.
+  EXPECT_EQ(t.poll("coordinator").size(), kThreads * kEach);
 }
 
 TEST_F(FsTransportTest, HostileEndpointNamesAreRefused) {

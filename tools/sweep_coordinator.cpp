@@ -19,6 +19,11 @@
 // writes the reduced OffloadPlan for offload_plan requests. --metrics-out
 // writes the ONE aggregated service snapshot: coordinator metrics
 // unlabeled plus each worker's under worker="name" labels.
+//
+// --allow-partial switches exhausted shards from sweep-abort to
+// quarantine: the completed subset still merges, and --partial-out writes
+// the "xr.service.partial.v1" document naming the quarantined shards
+// (with attempts and last errors) next to the partial summary.
 #include <charconv>
 #include <cstdio>
 #include <exception>
@@ -43,7 +48,8 @@ void usage() {
       "                         [--max-attempts N] [--shutdown-grace-ms N]\n"
       "                         [--out FILE] [--check FILE] [--plan-out "
       "FILE]\n"
-      "                         [--metrics-out FILE]\n");
+      "                         [--metrics-out FILE]\n"
+      "                         [--allow-partial] [--partial-out FILE]\n");
 }
 
 std::size_t parse_size(const std::string& flag, const std::string& text) {
@@ -63,7 +69,7 @@ int main(int argc, char** argv) {
   using namespace xr::runtime::shard;
   try {
     std::string request_path, mail_root, out_path, check_path, plan_out_path;
-    std::string metrics_out;
+    std::string metrics_out, partial_out;
     std::optional<RecordFormat> format;
     std::optional<std::size_t> chunk_records;
     CoordinatorOptions options;
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
       else if (arg == "--check") check_path = value();
       else if (arg == "--plan-out") plan_out_path = value();
       else if (arg == "--metrics-out") metrics_out = value();
+      else if (arg == "--allow-partial") options.allow_partial = true;
+      else if (arg == "--partial-out") partial_out = value();
       else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
@@ -125,6 +133,9 @@ int main(int argc, char** argv) {
           "--plan-out needs a request whose reduction kind is offload_plan; " +
           request_path + " asks for '" +
           xr::runtime::reduction_name(request.reduction.kind) + "'");
+
+    if (!partial_out.empty() && !options.allow_partial)
+      throw std::runtime_error("--partial-out requires --allow-partial");
 
     FsTransport transport(mail_root);
     const CoordinatorResult result =
@@ -160,6 +171,21 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       xr::obs::write_document_file(result.metrics, metrics_out);
       std::printf("  metrics -> %s\n", metrics_out.c_str());
+    }
+    if (!result.quarantined.empty()) {
+      std::string ids;
+      for (const std::size_t k : result.quarantined)
+        ids += (ids.empty() ? "" : ", ") + std::to_string(k);
+      std::printf("  PARTIAL sweep: %zu shard(s) quarantined [%s], %zu of "
+                  "%zu scenarios merged\n",
+                  result.quarantined.size(), ids.c_str(), merged.evaluated,
+                  merged.grid_size);
+    }
+    if (!partial_out.empty() && result.partial_document) {
+      std::ofstream out(partial_out, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + partial_out);
+      out << result.partial_document->dump() << '\n';
+      std::printf("  partial document -> %s\n", partial_out.c_str());
     }
 
     if (!check_path.empty()) {
